@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the corresponding experiment once (``benchmark.pedantic`` with a single
+round — the experiments are deterministic simulations, not
+microbenchmarks), prints the regenerated rows/series, and saves them
+under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print the regenerated table and persist it."""
+    print()
+    print(text)
+    path = save_result(name, text)
+    print(f"[saved to {path}]")
+
+
+def once(benchmark, fn):
+    """Run the experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP 517
+editable installs fail; this shim enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Reproduction of "Comprehensive Performance Monitoring for GPU
+Cluster Systems" (Fürlinger, Wright, Skinner — IPPS 2011).
+
+Subpackages
+-----------
+:mod:`repro.core`
+    IPM, the paper's contribution: interposition monitoring of CUDA,
+    MPI, CUBLAS, CUFFT (and OpenCL), GPU kernel timing, host-idle
+    detection, and the banner/XML/CUBE/HTML reporting pipeline.
+:mod:`repro.simt`
+    the deterministic discrete-event simulation kernel everything runs
+    on (virtual time, simulated processes, OS noise).
+:mod:`repro.cuda`, :mod:`repro.mpi`, :mod:`repro.libs`, :mod:`repro.ocl`
+    the simulated hardware/software substrates: CUDA 3.1 runtime +
+    Tesla C2050 device, MPI over QDR InfiniBand, CUBLAS/CUFFT/host
+    BLAS, OpenCL 1.1.
+:mod:`repro.cluster`
+    the Dirac cluster model and the job runner (mpirun + loader +
+    IPM preload).
+:mod:`repro.apps`
+    the paper's workloads: the Fig. 3 example, the Table I CUDA-SDK
+    benchmarks, HPL, PARATEC and Amber.
+:mod:`repro.analysis`
+    table/histogram/scaling/comparison helpers for the benchmark
+    harness.
+
+See ``README.md`` for a tour, ``DESIGN.md`` for the architecture and
+substitution rationale, and ``EXPERIMENTS.md`` for paper-vs-measured
+results.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,19 @@
+"""Analysis utilities for the benchmark harness: table rendering,
+ensemble statistics (Fig. 8), scaling series (Fig. 10) and
+paper-vs-measured comparison records for EXPERIMENTS.md."""
+
+from repro.analysis.tables import format_table
+from repro.analysis.histogram import EnsembleStats, ascii_histogram, ensemble_stats
+from repro.analysis.scaling import ScalingPoint, format_scaling
+from repro.analysis.compare import Comparison, format_comparisons
+
+__all__ = [
+    "format_table",
+    "EnsembleStats",
+    "ascii_histogram",
+    "ensemble_stats",
+    "ScalingPoint",
+    "format_scaling",
+    "Comparison",
+    "format_comparisons",
+]

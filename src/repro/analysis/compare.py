@@ -1,0 +1,55 @@
+"""Paper-vs-measured comparison records (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One claim: the paper's value vs this reproduction's."""
+
+    experiment: str
+    quantity: str
+    paper: float
+    measured: float
+    unit: str = ""
+    #: relative tolerance considered "reproduced" for this quantity.
+    rel_tol: Optional[float] = None
+
+    @property
+    def rel_error(self) -> float:
+        if self.paper == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return (self.measured - self.paper) / self.paper
+
+    @property
+    def ok(self) -> Optional[bool]:
+        if self.rel_tol is None:
+            return None
+        return abs(self.rel_error) <= self.rel_tol
+
+
+def format_comparisons(comparisons: Sequence[Comparison], title: str = "") -> str:
+    rows = []
+    for c in comparisons:
+        status = "" if c.ok is None else ("OK" if c.ok else "OFF")
+        rows.append(
+            [
+                f"{c.experiment}: {c.quantity}",
+                c.paper,
+                c.measured,
+                f"{100 * c.rel_error:+.1f}%",
+                c.unit,
+                status,
+            ]
+        )
+    return format_table(
+        ["quantity", "paper", "measured", "rel", "unit", ""],
+        rows,
+        floatfmt=".4g",
+        title=title,
+    )

@@ -1,0 +1,36 @@
+"""Scaling-series helpers for the Fig. 10 experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One process-count configuration of a scaling study."""
+
+    nprocs: int
+    wallclock: float
+    #: per-category times, seconds (averaged per rank), e.g.
+    #: {"MPI": …, "CUBLAS": …, "MPI_Gather": …, "cublasSetMatrix": …}.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+
+def format_scaling(points: Sequence[ScalingPoint], categories: List[str]) -> str:
+    """Render a Fig. 10-style stacked breakdown as a table."""
+    headers = ["procs", "wallclock[s]"] + [f"{c}[s/rank]" for c in categories]
+    rows = [
+        [p.nprocs, p.wallclock] + [p.breakdown.get(c, 0.0) for c in categories]
+        for p in sorted(points, key=lambda p: p.nprocs)
+    ]
+    return format_table(headers, rows, floatfmt=".1f")
+
+
+def speedup(points: Sequence[ScalingPoint]) -> Dict[int, float]:
+    """Speedups relative to the smallest configuration."""
+    pts = sorted(points, key=lambda p: p.nprocs)
+    base = pts[0].wallclock
+    return {p.nprocs: base / p.wallclock for p in pts}

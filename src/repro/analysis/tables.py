@@ -1,0 +1,43 @@
+"""Fixed-width table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    floatfmt: str = ".6f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats use ``floatfmt``; everything else is ``str()``-ed.  Columns
+    are right-aligned except the first.
+    """
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, c in enumerate(cells):
+            out.append(c.ljust(widths[i]) if i == 0 else c.rjust(widths[i]))
+        return "  ".join(out)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Workload models: every application in the paper's evaluation.
+
+* :mod:`repro.apps.square` — the Fig. 3 repeated-squaring example.
+* :mod:`repro.apps.sdk` — the eight CUDA-SDK benchmarks of Table I.
+* :mod:`repro.apps.hpl` — CUDA-accelerated High-Performance Linpack
+  (Figs. 8 and 9).
+* :mod:`repro.apps.paratec` — the PARATEC DFT code with thunked CUBLAS
+  (Fig. 10), plus its MKL (host BLAS) baseline.
+* :mod:`repro.apps.amber` — Amber/PMEMD molecular dynamics, JAC DHFR
+  benchmark (Fig. 11).
+
+Workload models issue the *call patterns* of the real applications
+(kernel mixes, invocation counts, transfer sizes, synchronization
+structure); kernel durations come from calibrated cost models.  Where
+a model is scaled down (fewer MD steps / SCF iterations than the
+paper's runs), per-step call ratios are preserved so IPM's derived
+metrics — the reproduction targets — are unchanged.
+"""
+
+from repro.apps.square import SquareConfig, square_app
+from repro.apps.hpl import HplConfig, hpl_app
+from repro.apps.paratec import ParatecConfig, paratec_app
+from repro.apps.amber import AmberConfig, amber_app
+
+__all__ = [
+    "SquareConfig",
+    "square_app",
+    "HplConfig",
+    "hpl_app",
+    "ParatecConfig",
+    "paratec_app",
+    "AmberConfig",
+    "amber_app",
+]

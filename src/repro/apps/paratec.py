@@ -1,0 +1,132 @@
+"""PARATEC (PARAllel Total Energy Code) — the Fig. 10 workload.
+
+Models the NERSC6 medium DFT problem (§IV-D): SCF iterations whose
+per-iteration work is
+
+* parallel 3-D FFTs + local potential work on the host CPUs (scales
+  ~1/p plus a serial remainder);
+* dense ``zgemm`` subspace rotations — through either sequential MKL
+  (:class:`~repro.libs.blasref.HostBlas`) or the **thunking CUBLAS
+  wrappers** (alloc → SetMatrix → zgemm → GetMatrix → free, §IV-D) —
+  the paper's ~35 % acceleration (1976 s → 1285 s on 32 processes);
+* MPI: band-structure reductions (``MPI_Allreduce``), FFT halo
+  exchange (``MPI_Isend``/``Irecv``/``Wait``) and a root-side
+  diagnostic collection (``MPI_Gather``) whose cost explodes at 256
+  processes on 32 nodes (8 ranks/node ⇒ NUMA penalty) — *"the
+  contribution of MPI_Gather becomes very large … we assume that it is
+  caused by NUMA effects"*.
+
+The zgemm operand shapes make the thunked transfers dwarf the GPU
+compute (k ≪ m, n), which also keeps per-rank CUBLAS time roughly
+constant as p grows: per-rank call counts fall as 1/p while GPU
+sharing serializes the node's PCIe traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.jobs import ProcessEnv
+
+
+@dataclass(frozen=True)
+class ParatecConfig:
+    """NERSC6-medium-like problem, calibrated to Fig. 10."""
+
+    #: SCF iterations.
+    iterations: int = 20
+    #: zgemm operand sizes: (m × k)·(k × n); k ≪ m keeps the thunked
+    #: calls transfer-dominated, as the paper observes.
+    gemm_m: int = 2800
+    gemm_n: int = 2800
+    gemm_k: int = 173
+    #: total zgemm calls per iteration across all ranks (distributed
+    #: over ranks; 32-process runs make 30 calls/rank/iteration).
+    gemm_calls_total: int = 960
+    #: host FFT/potential work: parallel part (seconds × ranks) and the
+    #: serial remainder per iteration.
+    fft_parallel_seconds: float = 1788.0
+    fft_serial_seconds: float = 4.0
+    #: halo-exchange payload per rank pair, bytes (split over ranks).
+    halo_bytes_total: int = 400 << 20
+    #: per-rank contribution to the root's diagnostic MPI_Gather.
+    gather_bytes_per_rank: int = 40 << 20
+    #: subspace Allreduce payload (split over ranks).
+    allreduce_bytes_total: int = 480 << 20
+
+    @staticmethod
+    def tiny() -> "ParatecConfig":
+        return ParatecConfig(
+            iterations=3,
+            gemm_m=1200,
+            gemm_n=1200,
+            gemm_k=96,
+            gemm_calls_total=48,
+            fft_parallel_seconds=8.0,
+            fft_serial_seconds=0.2,
+            halo_bytes_total=8 << 20,
+            gather_bytes_per_rank=1 << 20,
+            allreduce_bytes_total=8 << 20,
+        )
+
+
+def paratec_app(
+    env: ProcessEnv,
+    config: ParatecConfig | None = None,
+    blas: str = "cublas",
+) -> Dict[str, float]:
+    """One rank of PARATEC; ``blas`` selects ``"cublas"`` (thunking
+    wrappers) or ``"mkl"`` (sequential host BLAS) — the two linking
+    configurations of §IV-D."""
+    if blas not in ("cublas", "mkl"):
+        raise ValueError(f"blas must be 'cublas' or 'mkl': {blas!r}")
+    cfg = config or ParatecConfig()
+    comm = env.mpi
+    p = env.size
+    r = env.rank
+
+    my_gemm_calls = cfg.gemm_calls_total // p + (
+        1 if r < cfg.gemm_calls_total % p else 0
+    )
+    fft_per_iter = cfg.fft_parallel_seconds / p + cfg.fft_serial_seconds
+    halo_bytes = max(1, cfg.halo_bytes_total // p)
+    allreduce_bytes = max(8, cfg.allreduce_bytes_total // p)
+    if blas == "cublas":
+        env.cublas.cublasInit()
+
+    zgemm_time = 0.0
+    gather_time = 0.0
+    for it in range(cfg.iterations):
+        # (1) FFTs + local potential on the host
+        env.hostcompute(fft_per_iter)
+        # (2) FFT slab halo exchange around the ring
+        right = (r + 1) % p
+        left = (r - 1) % p
+        sreq = comm.MPI_Isend(None, dest=right, tag=it, nbytes=halo_bytes)
+        rreq = comm.MPI_Irecv(source=left, tag=it)
+        comm.MPI_Wait(rreq)
+        comm.MPI_Wait(sreq)
+        # (3) subspace rotation: zgemm through the selected BLAS
+        t0 = env.sim.now
+        for _ in range(my_gemm_calls):
+            if blas == "cublas":
+                env.thunking.zgemm(cfg.gemm_m, cfg.gemm_n, cfg.gemm_k)
+            else:
+                env.hostblas.zgemm(cfg.gemm_m, cfg.gemm_n, cfg.gemm_k)
+        zgemm_time += env.sim.now - t0
+        # (4) band-energy reduction
+        comm.MPI_Allreduce(None, nbytes=allreduce_bytes)
+        # (5) diagnostics/wavefunction collection at the root — the
+        # call whose root-side serialization blows up at 256 procs
+        t0 = env.sim.now
+        comm.MPI_Gather(None, root=0, nbytes=cfg.gather_bytes_per_rank)
+        gather_time += env.sim.now - t0
+    total_energy = comm.MPI_Allreduce(float(r), nbytes=8)
+    if blas == "cublas" and env.ipm is not None:
+        env.ipm.mem_gb = 1.2
+    return {
+        "zgemm_time": zgemm_time,
+        "gather_time": gather_time,
+        "energy": total_energy,
+    }

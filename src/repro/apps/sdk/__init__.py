@@ -1,0 +1,39 @@
+"""The CUDA-SDK benchmark models of the paper's Table I."""
+
+from typing import Callable, Dict
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, Table1Row, execute_plan, split_durations
+from repro.apps.sdk import (
+    blackscholes,
+    concurrent_kernels,
+    eigenvalues,
+    fdtd3d,
+    mersenne,
+    montecarlo,
+    quasirandom,
+    scan,
+)
+from repro.cluster.jobs import ProcessEnv
+
+#: benchmark name → app(env), keys matching Table I rows.
+SDK_BENCHMARKS: Dict[str, Callable[[ProcessEnv], int]] = {
+    "BlackScholes": blackscholes.app,
+    "FDTD3d": fdtd3d.app,
+    "MersenneTwister": mersenne.app,
+    "MonteCarlo": montecarlo.app,
+    "concurrentKernels": concurrent_kernels.app,
+    "eigenvalues": eigenvalues.app,
+    "quasirandomGenerator": quasirandom.app,
+    "scan": scan.app,
+}
+
+assert set(SDK_BENCHMARKS) == set(PAPER_TABLE1)
+
+__all__ = [
+    "SDK_BENCHMARKS",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "LaunchStep",
+    "execute_plan",
+    "split_durations",
+]

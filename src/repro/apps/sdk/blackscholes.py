@@ -1,0 +1,17 @@
+"""CUDA SDK ``BlackScholes``: option pricing, 512 identical launches."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["BlackScholes"]
+
+
+def app(env: ProcessEnv) -> int:
+    # the SDK sample times NUM_ITERATIONS=512 runs of BlackScholesGPU
+    durations = split_durations(
+        ROW.profiler_seconds, [1.0] * ROW.invocations, env.rng, spread=0.02
+    )
+    plan = [LaunchStep("BlackScholesGPU", d) for d in durations]
+    return execute_plan(env, plan, d2h_every=64)

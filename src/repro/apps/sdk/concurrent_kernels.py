@@ -1,0 +1,29 @@
+"""CUDA SDK ``concurrentKernels``: 8 kernels on 8 streams + a reduction.
+
+Exercises Fermi concurrent-kernel execution (§III: up to 16 kernels);
+the per-kernel occupancy is small so the eight ``clock_block`` kernels
+genuinely overlap on the simulated device — total *kernel* time (what
+Table I sums) is unaffected by the overlap, but wallclock is ≈ 1/8 of
+the serial time, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["concurrentKernels"]
+
+N_STREAMS = 8
+
+
+def app(env: ProcessEnv) -> int:
+    block_total = ROW.profiler_seconds * 0.98
+    durations = split_durations(block_total, [1.0] * N_STREAMS, env.rng, spread=0.005)
+    plan = [
+        LaunchStep("clock_block", d, stream_index=i, occupancy=0.06)
+        for i, d in enumerate(durations)
+    ]
+    plan.append(LaunchStep("sum", ROW.profiler_seconds - block_total))
+    assert len(plan) == ROW.invocations
+    return execute_plan(env, plan, n_streams=N_STREAMS, d2h_every=0)

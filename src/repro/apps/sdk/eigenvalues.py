@@ -1,0 +1,26 @@
+"""CUDA SDK ``eigenvalues``: bisection iterations, 300 launches."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["eigenvalues"]
+
+
+def app(env: ProcessEnv) -> int:
+    # bisectKernelLarge dominates; the One-/Multi-interval variants follow.
+    third = ROW.invocations // 3
+    weights = (
+        [3.0] * third                                # bisectKernelLarge
+        + [1.0] * third                              # bisectKernelLarge_OneIntervals
+        + [1.0] * (ROW.invocations - 2 * third)      # _MultIntervals
+    )
+    durations = split_durations(ROW.profiler_seconds, weights, env.rng, spread=0.02)
+    names = (
+        ["bisectKernelLarge"] * third
+        + ["bisectKernelLarge_OneIntervals"] * third
+        + ["bisectKernelLarge_MultIntervals"] * (ROW.invocations - 2 * third)
+    )
+    plan = [LaunchStep(n, d) for n, d in zip(names, durations)]
+    return execute_plan(env, plan, d2h_every=50)

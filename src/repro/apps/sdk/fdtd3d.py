@@ -1,0 +1,16 @@
+"""CUDA SDK ``FDTD3d``: 3-D finite differences, 5 timestep launches."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["FDTD3d"]
+
+
+def app(env: ProcessEnv) -> int:
+    durations = split_durations(
+        ROW.profiler_seconds, [1.0] * ROW.invocations, env.rng, spread=0.01
+    )
+    plan = [LaunchStep("FiniteDifferencesKernel", d) for d in durations]
+    return execute_plan(env, plan, d2h_every=1, d2h_bytes=1 << 20)

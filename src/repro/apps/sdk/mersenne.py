@@ -1,0 +1,23 @@
+"""CUDA SDK ``MersenneTwister``: RNG + Box-Muller, 202 launches."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["MersenneTwister"]
+
+
+def app(env: ProcessEnv) -> int:
+    # the sample alternates RandomGPU / BoxMullerGPU per iteration;
+    # RandomGPU dominates (~2/3 of the time in the real sample).
+    n_pairs = ROW.invocations // 2
+    rand_total = ROW.profiler_seconds * 0.66
+    box_total = ROW.profiler_seconds - rand_total
+    rand_d = split_durations(rand_total, [1.0] * n_pairs, env.rng, spread=0.02)
+    box_d = split_durations(box_total, [1.0] * n_pairs, env.rng, spread=0.02)
+    plan = []
+    for rd, bd in zip(rand_d, box_d):
+        plan.append(LaunchStep("RandomGPU", rd))
+        plan.append(LaunchStep("BoxMullerGPU", bd))
+    return execute_plan(env, plan, d2h_every=32)

@@ -1,0 +1,18 @@
+"""CUDA SDK ``MonteCarlo``: two short kernels — the Table I row where
+the event-bracket overhead is proportionally largest (1.87%)."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["MonteCarlo"]
+
+
+def app(env: ProcessEnv) -> int:
+    half = ROW.profiler_seconds / 2
+    plan = [
+        LaunchStep("inverseCNDKernel", half * 0.3),
+        LaunchStep("MonteCarloOneBlockPerOption", half * 1.7),
+    ]
+    return execute_plan(env, plan, d2h_every=1, d2h_bytes=4096)

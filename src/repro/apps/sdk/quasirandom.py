@@ -1,0 +1,21 @@
+"""CUDA SDK ``quasirandomGenerator``: Niederreiter + inverse CND, 42 launches."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["quasirandomGenerator"]
+
+
+def app(env: ProcessEnv) -> int:
+    half = ROW.invocations // 2
+    durations = split_durations(
+        ROW.profiler_seconds, [1.2] * half + [0.8] * (ROW.invocations - half),
+        env.rng, spread=0.02,
+    )
+    names = ["quasirandomGeneratorKernel"] * half + ["inverseCNDKernel"] * (
+        ROW.invocations - half
+    )
+    plan = [LaunchStep(n, d) for n, d in zip(names, durations)]
+    return execute_plan(env, plan, d2h_every=8)

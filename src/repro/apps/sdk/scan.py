@@ -1,0 +1,24 @@
+"""CUDA SDK ``scan``: 3300 very short launches — the Table I row that
+stresses per-invocation event overhead (difference 1.22%)."""
+
+from __future__ import annotations
+
+from repro.apps.sdk.base import LaunchStep, PAPER_TABLE1, execute_plan, split_durations
+from repro.cluster.jobs import ProcessEnv
+
+ROW = PAPER_TABLE1["scan"]
+
+
+def app(env: ProcessEnv) -> int:
+    # 100 iterations × 33 launches: shared-memory scan, uniform update.
+    n = ROW.invocations
+    third = n // 3
+    weights = [1.0] * third + [0.7] * third + [1.3] * (n - 2 * third)
+    durations = split_durations(ROW.profiler_seconds, weights, env.rng, spread=0.05)
+    names = (
+        ["scanExclusiveShared"] * third
+        + ["scanExclusiveShared2"] * third
+        + ["uniformUpdate"] * (n - 2 * third)
+    )
+    plan = [LaunchStep(nm, d) for nm, d in zip(names, durations)]
+    return execute_plan(env, plan, d2h_every=33)

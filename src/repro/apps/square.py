@@ -1,0 +1,76 @@
+"""The paper's running example (Fig. 3): repeated squaring on the GPU.
+
+Transliterated from the C fragment in the paper; the kernel carries a
+*semantic function* so small problem sizes can verify end-to-end data
+flow (each element really is squared ``REPEAT`` times — with REPEAT
+even, ``x**(2**REPEAT)``; we use the single-squaring semantic of one
+pass for verifiability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.jobs import ProcessEnv
+from repro.cuda.errors import cudaMemcpyKind
+from repro.cuda.kernel import Kernel, LaunchConfig
+
+K = cudaMemcpyKind
+
+
+@dataclass(frozen=True)
+class SquareConfig:
+    """Parameters of the Fig. 3 program."""
+
+    #: array length (paper: 100000 doubles).
+    n: int = 100_000
+    #: squaring repetitions inside the kernel (paper: 10000).
+    repeat: int = 10_000
+    #: measured kernel duration on the C2050 for the paper's N/REPEAT
+    #: (Fig. 5 shows ≈1.15 s); scaled linearly in n·repeat.
+    paper_kernel_seconds: float = 1.15
+    #: verify data round-trip (forces byte-backed buffers; keep n small).
+    verify: bool = False
+
+    def kernel_seconds(self) -> float:
+        return self.paper_kernel_seconds * (self.n * self.repeat) / (100_000 * 10_000)
+
+
+def _square_semantic(mem, config: LaunchConfig, args) -> None:
+    ptr, n = args[0], args[1]
+    raw = mem.read(ptr, n * 8)
+    if raw is None:
+        return
+    data = np.frombuffer(raw, dtype=np.float64)
+    mem.write(ptr, (data * data).tobytes())
+
+
+def square_app(env: ProcessEnv, config: SquareConfig | None = None):
+    """Run the Fig. 3 program against ``env``'s (wrapped) runtime."""
+    cfg = config or SquareConfig()
+    rt = env.rt
+    n = cfg.n
+    size = n * 8
+    a_h = np.arange(1, n + 1, dtype=np.float64) if cfg.verify else np.zeros(n)
+    blocksz = 1
+    nblocks = n
+
+    square = Kernel(
+        "square",
+        nominal_duration=cfg.kernel_seconds(),
+        semantic=_square_semantic if cfg.verify else None,
+    )
+
+    err, a_d = rt.cudaMalloc(size)
+    assert err == 0, "cudaMalloc failed"
+    rt.cudaMemcpy(a_d, a_h, size, K.cudaMemcpyHostToDevice)
+    rt.launch(square, nblocks, blocksz, args=(a_d, n))
+    rt.cudaMemcpy(a_h, a_d, size, K.cudaMemcpyDeviceToHost)
+    rt.cudaFree(a_d)
+    if cfg.verify:
+        expected = np.arange(1, n + 1, dtype=np.float64) ** 2
+        if not np.array_equal(a_h, expected):
+            raise AssertionError("square kernel produced wrong data")
+    return float(a_h[-1])

@@ -1,0 +1,27 @@
+"""The Dirac cluster model and the parallel job runner.
+
+Dirac (NERSC, paper Section IV): 48 nodes, each with two Intel Xeon
+5530 quad-core processors, 24 GB DDR3, and one NVIDIA Tesla C2050 with
+3 GB of device memory; QDR InfiniBand between nodes; CUDA 3.1.
+
+:func:`repro.cluster.jobs.run_job` is the ``mpirun``+loader of the
+simulated world: it maps ranks onto nodes (sharing the node's single
+GPU when oversubscribed — the paper's issue 5), builds each rank's
+process image (CUDA runtime, CUBLAS, CUFFT, MPI), optionally preloads
+IPM, runs the application, and collects the job-level report.
+"""
+
+from repro.cluster.node import Node, NodeSpec, DIRAC_NODE
+from repro.cluster.cluster import Cluster, make_dirac
+from repro.cluster.jobs import JobResult, ProcessEnv, run_job
+
+__all__ = [
+    "Node",
+    "NodeSpec",
+    "DIRAC_NODE",
+    "Cluster",
+    "make_dirac",
+    "JobResult",
+    "ProcessEnv",
+    "run_job",
+]

@@ -1,0 +1,76 @@
+"""Cluster: a set of nodes plus the interconnect model."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.cluster.node import DIRAC_NODE, Node, NodeSpec
+from repro.cuda.costmodel import GpuTimingModel
+from repro.mpi.network import NetworkModel
+from repro.simt.random import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+class Cluster:
+    """A homogeneous GPU cluster."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        n_nodes: int,
+        node_spec: NodeSpec = DIRAC_NODE,
+        network_model: Optional[NetworkModel] = None,
+        gpu_timing: Optional[GpuTimingModel] = None,
+        streams: Optional[RngStreams] = None,
+        name_prefix: str = "dirac",
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive: {n_nodes}")
+        self.sim = sim
+        self.node_spec = node_spec
+        self.network_model = network_model or NetworkModel()
+        self.streams = streams or RngStreams(0)
+        self.nodes: List[Node] = [
+            Node(
+                sim,
+                i,
+                node_spec,
+                gpu_timing=gpu_timing,
+                rng=self.streams.get(f"node{i}"),
+                name_prefix=name_prefix,
+            )
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node_of_rank(self, rank: int, ranks_per_node: int) -> Node:
+        """Block mapping of ranks onto nodes (Dirac's default)."""
+        idx = rank // ranks_per_node
+        if idx >= self.n_nodes:
+            raise ValueError(
+                f"rank {rank} does not fit: {self.n_nodes} nodes × "
+                f"{ranks_per_node} ranks/node"
+            )
+        return self.nodes[idx]
+
+
+def make_dirac(
+    sim: "Simulator",
+    n_nodes: int = 48,
+    seed: int = 0,
+    gpu_timing: Optional[GpuTimingModel] = None,
+) -> Cluster:
+    """The Dirac cluster of the paper's evaluation (48 nodes)."""
+    return Cluster(
+        sim,
+        n_nodes,
+        node_spec=DIRAC_NODE,
+        streams=RngStreams(seed),
+        gpu_timing=gpu_timing,
+        name_prefix="dirac",
+    )

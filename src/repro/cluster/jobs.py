@@ -1,0 +1,233 @@
+"""The job runner: process images, IPM preload, report collection.
+
+``run_job`` plays three roles of the real stack at once:
+
+* **mpirun** — spawns one simulated process per rank, block-mapped
+  onto cluster nodes;
+* **the dynamic loader** — builds each rank's "process image": CUDA
+  runtime + driver on the node's GPU(s), CUBLAS/CUFFT on top, the MPI
+  communicator, and a host-compute helper routed through the OS-noise
+  model.  With ``ipm_config`` set, every handle is resolved through
+  IPM's interposition wrappers instead (LD_PRELOAD) — *"No source code
+  changes, recompilation, or even re-linking of the application is
+  required"*: the same ``app(env)`` runs monitored or unmonitored;
+* **IPM's job finalization** — collects the per-rank task reports into
+  a :class:`JobReport` after the last rank exits.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, make_dirac
+from repro.core.hostidle import blocking_wrapper_names, identify_blocking_calls
+from repro.core.ipm import Ipm, IpmConfig
+from repro.core.report import JobReport
+from repro.cuda.driver import Driver
+from repro.cuda.runtime import Runtime
+from repro.libs.blasref import HostBlas
+from repro.libs.cublas import Cublas
+from repro.libs.cufft import Cufft
+from repro.libs.thunking import ThunkingBlas
+from repro.mpi.comm import CommWorld
+from repro.mpi.network import Network
+from repro.simt.noise import NoiseConfig, NoiseModel
+from repro.simt.random import RngStreams
+from repro.simt.simulator import Simulator
+
+
+@dataclass
+class ProcessEnv:
+    """One rank's view of its node and libraries (the process image)."""
+
+    rank: int
+    size: int
+    hostname: str
+    sim: Simulator
+    mpi: Any
+    rt: Any
+    drv: Any
+    cublas: Any
+    cufft: Any
+    hostblas: HostBlas
+    thunking: ThunkingBlas
+    rng: np.random.Generator
+    noise: NoiseModel
+    ipm: Optional[Ipm] = None
+    #: CUDA-profiler emulation attached to this rank (CUDA_PROFILE=1).
+    profiler: Optional[Any] = None
+
+    def hostcompute(self, seconds: float) -> None:
+        """Host-side computation for ``seconds``, perturbed by OS noise."""
+        self.sim.sleep(self.noise.perturb(seconds))
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated job."""
+
+    wallclock: float
+    results: List[Any]
+    report: Optional[JobReport]
+    cluster: Cluster
+    world: CommWorld
+    #: host wall time spent simulating (for harness diagnostics).
+    sim_seconds: float = 0.0
+    events_executed: int = 0
+    #: per-rank CUDA-profiler logs when ``cuda_profile`` was set.
+    profilers: List[Any] = field(default_factory=list)
+
+
+def run_job(
+    app: Callable[[ProcessEnv], Any],
+    ntasks: int,
+    *,
+    command: str = "./a.out",
+    cluster: Optional[Cluster] = None,
+    n_nodes: Optional[int] = None,
+    ranks_per_node: int = 1,
+    ipm_config: Optional[IpmConfig] = None,
+    seed: int = 0,
+    noise: Optional[NoiseConfig] = None,
+    cuda_profile: bool = False,
+    gpu_timing: Optional[Any] = None,
+) -> JobResult:
+    """Run ``app(env)`` on ``ntasks`` ranks of a (possibly shared-GPU) cluster.
+
+    ``ipm_config=None`` runs unmonitored; otherwise IPM is preloaded
+    into every rank and a :class:`JobReport` is produced.  When a
+    pre-built ``cluster`` is passed, the job runs on *its* simulator;
+    otherwise a fresh Dirac cluster is created (``gpu_timing`` tweaks
+    its GPUs' timing model).
+    """
+    if ntasks <= 0:
+        raise ValueError(f"ntasks must be positive: {ntasks}")
+    if ranks_per_node <= 0:
+        raise ValueError(f"ranks_per_node must be positive: {ranks_per_node}")
+    t_host0 = _time.perf_counter()
+    streams = RngStreams(seed)
+    if cluster is None:
+        sim = Simulator()
+        needed = (ntasks + ranks_per_node - 1) // ranks_per_node
+        cluster = make_dirac(
+            sim, n_nodes=max(needed, n_nodes or 0), seed=seed, gpu_timing=gpu_timing
+        )
+    else:
+        sim = cluster.sim
+    rank_to_node = [
+        cluster.node_of_rank(r, ranks_per_node).index for r in range(ntasks)
+    ]
+    network = Network(sim, cluster.network_model, ranks_per_node=ranks_per_node)
+    world = CommWorld(sim, ntasks, network, rank_to_node)
+    noise_cfg = noise or NoiseConfig(enabled=False)
+    # run-level system state (throttling, placement, competing jobs) is
+    # shared by all ranks of a job — the Fig. 8 histogram's width.
+    job_bias = NoiseModel.draw_bias(streams.get("noise.jobbias"), noise_cfg)
+    # Identify the implicitly-blocking call set once per job (offline
+    # microbenchmark, §III-C) so ranks don't redo it.
+    blocking = (
+        blocking_wrapper_names(identify_blocking_calls())
+        if ipm_config is not None and ipm_config.host_idle
+        else set()
+    )
+    ipms: List[Optional[Ipm]] = [None] * ntasks
+    envs: List[Optional[ProcessEnv]] = [None] * ntasks
+    profilers: List[Any] = []
+
+    def rank_main(rank: int) -> Any:
+        node = cluster.node_of_rank(rank, ranks_per_node)
+        rt = Runtime(sim, node.devices, process_name=f"{command}:r{rank}")
+        profiler = None
+        if cuda_profile:
+            from repro.cuda.profiler import CudaProfiler
+
+            profiler = CudaProfiler()
+            rt._ensure_context()  # the profiler lives inside the driver
+            profiler.attach(rt.context)
+            profilers.append(profiler)
+        comm = world.rank_comm(rank)
+        ipm: Optional[Ipm] = None
+        if ipm_config is not None:
+            ipm = Ipm(
+                sim,
+                rank=rank,
+                nranks=ntasks,
+                config=ipm_config,
+                hostname=node.hostname,
+                command=command,
+                blocking_calls=set(blocking),
+            )
+            ipms[rank] = ipm
+            rt_h = ipm.wrap_runtime(rt)
+            drv_h = ipm.wrap_driver(Driver(rt))
+            # the libraries link against the *interposed* runtime — with
+            # LD_PRELOAD, CUBLAS/CUFFT-internal cudaLaunch/cudaMemcpy
+            # calls resolve to IPM's wrappers too (how Fig. 11's 1.9 M
+            # cudaLaunch count includes library-issued launches).
+            cublas_h = ipm.wrap_cublas(Cublas(rt_h))
+            cufft_h = ipm.wrap_cufft(Cufft(rt_h))
+            comm_h = ipm.wrap_mpi(comm)
+        else:
+            rt_h = rt
+            drv_h = Driver(rt)
+            cublas_h = Cublas(rt)
+            cufft_h = Cufft(rt)
+            comm_h = comm
+        env = ProcessEnv(
+            rank=rank,
+            size=ntasks,
+            hostname=node.hostname,
+            sim=sim,
+            mpi=comm_h,
+            rt=rt_h,
+            drv=drv_h,
+            cublas=cublas_h,
+            cufft=cufft_h,
+            hostblas=HostBlas(sim),
+            thunking=ThunkingBlas(cublas_h),
+            rng=streams.get(f"app.rank{rank}"),
+            noise=NoiseModel(streams.get(f"noise.rank{rank}"), noise_cfg,
+                             bias=job_bias),
+            ipm=ipm,
+            profiler=profiler,
+        )
+        envs[rank] = env
+        return app(env)
+
+    procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(ntasks)]
+    sim.run()
+    unfinished = [p.name for p in procs if p.alive]
+    if unfinished:
+        raise RuntimeError(f"ranks never finished: {unfinished}")
+    wallclock = max(p.finished_at for p in procs) - min(p.started_at for p in procs)
+    report: Optional[JobReport] = None
+    if ipm_config is not None:
+        tasks = []
+        domains: dict = {}
+        for rank in range(ntasks):
+            ipm = ipms[rank]
+            assert ipm is not None
+            # the app already ended; finalize drains KTTs event-free
+            tasks.append(ipm.finalize(stop_time=procs[rank].finished_at))
+            domains.update(ipm.domains)
+        sim.run()  # settle any events finalize queued
+        report = JobReport(
+            tasks=tasks,
+            domains=domains,
+            start_stamp=f"t={min(t.start_time for t in tasks):.3f}",
+            stop_stamp=f"t={max(t.stop_time for t in tasks):.3f}",
+        )
+    return JobResult(
+        wallclock=wallclock,
+        results=[p.result for p in procs],
+        report=report,
+        cluster=cluster,
+        world=world,
+        sim_seconds=_time.perf_counter() - t_host0,
+        events_executed=sim.events_executed,
+        profilers=profilers,
+    )

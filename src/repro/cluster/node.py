@@ -1,0 +1,68 @@
+"""Compute-node model (a Dirac node)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cuda.costmodel import DeviceSpec, GpuTimingModel, TESLA_C2050
+from repro.cuda.device import Device
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static node configuration."""
+
+    #: CPU sockets and cores per socket (2× Nehalem quad-core on Dirac).
+    sockets: int = 2
+    cores_per_socket: int = 4
+    #: host memory, GB.
+    mem_gb: float = 24.0
+    #: GPUs per node (one C2050 on Dirac).
+    gpus: int = 1
+    gpu_spec: DeviceSpec = TESLA_C2050
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+#: the Dirac node of the paper's evaluation (§IV).
+DIRAC_NODE = NodeSpec()
+
+
+class Node:
+    """One node: hostname + its GPU devices."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        index: int,
+        spec: NodeSpec = DIRAC_NODE,
+        gpu_timing: GpuTimingModel | None = None,
+        rng: np.random.Generator | None = None,
+        name_prefix: str = "dirac",
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.spec = spec
+        self.hostname = f"{name_prefix}{index + 1:02d}"
+        base_rng = rng if rng is not None else np.random.default_rng(1000 + index)
+        self.devices: List[Device] = [
+            Device(
+                sim,
+                device_id=index * spec.gpus + g,
+                spec=spec.gpu_spec,
+                timing=gpu_timing,
+                rng=np.random.default_rng(base_rng.integers(0, 2**63)),
+            )
+            for g in range(spec.gpus)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.hostname} gpus={len(self.devices)}>"

@@ -1,0 +1,321 @@
+"""Performance guidance derived from IPM profiles (paper §VI).
+
+*"Third, we are working on using the derived monitoring data for
+performance modeling and advanced guidance to users on the merits or
+pitfalls of accelerating their applications."*
+
+This module implements that future-work direction as a rule engine
+over :class:`~repro.core.report.JobReport`.  Every rule encodes a
+piece of advice the paper itself derives from its case studies:
+
+* host idle → missed overlap, switch to asynchronous transfers (§III-C);
+* large ``cudaThreadSynchronize`` → use the CPU for computation too
+  (the paper's Amber recommendation, §IV-E);
+* thunking signature (transfers ≫ compute in CUBLAS) → switch to the
+  direct wrappers and overlap (the paper's PARATEC plan, §IV-D);
+* per-kernel cross-rank imbalance (the Amber ReduceForces finding);
+* communication-bound scaling / root-bottlenecked collectives
+  (the PARATEC MPI_Gather finding);
+* long context creation relative to the job (the Fig. 4 observation);
+* low GPU utilization → offloading may not be paying for itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core import metrics
+from repro.core.report import JobReport
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    ADVICE = 1
+    WARNING = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One piece of guidance."""
+
+    rule: str
+    severity: Severity
+    title: str
+    evidence: str
+    recommendation: str
+
+    def format(self) -> str:
+        tag = self.severity.name
+        return (
+            f"[{tag}] {self.title}\n"
+            f"    evidence:       {self.evidence}\n"
+            f"    recommendation: {self.recommendation}"
+        )
+
+
+@dataclass(frozen=True)
+class AdvisorConfig:
+    """Rule thresholds (fractions of wallclock unless noted)."""
+
+    host_idle_threshold: float = 0.05
+    sync_wait_threshold: float = 0.15
+    imbalance_threshold: float = 0.30
+    comm_threshold: float = 0.20
+    thunking_transfer_ratio: float = 1.5
+    context_init_threshold: float = 0.10
+    low_gpu_util_threshold: float = 0.05
+    root_collective_skew: float = 3.0
+
+
+def _wall_total(job: JobReport) -> float:
+    return sum(t.wallclock for t in job.tasks) or 1e-12
+
+
+def _rule_host_idle(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    idle_frac = metrics.host_idle_percent(job) / 100.0
+    if idle_frac <= cfg.host_idle_threshold:
+        return None
+    return Finding(
+        "host-idle", Severity.WARNING,
+        "implicit host blocking wastes potential overlap",
+        f"@CUDA_HOST_IDLE = {100 * idle_frac:.1f}% of wallclock",
+        "replace synchronous cudaMemcpy with cudaMemcpyAsync on a "
+        "stream (pinned host buffers) and overlap transfers with "
+        "computation or MPI communication",
+    )
+
+
+def _rule_sync_wait(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    by = job.merged_by_name()
+    wall = _wall_total(job)
+    waiters = ("cudaThreadSynchronize", "cudaStreamSynchronize",
+               "cudaEventSynchronize", "cuCtxSynchronize")
+    wait = sum(by[n].total for n in waiters if n in by)
+    if wait / wall <= cfg.sync_wait_threshold:
+        return None
+    return Finding(
+        "sync-wait", Severity.ADVICE,
+        "the host spends much of its time waiting for the GPU",
+        f"explicit synchronization = {100 * wait / wall:.1f}% of wallclock",
+        "in a fully heterogeneous implementation the CPU could be "
+        "utilized for computation while kernels execute, increasing "
+        "overall performance",
+    )
+
+
+def _rule_kernel_imbalance(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    if job.ntasks < 2:
+        return None
+    shares = metrics.kernel_share(job)
+    worst = None
+    for name, stat in metrics.kernel_imbalance(job).items():
+        if shares.get(name, 0.0) < 0.02:
+            continue  # ignore trivia
+        if stat.imbalance > cfg.imbalance_threshold:
+            if worst is None or stat.imbalance > worst.imbalance:
+                worst = stat
+    if worst is None:
+        return None
+    return Finding(
+        "kernel-imbalance", Severity.ADVICE,
+        f"GPU kernel {worst.name!r} is imbalanced across ranks",
+        f"(max-avg)/avg = {100 * worst.imbalance:.0f}% "
+        f"(avg {worst.mean:.2f}s, max {worst.tmax:.2f}s)",
+        "rebalance the work decomposition for this kernel; eliminating "
+        "the imbalance is a potential avenue for optimization",
+    )
+
+
+def _rule_thunking(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    by = job.merged_by_name()
+    transfers = sum(
+        by[n].total for n in ("cublasSetMatrix", "cublasGetMatrix",
+                              "cublasSetVector", "cublasGetVector")
+        if n in by
+    )
+    gpu = sum(t.gpu_exec_time() for t in job.tasks)
+    if transfers <= 0 or gpu <= 0:
+        return None
+    if transfers / gpu <= cfg.thunking_transfer_ratio:
+        return None
+    return Finding(
+        "thunking-transfers", Severity.WARNING,
+        "CUBLAS time is dominated by operand transfers",
+        f"Set/GetMatrix = {transfers:.1f}s vs {gpu:.1f}s of GPU compute "
+        f"({transfers / gpu:.1f}x)",
+        "switch from the thunking wrappers to the direct CUBLAS "
+        "bindings, keep operands resident on the device, and overlap "
+        "transfers; consider simultaneous CPU+GPU BLAS",
+    )
+
+
+def _rule_comm_bound(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    comm_frac = metrics.comm_percent(job) / 100.0
+    if comm_frac <= cfg.comm_threshold:
+        return None
+    by = job.merged_by_name()
+    mpi_rows = sorted(
+        ((n, s.total) for n, s in by.items()
+         if job.domains.get(n.split("(")[0]) == "MPI"),
+        key=lambda kv: -kv[1],
+    )
+    top = mpi_rows[0][0] if mpi_rows else "MPI"
+    return Finding(
+        "comm-bound", Severity.WARNING,
+        "the run is communication-dominated at this scale",
+        f"%comm = {100 * comm_frac:.1f}; largest contributor: {top}",
+        "this configuration is past its scaling sweet spot; reduce the "
+        "process count per result, aggregate messages, or replace "
+        "root-bottlenecked collectives",
+    )
+
+
+def _rule_root_collective(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    if job.ntasks < 4:
+        return None
+    for name in ("MPI_Gather", "MPI_Reduce", "MPI_Scatter"):
+        stat = metrics.function_time_stats(job, name)
+        if stat.mean <= 0 or stat.tmax < 1e-3:
+            continue
+        if stat.tmax / max(stat.mean, 1e-12) > cfg.root_collective_skew:
+            return Finding(
+                "root-collective", Severity.ADVICE,
+                f"{name} is bottlenecked at the root",
+                f"max/task {stat.tmax:.2f}s vs mean {stat.mean:.2f}s",
+                "the root serializes the incoming messages; use a "
+                "tree-based alternative, reduce the payload, or collect "
+                "less frequently (NUMA placement can amplify this)",
+            )
+    return None
+
+
+def _rule_context_init(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    by = job.merged_by_name()
+    wall = _wall_total(job)
+    malloc = by.get("cudaMalloc")
+    if malloc is None or malloc.tmax / (wall / job.ntasks) < cfg.context_init_threshold:
+        return None
+    return Finding(
+        "context-init", Severity.INFO,
+        "CUDA context creation is a visible fraction of this run",
+        f"largest cudaMalloc call: {malloc.tmax:.2f}s "
+        f"(runtime/device initialization)",
+        "for short jobs, amortize context creation (persistent "
+        "processes) or exclude it from kernel-level comparisons",
+    )
+
+
+def _rule_low_gpu_util(job: JobReport, cfg: AdvisorConfig) -> Optional[Finding]:
+    if not any(d in ("CUDA", "CUBLAS", "CUFFT") for d in job.domains.values()):
+        return None
+    util = metrics.gpu_utilization(job) / 100.0
+    if util >= cfg.low_gpu_util_threshold or util == 0.0:
+        return None
+    return Finding(
+        "low-gpu-util", Severity.ADVICE,
+        "the GPU is nearly idle",
+        f"GPU kernel execution = {100 * util:.1f}% of wallclock",
+        "offloading at this granularity may not pay for its transfer "
+        "and launch overheads; offload larger portions or keep the "
+        "computation on the CPU",
+    )
+
+
+_RULES: List[Callable[[JobReport, AdvisorConfig], Optional[Finding]]] = [
+    _rule_host_idle,
+    _rule_sync_wait,
+    _rule_kernel_imbalance,
+    _rule_thunking,
+    _rule_comm_bound,
+    _rule_root_collective,
+    _rule_context_init,
+    _rule_low_gpu_util,
+]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A what-if estimate from the performance model (§VI)."""
+
+    name: str
+    #: projected mean wallclock after the change, seconds.
+    projected_wallclock: float
+    #: current mean wallclock, seconds.
+    current_wallclock: float
+    explanation: str
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.current_wallclock <= 0:
+            return 0.0
+        return 1.0 - self.projected_wallclock / self.current_wallclock
+
+
+def model_projections(job: JobReport) -> List[Projection]:
+    """First-order what-if performance model over a profile.
+
+    These are the quantitative companions to the advisor's rules — the
+    "performance modeling" half of the paper's §VI direction.  Each
+    projection removes one measured wait from the critical path:
+
+    * **overlap-host-idle** — perfect transfer/compute overlap removes
+      the measured ``@CUDA_HOST_IDLE`` time;
+    * **direct-blas** — the direct CUBLAS wrappers keep operands
+      resident: the Set/GetMatrix time collapses to the result
+      read-back (~the GetMatrix share);
+    * **heterogeneous-cpu** — using the CPU during GPU waits recovers
+      the explicit synchronization time, bounded by the GPU time it
+      overlaps.
+    """
+    wall = job.wallclock
+    per_task_wall = wall if wall > 0 else 1e-12
+    n = job.ntasks
+    by = job.merged_by_name()
+    out: List[Projection] = []
+
+    idle = sum(t.host_idle_time() for t in job.tasks) / n
+    if idle > 0:
+        out.append(Projection(
+            "overlap-host-idle", per_task_wall - idle, per_task_wall,
+            f"asynchronous transfers remove {idle:.2f}s/task of implicit "
+            "host blocking",
+        ))
+
+    set_t = by["cublasSetMatrix"].total / n if "cublasSetMatrix" in by else 0.0
+    get_t = by["cublasGetMatrix"].total / n if "cublasGetMatrix" in by else 0.0
+    if set_t + get_t > 0:
+        saved = set_t + 0.5 * get_t  # inputs stay resident; results still move
+        out.append(Projection(
+            "direct-blas", per_task_wall - saved, per_task_wall,
+            f"device-resident operands save ~{saved:.2f}s/task of "
+            "thunking transfers",
+        ))
+
+    waiters = ("cudaThreadSynchronize", "cudaStreamSynchronize",
+               "cudaEventSynchronize")
+    sync = sum(by[w].total for w in waiters if w in by) / n
+    gpu = sum(t.gpu_exec_time() for t in job.tasks) / n
+    if sync > 0:
+        recoverable = min(sync, gpu)
+        out.append(Projection(
+            "heterogeneous-cpu", per_task_wall - recoverable, per_task_wall,
+            f"computing on the CPU during GPU waits recovers up to "
+            f"{recoverable:.2f}s/task",
+        ))
+    return out
+
+
+def advise(job: JobReport, config: AdvisorConfig | None = None) -> List[Finding]:
+    """Run all rules; findings are ordered most severe first."""
+    cfg = config or AdvisorConfig()
+    findings = [f for rule in _RULES if (f := rule(job, cfg)) is not None]
+    findings.sort(key=lambda f: (-int(f.severity), f.rule))
+    return findings
+
+
+def format_findings(findings: List[Finding]) -> str:
+    if not findings:
+        return "no findings — the profile looks healthy at this scale."
+    return "\n\n".join(f.format() for f in findings)

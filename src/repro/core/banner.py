@@ -1,0 +1,151 @@
+"""The IPM banner report (stdout profile, paper Figs. 4, 5, 6, 11).
+
+Two layouts, as in the paper:
+
+* the **serial banner** (Figs. 4–6): header + one function table with
+  ``[time] [count] <%wall>`` columns, sorted by descending time;
+* the **parallel banner** (Fig. 11): job header (command, start/stop,
+  tasks, %comm, memory, gflops), per-domain ``[total] <avg> min max``
+  blocks for wallclock/MPI/CUDA/CUBLAS/CUFFT, ``%wall`` and ``#calls``
+  blocks, then the aggregated function table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hashtable import CallStats
+from repro.core.report import JobReport, TaskReport
+
+BAR = "#" * 75
+_DOMAIN_ORDER = ["MPI", "CUDA", "CUBLAS", "CUFFT"]
+
+
+def _fmt_time(t: float) -> str:
+    return f"{t:10.2f}"
+
+
+def _func_rows(
+    by_name: Dict[str, CallStats], wall_total: float, top: Optional[int]
+) -> List[str]:
+    rows = []
+    entries = sorted(by_name.items(), key=lambda kv: (-kv[1].total, kv[0]))
+    if top is not None:
+        entries = entries[:top]
+    for name, stats in entries:
+        pct = 100.0 * stats.total / wall_total if wall_total > 0 else 0.0
+        rows.append(f"# {name:<28s}{stats.total:10.2f} {stats.count:12d} {pct:10.2f}")
+    return rows
+
+
+def _func_header() -> str:
+    return f"# {'':<28s}{'[time]':>10s} {'[count]':>12s} {'<%wall>':>10s}"
+
+
+def banner_serial(task: TaskReport, top: Optional[int] = None) -> str:
+    """The single-process banner of Figs. 4–6."""
+    lines = [
+        f"##IPMv2.0{'#' * (len(BAR) - 9)}",
+        "#",
+        f"# command   : {task.command}",
+        f"# host      : {task.hostname}",
+        f"# wallclock : {task.wallclock:.2f}",
+        "#",
+        _func_header(),
+        *_func_rows(task.table.by_name(), task.wallclock, top),
+        "#",
+        BAR,
+    ]
+    return "\n".join(lines)
+
+
+def _stat_line(label: str, values: List[float], show_total: bool = True) -> str:
+    total = sum(values)
+    avg = total / len(values)
+    tot_s = f"{total:12.2f}" if show_total else " " * 12
+    return (
+        f"# {label:<10s}: {tot_s} {avg:10.2f} {min(values):10.2f} "
+        f"{max(values):10.2f}"
+    )
+
+
+def _count_line(label: str, values: List[int]) -> str:
+    total = sum(values)
+    avg = total // len(values)
+    return (
+        f"# {label:<10s}: {total:12d} {avg:10d} {min(values):10d} "
+        f"{max(values):10d}"
+    )
+
+
+def _present_domains(job: JobReport) -> List[str]:
+    present = set(job.domains.values())
+    return [d for d in _DOMAIN_ORDER if d in present]
+
+
+def banner_parallel(job: JobReport, top: Optional[int] = 20) -> str:
+    """The parallel banner of Fig. 11."""
+    nhosts = len(job.hosts())
+    wallclocks = [t.wallclock for t in job.tasks]
+    wall_total = sum(wallclocks)
+    lines = [
+        f"##IPMv2.0{'#' * (len(BAR) - 9)}",
+        "#",
+        f"# command   : {job.command}",
+        f"# start     : {job.start_stamp or '-':<26s} host      : "
+        f"{job.tasks[0].hostname}",
+        f"# stop      : {job.stop_stamp or '-':<26s} wallclock : "
+        f"{job.wallclock:.2f}",
+        f"# mpi_tasks : {job.ntasks} on {nhosts} nodes"
+        + " " * max(1, 26 - len(f"{job.ntasks} on {nhosts} nodes"))
+        + f"%comm     : {job.comm_percent():.2f}",
+        f"# mem [GB]  : {job.total_mem_gb():<26.2f} gflop/sec : "
+        f"{sum(t.gflops for t in job.tasks):.2f}",
+        "#",
+        f"# {'':<10s}: {'[total]':>12s} {'<avg>':>10s} {'min':>10s} {'max':>10s}",
+        _stat_line("wallclock", wallclocks),
+    ]
+    domains = _present_domains(job)
+    domain_times = {d: job.domain_times(d) for d in domains}
+    for d in domains:
+        lines.append(_stat_line(d, domain_times[d]))
+    lines.append("# %wall     :")
+    for d in domains:
+        pct = [
+            100.0 * x / w if w > 0 else 0.0
+            for x, w in zip(domain_times[d], wallclocks)
+        ]
+        lines.append(_stat_line(d, pct, show_total=False))
+    lines.append("# #calls    :")
+    for d in domains:
+        counts = []
+        for t in job.tasks:
+            counts.append(
+                sum(
+                    stats.count
+                    for name, stats in t.table.by_name().items()
+                    if job.domains.get(name.split("(")[0]) == d
+                    and not name.startswith("@")
+                )
+            )
+        lines.append(_count_line(d, counts))
+    mems = [t.mem_gb for t in job.tasks]
+    if any(m > 0 for m in mems):
+        lines.append(_stat_line("mem [GB]", mems))
+    lines += [
+        "#",
+        _func_header(),
+        *_func_rows(job.merged_by_name(), wall_total, top),
+        "#",
+        BAR,
+    ]
+    return "\n".join(lines)
+
+
+def banner(job: JobReport, top: Optional[int] = 20) -> str:
+    """Dispatch on job size, like IPM's report writer."""
+    if job.ntasks == 1 and not any(
+        d == "MPI" for d in job.domains.values()
+    ):
+        return banner_serial(job.tasks[0], top)
+    return banner_parallel(job, top)

@@ -1,0 +1,37 @@
+"""CUBLAS interposition (paper Section III-D).
+
+All 167 entry points are wrapped.  *"In addition to basic timing
+information, IPM records the size of matrices, vectors, or operations
+for each call in the bytes parameter"* — the refiner reads the
+library's per-call size record, which stands in for parsing the call's
+own arguments in the C wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro.core.wrapper_gen import InterposedAPI, WrapperHooks, generate_wrappers
+from repro.libs.cublas import CUBLAS_API
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.libs.cublas import Cublas
+
+
+def wrap_cublas(ipm: "Ipm", cublas: "Cublas") -> InterposedAPI:
+    def size_refine(_args: tuple, _kwargs: dict, _result: Any):
+        name, nbytes = cublas.last_call_info
+        return "", (nbytes or None)
+
+    hooks: Dict[str, WrapperHooks] = {
+        spec.name: WrapperHooks(refine=size_refine) for spec in CUBLAS_API
+    }
+    return generate_wrappers(
+        ipm,
+        cublas,
+        [c.name for c in CUBLAS_API],
+        domain="CUBLAS",
+        hooks=hooks,
+        linkage=ipm.config.linkage,
+    )

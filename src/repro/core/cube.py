@@ -1,0 +1,181 @@
+"""CUBE export (paper Section II / Fig. 9).
+
+*"[ipm_parse] can convert the IPM profile into the CUBE format …
+particularly well suited for the interactive exploration of
+performance data using the CUBE GUI."*
+
+This writer targets the CUBE 3 XML schema subset the GUI needs: a
+metric tree (time, with per-domain children plus the GPU pseudo-
+metrics), a flat call tree (one region/cnode per monitored function),
+the system tree (machine → node → process), and the severity matrix
+holding per-(metric, cnode, process) values.  A matching reader
+supports round-trip tests and the Fig. 9-style analysis (per-kernel,
+per-stream, per-node distribution of GPU time).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.report import JobReport
+from repro.core.sig import CUDA_EXEC_PREFIX, CUDA_HOST_IDLE
+
+_METRICS = [
+    ("time", "Time"),
+    ("mpi", "MPI"),
+    ("cuda", "CUDA"),
+    ("cublas", "CUBLAS"),
+    ("cufft", "CUFFT"),
+    ("gpu_exec", "GPU kernel execution"),
+    ("gpu_host_idle", "GPU host idle"),
+    ("calls", "Calls"),
+]
+
+
+def _metric_of(name: str, domains: Dict[str, str]) -> str:
+    if name.startswith(CUDA_EXEC_PREFIX):
+        return "gpu_exec"
+    if name.startswith(CUDA_HOST_IDLE):
+        return "gpu_host_idle"
+    base = name.split("(")[0]
+    return {"MPI": "mpi", "CUDA": "cuda", "CUBLAS": "cublas", "CUFFT": "cufft"}.get(
+        domains.get(base, ""), "time"
+    )
+
+
+@dataclass
+class CubeModel:
+    """In-memory CUBE data: trees + severity values."""
+
+    metrics: List[Tuple[str, str]] = field(default_factory=lambda: list(_METRICS))
+    #: cnode names in id order (flat call tree).
+    cnodes: List[str] = field(default_factory=list)
+    #: (hostname, rank) per process in id order.
+    processes: List[Tuple[str, int]] = field(default_factory=list)
+    #: severity[(metric, cnode_id)] = [value per process].
+    severity: Dict[Tuple[str, int], List[float]] = field(default_factory=dict)
+
+    def value(self, metric: str, cnode_name: str, rank: int) -> float:
+        cid = self.cnodes.index(cnode_name)
+        return self.severity.get((metric, cid), [0.0] * len(self.processes))[rank]
+
+    def metric_total(self, metric: str) -> float:
+        return sum(
+            sum(vals) for (m, _c), vals in self.severity.items() if m == metric
+        )
+
+
+def job_to_cube(job: JobReport) -> CubeModel:
+    model = CubeModel()
+    names = sorted(job.merged_by_name().keys())
+    model.cnodes = names
+    model.processes = [(t.hostname, t.rank) for t in job.tasks]
+    nprocs = len(model.processes)
+    for cid, name in enumerate(names):
+        times = [0.0] * nprocs
+        counts = [0.0] * nprocs
+        for i, task in enumerate(job.tasks):
+            by_name = task.table.by_name()
+            if name in by_name:
+                times[i] = by_name[name].total
+                counts[i] = float(by_name[name].count)
+        metric = _metric_of(name, job.domains)
+        model.severity[(metric, cid)] = times
+        model.severity[("calls", cid)] = counts
+        if metric != "time":
+            model.severity[("time", cid)] = times
+    return model
+
+
+def cube_to_xml(model: CubeModel) -> ET.Element:
+    root = ET.Element("cube", {"version": "3.0"})
+    attr = ET.SubElement(root, "attr", {"key": "CUBE_CT_AGGR", "value": "SUM"})
+    del attr
+    ET.SubElement(ET.SubElement(root, "doc"), "mirrors")
+    metrics_el = ET.SubElement(root, "metrics")
+    metric_ids: Dict[str, int] = {}
+    time_el = None
+    for i, (uniq, disp) in enumerate(model.metrics):
+        parent = metrics_el if uniq in ("time", "calls") else time_el
+        m = ET.SubElement(
+            parent, "metric", {"id": str(i)}
+        )
+        ET.SubElement(m, "disp_name").text = disp
+        ET.SubElement(m, "uniq_name").text = uniq
+        ET.SubElement(m, "dtype").text = "FLOAT" if uniq != "calls" else "INTEGER"
+        metric_ids[uniq] = i
+        if uniq == "time":
+            time_el = m
+    program = ET.SubElement(root, "program")
+    for cid, name in enumerate(model.cnodes):
+        ET.SubElement(
+            program,
+            "region",
+            {"id": str(cid), "name": name, "mod": "", "begin": "-1", "end": "-1"},
+        )
+    for cid, _name in enumerate(model.cnodes):
+        ET.SubElement(program, "cnode", {"id": str(cid), "calleeId": str(cid)})
+    system = ET.SubElement(root, "system")
+    machine = ET.SubElement(system, "machine", {"Id": "0", "name": "dirac"})
+    by_host: Dict[str, List[int]] = {}
+    for pid, (host, _rank) in enumerate(model.processes):
+        by_host.setdefault(host, []).append(pid)
+    for nid, (host, pids) in enumerate(sorted(by_host.items())):
+        node = ET.SubElement(machine, "node", {"Id": str(nid), "name": host})
+        for pid in pids:
+            proc = ET.SubElement(
+                node,
+                "process",
+                {"Id": str(pid), "rank": str(model.processes[pid][1])},
+            )
+            ET.SubElement(proc, "thread", {"Id": str(pid)})
+    severity = ET.SubElement(root, "severity")
+    for (metric, cid), values in sorted(model.severity.items()):
+        matrix = ET.SubElement(
+            severity,
+            "matrix",
+            {"metricId": str(metric_ids[metric]), "cnodeId": str(cid)},
+        )
+        row = ET.SubElement(matrix, "row", {"cnodeId": str(cid)})
+        row.text = " ".join(f"{v:.9g}" for v in values)
+    return root
+
+
+def write_cube(job: JobReport, path: str) -> CubeModel:
+    model = job_to_cube(job)
+    tree = ET.ElementTree(cube_to_xml(model))
+    ET.indent(tree)
+    tree.write(path, encoding="unicode", xml_declaration=True)
+    return model
+
+
+def read_cube(path: str) -> CubeModel:
+    """Minimal CUBE reader for round-trip verification."""
+    root = ET.parse(path).getroot()
+    if root.tag != "cube":
+        raise ValueError("not a CUBE file")
+    model = CubeModel()
+    id_to_uniq: Dict[int, str] = {}
+    for m in root.find("metrics").iter("metric"):
+        uniq = m.findtext("uniq_name")
+        id_to_uniq[int(m.get("id"))] = uniq
+    program = root.find("program")
+    regions = sorted(
+        program.findall("region"), key=lambda r: int(r.get("id"))
+    )
+    model.cnodes = [r.get("name") for r in regions]
+    procs: List[Tuple[int, str, int]] = []
+    for node in root.find("system").find("machine").findall("node"):
+        for proc in node.findall("process"):
+            procs.append((int(proc.get("Id")), node.get("name"), int(proc.get("rank"))))
+    procs.sort()
+    model.processes = [(host, rank) for _pid, host, rank in procs]
+    for matrix in root.find("severity").findall("matrix"):
+        metric = id_to_uniq[int(matrix.get("metricId"))]
+        cid = int(matrix.get("cnodeId"))
+        row = matrix.find("row")
+        values = [float(x) for x in (row.text or "").split()]
+        model.severity[(metric, cid)] = values
+    return model

@@ -1,0 +1,30 @@
+"""CUFFT interposition (paper Section III-D): all 13 entry points."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro.core.wrapper_gen import InterposedAPI, WrapperHooks, generate_wrappers
+from repro.libs.cufft import CUFFT_API
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.libs.cufft import Cufft
+
+
+def wrap_cufft(ipm: "Ipm", cufft: "Cufft") -> InterposedAPI:
+    def size_refine(_args: tuple, _kwargs: dict, _result: Any):
+        name, nbytes = cufft.last_call_info
+        return "", (nbytes or None)
+
+    hooks: Dict[str, WrapperHooks] = {
+        spec.name: WrapperHooks(refine=size_refine) for spec in CUFFT_API
+    }
+    return generate_wrappers(
+        ipm,
+        cufft,
+        [c.name for c in CUFFT_API],
+        domain="CUFFT",
+        hooks=hooks,
+        linkage=ipm.config.linkage,
+    )

@@ -1,0 +1,164 @@
+"""The performance data hash table (paper Fig. 1).
+
+An open-addressing table of fixed capacity, as in real IPM: linear
+probing from ``stable_hash(sig) % capacity``; each slot holds the
+event signature and its running statistics {count, total, min, max}
+("for each hash table entry IPM stores the number of calls made and
+the average duration, as well as the minimum and maximum", §II).
+
+If the table fills up, further *new* signatures go to an overflow
+dict (counted, so tests and reports can flag it) — real IPM's
+behaviour under overflow is implementation-defined; losing data
+silently would be worse for a reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.sig import EventSignature
+
+
+@dataclass
+class CallStats:
+    """Running statistics of one event signature."""
+
+    count: int = 0
+    total: float = 0.0
+    tmin: float = float("inf")
+    tmax: float = 0.0
+
+    def update(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        self.count += 1
+        self.total += duration
+        if duration < self.tmin:
+            self.tmin = duration
+        if duration > self.tmax:
+            self.tmax = duration
+
+    @property
+    def avg(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "CallStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.tmin = min(self.tmin, other.tmin)
+        self.tmax = max(self.tmax, other.tmax)
+
+    def copy(self) -> "CallStats":
+        return CallStats(self.count, self.total, self.tmin, self.tmax)
+
+
+class PerfHashTable:
+    """Fixed-capacity open-addressing table of event statistics."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[Tuple[EventSignature, CallStats]]] = (
+            [None] * capacity
+        )
+        self._overflow: Dict[EventSignature, CallStats] = {}
+        self.entries = 0
+        self.collisions = 0
+        self.overflowed = 0
+
+    def _probe(self, sig: EventSignature) -> Optional[int]:
+        """Index of the slot holding ``sig`` or the first free slot;
+        None when the table is full and ``sig`` absent."""
+        start = sig.stable_hash() % self.capacity
+        for step in range(self.capacity):
+            idx = (start + step) % self.capacity
+            slot = self._slots[idx]
+            if slot is None:
+                if step:
+                    self.collisions += 1
+                return idx
+            if slot[0] == sig:
+                return idx
+        return None
+
+    def update(self, sig: EventSignature, duration: float) -> CallStats:
+        """Record one observation of ``sig``; returns its stats entry."""
+        idx = self._probe(sig)
+        if idx is None:
+            stats = self._overflow.get(sig)
+            if stats is None:
+                stats = CallStats()
+                self._overflow[sig] = stats
+                self.overflowed += 1
+            stats.update(duration)
+            return stats
+        slot = self._slots[idx]
+        if slot is None:
+            stats = CallStats()
+            self._slots[idx] = (sig, stats)
+            self.entries += 1
+        else:
+            stats = slot[1]
+        stats.update(duration)
+        return stats
+
+    def get(self, sig: EventSignature) -> Optional[CallStats]:
+        idx = self._probe(sig)
+        if idx is not None:
+            slot = self._slots[idx]
+            if slot is not None and slot[0] == sig:
+                return slot[1]
+            return None
+        return self._overflow.get(sig)
+
+    def items(self) -> Iterator[Tuple[EventSignature, CallStats]]:
+        for slot in self._slots:
+            if slot is not None:
+                yield slot
+        yield from self._overflow.items()
+
+    def __len__(self) -> int:
+        return self.entries + len(self._overflow)
+
+    # -- aggregation helpers -------------------------------------------------
+
+    def by_name(self) -> Dict[str, CallStats]:
+        """Collapse byte/callsite attributes: one entry per call name."""
+        out: Dict[str, CallStats] = {}
+        for sig, stats in self.items():
+            agg = out.get(sig.name)
+            if agg is None:
+                out[sig.name] = stats.copy()
+            else:
+                agg.merge(stats)
+        return out
+
+    def total_time(self, prefix: str = "") -> float:
+        """Summed time over signatures whose name starts with ``prefix``."""
+        return sum(
+            stats.total for sig, stats in self.items() if sig.name.startswith(prefix)
+        )
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(
+            (sig.nbytes or 0) * stats.count
+            for sig, stats in self.items()
+            if sig.name.startswith(prefix)
+        )
+
+    def merge(self, other: "PerfHashTable") -> None:
+        """Fold another table in (cross-rank aggregation)."""
+        for sig, stats in other.items():
+            mine = self.get(sig)
+            if mine is None:
+                idx = self._probe(sig)
+                if idx is None or self._slots[idx] is not None:
+                    ov = self._overflow.setdefault(sig, CallStats())
+                    ov.merge(stats)
+                    continue
+                mine = CallStats()
+                self._slots[idx] = (sig, mine)
+                self.entries += 1
+            mine.merge(stats)

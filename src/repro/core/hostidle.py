@@ -1,0 +1,153 @@
+"""Implicit host blocking: identification and measurement (§III-C).
+
+Identification (the paper's microbenchmark): *"we identified the set
+of CUDA operations that exhibit the implicit blocking behavior using a
+microbenchmark which exercises each call and compares the timing with
+a version in which we first execute a cudaStreamSynchronize.  The
+identified set of calls consists of all versions of synchronous
+memory related operations, with the notable exception of cudaMemset
+and cuMemset."*
+
+:func:`identify_blocking_calls` runs that microbenchmark against a
+scratch simulated device, so the set is *discovered* from runtime
+behaviour rather than asserted; memset's exception falls out of the
+simulated runtime's semantics.
+
+Measurement: the wrapper of an identified call issues a
+``cudaStreamSynchronize`` for the affected stream first and times it
+separately; the wait is reported as the pseudo-event
+``@CUDA_HOST_IDLE``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+import numpy as np
+
+from repro.cuda.device import Device
+from repro.cuda.costmodel import GpuTimingModel
+from repro.cuda.errors import cudaMemcpyKind
+from repro.cuda.kernel import Kernel
+from repro.cuda.memory import HostRef
+from repro.cuda.runtime import Runtime
+from repro.simt.simulator import Simulator
+
+K = cudaMemcpyKind
+
+#: how long a call must stall (relative to the pending kernel) to count
+#: as implicitly blocking in the microbenchmark.
+_BLOCKING_FRACTION = 0.5
+
+#: default probe-kernel duration used by the microbenchmark, seconds.
+_PROBE_KERNEL = 10e-3
+
+_cached_blocking_set: Optional[Set[str]] = None
+
+
+def _candidate_exercises() -> Dict[str, tuple]:
+    """The call set the microbenchmark exercises.
+
+    Each entry is ``name -> (setup, call)``: *setup* runs before the
+    probe kernel is launched (allocations, symbol registration), and
+    *call* is the single API call being probed for implicit blocking.
+    """
+    nbytes = 4096
+
+    def alloc(rt: Runtime):
+        _, ptr = rt.cudaMalloc(nbytes)
+        return ptr
+
+    return {
+        "cudaMemcpy(H2D)": (
+            alloc,
+            lambda rt, ptr: rt.cudaMemcpy(
+                ptr, HostRef(nbytes), nbytes, K.cudaMemcpyHostToDevice
+            ),
+        ),
+        "cudaMemcpy(D2H)": (
+            alloc,
+            lambda rt, ptr: rt.cudaMemcpy(
+                HostRef(nbytes), ptr, nbytes, K.cudaMemcpyDeviceToHost
+            ),
+        ),
+        "cudaMemcpy(D2D)": (
+            lambda rt: (alloc(rt), alloc(rt)),
+            lambda rt, ptrs: rt.cudaMemcpy(
+                ptrs[1], ptrs[0], nbytes, K.cudaMemcpyDeviceToDevice
+            ),
+        ),
+        "cudaMemcpyToSymbol": (
+            None,
+            lambda rt, _: rt.cudaMemcpyToSymbol(
+                "probe_sym", HostRef(nbytes), nbytes
+            ),
+        ),
+        "cudaMemcpyFromSymbol": (
+            lambda rt: rt.cudaMemcpyToSymbol("probe_sym2", HostRef(nbytes), nbytes),
+            lambda rt, _: rt.cudaMemcpyFromSymbol(
+                HostRef(nbytes), "probe_sym2", nbytes
+            ),
+        ),
+        "cudaMemset": (
+            alloc,
+            lambda rt, ptr: rt.cudaMemset(ptr, 0, nbytes),
+        ),
+        "cudaMemcpyAsync": (
+            lambda rt: (alloc(rt), rt.cudaStreamCreate()[1]),
+            lambda rt, s: rt.cudaMemcpyAsync(
+                s[0], HostRef(nbytes), nbytes, K.cudaMemcpyHostToDevice, s[1]
+            ),
+        ),
+    }
+
+
+def _probe_call(setup, call, presync: bool) -> float:
+    """Time the probed call behind a pending kernel, on a scratch sim."""
+    sim = Simulator()
+    timing = GpuTimingModel()
+    timing.context_init_mean = 0.0
+    timing.context_init_sigma = 0.0
+    timing.kernel_jitter_cv = 0.0
+    timing.launch_gap_sigma = 0.0
+    dev = Device(sim, timing=timing, rng=np.random.default_rng(0))
+    rt = Runtime(sim, [dev], process_name="hostidle-probe")
+    measured = {}
+
+    def body() -> None:
+        rt.cudaMalloc(64)  # context up-front
+        state = setup(rt) if setup is not None else None
+        rt.launch(Kernel("probe", nominal_duration=_PROBE_KERNEL), 1, 1)
+        if presync:
+            rt.cudaStreamSynchronize(None)
+        t0 = sim.now
+        call(rt, state)
+        measured["t"] = sim.now - t0
+
+    sim.spawn(body, name="probe")
+    sim.run()
+    return measured["t"]
+
+
+def identify_blocking_calls(force: bool = False) -> Set[str]:
+    """Run the §III-C microbenchmark; returns the implicitly-blocking set.
+
+    The result is cached module-wide (the identification is a one-time
+    offline step in the paper's workflow too).
+    """
+    global _cached_blocking_set
+    if _cached_blocking_set is not None and not force:
+        return set(_cached_blocking_set)
+    blocking: Set[str] = set()
+    for name, (setup, call) in _candidate_exercises().items():
+        plain = _probe_call(setup, call, presync=False)
+        synced = _probe_call(setup, call, presync=True)
+        if plain - synced > _BLOCKING_FRACTION * _PROBE_KERNEL:
+            blocking.add(name)
+    _cached_blocking_set = set(blocking)
+    return blocking
+
+
+def blocking_wrapper_names(blocking_set: Set[str]) -> Set[str]:
+    """Collapse direction-suffixed probe names to wrapper call names."""
+    return {name.split("(")[0] for name in blocking_set}

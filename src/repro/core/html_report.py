@@ -1,0 +1,109 @@
+"""HTML report output of ``ipm_parse`` (paper Section II).
+
+*"it can generate an HTML based webpage (which is well-suited for
+permanent storage of the profiling report)"* — a self-contained static
+page: job header, per-domain summary, the function table, and the
+per-kernel GPU breakdown.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.core import metrics
+from repro.core.report import JobReport
+
+_CSS = """
+body { font-family: monospace; margin: 2em; background: #fafafa; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; margin-top: .5em; }
+th, td { border: 1px solid #999; padding: 2px 10px; text-align: right; }
+th { background: #ddd; } td.name { text-align: left; }
+.header td { text-align: left; border: none; }
+"""
+
+
+def _row(cells: List[str], tag: str = "td", classes=None) -> str:
+    classes = classes or [""] * len(cells)
+    tds = "".join(
+        f"<{tag}{' class=' + chr(34) + c + chr(34) if c else ''}>{cell}</{tag}>"
+        for cell, c in zip(cells, classes)
+    )
+    return f"<tr>{tds}</tr>"
+
+
+def job_to_html(job: JobReport, title: str = "IPM profile") -> str:
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<h2>Job</h2><table class='header'>",
+        _row(["command", html.escape(job.command)]),
+        _row(["mpi_tasks", f"{job.ntasks} on {len(job.hosts())} nodes"]),
+        _row(["wallclock", f"{job.wallclock:.2f} s"]),
+        _row(["%comm", f"{job.comm_percent():.2f}"]),
+        _row(["gpu utilization", f"{metrics.gpu_utilization(job):.2f} %"]),
+        _row(["host idle", f"{metrics.host_idle_percent(job):.4f} %"]),
+        "</table>",
+        "<h2>Domains</h2><table>",
+        _row(["domain", "total [s]", "avg [s]", "min [s]", "max [s]"], "th"),
+    ]
+    for domain in ("MPI", "CUDA", "CUBLAS", "CUFFT"):
+        if domain not in set(job.domains.values()):
+            continue
+        times = job.domain_times(domain)
+        parts.append(
+            _row(
+                [
+                    html.escape(domain),
+                    f"{sum(times):.2f}",
+                    f"{sum(times) / len(times):.2f}",
+                    f"{min(times):.2f}",
+                    f"{max(times):.2f}",
+                ],
+                classes=["name", "", "", "", ""],
+            )
+        )
+    parts += [
+        "</table>",
+        "<h2>Functions</h2><table>",
+        _row(["function", "time [s]", "count", "%wall"], "th"),
+    ]
+    wall_total = sum(t.wallclock for t in job.tasks)
+    for name, stats in sorted(
+        job.merged_by_name().items(), key=lambda kv: -kv[1].total
+    ):
+        pct = 100.0 * stats.total / wall_total if wall_total else 0.0
+        parts.append(
+            _row(
+                [html.escape(name), f"{stats.total:.2f}", str(stats.count),
+                 f"{pct:.2f}"],
+                classes=["name", "", "", ""],
+            )
+        )
+    parts.append("</table>")
+    shares = metrics.kernel_share(job)
+    if shares:
+        imb = metrics.kernel_imbalance(job)
+        parts += [
+            "<h2>GPU kernels</h2><table>",
+            _row(["kernel", "share of GPU time", "imbalance (max-avg)/avg"], "th"),
+        ]
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            parts.append(
+                _row(
+                    [html.escape(name), f"{100 * share:.2f} %",
+                     f"{100 * imb[name].imbalance:.1f} %"],
+                    classes=["name", "", ""],
+                )
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html(job: JobReport, path: str, title: str = "IPM profile") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(job_to_html(job, title))

@@ -1,0 +1,168 @@
+"""The kernel timing table (paper Section III-B).
+
+*"We use a statically allocated kernel timing table where we record
+the start event, the stop event, the stream in which the kernel
+executes, and a pointer to the kernel function."*
+
+Life cycle per monitored launch (Fig. 7):
+
+1. the ``cudaLaunch`` wrapper's *pre* hook records a start event on
+   the launch's stream ((b) in Fig. 7);
+2. the *post* hook records a stop event and fills a free slot
+   ((c), KTT insert);
+3. completion is checked lazily — by default only inside
+   device-to-host transfer wrappers, because "at least one such memory
+   transfer has to occur after the kernel launch" and checking on
+   every call "could cause high overheads";
+4. a completed slot yields ``cudaEventElapsedTime(start, stop)``,
+   recorded as ``@CUDA_EXEC_STRMxx`` plus a per-kernel detail record,
+   and the slot is freed ((h)).
+
+The check policy is pluggable (``on_d2h`` vs ``on_every_call``) so the
+overhead trade-off the paper argues for can be measured as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.sig import EventSignature, cuda_exec_name
+from repro.cuda.errors import cudaError_t
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.cuda.event import CudaEvent
+    from repro.cuda.kernel import Kernel
+    from repro.cuda.runtime import Runtime
+    from repro.cuda.stream import Stream
+
+
+@dataclass
+class KttSlot:
+    """One entry of the statically allocated table."""
+
+    index: int
+    start_event: Optional["CudaEvent"] = None
+    stop_event: Optional["CudaEvent"] = None
+    stream_id: int = 0
+    kernel: Optional["Kernel"] = None
+    occupied: bool = False
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Per-kernel detail kept for the XML log's per-kernel breakdown."""
+
+    kernel: str
+    stream_id: int
+    duration: float
+
+
+class KernelTimingTable:
+    """Statically allocated table of in-flight kernel timings."""
+
+    def __init__(self, ipm: "Ipm", rt: "Runtime", capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.ipm = ipm
+        self.rt = rt  # the *raw* runtime — IPM-internal calls bypass wrappers
+        self.slots: List[KttSlot] = [KttSlot(i) for i in range(capacity)]
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        #: launches that could not be tracked (table full even after a check).
+        self.dropped = 0
+        self.kernels_timed = 0
+        self._pending_start: Optional["CudaEvent"] = None
+        self._pending_stream: Optional["Stream"] = None
+
+    # -- launch-side hooks ------------------------------------------------
+
+    def _launch_stream(self):
+        """The stream of the launch being processed (from the config stack)."""
+        if self.rt._config_stack:
+            return self.rt._config_stack[-1][0].stream
+        return None
+
+    def on_pre_launch(self) -> None:
+        """Record the start event just before the real ``cudaLaunch``."""
+        stream = self._launch_stream()
+        err, ev = self.rt.cudaEventCreate()
+        if err != cudaError_t.cudaSuccess:  # pragma: no cover - cannot fail
+            return
+        self.rt.cudaEventRecord(ev, stream)
+        self._pending_start = ev
+        self._pending_stream = stream
+
+    def on_post_launch(self, kernel: "Kernel", launch_ok: bool = True) -> None:
+        """Record the stop event and occupy a table slot.
+
+        ``launch_ok=False`` (the real ``cudaLaunch`` returned an error)
+        abandons the pending start event instead — otherwise the
+        bracketing events would time a kernel that never ran.
+        """
+        start = self._pending_start
+        stream = self._pending_stream
+        self._pending_start = None
+        self._pending_stream = None
+        if start is None:
+            return
+        if not launch_ok:
+            self.rt.cudaEventDestroy(start)
+            return
+        err, stop = self.rt.cudaEventCreate()
+        if err != cudaError_t.cudaSuccess:  # pragma: no cover
+            return
+        self.rt.cudaEventRecord(stop, stream)
+        self.ipm.overhead.charge_ktt()
+        if not self._free:
+            # try to reclaim finished slots before giving up
+            self.check_completions()
+        if not self._free:
+            self.dropped += 1
+            return
+        idx = self._free.pop()
+        slot = self.slots[idx]
+        slot.start_event = start
+        slot.stop_event = stop
+        slot.stream_id = stream.stream_id if stream is not None else 0
+        slot.kernel = kernel
+        slot.occupied = True
+
+    # -- completion checking ------------------------------------------------
+
+    def check_completions(self) -> int:
+        """Harvest finished kernels; returns how many were recorded."""
+        harvested = 0
+        for slot in self.slots:
+            if not slot.occupied:
+                continue
+            if self.rt.cudaEventQuery(slot.stop_event) != cudaError_t.cudaSuccess:
+                continue
+            err, ms = self.rt.cudaEventElapsedTime(slot.start_event, slot.stop_event)
+            if err == cudaError_t.cudaSuccess and ms is not None:
+                duration = ms * 1e-3
+                name = slot.kernel.name if slot.kernel is not None else "?"
+                self.ipm.record_kernel(
+                    name, slot.stream_id, duration,
+                    start=slot.start_event.timestamp,
+                )
+                self.kernels_timed += 1
+                harvested += 1
+            self.rt.cudaEventDestroy(slot.start_event)
+            self.rt.cudaEventDestroy(slot.stop_event)
+            slot.start_event = slot.stop_event = None
+            slot.kernel = None
+            slot.occupied = False
+            self._free.append(slot.index)
+        return harvested
+
+    def drain(self) -> int:
+        """Synchronize the device and harvest everything (at finalize)."""
+        if any(s.occupied for s in self.slots):
+            self.rt.cudaThreadSynchronize()
+            return self.check_completions()
+        return 0
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for s in self.slots if s.occupied)

@@ -1,0 +1,92 @@
+"""Derived application-level metrics (paper Sections II, IV-C/D/E).
+
+IPM's goal is "to obtain the complete runtime event inventory and to
+derive high-level application characteristics from it" — these are
+those characteristics: communication percentage, GPU utilization,
+host-idle fraction, and cross-rank load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.report import JobReport
+from repro.core.sig import CUDA_EXEC_PREFIX, CUDA_HOST_IDLE
+
+
+@dataclass(frozen=True)
+class ImbalanceStat:
+    """Cross-rank balance of one kernel/function."""
+
+    name: str
+    mean: float
+    tmin: float
+    tmax: float
+
+    @property
+    def imbalance(self) -> float:
+        """(max − mean) / mean — "imbalances of up to a factor of 55%"
+        in the paper's Amber analysis (§IV-E)."""
+        return (self.tmax - self.mean) / self.mean if self.mean > 0 else 0.0
+
+
+def comm_percent(job: JobReport) -> float:
+    """%comm of the banner header."""
+    return job.comm_percent()
+
+
+def gpu_utilization(job: JobReport) -> float:
+    """GPU kernel execution time as a fraction of wallclock, averaged
+    over tasks (Amber: "quite high GPU utilization (35.96% of total
+    wallclock execution time)")."""
+    fractions = [
+        t.gpu_exec_time() / t.wallclock if t.wallclock else 0.0 for t in job.tasks
+    ]
+    return 100.0 * sum(fractions) / len(fractions)
+
+
+def host_idle_percent(job: JobReport) -> float:
+    """``@CUDA_HOST_IDLE`` as a fraction of wallclock (Amber: 0.08%)."""
+    fractions = [
+        t.host_idle_time() / t.wallclock if t.wallclock else 0.0 for t in job.tasks
+    ]
+    return 100.0 * sum(fractions) / len(fractions)
+
+
+def kernel_time_by_rank(job: JobReport) -> Dict[str, List[float]]:
+    """Per-kernel GPU time per rank, from the kernel detail records."""
+    kernels: Dict[str, List[float]] = {}
+    for i, task in enumerate(job.tasks):
+        for rec in task.kernel_details:
+            kernels.setdefault(rec.kernel, [0.0] * job.ntasks)[i] += rec.duration
+    return kernels
+
+
+def kernel_share(job: JobReport) -> Dict[str, float]:
+    """Fraction of total GPU time per kernel (Amber's 37/18/10/8/7%)."""
+    per_rank = kernel_time_by_rank(job)
+    totals = {k: sum(v) for k, v in per_rank.items()}
+    grand = sum(totals.values())
+    if grand == 0:
+        return {k: 0.0 for k in totals}
+    return {k: v / grand for k, v in totals.items()}
+
+
+def kernel_imbalance(job: JobReport) -> Dict[str, ImbalanceStat]:
+    """Cross-rank imbalance per kernel."""
+    out: Dict[str, ImbalanceStat] = {}
+    for name, per_rank in kernel_time_by_rank(job).items():
+        mean = sum(per_rank) / len(per_rank)
+        out[name] = ImbalanceStat(name, mean, min(per_rank), max(per_rank))
+    return out
+
+
+def function_time_stats(job: JobReport, name: str) -> ImbalanceStat:
+    """[total]/avg/min/max of one call name across ranks."""
+    times = []
+    for t in job.tasks:
+        by_name = t.table.by_name()
+        times.append(by_name[name].total if name in by_name else 0.0)
+    mean = sum(times) / len(times)
+    return ImbalanceStat(name, mean, min(times), max(times))

@@ -1,0 +1,65 @@
+"""MPI interposition — IPM's original domain, wired like the CUDA one.
+
+Byte attributes follow IPM's conventions: sends and collectives record
+the payload size passed in; receives record the size from the
+completion status.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro.core.wrapper_gen import InterposedAPI, WrapperHooks, generate_wrappers
+from repro.mpi.datatypes import payload_nbytes
+from repro.mpi.spec import MPI_API
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.mpi.comm import RankComm
+
+
+def _send_refine(args: tuple, kwargs: dict, _result: Any):
+    data = kwargs.get("data", args[0] if args else None)
+    return "", payload_nbytes(data, kwargs.get("nbytes"))
+
+
+def _recv_refine(_args: tuple, _kwargs: dict, result: Any):
+    if isinstance(result, tuple) and len(result) == 2 and hasattr(result[1], "nbytes"):
+        return "", result[1].nbytes
+    return "", None
+
+
+def _wait_refine(_args: tuple, _kwargs: dict, result: Any):
+    nbytes = payload_nbytes(result) if result is not None else 0
+    return "", nbytes
+
+
+def wrap_mpi(ipm: "Ipm", comm: "RankComm") -> InterposedAPI:
+    def pcontrol_pre(args: tuple, kwargs: dict):
+        level = kwargs.get("level", args[0] if args else 0)
+        label = kwargs.get("label", args[1] if len(args) > 1 else "")
+        if level == 1:
+            ipm.region_enter(label or "user_region")
+        elif level == -1:
+            ipm.region_exit()
+        return None
+
+    hooks: Dict[str, WrapperHooks] = {
+        "MPI_Pcontrol": WrapperHooks(pre=pcontrol_pre),
+    }
+    for spec in MPI_API:
+        if not spec.has_bytes:
+            continue
+        if spec.name in ("MPI_Recv", "MPI_Sendrecv"):
+            hooks[spec.name] = WrapperHooks(refine=_recv_refine)
+        else:
+            hooks[spec.name] = WrapperHooks(refine=_send_refine)
+    hooks["MPI_Wait"] = WrapperHooks(refine=_wait_refine)
+    return generate_wrappers(
+        ipm,
+        comm,
+        [c.name for c in MPI_API],
+        domain="MPI",
+        hooks=hooks,
+        linkage=ipm.config.linkage,
+    )

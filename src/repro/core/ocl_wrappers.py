@@ -1,0 +1,162 @@
+"""OpenCL interposition (paper §VI): the same generator, a new spec.
+
+Kernel timing uses OpenCL's native event profiling rather than CUDA's
+event API: the ``clEnqueueNDRangeKernel`` wrapper keeps the returned
+event; completed kernels are harvested in blocking
+``clEnqueueReadBuffer`` calls (the same policy as the CUDA KTT) and
+recorded as ``@OCL_EXEC_QUEUE00``-style pseudo-events.  Host-idle
+separation probes with ``clFinish`` on the affected queue before
+blocking transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.sig import EventSignature
+from repro.core.wrapper_gen import InterposedAPI, WrapperHooks, generate_wrappers
+from repro.ocl.spec import OCL_API
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.ocl.api import ClEvent, OpenCL
+
+#: analogous to the CUDA idle threshold in cuda_wrappers.
+_IDLE_THRESHOLD = 2e-6
+
+
+def ocl_exec_name(queue_index: int) -> str:
+    return f"@OCL_EXEC_QUEUE{queue_index:02d}"
+
+
+@dataclass
+class OclKernelTimer:
+    """The OpenCL analogue of the kernel timing table: pending
+    (event, kernel-name, queue) triples harvested lazily."""
+
+    ipm: "Ipm"
+    capacity: int = 256
+    pending: List[tuple] = field(default_factory=list)
+    queue_ids: Dict[int, int] = field(default_factory=dict)
+    kernels_timed: int = 0
+    dropped: int = 0
+
+    def queue_index(self, queue: Any) -> int:
+        key = id(queue)
+        if key not in self.queue_ids:
+            self.queue_ids[key] = len(self.queue_ids)
+        return self.queue_ids[key]
+
+    def on_launch(self, event: "ClEvent", kernel_name: str, queue: Any) -> None:
+        self.ipm.overhead.charge_ktt()
+        if len(self.pending) >= self.capacity:
+            self.check_completions()
+        if len(self.pending) >= self.capacity:
+            self.dropped += 1
+            return
+        self.pending.append((event, kernel_name, self.queue_index(queue)))
+
+    def check_completions(self) -> int:
+        harvested = 0
+        still = []
+        for event, name, qidx in self.pending:
+            if event.complete:
+                duration = event.end_time - event.start_time
+                self.ipm.update(
+                    EventSignature(ocl_exec_name(qidx), self.ipm.current_region),
+                    duration,
+                    domain="OPENCL",
+                )
+                from repro.core.ktt import KernelRecord
+
+                self.ipm.kernel_details.append(KernelRecord(name, qidx, duration))
+                self.kernels_timed += 1
+                harvested += 1
+            else:
+                still.append((event, name, qidx))
+        self.pending = still
+        return harvested
+
+    def drain(self) -> int:
+        """Harvest everything (events must already be complete)."""
+        return self.check_completions()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.pending)
+
+
+def wrap_opencl(ipm: "Ipm", ocl: "OpenCL") -> InterposedAPI:
+    """Interpose the OpenCL host API on behalf of ``ipm``."""
+    sim = ipm.sim
+    timer: Optional[OclKernelTimer] = None
+    if ipm.config.kernel_timing:
+        timer = OclKernelTimer(ipm, capacity=ipm.config.ktt_capacity)
+        ipm.ocl_timer = timer
+
+    def _arg(args, kwargs, index, name, default=None):
+        if name in kwargs:
+            return kwargs[name]
+        return args[index] if len(args) > index else default
+
+    def launch_post(_pre, args, kwargs, result) -> None:
+        if timer is None:
+            return
+        status, event = result
+        if status != 0 or event is None:
+            return
+        kern = _arg(args, kwargs, 1, "kern")
+        name = kern.kernel.name if kern is not None else "?"
+        timer.on_launch(event, name, _arg(args, kwargs, 0, "queue"))
+
+    def hostidle_pre(args, kwargs):
+        if not ipm.config.host_idle:
+            return None
+        queue = _arg(args, kwargs, 0, "queue")
+        blocking = _arg(args, kwargs, 2, "blocking", True)
+        if queue is None or not blocking:
+            return None
+        t0 = sim.now
+        ocl.clFinish(queue)  # raw probe, not recorded
+        idle = sim.now - t0
+        if idle > _IDLE_THRESHOLD:
+            ipm.record_host_idle(idle)
+        ipm.overhead.charge_hostidle()
+        return None
+
+    def read_post(_pre, args, kwargs, _result) -> None:
+        if timer is not None:
+            blocking = _arg(args, kwargs, 2, "blocking", True)
+            if blocking:
+                timer.check_completions()
+
+    def xfer_refine(args, kwargs, result):
+        nbytes = _arg(args, kwargs, 4, "nbytes")
+        if nbytes is None:
+            buf = _arg(args, kwargs, 1, "buf")
+            nbytes = getattr(buf, "size", None)
+        return "", nbytes
+
+    def buffer_refine(args, kwargs, _result):
+        size = _arg(args, kwargs, 1, "size")
+        return "", size if isinstance(size, int) else None
+
+    hooks: Dict[str, WrapperHooks] = {
+        "clEnqueueNDRangeKernel": WrapperHooks(post=launch_post),
+        "clEnqueueReadBuffer": WrapperHooks(
+            pre=hostidle_pre, post=read_post, refine=xfer_refine
+        ),
+        "clEnqueueWriteBuffer": WrapperHooks(
+            pre=hostidle_pre, refine=xfer_refine
+        ),
+        "clCreateBuffer": WrapperHooks(refine=buffer_refine),
+    }
+    return generate_wrappers(
+        ipm,
+        ocl,
+        [c.name for c in OCL_API],
+        domain="OPENCL",
+        hooks=hooks,
+        linkage=ipm.config.linkage,
+    )

@@ -1,0 +1,178 @@
+"""Component-PAPI-style GPU counters (paper §VI, first future-work item).
+
+*"The integration of GPU hardware performance counters would be useful
+for gaining more insight into kernel behavior than is possible from
+timing information only.  …  IPM already supports Component PAPI and
+it would thus be easy to leverage a GPU counter component."*
+
+This module provides that component.  Since the simulated device has
+no hardware counters, the component derives **synthetic counters**
+from device-side activity (the same information a CUPTI-backed PAPI
+component would surface):
+
+=============================  ========================================
+event name                     meaning
+=============================  ========================================
+``cuda:::kernels_executed``    retired kernel launches
+``cuda:::kernel_time_ns``      summed kernel execution time
+``cuda:::sm_busy_ns``          occupancy-weighted kernel time
+``cuda:::memcpy_h2d_bytes``    host→device bytes moved
+``cuda:::memcpy_d2h_bytes``    device→host bytes moved
+``cuda:::memcpy_count``        transfers completed
+=============================  ========================================
+
+The API surface follows PAPI-C conventions (integer return codes,
+event sets); :meth:`Ipm.attach_gpu_counters
+<repro.core.ipm.Ipm>` is provided via :func:`attach_to_ipm`, which
+folds the final counter values into the task report (and hence the XML
+log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.cuda.context import Context
+    from repro.cuda.ops import KernelOp, MemcpyOp
+
+PAPI_OK = 0
+PAPI_EINVAL = -1
+PAPI_ENOEVNT = -7
+PAPI_VER_CURRENT = 5 << 24  # mimics PAPI's packed version
+
+#: the events the CUDA component exposes.
+CUDA_COMPONENT_EVENTS = [
+    "cuda:::kernels_executed",
+    "cuda:::kernel_time_ns",
+    "cuda:::sm_busy_ns",
+    "cuda:::memcpy_h2d_bytes",
+    "cuda:::memcpy_d2h_bytes",
+    "cuda:::memcpy_count",
+]
+
+
+class GpuCounterComponent:
+    """The device-side collector (what CUPTI would feed in real PAPI)."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {e: 0.0 for e in CUDA_COMPONENT_EVENTS}
+        self._attached = False
+
+    def attach(self, ctx: "Context") -> None:
+        if self._attached:
+            raise RuntimeError("component already attached")
+        self._attached = True
+        ctx.add_kernel_listener(self._on_kernel)
+        ctx.add_memcpy_listener(self._on_memcpy)
+
+    def _on_kernel(self, op: "KernelOp", start: float, end: float) -> None:
+        dur_ns = (end - start) * 1e9
+        self._totals["cuda:::kernels_executed"] += 1
+        self._totals["cuda:::kernel_time_ns"] += dur_ns
+        self._totals["cuda:::sm_busy_ns"] += dur_ns * op.kernel.occupancy
+
+    def _on_memcpy(self, op: "MemcpyOp", start: float, end: float) -> None:
+        self._totals["cuda:::memcpy_count"] += 1
+        if op.direction == "h2d":
+            self._totals["cuda:::memcpy_h2d_bytes"] += op.nbytes
+        elif op.direction == "d2h":
+            self._totals["cuda:::memcpy_d2h_bytes"] += op.nbytes
+
+    def value(self, event: str) -> int:
+        return int(self._totals[event])
+
+
+@dataclass
+class _EventSet:
+    events: List[str] = field(default_factory=list)
+    running: bool = False
+    #: counter values at PAPI_start (for delta semantics).
+    baseline: Dict[str, int] = field(default_factory=dict)
+    stopped_values: Optional[List[int]] = None
+
+
+class Papi:
+    """A PAPI-C-style facade over GPU counter components."""
+
+    def __init__(self, component: GpuCounterComponent) -> None:
+        self.component = component
+        self._initialized = False
+        self._eventsets: Dict[int, _EventSet] = {}
+        self._next_id = 1
+
+    # -- PAPI-C surface ---------------------------------------------------
+
+    def PAPI_library_init(self, version: int = PAPI_VER_CURRENT) -> int:
+        if version != PAPI_VER_CURRENT:
+            return PAPI_EINVAL
+        self._initialized = True
+        return PAPI_VER_CURRENT
+
+    def PAPI_create_eventset(self):
+        if not self._initialized:
+            return PAPI_EINVAL, None
+        es_id = self._next_id
+        self._next_id += 1
+        self._eventsets[es_id] = _EventSet()
+        return PAPI_OK, es_id
+
+    def PAPI_add_event(self, es_id: int, event: str) -> int:
+        es = self._eventsets.get(es_id)
+        if es is None or es.running:
+            return PAPI_EINVAL
+        if event not in CUDA_COMPONENT_EVENTS:
+            return PAPI_ENOEVNT
+        if event not in es.events:
+            es.events.append(event)
+        return PAPI_OK
+
+    def PAPI_start(self, es_id: int) -> int:
+        es = self._eventsets.get(es_id)
+        if es is None or es.running or not es.events:
+            return PAPI_EINVAL
+        es.running = True
+        es.baseline = {e: self.component.value(e) for e in es.events}
+        return PAPI_OK
+
+    def PAPI_read(self, es_id: int):
+        es = self._eventsets.get(es_id)
+        if es is None or not es.running:
+            return PAPI_EINVAL, None
+        return PAPI_OK, [
+            self.component.value(e) - es.baseline[e] for e in es.events
+        ]
+
+    def PAPI_stop(self, es_id: int):
+        code, values = self.PAPI_read(es_id)
+        if code != PAPI_OK:
+            return code, None
+        es = self._eventsets[es_id]
+        es.running = False
+        es.stopped_values = values
+        return PAPI_OK, values
+
+    def PAPI_cleanup_eventset(self, es_id: int) -> int:
+        es = self._eventsets.get(es_id)
+        if es is None or es.running:
+            return PAPI_EINVAL
+        es.events.clear()
+        return PAPI_OK
+
+
+def attach_to_ipm(ipm: "Ipm", rt) -> Papi:
+    """Wire a GPU counter component into a monitored process.
+
+    The component attaches to the raw runtime's context; at
+    ``ipm.finalize()`` IPM folds the totals into the task report (and
+    the XML log), mirroring how IPM reports PAPI counters.
+    """
+    raw = getattr(rt, "_raw", rt)
+    component = GpuCounterComponent()
+    component.attach(raw.context)
+    papi = Papi(component)
+    papi.PAPI_library_init()
+    ipm.gpu_counters = component
+    return papi

@@ -1,0 +1,66 @@
+"""``ipm_parse``: consume the XML profiling log, produce reports.
+
+Paper Section II: *"The XML file can then be used by the IPM parser
+(ipm_parse) to produce a number of different output formats.  The
+parser can re-produce the banner, it can generate an HTML based
+webpage …, and it can convert the IPM profile into the CUBE format."*
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.banner import banner
+from repro.core.cube import write_cube
+from repro.core.html_report import write_html
+from repro.core.report import JobReport
+from repro.core.xmlog import read_xml
+
+
+def parse_log(path: str) -> JobReport:
+    """Load an IPM XML log."""
+    return read_xml(path)
+
+
+def to_banner(job: JobReport, top: Optional[int] = 20) -> str:
+    return banner(job, top)
+
+
+def to_html(job: JobReport, path: str, title: str = "IPM profile") -> None:
+    write_html(job, path, title)
+
+
+def to_cube(job: JobReport, path: str):
+    return write_cube(job, path)
+
+
+def main(argv=None) -> int:
+    """CLI mirroring ``ipm_parse [-b|-html|-cube] profile.xml``."""
+    ap = argparse.ArgumentParser(
+        prog="ipm_parse", description="Parse an IPM XML profiling log."
+    )
+    ap.add_argument("log", help="IPM XML log file")
+    ap.add_argument("-b", "--banner", action="store_true",
+                    help="re-produce the banner on stdout (default)")
+    ap.add_argument("--html", metavar="OUT", help="write an HTML report")
+    ap.add_argument("--cube", metavar="OUT", help="write a CUBE file")
+    ap.add_argument("--top", type=int, default=20,
+                    help="rows in the function table")
+    args = ap.parse_args(argv)
+    job = parse_log(args.log)
+    did_something = False
+    if args.html:
+        to_html(job, args.html)
+        did_something = True
+    if args.cube:
+        to_cube(job, args.cube)
+        did_something = True
+    if args.banner or not did_something:
+        print(to_banner(job, args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

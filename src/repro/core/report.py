@@ -1,0 +1,109 @@
+"""Report data structures: per-task and per-job profiling results.
+
+A :class:`TaskReport` is one rank's finalized IPM state (what real IPM
+keeps in memory and writes to its XML log); a :class:`JobReport`
+aggregates the tasks of one parallel job, which is what the banner,
+XML log, HTML page and CUBE export are rendered from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hashtable import CallStats, PerfHashTable
+from repro.core.ktt import KernelRecord
+from repro.core.sig import CUDA_EXEC_PREFIX, CUDA_HOST_IDLE
+
+
+@dataclass
+class TaskReport:
+    """Finalized monitoring state of one MPI task (rank)."""
+
+    rank: int
+    nranks: int
+    hostname: str
+    command: str
+    start_time: float
+    stop_time: float
+    table: PerfHashTable
+    kernel_details: List[KernelRecord] = field(default_factory=list)
+    #: resident memory of the task, GB (modeled by the workload).
+    mem_gb: float = 0.0
+    #: GF/s achieved (modeled; IPM reports it in the banner header).
+    gflops: float = 0.0
+    #: GPU hardware-counter totals (Component-PAPI extension, §VI).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wallclock(self) -> float:
+        return self.stop_time - self.start_time
+
+    def domain_time(self, ipm_domains: Dict[str, str], domain: str) -> float:
+        """Total time in calls attributed to ``domain`` (MPI/CUDA/…)."""
+        return sum(
+            stats.total
+            for sig, stats in self.table.items()
+            if ipm_domains.get(sig.name.split("(")[0]) == domain
+            and not sig.is_pseudo
+        )
+
+    def gpu_exec_time(self) -> float:
+        """Total ``@CUDA_EXEC_STRMxx`` time (GPU kernel execution)."""
+        return self.table.total_time(CUDA_EXEC_PREFIX)
+
+    def host_idle_time(self) -> float:
+        return self.table.total_time(CUDA_HOST_IDLE)
+
+
+@dataclass
+class JobReport:
+    """All tasks of one job plus shared metadata."""
+
+    tasks: List[TaskReport]
+    #: map call-name → domain ("MPI", "CUDA", "CUBLAS", "CUFFT").
+    domains: Dict[str, str]
+    start_stamp: str = ""
+    stop_stamp: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a JobReport needs at least one task")
+
+    @property
+    def ntasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def wallclock(self) -> float:
+        return max(t.wallclock for t in self.tasks)
+
+    @property
+    def command(self) -> str:
+        return self.tasks[0].command
+
+    def hosts(self) -> List[str]:
+        return sorted({t.hostname for t in self.tasks})
+
+    def merged_table(self) -> PerfHashTable:
+        merged = PerfHashTable(capacity=max(t.table.capacity for t in self.tasks))
+        for t in self.tasks:
+            merged.merge(t.table)
+        return merged
+
+    def merged_by_name(self) -> Dict[str, CallStats]:
+        return self.merged_table().by_name()
+
+    def domain_times(self, domain: str) -> List[float]:
+        return [t.domain_time(self.domains, domain) for t in self.tasks]
+
+    def total_mem_gb(self) -> float:
+        return sum(t.mem_gb for t in self.tasks)
+
+    def comm_percent(self) -> float:
+        """%comm of the banner header: mean MPI fraction of wallclock."""
+        fractions = [
+            t.domain_time(self.domains, "MPI") / t.wallclock if t.wallclock else 0.0
+            for t in self.tasks
+        ]
+        return 100.0 * sum(fractions) / len(fractions)

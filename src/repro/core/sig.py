@@ -1,0 +1,63 @@
+"""Event signatures — the hash keys of IPM's performance data table.
+
+Paper Section II: *"The hash key (also called the event signature) is
+derived from the type of monitored event (e.g., MPI_Send or fopen) as
+well as a number of other attributes such as the number of bytes
+transmitted or read."*
+
+Pseudo-events (names starting with ``@``) denote quantities that do
+not correspond to a host function: per-stream GPU kernel execution
+time (``@CUDA_EXEC_STRM00``) and implicit host blocking
+(``@CUDA_HOST_IDLE``), per Sections III-B/III-C.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+#: the default region (IPM supports user regions via MPI_Pcontrol).
+DEFAULT_REGION = "ipm_main"
+
+#: pseudo-event prefix for per-stream GPU kernel execution time.
+CUDA_EXEC_PREFIX = "@CUDA_EXEC_STRM"
+#: pseudo-event for implicit host blocking in sync memory transfers.
+CUDA_HOST_IDLE = "@CUDA_HOST_IDLE"
+
+
+def cuda_exec_name(stream_id: int) -> str:
+    """``@CUDA_EXEC_STRM00``-style name for a stream's kernel time."""
+    if stream_id < 0:
+        raise ValueError(f"negative stream id: {stream_id}")
+    return f"{CUDA_EXEC_PREFIX}{stream_id:02d}"
+
+
+@dataclass(frozen=True)
+class EventSignature:
+    """Hash key of one distinct monitored event.
+
+    ``name`` may carry a direction suffix like ``cudaMemcpy(D2H)`` —
+    "memory transfer operations are optionally augmented with the
+    direction of the transfer internally by IPM" (§III-C, footnote).
+    ``nbytes`` buckets by exact size, as real IPM does, so the same
+    call with different message sizes occupies different entries.
+    """
+
+    name: str
+    region: str = DEFAULT_REGION
+    nbytes: Optional[int] = None
+    callsite: int = 0
+
+    def stable_hash(self) -> int:
+        """Deterministic 32-bit hash (stable across runs/processes)."""
+        key = f"{self.name}|{self.region}|{self.nbytes}|{self.callsite}"
+        return zlib.crc32(key.encode("utf-8"))
+
+    @property
+    def is_pseudo(self) -> bool:
+        """True for ``@``-entries that do not map to a host function."""
+        return self.name.startswith("@")
+
+    def display_name(self) -> str:
+        return self.name

@@ -1,0 +1,126 @@
+"""Optional chronological event tracing.
+
+IPM is a *profiler* — it aggregates into the hash table and keeps no
+per-event log (the paper contrasts this with Vampir's tracing in
+Related Work).  For debugging and for rendering Fig. 7-style
+timelines, this module adds an **opt-in bounded trace ring**: when
+``IpmConfig.trace_capacity > 0`` every wrapper appends one
+:class:`TraceRecord` (begin, end, name, bytes) and device-side kernel
+records are interleaved, oldest entries evicted first.
+
+:func:`render_timeline` draws the trace as monospace lanes — host
+calls on top, per-stream GPU activity below — the exact layout of the
+paper's Fig. 7 schematic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    begin: float
+    end: float
+    name: str
+    #: "host" or "gpu:<stream>"
+    lane: str = "host"
+    nbytes: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+
+class TraceRing:
+    """Bounded chronological event buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def add(self, record: TraceRecord) -> None:
+        self._ring.append(record)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.recorded - self.capacity)
+
+    def records(self) -> List[TraceRecord]:
+        return sorted(self._ring, key=lambda r: (r.begin, r.end))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def render_timeline(
+    records: Sequence[TraceRecord],
+    *,
+    width: int = 72,
+    min_label: int = 4,
+) -> str:
+    """Draw trace records as labelled lanes over a shared time axis.
+
+    Events shorter than one column render as ``|`` ticks; longer ones
+    as ``[name###]`` bars (label included when it fits).
+    """
+    records = sorted(records, key=lambda r: (r.begin, r.end))
+    if not records:
+        return "(empty trace)"
+    t0 = min(r.begin for r in records)
+    t1 = max(r.end for r in records)
+    span = max(t1 - t0, 1e-12)
+    scale = (width - 1) / span
+
+    lanes: Dict[str, List[TraceRecord]] = {}
+    for r in records:
+        lanes.setdefault(r.lane, []).append(r)
+
+    def lane_key(name: str):
+        return (name != "host", name)
+
+    lines = [f"timeline: {t0:.6f}s .. {t1:.6f}s  ({span:.6f}s)"]
+    for lane in sorted(lanes, key=lane_key):
+        rows: List[List[str]] = []
+        for r in lanes[lane]:
+            c0 = int((r.begin - t0) * scale)
+            c1 = max(c0 + 1, int((r.end - t0) * scale))
+            if c1 - c0 <= 1:
+                # sub-column event: a tick; coinciding ticks collapse
+                # into '+' instead of stacking rows
+                for row in rows:
+                    if row[c0] == " ":
+                        row[c0] = "|"
+                        break
+                    if row[c0] in "|+":
+                        row[c0] = "+"
+                        break
+                else:
+                    target = [" "] * width
+                    target[c0] = "|"
+                    rows.append(target)
+                continue
+            # place on the first row with no overlap
+            for row in rows:
+                if all(ch == " " for ch in row[c0:c1]):
+                    target = row
+                    break
+            else:
+                target = [" "] * width
+                rows.append(target)
+            bar = list("[" + "#" * (c1 - c0 - 2) + "]")
+            if c1 - c0 - 2 >= max(min_label, len(r.name)):
+                bar[1 : 1 + len(r.name)] = list(r.name)
+            target[c0:c1] = bar
+        for i, row in enumerate(rows):
+            label = f"{lane:>12s} " if i == 0 else " " * 13
+            lines.append(label + "".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""IPM's wrapper generator (paper Section III-A, Fig. 2).
+
+Generates interposition wrappers for an API object from a list of call
+names plus per-call hooks.  The generated wrapper has exactly the
+anatomy of Fig. 2::
+
+    cudaError_t cudaCall(arg1, ...) {
+        begin = get_time();
+        ret = real_cudaCall(arg1, ...);
+        end = get_time();
+        UPDATE_DATA(CUDA_CALL_ID, duration);
+        return ret;
+    }
+
+plus optional *pre*/*post* hooks ("the wrapper allows us to perform
+actions before and after the actual call") used for kernel timing and
+host-idle separation, and a *refiner* that augments the event
+signature with direction suffixes and byte counts.
+
+Two linkage styles are supported, as in the paper:
+
+* ``dynamic`` — LD_PRELOAD-style: the wrapped callable replaces the
+  original name on the proxy;
+* ``static`` — ``--wrap foo``: the proxy additionally exposes
+  ``__wrap_<name>`` (the wrapper) and ``__real_<name>`` (the original),
+  matching the linker convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+
+#: refiner result: (name suffix, byte count or None)
+Refinement = Tuple[str, Optional[int]]
+
+
+@dataclass
+class WrapperHooks:
+    """Per-call customization of the generated wrapper."""
+
+    #: runs before the real call; its return value is passed to post.
+    pre: Optional[Callable[[tuple, dict], Any]] = None
+    #: runs after the real call: post(pre_result, args, kwargs, result).
+    post: Optional[Callable[[Any, tuple, dict, Any], None]] = None
+    #: refines the event signature: refine(args, kwargs, result).
+    refine: Optional[Callable[[tuple, dict, Any], Refinement]] = None
+
+
+class InterposedAPI:
+    """Proxy carrying the wrapped callables.
+
+    Attribute access falls through to the raw object for anything not
+    wrapped, so the proxy is a drop-in replacement.  The raw object
+    stays reachable as ``_raw`` — IPM's own internal calls (event
+    records for kernel timing, probe synchronizes) go through it to
+    avoid monitoring recursion, exactly as a real wrapper calls
+    ``real_cudaCall`` directly.
+    """
+
+    def __init__(self, raw: Any, domain: str) -> None:
+        object.__setattr__(self, "_raw", raw)
+        object.__setattr__(self, "_domain", domain)
+        object.__setattr__(self, "_wrapped_names", set())
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_raw"), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InterposedAPI {self._domain} over {self._raw!r}>"
+
+
+def generate_wrappers(
+    ipm: "Ipm",
+    raw_api: Any,
+    names: Iterable[str],
+    *,
+    domain: str,
+    hooks: Optional[Dict[str, WrapperHooks]] = None,
+    linkage: str = "dynamic",
+) -> InterposedAPI:
+    """Build an interposed proxy over ``raw_api`` for ``names``.
+
+    Names absent from the raw object are skipped (a dynamic linker
+    only interposes symbols that resolve).
+    """
+    if linkage not in ("dynamic", "static"):
+        raise ValueError(f"unknown linkage {linkage!r}")
+    hooks = hooks or {}
+    proxy = InterposedAPI(raw_api, domain)
+    for name in names:
+        real = getattr(raw_api, name, None)
+        if not callable(real):
+            continue
+        wrapper = _make_wrapper(ipm, name, real, domain, hooks.get(name))
+        object.__setattr__(proxy, name, wrapper)
+        proxy._wrapped_names.add(name)
+        if linkage == "static":
+            object.__setattr__(proxy, f"__wrap_{name}", wrapper)
+            object.__setattr__(proxy, f"__real_{name}", real)
+    return proxy
+
+
+def _make_wrapper(
+    ipm: "Ipm",
+    name: str,
+    real: Callable[..., Any],
+    domain: str,
+    hk: Optional[WrapperHooks],
+) -> Callable[..., Any]:
+    from repro.core.sig import EventSignature
+
+    pre = hk.pre if hk else None
+    post = hk.post if hk else None
+    refine = hk.refine if hk else None
+    sim = ipm.sim
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if not ipm.active:
+            return real(*args, **kwargs)
+        ipm.overhead.charge_entry()
+        pre_result = pre(args, kwargs) if pre is not None else None
+        begin = sim.now
+        result = real(*args, **kwargs)
+        end = sim.now
+        if post is not None:
+            post(pre_result, args, kwargs, result)
+        suffix, nbytes = ("", None)
+        if refine is not None:
+            suffix, nbytes = refine(args, kwargs, result)
+        ipm.update(
+            EventSignature(name + suffix, ipm.current_region, nbytes),
+            end - begin,
+            domain=domain,
+        )
+        if ipm.trace is not None:
+            from repro.core.trace import TraceRecord
+
+            ipm.trace.add(TraceRecord(begin, end, name + suffix, "host", nbytes))
+        ipm.overhead.charge_exit()
+        return result
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"ipm_wrap.{name}"
+    wrapper.__doc__ = f"IPM interposition wrapper for {name} ({domain})."
+    return wrapper

@@ -1,0 +1,73 @@
+"""Simulated CUDA platform (device, runtime API, driver API, profiler).
+
+This subpackage stands in for the NVIDIA stack of the paper's testbed:
+a Tesla C2050 behind the CUDA 3.1 runtime.  The API surface mirrors
+the C API closely enough that the Fig. 3 example transliterates
+line-for-line::
+
+    err, a_d = rt.cudaMalloc(size)
+    rt.cudaMemcpy(a_d, a_h, size, cudaMemcpyKind.cudaMemcpyHostToDevice)
+    rt.launch(square, nblocks, blocksz, args=(a_d, N))
+    rt.cudaMemcpy(a_h, a_d, size, cudaMemcpyKind.cudaMemcpyDeviceToHost)
+    rt.cudaFree(a_d)
+
+Asynchrony, stream ordering, legacy default-stream fences, implicit
+host blocking of synchronous memcpys, and the event API all behave as
+CUDA 3.1 documents them — those semantics are exactly what IPM's
+monitoring techniques (paper Sections III-B/III-C) rely on.
+"""
+
+from repro.cuda.errors import CudaError, CUresult, cudaError_t, cudaMemcpyKind
+from repro.cuda.costmodel import DeviceSpec, GpuTimingModel, TESLA_C2050, default_timing
+from repro.cuda.memory import Allocation, DeviceMemory, DevicePtr, HostBuffer, HostRef
+from repro.cuda.kernel import Kernel, LaunchConfig, flops_kernel
+from repro.cuda.event import CudaEvent, elapsed_ms
+from repro.cuda.stream import Stream
+from repro.cuda.device import Device
+from repro.cuda.context import Context
+from repro.cuda.runtime import CUDART_VERSION, Runtime
+from repro.cuda.driver import Driver
+from repro.cuda.profiler import CudaProfiler, ProfilerRecord
+from repro.cuda.spec import (
+    CallSpec,
+    DRIVER_API,
+    DRIVER_BY_NAME,
+    RUNTIME_API,
+    RUNTIME_BY_NAME,
+    attach_stubs,
+)
+
+__all__ = [
+    "CudaError",
+    "CUresult",
+    "cudaError_t",
+    "cudaMemcpyKind",
+    "DeviceSpec",
+    "GpuTimingModel",
+    "TESLA_C2050",
+    "default_timing",
+    "Allocation",
+    "DeviceMemory",
+    "DevicePtr",
+    "HostBuffer",
+    "HostRef",
+    "Kernel",
+    "LaunchConfig",
+    "flops_kernel",
+    "CudaEvent",
+    "elapsed_ms",
+    "Stream",
+    "Device",
+    "Context",
+    "CUDART_VERSION",
+    "Runtime",
+    "Driver",
+    "CudaProfiler",
+    "ProfilerRecord",
+    "CallSpec",
+    "DRIVER_API",
+    "DRIVER_BY_NAME",
+    "RUNTIME_API",
+    "RUNTIME_BY_NAME",
+    "attach_stubs",
+]

@@ -1,0 +1,91 @@
+"""Per-process CUDA contexts.
+
+A context owns the process's view of one device: its streams (with the
+legacy default stream), its symbols, its last-error slot, and the
+listener list through which observers (the CUDA-profiler emulation;
+nothing in IPM — IPM observes strictly at the API boundary) subscribe
+to device-side completions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.cuda.errors import cudaError_t
+from repro.cuda.memory import DevicePtr
+from repro.cuda.stream import Stream
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.device import Device
+    from repro.cuda.ops import KernelOp, MemcpyOp
+    from repro.simt.simulator import Simulator
+
+
+class Context:
+    """One process's state on one device."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, device: "Device", owner: str = "") -> None:
+        self.device = device
+        self.sim: "Simulator" = device.sim
+        self.context_id = next(Context._ids)
+        self.owner = owner
+        self.default_stream = Stream(self, is_default=True)
+        self.streams: List[Stream] = [self.default_stream]
+        #: legacy null-stream fence: ops enqueued after a default-stream
+        #: op must wait for it (see stream.py).
+        self.global_fence: Optional[Completion] = None
+        self.symbols: dict[str, DevicePtr] = {}
+        self.last_error: cudaError_t = cudaError_t.cudaSuccess
+        self.created_at = self.sim.now
+        self.destroyed = False
+        self._kernel_listeners: List[Callable[["KernelOp", float, float], None]] = []
+        self._memcpy_listeners: List[Callable[["MemcpyOp", float, float], None]] = []
+        device.contexts_created += 1
+
+    # -- streams ---------------------------------------------------------
+
+    def create_stream(self) -> Stream:
+        st = Stream(self, is_default=False)
+        self.streams.append(st)
+        return st
+
+    def destroy_stream(self, st: Stream) -> None:
+        if st.is_default:
+            raise ValueError("cannot destroy the default stream")
+        st.destroyed = True
+        self.streams.remove(st)
+
+    def all_pending(self) -> List[Completion]:
+        """Completions a full device (thread) synchronize must wait for."""
+        out = [
+            st.last
+            for st in self.streams
+            if st.last is not None and not st.last.fired
+        ]
+        if (
+            self.global_fence is not None
+            and not self.global_fence.fired
+            and self.global_fence not in out
+        ):
+            out.append(self.global_fence)
+        return out
+
+    # -- observer hooks ----------------------------------------------------
+
+    def add_kernel_listener(self, fn: Callable[["KernelOp", float, float], None]) -> None:
+        self._kernel_listeners.append(fn)
+
+    def add_memcpy_listener(self, fn: Callable[["MemcpyOp", float, float], None]) -> None:
+        self._memcpy_listeners.append(fn)
+
+    def notify_kernel_complete(self, op: "KernelOp", start: float, end: float) -> None:
+        for fn in self._kernel_listeners:
+            fn(op, start, end)
+
+    def notify_memcpy_complete(self, op: "MemcpyOp", start: float, end: float) -> None:
+        for fn in self._memcpy_listeners:
+            fn(op, start, end)

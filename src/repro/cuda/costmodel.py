@@ -1,0 +1,137 @@
+"""Timing models of the simulated GPU platform.
+
+All the magic numbers live here, in one calibratable dataclass.  The
+defaults model a Tesla C2050 ("Fermi") behind PCIe gen-2 x16 with the
+CUDA 3.1 driver — the Dirac-node configuration of the paper's
+evaluation (Section IV).
+
+Design note: the *mechanisms* (asynchrony, implicit blocking, event
+bracketing) live in the runtime/stream/engine modules; this module only
+prices them.  Changing a number here re-calibrates an experiment but
+cannot change who-waits-for-whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GpuTimingModel:
+    """Latency/bandwidth/overhead parameters of one GPU + its host link."""
+
+    # ---- PCIe link (gen2 x16, C2050) ---------------------------------
+    #: host→device bandwidth for pinned memory, bytes/s.
+    pcie_h2d_bandwidth: float = 5.2e9
+    #: device→host bandwidth for pinned memory, bytes/s.
+    pcie_d2h_bandwidth: float = 5.0e9
+    #: per-transfer setup latency, seconds.
+    pcie_latency: float = 10e-6
+    #: pageable (non-pinned) transfers run at this fraction of pinned bw.
+    pageable_fraction: float = 0.55
+
+    # ---- device-side op processing ------------------------------------
+    #: device-internal memset bandwidth, bytes/s.
+    memset_bandwidth: float = 80e9
+    #: device→device copy bandwidth, bytes/s.
+    d2d_bandwidth: float = 60e9
+    #: time for the device to process a recorded event (timestamping).
+    event_process_time: float = 0.4e-6
+    #: mean gap between "kernel is next in stream" and "kernel starts
+    #: executing" (driver/launch processing on the device side).  This
+    #: gap is what makes IPM's event-bracketed kernel times exceed the
+    #: CUDA profiler's kernel-only times in Table I.
+    launch_gap_mean: float = 4.0e-6
+    #: lognormal sigma of the launch gap.
+    launch_gap_sigma: float = 0.5
+    #: multiplicative jitter (coefficient of variation) on kernel durations.
+    kernel_jitter_cv: float = 0.004
+
+    # ---- host-side API call costs --------------------------------------
+    #: cheap calls: cudaSetupArgument, cudaConfigureCall, queries …
+    host_call_cheap: float = 0.15e-6
+    #: medium: cudaLaunch, cudaEventRecord, stream queries …
+    host_call_launch: float = 3.0e-6
+    #: sync memcpy host-side fixed overhead (driver entry, staging setup).
+    host_call_memcpy: float = 8.0e-6
+    #: cudaMalloc / cudaFree driver cost once the context exists.
+    host_call_malloc: float = 60e-6
+    #: cost of ``cudaGetDeviceCount`` (driver/device enumeration).  On
+    #: busy multi-user systems with many processes probing devices this
+    #: can reach ~0.5 s per call — Amber's profile (Fig. 11) shows 32
+    #: calls costing 16.72 s across 16 ranks.
+    device_enum_time: float = 80e-6
+
+    # ---- context creation ------------------------------------------------
+    #: mean one-time CUDA context initialization cost (first API call).
+    #: The paper's Fig. 4/5 attribute 1.29–2.43 s of cudaMalloc to this.
+    context_init_mean: float = 1.29
+    #: lognormal sigma of context init.
+    context_init_sigma: float = 0.08
+
+    def h2d_time(self, nbytes: int, pinned: bool) -> float:
+        bw = self.pcie_h2d_bandwidth * (1.0 if pinned else self.pageable_fraction)
+        return self.pcie_latency + nbytes / bw
+
+    def d2h_time(self, nbytes: int, pinned: bool) -> float:
+        bw = self.pcie_d2h_bandwidth * (1.0 if pinned else self.pageable_fraction)
+        return self.pcie_latency + nbytes / bw
+
+    def d2d_time(self, nbytes: int) -> float:
+        return 1e-6 + nbytes / self.d2d_bandwidth
+
+    def memset_time(self, nbytes: int) -> float:
+        return 1e-6 + nbytes / self.memset_bandwidth
+
+    def draw_launch_gap(self, rng: np.random.Generator) -> float:
+        return float(
+            self.launch_gap_mean
+            * np.exp(rng.normal(0.0, self.launch_gap_sigma))
+            / np.exp(self.launch_gap_sigma**2 / 2.0)
+        )
+
+    def draw_kernel_duration(self, nominal: float, rng: np.random.Generator) -> float:
+        if nominal < 0:
+            raise ValueError(f"negative kernel duration: {nominal}")
+        if self.kernel_jitter_cv <= 0.0 or nominal == 0.0:
+            return nominal
+        return float(max(0.0, nominal * (1.0 + rng.normal(0.0, self.kernel_jitter_cv))))
+
+    def draw_context_init(self, rng: np.random.Generator) -> float:
+        return float(
+            self.context_init_mean
+            * np.exp(rng.normal(0.0, self.context_init_sigma))
+            / np.exp(self.context_init_sigma**2 / 2.0)
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU model."""
+
+    name: str = "Tesla C2050"
+    #: device memory, bytes (3 GB on the Dirac C2050s).
+    memory_bytes: int = 3 * 1024**3
+    #: streaming multiprocessors.
+    sm_count: int = 14
+    #: peak double-precision GF/s.
+    peak_dp_gflops: float = 515.0
+    #: peak single-precision GF/s.
+    peak_sp_gflops: float = 1030.0
+    #: device memory bandwidth, bytes/s.
+    mem_bandwidth: float = 144e9
+    #: maximum concurrently executing kernels (CUDA 3.1 limit, §III).
+    max_concurrent_kernels: int = 16
+    #: compute capability.
+    compute_capability: tuple = (2, 0)
+
+
+#: the Dirac-node GPU used throughout the paper's evaluation.
+TESLA_C2050 = DeviceSpec()
+
+
+def default_timing() -> GpuTimingModel:
+    """Fresh default timing model (mutable, so never share a global)."""
+    return GpuTimingModel()

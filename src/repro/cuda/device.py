@@ -1,0 +1,67 @@
+"""The GPU device: memory + engines + shared context-creation lock."""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cuda.costmodel import DeviceSpec, GpuTimingModel, TESLA_C2050, default_timing
+from repro.cuda.engine import ComputeEngine
+from repro.cuda.memory import DeviceMemory
+from repro.simt.resources import FifoServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+class Device:
+    """One physical GPU.
+
+    Shared by every context (process) mapped onto it; all engines are
+    device-global so co-located ranks contend naturally.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        device_id: int = 0,
+        spec: DeviceSpec = TESLA_C2050,
+        timing: GpuTimingModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.sim = sim
+        self.device_id = device_id
+        self.spec = spec
+        self.timing = timing or default_timing()
+        self.rng = rng if rng is not None else np.random.default_rng(device_id)
+        self.memory = DeviceMemory(device_id, spec.memory_bytes)
+        self.compute = ComputeEngine(sim, spec)
+        # One DMA engine serves both PCIe directions (the copy-engine
+        # configuration CUDA 3.1 exposes on the C2050); device-internal
+        # copies go through the memory system separately.  The shared
+        # engine is what makes co-located ranks' transfers contend —
+        # PARATEC's per-rank CUBLAS time staying "relatively constant"
+        # as ranks/GPU grow (Fig. 10) depends on it.
+        dma = FifoServer(sim, f"gpu{device_id}.dma")
+        self._copy_engines: Dict[str, FifoServer] = {
+            "h2d": dma,
+            "d2h": dma,
+            "d2d": FifoServer(sim, f"gpu{device_id}.d2d"),
+        }
+        self.memset_engine = FifoServer(sim, f"gpu{device_id}.memset")
+        #: serializes context creation (driver-level lock).
+        self.context_init_lock = FifoServer(sim, f"gpu{device_id}.ctxinit")
+        self.contexts_created = 0
+
+    def copy_engine(self, direction: str) -> FifoServer:
+        """Engine serving a transfer direction ('h2h' shares 'd2d' path)."""
+        if direction == "h2h":
+            return self._copy_engines["d2d"]
+        try:
+            return self._copy_engines[direction]
+        except KeyError:
+            raise ValueError(f"unknown transfer direction: {direction!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.device_id} {self.spec.name!r}>"

@@ -1,0 +1,219 @@
+"""The CUDA **driver API** (``cu*`` calls).
+
+The paper wraps both APIs (99 driver + 65 runtime calls).  In real
+CUDA the runtime is layered on the driver; here the two share the same
+context/stream/engine machinery, and the driver surface translates to
+it with driver calling conventions (``CUresult`` codes, explicit
+context management, ``cuParamSet*``/``cuLaunchGrid`` kernel launch).
+
+Functionally exercised calls are implemented below; the remaining
+names from the CUDA 3.1 headers exist as *timed no-ops* generated from
+:mod:`repro.cuda.spec` — they are interposable (which is what the
+paper's wrapper coverage is about) and return ``CUDA_SUCCESS``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from repro.cuda.errors import CudaError, CUresult, cudaError_t, cudaMemcpyKind
+from repro.cuda.event import CudaEvent
+from repro.cuda.kernel import Kernel
+from repro.cuda.memory import DevicePtr
+from repro.cuda.runtime import Runtime
+from repro.cuda.stream import Stream
+
+R = CUresult
+
+_ERR_MAP = {
+    cudaError_t.cudaSuccess: R.CUDA_SUCCESS,
+    cudaError_t.cudaErrorMemoryAllocation: R.CUDA_ERROR_OUT_OF_MEMORY,
+    cudaError_t.cudaErrorInvalidValue: R.CUDA_ERROR_INVALID_VALUE,
+    cudaError_t.cudaErrorInvalidDevicePointer: R.CUDA_ERROR_INVALID_VALUE,
+    cudaError_t.cudaErrorInvalidResourceHandle: R.CUDA_ERROR_INVALID_HANDLE,
+    cudaError_t.cudaErrorNotReady: R.CUDA_ERROR_NOT_READY,
+    cudaError_t.cudaErrorLaunchFailure: R.CUDA_ERROR_LAUNCH_FAILED,
+}
+
+
+def _cv(err: cudaError_t) -> CUresult:
+    return _ERR_MAP.get(err, R.CUDA_ERROR_INVALID_VALUE)
+
+
+class Driver:
+    """Per-process driver-API surface sharing a :class:`Runtime`'s state."""
+
+    def __init__(self, runtime: Runtime) -> None:
+        self.rt = runtime
+        self._initialized = False
+        self._func_config: dict[Kernel, tuple] = {}
+        self._func_params: dict[Kernel, list] = {}
+
+    # -- init / device ----------------------------------------------------
+
+    def cuInit(self, flags: int = 0) -> CUresult:
+        self.rt._charge(self.rt.device.timing.host_call_cheap)
+        self._initialized = True
+        return R.CUDA_SUCCESS
+
+    def _require_init(self) -> Optional[CUresult]:
+        if not self._initialized:
+            return R.CUDA_ERROR_NOT_INITIALIZED
+        return None
+
+    def cuDeviceGetCount(self) -> Tuple[CUresult, int]:
+        bad = self._require_init()
+        if bad:
+            return bad, 0
+        err, n = self.rt.cudaGetDeviceCount()
+        return _cv(err), n
+
+    def cuDeviceGet(self, ordinal: int) -> Tuple[CUresult, Optional[int]]:
+        bad = self._require_init()
+        if bad:
+            return bad, None
+        if not (0 <= ordinal < len(self.rt.devices)):
+            return R.CUDA_ERROR_INVALID_VALUE, None
+        return R.CUDA_SUCCESS, ordinal
+
+    def cuDeviceGetName(self, ordinal: int) -> Tuple[CUresult, Optional[str]]:
+        bad = self._require_init()
+        if bad:
+            return bad, None
+        if not (0 <= ordinal < len(self.rt.devices)):
+            return R.CUDA_ERROR_INVALID_VALUE, None
+        return R.CUDA_SUCCESS, self.rt.devices[ordinal].spec.name
+
+    def cuCtxCreate(self, flags: int = 0, device: int = 0):
+        bad = self._require_init()
+        if bad:
+            return bad, None
+        err = self.rt.cudaSetDevice(device)
+        if err != cudaError_t.cudaSuccess:
+            return _cv(err), None
+        return R.CUDA_SUCCESS, self.rt.context
+
+    def cuCtxSynchronize(self) -> CUresult:
+        return _cv(self.rt.cudaThreadSynchronize())
+
+    def cuCtxDestroy(self, ctx: Any = None) -> CUresult:
+        return _cv(self.rt.cudaThreadExit())
+
+    # -- memory ---------------------------------------------------------------
+
+    def cuMemAlloc(self, nbytes: int) -> Tuple[CUresult, Optional[DevicePtr]]:
+        err, ptr = self.rt.cudaMalloc(nbytes)
+        return _cv(err), ptr
+
+    def cuMemFree(self, ptr: DevicePtr) -> CUresult:
+        return _cv(self.rt.cudaFree(ptr))
+
+    def cuMemGetInfo(self) -> Tuple[CUresult, int, int]:
+        mem = self.rt.device.memory
+        self.rt._charge(self.rt.device.timing.host_call_cheap)
+        return R.CUDA_SUCCESS, mem.free_bytes, mem.capacity
+
+    def cuMemcpyHtoD(self, dst: DevicePtr, src, nbytes: Optional[int] = None) -> CUresult:
+        return _cv(
+            self.rt.cudaMemcpy(dst, src, nbytes, cudaMemcpyKind.cudaMemcpyHostToDevice)
+        )
+
+    def cuMemcpyDtoH(self, dst, src: DevicePtr, nbytes: Optional[int] = None) -> CUresult:
+        return _cv(
+            self.rt.cudaMemcpy(dst, src, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToHost)
+        )
+
+    def cuMemcpyDtoD(self, dst: DevicePtr, src: DevicePtr, nbytes: int) -> CUresult:
+        return _cv(
+            self.rt.cudaMemcpy(dst, src, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToDevice)
+        )
+
+    def cuMemcpyHtoDAsync(self, dst, src, nbytes=None, stream: Optional[Stream] = None) -> CUresult:
+        return _cv(
+            self.rt.cudaMemcpyAsync(
+                dst, src, nbytes, cudaMemcpyKind.cudaMemcpyHostToDevice, stream
+            )
+        )
+
+    def cuMemcpyDtoHAsync(self, dst, src, nbytes=None, stream: Optional[Stream] = None) -> CUresult:
+        return _cv(
+            self.rt.cudaMemcpyAsync(
+                dst, src, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToHost, stream
+            )
+        )
+
+    def cuMemsetD8(self, ptr: DevicePtr, value: int, count: int) -> CUresult:
+        """Like ``cudaMemset``: returns without implicit host blocking —
+        the other member of the paper's memset exception (§III-C)."""
+        return _cv(self.rt.cudaMemset(ptr, value, count))
+
+    def cuMemsetD32(self, ptr: DevicePtr, value: int, count: int) -> CUresult:
+        return _cv(self.rt.cudaMemset(ptr, value & 0xFF, count * 4))
+
+    # -- execution ---------------------------------------------------------------
+
+    def cuFuncSetBlockShape(self, func: Kernel, x: int, y: int, z: int) -> CUresult:
+        self.rt._charge(self.rt.device.timing.host_call_cheap)
+        if not isinstance(func, Kernel):
+            return R.CUDA_ERROR_INVALID_HANDLE
+        self._func_config[func] = (x, y, z)
+        return R.CUDA_SUCCESS
+
+    def cuParamSetSize(self, func: Kernel, nbytes: int) -> CUresult:
+        self.rt._charge(self.rt.device.timing.host_call_cheap)
+        return R.CUDA_SUCCESS
+
+    def cuParamSetv(self, func: Kernel, offset: int, value: Any) -> CUresult:
+        self.rt._charge(self.rt.device.timing.host_call_cheap)
+        self._func_params.setdefault(func, []).append(value)
+        return R.CUDA_SUCCESS
+
+    cuParamSeti = cuParamSetv
+    cuParamSetf = cuParamSetv
+
+    def cuLaunchGrid(self, func: Kernel, grid_w: int, grid_h: int = 1) -> CUresult:
+        if not isinstance(func, Kernel):
+            return R.CUDA_ERROR_INVALID_HANDLE
+        block = self._func_config.get(func, (1, 1, 1))
+        args = tuple(self._func_params.pop(func, ()))
+        return _cv(self.rt.launch(func, (grid_w, grid_h), block, args=args))
+
+    def cuLaunch(self, func: Kernel) -> CUresult:
+        return self.cuLaunchGrid(func, 1, 1)
+
+    # -- streams -------------------------------------------------------------------
+
+    def cuStreamCreate(self, flags: int = 0) -> Tuple[CUresult, Optional[Stream]]:
+        err, st = self.rt.cudaStreamCreate()
+        return _cv(err), st
+
+    def cuStreamDestroy(self, st: Stream) -> CUresult:
+        return _cv(self.rt.cudaStreamDestroy(st))
+
+    def cuStreamSynchronize(self, st: Optional[Stream] = None) -> CUresult:
+        return _cv(self.rt.cudaStreamSynchronize(st))
+
+    def cuStreamQuery(self, st: Optional[Stream] = None) -> CUresult:
+        return _cv(self.rt.cudaStreamQuery(st))
+
+    # -- events ---------------------------------------------------------------------
+
+    def cuEventCreate(self, flags: int = 0) -> Tuple[CUresult, Optional[CudaEvent]]:
+        err, ev = self.rt.cudaEventCreateWithFlags(flags)
+        return _cv(err), ev
+
+    def cuEventDestroy(self, ev: CudaEvent) -> CUresult:
+        return _cv(self.rt.cudaEventDestroy(ev))
+
+    def cuEventRecord(self, ev: CudaEvent, st: Optional[Stream] = None) -> CUresult:
+        return _cv(self.rt.cudaEventRecord(ev, st))
+
+    def cuEventQuery(self, ev: CudaEvent) -> CUresult:
+        return _cv(self.rt.cudaEventQuery(ev))
+
+    def cuEventSynchronize(self, ev: CudaEvent) -> CUresult:
+        return _cv(self.rt.cudaEventSynchronize(ev))
+
+    def cuEventElapsedTime(self, start: CudaEvent, stop: CudaEvent):
+        err, ms = self.rt.cudaEventElapsedTime(start, stop)
+        return _cv(err), ms

@@ -1,0 +1,82 @@
+"""Device execution engines.
+
+A Fermi-class device has:
+
+* a **compute engine** executing kernels — up to
+  ``spec.max_concurrent_kernels`` (16 for CUDA 3.1, §III of the paper)
+  from *different streams* may overlap, subject to an occupancy budget
+  of 1.0 device;
+* two **copy engines** (C2050: one per direction) serializing PCIe
+  transfers, modelled as FIFO servers;
+* a memset path on the memory system.
+
+The engines are shared by *all contexts* on the device, which is how
+GPU sharing among co-located MPI ranks (the paper's issue 5) produces
+contention without any special-case code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.costmodel import DeviceSpec
+    from repro.cuda.ops import KernelOp
+    from repro.simt.simulator import Simulator
+
+
+class ComputeEngine:
+    """Occupancy-limited concurrent kernel execution, FIFO admission.
+
+    Admission is head-of-line: kernels start in submission order; a
+    kernel blocks behind the queue head even if it would fit (this
+    matches Fermi's in-order work distributor).
+    """
+
+    def __init__(self, sim: "Simulator", spec: "DeviceSpec") -> None:
+        self.sim = sim
+        self.spec = spec
+        self._pending: Deque["KernelOp"] = deque()
+        self._running: Set["KernelOp"] = set()
+        self._occ_used = 0.0
+        #: sum of kernel execution durations (for utilization metrics).
+        self.kernel_time = 0.0
+        self.kernels_executed = 0
+
+    def submit(self, op: "KernelOp") -> None:
+        self._pending.append(op)
+        self._try_start()
+
+    def _fits(self, op: "KernelOp") -> bool:
+        if not self._running:
+            return True
+        if len(self._running) >= self.spec.max_concurrent_kernels:
+            return False
+        return self._occ_used + op.kernel.occupancy <= 1.0 + 1e-12
+
+    def _try_start(self) -> None:
+        while self._pending and self._fits(self._pending[0]):
+            op = self._pending.popleft()
+            self._running.add(op)
+            self._occ_used += op.kernel.occupancy
+            start = self.sim.now
+            self.sim.schedule(op.duration, self._finish, op, start)
+
+    def _finish(self, op: "KernelOp", start: float) -> None:
+        self._running.remove(op)
+        self._occ_used -= op.kernel.occupancy
+        if self._occ_used < 1e-12:
+            self._occ_used = 0.0
+        self.kernel_time += op.duration
+        self.kernels_executed += 1
+        op.on_executed(start, self.sim.now)
+        self._try_start()
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,61 @@
+"""CUDA error codes (runtime ``cudaError_t`` and driver ``CUresult``).
+
+Numeric values follow the CUDA 3.1 headers for the codes the
+reproduction uses; the full enumerations are not needed because IPM
+never interprets error codes — it passes them through (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class cudaError_t(enum.IntEnum):
+    """Runtime-API error codes (subset of CUDA 3.1 ``driver_types.h``)."""
+
+    cudaSuccess = 0
+    cudaErrorMissingConfiguration = 1
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInitializationError = 3
+    cudaErrorLaunchFailure = 4
+    cudaErrorInvalidValue = 11
+    cudaErrorInvalidDevicePointer = 17
+    cudaErrorInvalidMemcpyDirection = 21
+    cudaErrorInvalidResourceHandle = 33
+    cudaErrorNotReady = 34
+    cudaErrorNoDevice = 38
+
+
+class CUresult(enum.IntEnum):
+    """Driver-API result codes (subset of CUDA 3.1 ``cuda.h``)."""
+
+    CUDA_SUCCESS = 0
+    CUDA_ERROR_INVALID_VALUE = 1
+    CUDA_ERROR_OUT_OF_MEMORY = 2
+    CUDA_ERROR_NOT_INITIALIZED = 3
+    CUDA_ERROR_INVALID_HANDLE = 400
+    CUDA_ERROR_NOT_READY = 600
+    CUDA_ERROR_LAUNCH_FAILED = 700
+
+
+class CudaError(RuntimeError):
+    """Raised by the *simulation* for misuse that real CUDA would make
+    undefined behaviour (e.g. freeing a bogus pointer twice).
+
+    API functions themselves follow the C convention and *return* error
+    codes; this exception is reserved for cases where continuing the
+    simulation would corrupt its own state.
+    """
+
+    def __init__(self, code: enum.IntEnum, message: str = "") -> None:
+        super().__init__(f"{code.name}: {message}" if message else code.name)
+        self.code = code
+
+
+class cudaMemcpyKind(enum.IntEnum):
+    """Transfer directions, as in ``driver_types.h``."""
+
+    cudaMemcpyHostToHost = 0
+    cudaMemcpyHostToDevice = 1
+    cudaMemcpyDeviceToHost = 2
+    cudaMemcpyDeviceToDevice = 3

@@ -1,0 +1,71 @@
+"""CUDA events — the device-side timing mechanism of Section III-B.
+
+An event is *recorded* into a stream (creating an
+:class:`~repro.cuda.ops.EventRecordOp`); when the stream reaches it the
+device stamps the current device time.  ``cudaEventElapsedTime`` then
+yields the difference between two stamped events in **milliseconds**,
+exactly the quantity IPM's kernel timing table consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.context import Context
+
+
+class CudaEvent:
+    """Handle returned by ``cudaEventCreate``.
+
+    Re-recording an event resets its completion state (real CUDA
+    semantics: an event tracks its most recent record).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, ctx: "Context", flags: int = 0) -> None:
+        self.ctx = ctx
+        self.flags = flags
+        self.eid = next(CudaEvent._ids)
+        self.name = f"event-{self.eid}"
+        self.destroyed = False
+        #: device timestamp of the most recent completed record (seconds).
+        self.timestamp: Optional[float] = None
+        #: None until first record.
+        self._record_done: Optional[Completion] = None
+
+    @property
+    def ever_recorded(self) -> bool:
+        return self._record_done is not None
+
+    @property
+    def complete(self) -> bool:
+        """True once the most recent record has been processed."""
+        return self._record_done is not None and self._record_done.fired
+
+    def _begin_record(self) -> None:
+        """Reset state for a (re-)record; runtime enqueues the op."""
+        self.timestamp = None
+        self._record_done = Completion(self.ctx.sim, name=f"{self.name}.record")
+
+    def _mark_complete(self, device_time: float) -> None:
+        """Called by :class:`EventRecordOp` when the device stamps us."""
+        self.timestamp = device_time
+        assert self._record_done is not None
+        self._record_done.fire(device_time)
+
+    def wait(self) -> float:
+        """Block the calling process until complete (cudaEventSynchronize)."""
+        assert self._record_done is not None, "event never recorded"
+        return self._record_done.wait()
+
+
+def elapsed_ms(start: CudaEvent, stop: CudaEvent) -> float:
+    """``cudaEventElapsedTime`` core: milliseconds between two events."""
+    if start.timestamp is None or stop.timestamp is None:
+        raise ValueError("both events must be complete")
+    return (stop.timestamp - start.timestamp) * 1e3

@@ -1,0 +1,123 @@
+"""Kernel objects and launch configurations.
+
+A simulated kernel couples three things:
+
+* a **cost model** — either a fixed nominal duration or a callable of
+  ``(config, args, spec) -> seconds`` (e.g. flops / peak);
+* an **occupancy** — the fraction of the device it fills, which
+  controls concurrent-kernel execution (``concurrentKernels`` in
+  Table I and multi-stream workloads depend on this);
+* an optional **semantic function** executed at completion, which
+  reads/writes backed device memory so examples can verify data flow
+  end-to-end (the Fig. 3 ``square`` kernel really squares its array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.costmodel import DeviceSpec
+    from repro.cuda.memory import DeviceMemory
+
+
+Dim3 = Tuple[int, int, int]
+
+
+def _as_dim3(v) -> Dim3:
+    """Accept ``int``, ``(x,)``, ``(x, y)`` or ``(x, y, z)``."""
+    if isinstance(v, int):
+        v = (v,)
+    t = tuple(int(x) for x in v) + (1, 1, 1)
+    x, y, z = t[:3]
+    if x <= 0 or y <= 0 or z <= 0:
+        raise ValueError(f"non-positive launch dimension: {v!r}")
+    return (x, y, z)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """The ``<<<grid, block, shmem, stream>>>`` tuple."""
+
+    grid: Dim3
+    block: Dim3
+    shared_mem: int = 0
+    stream: Any = None  # repro.cuda.stream.Stream or None (default stream)
+
+    @staticmethod
+    def make(grid, block, shared_mem: int = 0, stream=None) -> "LaunchConfig":
+        return LaunchConfig(_as_dim3(grid), _as_dim3(block), shared_mem, stream)
+
+    @property
+    def total_threads(self) -> int:
+        gx, gy, gz = self.grid
+        bx, by, bz = self.block
+        return gx * gy * gz * bx * by * bz
+
+
+@dataclass
+class Kernel:
+    """A device function (``__global__`` in CUDA terms).
+
+    Exactly one of ``nominal_duration`` / ``duration_fn`` must be set.
+    """
+
+    name: str
+    nominal_duration: Optional[float] = None
+    duration_fn: Optional[Callable[[LaunchConfig, tuple, "DeviceSpec"], float]] = None
+    #: fraction of the device consumed while running (1.0 = exclusive).
+    occupancy: float = 1.0
+    #: optional data semantics: ``fn(memory, config, args)`` at completion.
+    semantic: Optional[Callable[["DeviceMemory", LaunchConfig, tuple], None]] = None
+
+    def __post_init__(self) -> None:
+        if (self.nominal_duration is None) == (self.duration_fn is None):
+            raise ValueError(
+                f"kernel {self.name!r}: set exactly one of "
+                "nominal_duration / duration_fn"
+            )
+        if self.nominal_duration is not None and self.nominal_duration < 0:
+            raise ValueError(f"kernel {self.name!r}: negative duration")
+        if not (0.0 < self.occupancy <= 1.0):
+            raise ValueError(f"kernel {self.name!r}: occupancy must be in (0, 1]")
+
+    def duration(self, config: LaunchConfig, args: tuple, spec: "DeviceSpec") -> float:
+        if self.nominal_duration is not None:
+            return self.nominal_duration
+        d = float(self.duration_fn(config, args, spec))  # type: ignore[misc]
+        if d < 0:
+            raise ValueError(f"kernel {self.name!r}: model returned negative time")
+        return d
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def flops_kernel(
+    name: str,
+    flops: Callable[[LaunchConfig, tuple], float] | float,
+    *,
+    efficiency: float = 0.6,
+    precision: str = "dp",
+    occupancy: float = 1.0,
+    overhead: float = 2e-6,
+    semantic: Optional[Callable] = None,
+) -> Kernel:
+    """Build a kernel whose duration is ``flops / (peak * efficiency)``.
+
+    ``flops`` may be a constant or a callable of (config, args).
+    """
+    if not (0.0 < efficiency <= 1.0):
+        raise ValueError(f"efficiency must be in (0, 1]: {efficiency}")
+    if precision not in ("dp", "sp"):
+        raise ValueError(f"precision must be 'dp' or 'sp': {precision!r}")
+
+    def model(config: LaunchConfig, args: tuple, spec) -> float:
+        f = flops(config, args) if callable(flops) else float(flops)
+        peak = spec.peak_dp_gflops if precision == "dp" else spec.peak_sp_gflops
+        return overhead + f / (peak * 1e9 * efficiency)
+
+    return Kernel(
+        name, duration_fn=model, occupancy=occupancy, semantic=semantic
+    )

@@ -1,0 +1,184 @@
+"""Stream operations: units of work executed by the device.
+
+Every API call that touches the GPU enqueues one of these onto a
+stream.  An op's life cycle:
+
+1. **enqueued** — its dependencies (previous op in the stream, plus
+   legacy default-stream fences) are captured;
+2. **ready** — all dependencies fired; ``start()`` submits the op to
+   the appropriate device engine;
+3. **executed** — the engine finished; data semantics run, timestamps
+   are recorded, and :attr:`done` fires with the op itself as value.
+
+Observers (the CUDA-profiler emulation, IPM's kernel-timing machinery
+via CUDA events) hang off completions and context listeners — the op
+classes know nothing about monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.context import Context
+    from repro.cuda.event import CudaEvent
+    from repro.cuda.kernel import Kernel, LaunchConfig
+
+
+class StreamOp:
+    """Base class of device-side operations."""
+
+    kind = "op"
+
+    def __init__(self, ctx: "Context", label: str = "") -> None:
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.label = label
+        self.done: Completion = Completion(self.sim, name=f"{self.kind}:{label}")
+        self.ready_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def start(self) -> None:
+        """Submit to the device engine; called when dependencies fired."""
+        raise NotImplementedError
+
+    def _mark_ready(self) -> None:
+        self.ready_time = self.sim.now
+
+    def _complete(self, start: float, end: float) -> None:
+        self.start_time = start
+        self.end_time = end
+        self.done.fire(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label!r}>"
+
+
+class KernelOp(StreamOp):
+    """Asynchronous kernel execution.
+
+    The device charges a *launch gap* (driver processing) between the
+    op becoming ready and the kernel starting on the SMs — this gap is
+    what separates IPM's event-bracketed timing from the profiler's
+    kernel-only timing in Table I.
+    """
+
+    kind = "kernel"
+
+    def __init__(
+        self,
+        ctx: "Context",
+        kernel: "Kernel",
+        config: "LaunchConfig",
+        args: tuple,
+    ) -> None:
+        super().__init__(ctx, label=kernel.name)
+        self.kernel = kernel
+        self.config = config
+        self.args = args
+        device = ctx.device
+        self.duration = device.timing.draw_kernel_duration(
+            kernel.duration(config, args, device.spec), device.rng
+        )
+        self.launch_gap = device.timing.draw_launch_gap(device.rng)
+
+    def start(self) -> None:
+        self._mark_ready()
+        self.sim.schedule(self.launch_gap, self.ctx.device.compute.submit, self)
+
+    def on_executed(self, start: float, end: float) -> None:
+        """Called by the compute engine when the kernel retires."""
+        if self.kernel.semantic is not None:
+            self.kernel.semantic(self.ctx.device.memory, self.config, self.args)
+        self.ctx.notify_kernel_complete(self, start, end)
+        self._complete(start, end)
+
+
+class MemcpyOp(StreamOp):
+    """A memory transfer (any direction) on a copy engine."""
+
+    kind = "memcpy"
+
+    def __init__(
+        self,
+        ctx: "Context",
+        direction: str,  # "h2d" | "d2h" | "d2d" | "h2h"
+        nbytes: int,
+        duration: float,
+        mover: Optional[Callable[[], None]] = None,
+    ) -> None:
+        super().__init__(ctx, label=direction)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self.direction = direction
+        self.nbytes = nbytes
+        self.duration = duration
+        self.mover = mover
+
+    def start(self) -> None:
+        self._mark_ready()
+        engine = self.ctx.device.copy_engine(self.direction)
+        engine.serve(self.duration).add_callback(self._on_served)
+
+    def _on_served(self, span: Any) -> None:
+        start, end = span
+        if self.mover is not None:
+            self.mover()
+        self.ctx.notify_memcpy_complete(self, start, end)
+        self._complete(start, end)
+
+
+class MemsetOp(StreamOp):
+    """Device-side memset.
+
+    Crucially for the paper's Section III-C: a *synchronous*
+    ``cudaMemset`` call returns to the host immediately (the runtime
+    does not wait for prior kernels), so the host-idle identification
+    microbenchmark must discover that memset does **not** belong to the
+    implicitly-blocking call set.
+    """
+
+    kind = "memset"
+
+    def __init__(self, ctx: "Context", nbytes: int, mover: Optional[Callable[[], None]] = None):
+        super().__init__(ctx, label=f"{nbytes}B")
+        self.nbytes = nbytes
+        self.duration = ctx.device.timing.memset_time(nbytes)
+        self.mover = mover
+
+    def start(self) -> None:
+        self._mark_ready()
+        self.ctx.device.memset_engine.serve(self.duration).add_callback(self._on_served)
+
+    def _on_served(self, span: Any) -> None:
+        start, end = span
+        if self.mover is not None:
+            self.mover()
+        self._complete(start, end)
+
+
+class EventRecordOp(StreamOp):
+    """Processing of a recorded CUDA event: stamps device time.
+
+    The device takes ``event_process_time`` to timestamp the event once
+    the stream reaches it.
+    """
+
+    kind = "event"
+
+    def __init__(self, ctx: "Context", event: "CudaEvent") -> None:
+        super().__init__(ctx, label=event.name)
+        self.event = event
+
+    def start(self) -> None:
+        self._mark_ready()
+        dt = self.ctx.device.timing.event_process_time
+        self.sim.schedule(dt, self._stamp)
+
+    def _stamp(self) -> None:
+        now = self.sim.now
+        self.event._mark_complete(now)
+        self._complete(now, now)

@@ -1,0 +1,119 @@
+"""Emulation of the CUDA profiler (``CUDA_PROFILE=1`` log).
+
+The paper's Table I compares IPM's event-bracketed kernel timings with
+"the data delivered by the CUDA profiler".  The real profiler sits
+*inside* the driver and records the exact kernel execution interval;
+this emulation does the same by listening to device-side completions,
+so the comparison in ``benchmarks/bench_table1_accuracy.py`` pits two
+genuinely different observers against each other:
+
+* profiler: kernel-only duration, measured at the source;
+* IPM:      stop-event ts − start-event ts, which additionally
+  contains the launch gap and event processing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.context import Context
+    from repro.cuda.ops import KernelOp, MemcpyOp
+
+
+@dataclass(frozen=True)
+class ProfilerRecord:
+    """One log line: a kernel launch or a memory transfer."""
+
+    method: str
+    #: device-side duration in microseconds (profiler convention).
+    gputime_us: float
+    #: timestamp of completion (virtual seconds) for ordering.
+    timestamp: float
+    occupancy: Optional[float] = None
+
+
+_MEMCPY_METHOD = {"h2d": "memcpyHtoD", "d2h": "memcpyDtoH", "d2d": "memcpyDtoD",
+                  "h2h": "memcpyHtoH"}
+
+
+class CudaProfiler:
+    """Per-context profiler, activated like ``CUDA_PROFILE=1``."""
+
+    def __init__(self) -> None:
+        self.records: List[ProfilerRecord] = []
+        self._attached = False
+
+    def attach(self, ctx: "Context") -> None:
+        if self._attached:
+            raise RuntimeError("profiler already attached")
+        self._attached = True
+        ctx.add_kernel_listener(self._on_kernel)
+        ctx.add_memcpy_listener(self._on_memcpy)
+
+    def _on_kernel(self, op: "KernelOp", start: float, end: float) -> None:
+        self.records.append(
+            ProfilerRecord(
+                method=op.kernel.name,
+                gputime_us=(end - start) * 1e6,
+                timestamp=end,
+                occupancy=op.kernel.occupancy,
+            )
+        )
+
+    def _on_memcpy(self, op: "MemcpyOp", start: float, end: float) -> None:
+        self.records.append(
+            ProfilerRecord(
+                method=_MEMCPY_METHOD[op.direction],
+                gputime_us=(end - start) * 1e6,
+                timestamp=end,
+            )
+        )
+
+    # -- aggregation (what Table I consumes) --------------------------------
+
+    def kernel_records(self) -> List[ProfilerRecord]:
+        return [r for r in self.records if not r.method.startswith("memcpy")]
+
+    def kernel_time_total(self, method: Optional[str] = None) -> float:
+        """Summed kernel execution time in **seconds** over all invocations."""
+        return (
+            sum(
+                r.gputime_us
+                for r in self.kernel_records()
+                if method is None or r.method == method
+            )
+            * 1e-6
+        )
+
+    def kernel_invocations(self, method: Optional[str] = None) -> int:
+        return sum(
+            1 for r in self.kernel_records() if method is None or r.method == method
+        )
+
+    def by_method(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for r in self.kernel_records():
+            out[r.method] = out.get(r.method, 0.0) + r.gputime_us * 1e-6
+        return out
+
+    # -- log output (real CUDA_PROFILE text format) ----------------------------
+
+    def format_log(self, device_name: str = "Tesla C2050") -> str:
+        lines = [
+            "# CUDA_PROFILE_LOG_VERSION 2.0",
+            f"# CUDA_DEVICE 0 {device_name}",
+            "# TIMESTAMPFACTOR 1",
+            "method,gputime,cputime,occupancy",
+        ]
+        for r in self.records:
+            line = f"method=[ {r.method} ] gputime=[ {r.gputime_us:.3f} ] cputime=[ 0.000 ]"
+            if r.occupancy is not None:
+                line += f" occupancy=[ {r.occupancy:.3f} ]"
+            lines.append(line)
+        return "\n".join(lines) + "\n"
+
+    def write_log(self, path: str, device_name: str = "Tesla C2050") -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.format_log(device_name))

@@ -1,0 +1,86 @@
+"""CUDA streams with legacy (CUDA 3.1) default-stream semantics.
+
+Ordering rules implemented here:
+
+* ops within one stream execute in FIFO order;
+* an op on the **default stream** (stream 0) waits for *all* prior
+  work in the context, and all later ops in any stream wait for it
+  (the "legacy null-stream fence");
+* streams of *different contexts* are independent — GPU sharing
+  between MPI ranks contends only at the engines.
+
+The implicit host blocking the paper measures in Section III-C falls
+out of these rules: a synchronous ``cudaMemcpy`` enqueues on the
+default stream, hence waits for the preceding kernel, and the host
+blocks on the op — IPM then separates "waiting for the device" from
+"moving the bytes" by issuing its own ``cudaStreamSynchronize`` first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.simt.waiters import Completion, join
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.context import Context
+    from repro.cuda.ops import StreamOp
+
+
+class Stream:
+    """One CUDA stream inside a context."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, ctx: "Context", is_default: bool = False) -> None:
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.is_default = is_default
+        self.stream_id = 0 if is_default else next(Stream._ids)
+        #: completion of the most recently enqueued op (None = empty).
+        self.last: Optional[Completion] = None
+        self.destroyed = False
+        self.ops_enqueued = 0
+
+    def enqueue(self, op: "StreamOp") -> None:
+        """Add ``op`` respecting intra-stream FIFO and legacy fences."""
+        if self.destroyed:
+            raise RuntimeError(f"enqueue on destroyed stream {self.stream_id}")
+        deps: List[Completion] = []
+        if self.last is not None and not self.last.fired:
+            deps.append(self.last)
+        fence = self.ctx.global_fence
+        if fence is not None and fence is not self.last and not fence.fired:
+            deps.append(fence)
+        if self.is_default:
+            for st in self.ctx.streams:
+                if st is self:
+                    continue
+                if st.last is not None and not st.last.fired:
+                    deps.append(st.last)
+        self.last = op.done
+        self.ops_enqueued += 1
+        if self.is_default:
+            self.ctx.global_fence = op.done
+        if deps:
+            join(self.sim, deps, name=f"deps:{op.label}").add_callback(
+                lambda _v: op.start()
+            )
+        else:
+            op.start()
+
+    @property
+    def idle(self) -> bool:
+        """True when every enqueued op has completed."""
+        return self.last is None or self.last.fired
+
+    def sync_completion(self) -> Optional[Completion]:
+        """The completion a cudaStreamSynchronize must wait on (or None)."""
+        if self.last is not None and not self.last.fired:
+            return self.last
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "default" if self.is_default else f"user-{self.stream_id}"
+        return f"<Stream {kind} ctx={self.ctx.context_id}>"

@@ -1,0 +1,28 @@
+"""Numerical libraries: CUBLAS + CUFFT (GPU) and a host BLAS stand-in.
+
+The paper monitors accelerated numerical libraries (Section III-D):
+NVIDIA ships CUBLAS (167 entry points in the 3.1 generation) and CUFFT
+(13 entry points); IPM wraps both.  PARATEC (Section IV-D) reaches
+CUBLAS through NVIDIA's Fortran *thunking* wrappers, which bundle
+allocation + transfers + compute behind ordinary BLAS semantics —
+implemented here in :mod:`repro.libs.thunking`.
+"""
+
+from repro.libs.blasref import HostBlas, HostBlasModel
+from repro.libs.cublas import Cublas, CublasStatus, CUBLAS_API, CUBLAS_BY_NAME
+from repro.libs.cufft import Cufft, CufftResult, CUFFT_API, CUFFT_BY_NAME
+from repro.libs.thunking import ThunkingBlas
+
+__all__ = [
+    "HostBlas",
+    "HostBlasModel",
+    "Cublas",
+    "CublasStatus",
+    "CUBLAS_API",
+    "CUBLAS_BY_NAME",
+    "Cufft",
+    "CufftResult",
+    "CUFFT_API",
+    "CUFFT_BY_NAME",
+    "ThunkingBlas",
+]

@@ -1,0 +1,79 @@
+"""Host-side BLAS cost model (the MKL/ACML stand-in).
+
+PARATEC's baseline configuration links sequential MKL; the Fig. 10
+comparison "MKL BLAS → CUBLAS" needs a host BLAS whose time scales
+like a real one.  The model prices a routine as
+``flops / (per-core GF/s × efficiency)`` and charges the calling
+process's virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class HostBlasModel:
+    """One core of a Xeon 5530 (Nehalem, 2.4 GHz) running MKL."""
+
+    #: peak double-precision GF/s per core (4 flops/cycle × 2.4 GHz).
+    peak_dp_gflops: float = 9.6
+    #: sustained fraction of peak for large level-3 BLAS.
+    l3_efficiency: float = 0.88
+    #: sustained fraction for level-1/2 (memory bound).
+    l12_efficiency: float = 0.25
+    #: fixed per-call overhead, seconds.
+    call_overhead: float = 1.5e-6
+
+    def l3_time(self, flops: float) -> float:
+        return self.call_overhead + flops / (self.peak_dp_gflops * 1e9 * self.l3_efficiency)
+
+    def l12_time(self, flops: float) -> float:
+        return self.call_overhead + flops / (self.peak_dp_gflops * 1e9 * self.l12_efficiency)
+
+
+class HostBlas:
+    """Callable host BLAS; every call advances the caller's clock."""
+
+    def __init__(self, sim: "Simulator", model: HostBlasModel | None = None) -> None:
+        self.sim = sim
+        self.model = model or HostBlasModel()
+        self.time_spent = 0.0
+        self.calls = 0
+
+    def _charge(self, seconds: float) -> None:
+        self.calls += 1
+        self.time_spent += seconds
+        if self.sim.current is not None:
+            self.sim.sleep(seconds)
+
+    # level 3 --------------------------------------------------------------
+
+    def dgemm(self, m: int, n: int, k: int) -> None:
+        """C ← αAB + βC, double real: 2mnk flops."""
+        self._charge(self.model.l3_time(2.0 * m * n * k))
+
+    def zgemm(self, m: int, n: int, k: int) -> None:
+        """Double complex gemm: 8mnk real flops."""
+        self._charge(self.model.l3_time(8.0 * m * n * k))
+
+    def dtrsm(self, m: int, n: int) -> None:
+        self._charge(self.model.l3_time(1.0 * m * m * n))
+
+    def dsyrk(self, n: int, k: int) -> None:
+        self._charge(self.model.l3_time(1.0 * n * n * k))
+
+    # level 1/2 ------------------------------------------------------------
+
+    def dgemv(self, m: int, n: int) -> None:
+        self._charge(self.model.l12_time(2.0 * m * n))
+
+    def daxpy(self, n: int) -> None:
+        self._charge(self.model.l12_time(2.0 * n))
+
+    def ddot(self, n: int) -> None:
+        self._charge(self.model.l12_time(2.0 * n))

@@ -1,0 +1,397 @@
+"""CUBLAS: the accelerated BLAS shipped with the CUDA runtime.
+
+The CUBLAS 3.1 surface has **167 entry points** (paper Section III-D);
+this module generates all of them from a structured specification —
+15 helper functions plus the full level-1/2/3 routine sets over the
+S/D/C/Z precisions — the same way IPM's wrapper generator consumes a
+spec on the monitoring side.
+
+Execution model (matches CUBLAS 3.x):
+
+* compute routines launch kernels **asynchronously** on the library's
+  kernel stream (``cublasSetKernelStream``), going *through the CUDA
+  runtime API* — so when IPM interposes the runtime it also sees the
+  ``cudaConfigureCall``/``cudaSetupArgument``/``cudaLaunch`` triple
+  that CUBLAS issues internally, exactly as LD_PRELOAD does;
+* scalar-returning level-1 routines (``cublasDdot``,
+  ``cublasDznrm2`` …) synchronize before returning;
+* ``cublasSetMatrix``/``cublasGetMatrix`` are blocking PCIe transfers
+  (the dominant cost in thunked PARATEC, Fig. 10).
+
+Every routine records ``last_call_info = (name, nbytes)`` so IPM's
+library wrapper can attach operation sizes to event signatures
+("IPM records the size of matrices, vectors, or operations for each
+call in the *bytes* parameter", §III-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cuda.errors import cudaError_t
+from repro.cuda.kernel import Kernel
+from repro.cuda.memory import DevicePtr, HostRef
+from repro.cuda.runtime import Runtime
+from repro.cuda.stream import Stream
+
+
+class CublasStatus(enum.IntEnum):
+    CUBLAS_STATUS_SUCCESS = 0
+    CUBLAS_STATUS_NOT_INITIALIZED = 1
+    CUBLAS_STATUS_ALLOC_FAILED = 3
+    CUBLAS_STATUS_INVALID_VALUE = 7
+    CUBLAS_STATUS_MAPPING_ERROR = 11
+    CUBLAS_STATUS_EXECUTION_FAILED = 13
+    CUBLAS_STATUS_INTERNAL_ERROR = 14
+
+
+@dataclass(frozen=True)
+class CublasCallSpec:
+    """One CUBLAS entry point."""
+
+    name: str          # e.g. "cublasDgemm"
+    kind: str          # "helper" | "blas1" | "blas2" | "blas3"
+    precision: str     # "s" | "d" | "c" | "z" | "" (helpers)
+    routine: str       # e.g. "gemm", "axpy", "amax"
+    blocking: bool = False  # returns a scalar ⇒ synchronizes
+
+
+# -- spec construction -------------------------------------------------------
+
+_HELPERS = [
+    "cublasInit", "cublasShutdown", "cublasGetError", "cublasGetVersion",
+    "cublasSetKernelStream", "cublasAlloc", "cublasFree",
+    "cublasSetVector", "cublasGetVector", "cublasSetMatrix", "cublasGetMatrix",
+    "cublasSetVectorAsync", "cublasGetVectorAsync",
+    "cublasSetMatrixAsync", "cublasGetMatrixAsync",
+]
+
+#: level-1 routines returning scalars (the call must synchronize).
+_SCALAR_L1 = {"amax", "amin", "asum", "dot", "dotu", "dotc", "nrm2",
+              "sdsdot", "dsdot"}
+
+_L1_REAL = ["amax", "amin", "asum", "axpy", "copy", "dot", "nrm2",
+            "rot", "rotg", "rotm", "rotmg", "scal", "swap"]
+_L1_CPLX = ["amax", "amin", "asum", "axpy", "copy", "dotu", "dotc", "nrm2",
+            "rot", "rotg", "rot2", "scal", "scal2", "swap"]
+
+_L2_REAL = ["gbmv", "gemv", "ger", "sbmv", "spmv", "spr", "spr2", "symv",
+            "syr", "syr2", "tbmv", "tbsv", "tpmv", "tpsv", "trmv", "trsv"]
+_L2_CPLX = ["gbmv", "gemv", "gerc", "geru", "hbmv", "hemv", "her", "her2",
+            "hpmv", "hpr", "hpr2", "tbmv", "tbsv", "tpmv", "tpsv", "trmv",
+            "trsv"]
+
+_L3_REAL = ["gemm", "symm", "syrk", "syr2k", "trmm", "trsm"]
+_L3_CPLX = ["gemm", "symm", "hemm", "syrk", "herk", "syr2k", "her2k",
+            "trmm", "trsm"]
+
+
+def _l1_name(prec: str, routine: str) -> str:
+    """Real CUBLAS naming quirks for level-1 routines."""
+    if routine in ("amax", "amin"):
+        return f"cublasI{prec}{routine}"                  # cublasIdamax
+    if routine == "sdsdot":
+        return "cublasSdsdot"
+    if routine == "dsdot":
+        return "cublasDsdot"
+    if routine == "asum":
+        return {"s": "cublasSasum", "d": "cublasDasum",
+                "c": "cublasScasum", "z": "cublasDzasum"}[prec]
+    if routine == "nrm2":
+        return {"s": "cublasSnrm2", "d": "cublasDnrm2",
+                "c": "cublasScnrm2", "z": "cublasDznrm2"}[prec]
+    if routine == "rot2":   # mixed-precision rotation: csrot / zdrot
+        return {"c": "cublasCsrot", "z": "cublasZdrot"}[prec]
+    if routine == "scal2":  # real-scalar complex scal: csscal / zdscal
+        return {"c": "cublasCsscal", "z": "cublasZdscal"}[prec]
+    return f"cublas{prec.upper()}{routine}"
+
+
+def _build_spec() -> List[CublasCallSpec]:
+    spec: List[CublasCallSpec] = [
+        CublasCallSpec(n, "helper", "", n[6:].lower()) for n in _HELPERS
+    ]
+    for prec in "sd":
+        l1 = list(_L1_REAL) + (["sdsdot"] if prec == "s" else ["dsdot"])
+        for r in l1:
+            spec.append(
+                CublasCallSpec(_l1_name(prec, r), "blas1", prec, r,
+                               blocking=r in _SCALAR_L1)
+            )
+        for r in _L2_REAL:
+            spec.append(CublasCallSpec(f"cublas{prec.upper()}{r}", "blas2", prec, r))
+        for r in _L3_REAL:
+            spec.append(CublasCallSpec(f"cublas{prec.upper()}{r}", "blas3", prec, r))
+    for prec in "cz":
+        for r in _L1_CPLX:
+            base = {"rot2": "rot", "scal2": "scal"}.get(r, r)
+            spec.append(
+                CublasCallSpec(_l1_name(prec, r), "blas1", prec, base,
+                               blocking=base in _SCALAR_L1)
+            )
+        for r in _L2_CPLX:
+            spec.append(CublasCallSpec(f"cublas{prec.upper()}{r}", "blas2", prec, r))
+        for r in _L3_CPLX:
+            spec.append(CublasCallSpec(f"cublas{prec.upper()}{r}", "blas3", prec, r))
+    return spec
+
+
+CUBLAS_API: List[CublasCallSpec] = _build_spec()
+assert len(CUBLAS_API) == 167, f"CUBLAS spec has {len(CUBLAS_API)} entries"
+CUBLAS_BY_NAME: Dict[str, CublasCallSpec] = {c.name: c for c in CUBLAS_API}
+
+_ELEM_SIZE = {"s": 4, "d": 8, "c": 8, "z": 16}
+#: real-flop multiplier for complex arithmetic.
+_CPLX_FACTOR = {"s": 1.0, "d": 1.0, "c": 4.0, "z": 4.0}
+
+
+def _dims(m: Optional[int], n: Optional[int], k: Optional[int]) -> Tuple[int, int, int]:
+    n = n if n is not None else (m if m is not None else 1)
+    m = m if m is not None else n
+    k = k if k is not None else n
+    return int(m), int(n), int(k)
+
+
+def routine_flops(routine: str, m: int, n: int, k: int, factor: float) -> float:
+    """Real floating-point operations of one BLAS routine call."""
+    if routine in ("amax", "amin", "copy", "swap", "scal"):
+        return factor * n
+    if routine in ("axpy", "dot", "dotu", "dotc", "nrm2", "asum",
+                   "sdsdot", "dsdot"):
+        return factor * 2.0 * n
+    if routine == "rot":
+        return factor * 6.0 * n
+    if routine in ("rotg", "rotm", "rotmg"):
+        return 32.0
+    if routine in ("gemv", "gbmv", "sbmv", "spmv", "symv", "hemv", "hbmv",
+                   "hpmv"):
+        return factor * 2.0 * m * n
+    if routine in ("ger", "gerc", "geru", "her", "syr", "spr", "hpr"):
+        return factor * 2.0 * m * n
+    if routine in ("her2", "syr2", "spr2", "hpr2"):
+        return factor * 4.0 * m * n
+    if routine in ("tbmv", "tbsv", "tpmv", "tpsv", "trmv", "trsv"):
+        return factor * n * n
+    if routine == "gemm":
+        return factor * 2.0 * m * n * k
+    if routine in ("symm", "hemm"):
+        return factor * 2.0 * m * m * n
+    if routine in ("syrk", "herk"):
+        return factor * 1.0 * n * n * k
+    if routine in ("syr2k", "her2k"):
+        return factor * 2.0 * n * n * k
+    if routine in ("trmm", "trsm"):
+        return factor * 1.0 * m * m * n
+    raise ValueError(f"unknown BLAS routine {routine!r}")
+
+
+def routine_bytes(kind: str, routine: str, m: int, n: int, k: int, es: int) -> int:
+    """Data footprint of one call — what IPM stores as the event's bytes."""
+    if kind == "blas1":
+        return es * n
+    if kind == "blas2":
+        return es * (m * n + m + n)
+    if routine == "gemm":
+        return es * (m * k + k * n + m * n)
+    return es * (m * m + m * n)
+
+
+class Cublas:
+    """Per-process CUBLAS library instance over a CUDA runtime.
+
+    All 167 entry points exist as attributes; compute routines are
+    generated from :data:`CUBLAS_API`.  Generated routines accept
+    dimension keywords (``m=, n=, k=``); the hand-written wrappers for
+    the hot routines (``cublasDgemm`` …) accept the positional C
+    signature as well.
+    """
+
+    #: sustained fraction of device peak for level-3 BLAS (Fermi CUBLAS).
+    L3_EFFICIENCY = 0.62
+    #: level-1/2 routines are memory-bound: effective GF/s fraction.
+    L12_EFFICIENCY = 0.05
+    #: fixed device-side overhead per BLAS kernel, seconds.
+    KERNEL_OVERHEAD = 4e-6
+
+    def __init__(self, rt: Runtime) -> None:
+        self.rt = rt
+        self._initialized = False
+        self._last_status = CublasStatus.CUBLAS_STATUS_SUCCESS
+        self._stream: Optional[Stream] = None
+        self._kernels: Dict[str, Kernel] = {}
+        #: (name, nbytes) of the most recent call, for IPM's wrapper.
+        self.last_call_info: Tuple[str, int] = ("", 0)
+        self.flops_issued = 0.0
+        for spec in CUBLAS_API:
+            if spec.kind != "helper":
+                self._attach_routine(spec)
+
+    # -- helpers -----------------------------------------------------------
+
+    def cublasInit(self) -> CublasStatus:
+        self.last_call_info = ("cublasInit", 0)
+        # context creation happens on first runtime use
+        self.rt._ensure_context()
+        self._initialized = True
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def cublasShutdown(self) -> CublasStatus:
+        self.last_call_info = ("cublasShutdown", 0)
+        self._initialized = False
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def cublasGetError(self) -> CublasStatus:
+        err, self._last_status = self._last_status, CublasStatus.CUBLAS_STATUS_SUCCESS
+        return err
+
+    def cublasGetVersion(self) -> Tuple[CublasStatus, int]:
+        return CublasStatus.CUBLAS_STATUS_SUCCESS, 3010
+
+    def cublasSetKernelStream(self, stream: Optional[Stream]) -> CublasStatus:
+        self._stream = stream
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def cublasAlloc(self, n: int, elem_size: int):
+        self.last_call_info = ("cublasAlloc", n * elem_size)
+        err, ptr = self.rt.cudaMalloc(n * elem_size)
+        if err != cudaError_t.cudaSuccess:
+            self._last_status = CublasStatus.CUBLAS_STATUS_ALLOC_FAILED
+            return CublasStatus.CUBLAS_STATUS_ALLOC_FAILED, None
+        return CublasStatus.CUBLAS_STATUS_SUCCESS, ptr
+
+    def cublasFree(self, ptr: DevicePtr) -> CublasStatus:
+        self.last_call_info = ("cublasFree", 0)
+        if self.rt.cudaFree(ptr) != cudaError_t.cudaSuccess:
+            self._last_status = CublasStatus.CUBLAS_STATUS_INVALID_VALUE
+            return CublasStatus.CUBLAS_STATUS_INVALID_VALUE
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def _xfer(self, name: str, nbytes: int, dev: DevicePtr, host, to_device: bool,
+              asynchronous: bool = False) -> CublasStatus:
+        from repro.cuda.errors import cudaMemcpyKind as MK
+
+        self.last_call_info = (name, nbytes)
+        host = host if host is not None else HostRef(nbytes)
+        if to_device:
+            args = (dev, host, nbytes, MK.cudaMemcpyHostToDevice)
+        else:
+            args = (host, dev, nbytes, MK.cudaMemcpyDeviceToHost)
+        if asynchronous:
+            err = self.rt.cudaMemcpyAsync(*args, self._stream)
+        else:
+            err = self.rt.cudaMemcpy(*args)
+        if err != cudaError_t.cudaSuccess:
+            self._last_status = CublasStatus.CUBLAS_STATUS_MAPPING_ERROR
+            return CublasStatus.CUBLAS_STATUS_MAPPING_ERROR
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def cublasSetVector(self, n: int, elem_size: int, host, dev: DevicePtr) -> CublasStatus:
+        return self._xfer("cublasSetVector", n * elem_size, dev, host, True)
+
+    def cublasGetVector(self, n: int, elem_size: int, dev: DevicePtr, host=None) -> CublasStatus:
+        return self._xfer("cublasGetVector", n * elem_size, dev, host, False)
+
+    def cublasSetMatrix(self, rows: int, cols: int, elem_size: int, host, dev: DevicePtr) -> CublasStatus:
+        return self._xfer("cublasSetMatrix", rows * cols * elem_size, dev, host, True)
+
+    def cublasGetMatrix(self, rows: int, cols: int, elem_size: int, dev: DevicePtr, host=None) -> CublasStatus:
+        return self._xfer("cublasGetMatrix", rows * cols * elem_size, dev, host, False)
+
+    def cublasSetVectorAsync(self, n, elem_size, host, dev) -> CublasStatus:
+        return self._xfer("cublasSetVectorAsync", n * elem_size, dev, host, True, True)
+
+    def cublasGetVectorAsync(self, n, elem_size, dev, host=None) -> CublasStatus:
+        return self._xfer("cublasGetVectorAsync", n * elem_size, dev, host, False, True)
+
+    def cublasSetMatrixAsync(self, rows, cols, elem_size, host, dev) -> CublasStatus:
+        return self._xfer("cublasSetMatrixAsync", rows * cols * elem_size, dev, host, True, True)
+
+    def cublasGetMatrixAsync(self, rows, cols, elem_size, dev, host=None) -> CublasStatus:
+        return self._xfer("cublasGetMatrixAsync", rows * cols * elem_size, dev, host, False, True)
+
+    # -- generated compute routines -------------------------------------------
+
+    def _kernel_for(self, spec: CublasCallSpec, duration: float) -> Kernel:
+        return Kernel(f"{spec.name[6:].lower()}_gpu", nominal_duration=duration)
+
+    def _exec(self, spec: CublasCallSpec, m, n, k) -> CublasStatus:
+        m, n, k = _dims(m, n, k)
+        if min(m, n, k) < 0:
+            self._last_status = CublasStatus.CUBLAS_STATUS_INVALID_VALUE
+            return CublasStatus.CUBLAS_STATUS_INVALID_VALUE
+        prec = spec.precision
+        factor = _CPLX_FACTOR[prec]
+        flops = routine_flops(spec.routine, m, n, k, factor)
+        peak = (
+            self.rt.device.spec.peak_dp_gflops
+            if prec in ("d", "z")
+            else self.rt.device.spec.peak_sp_gflops
+        ) * 1e9
+        eff = self.L3_EFFICIENCY if spec.kind == "blas3" else self.L12_EFFICIENCY
+        duration = self.KERNEL_OVERHEAD + flops / (peak * eff)
+        nbytes = routine_bytes(spec.kind, spec.routine, m, n, k, _ELEM_SIZE[prec])
+        self.last_call_info = (spec.name, nbytes)
+        self.flops_issued += flops
+        err = self.rt.launch(
+            self._kernel_for(spec, duration), grid=max(1, n // 64 + 1), block=64,
+            args=(m, n, k), stream=self._stream,
+        )
+        if err != cudaError_t.cudaSuccess:
+            self._last_status = CublasStatus.CUBLAS_STATUS_EXECUTION_FAILED
+            return CublasStatus.CUBLAS_STATUS_EXECUTION_FAILED
+        if spec.blocking:
+            self.rt.cudaStreamSynchronize(self._stream)
+        return CublasStatus.CUBLAS_STATUS_SUCCESS
+
+    def _attach_routine(self, spec: CublasCallSpec) -> None:
+        if hasattr(self, spec.name):
+            return  # hand-written wrapper takes precedence
+
+        def routine(*_args, m=None, n=None, k=None, _spec=spec, **_kw):
+            return self._exec(_spec, m, n, k)
+
+        routine.__name__ = spec.name
+        routine.__doc__ = (
+            f"Generated CUBLAS {spec.kind} routine {spec.routine!r} "
+            f"({spec.precision or 'helper'}); dims via m=, n=, k=."
+        )
+        setattr(self, spec.name, routine)
+
+    # -- hand-written hot routines (C positional signatures) --------------------
+
+    def cublasSgemm(self, transa, transb, m, n, k, alpha=1.0, A=None, lda=0,
+                    B=None, ldb=0, beta=0.0, C=None, ldc=0) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasSgemm"], m, n, k)
+
+    def cublasDgemm(self, transa, transb, m, n, k, alpha=1.0, A=None, lda=0,
+                    B=None, ldb=0, beta=0.0, C=None, ldc=0) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasDgemm"], m, n, k)
+
+    def cublasCgemm(self, transa, transb, m, n, k, alpha=1.0, A=None, lda=0,
+                    B=None, ldb=0, beta=0.0, C=None, ldc=0) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasCgemm"], m, n, k)
+
+    def cublasZgemm(self, transa, transb, m, n, k, alpha=1.0, A=None, lda=0,
+                    B=None, ldb=0, beta=0.0, C=None, ldc=0) -> CublasStatus:
+        """Double-complex GEMM — PARATEC's dominant BLAS routine (§IV-D)."""
+        return self._exec(CUBLAS_BY_NAME["cublasZgemm"], m, n, k)
+
+    def cublasDtrsm(self, side, uplo, transa, diag, m, n, alpha=1.0,
+                    A=None, lda=0, B=None, ldb=0) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasDtrsm"], m, n, None)
+
+    def cublasDaxpy(self, n, alpha, x=None, incx=1, y=None, incy=1) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasDaxpy"], None, n, None)
+
+    def cublasDdot(self, n, x=None, incx=1, y=None, incy=1):
+        st = self._exec(CUBLAS_BY_NAME["cublasDdot"], None, n, None)
+        return st, 0.0
+
+    def cublasDscal(self, n, alpha, x=None, incx=1) -> CublasStatus:
+        return self._exec(CUBLAS_BY_NAME["cublasDscal"], None, n, None)
+
+    def cublasDznrm2(self, n, x=None, incx=1):
+        st = self._exec(CUBLAS_BY_NAME["cublasDznrm2"], None, n, None)
+        return st, 0.0

@@ -1,0 +1,177 @@
+"""CUFFT: the accelerated FFT library (13 entry points, §III-D).
+
+Execution routines launch kernels through the CUDA runtime (so IPM's
+runtime interposition sees them, as with CUBLAS) with a
+``5·n·log₂(n)`` flop model; plans carry their geometry and batch
+count.  Amber's PME reciprocal-space sums use ``cufftExecZ2Z`` /
+``D2Z`` / ``Z2D`` on 3-D grids (§IV-E).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cuda.errors import cudaError_t
+from repro.cuda.kernel import Kernel
+from repro.cuda.runtime import Runtime
+from repro.cuda.stream import Stream
+
+
+class CufftResult(enum.IntEnum):
+    CUFFT_SUCCESS = 0
+    CUFFT_INVALID_PLAN = 1
+    CUFFT_ALLOC_FAILED = 2
+    CUFFT_INVALID_VALUE = 4
+    CUFFT_EXEC_FAILED = 6
+    CUFFT_SETUP_FAILED = 7
+    CUFFT_INVALID_SIZE = 8
+
+
+@dataclass(frozen=True)
+class CufftCallSpec:
+    name: str
+    kind: str  # "plan" | "exec" | "misc"
+
+
+CUFFT_API: List[CufftCallSpec] = [
+    CufftCallSpec("cufftPlan1d", "plan"),
+    CufftCallSpec("cufftPlan2d", "plan"),
+    CufftCallSpec("cufftPlan3d", "plan"),
+    CufftCallSpec("cufftPlanMany", "plan"),
+    CufftCallSpec("cufftDestroy", "misc"),
+    CufftCallSpec("cufftExecC2C", "exec"),
+    CufftCallSpec("cufftExecR2C", "exec"),
+    CufftCallSpec("cufftExecC2R", "exec"),
+    CufftCallSpec("cufftExecZ2Z", "exec"),
+    CufftCallSpec("cufftExecD2Z", "exec"),
+    CufftCallSpec("cufftExecZ2D", "exec"),
+    CufftCallSpec("cufftSetStream", "misc"),
+    CufftCallSpec("cufftGetVersion", "misc"),
+]
+assert len(CUFFT_API) == 13, "CUFFT has 13 calls in the paper's spec"
+CUFFT_BY_NAME = {c.name: c for c in CUFFT_API}
+
+_ELEM = {"C": 8, "Z": 16, "R": 4, "D": 8}
+
+
+@dataclass
+class CufftPlan:
+    plan_id: int
+    dims: Tuple[int, ...]
+    fft_type: str
+    batch: int = 1
+    stream: Optional[Stream] = None
+    destroyed: bool = False
+
+    @property
+    def total_points(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n * self.batch
+
+
+class Cufft:
+    """Per-process CUFFT library instance over a CUDA runtime."""
+
+    #: sustained fraction of SP/DP peak for FFT kernels.
+    EFFICIENCY = 0.25
+    KERNEL_OVERHEAD = 5e-6
+    #: host-side cost of building a plan (twiddle tables etc.).
+    PLAN_COST = 150e-6
+
+    def __init__(self, rt: Runtime) -> None:
+        self.rt = rt
+        self._plans: Dict[int, CufftPlan] = {}
+        self._next_id = 1
+        #: (name, nbytes) of the most recent call, for IPM's wrapper.
+        self.last_call_info: Tuple[str, int] = ("", 0)
+
+    # -- plans ------------------------------------------------------------
+
+    def _new_plan(self, name: str, dims: Tuple[int, ...], fft_type: str,
+                  batch: int = 1):
+        if any(d <= 0 for d in dims) or batch <= 0:
+            return CufftResult.CUFFT_INVALID_SIZE, None
+        self.last_call_info = (name, 0)
+        if self.rt.sim.current is not None:
+            self.rt.sim.sleep(self.PLAN_COST)
+        plan = CufftPlan(self._next_id, dims, fft_type, batch)
+        self._next_id += 1
+        self._plans[plan.plan_id] = plan
+        return CufftResult.CUFFT_SUCCESS, plan
+
+    def cufftPlan1d(self, nx: int, fft_type: str = "C2C", batch: int = 1):
+        return self._new_plan("cufftPlan1d", (nx,), fft_type, batch)
+
+    def cufftPlan2d(self, nx: int, ny: int, fft_type: str = "C2C"):
+        return self._new_plan("cufftPlan2d", (nx, ny), fft_type)
+
+    def cufftPlan3d(self, nx: int, ny: int, nz: int, fft_type: str = "C2C"):
+        return self._new_plan("cufftPlan3d", (nx, ny, nz), fft_type)
+
+    def cufftPlanMany(self, dims: Tuple[int, ...], batch: int,
+                      fft_type: str = "C2C"):
+        return self._new_plan("cufftPlanMany", tuple(dims), fft_type, batch)
+
+    def cufftDestroy(self, plan: CufftPlan) -> CufftResult:
+        self.last_call_info = ("cufftDestroy", 0)
+        if not isinstance(plan, CufftPlan) or plan.destroyed:
+            return CufftResult.CUFFT_INVALID_PLAN
+        plan.destroyed = True
+        del self._plans[plan.plan_id]
+        return CufftResult.CUFFT_SUCCESS
+
+    def cufftSetStream(self, plan: CufftPlan, stream: Optional[Stream]) -> CufftResult:
+        if not isinstance(plan, CufftPlan) or plan.destroyed:
+            return CufftResult.CUFFT_INVALID_PLAN
+        plan.stream = stream
+        return CufftResult.CUFFT_SUCCESS
+
+    def cufftGetVersion(self) -> Tuple[CufftResult, int]:
+        return CufftResult.CUFFT_SUCCESS, 3010
+
+    # -- execution -----------------------------------------------------------
+
+    def _exec(self, name: str, plan: CufftPlan, elem: str) -> CufftResult:
+        if not isinstance(plan, CufftPlan) or plan.destroyed:
+            return CufftResult.CUFFT_INVALID_PLAN
+        n = plan.total_points
+        flops = 5.0 * n * max(1.0, math.log2(max(2, n // max(1, plan.batch))))
+        double_prec = elem in ("Z", "D")
+        peak = (
+            self.rt.device.spec.peak_dp_gflops
+            if double_prec
+            else self.rt.device.spec.peak_sp_gflops
+        ) * 1e9
+        duration = self.KERNEL_OVERHEAD + flops / (peak * self.EFFICIENCY)
+        nbytes = n * _ELEM[elem]
+        self.last_call_info = (name, nbytes)
+        err = self.rt.launch(
+            Kernel(f"{name[5:].lower()}_kernel", nominal_duration=duration),
+            grid=max(1, n // 256 + 1), block=256, stream=plan.stream,
+        )
+        if err != cudaError_t.cudaSuccess:
+            return CufftResult.CUFFT_EXEC_FAILED
+        return CufftResult.CUFFT_SUCCESS
+
+    def cufftExecC2C(self, plan, idata=None, odata=None, direction=1) -> CufftResult:
+        return self._exec("cufftExecC2C", plan, "C")
+
+    def cufftExecR2C(self, plan, idata=None, odata=None) -> CufftResult:
+        return self._exec("cufftExecR2C", plan, "C")
+
+    def cufftExecC2R(self, plan, idata=None, odata=None) -> CufftResult:
+        return self._exec("cufftExecC2R", plan, "C")
+
+    def cufftExecZ2Z(self, plan, idata=None, odata=None, direction=1) -> CufftResult:
+        return self._exec("cufftExecZ2Z", plan, "Z")
+
+    def cufftExecD2Z(self, plan, idata=None, odata=None) -> CufftResult:
+        return self._exec("cufftExecD2Z", plan, "Z")
+
+    def cufftExecZ2D(self, plan, idata=None, odata=None) -> CufftResult:
+        return self._exec("cufftExecZ2D", plan, "Z")

@@ -1,0 +1,36 @@
+"""Simulated MPI over the virtual-time substrate.
+
+Rank programs are plain Python functions executed as simulated
+processes; they communicate through a :class:`CommWorld` with real
+data movement (numpy arrays, Python objects) and Hockney-style cost
+models for QDR InfiniBand (inter-node) and shared memory (intra-node),
+matching the Dirac cluster of the paper's evaluation.
+
+The API surface uses C-MPI names (``MPI_Send``, ``MPI_Allreduce`` …)
+because that is what IPM's interposition layer reports in its banner
+and XML logs.
+"""
+
+from repro.mpi.datatypes import ReduceOp, payload_nbytes
+from repro.mpi.network import NetworkModel, Network
+from repro.mpi.request import Request, Status, ANY_SOURCE, ANY_TAG
+from repro.mpi.comm import CommWorld, RankComm, MpiError
+from repro.mpi.launcher import mpirun
+from repro.mpi.spec import MPI_API, MPI_BY_NAME
+
+__all__ = [
+    "ReduceOp",
+    "payload_nbytes",
+    "NetworkModel",
+    "Network",
+    "Request",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommWorld",
+    "RankComm",
+    "MpiError",
+    "mpirun",
+    "MPI_API",
+    "MPI_BY_NAME",
+]

@@ -1,0 +1,201 @@
+"""Collective operations: matching, data semantics, and cost models.
+
+Every rank of a communicator calls the same collective in the same
+order; instances are matched by a per-rank sequence number (mismatched
+operation names are detected and reported, like a real MPI would hang
+or corrupt).  Data results are computed exactly (numpy/Python values);
+completion *times* come from closed-form LogP/Hockney-style models:
+
+===============  ====================================================
+collective       completion time after the last arrival T
+===============  ====================================================
+Barrier          T + 2⌈log₂p⌉·α                        (all ranks)
+Bcast            T + ⌈log₂p⌉·(α + n·β)                 (all ranks)
+Reduce           T + ⌈log₂p⌉·(α + n·β + n·γ)           (all ranks)
+Allreduce        T + 2⌈log₂p⌉·α + 2n·β·(p−1)/p + n·γ   (all ranks)
+Allgather        T + (p−1)·(α + n·β)                   (all ranks)
+Alltoall         T + (p−1)·(α + n·β)                   (all ranks)
+Scatter          T + ⌈log₂p⌉·α + n_total·β             (all ranks)
+Gather           non-root: T + α + nᵢ·β
+                 root:     T + Σᵢ(α + nᵢ·β)            (serialized)
+===============  ====================================================
+
+β is scaled by the NUMA factor of the node mapping — the mechanism
+behind the paper's Fig. 10 observation that ``MPI_Gather`` "becomes
+very large" at 256 processes on 32 nodes (8 ranks/node).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.mpi.datatypes import ReduceOp
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import CommWorld
+
+
+class MpiCollectiveMismatch(RuntimeError):
+    """Ranks disagreed on which collective comes next."""
+
+
+class CollectiveInstance:
+    """One in-flight collective operation across all ranks."""
+
+    def __init__(self, world: "CommWorld", seq: int, op_name: str) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.seq = seq
+        self.op_name = op_name
+        self.parties = world.size
+        self.arrivals: Dict[int, float] = {}
+        self.data: Dict[int, Any] = {}
+        self.nbytes: Dict[int, int] = {}
+        self.kwargs: Dict[int, dict] = {}
+        self.done: Dict[int, Completion] = {}
+
+    def enter(self, rank: int, data: Any, nbytes: int, **kwargs: Any) -> Completion:
+        if rank in self.arrivals:
+            raise MpiCollectiveMismatch(
+                f"rank {rank} entered {self.op_name} (seq {self.seq}) twice"
+            )
+        self.arrivals[rank] = self.sim.now
+        self.data[rank] = data
+        self.nbytes[rank] = nbytes
+        self.kwargs[rank] = kwargs
+        c = Completion(self.sim, name=f"{self.op_name}[{self.seq}]r{rank}")
+        self.done[rank] = c
+        if len(self.arrivals) == self.parties:
+            self._fire_all()
+        return c
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _alpha_beta(self) -> tuple:
+        world = self.world
+        model = world.network.model
+        multi_node = len(set(world.rank_to_node)) > 1
+        alpha = model.inter_latency if multi_node else model.intra_latency
+        bw = model.inter_bandwidth if multi_node else model.intra_bandwidth
+        beta = model.numa_factor(world.ranks_per_node) / bw
+        return alpha, beta
+
+    def _log_p(self) -> int:
+        return max(1, math.ceil(math.log2(self.parties))) if self.parties > 1 else 0
+
+    # -- completion ----------------------------------------------------------
+
+    def _fire_all(self) -> None:
+        op = self.op_name
+        alpha, beta = self._alpha_beta()
+        logp = self._log_p()
+        p = self.parties
+        gamma = 2e-10  # reduction compute per byte
+        n_max = max(self.nbytes.values()) if self.nbytes else 0
+
+        results = self._compute_results()
+
+        if op == "MPI_Barrier":
+            cost = {r: 2 * logp * alpha for r in range(p)}
+        elif op == "MPI_Bcast":
+            cost = {r: logp * (alpha + n_max * beta) for r in range(p)}
+        elif op == "MPI_Reduce":
+            cost = {r: logp * (alpha + n_max * (beta + gamma)) for r in range(p)}
+        elif op == "MPI_Allreduce":
+            c = 2 * logp * alpha + 2 * n_max * beta * (p - 1) / p + n_max * gamma
+            cost = {r: c for r in range(p)}
+        elif op in ("MPI_Allgather", "MPI_Allgatherv", "MPI_Alltoall"):
+            c = (p - 1) * (alpha + n_max * beta)
+            cost = {r: c for r in range(p)}
+        elif op == "MPI_Reduce_scatter":
+            c = 2 * logp * alpha + n_max * beta * (p - 1) / p + n_max * gamma
+            cost = {r: c for r in range(p)}
+        elif op == "MPI_Scatter":
+            total = sum(self.nbytes.values())
+            c = logp * alpha + total * beta
+            cost = {r: c for r in range(p)}
+        elif op in ("MPI_Gather", "MPI_Gatherv"):
+            root = self.kwargs[0].get("root", 0)
+            eager = self.world.network.model.eager_threshold
+            if n_max <= eager:
+                # small gathers: non-roots buffer eagerly and leave
+                serialized = sum(alpha + nb * beta for nb in self.nbytes.values())
+                cost = {
+                    r: (serialized if r == root else alpha + self.nbytes[r] * beta)
+                    for r in range(p)
+                }
+            else:
+                # large gathers use rendezvous: the root drains the
+                # incoming messages serially (rank order), and each
+                # non-root blocks until its own message is consumed —
+                # this is what makes MPI_Gather itself blow up at scale
+                # (Fig. 10), not just the next collective.
+                cost = {}
+                acc = 0.0
+                for r in range(p):
+                    if r == root:
+                        continue
+                    acc += alpha + self.nbytes[r] * beta
+                    cost[r] = acc
+                cost[root] = acc
+        else:  # pragma: no cover - guarded by RankComm
+            raise MpiCollectiveMismatch(f"unknown collective {op!r}")
+
+        for r in range(p):
+            self.done[r].fire_after(cost[r], results[r])
+        self.world._collective_finished(self.seq)
+
+    def _compute_results(self) -> Dict[int, Any]:
+        op = self.op_name
+        p = self.parties
+        if op == "MPI_Barrier":
+            return {r: None for r in range(p)}
+        if op == "MPI_Bcast":
+            root = self.kwargs[0].get("root", 0)
+            v = self.data[root]
+            return {r: v for r in range(p)}
+        if op in ("MPI_Reduce", "MPI_Allreduce"):
+            rop: ReduceOp = self.kwargs[0].get("op", ReduceOp.SUM)
+            total = rop.reduce_all(self.data[r] for r in range(p))
+            if op == "MPI_Allreduce":
+                return {r: total for r in range(p)}
+            root = self.kwargs[0].get("root", 0)
+            return {r: (total if r == root else None) for r in range(p)}
+        if op in ("MPI_Gather", "MPI_Gatherv"):
+            root = self.kwargs[0].get("root", 0)
+            gathered = [self.data[r] for r in range(p)]
+            return {r: (gathered if r == root else None) for r in range(p)}
+        if op in ("MPI_Allgather", "MPI_Allgatherv"):
+            gathered = [self.data[r] for r in range(p)]
+            return {r: list(gathered) for r in range(p)}
+        if op == "MPI_Reduce_scatter":
+            rop: ReduceOp = self.kwargs[0].get("op", ReduceOp.SUM)
+            contributions = [self.data[r] for r in range(p) if self.data[r] is not None]
+            if not contributions:
+                return {r: None for r in range(p)}
+            if any(len(c) != p for c in contributions):
+                raise MpiCollectiveMismatch(
+                    f"MPI_Reduce_scatter buffers must have {p} blocks"
+                )
+            # block-wise reduction; block j goes to rank j
+            return {
+                j: rop.reduce_all(c[j] for c in contributions) for j in range(p)
+            }
+        if op == "MPI_Scatter":
+            root = self.kwargs[0].get("root", 0)
+            items = self.data[root]
+            if items is not None and len(items) != p:
+                raise MpiCollectiveMismatch(
+                    f"MPI_Scatter root buffer has {len(items)} items for {p} ranks"
+                )
+            return {r: (items[r] if items is not None else None) for r in range(p)}
+        if op == "MPI_Alltoall":
+            for r in range(p):
+                if len(self.data[r]) != p:
+                    raise MpiCollectiveMismatch(
+                        f"MPI_Alltoall rank {r} buffer has {len(self.data[r])} items"
+                    )
+            return {r: [self.data[src][r] for src in range(p)] for r in range(p)}
+        raise MpiCollectiveMismatch(f"unknown collective {op!r}")  # pragma: no cover

@@ -1,0 +1,330 @@
+"""Communicator: point-to-point matching and the rank-facing MPI API.
+
+Point-to-point follows real MPI protocol structure:
+
+* **eager** (small messages): the payload leaves immediately; the send
+  completes locally without waiting for the receiver;
+* **rendezvous** (large messages): the transfer starts when sender and
+  receiver have both posted; a blocking ``MPI_Send`` then stalls until
+  the receive is matched — so communication imbalance shows up in the
+  sender's MPI time exactly as IPM would report it on a real machine.
+
+Transfers reserve NIC time through :class:`~repro.mpi.network.Network`,
+so concurrent messages into one node contend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.mpi.collectives import CollectiveInstance, MpiCollectiveMismatch
+from repro.mpi.datatypes import ReduceOp, payload_nbytes
+from repro.mpi.network import Network, NetworkModel
+from repro.mpi.request import ANY_SOURCE, ANY_TAG, Request, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+class MpiError(RuntimeError):
+    """Misuse of the MPI interface (bad rank, mismatched collective …)."""
+
+
+@dataclass
+class _PostedSend:
+    src: int
+    tag: int
+    data: Any
+    nbytes: int
+    request: Request
+    #: for eager sends: completion of the in-flight transfer.
+    arrival: Optional[Any] = None
+
+
+@dataclass
+class _PostedRecv:
+    src_filter: int
+    tag_filter: int
+    request: Request
+
+
+class CommWorld:
+    """Shared state of ``MPI_COMM_WORLD`` for one job."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        size: int,
+        network: Optional[Network] = None,
+        rank_to_node: Optional[List[int]] = None,
+    ) -> None:
+        if size <= 0:
+            raise MpiError(f"communicator size must be positive: {size}")
+        self.sim = sim
+        self.size = size
+        self.rank_to_node = rank_to_node or [0] * size
+        if len(self.rank_to_node) != size:
+            raise MpiError("rank_to_node length must equal size")
+        counts: Dict[int, int] = {}
+        for n in self.rank_to_node:
+            counts[n] = counts.get(n, 0) + 1
+        self.ranks_per_node = max(counts.values())
+        self.network = network or Network(sim, ranks_per_node=self.ranks_per_node)
+        self.network.ranks_per_node = self.ranks_per_node
+        # unmatched sends/recvs, keyed by destination rank.
+        self._sends: Dict[int, Deque[_PostedSend]] = {r: deque() for r in range(size)}
+        self._recvs: Dict[int, Deque[_PostedRecv]] = {r: deque() for r in range(size)}
+        # collectives
+        self._coll_seq: List[int] = [0] * size
+        self._coll: Dict[int, CollectiveInstance] = {}
+
+    def rank_comm(self, rank: int) -> "RankComm":
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range (size {self.size})")
+        return RankComm(self, rank)
+
+    # -- point-to-point ----------------------------------------------------
+
+    @staticmethod
+    def _matches(send: _PostedSend, recv: _PostedRecv) -> bool:
+        ok_src = recv.src_filter in (ANY_SOURCE, send.src)
+        ok_tag = recv.tag_filter in (ANY_TAG, send.tag)
+        return ok_src and ok_tag
+
+    def post_send(
+        self, src: int, dest: int, tag: int, data: Any, nbytes: Optional[int]
+    ) -> Request:
+        if not (0 <= dest < self.size):
+            raise MpiError(f"send to invalid rank {dest}")
+        size = payload_nbytes(data, nbytes)
+        req = Request(self.sim, "send")
+        send = _PostedSend(src, tag, data, size, req)
+        # try to match a posted receive at the destination
+        queue = self._recvs[dest]
+        for i, recv in enumerate(queue):
+            if self._matches(send, recv):
+                del queue[i]
+                self._start_transfer(send, recv, dest)
+                return req
+        # unmatched: eager sends fly now and complete locally;
+        # rendezvous sends park until a receive arrives.
+        if size <= self.network.model.eager_threshold:
+            send.arrival = self.network.transfer(
+                size, self.rank_to_node[src], self.rank_to_node[dest]
+            )
+            req.completion.fire_after(0.0, None)
+        self._sends[dest].append(send)
+        return req
+
+    def post_recv(self, dest: int, source: int, tag: int) -> Request:
+        req = Request(self.sim, "recv")
+        recv = _PostedRecv(source, tag, req)
+        queue = self._sends[dest]
+        for i, send in enumerate(queue):
+            if self._matches(send, recv):
+                del queue[i]
+                self._start_transfer(send, recv, dest)
+                return req
+        self._recvs[dest].append(recv)
+        return req
+
+    def _start_transfer(self, send: _PostedSend, recv: _PostedRecv, dest: int) -> None:
+        def deliver(_v: Any) -> None:
+            recv.request.status = Status(send.src, send.tag, send.nbytes)
+            recv.request.completion.fire(send.data)
+            if not send.request.completion.fired:  # rendezvous send
+                send.request.completion.fire(None)
+
+        if send.arrival is not None:  # eager: payload already in flight
+            send.arrival.add_callback(deliver)
+        else:  # rendezvous: transfer starts at match time
+            self.network.transfer(
+                send.nbytes, self.rank_to_node[send.src], self.rank_to_node[dest]
+            ).add_callback(deliver)
+
+    # -- collectives -----------------------------------------------------------
+
+    def coll_enter(
+        self, rank: int, op_name: str, data: Any, nbytes: Optional[int], **kwargs
+    ):
+        seq = self._coll_seq[rank]
+        self._coll_seq[rank] += 1
+        inst = self._coll.get(seq)
+        if inst is None:
+            inst = CollectiveInstance(self, seq, op_name)
+            self._coll[seq] = inst
+        elif inst.op_name != op_name:
+            raise MpiCollectiveMismatch(
+                f"rank {rank} called {op_name} while seq {seq} is {inst.op_name}"
+            )
+        return inst.enter(rank, data, payload_nbytes(data, nbytes), **kwargs)
+
+    def _collective_finished(self, seq: int) -> None:
+        self._coll.pop(seq, None)
+
+    def unmatched(self) -> int:
+        """Count of dangling sends+recvs (post-job sanity check)."""
+        return sum(len(q) for q in self._sends.values()) + sum(
+            len(q) for q in self._recvs.values()
+        )
+
+
+class RankComm:
+    """The per-rank MPI interface handed to application code.
+
+    Method names are the C MPI names because IPM's interposition layer
+    reports them verbatim (banner rows like ``MPI_Allreduce``).
+    """
+
+    def __init__(self, world: CommWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.sim = world.sim
+
+    # -- environment ------------------------------------------------------
+
+    def MPI_Init(self) -> None:
+        """No-op placeholder; the job launcher owns process setup."""
+
+    def MPI_Finalize(self) -> None:
+        """No-op placeholder; the job launcher owns teardown."""
+
+    def MPI_Comm_rank(self) -> int:
+        return self.rank
+
+    def MPI_Comm_size(self) -> int:
+        return self.world.size
+
+    def MPI_Wtime(self) -> float:
+        return self.sim.now
+
+    def MPI_Abort(self, errorcode: int = 1) -> None:
+        raise MpiError(f"MPI_Abort(errorcode={errorcode}) from rank {self.rank}")
+
+    def MPI_Pcontrol(self, level: int, label: str = "") -> None:
+        """Profiling control: a no-op for MPI itself; IPM's wrapper
+        interprets it as region enter (level 1) / exit (level -1),
+        exactly like real IPM's user regions."""
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def MPI_Send(
+        self, data: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> None:
+        """Blocking standard-mode send."""
+        req = self.world.post_send(self.rank, dest, tag, data, nbytes)
+        req.wait()
+
+    def MPI_Isend(
+        self, data: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Request:
+        return self.world.post_send(self.rank, dest, tag, data, nbytes)
+
+    def MPI_Recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(data, status)``."""
+        req = self.world.post_recv(self.rank, source, tag)
+        data = req.wait()
+        return data, req.status
+
+    def MPI_Irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return self.world.post_recv(self.rank, source, tag)
+
+    def MPI_Sendrecv(
+        self,
+        senddata: Any,
+        dest: int,
+        recvsource: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[int] = None,
+    ):
+        sreq = self.MPI_Isend(senddata, dest, sendtag, nbytes)
+        rreq = self.MPI_Irecv(recvsource, recvtag)
+        data = rreq.wait()
+        sreq.wait()
+        return data, rreq.status
+
+    def MPI_Wait(self, request: Request) -> Any:
+        return request.wait()
+
+    def MPI_Waitall(self, requests: List[Request]) -> List[Any]:
+        return [r.wait() for r in requests]
+
+    def MPI_Test(self, request: Request) -> bool:
+        return request.test()
+
+    # -- collectives ---------------------------------------------------------------
+
+    def MPI_Barrier(self) -> None:
+        self.world.coll_enter(self.rank, "MPI_Barrier", None, 0).wait()
+
+    def MPI_Bcast(self, data: Any, root: int = 0, nbytes: Optional[int] = None) -> Any:
+        return self.world.coll_enter(
+            self.rank, "MPI_Bcast", data if self.rank == root else None,
+            nbytes if self.rank == root else nbytes, root=root
+        ).wait()
+
+    def MPI_Reduce(
+        self, data: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Any:
+        return self.world.coll_enter(
+            self.rank, "MPI_Reduce", data, nbytes, root=root, op=op
+        ).wait()
+
+    def MPI_Allreduce(
+        self, data: Any, op: ReduceOp = ReduceOp.SUM, nbytes: Optional[int] = None
+    ) -> Any:
+        return self.world.coll_enter(
+            self.rank, "MPI_Allreduce", data, nbytes, op=op
+        ).wait()
+
+    def MPI_Gather(
+        self, data: Any, root: int = 0, nbytes: Optional[int] = None
+    ) -> Optional[List[Any]]:
+        return self.world.coll_enter(
+            self.rank, "MPI_Gather", data, nbytes, root=root
+        ).wait()
+
+    def MPI_Allgather(self, data: Any, nbytes: Optional[int] = None) -> List[Any]:
+        return self.world.coll_enter(
+            self.rank, "MPI_Allgather", data, nbytes
+        ).wait()
+
+    def MPI_Gatherv(
+        self, data: Any, root: int = 0, nbytes: Optional[int] = None
+    ) -> Optional[List[Any]]:
+        """Vector gather: per-rank contributions may differ in size."""
+        return self.world.coll_enter(
+            self.rank, "MPI_Gatherv", data, nbytes, root=root
+        ).wait()
+
+    def MPI_Allgatherv(self, data: Any, nbytes: Optional[int] = None) -> List[Any]:
+        """Vector allgather (the Amber profile's collective, Fig. 11)."""
+        return self.world.coll_enter(
+            self.rank, "MPI_Allgatherv", data, nbytes
+        ).wait()
+
+    def MPI_Reduce_scatter(
+        self, data: Any, op: ReduceOp = ReduceOp.SUM,
+        nbytes: Optional[int] = None,
+    ) -> Any:
+        """Element-wise reduce of per-rank block lists, block r to rank r."""
+        return self.world.coll_enter(
+            self.rank, "MPI_Reduce_scatter", data, nbytes, op=op
+        ).wait()
+
+    def MPI_Scatter(
+        self, data: Optional[List[Any]], root: int = 0, nbytes: Optional[int] = None
+    ) -> Any:
+        return self.world.coll_enter(
+            self.rank, "MPI_Scatter", data if self.rank == root else None,
+            nbytes if self.rank == root else 0, root=root
+        ).wait()
+
+    def MPI_Alltoall(self, data: List[Any], nbytes: Optional[int] = None) -> List[Any]:
+        return self.world.coll_enter(
+            self.rank, "MPI_Alltoall", data, nbytes
+        ).wait()

@@ -1,0 +1,77 @@
+"""Payload sizing and reduction operators."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+
+def payload_nbytes(data: Any, nbytes: int | None = None) -> int:
+    """Wire size of a message payload.
+
+    An explicit ``nbytes`` always wins — synthetic workloads price
+    gigabyte transfers without materializing them.  Otherwise the size
+    is derived from the object (numpy arrays and byte strings exactly;
+    Python scalars as 8 bytes; containers recursively).
+    """
+    if nbytes is not None:
+        if nbytes < 0:
+            raise ValueError(f"negative payload size: {nbytes}")
+        return nbytes
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(data, str):
+        return len(data.encode("utf-8"))
+    if isinstance(data, (list, tuple)):
+        return sum(payload_nbytes(x) for x in data)
+    if isinstance(data, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in data.items())
+    # opaque object: a conservative flat estimate.
+    return 64
+
+
+class ReduceOp(enum.Enum):
+    """MPI reduction operators (the subset the workloads use)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+    def combine(self, a: Any, b: Any) -> Any:
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            a = np.asarray(a)
+            b = np.asarray(b)
+            if self is ReduceOp.SUM:
+                return a + b
+            if self is ReduceOp.PROD:
+                return a * b
+            if self is ReduceOp.MAX:
+                return np.maximum(a, b)
+            return np.minimum(a, b)
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.PROD:
+            return a * b
+        if self is ReduceOp.MAX:
+            return max(a, b)
+        return min(a, b)
+
+    def reduce_all(self, items) -> Any:
+        """Reduce a sequence; ``None`` entries (synthetic, timing-only
+        payloads) are skipped, and all-``None`` reduces to ``None``."""
+        items = [x for x in items if x is not None]
+        if not items:
+            return None
+        acc = items[0]
+        for x in items[1:]:
+            acc = self.combine(acc, x)
+        return acc

@@ -1,0 +1,73 @@
+"""``mpirun`` for the simulated world: run an SPMD function on N ranks.
+
+This is the minimal launcher used by MPI-only tests and examples; the
+full GPU-cluster job runner (node mapping, CUDA runtimes, IPM preload)
+lives in :mod:`repro.cluster.jobs` and builds on the same pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.mpi.comm import CommWorld, RankComm
+from repro.mpi.network import Network, NetworkModel
+from repro.simt.simulator import Simulator
+
+
+@dataclass
+class MpirunResult:
+    """Outcome of one simulated MPI job."""
+
+    world: CommWorld
+    #: per-rank return values of the rank function.
+    results: List[Any]
+    #: job wallclock, seconds of virtual time.
+    wallclock: float
+    #: per-rank (start, end) times.
+    spans: List[tuple]
+
+
+def mpirun(
+    fn: Callable[[RankComm], Any],
+    size: int,
+    *,
+    sim: Optional[Simulator] = None,
+    ranks_per_node: int = 1,
+    network_model: Optional[NetworkModel] = None,
+) -> MpirunResult:
+    """Execute ``fn(comm)`` on ``size`` ranks; block until all finish.
+
+    Ranks are packed onto nodes ``ranks_per_node`` at a time (block
+    mapping, like Dirac's default), which determines intra- vs
+    inter-node communication costs.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive: {size}")
+    if ranks_per_node <= 0:
+        raise ValueError(f"ranks_per_node must be positive: {ranks_per_node}")
+    own_sim = sim is None
+    sim = sim or Simulator()
+    rank_to_node = [r // ranks_per_node for r in range(size)]
+    network = Network(sim, network_model, ranks_per_node=ranks_per_node)
+    world = CommWorld(sim, size, network, rank_to_node)
+
+    start = sim.now
+    procs = [
+        sim.spawn(fn, world.rank_comm(r), name=f"rank{r}") for r in range(size)
+    ]
+    if own_sim:
+        sim.run_all()
+    else:
+        sim.run()
+    end = max(p.finished_at for p in procs)
+    if world.unmatched():
+        raise RuntimeError(
+            f"job finished with {world.unmatched()} unmatched sends/recvs"
+        )
+    return MpirunResult(
+        world=world,
+        results=[p.result for p in procs],
+        wallclock=end - start,
+        spans=[(p.started_at, p.finished_at) for p in procs],
+    )

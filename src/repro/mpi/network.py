@@ -1,0 +1,105 @@
+"""Interconnect model: QDR InfiniBand + intra-node shared memory.
+
+Dirac (the paper's testbed) connects 48 dual-socket Nehalem nodes with
+QDR InfiniBand.  The model is Hockney (``alpha + n*beta``) with:
+
+* distinct parameters for intra-node (shared-memory) and inter-node
+  (IB) paths;
+* per-node NIC serialization (a node's outgoing and incoming transfers
+  contend), which is what makes root-bottlenecked collectives like
+  ``MPI_Gather`` blow up at scale (Fig. 10);
+* a NUMA penalty applied when many ranks share a node — the paper
+  *"assume[s] that it is caused by NUMA effects"* for the Gather
+  behaviour at 256 processes on 32 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, TYPE_CHECKING
+
+from repro.simt.resources import FifoServer
+from repro.simt.waiters import Completion, join
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+@dataclass
+class NetworkModel:
+    """Cost parameters of the cluster interconnect."""
+
+    #: inter-node (QDR IB) latency, seconds.
+    inter_latency: float = 1.7e-6
+    #: inter-node bandwidth, bytes/s (QDR ≈ 3.2 GB/s effective).
+    inter_bandwidth: float = 3.2e9
+    #: intra-node (shared memory) latency, seconds.
+    intra_latency: float = 0.5e-6
+    #: intra-node bandwidth, bytes/s.
+    intra_bandwidth: float = 5.0e9
+    #: messages at or below this bypass rendezvous (eager protocol).
+    eager_threshold: int = 8192
+    #: ranks per node above which NUMA/contention inflates transfer
+    #: cost; each extra co-located rank adds ``numa_penalty`` of beta.
+    numa_free_ranks: int = 4
+    numa_penalty: float = 0.35
+
+    def base_cost(self, nbytes: int, same_node: bool) -> float:
+        if same_node:
+            return self.intra_latency + nbytes / self.intra_bandwidth
+        return self.inter_latency + nbytes / self.inter_bandwidth
+
+    def numa_factor(self, ranks_per_node: int) -> float:
+        extra = max(0, ranks_per_node - self.numa_free_ranks)
+        return 1.0 + self.numa_penalty * extra
+
+
+class Network:
+    """Stateful interconnect: per-node NIC servers + the cost model."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        model: NetworkModel | None = None,
+        ranks_per_node: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.model = model or NetworkModel()
+        self.ranks_per_node = max(1, ranks_per_node)
+        self._tx: Dict[int, FifoServer] = {}
+        self._rx: Dict[int, FifoServer] = {}
+        self.bytes_moved = 0
+        self.messages = 0
+
+    def _nic(self, table: Dict[int, FifoServer], node: int, tag: str) -> FifoServer:
+        srv = table.get(node)
+        if srv is None:
+            srv = FifoServer(self.sim, name=f"node{node}.{tag}")
+            table[node] = srv
+        return srv
+
+    def transfer_cost(self, nbytes: int, src_node: int, dst_node: int) -> float:
+        """Pure cost (no contention) of moving ``nbytes`` between nodes."""
+        same = src_node == dst_node
+        cost = self.model.base_cost(nbytes, same)
+        if same:
+            # intra-node messages contend on the memory system when the
+            # node is oversubscribed.
+            return cost * self.model.numa_factor(self.ranks_per_node)
+        return cost * self.model.numa_factor(self.ranks_per_node)
+
+    def transfer(self, nbytes: int, src_node: int, dst_node: int) -> Completion:
+        """Reserve NIC time on both endpoints; fires when delivered."""
+        self.bytes_moved += nbytes
+        self.messages += 1
+        dur = self.transfer_cost(nbytes, src_node, dst_node)
+        if src_node == dst_node:
+            # shared-memory copy: contends only with itself via the
+            # node's rx server (stand-in for the memory system).
+            return self._nic(self._rx, dst_node, "rx").serve(dur)
+        tx = self._nic(self._tx, src_node, "tx")
+        rx = self._nic(self._rx, dst_node, "rx")
+        start = max(tx.free_at, rx.free_at)
+        done_tx = tx.serve(dur, min_start=start)
+        done_rx = rx.serve(dur, min_start=start)
+        return join(self.sim, [done_tx, done_rx], name="net.transfer")

@@ -1,0 +1,54 @@
+"""Nonblocking-communication handles and message status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+#: wildcard source / tag, as in ``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Status:
+    """Receive status (``MPI_Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+
+class Request:
+    """Handle of a nonblocking operation (``MPI_Request``).
+
+    ``completion`` fires with the received data (receives) or ``None``
+    (sends); ``status`` is filled in for receives at completion.
+    """
+
+    def __init__(self, sim: "Simulator", kind: str) -> None:
+        self.kind = kind  # "send" | "recv"
+        self.completion = Completion(sim, name=f"req.{kind}")
+        self.status = Status()
+        self.cancelled = False
+
+    @property
+    def done(self) -> bool:
+        return self.completion.fired
+
+    def test(self) -> bool:
+        """``MPI_Test`` core: nonblocking completion check."""
+        return self.completion.fired
+
+    def wait(self) -> Any:
+        """``MPI_Wait`` core: block the calling process, return data."""
+        return self.completion.wait()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"<Request {self.kind} {state}>"

@@ -1,0 +1,52 @@
+"""Formal specification of the monitored MPI surface.
+
+IPM's original domain is MPI; its wrapper generator consumes a spec of
+the profiled entry points just like the CUDA one (§III-A).  ``bytes``
+semantics: for the calls marked ``has_bytes`` the wrapper records the
+message size in the event signature, enabling IPM's size-bucketed
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class MpiCallSpec:
+    name: str
+    category: str
+    has_bytes: bool = False
+
+
+MPI_API: List[MpiCallSpec] = [
+    MpiCallSpec("MPI_Init", "env"),
+    MpiCallSpec("MPI_Finalize", "env"),
+    MpiCallSpec("MPI_Comm_rank", "env"),
+    MpiCallSpec("MPI_Comm_size", "env"),
+    MpiCallSpec("MPI_Wtime", "env"),
+    MpiCallSpec("MPI_Abort", "env"),
+    MpiCallSpec("MPI_Pcontrol", "env"),
+    MpiCallSpec("MPI_Send", "p2p", has_bytes=True),
+    MpiCallSpec("MPI_Isend", "p2p", has_bytes=True),
+    MpiCallSpec("MPI_Recv", "p2p", has_bytes=True),
+    MpiCallSpec("MPI_Irecv", "p2p"),
+    MpiCallSpec("MPI_Sendrecv", "p2p", has_bytes=True),
+    MpiCallSpec("MPI_Wait", "completion"),
+    MpiCallSpec("MPI_Waitall", "completion"),
+    MpiCallSpec("MPI_Test", "completion"),
+    MpiCallSpec("MPI_Barrier", "collective"),
+    MpiCallSpec("MPI_Bcast", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Reduce", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Allreduce", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Gather", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Allgather", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Gatherv", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Allgatherv", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Reduce_scatter", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Scatter", "collective", has_bytes=True),
+    MpiCallSpec("MPI_Alltoall", "collective", has_bytes=True),
+]
+
+MPI_BY_NAME = {c.name: c for c in MPI_API}

@@ -1,0 +1,50 @@
+"""Simulated OpenCL 1.1 host API (paper §VI, second future-work item).
+
+*"While our present work focused on CUDA, the library-based
+interposition monitoring technique is similarly applicable to
+OpenCL."*  This package demonstrates that: a minimal OpenCL host API
+implemented over the same simulated GPU (in-order command queues map
+onto streams, ``clEnqueueReadBuffer(blocking=True)`` exhibits the same
+implicit blocking, event profiling provides device-side kernel times),
+plus an IPM interposition layer (:mod:`repro.core.ocl_wrappers`) built
+with the *same wrapper generator* as the CUDA one.
+"""
+
+from repro.ocl.api import (
+    CL_COMPLETE,
+    CL_DEVICE_NOT_FOUND,
+    CL_INVALID_KERNEL,
+    CL_INVALID_MEM_OBJECT,
+    CL_INVALID_VALUE,
+    CL_PROFILING_COMMAND_END,
+    CL_PROFILING_COMMAND_START,
+    CL_QUEUE_PROFILING_ENABLE,
+    CL_SUCCESS,
+    ClBuffer,
+    ClCommandQueue,
+    ClContext,
+    ClEvent,
+    ClKernel,
+    OpenCL,
+)
+from repro.ocl.spec import OCL_API, OCL_BY_NAME
+
+__all__ = [
+    "CL_COMPLETE",
+    "CL_DEVICE_NOT_FOUND",
+    "CL_INVALID_KERNEL",
+    "CL_INVALID_MEM_OBJECT",
+    "CL_INVALID_VALUE",
+    "CL_PROFILING_COMMAND_END",
+    "CL_PROFILING_COMMAND_START",
+    "CL_QUEUE_PROFILING_ENABLE",
+    "CL_SUCCESS",
+    "ClBuffer",
+    "ClCommandQueue",
+    "ClContext",
+    "ClEvent",
+    "ClKernel",
+    "OpenCL",
+    "OCL_API",
+    "OCL_BY_NAME",
+]

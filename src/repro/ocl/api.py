@@ -1,0 +1,368 @@
+"""A minimal OpenCL 1.1 host API over the simulated GPU.
+
+The mapping onto the CUDA platform machinery:
+
+===========================  =========================================
+OpenCL concept               simulated implementation
+===========================  =========================================
+platform / device            the node's :class:`repro.cuda.Device`
+``clCreateContext``          a fresh :class:`repro.cuda.Context`
+command queue (in-order)     a user :class:`~repro.cuda.stream.Stream`
+``clCreateBuffer``           device allocation
+``clEnqueueNDRangeKernel``   a :class:`~repro.cuda.ops.KernelOp`
+blocking read/write          implicit wait on prior queue work —
+                             the OpenCL analogue of §III-C
+``clGetEventProfilingInfo``  device-side start/end of the op
+===========================  =========================================
+
+Calling conventions follow the C API: functions return
+``(CL_SUCCESS, value…)`` tuples or a bare status code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.cuda.context import Context
+from repro.cuda.device import Device
+from repro.cuda.errors import CudaError
+from repro.cuda.kernel import Kernel, LaunchConfig
+from repro.cuda.memory import DevicePtr, HostRef
+from repro.cuda.ops import KernelOp, MemcpyOp
+from repro.cuda.runtime import _host_is_pinned, _host_nbytes, _host_read, _host_write
+from repro.cuda.stream import Stream
+from repro.simt.waiters import Completion
+
+CL_SUCCESS = 0
+CL_DEVICE_NOT_FOUND = -1
+CL_INVALID_VALUE = -30
+CL_INVALID_MEM_OBJECT = -38
+CL_INVALID_KERNEL = -48
+
+CL_COMPLETE = 0x0
+CL_QUEUE_PROFILING_ENABLE = 1 << 1
+CL_PROFILING_COMMAND_START = 0x1282
+CL_PROFILING_COMMAND_END = 0x1283
+
+CL_DEVICE_TYPE_GPU = 1 << 2
+
+
+class ClEvent:
+    """An OpenCL event: completion + device-side profiling timestamps."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, op) -> None:
+        self.eid = next(ClEvent._ids)
+        self._op = op
+
+    @property
+    def complete(self) -> bool:
+        return self._op.done.fired
+
+    @property
+    def start_time(self) -> Optional[float]:
+        return self._op.start_time
+
+    @property
+    def end_time(self) -> Optional[float]:
+        return self._op.end_time
+
+
+@dataclass
+class ClBuffer:
+    """A ``cl_mem`` buffer object."""
+
+    ptr: DevicePtr
+    size: int
+    released: bool = False
+
+
+@dataclass
+class ClKernel:
+    """A ``cl_kernel``: the device function plus bound arguments."""
+
+    kernel: Kernel
+    args: dict = field(default_factory=dict)
+    released: bool = False
+
+
+class ClCommandQueue:
+    """An in-order command queue (maps onto one stream)."""
+
+    def __init__(self, ctx: "ClContext", properties: int = 0) -> None:
+        self.cl_ctx = ctx
+        self.stream: Stream = ctx.cuda_ctx.create_stream()
+        self.profiling = bool(properties & CL_QUEUE_PROFILING_ENABLE)
+        self.released = False
+
+
+class ClContext:
+    """A ``cl_context`` over one device."""
+
+    def __init__(self, device: Device, owner: str = "") -> None:
+        self.device = device
+        self.cuda_ctx = Context(device, owner=owner or "opencl")
+        self.released = False
+
+
+class OpenCL:
+    """Per-process OpenCL host-API implementation."""
+
+    def __init__(self, sim, devices: Sequence[Device], process_name: str = ""):
+        if not devices:
+            raise ValueError("OpenCL needs at least one device")
+        self.sim = sim
+        self.devices = list(devices)
+        self.process_name = process_name
+        self.calls_made = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _charge(self, cost: float) -> None:
+        self.calls_made += 1
+        if self.sim.current is not None and cost > 0:
+            self.sim.sleep(cost)
+
+    def _cheap(self) -> None:
+        self._charge(self.devices[0].timing.host_call_cheap)
+
+    # -- platform / device ---------------------------------------------------
+
+    def clGetPlatformIDs(self):
+        self._cheap()
+        return CL_SUCCESS, ["repro-ocl-platform"]
+
+    def clGetDeviceIDs(self, platform=None, device_type: int = CL_DEVICE_TYPE_GPU):
+        self._cheap()
+        if device_type != CL_DEVICE_TYPE_GPU:
+            return CL_DEVICE_NOT_FOUND, []
+        return CL_SUCCESS, list(range(len(self.devices)))
+
+    def clGetDeviceInfo(self, device_id: int, param: str = "name"):
+        self._cheap()
+        if not (0 <= device_id < len(self.devices)):
+            return CL_INVALID_VALUE, None
+        spec = self.devices[device_id].spec
+        info = {"name": spec.name, "global_mem_size": spec.memory_bytes,
+                "max_compute_units": spec.sm_count}
+        return CL_SUCCESS, info.get(param)
+
+    # -- context / queue --------------------------------------------------------
+
+    def clCreateContext(self, device_id: int = 0):
+        if not (0 <= device_id < len(self.devices)):
+            return CL_INVALID_VALUE, None
+        dev = self.devices[device_id]
+        # context creation costs what a CUDA context costs
+        dur = dev.timing.draw_context_init(dev.rng)
+        done = dev.context_init_lock.serve(dur)
+        if self.sim.current is not None:
+            done.wait()
+        return CL_SUCCESS, ClContext(dev, owner=self.process_name)
+
+    def clReleaseContext(self, ctx: ClContext) -> int:
+        self._cheap()
+        if not isinstance(ctx, ClContext) or ctx.released:
+            return CL_INVALID_VALUE
+        ctx.released = True
+        return CL_SUCCESS
+
+    def clCreateCommandQueue(self, ctx: ClContext, device_id: int = 0,
+                             properties: int = 0):
+        self._charge(self.devices[0].timing.host_call_launch)
+        if not isinstance(ctx, ClContext) or ctx.released:
+            return CL_INVALID_VALUE, None
+        return CL_SUCCESS, ClCommandQueue(ctx, properties)
+
+    def clReleaseCommandQueue(self, queue: ClCommandQueue) -> int:
+        self._cheap()
+        if not isinstance(queue, ClCommandQueue) or queue.released:
+            return CL_INVALID_VALUE
+        queue.released = True
+        return CL_SUCCESS
+
+    # -- memory ------------------------------------------------------------------
+
+    def clCreateBuffer(self, ctx: ClContext, size: int, flags: int = 0):
+        self._charge(self.devices[0].timing.host_call_malloc)
+        if not isinstance(ctx, ClContext) or ctx.released or size <= 0:
+            return CL_INVALID_VALUE, None
+        try:
+            ptr = ctx.device.memory.malloc(
+                size, backed=size <= 16 << 20, context_id=ctx.cuda_ctx.context_id
+            )
+        except CudaError:
+            return CL_INVALID_VALUE, None
+        return CL_SUCCESS, ClBuffer(ptr, size)
+
+    def clReleaseMemObject(self, buf: ClBuffer) -> int:
+        self._charge(self.devices[0].timing.host_call_malloc)
+        if not isinstance(buf, ClBuffer) or buf.released:
+            return CL_INVALID_MEM_OBJECT
+        try:
+            self.devices[buf.ptr.device_id].memory.free(buf.ptr)
+        except CudaError:
+            return CL_INVALID_MEM_OBJECT
+        buf.released = True
+        return CL_SUCCESS
+
+    def _enqueue_xfer(self, queue: ClCommandQueue, buf: ClBuffer, host,
+                      nbytes: Optional[int], blocking: bool, to_device: bool):
+        self._charge(self.devices[0].timing.host_call_memcpy)
+        if not isinstance(queue, ClCommandQueue) or queue.released:
+            return CL_INVALID_VALUE, None
+        if not isinstance(buf, ClBuffer) or buf.released:
+            return CL_INVALID_MEM_OBJECT, None
+        n = nbytes if nbytes is not None else (
+            _host_nbytes(host) if host is not None else buf.size
+        )
+        host = host if host is not None else HostRef(n)
+        dev = queue.cl_ctx.device
+        pinned = _host_is_pinned(host)
+        mem = dev.memory
+
+        if to_device:
+            duration = dev.timing.h2d_time(n, pinned)
+
+            def mover() -> None:
+                data = _host_read(host, n)
+                if data is not None:
+                    mem.write(buf.ptr, data)
+
+            direction = "h2d"
+        else:
+            duration = dev.timing.d2h_time(n, pinned)
+
+            def mover() -> None:
+                data = mem.read(buf.ptr, n)
+                if data is not None:
+                    _host_write(host, data)
+
+            direction = "d2h"
+        op = MemcpyOp(queue.cl_ctx.cuda_ctx, direction, n, duration, mover)
+        queue.stream.enqueue(op)
+        if blocking and self.sim.current is not None:
+            op.done.wait()
+        return CL_SUCCESS, ClEvent(op)
+
+    def clEnqueueWriteBuffer(self, queue, buf, blocking: bool = True,
+                             host=None, nbytes: Optional[int] = None):
+        return self._enqueue_xfer(queue, buf, host, nbytes, blocking, True)
+
+    def clEnqueueReadBuffer(self, queue, buf, blocking: bool = True,
+                            host=None, nbytes: Optional[int] = None):
+        """Blocking reads implicitly wait for prior queue work —
+        the OpenCL analogue of the §III-C behaviour."""
+        return self._enqueue_xfer(queue, buf, host, nbytes, blocking, False)
+
+    # -- programs / kernels ---------------------------------------------------------
+
+    def clCreateProgramWithSource(self, ctx: ClContext, source: str = ""):
+        self._cheap()
+        if not isinstance(ctx, ClContext) or ctx.released:
+            return CL_INVALID_VALUE, None
+        return CL_SUCCESS, {"source": source, "built": False}
+
+    def clBuildProgram(self, program, options: str = "") -> int:
+        # JIT compilation of the CL C source
+        self._charge(50e-3)
+        if not isinstance(program, dict):
+            return CL_INVALID_VALUE
+        program["built"] = True
+        return CL_SUCCESS
+
+    def clCreateKernel(self, program, kernel: Kernel):
+        self._cheap()
+        if not isinstance(program, dict) or not program.get("built"):
+            return CL_INVALID_KERNEL, None
+        if not isinstance(kernel, Kernel):
+            return CL_INVALID_KERNEL, None
+        return CL_SUCCESS, ClKernel(kernel)
+
+    def clSetKernelArg(self, kern: ClKernel, index: int, value: Any) -> int:
+        self._cheap()
+        if not isinstance(kern, ClKernel) or kern.released:
+            return CL_INVALID_KERNEL
+        kern.args[index] = value
+        return CL_SUCCESS
+
+    def clReleaseKernel(self, kern: ClKernel) -> int:
+        self._cheap()
+        if not isinstance(kern, ClKernel) or kern.released:
+            return CL_INVALID_KERNEL
+        kern.released = True
+        return CL_SUCCESS
+
+    def clEnqueueNDRangeKernel(self, queue: ClCommandQueue, kern: ClKernel,
+                               global_size, local_size=None):
+        self._charge(self.devices[0].timing.host_call_launch)
+        if not isinstance(queue, ClCommandQueue) or queue.released:
+            return CL_INVALID_VALUE, None
+        if not isinstance(kern, ClKernel) or kern.released:
+            return CL_INVALID_KERNEL, None
+        local = local_size or 64
+        try:
+            cfg = LaunchConfig.make(
+                max(1, int(_total(global_size)) // int(_total(local))), local
+            )
+        except ValueError:
+            return CL_INVALID_VALUE, None
+        args = tuple(v for _k, v in sorted(kern.args.items()))
+        op = KernelOp(queue.cl_ctx.cuda_ctx, kern.kernel, cfg, args)
+        queue.stream.enqueue(op)
+        return CL_SUCCESS, ClEvent(op)
+
+    # -- synchronization -------------------------------------------------------------
+
+    def clFlush(self, queue: ClCommandQueue) -> int:
+        self._cheap()
+        return CL_SUCCESS if isinstance(queue, ClCommandQueue) else CL_INVALID_VALUE
+
+    def clFinish(self, queue: ClCommandQueue) -> int:
+        self._cheap()
+        if not isinstance(queue, ClCommandQueue) or queue.released:
+            return CL_INVALID_VALUE
+        pending = queue.stream.sync_completion()
+        if pending is not None and self.sim.current is not None:
+            pending.wait()
+        return CL_SUCCESS
+
+    def clWaitForEvents(self, events: Sequence[ClEvent]) -> int:
+        self._cheap()
+        for ev in events:
+            if not isinstance(ev, ClEvent):
+                return CL_INVALID_VALUE
+        if self.sim.current is not None:
+            for ev in events:
+                if not ev.complete:
+                    ev._op.done.wait()
+        return CL_SUCCESS
+
+    def clGetEventInfo(self, ev: ClEvent):
+        self._cheap()
+        if not isinstance(ev, ClEvent):
+            return CL_INVALID_VALUE, None
+        return CL_SUCCESS, (CL_COMPLETE if ev.complete else 1)
+
+    def clGetEventProfilingInfo(self, ev: ClEvent, param: int):
+        """Device-side timestamps in nanoseconds (OpenCL convention)."""
+        self._cheap()
+        if not isinstance(ev, ClEvent) or not ev.complete:
+            return CL_INVALID_VALUE, None
+        if param == CL_PROFILING_COMMAND_START:
+            return CL_SUCCESS, int(ev.start_time * 1e9)
+        if param == CL_PROFILING_COMMAND_END:
+            return CL_SUCCESS, int(ev.end_time * 1e9)
+        return CL_INVALID_VALUE, None
+
+
+def _total(v) -> int:
+    if isinstance(v, int):
+        return v
+    out = 1
+    for x in v:
+        out *= int(x)
+    return out

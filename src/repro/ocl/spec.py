@@ -1,0 +1,43 @@
+"""Formal specification of the monitored OpenCL surface (for the
+wrapper generator), mirroring the CUDA/CUBLAS/CUFFT/MPI specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class OclCallSpec:
+    name: str
+    category: str
+    #: blocking-capable data movement (host-idle separation candidates).
+    blocking: bool = False
+
+
+OCL_API: List[OclCallSpec] = [
+    OclCallSpec("clGetPlatformIDs", "platform"),
+    OclCallSpec("clGetDeviceIDs", "platform"),
+    OclCallSpec("clGetDeviceInfo", "platform"),
+    OclCallSpec("clCreateContext", "context"),
+    OclCallSpec("clReleaseContext", "context"),
+    OclCallSpec("clCreateCommandQueue", "queue"),
+    OclCallSpec("clReleaseCommandQueue", "queue"),
+    OclCallSpec("clCreateBuffer", "memory"),
+    OclCallSpec("clReleaseMemObject", "memory"),
+    OclCallSpec("clEnqueueWriteBuffer", "transfer", blocking=True),
+    OclCallSpec("clEnqueueReadBuffer", "transfer", blocking=True),
+    OclCallSpec("clCreateProgramWithSource", "program"),
+    OclCallSpec("clBuildProgram", "program"),
+    OclCallSpec("clCreateKernel", "kernel"),
+    OclCallSpec("clSetKernelArg", "kernel"),
+    OclCallSpec("clReleaseKernel", "kernel"),
+    OclCallSpec("clEnqueueNDRangeKernel", "exec"),
+    OclCallSpec("clFlush", "sync"),
+    OclCallSpec("clFinish", "sync"),
+    OclCallSpec("clWaitForEvents", "sync"),
+    OclCallSpec("clGetEventInfo", "event"),
+    OclCallSpec("clGetEventProfilingInfo", "event"),
+]
+
+OCL_BY_NAME = {c.name: c for c in OCL_API}

@@ -1,0 +1,62 @@
+"""Discrete-event simulation kernel (virtual time substrate).
+
+Everything in :mod:`repro` that pretends to be hardware — the CUDA
+runtime, the MPI library, the cluster interconnect — advances a single
+*virtual clock* owned by a :class:`Simulator`.  Simulated processes
+(MPI ranks, host programs) are backed by real Python threads, but only
+one thread ever runs at a time: the scheduler hands control to exactly
+one process and waits for it to block or finish before advancing the
+clock.  This "strict handoff" gives two properties the reproduction
+depends on:
+
+* **Imperative rank code.**  Applications are written as ordinary
+  sequential functions (``def main(env): ...``) exactly like real
+  MPI+CUDA programs; no generator/async rewriting is needed.
+* **Determinism.**  Event ordering is a total order on
+  ``(time, priority, sequence-number)``; combined with seeded RNG
+  streams, every experiment in the paper reproduction is bit-stable.
+
+Public API
+----------
+:class:`Simulator`
+    clock + event heap + process scheduler.
+:class:`SimProcess`
+    handle of a spawned simulated process.
+:class:`Completion`
+    one-shot synchronization object (the simulated analogue of a
+    hardware interrupt / CUDA event / MPI request completion).
+:class:`FifoServer`, :class:`BandwidthLink`
+    shared-resource primitives used for GPU engines, PCIe and the
+    interconnect.
+:class:`RngStreams`, :class:`NoiseModel`
+    deterministic randomness and the OS-noise model behind Fig. 8.
+"""
+
+from repro.simt.clock import VirtualClock
+from repro.simt.events import EventHeap, ScheduledEvent
+from repro.simt.simulator import Simulator, SimulationError, ProcessCrashed
+from repro.simt.process import SimProcess, ProcessState
+from repro.simt.waiters import Completion, WaitQueue, join
+from repro.simt.resources import FifoServer, BandwidthLink, Gate
+from repro.simt.random import RngStreams
+from repro.simt.noise import NoiseModel, NoiseConfig
+
+__all__ = [
+    "VirtualClock",
+    "EventHeap",
+    "ScheduledEvent",
+    "Simulator",
+    "SimulationError",
+    "ProcessCrashed",
+    "SimProcess",
+    "ProcessState",
+    "Completion",
+    "WaitQueue",
+    "join",
+    "FifoServer",
+    "BandwidthLink",
+    "Gate",
+    "RngStreams",
+    "NoiseModel",
+    "NoiseConfig",
+]

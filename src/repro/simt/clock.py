@@ -1,0 +1,47 @@
+"""Virtual clock.
+
+The clock is a plain monotonically non-decreasing float of seconds.  It
+is factored out of the simulator so that pure components (cost models,
+noise) can be tested against a clock without dragging in the scheduler.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual-time source.
+
+    Time is measured in seconds as a ``float``.  Only the simulator is
+    allowed to advance the clock; everything else reads it through
+    :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises
+        ------
+        ValueError
+            if ``t`` lies in the past — the simulator must never
+            process events out of order, so this is a hard error.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"clock would move backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.9f})"

@@ -1,0 +1,102 @@
+"""Event heap: the simulator's future-event list.
+
+Events are callbacks scheduled at an absolute virtual time.  Ties are
+broken first by an integer *priority* (lower runs first) and then by a
+global insertion sequence number, which makes the execution order a
+deterministic total order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is *lazy*: the entry stays in the heap but is skipped
+    when popped.  This keeps :meth:`cancel` O(1), which matters because
+    timeout events are cancelled on virtually every successful wait.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<ScheduledEvent t={self.time:.9f} p={self.priority} {name}{flag}>"
+
+
+class EventHeap:
+    """Priority queue of :class:`ScheduledEvent` ordered by (t, prio, seq).
+
+    Cancelled entries are dropped lazily, when they surface at the top
+    of the heap; emptiness checks therefore compact first.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def _compact(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __bool__(self) -> bool:
+        self._compact()
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events; O(n)."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        ev = ScheduledEvent(time, priority, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        self._compact()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, without removing it."""
+        self._compact()
+        return self._heap[0].time if self._heap else None

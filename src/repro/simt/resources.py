@@ -1,0 +1,112 @@
+"""Shared-resource primitives: FIFO servers, bandwidth links, gates.
+
+These are *event-driven* (no process threads involved): a request
+returns a :class:`~repro.simt.waiters.Completion` that fires when the
+resource has finished serving it.  GPU copy engines, the PCIe bus and
+interconnect links are all instances of these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.simt.waiters import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+
+class FifoServer:
+    """Single server with FIFO discipline and busy-time accounting.
+
+    ``serve(duration)`` reserves the server for ``duration`` seconds
+    starting no earlier than now and no earlier than the end of the
+    previously accepted request.  The returned completion fires at the
+    service end time and carries ``(start, end)``.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def serve(self, duration: float, min_start: float = 0.0) -> Completion:
+        if duration < 0:
+            raise ValueError(f"negative service time: {duration}")
+        start = max(self.sim.now, self._free_at, min_start)
+        end = start + duration
+        self._free_at = end
+        self.busy_time += duration
+        self.requests += 1
+        done = Completion(self.sim, name=f"{self.name}.serve")
+        self.sim.schedule_at(end, done.fire, (start, end))
+        return done
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a new request could start service."""
+        return max(self.sim.now, self._free_at)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time busy over ``elapsed`` (default: since t=0)."""
+        span = self.sim.now if elapsed is None else elapsed
+        return 0.0 if span <= 0 else min(1.0, self.busy_time / span)
+
+
+class BandwidthLink(FifoServer):
+    """A FIFO link with latency + size/bandwidth cost (Hockney model)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: float,
+        bandwidth: float,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name=name)
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.bytes_moved = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Pure cost model: ``latency + nbytes / bandwidth``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, min_start: float = 0.0) -> Completion:
+        self.bytes_moved += nbytes
+        return self.serve(self.transfer_time(nbytes), min_start=min_start)
+
+
+class Gate:
+    """A counted rendezvous: opens (fires) once ``parties`` have arrived.
+
+    Used for barrier-style synchronization among event-driven actors.
+    One-shot, like the :class:`Completion` it wraps.
+    """
+
+    def __init__(self, sim: "Simulator", parties: int, name: str = "") -> None:
+        if parties <= 0:
+            raise ValueError(f"parties must be positive: {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.arrived = 0
+        self.opened = Completion(sim, name=f"{name}.opened")
+
+    def arrive(self) -> Completion:
+        """Register one arrival; returns the shared open-completion."""
+        if self.opened.fired:
+            raise RuntimeError("Gate already opened")
+        self.arrived += 1
+        if self.arrived == self.parties:
+            self.opened.fire(self.sim.now)
+        elif self.arrived > self.parties:  # pragma: no cover - guarded above
+            raise RuntimeError("too many arrivals")
+        return self.opened

@@ -1,0 +1,190 @@
+"""The simulator: clock + event heap + process scheduler.
+
+The run loop pops events in ``(time, priority, seq)`` order.  An event
+is either a plain callback (GPU engine bookkeeping, completion firing)
+or a *dispatch* that hands the execution baton to a simulated process.
+While a process holds the baton the scheduler thread is parked; the
+process hands it back by blocking or exiting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.simt.clock import VirtualClock
+from repro.simt.events import EventHeap, ScheduledEvent
+from repro.simt.process import ProcessState, SimProcess
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural simulation failures (e.g. deadlock)."""
+
+
+class ProcessCrashed(SimulationError):
+    """Raised by :meth:`Simulator.run` when a simulated process raised.
+
+    The original exception is attached as ``__cause__`` with its full
+    traceback, so test failures inside rank code surface normally.
+    """
+
+    def __init__(self, proc: SimProcess) -> None:
+        super().__init__(f"simulated process {proc.name!r} crashed: {proc.exc!r}")
+        self.proc = proc
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with thread-backed processes."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.heap = EventHeap()
+        self.processes: List[SimProcess] = []
+        self._current: Optional[SimProcess] = None
+        # pre-locked baton lock; see SimProcess for the handoff protocol.
+        self._sched_lock = threading.Lock()
+        self._sched_lock.acquire()
+        self._running = False
+        self._crashed: Optional[SimProcess] = None
+        #: number of events executed; cheap progress/perf metric.
+        self.events_executed = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.heap.push(self.clock.now + delay, fn, args, priority)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.clock.now}")
+        return self.heap.push(time, fn, args, priority)
+
+    # -- processes ------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[SimProcess]:
+        """The process currently holding the baton, if any."""
+        return self._current
+
+    def require_current(self) -> SimProcess:
+        proc = self._current
+        if proc is None:
+            raise SimulationError(
+                "this operation must be called from inside a simulated process"
+            )
+        return proc
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        delay: float = 0.0,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a process and schedule its first dispatch at ``now+delay``."""
+        proc = SimProcess(self, fn, args, kwargs, name)
+        self.processes.append(proc)
+        self.schedule(delay, self._switch_to, proc, None)
+        return proc
+
+    def sleep(self, duration: float) -> None:
+        """Advance the calling process's local time by ``duration``.
+
+        This is how host-side *work* is represented: computing for
+        ``d`` seconds is ``sim.sleep(d)``.
+        """
+        proc = self.require_current()
+        if duration < 0:
+            raise ValueError(f"negative sleep: {duration}")
+        if duration == 0:
+            return
+        self.schedule(duration, self._switch_to, proc, None)
+        proc._yield_to_scheduler()
+
+    # -- baton passing (called from the run loop) -------------------------
+
+    def _switch_to(self, proc: SimProcess, wake_value: Any = None) -> None:
+        if not proc.alive and proc.state is not ProcessState.NEW:
+            raise SimulationError(f"dispatch to dead process {proc.name!r}")
+        proc._wake_value = wake_value
+        self._current = proc
+        proc._resume_lock.release()
+        self._sched_lock.acquire()
+        self._current = None
+
+    def _on_process_exit(self, proc: SimProcess) -> None:
+        # Called on the process thread just before it hands the baton
+        # back for the last time; exclusive by construction.
+        if proc.state is ProcessState.CRASHED:
+            self._crashed = proc
+        else:
+            proc.done.fire(proc.result)
+
+    # -- run loop ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap empties (or ``until`` is reached).
+
+        Returns the final virtual time.  Raises :class:`ProcessCrashed`
+        if a process raised, and :class:`SimulationError` on deadlock
+        (heap empty while processes are still blocked).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while True:
+                if self._crashed is not None:
+                    proc = self._crashed
+                    self._crashed = None
+                    raise ProcessCrashed(proc) from proc.exc
+                nxt = self.heap.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.clock.advance_to(until)
+                    return self.clock.now
+                ev = self.heap.pop()
+                assert ev is not None
+                self.clock.advance_to(ev.time)
+                self.events_executed += 1
+                ev.fn(*ev.args)
+            if self._crashed is not None:
+                proc = self._crashed
+                self._crashed = None
+                raise ProcessCrashed(proc) from proc.exc
+            blocked = [p for p in self.processes if p.state is ProcessState.BLOCKED]
+            if blocked:
+                names = ", ".join(p.name for p in blocked)
+                raise SimulationError(
+                    f"deadlock: event heap empty with blocked processes: {names}"
+                )
+            if until is not None and until > self.clock.now:
+                self.clock.advance_to(until)
+            return self.clock.now
+        finally:
+            self._running = False
+
+    def run_all(self) -> float:
+        """Run to completion and assert every spawned process finished."""
+        t = self.run()
+        unfinished = [p for p in self.processes if p.alive]
+        if unfinished:
+            names = ", ".join(p.name for p in unfinished)
+            raise SimulationError(f"processes never finished: {names}")
+        return t

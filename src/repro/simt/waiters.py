@@ -1,0 +1,157 @@
+"""Synchronization objects connecting event-driven machinery to processes.
+
+Two primitives cover every need in the reproduction:
+
+:class:`Completion`
+    one-shot, carries a value.  This is the simulated analogue of "a
+    hardware operation finished": a CUDA kernel completing, a CUDA
+    event being processed on the device, an MPI request completing, a
+    PCIe transfer draining.  Many processes and callbacks may wait on
+    the same completion; waiting on an already-fired completion returns
+    immediately (zero virtual time).
+
+:class:`WaitQueue`
+    reusable FIFO condition: ``wait()`` parks the calling process,
+    ``notify(value)`` wakes the oldest waiter.  Used for rendezvous
+    queues (e.g. matching MPI receives).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.process import SimProcess
+    from repro.simt.simulator import Simulator
+
+
+class Completion:
+    """A one-shot event with an optional payload value.
+
+    Firing is final: a second ``fire`` raises.  Waking of waiters and
+    invocation of callbacks happen through the event heap (at the fire
+    time, FIFO among themselves), never inline, so firing from inside a
+    process keeps the deterministic total order.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "value", "fire_time", "_waiting", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self.value: Any = None
+        self.fire_time: Optional[float] = None
+        self._waiting: List["SimProcess"] = []
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self, value: Any = None) -> None:
+        """Mark the completion as done *now* and wake all waiters."""
+        if self._fired:
+            raise RuntimeError(f"Completion {self.name!r} fired twice")
+        self._fired = True
+        self.value = value
+        self.fire_time = self.sim.now
+        waiting, self._waiting = self._waiting, []
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, value)
+        for proc in waiting:
+            self.sim.schedule(0.0, self.sim._switch_to, proc, value)
+
+    def fire_after(self, delay: float, value: Any = None) -> None:
+        """Schedule :meth:`fire` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.sim.schedule(delay, self.fire, value)
+
+    def wait(self) -> Any:
+        """Block the calling process until fired; returns the value.
+
+        Must be called from inside a simulated process.  If the
+        completion already fired, returns immediately without
+        advancing virtual time.
+        """
+        proc = self.sim.require_current()
+        if self._fired:
+            return self.value
+        self._waiting.append(proc)
+        return proc._yield_to_scheduler()
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Run ``fn(value)`` when fired (immediately-scheduled if already fired)."""
+        if self._fired:
+            self.sim.schedule(0.0, fn, self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"fired@{self.fire_time}" if self._fired else "pending"
+        return f"<Completion {self.name!r} {state}>"
+
+
+def join(sim: "Simulator", completions: List[Completion], name: str = "join") -> Completion:
+    """A completion that fires once *all* of ``completions`` have fired.
+
+    Fires immediately (well, via the heap, at the current time) when the
+    list is empty or everything already fired.  The payload is the fire
+    time.
+    """
+    out = Completion(sim, name=name)
+    pending = [c for c in completions if not c.fired]
+    remaining = len(pending)
+    if remaining == 0:
+        out.fire_after(0.0, sim.now)
+        return out
+    state = {"left": remaining}
+
+    def _one_done(_value: Any) -> None:
+        state["left"] -= 1
+        if state["left"] == 0:
+            out.fire(sim.now)
+
+    for c in pending:
+        c.add_callback(_one_done)
+    return out
+
+
+class WaitQueue:
+    """Reusable FIFO wait queue.
+
+    ``wait()`` always blocks (there is no memory of past notifies —
+    pair it with explicit state checks, as in a condition variable).
+    """
+
+    __slots__ = ("sim", "name", "_waiting")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiting: deque["SimProcess"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def wait(self) -> Any:
+        proc = self.sim.require_current()
+        self._waiting.append(proc)
+        return proc._yield_to_scheduler()
+
+    def notify(self, value: Any = None) -> bool:
+        """Wake the oldest waiter; returns False if nobody was waiting."""
+        if not self._waiting:
+            return False
+        proc = self._waiting.popleft()
+        self.sim.schedule(0.0, self.sim._switch_to, proc, value)
+        return True
+
+    def notify_all(self, value: Any = None) -> int:
+        n = 0
+        while self.notify(value):
+            n += 1
+        return n

@@ -1,0 +1,58 @@
+"""Shared fixtures for IPM core tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ipm, IpmConfig
+from repro.cuda import Device, GpuTimingModel, Kernel, Runtime, cudaMemcpyKind
+from repro.simt import Simulator
+
+K = cudaMemcpyKind
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def quiet_timing():
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_mean = 0.0
+    t.context_init_sigma = 0.0
+    return t
+
+
+@pytest.fixture()
+def device(sim, quiet_timing):
+    return Device(sim, timing=quiet_timing, rng=np.random.default_rng(11))
+
+
+@pytest.fixture()
+def raw_rt(sim, device):
+    return Runtime(sim, [device], process_name="test")
+
+
+def make_ipm(sim, **cfg):
+    return Ipm(sim, command="./cuda.ipm", hostname="dirac15",
+               config=IpmConfig(**cfg))
+
+
+def run_square(sim, rt, n=100_000, kernel_time=1.15):
+    """The Fig. 3 program against a (possibly wrapped) runtime handle."""
+    size = n * 8
+    a_h = np.zeros(n)
+    square = Kernel("square", nominal_duration=kernel_time)
+
+    def main():
+        err, a_d = rt.cudaMalloc(size)
+        rt.cudaMemcpy(a_d, a_h, size, K.cudaMemcpyHostToDevice)
+        rt.launch(square, n, 1, args=(a_d, n))
+        rt.cudaMemcpy(a_h, a_d, size, K.cudaMemcpyDeviceToHost)
+        rt.cudaFree(a_d)
+
+    proc = sim.spawn(main, name="main")
+    sim.run()
+    return proc

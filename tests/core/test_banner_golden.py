@@ -1,0 +1,66 @@
+"""Golden-format regression test for the banner layout.
+
+The banner's exact column layout is a user-facing contract (people
+parse these reports with awk); this test pins it down for a canned
+report so formatting regressions are caught precisely.
+"""
+
+from repro.core import EventSignature, JobReport, PerfHashTable, TaskReport
+from repro.core.banner import banner_serial
+
+
+def _canned_task():
+    table = PerfHashTable()
+    entries = [
+        ("cudaMalloc", 2.43, 1),
+        ("cudaMemcpy(D2H)", 1.16, 1),
+        ("cudaMemcpy(H2D)", 0.01, 1),
+        ("cudaSetupArgument", 0.0, 2),
+        ("cudaFree", 0.0, 1),
+        ("cudaLaunch", 0.0, 1),
+        ("cudaConfigureCall", 0.0, 1),
+    ]
+    for name, total, count in entries:
+        for i in range(count):
+            table.update(
+                EventSignature(name), total if i == 0 else 0.0
+            )
+    return TaskReport(
+        rank=0, nranks=1, hostname="dirac15", command="./cuda.ipm",
+        start_time=0.0, stop_time=3.59, table=table,
+    )
+
+
+EXPECTED = """\
+##IPMv2.0##################################################################
+#
+# command   : ./cuda.ipm
+# host      : dirac15
+# wallclock : 3.59
+#
+#                                 [time]      [count]    <%wall>
+# cudaMalloc                        2.43            1      67.69
+# cudaMemcpy(D2H)                   1.16            1      32.31
+# cudaMemcpy(H2D)                   0.01            1       0.28
+# cudaConfigureCall                 0.00            1       0.00
+# cudaFree                          0.00            1       0.00
+# cudaLaunch                        0.00            1       0.00
+# cudaSetupArgument                 0.00            2       0.00
+#
+###########################################################################"""
+
+
+def test_fig4_banner_golden():
+    """The Fig. 4 scenario renders to the pinned layout exactly."""
+    assert banner_serial(_canned_task()) == EXPECTED
+
+
+def test_golden_matches_paper_shape():
+    """Sanity on the pinned values themselves: the Fig. 4 story —
+    cudaMalloc ≈ 67.7 %wall, D2H ≈ 32.3 %, everything else ≈ 0."""
+    lines = EXPECTED.splitlines()
+    rows = [l.split() for l in lines if l.startswith("# cuda")]
+    by = {r[1]: (float(r[2]), int(r[3]), float(r[4])) for r in rows}
+    assert by["cudaMalloc"][2] > 60
+    assert by["cudaMemcpy(D2H)"][2] > 30
+    assert by["cudaSetupArgument"][1] == 2

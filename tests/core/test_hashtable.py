@@ -1,0 +1,149 @@
+"""Performance data hash table: unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashtable import CallStats, PerfHashTable
+from repro.core.sig import EventSignature, cuda_exec_name
+
+
+class TestCallStats:
+    def test_update_sequence(self):
+        s = CallStats()
+        for d in (1.0, 3.0, 2.0):
+            s.update(d)
+        assert s.count == 3
+        assert s.total == 6.0
+        assert s.tmin == 1.0 and s.tmax == 3.0
+        assert s.avg == 2.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CallStats().update(-1.0)
+
+    def test_empty_avg_zero(self):
+        assert CallStats().avg == 0.0
+
+    def test_merge(self):
+        a, b = CallStats(), CallStats()
+        a.update(1.0)
+        b.update(5.0)
+        b.update(0.5)
+        a.merge(b)
+        assert a.count == 3 and a.total == 6.5
+        assert a.tmin == 0.5 and a.tmax == 5.0
+
+
+class TestSignatures:
+    def test_equality_and_hash_stability(self):
+        a = EventSignature("MPI_Send", nbytes=1024)
+        b = EventSignature("MPI_Send", nbytes=1024)
+        c = EventSignature("MPI_Send", nbytes=2048)
+        assert a == b and a.stable_hash() == b.stable_hash()
+        assert a != c
+
+    def test_pseudo_detection(self):
+        assert EventSignature("@CUDA_HOST_IDLE").is_pseudo
+        assert not EventSignature("cudaMemcpy(D2H)").is_pseudo
+
+    def test_exec_name_format(self):
+        assert cuda_exec_name(0) == "@CUDA_EXEC_STRM00"
+        assert cuda_exec_name(7) == "@CUDA_EXEC_STRM07"
+        assert cuda_exec_name(12) == "@CUDA_EXEC_STRM12"
+        with pytest.raises(ValueError):
+            cuda_exec_name(-1)
+
+
+class TestPerfHashTable:
+    def test_distinct_bytes_get_distinct_entries(self):
+        t = PerfHashTable()
+        t.update(EventSignature("MPI_Send", nbytes=100), 1.0)
+        t.update(EventSignature("MPI_Send", nbytes=200), 2.0)
+        assert len(t) == 2
+        assert t.by_name()["MPI_Send"].count == 2
+        assert t.by_name()["MPI_Send"].total == 3.0
+
+    def test_get_absent(self):
+        t = PerfHashTable()
+        assert t.get(EventSignature("nothing")) is None
+
+    def test_small_capacity_collisions_still_correct(self):
+        t = PerfHashTable(capacity=4)
+        sigs = [EventSignature(f"f{i}") for i in range(4)]
+        for i, s in enumerate(sigs):
+            t.update(s, float(i))
+        for i, s in enumerate(sigs):
+            assert t.get(s).total == float(i)
+        assert t.collisions > 0 or True  # collisions depend on hashes
+
+    def test_overflow_goes_to_overflow_area(self):
+        t = PerfHashTable(capacity=2)
+        for i in range(5):
+            t.update(EventSignature(f"f{i}"), 1.0)
+        assert len(t) == 5
+        assert t.overflowed == 3
+        for i in range(5):
+            assert t.get(EventSignature(f"f{i}")) is not None
+
+    def test_total_time_prefix(self):
+        t = PerfHashTable()
+        t.update(EventSignature("@CUDA_EXEC_STRM00"), 1.0)
+        t.update(EventSignature("@CUDA_EXEC_STRM01"), 2.0)
+        t.update(EventSignature("cudaMemcpy(D2H)"), 4.0)
+        assert t.total_time("@CUDA_EXEC_STRM") == 3.0
+        assert t.total_time() == 7.0
+
+    def test_total_bytes(self):
+        t = PerfHashTable()
+        t.update(EventSignature("MPI_Send", nbytes=100), 1.0)
+        t.update(EventSignature("MPI_Send", nbytes=100), 1.0)
+        t.update(EventSignature("MPI_Send", nbytes=50), 1.0)
+        assert t.total_bytes("MPI_Send") == 250
+
+    def test_merge_tables(self):
+        a, b = PerfHashTable(), PerfHashTable()
+        a.update(EventSignature("x"), 1.0)
+        b.update(EventSignature("x"), 2.0)
+        b.update(EventSignature("y"), 3.0)
+        a.merge(b)
+        assert a.get(EventSignature("x")).total == 3.0
+        assert a.get(EventSignature("y")).total == 3.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PerfHashTable(capacity=0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+            st.sampled_from([None, 64, 1024]),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        max_size=200,
+    ),
+    capacity=st.sampled_from([2, 7, 64, 8192]),
+)
+def test_table_matches_reference_dict(events, capacity):
+    """Property: the open-addressing table agrees with a plain dict
+    regardless of capacity/collision/overflow behaviour."""
+    table = PerfHashTable(capacity=capacity)
+    reference = {}
+    for name, nbytes, dur in events:
+        sig = EventSignature(name, nbytes=nbytes)
+        table.update(sig, dur)
+        ref = reference.setdefault(sig, CallStats())
+        ref.update(dur)
+    assert len(table) == len(reference)
+    for sig, ref in reference.items():
+        got = table.get(sig)
+        assert got is not None
+        assert got.count == ref.count
+        assert got.total == pytest.approx(ref.total)
+        assert got.tmin == ref.tmin and got.tmax == ref.tmax
+    # merged-by-name view is consistent too
+    by_name = table.by_name()
+    assert sum(s.count for s in by_name.values()) == len(events)

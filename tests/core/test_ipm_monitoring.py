@@ -1,0 +1,360 @@
+"""Integration tests of IPM's monitoring mechanisms (paper §III)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CUDA_HOST_IDLE,
+    EventSignature,
+    Ipm,
+    IpmConfig,
+    blocking_wrapper_names,
+    identify_blocking_calls,
+)
+from repro.cuda import Device, Kernel, Runtime, cudaMemcpyKind
+from repro.simt import Simulator
+
+from tests.core.conftest import make_ipm, run_square
+
+K = cudaMemcpyKind
+
+
+class TestFig456Progression:
+    """The three monitoring levels of Figs. 4 → 5 → 6."""
+
+    def _names(self, task):
+        return set(task.table.by_name().keys())
+
+    def test_fig4_host_timing_only(self, sim, raw_rt):
+        ipm = make_ipm(sim, kernel_timing=False, host_idle=False)
+        rt = ipm.wrap_runtime(raw_rt)
+        run_square(sim, rt)
+        task = ipm.finalize()
+        names = self._names(task)
+        # the Fig. 4 rows
+        for expected in ("cudaMalloc", "cudaMemcpy(D2H)", "cudaMemcpy(H2D)",
+                         "cudaSetupArgument", "cudaFree", "cudaLaunch",
+                         "cudaConfigureCall"):
+            assert expected in names, expected
+        # no GPU pseudo-entries at this level
+        assert not any(n.startswith("@") for n in names)
+        # blocking D2H absorbed the kernel: ≫ H2D for same size
+        by = task.table.by_name()
+        assert by["cudaMemcpy(D2H)"].total > 50 * by["cudaMemcpy(H2D)"].total
+        assert by["cudaSetupArgument"].count == 2
+
+    def test_fig5_kernel_timing(self, sim, raw_rt):
+        ipm = make_ipm(sim, kernel_timing=True, host_idle=False)
+        rt = ipm.wrap_runtime(raw_rt)
+        run_square(sim, rt)
+        task = ipm.finalize()
+        by = task.table.by_name()
+        assert "@CUDA_EXEC_STRM00" in by
+        # event-bracketed kernel time ≈ nominal 1.15 s (plus µs overheads)
+        assert by["@CUDA_EXEC_STRM00"].total == pytest.approx(1.15, abs=0.001)
+        assert "@CUDA_HOST_IDLE" not in by
+
+    def test_fig6_host_idle(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+        run_square(sim, rt)
+        task = ipm.finalize()
+        by = task.table.by_name()
+        assert "@CUDA_HOST_IDLE" in by
+        # the idle count is 1: only the D2H behind the kernel qualifies
+        assert by["@CUDA_HOST_IDLE"].count == 1
+        # idle ≈ exec (Fig. 6 shows 1.15 vs 1.15)
+        assert by["@CUDA_HOST_IDLE"].total == pytest.approx(
+            by["@CUDA_EXEC_STRM00"].total, rel=0.01
+        )
+        # with the wait separated out, the D2H itself is now cheap (Fig. 6)
+        assert by["cudaMemcpy(D2H)"].total < 0.01
+
+    def test_kernel_details_recorded(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+        run_square(sim, rt)
+        ipm.finalize()
+        assert len(ipm.kernel_details) == 1
+        rec = ipm.kernel_details[0]
+        assert rec.kernel == "square" and rec.stream_id == 0
+
+
+class TestBlockingCallIdentification:
+    def test_memset_excluded(self):
+        blocking = identify_blocking_calls(force=True)
+        assert "cudaMemset" not in blocking
+        assert "cudaMemcpyAsync" not in blocking
+
+    def test_all_sync_memcpy_variants_included(self):
+        blocking = identify_blocking_calls()
+        for name in ("cudaMemcpy(H2D)", "cudaMemcpy(D2H)", "cudaMemcpy(D2D)",
+                     "cudaMemcpyToSymbol", "cudaMemcpyFromSymbol"):
+            assert name in blocking, name
+
+    def test_wrapper_name_collapse(self):
+        names = blocking_wrapper_names({"cudaMemcpy(D2H)", "cudaMemcpy(H2D)",
+                                        "cudaMemcpyToSymbol"})
+        assert names == {"cudaMemcpy", "cudaMemcpyToSymbol"}
+
+    def test_cached_between_calls(self):
+        a = identify_blocking_calls()
+        b = identify_blocking_calls()
+        assert a == b and a is not b  # copies of the cached set
+
+
+class TestKernelTimingTable:
+    def test_slot_reuse_many_launches(self, sim, raw_rt):
+        ipm = make_ipm(sim, ktt_capacity=4)
+        rt = ipm.wrap_runtime(raw_rt)
+        k = Kernel("k", nominal_duration=0.001)
+        host = np.zeros(8)
+
+        def main():
+            err, ptr = rt.cudaMalloc(64)
+            for _ in range(20):
+                rt.launch(k, 1, 1)
+                rt.cudaMemcpy(host, ptr, 64, K.cudaMemcpyDeviceToHost)
+
+        sim.spawn(main, name="main")
+        sim.run()
+        ipm.finalize()
+        ktt = ipm.ktts[0]
+        assert ktt.kernels_timed == 20
+        assert ktt.dropped == 0
+
+    def test_full_table_forces_check_then_drops(self, sim, raw_rt):
+        ipm = make_ipm(sim, ktt_capacity=2)
+        rt = ipm.wrap_runtime(raw_rt)
+        k = Kernel("slow", nominal_duration=10.0)
+
+        def main():
+            rt.cudaMalloc(64)
+            for _ in range(5):  # all pending: no D2H, kernels serialized
+                rt.launch(k, 1, 1)
+            rt.cudaThreadSynchronize()
+
+        sim.spawn(main, name="main")
+        sim.run()
+        ipm.finalize()
+        ktt = ipm.ktts[0]
+        # capacity 2: some launches could not be tracked...
+        assert ktt.dropped >= 1
+        # ...but drain at finalize harvested the tracked ones
+        assert ktt.kernels_timed + ktt.dropped == 5
+
+    def test_drain_at_finalize(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+
+        def main():
+            rt.cudaMalloc(64)
+            rt.launch(Kernel("tail", nominal_duration=0.5), 1, 1)
+            # no D2H follows: only finalize() can harvest this kernel
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        assert task.gpu_exec_time() == pytest.approx(0.5, abs=0.001)
+
+    def test_every_call_policy_harvests_without_d2h(self, sim, raw_rt):
+        ipm = make_ipm(sim, ktt_policy="on_every_call")
+        rt = ipm.wrap_runtime(raw_rt)
+
+        def main():
+            rt.cudaMalloc(64)
+            rt.launch(Kernel("k", nominal_duration=0.1), 1, 1)
+            rt.cudaThreadSynchronize()
+            # the next call's post-hook harvests — no D2H needed
+            rt.cudaGetLastError()
+
+        sim.spawn(main, name="main")
+        sim.run()
+        assert ipm.ktts[0].kernels_timed == 1
+        ipm.finalize()
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IpmConfig(ktt_policy="sometimes")
+
+    def test_streams_reported_separately(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+
+        def main():
+            rt.cudaMalloc(64)
+            _, st = rt.cudaStreamCreate()
+            rt.launch(Kernel("a", nominal_duration=0.2), 1, 1)          # stream 0
+            rt.launch(Kernel("b", nominal_duration=0.3), 1, 1, stream=st)
+            rt.cudaThreadSynchronize()
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        streams = {r.stream_id for r in ipm.kernel_details}
+        assert 0 in streams and len(streams) == 2
+        names = set(task.table.by_name())
+        assert sum(1 for n in names if n.startswith("@CUDA_EXEC_STRM")) == 2
+
+
+class TestOverheadAccounting:
+    def test_monitoring_dilates_runtime_slightly(self, sim, quiet_timing):
+        """IPM on vs off: dilatation exists but is small (Fig. 8's premise)."""
+
+        def run_once(monitored: bool) -> float:
+            local = Simulator()
+            dev = Device(local, timing=quiet_timing, rng=np.random.default_rng(5))
+            rt = Runtime(local, [dev])
+            ipm = None
+            if monitored:
+                ipm = Ipm(local, config=IpmConfig())
+                rt = ipm.wrap_runtime(rt)
+            proc = run_square(local, rt, kernel_time=0.1)
+            if ipm:
+                ipm.finalize()
+            return proc.finished_at - proc.started_at
+
+        plain = run_once(False)
+        monitored = run_once(True)
+        assert monitored > plain
+        assert (monitored - plain) / plain < 0.01  # well under 1 %
+
+    def test_overhead_charged_is_positive_and_bounded(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+        run_square(sim, rt)
+        task = ipm.finalize()
+        assert ipm.overhead.charged > 0
+        assert ipm.overhead.charged < 0.01 * task.wallclock
+
+    def test_inactive_ipm_records_nothing(self, sim, raw_rt):
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+        ipm.active = False
+        run_square(sim, rt)
+        assert len(ipm.table) == 0
+
+
+class TestRegions:
+    def test_region_scoping(self, sim, raw_rt):
+        ipm = make_ipm(sim, kernel_timing=False, host_idle=False)
+        rt = ipm.wrap_runtime(raw_rt)
+
+        def main():
+            rt.cudaMalloc(64)
+            ipm.region_enter("solver")
+            rt.cudaMalloc(64)
+            ipm.region_exit()
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        regions = {sig.region for sig, _ in task.table.items()}
+        assert regions == {"ipm_main", "solver"}
+
+    def test_unbalanced_region_exit(self, sim):
+        ipm = make_ipm(sim, host_idle=False)
+        with pytest.raises(RuntimeError):
+            ipm.region_exit()
+
+
+class TestDriverWrapping:
+    def test_driver_calls_recorded(self, sim, raw_rt):
+        from repro.cuda import Driver
+
+        ipm = make_ipm(sim)
+        drv = ipm.wrap_driver(Driver(raw_rt))
+
+        def main():
+            drv.cuInit()
+            drv.cuCtxCreate()
+            err, ptr = drv.cuMemAlloc(4096)
+            drv.cuMemcpyHtoD(ptr, None, 4096)
+            k = Kernel("dk", nominal_duration=0.25)
+            drv.cuFuncSetBlockShape(k, 64, 1, 1)
+            drv.cuLaunchGrid(k, 8, 1)
+            drv.cuMemcpyDtoH(None, ptr, 4096)
+            drv.cuMemFree(ptr)
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        by = task.table.by_name()
+        for name in ("cuInit", "cuMemAlloc", "cuMemcpyHtoD", "cuLaunchGrid",
+                     "cuMemcpyDtoH", "cuMemFree"):
+            assert name in by, name
+        # driver-side kernel timing works too
+        assert task.gpu_exec_time() == pytest.approx(0.25, abs=0.001)
+        # host idle identified on the blocking DtoH
+        assert by[CUDA_HOST_IDLE.split("(")[0]].total > 0.2
+
+
+class TestLibraryWrapping:
+    def test_cublas_records_bytes(self, sim, raw_rt):
+        from repro.libs import Cublas
+
+        ipm = make_ipm(sim)
+        rt = ipm.wrap_runtime(raw_rt)
+        cb = ipm.wrap_cublas(Cublas(raw_rt))
+
+        def main():
+            cb.cublasInit()
+            st, ptr = cb.cublasAlloc(1000 * 1000, 8)
+            cb.cublasSetMatrix(1000, 1000, 8, None, ptr)
+            cb.cublasDgemm("N", "N", 1000, 1000, 1000)
+            cb.cublasGetMatrix(1000, 1000, 8, ptr)
+            cb.cublasFree(ptr)
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        sigs = {sig.name: sig for sig, _ in task.table.items()}
+        assert sigs["cublasSetMatrix"].nbytes == 8_000_000
+        assert sigs["cublasDgemm"].nbytes == 8 * 3 * 1000 * 1000
+        assert ipm.domains["cublasDgemm"] == "CUBLAS"
+
+    def test_cufft_wrapped(self, sim, raw_rt):
+        from repro.libs import Cufft
+
+        ipm = make_ipm(sim)
+        ft = ipm.wrap_cufft(Cufft(raw_rt))
+
+        def main():
+            res, plan = ft.cufftPlan3d(32, 32, 32, "Z2Z")
+            ft.cufftExecZ2Z(plan)
+            raw_rt.cudaThreadSynchronize()
+            ft.cufftDestroy(plan)
+
+        sim.spawn(main, name="main")
+        sim.run()
+        task = ipm.finalize()
+        by = task.table.by_name()
+        assert "cufftPlan3d" in by and "cufftExecZ2Z" in by
+        assert ipm.domains["cufftExecZ2Z"] == "CUFFT"
+
+    def test_mpi_wrapped_with_sizes(self, sim):
+        from repro.mpi import CommWorld
+
+        world = CommWorld(sim, 2)
+        ipms = [Ipm(sim, rank=r, nranks=2, config=IpmConfig(host_idle=False))
+                for r in range(2)]
+        comms = [ipms[r].wrap_mpi(world.rank_comm(r)) for r in range(2)]
+        payload = np.zeros(1000, dtype=np.float64)
+
+        def rank0():
+            comms[0].MPI_Send(payload, dest=1)
+            comms[0].MPI_Barrier()
+
+        def rank1():
+            comms[1].MPI_Recv(source=0)
+            comms[1].MPI_Barrier()
+
+        sim.spawn(rank0, name="r0")
+        sim.spawn(rank1, name="r1")
+        sim.run()
+        t0, t1 = ipms[0].finalize(), ipms[1].finalize()
+        send_sig = next(sig for sig, _ in t0.table.items() if sig.name == "MPI_Send")
+        recv_sig = next(sig for sig, _ in t1.table.items() if sig.name == "MPI_Recv")
+        assert send_sig.nbytes == 8000 and recv_sig.nbytes == 8000
+        assert "MPI_Barrier" in t0.table.by_name()
+        assert ipms[0].domains["MPI_Send"] == "MPI"

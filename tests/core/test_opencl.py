@@ -1,0 +1,251 @@
+"""Tests for the OpenCL substrate and its IPM interposition (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ipm, IpmConfig
+from repro.core.ocl_wrappers import ocl_exec_name, wrap_opencl
+from repro.cuda import Device, GpuTimingModel, Kernel
+from repro.ocl import (
+    CL_INVALID_KERNEL,
+    CL_INVALID_MEM_OBJECT,
+    CL_INVALID_VALUE,
+    CL_PROFILING_COMMAND_END,
+    CL_PROFILING_COMMAND_START,
+    CL_QUEUE_PROFILING_ENABLE,
+    CL_SUCCESS,
+    OCL_API,
+    OpenCL,
+)
+from repro.simt import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def ocl(sim):
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_mean = 0.0
+    t.context_init_sigma = 0.0
+    dev = Device(sim, timing=t, rng=np.random.default_rng(0))
+    return OpenCL(sim, [dev])
+
+
+def run(sim, fn):
+    proc = sim.spawn(fn, name="host")
+    sim.run()
+    return proc.result
+
+
+def setup_ctx(ocl):
+    """platform → device → context → profiling queue → built program."""
+    _, platforms = ocl.clGetPlatformIDs()
+    _, devices = ocl.clGetDeviceIDs(platforms[0])
+    _, ctx = ocl.clCreateContext(devices[0])
+    _, queue = ocl.clCreateCommandQueue(ctx, devices[0],
+                                        CL_QUEUE_PROFILING_ENABLE)
+    _, program = ocl.clCreateProgramWithSource(ctx, "__kernel void k(){}")
+    ocl.clBuildProgram(program)
+    return ctx, queue, program
+
+
+class TestOpenClSemantics:
+    def test_full_pipeline_with_data(self, sim, ocl):
+        src = np.arange(64, dtype=np.float32)
+        dst = np.zeros_like(src)
+
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            st, buf = ocl.clCreateBuffer(ctx, src.nbytes)
+            assert st == CL_SUCCESS
+            st, _ = ocl.clEnqueueWriteBuffer(queue, buf, True, src)
+            assert st == CL_SUCCESS
+            st, kern = ocl.clCreateKernel(program, Kernel("k", nominal_duration=0.01))
+            assert st == CL_SUCCESS
+            ocl.clSetKernelArg(kern, 0, buf)
+            st, ev = ocl.clEnqueueNDRangeKernel(queue, kern, 1024, 64)
+            assert st == CL_SUCCESS
+            st, _ = ocl.clEnqueueReadBuffer(queue, buf, True, dst)
+            assert st == CL_SUCCESS
+            assert ocl.clReleaseMemObject(buf) == CL_SUCCESS
+            return ev
+
+        run(sim, body)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_blocking_read_waits_for_kernel(self, sim, ocl):
+        """The OpenCL analogue of §III-C's implicit host blocking."""
+
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            _, buf = ocl.clCreateBuffer(ctx, 4096)
+            _, kern = ocl.clCreateKernel(program, Kernel("slow", nominal_duration=1.0))
+            ocl.clEnqueueNDRangeKernel(queue, kern, 64, 64)
+            t0 = sim.now
+            ocl.clEnqueueReadBuffer(queue, buf, True)
+            return sim.now - t0
+
+        assert run(sim, body) > 1.0
+
+    def test_nonblocking_read_returns_immediately(self, sim, ocl):
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            _, buf = ocl.clCreateBuffer(ctx, 4096)
+            _, kern = ocl.clCreateKernel(program, Kernel("slow", nominal_duration=1.0))
+            ocl.clEnqueueNDRangeKernel(queue, kern, 64, 64)
+            t0 = sim.now
+            st, ev = ocl.clEnqueueReadBuffer(queue, buf, False)
+            elapsed = sim.now - t0
+            ocl.clWaitForEvents([ev])
+            return elapsed
+
+        assert run(sim, body) < 0.001
+
+    def test_event_profiling_matches_kernel(self, sim, ocl):
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            _, kern = ocl.clCreateKernel(program, Kernel("k", nominal_duration=0.25))
+            st, ev = ocl.clEnqueueNDRangeKernel(queue, kern, 256, 64)
+            ocl.clFinish(queue)
+            _, start = ocl.clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START)
+            _, end = ocl.clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_END)
+            return (end - start) * 1e-9
+
+        assert run(sim, body) == pytest.approx(0.25, rel=1e-6)
+
+    def test_profiling_incomplete_event_rejected(self, sim, ocl):
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            _, kern = ocl.clCreateKernel(program, Kernel("k", nominal_duration=1.0))
+            _, ev = ocl.clEnqueueNDRangeKernel(queue, kern, 64, 64)
+            st, _ = ocl.clGetEventProfilingInfo(ev, CL_PROFILING_COMMAND_START)
+            ocl.clFinish(queue)
+            return st
+
+        assert run(sim, body) == CL_INVALID_VALUE
+
+    def test_error_paths(self, sim, ocl):
+        def body():
+            ctx, queue, program = setup_ctx(ocl)
+            assert ocl.clCreateBuffer(ctx, -5)[0] == CL_INVALID_VALUE
+            assert ocl.clCreateKernel({"built": False}, None)[0] == CL_INVALID_KERNEL
+            _, buf = ocl.clCreateBuffer(ctx, 64)
+            ocl.clReleaseMemObject(buf)
+            assert ocl.clReleaseMemObject(buf) == CL_INVALID_MEM_OBJECT
+            unbuilt = ocl.clCreateProgramWithSource(ctx, "x")[1]
+            assert ocl.clCreateKernel(unbuilt, Kernel("k", nominal_duration=1))[0] \
+                == CL_INVALID_KERNEL
+
+        run(sim, body)
+
+    def test_queues_are_independent(self, sim, ocl):
+        """Two in-order queues overlap (unlike one queue)."""
+
+        def body():
+            ctx, q1, program = setup_ctx(ocl)
+            _, q2 = ocl.clCreateCommandQueue(ctx)
+            _, kern = ocl.clCreateKernel(
+                program, Kernel("k", nominal_duration=1.0, occupancy=0.3))
+            t0 = sim.now
+            ocl.clEnqueueNDRangeKernel(q1, kern, 64, 64)
+            ocl.clEnqueueNDRangeKernel(q2, kern, 64, 64)
+            ocl.clFinish(q1)
+            ocl.clFinish(q2)
+            return sim.now - t0
+
+        assert run(sim, body) < 1.5
+
+
+class TestOpenClInterposition:
+    def _wrapped(self, sim, ocl, **cfg):
+        ipm = Ipm(sim, command="./ocl_app",
+                  config=IpmConfig(**cfg), blocking_calls=set())
+        return ipm, wrap_opencl(ipm, ocl)
+
+    def test_all_spec_calls_wrapped(self, sim, ocl):
+        ipm, w = self._wrapped(sim, ocl)
+        for spec in OCL_API:
+            assert spec.name in w._wrapped_names, spec.name
+
+    def test_calls_recorded_with_bytes(self, sim, ocl):
+        ipm, w = self._wrapped(sim, ocl)
+
+        def body():
+            ctx, queue, program = setup_ctx_wrapped(w)
+            _, buf = w.clCreateBuffer(ctx, 8192)
+            w.clEnqueueWriteBuffer(queue, buf, True, None, 8192)
+            _, kern = w.clCreateKernel(program, Kernel("k", nominal_duration=0.1))
+            w.clEnqueueNDRangeKernel(queue, kern, 128, 64)
+            w.clEnqueueReadBuffer(queue, buf, True, None, 8192)
+
+        run(sim, body)
+        task = ipm.finalize()
+        sigs = {s.name: s for s, _ in task.table.items()}
+        assert sigs["clCreateBuffer"].nbytes == 8192
+        assert sigs["clEnqueueWriteBuffer"].nbytes == 8192
+        assert ipm.domains["clEnqueueNDRangeKernel"] == "OPENCL"
+
+    def test_kernel_timing_via_event_profiling(self, sim, ocl):
+        ipm, w = self._wrapped(sim, ocl)
+
+        def body():
+            ctx, queue, program = setup_ctx_wrapped(w)
+            _, buf = w.clCreateBuffer(ctx, 4096)
+            _, kern = w.clCreateKernel(program, Kernel("stencil", nominal_duration=0.2))
+            w.clEnqueueNDRangeKernel(queue, kern, 128, 64)
+            w.clEnqueueReadBuffer(queue, buf, True)
+
+        run(sim, body)
+        task = ipm.finalize()
+        by = task.table.by_name()
+        assert ocl_exec_name(0) in by
+        assert by[ocl_exec_name(0)].total == pytest.approx(0.2, abs=0.001)
+        assert ipm.kernel_details[0].kernel == "stencil"
+
+    def test_host_idle_detected_on_blocking_read(self, sim, ocl):
+        ipm, w = self._wrapped(sim, ocl)
+
+        def body():
+            ctx, queue, program = setup_ctx_wrapped(w)
+            _, buf = w.clCreateBuffer(ctx, 4096)
+            _, kern = w.clCreateKernel(program, Kernel("slow", nominal_duration=0.5))
+            w.clEnqueueNDRangeKernel(queue, kern, 64, 64)
+            w.clEnqueueReadBuffer(queue, buf, True)
+
+        run(sim, body)
+        task = ipm.finalize()
+        assert task.host_idle_time() == pytest.approx(0.5, abs=0.01)
+        # with the wait separated, the read itself is cheap
+        by = task.table.by_name()
+        assert by["clEnqueueReadBuffer"].total < 0.01
+
+    def test_timer_drains_and_counts(self, sim, ocl):
+        ipm, w = self._wrapped(sim, ocl)
+
+        def body():
+            ctx, queue, program = setup_ctx_wrapped(w)
+            _, kern = w.clCreateKernel(program, Kernel("k", nominal_duration=0.01))
+            for _ in range(5):
+                w.clEnqueueNDRangeKernel(queue, kern, 64, 64)
+            w.clFinish(queue)
+
+        run(sim, body)
+        # no blocking read happened: harvest at drain
+        assert ipm.ocl_timer.in_flight == 5
+        assert ipm.ocl_timer.drain() == 5
+        assert ipm.ocl_timer.kernels_timed == 5
+
+
+def setup_ctx_wrapped(w):
+    _, platforms = w.clGetPlatformIDs()
+    _, devices = w.clGetDeviceIDs(platforms[0])
+    _, ctx = w.clCreateContext(devices[0])
+    _, queue = w.clCreateCommandQueue(ctx, devices[0], CL_QUEUE_PROFILING_ENABLE)
+    _, program = w.clCreateProgramWithSource(ctx, "__kernel void k(){}")
+    w.clBuildProgram(program)
+    return ctx, queue, program

@@ -1,0 +1,270 @@
+"""Banner, XML log, ipm_parse, CUBE and HTML output tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import (
+    EventSignature,
+    Ipm,
+    IpmConfig,
+    JobReport,
+    PerfHashTable,
+    TaskReport,
+    banner,
+    banner_parallel,
+    banner_serial,
+    job_to_cube,
+    job_to_html,
+    metrics,
+    read_cube,
+    read_xml,
+    write_cube,
+    write_html,
+    write_xml,
+)
+from repro.core.ktt import KernelRecord
+from repro.core.parser import main as ipm_parse_main
+
+
+def make_task(rank=0, nranks=2, wall=45.78, host="dirac18"):
+    table = PerfHashTable()
+    table.update(EventSignature("@CUDA_EXEC_STRM00"), 16.0 + rank)
+    table.update(EventSignature("cudaThreadSynchronize"), 10.0)
+    table.update(EventSignature("cudaMemcpy(D2H)", nbytes=4096), 0.5)
+    table.update(EventSignature("cudaMemcpy(D2H)", nbytes=4096), 0.3)
+    table.update(EventSignature("MPI_Bcast", nbytes=8192), 0.2)
+    table.update(EventSignature("@CUDA_HOST_IDLE"), 0.02)
+    table.update(EventSignature("cufftExecZ2Z", nbytes=1 << 20), 0.05)
+    details = [
+        KernelRecord("CalculatePMEOrthogonalNonbondForces", 0, 10.0 + rank),
+        KernelRecord("ReduceForces", 0, 5.0),
+        KernelRecord("PMEShake", 0, 1.0 + rank),
+    ]
+    return TaskReport(
+        rank=rank,
+        nranks=nranks,
+        hostname=host,
+        command="pmemd.cuda.MPI -O -i mdin",
+        start_time=100.0,
+        stop_time=100.0 + wall,
+        table=table,
+        kernel_details=details,
+        mem_gb=0.28,
+        gflops=0.0,
+    )
+
+
+DOMAINS = {
+    "cudaThreadSynchronize": "CUDA",
+    "cudaMemcpy": "CUDA",
+    "MPI_Bcast": "MPI",
+    "cufftExecZ2Z": "CUFFT",
+}
+
+
+@pytest.fixture()
+def job():
+    return JobReport(
+        tasks=[make_task(0), make_task(1, host="dirac19")],
+        domains=dict(DOMAINS),
+        start_stamp="Tue Sep 28 12:35:09 2010",
+        stop_stamp="Tue Sep 28 12:35:55 2010",
+    )
+
+
+class TestBanner:
+    def test_serial_layout(self, job):
+        text = banner_serial(job.tasks[0])
+        assert text.startswith("##IPMv2.0#")
+        assert "# command   : pmemd.cuda.MPI" in text
+        assert "# wallclock : 45.78" in text
+        assert "[time]" in text and "<%wall>" in text
+        # sorted by time: the exec pseudo-entry first
+        lines = [l for l in text.splitlines() if l.startswith("# @") or
+                 l.startswith("# cuda") or l.startswith("# MPI")]
+        assert lines[0].startswith("# @CUDA_EXEC_STRM00")
+
+    def test_parallel_layout(self, job):
+        text = banner_parallel(job)
+        assert "# mpi_tasks : 2 on 2 nodes" in text
+        assert "%comm" in text
+        assert "# wallclock :" in text
+        for domain in ("MPI", "CUDA", "CUFFT"):
+            assert f"# {domain:<10s}:" in text
+        assert "# %wall     :" in text
+        assert "# #calls    :" in text
+        assert "@CUDA_EXEC_STRM00" in text
+
+    def test_dispatch(self, job):
+        assert "mpi_tasks" in banner(job)
+        solo = JobReport(tasks=[make_task(0, nranks=1)], domains={"cudaMemcpy": "CUDA"})
+        assert "mpi_tasks" not in banner(solo)
+
+    def test_top_truncation(self, job):
+        short = banner_parallel(job, top=1)
+        full = banner_parallel(job, top=None)
+        assert len(short.splitlines()) < len(full.splitlines())
+
+    def test_percentages_sum_sanely(self, job):
+        text = banner_parallel(job, top=None)
+        pcts = []
+        for line in text.splitlines():
+            parts = line.split()
+            if line.startswith("# ") and len(parts) == 5 and parts[1][0] not in "#%[<":
+                try:
+                    pcts.append(float(parts[4]))
+                except ValueError:
+                    pass
+        assert all(0.0 <= p <= 100.0 for p in pcts)
+
+
+class TestXmlRoundTrip:
+    def test_roundtrip_preserves_everything(self, job, tmp_path):
+        path = str(tmp_path / "profile.xml")
+        write_xml(job, path)
+        back = read_xml(path)
+        assert back.ntasks == job.ntasks
+        assert back.command == job.command
+        assert back.domains == job.domains
+        assert back.start_stamp == job.start_stamp
+        for orig, parsed in zip(job.tasks, back.tasks):
+            assert parsed.rank == orig.rank
+            assert parsed.hostname == orig.hostname
+            assert parsed.wallclock == pytest.approx(orig.wallclock)
+            assert parsed.mem_gb == pytest.approx(orig.mem_gb)
+            orig_by = orig.table.by_name()
+            parsed_by = parsed.table.by_name()
+            assert set(orig_by) == set(parsed_by)
+            for name in orig_by:
+                assert parsed_by[name].count == orig_by[name].count
+                assert parsed_by[name].total == pytest.approx(orig_by[name].total)
+            # byte attributes survive
+            orig_bytes = {(s.name, s.nbytes) for s, _ in orig.table.items()}
+            parsed_bytes = {(s.name, s.nbytes) for s, _ in parsed.table.items()}
+            assert orig_bytes == parsed_bytes
+
+    def test_banner_regenerable_from_xml(self, job, tmp_path):
+        """§II: the parser can re-produce the banner from the log."""
+        path = str(tmp_path / "profile.xml")
+        write_xml(job, path)
+        assert banner_parallel(read_xml(path)) == banner_parallel(job)
+
+    def test_kernel_details_aggregate(self, job, tmp_path):
+        path = str(tmp_path / "profile.xml")
+        write_xml(job, path)
+        back = read_xml(path)
+        orig = metrics.kernel_time_by_rank(job)
+        parsed = metrics.kernel_time_by_rank(back)
+        assert set(orig) == set(parsed)
+        for k in orig:
+            assert parsed[k] == pytest.approx(orig[k])
+
+    def test_reject_foreign_xml(self, tmp_path):
+        path = tmp_path / "bogus.xml"
+        path.write_text("<notipm/>")
+        with pytest.raises(ValueError):
+            read_xml(str(path))
+
+
+class TestParserCli:
+    def test_banner_to_stdout(self, job, tmp_path, capsys):
+        path = str(tmp_path / "p.xml")
+        write_xml(job, path)
+        assert ipm_parse_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "##IPMv2.0" in out and "mpi_tasks" in out
+
+    def test_html_and_cube_outputs(self, job, tmp_path, capsys):
+        xml_path = str(tmp_path / "p.xml")
+        html_path = str(tmp_path / "p.html")
+        cube_path = str(tmp_path / "p.cube")
+        write_xml(job, xml_path)
+        assert ipm_parse_main([xml_path, "--html", html_path,
+                               "--cube", cube_path]) == 0
+        assert "<html>" in open(html_path).read()
+        assert ET.parse(cube_path).getroot().tag == "cube"
+        assert capsys.readouterr().out == ""  # banner suppressed
+
+
+class TestCube:
+    def test_model_shape(self, job):
+        model = job_to_cube(job)
+        assert len(model.processes) == 2
+        assert "@CUDA_EXEC_STRM00" in model.cnodes
+        # per-node system tree: two hosts
+        assert {h for h, _ in model.processes} == {"dirac18", "dirac19"}
+
+    def test_severity_values(self, job):
+        model = job_to_cube(job)
+        assert model.value("gpu_exec", "@CUDA_EXEC_STRM00", 0) == pytest.approx(16.0)
+        assert model.value("gpu_exec", "@CUDA_EXEC_STRM00", 1) == pytest.approx(17.0)
+        assert model.value("mpi", "MPI_Bcast", 0) == pytest.approx(0.2)
+        assert model.value("calls", "cudaMemcpy(D2H)", 0) == 2
+
+    def test_cube_file_roundtrip(self, job, tmp_path):
+        path = str(tmp_path / "profile.cube")
+        written = write_cube(job, path)
+        back = read_cube(path)
+        assert back.cnodes == written.cnodes
+        assert back.processes == written.processes
+        for key, vals in written.severity.items():
+            assert back.severity[key] == pytest.approx(vals)
+
+    def test_metric_totals(self, job):
+        model = job_to_cube(job)
+        assert model.metric_total("gpu_exec") == pytest.approx(33.0)
+        assert model.metric_total("gpu_host_idle") == pytest.approx(0.04)
+
+
+class TestHtml:
+    def test_contains_key_metrics(self, job):
+        page = job_to_html(job, title="Amber profile")
+        assert "Amber profile" in page
+        assert "gpu utilization" in page
+        assert "CalculatePMEOrthogonalNonbondForces" in page
+        assert "MPI_Bcast" in page
+
+    def test_escapes_names(self, job):
+        job.tasks[0].table.update(EventSignature("evil<script>"), 1.0)
+        page = job_to_html(job)
+        assert "evil<script>" not in page
+        assert "evil&lt;script&gt;" in page
+
+    def test_write(self, job, tmp_path):
+        path = str(tmp_path / "report.html")
+        write_html(job, path)
+        assert open(path).read().startswith("<!DOCTYPE html>")
+
+
+class TestMetrics:
+    def test_gpu_utilization(self, job):
+        util = metrics.gpu_utilization(job)
+        expected = 100 * ((16.0 / 45.78) + (17.0 / 45.78)) / 2
+        assert util == pytest.approx(expected)
+
+    def test_host_idle_percent(self, job):
+        assert metrics.host_idle_percent(job) == pytest.approx(
+            100 * 0.02 / 45.78, rel=1e-6
+        )
+
+    def test_kernel_share_sums_to_one(self, job):
+        shares = metrics.kernel_share(job)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        top = max(shares, key=shares.get)
+        assert top == "CalculatePMEOrthogonalNonbondForces"
+
+    def test_kernel_imbalance(self, job):
+        imb = metrics.kernel_imbalance(job)
+        shake = imb["PMEShake"]  # 1.0 vs 2.0 across ranks
+        assert shake.imbalance == pytest.approx((2.0 - 1.5) / 1.5)
+
+    def test_function_time_stats(self, job):
+        st = metrics.function_time_stats(job, "cudaThreadSynchronize")
+        assert st.mean == pytest.approx(10.0)
+        assert st.tmin == st.tmax == 10.0
+
+    def test_comm_percent(self, job):
+        assert metrics.comm_percent(job) == pytest.approx(
+            100 * 0.2 / 45.78, rel=1e-6
+        )

@@ -1,0 +1,81 @@
+"""Fig. 7: the event ordering of IPM's CUDA monitoring.
+
+The paper's schematic labels the steps (a)–(h); this test drives the
+same program (async launch + blocking D2H) and asserts the causal
+order of every step using device-side observers and IPM's records:
+
+(a) kernel launched by the app        → host time of cudaLaunch
+(b) start event inserted before       → start ts ≤ kernel GPU start
+(c) stop event inserted after          → stop ts ≥ kernel GPU end
+(d)/(e) kernel executes on the GPU     → profiler interval
+(f) blocking memcpy posted right after the async launch
+(g) the actual transfer happens after the kernel finished
+(h) the KTT entry is harvested and the hash table updated
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Ipm, IpmConfig
+from repro.cuda import CudaProfiler, Device, GpuTimingModel, Kernel, Runtime, cudaMemcpyKind
+from repro.simt import Simulator
+
+K = cudaMemcpyKind
+
+
+def test_fig7_causal_order():
+    sim = Simulator()
+    timing = GpuTimingModel()
+    timing.context_init_mean = 0.0
+    timing.context_init_sigma = 0.0
+    timing.kernel_jitter_cv = 0.0
+    timing.launch_gap_sigma = 0.0
+    dev = Device(sim, timing=timing, rng=np.random.default_rng(0))
+    raw = Runtime(sim, [dev])
+    ipm = Ipm(sim, config=IpmConfig())
+    rt = ipm.wrap_runtime(raw)
+    prof = CudaProfiler()
+    marks = {}
+    host = np.zeros(1000)
+    kernel = Kernel("square", nominal_duration=1.0)
+
+    def main():
+        err, ptr = raw.cudaMalloc(8000)   # context + memory, unmonitored setup
+        prof.attach(raw.context)
+        marks["a_launch_posted"] = sim.now
+        rt.launch(kernel, 1000, 1, args=(ptr, 1000))
+        marks["launch_returned"] = sim.now
+        marks["f_memcpy_posted"] = sim.now
+        rt.cudaMemcpy(host, ptr, 8000, K.cudaMemcpyDeviceToHost)
+        marks["g_memcpy_done"] = sim.now
+
+    sim.spawn(main, name="main")
+    sim.run()
+    task = ipm.finalize()
+
+    # device-side kernel interval (d)-(e), from the profiler observer
+    krec = prof.kernel_records()[0]
+    kernel_end = krec.timestamp
+    kernel_start = kernel_end - krec.gputime_us * 1e-6
+
+    # (a): the launch returned essentially immediately (asynchronous)
+    assert marks["launch_returned"] - marks["a_launch_posted"] < 1e-4
+    # (b)/(c): events bracket the kernel — elapsed > kernel duration
+    exec_time = task.gpu_exec_time()
+    assert exec_time > krec.gputime_us * 1e-6
+    assert exec_time < krec.gputime_us * 1e-6 + 1e-3
+    # (d): the kernel started only after the launch was posted
+    assert kernel_start > marks["a_launch_posted"]
+    # (f): the blocking memcpy was posted before the kernel finished ...
+    assert marks["f_memcpy_posted"] < kernel_end
+    # (g): ... but the host got its data only after the kernel finished
+    assert marks["g_memcpy_done"] > kernel_end
+    # the separated host idle ≈ the kernel time remaining at (f)
+    idle = task.host_idle_time()
+    assert idle == pytest.approx(kernel_end - marks["f_memcpy_posted"], rel=0.05)
+    # (h): KTT slot harvested inside the D2H wrapper (before main ended)
+    assert ipm.ktts[0].in_flight == 0
+    assert ipm.ktts[0].kernels_timed == 1
+    # and the hash table carries the @-entries
+    names = set(task.table.by_name())
+    assert "@CUDA_EXEC_STRM00" in names and "@CUDA_HOST_IDLE" in names

@@ -1,0 +1,165 @@
+"""Tests of the wrapper generator itself (paper §III-A, Fig. 2)."""
+
+import pytest
+
+from repro.core import Ipm, IpmConfig
+from repro.core.sig import EventSignature
+from repro.core.wrapper_gen import WrapperHooks, generate_wrappers
+from repro.simt import Simulator
+
+
+class FakeApi:
+    """A library with a mix of callables and data attributes."""
+
+    version = 42
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.calls = []
+
+    def do_work(self, amount):
+        self.calls.append(("do_work", amount))
+        self.sim.schedule(0, lambda: None)  # no time passes
+        return amount * 2
+
+    def sleepy(self, seconds):
+        if self.sim.current is not None:
+            self.sim.sleep(seconds)
+        return 0
+
+    def not_in_spec(self):
+        return "raw"
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def ipm(sim):
+    return Ipm(sim, config=IpmConfig(host_idle=False), blocking_calls=set())
+
+
+def in_proc(sim, fn):
+    proc = sim.spawn(fn)
+    sim.run()
+    return proc.result
+
+
+class TestGeneration:
+    def test_wraps_only_existing_callables(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work", "missing", "version"],
+                                  domain="FAKE")
+        assert "do_work" in proxy._wrapped_names
+        assert "missing" not in proxy._wrapped_names
+        assert "version" not in proxy._wrapped_names  # not callable
+
+    def test_passthrough_for_unwrapped(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        assert proxy.version == 42
+        assert proxy.not_in_spec() == "raw"
+        assert proxy._raw is api
+
+    def test_measured_duration_is_call_only(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["sleepy"], domain="FAKE")
+        in_proc(sim, lambda: proxy.sleepy(0.5))
+        stats = ipm.table.get(EventSignature("sleepy"))
+        assert stats.count == 1
+        assert stats.total == pytest.approx(0.5, abs=1e-6)
+
+    def test_return_value_passes_through(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        assert in_proc(sim, lambda: proxy.do_work(21)) == 42
+
+    def test_refiner_sets_suffix_and_bytes(self, sim, ipm):
+        api = FakeApi(sim)
+        hooks = {"do_work": WrapperHooks(
+            refine=lambda a, k, r: ("(BIG)", a[0] * 100))}
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE",
+                                  hooks=hooks)
+        in_proc(sim, lambda: proxy.do_work(3))
+        assert ipm.table.get(EventSignature("do_work(BIG)", nbytes=300)) is not None
+
+    def test_pre_and_post_hooks_ordering(self, sim, ipm):
+        api = FakeApi(sim)
+        trace = []
+        hooks = {"do_work": WrapperHooks(
+            pre=lambda a, k: trace.append("pre") or "token",
+            post=lambda p, a, k, r: trace.append(("post", p, r)),
+        )}
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE",
+                                  hooks=hooks)
+        in_proc(sim, lambda: proxy.do_work(1))
+        assert trace == ["pre", ("post", "token", 2)]
+
+    def test_inactive_ipm_bypasses_everything(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        ipm.active = False
+        in_proc(sim, lambda: proxy.do_work(1))
+        assert len(ipm.table) == 0
+        assert ipm.overhead.calls == 0
+
+    def test_overhead_charged_per_call(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+
+        def body():
+            for _ in range(10):
+                proxy.do_work(1)
+
+        in_proc(sim, body)
+        cfg = ipm.config.overhead
+        assert ipm.overhead.charged == pytest.approx(10 * (cfg.entry + cfg.exit))
+
+    def test_domain_registration(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        in_proc(sim, lambda: proxy.do_work(1))
+        assert ipm.domains["do_work"] == "FAKE"
+
+    def test_bad_linkage_rejected(self, sim, ipm):
+        with pytest.raises(ValueError):
+            generate_wrappers(ipm, FakeApi(sim), ["do_work"], domain="F",
+                              linkage="magic")
+
+
+class TestStaticLinkage:
+    """The --wrap variant (paper: '--wrap foo … __wrap_foo / __real_foo')."""
+
+    def test_wrap_and_real_symbols_exposed(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE",
+                                  linkage="static")
+        wrap = getattr(proxy, "__wrap_do_work")
+        real = getattr(proxy, "__real_do_work")
+        assert in_proc(sim, lambda: wrap(5)) == 10
+        assert len(ipm.table) == 1          # wrapper recorded
+        assert real(5) == 10
+        assert len(ipm.table) == 1          # real symbol did not record
+
+    def test_plain_name_resolves_to_wrapper(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE",
+                                  linkage="static")
+        in_proc(sim, lambda: proxy.do_work(1))
+        assert ipm.table.get(EventSignature("do_work")).count == 1
+
+    def test_ipm_config_linkage_flows_through(self, sim):
+        from repro.cuda import Device, GpuTimingModel, Runtime
+        import numpy as np
+
+        t = GpuTimingModel()
+        t.context_init_mean = 0.0
+        t.context_init_sigma = 0.0
+        dev = Device(sim, timing=t, rng=np.random.default_rng(0))
+        rt = Runtime(sim, [dev])
+        ipm = Ipm(sim, config=IpmConfig(linkage="static", host_idle=False))
+        proxy = ipm.wrap_runtime(rt)
+        assert callable(getattr(proxy, "__wrap_cudaMalloc"))
+        assert callable(getattr(proxy, "__real_cudaMalloc"))

@@ -1,0 +1,127 @@
+"""Property-based round-trip tests for the XML log and CUBE export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EventSignature,
+    JobReport,
+    PerfHashTable,
+    TaskReport,
+    banner,
+    job_to_cube,
+    job_to_xml,
+    xml_to_job,
+)
+from repro.core.ktt import KernelRecord
+
+_names = st.sampled_from([
+    "MPI_Send", "MPI_Allreduce", "cudaMemcpy(D2H)", "cudaMemcpy(H2D)",
+    "cudaLaunch", "@CUDA_EXEC_STRM00", "@CUDA_HOST_IDLE", "cublasZgemm",
+    "cufftExecZ2Z", "clEnqueueReadBuffer",
+])
+_regions = st.sampled_from(["ipm_main", "solver", "io_phase"])
+_events = st.lists(
+    st.tuples(
+        _names,
+        _regions,
+        st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 40)),
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                  allow_infinity=False),
+    ),
+    max_size=40,
+)
+_kernels = st.lists(
+    st.tuples(
+        st.sampled_from(["k0", "dgemm_nn_e_kernel", "transpose"]),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=1e-9, max_value=100.0, allow_nan=False),
+    ),
+    max_size=20,
+)
+
+
+def _build_job(task_specs):
+    tasks = []
+    domains = {}
+    for rank, (events, kernels, mem) in enumerate(task_specs):
+        table = PerfHashTable()
+        for name, region, nbytes, dur in events:
+            table.update(EventSignature(name, region, nbytes), dur)
+            base = name.split("(")[0]
+            if not base.startswith("@"):
+                domains.setdefault(
+                    base,
+                    "MPI" if base.startswith("MPI") else "CUDA",
+                )
+        details = [KernelRecord(k, s, d) for k, s, d in kernels]
+        tasks.append(TaskReport(
+            rank=rank, nranks=len(task_specs), hostname=f"dirac{rank:02d}",
+            command="./fuzz", start_time=0.0, stop_time=123.456,
+            table=table, kernel_details=details, mem_gb=mem,
+            counters={"cuda:::kernels_executed": len(kernels)},
+        ))
+    return JobReport(tasks=tasks, domains=domains, start_stamp="s", stop_stamp="e")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    task_specs=st.lists(
+        st.tuples(_events, _kernels,
+                  st.floats(min_value=0.0, max_value=64.0, allow_nan=False)),
+        min_size=1, max_size=4,
+    )
+)
+def test_xml_roundtrip_property(task_specs):
+    """Any job report survives XML serialization: same banner, same
+    aggregate statistics, same byte attributes and counters."""
+    job = _build_job(task_specs)
+    back = xml_to_job(job_to_xml(job))
+    assert back.ntasks == job.ntasks
+    assert back.domains == job.domains
+    # the banner — the user-visible artifact — is identical
+    assert banner(back, top=None) == banner(job, top=None)
+    for orig, parsed in zip(job.tasks, back.tasks):
+        orig_entries = {
+            (s.name, s.region, s.nbytes): (st_.count, round(st_.total, 6))
+            for s, st_ in orig.table.items()
+        }
+        parsed_entries = {
+            (s.name, s.region, s.nbytes): (st_.count, round(st_.total, 6))
+            for s, st_ in parsed.table.items()
+        }
+        assert orig_entries == parsed_entries
+        assert parsed.counters == orig.counters
+        # kernel totals per (name, stream) preserved
+        def agg(details):
+            out = {}
+            for r in details:
+                key = (r.kernel, r.stream_id)
+                out[key] = out.get(key, 0.0) + r.duration
+            return {k: round(v, 6) for k, v in out.items()}
+
+        assert agg(parsed.kernel_details) == agg(orig.kernel_details)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    task_specs=st.lists(
+        st.tuples(_events, _kernels, st.just(0.0)),
+        min_size=1, max_size=3,
+    )
+)
+def test_cube_severity_is_complete_and_consistent(task_specs):
+    """The CUBE severity matrix accounts for every function's time on
+    every process."""
+    job = _build_job(task_specs)
+    model = job_to_cube(job)
+    assert len(model.processes) == job.ntasks
+    for name, stats in job.merged_by_name().items():
+        cid = model.cnodes.index(name)
+        row = model.severity[("time", cid)]
+        assert sum(row) == pytest.approx(stats.total, rel=1e-9, abs=1e-12)
+        counts = model.severity[("calls", cid)]
+        assert sum(counts) == stats.count

@@ -1,0 +1,46 @@
+"""Shared fixtures for the CUDA platform tests."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import Device, GpuTimingModel, Runtime
+from repro.simt import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def device(sim):
+    return Device(sim, device_id=0, rng=np.random.default_rng(42))
+
+
+@pytest.fixture()
+def quiet_timing():
+    """A timing model without stochastic jitter, for exact assertions."""
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_sigma = 0.0
+    t.context_init_mean = 0.0
+    return t
+
+
+@pytest.fixture()
+def quiet_device(sim, quiet_timing):
+    return Device(sim, device_id=0, timing=quiet_timing, rng=np.random.default_rng(1))
+
+
+@pytest.fixture()
+def rt(sim, quiet_device):
+    """Runtime on a jitter-free, zero-context-init device."""
+    return Runtime(sim, [quiet_device], process_name="test")
+
+
+def run_in_proc(sim, fn):
+    """Run ``fn`` inside a simulated process; return its result."""
+    proc = sim.spawn(fn, name="body")
+    sim.run()
+    return proc.result

@@ -1,0 +1,198 @@
+"""Driver API and API-specification tests."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CUresult,
+    Driver,
+    DRIVER_API,
+    Kernel,
+    LaunchConfig,
+    RUNTIME_API,
+    Runtime,
+    attach_stubs,
+    flops_kernel,
+)
+from repro.cuda.kernel import _as_dim3
+
+from tests.cuda.conftest import run_in_proc
+
+R = CUresult
+
+
+@pytest.fixture()
+def drv(rt):
+    return Driver(rt)
+
+
+class TestDriverAPI:
+    def test_requires_init(self, sim, drv):
+        def body():
+            return drv.cuDeviceGetCount()[0]
+
+        assert run_in_proc(sim, body) == R.CUDA_ERROR_NOT_INITIALIZED
+
+    def test_full_driver_flow(self, sim, drv, quiet_device):
+        src = np.arange(16, dtype=np.float64)
+        dst = np.zeros_like(src)
+
+        def body():
+            assert drv.cuInit() == R.CUDA_SUCCESS
+            err, n = drv.cuDeviceGetCount()
+            assert (err, n) == (R.CUDA_SUCCESS, 1)
+            err, name = drv.cuDeviceGetName(0)
+            assert name == "Tesla C2050"
+            err, ctx = drv.cuCtxCreate(0, 0)
+            assert err == R.CUDA_SUCCESS
+            err, ptr = drv.cuMemAlloc(src.nbytes)
+            assert err == R.CUDA_SUCCESS
+            assert drv.cuMemcpyHtoD(ptr, src, src.nbytes) == R.CUDA_SUCCESS
+            k = Kernel("dk", nominal_duration=0.1)
+            drv.cuFuncSetBlockShape(k, 64, 1, 1)
+            drv.cuParamSetv(k, 0, ptr)
+            assert drv.cuLaunchGrid(k, 4, 1) == R.CUDA_SUCCESS
+            assert drv.cuCtxSynchronize() == R.CUDA_SUCCESS
+            assert drv.cuMemcpyDtoH(dst, ptr, src.nbytes) == R.CUDA_SUCCESS
+            assert drv.cuMemFree(ptr) == R.CUDA_SUCCESS
+
+        run_in_proc(sim, body)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_driver_events_and_streams(self, sim, drv):
+        def body():
+            drv.cuInit()
+            drv.cuCtxCreate()
+            err, st = drv.cuStreamCreate()
+            assert err == R.CUDA_SUCCESS
+            err, ev = drv.cuEventCreate()
+            assert err == R.CUDA_SUCCESS
+            k = Kernel("k", nominal_duration=0.5)
+            drv.cuFuncSetBlockShape(k, 1, 1, 1)
+            drv.cuLaunchGrid(k, 1)
+            drv.cuEventRecord(ev)
+            assert drv.cuEventQuery(ev) == R.CUDA_ERROR_NOT_READY
+            assert drv.cuEventSynchronize(ev) == R.CUDA_SUCCESS
+            assert drv.cuStreamSynchronize(st) == R.CUDA_SUCCESS
+            assert drv.cuStreamDestroy(st) == R.CUDA_SUCCESS
+
+        run_in_proc(sim, body)
+
+    def test_memset_d8_nonblocking(self, sim, drv):
+        def body():
+            drv.cuInit()
+            drv.cuCtxCreate()
+            err, ptr = drv.cuMemAlloc(1024)
+            k = Kernel("k", nominal_duration=2.0)
+            drv.cuFuncSetBlockShape(k, 1, 1, 1)
+            drv.cuLaunchGrid(k, 1)
+            t0 = sim.now
+            drv.cuMemsetD8(ptr, 0, 1024)
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) < 0.001
+
+    def test_mem_get_info(self, sim, drv, quiet_device):
+        def body():
+            drv.cuInit()
+            drv.cuCtxCreate()
+            drv.cuMemAlloc(1 << 20)
+            err, free, total = drv.cuMemGetInfo()
+            return err, free, total
+
+        err, free, total = run_in_proc(sim, body)
+        assert err == R.CUDA_SUCCESS
+        assert total == quiet_device.spec.memory_bytes
+        assert free == total - (1 << 20)
+
+
+class TestSpec:
+    def test_counts_match_paper(self):
+        assert len(RUNTIME_API) == 65  # "65 calls in the runtime API"
+        assert len(DRIVER_API) == 99   # "99 calls in the driver API"
+
+    def test_no_duplicate_names(self):
+        names = [c.name for c in RUNTIME_API + DRIVER_API]
+        assert len(names) == len(set(names))
+
+    def test_prefixes(self):
+        assert all(c.name.startswith("cuda") for c in RUNTIME_API)
+        assert all(
+            c.name.startswith("cu") and not c.name.startswith("cuda")
+            for c in DRIVER_API
+        )
+
+    def test_memset_not_in_blocking_category(self):
+        for api in (RUNTIME_API, DRIVER_API):
+            for c in api:
+                if "emset" in c.name.lower():
+                    assert not c.blocking, c.name
+
+    def test_sync_memcpys_marked_blocking(self):
+        from repro.cuda import RUNTIME_BY_NAME, DRIVER_BY_NAME
+
+        assert RUNTIME_BY_NAME["cudaMemcpy"].blocking
+        assert not RUNTIME_BY_NAME["cudaMemcpyAsync"].blocking
+        assert DRIVER_BY_NAME["cuMemcpyDtoH"].blocking
+        assert not DRIVER_BY_NAME["cuMemcpyDtoHAsync"].blocking
+
+    def test_attach_stubs_completes_surface(self, sim, rt):
+        charged = []
+        added = attach_stubs(rt, RUNTIME_API, charged.append, 1e-7)
+        assert added  # some calls are stubs (e.g. texture/array ops)
+        for c in RUNTIME_API:
+            assert callable(getattr(rt, c.name)), c.name
+        # stubs are callable and charge
+        assert rt.cudaMalloc3DArray() == 0
+        assert charged == [1e-7]
+
+    def test_stubs_do_not_override_real_calls(self, sim, rt):
+        attach_stubs(rt, RUNTIME_API, lambda c: None, 1e-7)
+        err, n = rt.cudaGetDeviceCount()
+        assert n == 1  # real implementation intact
+
+
+class TestKernelObjects:
+    def test_requires_exactly_one_duration_source(self):
+        with pytest.raises(ValueError):
+            Kernel("k")
+        with pytest.raises(ValueError):
+            Kernel("k", nominal_duration=1.0, duration_fn=lambda c, a, s: 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", nominal_duration=-1.0)
+
+    def test_occupancy_bounds(self):
+        with pytest.raises(ValueError):
+            Kernel("k", nominal_duration=1.0, occupancy=0.0)
+        with pytest.raises(ValueError):
+            Kernel("k", nominal_duration=1.0, occupancy=1.5)
+
+    def test_flops_kernel_duration(self):
+        from repro.cuda import TESLA_C2050
+
+        k = flops_kernel("gemm", flops=515e9 * 0.6, efficiency=0.6)
+        cfg = LaunchConfig.make(1, 1)
+        assert k.duration(cfg, (), TESLA_C2050) == pytest.approx(1.0, rel=1e-4)
+
+    def test_flops_kernel_callable_flops(self):
+        from repro.cuda import TESLA_C2050
+
+        k = flops_kernel("axpy", flops=lambda cfg, args: args[0] * 2.0,
+                         efficiency=1.0)
+        cfg = LaunchConfig.make(1, 1)
+        d1 = k.duration(cfg, (1000,), TESLA_C2050)
+        d2 = k.duration(cfg, (2000,), TESLA_C2050)
+        assert d2 > d1
+
+    def test_dim3_coercion(self):
+        assert _as_dim3(5) == (5, 1, 1)
+        assert _as_dim3((2, 3)) == (2, 3, 1)
+        assert _as_dim3((2, 3, 4)) == (2, 3, 4)
+        with pytest.raises(ValueError):
+            _as_dim3(0)
+
+    def test_launch_config_total_threads(self):
+        cfg = LaunchConfig.make((2, 2), (32, 4))
+        assert cfg.total_threads == 2 * 2 * 32 * 4

@@ -1,0 +1,195 @@
+"""CUDA event API tests — the device-timing mechanism of §III-B,
+including the systematic IPM-vs-profiler difference behind Table I."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaProfiler, Device, Kernel, Runtime, cudaError_t
+from repro.simt import Simulator
+
+from tests.cuda.conftest import run_in_proc
+
+E = cudaError_t
+
+
+class TestEventAPI:
+    def test_elapsed_time_brackets_kernel(self, sim, rt, quiet_timing):
+        def body():
+            rt.cudaMalloc(64)
+            _, start = rt.cudaEventCreate()
+            _, stop = rt.cudaEventCreate()
+            rt.cudaEventRecord(start)
+            rt.launch(Kernel("k", nominal_duration=1.0), 1, 1)
+            rt.cudaEventRecord(stop)
+            rt.cudaEventSynchronize(stop)
+            return rt.cudaEventElapsedTime(start, stop)
+
+        err, ms = run_in_proc(sim, body)
+        assert err == E.cudaSuccess
+        # bracketed time = launch gap + kernel + event latency > kernel
+        assert ms > 1000.0
+        assert ms < 1000.0 + 1.0  # gap is microseconds, not milliseconds
+
+    def test_query_before_and_after(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, ev = rt.cudaEventCreate()
+            unrecorded = rt.cudaEventQuery(ev)
+            rt.launch(Kernel("k", nominal_duration=1.0), 1, 1)
+            rt.cudaEventRecord(ev)
+            pending = rt.cudaEventQuery(ev)
+            rt.cudaEventSynchronize(ev)
+            done = rt.cudaEventQuery(ev)
+            return unrecorded, pending, done
+
+        unrecorded, pending, done = run_in_proc(sim, body)
+        assert unrecorded == E.cudaSuccess  # CUDA: unrecorded queries succeed
+        assert pending == E.cudaErrorNotReady
+        assert done == E.cudaSuccess
+
+    def test_elapsed_on_pending_events_not_ready(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, a = rt.cudaEventCreate()
+            _, b = rt.cudaEventCreate()
+            rt.launch(Kernel("k", nominal_duration=5.0), 1, 1)
+            rt.cudaEventRecord(a)
+            rt.cudaEventRecord(b)
+            return rt.cudaEventElapsedTime(a, b)[0]
+
+        assert run_in_proc(sim, body) == E.cudaErrorNotReady
+
+    def test_elapsed_on_unrecorded_invalid(self, sim, rt):
+        def body():
+            _, a = rt.cudaEventCreate()
+            _, b = rt.cudaEventCreate()
+            return rt.cudaEventElapsedTime(a, b)[0]
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidResourceHandle
+
+    def test_destroyed_event_rejected(self, sim, rt):
+        def body():
+            _, ev = rt.cudaEventCreate()
+            rt.cudaEventDestroy(ev)
+            return rt.cudaEventRecord(ev)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidResourceHandle
+
+    def test_rerecord_resets(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, ev = rt.cudaEventCreate()
+            rt.cudaEventRecord(ev)
+            rt.cudaEventSynchronize(ev)
+            first_ts = ev.timestamp
+            rt.launch(Kernel("k", nominal_duration=1.0), 1, 1)
+            rt.cudaEventRecord(ev)
+            pending = rt.cudaEventQuery(ev)
+            rt.cudaEventSynchronize(ev)
+            return first_ts, pending, ev.timestamp
+
+        first_ts, pending, second_ts = run_in_proc(sim, body)
+        assert pending == E.cudaErrorNotReady
+        assert second_ts > first_ts + 1.0
+
+
+class TestProfilerEmulation:
+    def test_profiler_records_exact_kernel_time(self, sim, rt):
+        prof = CudaProfiler()
+
+        def body():
+            rt.cudaMalloc(64)
+            prof.attach(rt.context)
+            rt.launch(Kernel("mykernel", nominal_duration=0.25), 1, 1)
+            rt.cudaThreadSynchronize()
+
+        run_in_proc(sim, body)
+        assert prof.kernel_invocations("mykernel") == 1
+        assert prof.kernel_time_total("mykernel") == pytest.approx(0.25, rel=1e-9)
+
+    def test_profiler_counts_memcpys(self, sim, rt):
+        prof = CudaProfiler()
+
+        def body():
+            _, ptr = rt.cudaMalloc(1024)
+            prof.attach(rt.context)
+            host = np.zeros(1024, dtype=np.uint8)
+            rt.cudaMemcpy(ptr, host, 1024, rt_kind_h2d())
+            rt.cudaMemcpy(host, ptr, 1024, rt_kind_d2h())
+
+        from repro.cuda import cudaMemcpyKind
+
+        def rt_kind_h2d():
+            return cudaMemcpyKind.cudaMemcpyHostToDevice
+
+        def rt_kind_d2h():
+            return cudaMemcpyKind.cudaMemcpyDeviceToHost
+
+        run_in_proc(sim, body)
+        methods = [r.method for r in prof.records]
+        assert "memcpyHtoD" in methods and "memcpyDtoH" in methods
+        assert prof.kernel_invocations() == 0
+
+    def test_event_timing_always_exceeds_profiler(self, sim):
+        """The Table I sign: IPM (event brackets) > profiler (kernel only),
+        with larger relative error for shorter kernels — emerges from the
+        launch gap, not from hard-coding."""
+        dev = Device(sim, rng=np.random.default_rng(7))
+        rt = Runtime(sim, [dev])
+        prof = CudaProfiler()
+        results = {}
+
+        def time_kernel(dur):
+            _, start = rt.cudaEventCreate()
+            _, stop = rt.cudaEventCreate()
+            rt.cudaEventRecord(start)
+            rt.launch(Kernel("k", nominal_duration=dur), 1, 1)
+            rt.cudaEventRecord(stop)
+            rt.cudaEventSynchronize(stop)
+            _, ms = rt.cudaEventElapsedTime(start, stop)
+            return ms * 1e-3
+
+        def body():
+            rt.cudaMalloc(64)
+            prof.attach(rt.context)
+            for dur in (0.001, 0.01, 0.1, 1.0):
+                n_before = prof.kernel_time_total()
+                ipm_time = time_kernel(dur)
+                prof_time = prof.kernel_time_total() - n_before
+                results[dur] = (ipm_time, prof_time)
+
+        run_in_proc(sim, body)
+        rel_errs = []
+        for dur, (ipm_time, prof_time) in results.items():
+            assert ipm_time > prof_time, f"dur={dur}"
+            rel_errs.append((ipm_time - prof_time) / prof_time)
+        # shorter kernels → larger relative difference
+        assert rel_errs == sorted(rel_errs, reverse=True)
+
+    def test_log_format(self, sim, rt, tmp_path):
+        prof = CudaProfiler()
+
+        def body():
+            rt.cudaMalloc(64)
+            prof.attach(rt.context)
+            rt.launch(Kernel("square", nominal_duration=0.1), 1, 1)
+            rt.cudaThreadSynchronize()
+
+        run_in_proc(sim, body)
+        path = tmp_path / "cuda_profile_0.log"
+        prof.write_log(str(path))
+        text = path.read_text()
+        assert "# CUDA_PROFILE_LOG_VERSION 2.0" in text
+        assert "method=[ square ]" in text
+        assert "gputime=[" in text
+
+    def test_double_attach_rejected(self, sim, rt):
+        prof = CudaProfiler()
+
+        def body():
+            rt.cudaMalloc(64)
+            prof.attach(rt.context)
+            with pytest.raises(RuntimeError):
+                prof.attach(rt.context)
+
+        run_in_proc(sim, body)

@@ -1,0 +1,394 @@
+"""Semantics of the simulated CUDA runtime — the behaviours IPM's
+monitoring techniques depend on (paper Sections III-A/B/C)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    Device,
+    Kernel,
+    Runtime,
+    cudaError_t,
+    cudaMemcpyKind,
+)
+from repro.simt import Simulator
+
+from tests.cuda.conftest import run_in_proc
+
+E = cudaError_t
+K = cudaMemcpyKind
+
+
+def kernel(name="k", dur=1.0, occupancy=1.0, semantic=None):
+    return Kernel(name, nominal_duration=dur, occupancy=occupancy, semantic=semantic)
+
+
+class TestContextInit:
+    def test_first_call_pays_context_init(self, sim, quiet_timing):
+        quiet_timing.context_init_mean = 1.5
+        dev = Device(sim, timing=quiet_timing, rng=np.random.default_rng(0))
+        rt = Runtime(sim, [dev])
+
+        def body():
+            t0 = sim.now
+            rt.cudaMalloc(1024)
+            first = sim.now - t0
+            t0 = sim.now
+            rt.cudaMalloc(1024)
+            second = sim.now - t0
+            return first, second
+
+        first, second = run_in_proc(sim, body)
+        assert first >= 1.5
+        assert second < 0.001
+
+    def test_two_processes_serialize_context_creation(self, sim, quiet_timing):
+        quiet_timing.context_init_mean = 1.0
+        dev = Device(sim, timing=quiet_timing, rng=np.random.default_rng(0))
+        done_times = []
+
+        def body(i):
+            rt = Runtime(sim, [dev], process_name=f"p{i}")
+            rt.cudaMalloc(64)
+            done_times.append(sim.now)
+
+        sim.spawn(body, 0)
+        sim.spawn(body, 1)
+        sim.run()
+        assert done_times[0] >= 1.0
+        assert done_times[1] >= 2.0  # driver lock serializes inits
+
+
+class TestKernelLaunchAsync:
+    def test_launch_returns_before_kernel_finishes(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            t0 = sim.now
+            rt.launch(kernel(dur=5.0), 128, 64)
+            return sim.now - t0
+
+        host_time = run_in_proc(sim, body)
+        assert host_time < 0.001  # launches are always asynchronous (§III)
+
+    def test_launch_without_configure_fails(self, sim, rt):
+        def body():
+            return rt.cudaLaunch(kernel())
+
+        assert run_in_proc(sim, body) == E.cudaErrorMissingConfiguration
+
+    def test_setup_argument_without_configure_fails(self, sim, rt):
+        def body():
+            return rt.cudaSetupArgument(1)
+
+        assert run_in_proc(sim, body) == E.cudaErrorMissingConfiguration
+
+    def test_launch_non_kernel_fails(self, sim, rt):
+        def body():
+            rt.cudaConfigureCall(1, 1)
+            return rt.cudaLaunch("not-a-kernel")
+
+        assert run_in_proc(sim, body) == E.cudaErrorLaunchFailure
+
+    def test_error_sticky_until_getlasterror(self, sim, rt):
+        def body():
+            rt.cudaLaunch(kernel())  # missing configuration
+            first = rt.cudaPeekAtLastError()
+            second = rt.cudaGetLastError()
+            third = rt.cudaGetLastError()
+            return first, second, third
+
+        first, second, third = run_in_proc(sim, body)
+        assert first == second == E.cudaErrorMissingConfiguration
+        assert third == E.cudaSuccess
+
+
+class TestImplicitHostBlocking:
+    """The §III-C mechanism: sync memcpy waits for prior kernels."""
+
+    def test_sync_d2h_blocks_until_kernel_done(self, sim, rt):
+        def body():
+            _, ptr = rt.cudaMalloc(800_000)
+            host = np.zeros(100_000, dtype=np.float64)
+            rt.launch(kernel(dur=1.0), 100_000, 1, args=(ptr,))
+            t0 = sim.now
+            rt.cudaMemcpy(host, ptr, 800_000, K.cudaMemcpyDeviceToHost)
+            return sim.now - t0
+
+        d2h_wall = run_in_proc(sim, body)
+        assert d2h_wall > 1.0  # dominated by implicit wait for the kernel
+
+    def test_streamsync_absorbs_the_wait(self, sim, rt):
+        """After a streamSynchronize the same memcpy is cheap — the
+        microbenchmark separation IPM relies on."""
+
+        def body():
+            _, ptr = rt.cudaMalloc(800_000)
+            host = np.zeros(100_000, dtype=np.float64)
+            rt.launch(kernel(dur=1.0), 100_000, 1, args=(ptr,))
+            t0 = sim.now
+            rt.cudaStreamSynchronize(None)
+            wait = sim.now - t0
+            t0 = sim.now
+            rt.cudaMemcpy(host, ptr, 800_000, K.cudaMemcpyDeviceToHost)
+            copy = sim.now - t0
+            return wait, copy
+
+        wait, copy = run_in_proc(sim, body)
+        assert wait > 1.0
+        assert copy < 0.01
+
+    def test_memset_does_not_block_host(self, sim, rt):
+        """cudaMemset must be the exception (§III-C)."""
+
+        def body():
+            _, ptr = rt.cudaMalloc(1024)
+            rt.launch(kernel(dur=2.0), 1, 1)
+            t0 = sim.now
+            rt.cudaMemset(ptr, 0, 1024)
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) < 0.001
+
+    def test_async_memcpy_does_not_block_host(self, sim, rt):
+        def body():
+            _, ptr = rt.cudaMalloc(1024)
+            _, hb = rt.cudaMallocHost(1024)
+            _, st = rt.cudaStreamCreate()
+            rt.launch(kernel(dur=2.0), 1, 1)
+            t0 = sim.now
+            rt.cudaMemcpyAsync(ptr, hb, 1024, K.cudaMemcpyHostToDevice, st)
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) < 0.001
+
+
+class TestStreamOrdering:
+    def test_same_stream_kernels_serialize(self, sim, rt, quiet_device):
+        def body():
+            rt.cudaMalloc(64)
+            t0 = sim.now
+            rt.launch(kernel("a", dur=1.0), 1, 1)
+            rt.launch(kernel("b", dur=1.0), 1, 1)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) >= 2.0
+
+    def test_user_streams_overlap_when_occupancy_allows(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, s1 = rt.cudaStreamCreate()
+            _, s2 = rt.cudaStreamCreate()
+            t0 = sim.now
+            rt.launch(kernel("a", dur=1.0, occupancy=0.4), 1, 1, stream=s1)
+            rt.launch(kernel("b", dur=1.0, occupancy=0.4), 1, 1, stream=s2)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) < 1.5  # overlapped
+
+    def test_full_occupancy_kernels_serialize_across_streams(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, s1 = rt.cudaStreamCreate()
+            _, s2 = rt.cudaStreamCreate()
+            t0 = sim.now
+            rt.launch(kernel("a", dur=1.0, occupancy=1.0), 1, 1, stream=s1)
+            rt.launch(kernel("b", dur=1.0, occupancy=1.0), 1, 1, stream=s2)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        assert run_in_proc(sim, body) >= 2.0
+
+    def test_default_stream_fences_user_streams(self, sim, rt):
+        """Legacy semantics: a default-stream op is a device-wide fence."""
+        order = []
+
+        def noted(name, dur):
+            return Kernel(
+                name,
+                nominal_duration=dur,
+                semantic=lambda mem, cfg, args: order.append(name),
+            )
+
+        def body():
+            rt.cudaMalloc(64)
+            _, s1 = rt.cudaStreamCreate()
+            rt.launch(noted("user1", 1.0), 1, 1, stream=s1)
+            rt.launch(noted("null", 0.1), 1, 1)           # default stream
+            rt.launch(noted("user2", 0.1), 1, 1, stream=s1)
+            rt.cudaThreadSynchronize()
+
+        run_in_proc(sim, body)
+        assert order == ["user1", "null", "user2"]
+
+    def test_stream_query(self, sim, rt):
+        def body():
+            rt.cudaMalloc(64)
+            _, st = rt.cudaStreamCreate()
+            before = rt.cudaStreamQuery(st)
+            rt.launch(kernel(dur=1.0), 1, 1, stream=st)
+            during = rt.cudaStreamQuery(st)
+            rt.cudaStreamSynchronize(st)
+            after = rt.cudaStreamQuery(st)
+            return before, during, after
+
+        before, during, after = run_in_proc(sim, body)
+        assert before == E.cudaSuccess
+        assert during == E.cudaErrorNotReady
+        assert after == E.cudaSuccess
+
+    def test_concurrent_kernel_limit_16(self, sim, rt, quiet_device):
+        def body():
+            rt.cudaMalloc(64)
+            streams = [rt.cudaStreamCreate()[1] for _ in range(20)]
+            t0 = sim.now
+            for st in streams:
+                rt.launch(kernel("tiny", dur=1.0, occupancy=0.01), 1, 1, stream=st)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        wall = run_in_proc(sim, body)
+        # 20 kernels of 1s, max 16 concurrent → two waves ≈ 2s.
+        assert 2.0 <= wall < 2.1
+
+
+class TestDataMovement:
+    def test_roundtrip_h2d_d2h(self, sim, rt):
+        src = np.arange(100, dtype=np.float64)
+        dst = np.zeros_like(src)
+
+        def body():
+            _, ptr = rt.cudaMalloc(src.nbytes)
+            rt.cudaMemcpy(ptr, src, src.nbytes, K.cudaMemcpyHostToDevice)
+            rt.cudaMemcpy(dst, ptr, src.nbytes, K.cudaMemcpyDeviceToHost)
+
+        run_in_proc(sim, body)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_kernel_semantic_transforms_data(self, sim, rt):
+        """End-to-end: the Fig. 3 pattern really squares the array."""
+        src = np.arange(1, 9, dtype=np.float64)
+        dst = np.zeros_like(src)
+
+        def square_sem(mem, cfg, args):
+            ptr, n = args
+            data = np.frombuffer(mem.read(ptr, n * 8), dtype=np.float64)
+            mem.write(ptr, (data * data).tobytes())
+
+        def body():
+            _, ptr = rt.cudaMalloc(src.nbytes)
+            rt.cudaMemcpy(ptr, src, src.nbytes, K.cudaMemcpyHostToDevice)
+            rt.launch(kernel("sq", dur=0.5, semantic=square_sem), 8, 1,
+                      args=(ptr, 8))
+            rt.cudaMemcpy(dst, ptr, src.nbytes, K.cudaMemcpyDeviceToHost)
+
+        run_in_proc(sim, body)
+        np.testing.assert_array_equal(dst, src * src)
+
+    def test_d2d_copy(self, sim, rt):
+        src = np.arange(10, dtype=np.int32)
+        dst = np.zeros_like(src)
+
+        def body():
+            _, p1 = rt.cudaMalloc(src.nbytes)
+            _, p2 = rt.cudaMalloc(src.nbytes)
+            rt.cudaMemcpy(p1, src, src.nbytes, K.cudaMemcpyHostToDevice)
+            rt.cudaMemcpy(p2, p1, src.nbytes, K.cudaMemcpyDeviceToDevice)
+            rt.cudaMemcpy(dst, p2, src.nbytes, K.cudaMemcpyDeviceToHost)
+
+        run_in_proc(sim, body)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_memset_clears_backing(self, sim, rt):
+        dst = np.full(16, 0xFF, dtype=np.uint8)
+
+        def body():
+            _, ptr = rt.cudaMalloc(16)
+            rt.cudaMemcpy(ptr, dst, 16, K.cudaMemcpyHostToDevice)
+            rt.cudaMemset(ptr, 0, 16)
+            rt.cudaThreadSynchronize()
+            rt.cudaMemcpy(dst, ptr, 16, K.cudaMemcpyDeviceToHost)
+
+        run_in_proc(sim, body)
+        assert (dst == 0).all()
+
+    def test_symbol_roundtrip(self, sim, rt):
+        src = np.arange(4, dtype=np.float32)
+        dst = np.zeros_like(src)
+
+        def body():
+            rt.cudaMemcpyToSymbol("c_coeff", src, src.nbytes)
+            rt.cudaMemcpyFromSymbol(dst, "c_coeff", src.nbytes)
+            err, addr = rt.cudaGetSymbolAddress("c_coeff")
+            assert err == E.cudaSuccess and addr is not None
+
+        run_in_proc(sim, body)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_memcpy_wrong_direction_fails(self, sim, rt):
+        def body():
+            _, ptr = rt.cudaMalloc(64)
+            host = np.zeros(8)
+            return rt.cudaMemcpy(host, host, 64, K.cudaMemcpyDeviceToHost)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidMemcpyDirection
+
+    def test_pinned_transfers_faster_than_pageable(self, sim, rt, quiet_timing):
+        nbytes = 64 * 1024 * 1024
+
+        def body():
+            _, ptr = rt.cudaMalloc(nbytes)
+            pageable = np.zeros(nbytes, dtype=np.uint8)
+            _, pinned = rt.cudaMallocHost(nbytes)
+            t0 = sim.now
+            rt.cudaMemcpy(ptr, pageable, nbytes, K.cudaMemcpyHostToDevice)
+            t_pageable = sim.now - t0
+            t0 = sim.now
+            rt.cudaMemcpy(ptr, pinned, nbytes, K.cudaMemcpyHostToDevice)
+            t_pinned = sim.now - t0
+            return t_pageable, t_pinned
+
+        t_pageable, t_pinned = run_in_proc(sim, body)
+        assert t_pinned < t_pageable
+        assert t_pageable / t_pinned == pytest.approx(
+            1.0 / quiet_timing.pageable_fraction, rel=0.05
+        )
+
+
+class TestDeviceManagement:
+    def test_get_device_count(self, sim, rt):
+        def body():
+            return rt.cudaGetDeviceCount()
+
+        err, n = run_in_proc(sim, body)
+        assert err == E.cudaSuccess and n == 1
+
+    def test_set_bad_device(self, sim, rt):
+        def body():
+            return rt.cudaSetDevice(3)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidValue
+
+    def test_properties(self, sim, rt):
+        def body():
+            return rt.cudaGetDeviceProperties()
+
+        err, spec = run_in_proc(sim, body)
+        assert err == E.cudaSuccess
+        assert spec.name == "Tesla C2050"
+        assert spec.max_concurrent_kernels == 16
+
+    def test_versions(self, sim, rt):
+        def body():
+            return rt.cudaRuntimeGetVersion()[1], rt.cudaDriverGetVersion()[1]
+
+        assert run_in_proc(sim, body) == (3010, 3010)
+
+    def test_thread_exit_frees_leaks(self, sim, rt, quiet_device):
+        def body():
+            rt.cudaMalloc(1 << 20)
+            rt.cudaThreadExit()
+
+        run_in_proc(sim, body)
+        assert quiet_device.memory.bytes_in_use == 0

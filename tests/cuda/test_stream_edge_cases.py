@@ -1,0 +1,212 @@
+"""Edge cases of stream/engine/context behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import (
+    Context,
+    Device,
+    GpuTimingModel,
+    Kernel,
+    Runtime,
+    cudaError_t,
+    cudaMemcpyKind,
+)
+from repro.cuda.ops import KernelOp, MemcpyOp
+from repro.cuda.kernel import LaunchConfig
+from repro.simt import Simulator
+
+E = cudaError_t
+K = cudaMemcpyKind
+
+
+def quiet_device(sim, seed=0):
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_mean = 0.0
+    t.context_init_sigma = 0.0
+    return Device(sim, timing=t, rng=np.random.default_rng(seed))
+
+
+def in_proc(sim, fn):
+    proc = sim.spawn(fn)
+    sim.run()
+    return proc.result
+
+
+class TestStreamLifecycle:
+    def test_enqueue_on_destroyed_stream_raises(self):
+        sim = Simulator()
+        dev = quiet_device(sim)
+        ctx = Context(dev)
+        st = ctx.create_stream()
+        ctx.destroy_stream(st)
+        with pytest.raises(RuntimeError):
+            st.enqueue(KernelOp(ctx, Kernel("k", nominal_duration=1.0),
+                                LaunchConfig.make(1, 1), ()))
+
+    def test_destroying_default_stream_rejected(self):
+        sim = Simulator()
+        ctx = Context(quiet_device(sim))
+        with pytest.raises(ValueError):
+            ctx.destroy_stream(ctx.default_stream)
+
+    def test_stream_idle_tracking(self):
+        sim = Simulator()
+        dev = quiet_device(sim)
+        ctx = Context(dev)
+        st = ctx.create_stream()
+        assert st.idle
+        op = KernelOp(ctx, Kernel("k", nominal_duration=1.0),
+                      LaunchConfig.make(1, 1), ())
+        st.enqueue(op)
+        assert not st.idle
+        sim.run()
+        assert st.idle
+
+    def test_stream_from_other_context_rejected(self):
+        sim = Simulator()
+        dev = quiet_device(sim)
+        rt_a = Runtime(sim, [dev])
+        rt_b = Runtime(sim, [dev])
+
+        def body():
+            _, st_a = rt_a.cudaStreamCreate()
+            return rt_b.cudaStreamSynchronize(st_a)
+
+        assert in_proc(sim, body) == E.cudaErrorInvalidResourceHandle
+
+    def test_contexts_do_not_fence_each_other(self):
+        """Legacy default-stream fences are per-context: one process's
+        sync memcpy must not wait for another process's kernels."""
+        sim = Simulator()
+        dev = quiet_device(sim)
+        rt_a = Runtime(sim, [dev])
+        rt_b = Runtime(sim, [dev])
+        times = {}
+
+        def proc_a():
+            rt_a.cudaMalloc(64)
+            rt_a.launch(Kernel("slow", nominal_duration=5.0, occupancy=0.2),
+                        1, 1)
+            rt_a.cudaThreadSynchronize()
+
+        def proc_b():
+            _, ptr = rt_b.cudaMalloc(4096)
+            sim.sleep(0.1)  # let A's kernel start
+            t0 = sim.now
+            rt_b.cudaMemcpy(np.zeros(4096, dtype=np.uint8), ptr, 4096,
+                            K.cudaMemcpyDeviceToHost)
+            times["b_memcpy"] = sim.now - t0
+
+        sim.spawn(proc_a)
+        sim.spawn(proc_b)
+        sim.run()
+        assert times["b_memcpy"] < 0.1  # no cross-context implicit wait
+
+
+class TestEngineAccounting:
+    def test_compute_engine_counters(self):
+        sim = Simulator()
+        dev = quiet_device(sim)
+        rt = Runtime(sim, [dev])
+
+        def body():
+            rt.cudaMalloc(64)
+            for _ in range(5):
+                rt.launch(Kernel("k", nominal_duration=0.1), 1, 1)
+            rt.cudaThreadSynchronize()
+
+        in_proc(sim, body)
+        assert dev.compute.kernels_executed == 5
+        assert dev.compute.kernel_time == pytest.approx(0.5, rel=1e-9)
+        assert dev.compute.running_count == 0
+        assert dev.compute.queued_count == 0
+
+    def test_head_of_line_blocking(self):
+        """A full-occupancy kernel at the queue head blocks smaller
+        kernels behind it even if they would fit (in-order dispatch)."""
+        sim = Simulator()
+        dev = quiet_device(sim)
+        rt = Runtime(sim, [dev])
+        order = []
+
+        def noted(name, dur, occ):
+            return Kernel(name, nominal_duration=dur, occupancy=occ,
+                          semantic=lambda m, c, a: order.append(name))
+
+        def body():
+            rt.cudaMalloc(64)
+            s = [rt.cudaStreamCreate()[1] for _ in range(3)]
+            rt.launch(noted("big0", 1.0, 0.9), 1, 1, stream=s[0])
+            rt.launch(noted("full", 1.0, 1.0), 1, 1, stream=s[1])
+            rt.launch(noted("tiny", 0.1, 0.05), 1, 1, stream=s[2])
+            rt.cudaThreadSynchronize()
+
+        in_proc(sim, body)
+        # tiny could fit beside big0 but sits behind full in the queue
+        assert order == ["big0", "full", "tiny"]
+
+    def test_dma_engine_is_shared_between_directions(self):
+        """One DMA engine serves H2D and D2H (the Dirac configuration);
+        opposite-direction transfers serialize."""
+        sim = Simulator()
+        dev = quiet_device(sim)
+        rt = Runtime(sim, [dev])
+        nbytes = 512 << 20
+
+        def body():
+            _, ptr = rt.cudaMalloc(nbytes)
+            _, s1 = rt.cudaStreamCreate()
+            _, s2 = rt.cudaStreamCreate()
+            from repro.cuda.memory import HostRef
+
+            t0 = sim.now
+            rt.cudaMemcpyAsync(ptr, HostRef(nbytes, pinned=True), nbytes,
+                               K.cudaMemcpyHostToDevice, s1)
+            rt.cudaMemcpyAsync(HostRef(nbytes, pinned=True), ptr, nbytes,
+                               K.cudaMemcpyDeviceToHost, s2)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        elapsed = in_proc(sim, body)
+        h2d = dev.timing.h2d_time(nbytes, True)
+        d2h = dev.timing.d2h_time(nbytes, True)
+        assert elapsed == pytest.approx(h2d + d2h, rel=0.01)  # serialized
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        min_size=1, max_size=12,
+    ),
+    occupancy=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_kernel_time_conservation(durations, occupancy):
+    """Property: however kernels are scheduled, the engine's summed
+    kernel time equals the sum of durations, and the device-side span
+    is bounded by [max(durations), sum(durations)]."""
+    sim = Simulator()
+    dev = quiet_device(sim)
+    rt = Runtime(sim, [dev])
+    spans = {}
+
+    def body():
+        rt.cudaMalloc(64)
+        streams = [rt.cudaStreamCreate()[1] for _ in durations]
+        t0 = sim.now
+        for d, st_ in zip(durations, streams):
+            rt.launch(Kernel("k", nominal_duration=d, occupancy=occupancy),
+                      1, 1, stream=st_)
+        rt.cudaThreadSynchronize()
+        spans["span"] = sim.now - t0
+
+    sim.spawn(body)
+    sim.run()
+    assert dev.compute.kernel_time == pytest.approx(sum(durations), rel=1e-9)
+    assert spans["span"] >= max(durations)
+    assert spans["span"] <= sum(durations) + 1e-3 * len(durations)

@@ -1,0 +1,342 @@
+"""Tests for the accelerated libraries (CUBLAS, CUFFT, thunking, host BLAS)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import Device, GpuTimingModel, Runtime
+from repro.libs import (
+    CUBLAS_API,
+    CUBLAS_BY_NAME,
+    CUFFT_API,
+    Cublas,
+    CublasStatus,
+    Cufft,
+    CufftResult,
+    HostBlas,
+    ThunkingBlas,
+)
+from repro.simt import Simulator
+
+S = CublasStatus
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def rt(sim):
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_mean = 0.0
+    t.context_init_sigma = 0.0
+    dev = Device(sim, timing=t, rng=np.random.default_rng(0))
+    return Runtime(sim, [dev])
+
+
+def run(sim, fn):
+    proc = sim.spawn(fn, name="body")
+    sim.run()
+    return proc.result
+
+
+class TestCublasSpec:
+    def test_exactly_167_calls(self):
+        assert len(CUBLAS_API) == 167  # "167 calls in CUBLAS" (§III-D)
+
+    def test_no_duplicates(self):
+        names = [c.name for c in CUBLAS_API]
+        assert len(set(names)) == 167
+
+    def test_known_names_present(self):
+        for name in ("cublasSgemm", "cublasZgemm", "cublasIdamax",
+                     "cublasDznrm2", "cublasScasum", "cublasCsscal",
+                     "cublasZdrot", "cublasSetMatrix", "cublasDsdot"):
+            assert name in CUBLAS_BY_NAME, name
+
+    def test_scalar_routines_marked_blocking(self):
+        assert CUBLAS_BY_NAME["cublasDdot"].blocking
+        assert CUBLAS_BY_NAME["cublasDznrm2"].blocking
+        assert not CUBLAS_BY_NAME["cublasDgemm"].blocking
+
+    def test_all_entry_points_callable(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            missing = [c.name for c in CUBLAS_API if not callable(getattr(cb, c.name, None))]
+            assert not missing
+
+        run(sim, body)
+
+
+class TestCublasBehaviour:
+    def test_gemm_launches_through_runtime(self, sim, rt):
+        cb = Cublas(rt)
+        calls_before = rt.calls_made
+
+        def body():
+            cb.cublasInit()
+            cb.cublasDgemm("N", "N", 512, 512, 512)
+            rt.cudaThreadSynchronize()
+
+        run(sim, body)
+        # launch triple + sync + init ⇒ runtime saw the calls (LD_PRELOAD
+        # visibility of library-internal calls).
+        assert rt.calls_made - calls_before >= 4
+
+    def test_gemm_cost_scales_cubically(self, sim, rt):
+        cb = Cublas(rt)
+
+        def timed(nn):
+            t0 = sim.now
+            cb.cublasDgemm("N", "N", nn, nn, nn)
+            rt.cudaThreadSynchronize()
+            return sim.now - t0
+
+        def body():
+            cb.cublasInit()
+            return timed(256), timed(1024)
+
+        t_small, t_big = run(sim, body)
+        assert t_big > 30 * t_small
+
+    def test_zgemm_4x_flops_of_dgemm(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            t0 = sim.now
+            cb.cublasDgemm("N", "N", 1024, 1024, 1024)
+            rt.cudaThreadSynchronize()
+            td = sim.now - t0
+            t0 = sim.now
+            cb.cublasZgemm("N", "N", 1024, 1024, 1024)
+            rt.cudaThreadSynchronize()
+            tz = sim.now - t0
+            return td, tz
+
+        td, tz = run(sim, body)
+        assert tz == pytest.approx(4 * td, rel=0.05)
+
+    def test_dot_blocks_gemm_does_not(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            t0 = sim.now
+            cb.cublasDgemm("N", "N", 2048, 2048, 2048)
+            async_cost = sim.now - t0
+            t0 = sim.now
+            cb.cublasDdot(10_000_000)
+            blocking_cost = sim.now - t0
+            return async_cost, blocking_cost
+
+        async_cost, blocking_cost = run(sim, body)
+        assert async_cost < 1e-4          # returned before the gemm ran
+        assert blocking_cost > async_cost  # waited for gemm + dot
+
+    def test_set_get_matrix_move_time(self, sim, rt):
+        cb = Cublas(rt)
+        nbytes = 2048 * 2048 * 16
+
+        def body():
+            cb.cublasInit()
+            st, ptr = cb.cublasAlloc(2048 * 2048, 16)
+            assert st == S.CUBLAS_STATUS_SUCCESS
+            t0 = sim.now
+            cb.cublasSetMatrix(2048, 2048, 16, None, ptr)
+            return sim.now - t0
+
+        t = run(sim, body)
+        model = rt.device.timing
+        assert t == pytest.approx(model.h2d_time(nbytes, pinned=False), rel=0.01)
+
+    def test_last_call_info_records_bytes(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            cb.cublasDgemm("N", "N", 100, 200, 300)
+            return cb.last_call_info
+
+        name, nbytes = run(sim, body)
+        assert name == "cublasDgemm"
+        assert nbytes == 8 * (100 * 300 + 300 * 200 + 100 * 200)
+
+    def test_alloc_failure_status(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            st, ptr = cb.cublasAlloc(1 << 40, 1)
+            return st, ptr, cb.cublasGetError()
+
+        st, ptr, err = run(sim, body)
+        assert st == S.CUBLAS_STATUS_ALLOC_FAILED and ptr is None
+        assert err == S.CUBLAS_STATUS_ALLOC_FAILED
+
+    def test_generated_routine_with_kw_dims(self, sim, rt):
+        cb = Cublas(rt)
+
+        def body():
+            cb.cublasInit()
+            assert cb.cublasSsyrk(n=256, k=128) == S.CUBLAS_STATUS_SUCCESS
+            assert cb.cublasChemv(m=64, n=64) == S.CUBLAS_STATUS_SUCCESS
+            rt.cudaThreadSynchronize()
+
+        run(sim, body)
+
+
+class TestCufft:
+    def test_13_calls(self):
+        assert len(CUFFT_API) == 13  # "13 calls in CUFFT" (§III-D)
+
+    def test_plan_exec_destroy(self, sim, rt):
+        ft = Cufft(rt)
+
+        def body():
+            res, plan = ft.cufftPlan3d(64, 64, 64, "Z2Z")
+            assert res == CufftResult.CUFFT_SUCCESS
+            assert ft.cufftExecZ2Z(plan) == CufftResult.CUFFT_SUCCESS
+            rt.cudaThreadSynchronize()
+            assert ft.cufftDestroy(plan) == CufftResult.CUFFT_SUCCESS
+            assert ft.cufftExecZ2Z(plan) == CufftResult.CUFFT_INVALID_PLAN
+
+        run(sim, body)
+
+    def test_bigger_fft_costs_more(self, sim, rt):
+        ft = Cufft(rt)
+
+        def timed(n):
+            _, plan = ft.cufftPlan3d(n, n, n, "Z2Z")
+            t0 = sim.now
+            ft.cufftExecZ2Z(plan)
+            rt.cudaThreadSynchronize()
+            ft.cufftDestroy(plan)
+            return sim.now - t0
+
+        def body():
+            rt.cudaMalloc(64)
+            return timed(32), timed(128)
+
+        t_small, t_big = run(sim, body)
+        assert t_big > 10 * t_small
+
+    def test_invalid_sizes(self, sim, rt):
+        ft = Cufft(rt)
+
+        def body():
+            res, plan = ft.cufftPlan1d(0)
+            return res, plan
+
+        res, plan = run(sim, body)
+        assert res == CufftResult.CUFFT_INVALID_SIZE and plan is None
+
+    def test_exec_on_stream(self, sim, rt):
+        ft = Cufft(rt)
+
+        def body():
+            rt.cudaMalloc(64)
+            _, st = rt.cudaStreamCreate()
+            _, plan = ft.cufftPlan1d(4096, "C2C", batch=8)
+            ft.cufftSetStream(plan, st)
+            assert ft.cufftExecC2C(plan) == CufftResult.CUFFT_SUCCESS
+            assert rt.cudaStreamQuery(st).name == "cudaErrorNotReady"
+            rt.cudaStreamSynchronize(st)
+
+        run(sim, body)
+
+
+class TestThunking:
+    def test_transfer_dwarfs_compute_for_paratec_sizes(self, sim, rt):
+        """The §IV-D observation: thunked zgemm time is transfer-dominated."""
+        cb = Cublas(rt)
+        th = ThunkingBlas(cb)
+
+        def body():
+            cb.cublasInit()
+            m = n = k = 600  # PARATEC-scale operands
+            t0 = sim.now
+            th.zgemm(m, n, k)
+            total = sim.now - t0
+            # compute-only reference
+            t0 = sim.now
+            cb.cublasZgemm("N", "N", m, n, k)
+            rt.cudaThreadSynchronize()
+            compute = sim.now - t0
+            return total, compute
+
+        total, compute = run(sim, body)
+        transfer = total - compute
+        assert transfer > compute
+
+    def test_thunk_blocks_caller(self, sim, rt):
+        cb = Cublas(rt)
+        th = ThunkingBlas(cb)
+
+        def body():
+            cb.cublasInit()
+            t0 = sim.now
+            th.dgemm(1024, 1024, 1024)
+            return sim.now - t0
+
+        assert run(sim, body) > 0.001  # fully blocking semantics
+
+    def test_memory_is_released(self, sim, rt):
+        cb = Cublas(rt)
+        th = ThunkingBlas(cb)
+
+        def body():
+            cb.cublasInit()
+            for _ in range(5):
+                th.zgemm(512, 512, 512)
+
+        run(sim, body)
+        assert rt.device.memory.bytes_in_use == 0
+
+
+class TestHostBlas:
+    def test_charges_caller_clock(self, sim):
+        hb = HostBlas(sim)
+
+        def body():
+            t0 = sim.now
+            hb.dgemm(1024, 1024, 1024)
+            return sim.now - t0
+
+        proc = sim.spawn(body)
+        sim.run()
+        flops = 2 * 1024**3
+        expected = flops / (9.6e9 * 0.88)
+        assert proc.result == pytest.approx(expected, rel=0.01)
+
+    def test_zgemm_4x_dgemm(self, sim):
+        hb = HostBlas(sim)
+
+        def body():
+            t0 = sim.now
+            hb.dgemm(512, 512, 512)
+            td = sim.now - t0
+            t0 = sim.now
+            hb.zgemm(512, 512, 512)
+            return td, sim.now - t0
+
+        proc = sim.spawn(body)
+        sim.run()
+        td, tz = proc.result
+        assert tz == pytest.approx(4 * td, rel=0.01)
+
+    def test_accounting(self, sim):
+        hb = HostBlas(sim)
+
+        def body():
+            hb.daxpy(1000)
+            hb.ddot(1000)
+
+        sim.spawn(body)
+        sim.run()
+        assert hb.calls == 2
+        assert hb.time_spent > 0

@@ -1,0 +1,133 @@
+"""Exhaustive sweep of the generated CUBLAS surface + flop-model checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import Device, GpuTimingModel, Runtime
+from repro.libs import CUBLAS_API, Cublas, CublasStatus
+from repro.libs.cublas import _CPLX_FACTOR, _ELEM_SIZE, routine_bytes, routine_flops
+from repro.simt import Simulator
+
+S = CublasStatus
+
+
+def make_rt():
+    sim = Simulator()
+    t = GpuTimingModel()
+    t.kernel_jitter_cv = 0.0
+    t.launch_gap_sigma = 0.0
+    t.context_init_mean = 0.0
+    t.context_init_sigma = 0.0
+    dev = Device(sim, timing=t, rng=np.random.default_rng(0))
+    return sim, Runtime(sim, [dev])
+
+
+def test_every_compute_routine_executes():
+    """All 152 generated compute routines run end to end and put work
+    on the device."""
+    sim, rt = make_rt()
+    cb = Cublas(rt)
+    compute = [c for c in CUBLAS_API if c.kind != "helper"]
+    assert len(compute) == 152
+
+    # the hand-written hot-routine wrappers take C positional signatures
+    positional = {
+        "cublasSgemm": lambda cb: cb.cublasSgemm("N", "N", 32, 32, 32),
+        "cublasDgemm": lambda cb: cb.cublasDgemm("N", "N", 32, 32, 32),
+        "cublasCgemm": lambda cb: cb.cublasCgemm("N", "N", 32, 32, 32),
+        "cublasZgemm": lambda cb: cb.cublasZgemm("N", "N", 32, 32, 32),
+        "cublasDtrsm": lambda cb: cb.cublasDtrsm("L", "L", "N", "N", 32, 32),
+        "cublasDaxpy": lambda cb: cb.cublasDaxpy(32, 1.0),
+        "cublasDdot": lambda cb: cb.cublasDdot(32),
+        "cublasDscal": lambda cb: cb.cublasDscal(32, 2.0),
+        "cublasDznrm2": lambda cb: cb.cublasDznrm2(32),
+    }
+
+    def body():
+        cb.cublasInit()
+        for spec in compute:
+            if spec.name in positional:
+                status = positional[spec.name](cb)
+            else:
+                status = getattr(cb, spec.name)(m=32, n=32, k=32)
+            # blocking scalar routines may return (status, value)
+            if isinstance(status, tuple):
+                status = status[0]
+            assert status == S.CUBLAS_STATUS_SUCCESS, spec.name
+        rt.cudaThreadSynchronize()
+
+    sim.spawn(body)
+    sim.run()
+    assert rt.device.compute.kernels_executed == len(compute)
+
+
+def test_blocking_routines_synchronize_generated_path():
+    sim, rt = make_rt()
+    cb = Cublas(rt)
+
+    def body():
+        cb.cublasInit()
+        cb.cublasDgemm("N", "N", 4096, 4096, 4096)  # long async kernel
+        t0 = sim.now
+        cb.cublasIdamax(n=10)  # scalar result: must wait for the queue
+        return sim.now - t0
+
+    proc = sim.spawn(body)
+    sim.run()
+    assert proc.result > 0.1
+
+
+class TestFlopFormulas:
+    def test_gemm(self):
+        assert routine_flops("gemm", 10, 20, 30, 1.0) == 2 * 10 * 20 * 30
+        assert routine_flops("gemm", 10, 20, 30, 4.0) == 8 * 10 * 20 * 30
+
+    def test_level1(self):
+        assert routine_flops("axpy", 1, 100, 1, 1.0) == 200
+        assert routine_flops("scal", 1, 100, 1, 1.0) == 100
+        assert routine_flops("rot", 1, 100, 1, 1.0) == 600
+        assert routine_flops("rotg", 1, 1, 1, 1.0) == 32.0
+
+    def test_level2(self):
+        assert routine_flops("gemv", 10, 20, 1, 1.0) == 400
+        assert routine_flops("trsv", 10, 10, 10, 1.0) == 100
+        assert routine_flops("her2", 8, 8, 1, 4.0) == 4 * 4 * 64
+
+    def test_level3_families(self):
+        assert routine_flops("syrk", 1, 10, 20, 1.0) == 100 * 20
+        assert routine_flops("trsm", 10, 20, 1, 1.0) == 100 * 20
+        assert routine_flops("symm", 10, 20, 1, 1.0) == 2 * 100 * 20
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(ValueError):
+            routine_flops("quux", 1, 1, 1, 1.0)
+
+    def test_bytes_by_level(self):
+        assert routine_bytes("blas1", "axpy", 1, 100, 1, 8) == 800
+        assert routine_bytes("blas2", "gemv", 10, 20, 1, 8) == 8 * (200 + 30)
+        assert routine_bytes("blas3", "gemm", 10, 20, 30, 16) == 16 * (
+            10 * 30 + 30 * 20 + 10 * 20
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    spec=st.sampled_from([c for c in CUBLAS_API if c.kind != "helper"]),
+    m=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=1, max_value=512),
+    k=st.integers(min_value=1, max_value=512),
+)
+def test_flops_and_bytes_positive_and_scale(spec, m, n, k):
+    """Property: every routine's flop/byte model is positive and
+    monotone in n."""
+    factor = _CPLX_FACTOR[spec.precision]
+    es = _ELEM_SIZE[spec.precision]
+    f1 = routine_flops(spec.routine, m, n, k, factor)
+    f2 = routine_flops(spec.routine, m, n + 64, k, factor)
+    assert f1 > 0
+    if spec.routine not in ("rotg", "rotm", "rotmg"):
+        assert f2 >= f1
+    b = routine_bytes(spec.kind, spec.routine, m, n, k, es)
+    assert b > 0

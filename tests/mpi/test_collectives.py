@@ -1,0 +1,242 @@
+"""Collective operation semantics and cost-model shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ReduceOp, mpirun
+from repro.mpi.collectives import MpiCollectiveMismatch
+from repro.simt import ProcessCrashed
+
+
+class TestSemantics:
+    def test_bcast(self):
+        def body(comm):
+            data = {"k": [1, 2]} if comm.rank == 0 else None
+            return comm.MPI_Bcast(data, root=0)
+
+        res = mpirun(body, 4)
+        assert all(r == {"k": [1, 2]} for r in res.results)
+
+    def test_bcast_nonzero_root(self):
+        def body(comm):
+            data = "payload" if comm.rank == 2 else None
+            return comm.MPI_Bcast(data, root=2)
+
+        assert all(r == "payload" for r in mpirun(body, 4).results)
+
+    def test_allreduce_sum_scalar(self):
+        def body(comm):
+            return comm.MPI_Allreduce(comm.rank + 1, op=ReduceOp.SUM)
+
+        assert mpirun(body, 5).results == [15] * 5
+
+    def test_allreduce_array(self):
+        def body(comm):
+            return comm.MPI_Allreduce(np.full(3, comm.rank, dtype=np.float64))
+
+        for r in mpirun(body, 4).results:
+            np.testing.assert_array_equal(r, [6.0, 6.0, 6.0])
+
+    def test_reduce_max_only_at_root(self):
+        def body(comm):
+            return comm.MPI_Reduce(comm.rank * 10, op=ReduceOp.MAX, root=1)
+
+        res = mpirun(body, 4).results
+        assert res[1] == 30
+        assert res[0] is None and res[2] is None and res[3] is None
+
+    def test_reduce_min_and_prod(self):
+        def body(comm):
+            mn = comm.MPI_Allreduce(comm.rank + 1, op=ReduceOp.MIN)
+            pr = comm.MPI_Allreduce(comm.rank + 1, op=ReduceOp.PROD)
+            return mn, pr
+
+        assert mpirun(body, 4).results == [(1, 24)] * 4
+
+    def test_gather(self):
+        def body(comm):
+            return comm.MPI_Gather(comm.rank**2, root=0)
+
+        res = mpirun(body, 4).results
+        assert res[0] == [0, 1, 4, 9]
+        assert res[1:] == [None, None, None]
+
+    def test_allgather(self):
+        def body(comm):
+            return comm.MPI_Allgather(chr(ord("a") + comm.rank))
+
+        assert mpirun(body, 3).results == [["a", "b", "c"]] * 3
+
+    def test_scatter(self):
+        def body(comm):
+            items = [i * 100 for i in range(4)] if comm.rank == 0 else None
+            return comm.MPI_Scatter(items, root=0)
+
+        assert mpirun(body, 4).results == [0, 100, 200, 300]
+
+    def test_alltoall(self):
+        def body(comm):
+            return comm.MPI_Alltoall([f"{comm.rank}->{j}" for j in range(3)])
+
+        res = mpirun(body, 3).results
+        assert res[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_synchronizes(self):
+        def body(comm):
+            comm.sim.sleep(float(comm.rank))
+            comm.MPI_Barrier()
+            return comm.sim.now
+
+        res = mpirun(body, 4).results
+        assert max(res) - min(res) < 1e-9
+        assert min(res) >= 3.0
+
+    def test_mismatched_collectives_detected(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Barrier()
+            else:
+                comm.MPI_Bcast(1, root=1)
+
+        with pytest.raises(ProcessCrashed) as ei:
+            mpirun(body, 2)
+        assert isinstance(ei.value.__cause__, MpiCollectiveMismatch)
+
+    def test_scatter_wrong_length_detected(self):
+        def body(comm):
+            items = [1, 2] if comm.rank == 0 else None
+            comm.MPI_Scatter(items, root=0)
+
+        with pytest.raises(ProcessCrashed):
+            mpirun(body, 3)
+
+    def test_collectives_in_sequence(self):
+        def body(comm):
+            a = comm.MPI_Allreduce(1)
+            comm.MPI_Barrier()
+            b = comm.MPI_Bcast(a * 2 if comm.rank == 0 else None, root=0)
+            return b
+
+        assert mpirun(body, 3).results == [6, 6, 6]
+
+
+class TestCostShapes:
+    def _time_collective(self, size, ranks_per_node, call):
+        def body(comm):
+            comm.MPI_Barrier()
+            t0 = comm.sim.now
+            call(comm)
+            return comm.sim.now - t0
+
+        return max(mpirun(body, size, ranks_per_node=ranks_per_node).results)
+
+    def test_allreduce_cost_grows_with_size(self):
+        small = self._time_collective(
+            8, 4, lambda c: c.MPI_Allreduce(None, nbytes=1024)
+        )
+        large = self._time_collective(
+            8, 4, lambda c: c.MPI_Allreduce(None, nbytes=1024 * 1024)
+        )
+        assert large > small
+
+    def test_gather_root_pays_linear_cost(self):
+        """Root-side Gather cost ~ p * message cost — the Fig. 10 blow-up."""
+        nbytes = 256 * 1024
+
+        def timed_gather(size):
+            def body(comm):
+                comm.MPI_Barrier()
+                t0 = comm.sim.now
+                comm.MPI_Gather(None, root=0, nbytes=nbytes)
+                return comm.sim.now - t0
+
+            return mpirun(body, size, ranks_per_node=8).results[0]
+
+        t32, t128, t256 = timed_gather(32), timed_gather(128), timed_gather(256)
+        assert t128 > 3.0 * t32
+        assert t256 > 1.8 * t128
+
+    def test_rendezvous_gather_staggers_nonroots(self):
+        """Large gathers: the root drains serially, so early non-roots
+        leave far sooner than late ones; the root leaves last."""
+
+        def body(comm):
+            comm.MPI_Barrier()
+            t0 = comm.sim.now
+            comm.MPI_Gather(None, root=0, nbytes=1 << 20)
+            return comm.sim.now - t0
+
+        res = mpirun(body, 8, ranks_per_node=4).results
+        assert res[0] >= max(res[1:]) - 1e-12   # root last (ties with rank 7)
+        assert res[1] < res[7] / 3              # early ranks leave early
+
+    def test_eager_gather_nonroots_leave_immediately(self):
+        def body(comm):
+            comm.MPI_Barrier()
+            t0 = comm.sim.now
+            comm.MPI_Gather(comm.rank, root=0)  # tiny payload: eager
+            return comm.sim.now - t0
+
+        res = mpirun(body, 8).results
+        assert res[0] > max(res[1:])
+
+    def test_numa_penalty_when_oversubscribed(self):
+        """8 ranks/node costs more per byte than 2 ranks/node."""
+        nbytes = 1 << 20
+
+        def run(rpn):
+            def body(comm):
+                comm.MPI_Barrier()
+                t0 = comm.sim.now
+                comm.MPI_Allreduce(None, nbytes=nbytes)
+                return comm.sim.now - t0
+
+            return max(mpirun(body, 16, ranks_per_node=rpn).results)
+
+        assert run(8) > run(2)
+
+    def test_barrier_cost_is_logarithmic(self):
+        def run(size):
+            def body(comm):
+                t0 = comm.sim.now
+                comm.MPI_Barrier()
+                return comm.sim.now - t0
+
+            return max(mpirun(body, size).results)
+
+        t4, t64 = run(4), run(64)
+        assert t64 < 10 * t4  # log growth, far from linear
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=9, max_size=9),
+)
+def test_allreduce_matches_numpy(size, values):
+    """Property: simulated Allreduce equals the direct reduction."""
+
+    def body(comm):
+        return comm.MPI_Allreduce(values[comm.rank], op=ReduceOp.SUM)
+
+    res = mpirun(body, size).results
+    assert res == [sum(values[:size])] * size
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=2, max_value=8), seed=st.integers(0, 1000))
+def test_ring_exchange_conserves_data(size, seed):
+    """Property: a ring shift permutes payloads without loss."""
+    rng = np.random.default_rng(seed)
+    payloads = [int(x) for x in rng.integers(0, 1 << 30, size)]
+
+    def body(comm):
+        right = (comm.rank + 1) % size
+        data, _ = comm.MPI_Sendrecv(payloads[comm.rank], dest=right)
+        return data
+
+    res = mpirun(body, size).results
+    assert sorted(res) == sorted(payloads)
+    assert res == [payloads[(r - 1) % size] for r in range(size)]

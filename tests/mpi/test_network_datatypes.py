@@ -1,0 +1,142 @@
+"""Network model, payload sizing and request-object tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import NetworkModel, Network, ReduceOp, payload_nbytes
+from repro.mpi.request import Request, Status
+from repro.simt import Simulator
+
+
+class TestPayloadSizing:
+    def test_explicit_nbytes_wins(self):
+        assert payload_nbytes(np.zeros(10), nbytes=5) == 5
+
+    def test_negative_explicit_rejected(self):
+        with pytest.raises(ValueError):
+            payload_nbytes(None, nbytes=-1)
+
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(100, dtype=np.float64)) == 800
+
+    def test_bytes_and_none(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(None) == 0
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 8
+        assert payload_nbytes(1 + 2j) == 8
+
+    def test_strings_and_containers(self):
+        assert payload_nbytes("héllo") == len("héllo".encode("utf-8"))
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes({"a": 1}) == 9
+        assert payload_nbytes((np.zeros(2), 1)) == 24
+
+    def test_opaque_object_estimate(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64
+
+
+class TestReduceOps:
+    def test_all_ops_scalar(self):
+        vals = [3, 1, 2]
+        assert ReduceOp.SUM.reduce_all(vals) == 6
+        assert ReduceOp.PROD.reduce_all(vals) == 6
+        assert ReduceOp.MAX.reduce_all(vals) == 3
+        assert ReduceOp.MIN.reduce_all(vals) == 1
+
+    def test_array_ops(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([2.0, 3.0])
+        np.testing.assert_array_equal(ReduceOp.MAX.combine(a, b), [2.0, 5.0])
+        np.testing.assert_array_equal(ReduceOp.MIN.combine(a, b), [1.0, 3.0])
+        np.testing.assert_array_equal(ReduceOp.PROD.combine(a, b), [2.0, 15.0])
+
+    def test_none_handling(self):
+        assert ReduceOp.SUM.reduce_all([None, None]) is None
+        assert ReduceOp.SUM.reduce_all([None, 5, None, 2]) == 7
+
+
+class TestNetworkModel:
+    def test_base_cost_intra_vs_inter(self):
+        m = NetworkModel()
+        n = 1 << 20
+        assert m.base_cost(n, same_node=True) < m.base_cost(n, same_node=False)
+
+    def test_numa_factor_free_below_threshold(self):
+        m = NetworkModel()
+        assert m.numa_factor(1) == 1.0
+        assert m.numa_factor(4) == 1.0
+        assert m.numa_factor(8) == pytest.approx(1.0 + 0.35 * 4)
+
+    def test_transfer_reserves_both_nics(self):
+        sim = Simulator()
+        net = Network(sim, NetworkModel(inter_latency=0.0, inter_bandwidth=100.0))
+        # two simultaneous sends from node 0 to nodes 1 and 2 contend
+        # on node 0's TX NIC
+        a = net.transfer(100, 0, 1)  # 1 s
+        b = net.transfer(100, 0, 2)  # queued behind a on tx0
+        sim.run()
+        assert a.fire_time == pytest.approx(1.0)
+        assert b.fire_time == pytest.approx(2.0)
+
+    def test_disjoint_pairs_run_parallel(self):
+        sim = Simulator()
+        net = Network(sim, NetworkModel(inter_latency=0.0, inter_bandwidth=100.0))
+        a = net.transfer(100, 0, 1)
+        b = net.transfer(100, 2, 3)
+        sim.run()
+        assert a.fire_time == pytest.approx(1.0)
+        assert b.fire_time == pytest.approx(1.0)
+
+    def test_stats(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.transfer(1000, 0, 1)
+        net.transfer(500, 1, 0)
+        sim.run()
+        assert net.bytes_moved == 1500
+        assert net.messages == 2
+
+
+class TestRequests:
+    def test_request_lifecycle(self):
+        sim = Simulator()
+        req = Request(sim, "recv")
+        assert not req.done and not req.test()
+        req.completion.fire("data")
+
+        def body():
+            return req.wait()
+
+        proc = sim.spawn(body)
+        sim.run()
+        assert proc.result == "data"
+        assert req.test()
+
+    def test_status_defaults(self):
+        s = Status()
+        assert s.source == -1 and s.tag == -1 and s.nbytes == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbytes=st.integers(min_value=0, max_value=1 << 30),
+    same=st.booleans(),
+    rpn=st.integers(min_value=1, max_value=8),
+)
+def test_cost_monotonicity(nbytes, same, rpn):
+    """Property: transfer cost is monotone in size and oversubscription."""
+    m = NetworkModel()
+    base = m.base_cost(nbytes, same)
+    bigger = m.base_cost(nbytes + 4096, same)
+    assert bigger > base
+    assert m.numa_factor(rpn + 1) >= m.numa_factor(rpn)
+    assert base >= (m.intra_latency if same else m.inter_latency)

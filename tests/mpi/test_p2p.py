@@ -1,0 +1,226 @@
+"""Point-to-point MPI semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError, NetworkModel, mpirun
+from repro.simt import SimulationError
+
+
+class TestBasicSendRecv:
+    def test_ping(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send({"a": 7}, dest=1, tag=11)
+            elif comm.rank == 1:
+                data, status = comm.MPI_Recv(source=0, tag=11)
+                assert data == {"a": 7}
+                assert status.source == 0 and status.tag == 11
+                return data
+
+        res = mpirun(body, 2)
+        assert res.results[1] == {"a": 7}
+
+    def test_numpy_payload(self):
+        sent = np.arange(1000, dtype=np.float64)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send(sent, dest=1)
+            else:
+                data, status = comm.MPI_Recv(source=0)
+                assert status.nbytes == sent.nbytes
+                return data
+
+        res = mpirun(body, 2)
+        np.testing.assert_array_equal(res.results[1], sent)
+
+    def test_wildcard_source_and_tag(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send("x", dest=2, tag=5)
+            elif comm.rank == 1:
+                comm.sim.sleep(0.001)
+                comm.MPI_Send("y", dest=2, tag=9)
+            else:
+                a, sa = comm.MPI_Recv(source=ANY_SOURCE, tag=ANY_TAG)
+                b, sb = comm.MPI_Recv(source=ANY_SOURCE, tag=ANY_TAG)
+                return (a, sa.source, sa.tag), (b, sb.source, sb.tag)
+
+        res = mpirun(body, 3)
+        assert ("x", 0, 5) in res.results[2]
+        assert ("y", 1, 9) in res.results[2]
+
+    def test_tag_selectivity(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send("first", dest=1, tag=1)
+                comm.MPI_Send("second", dest=1, tag=2)
+            else:
+                b, _ = comm.MPI_Recv(source=0, tag=2)
+                a, _ = comm.MPI_Recv(source=0, tag=1)
+                return a, b
+
+        res = mpirun(body, 2)
+        assert res.results[1] == ("first", "second")
+
+    def test_message_order_preserved_same_tag(self):
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.MPI_Send(i, dest=1, tag=0)
+            else:
+                return [comm.MPI_Recv(source=0, tag=0)[0] for _ in range(10)]
+
+        res = mpirun(body, 2)
+        assert res.results[1] == list(range(10))
+
+    def test_send_to_invalid_rank(self):
+        def body(comm):
+            if comm.rank == 0:
+                with pytest.raises(MpiError):
+                    comm.MPI_Send(1, dest=5)
+
+        mpirun(body, 2)
+
+    def test_unmatched_recv_deadlocks(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Recv(source=1)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            mpirun(body, 2)
+
+
+class TestNonblocking:
+    def test_isend_irecv_wait(self):
+        def body(comm):
+            if comm.rank == 0:
+                req = comm.MPI_Isend(np.ones(5), dest=1)
+                comm.MPI_Wait(req)
+            else:
+                req = comm.MPI_Irecv(source=0)
+                data = comm.MPI_Wait(req)
+                return float(data.sum())
+
+        assert mpirun(body, 2).results[1] == 5.0
+
+    def test_waitall(self):
+        def body(comm):
+            if comm.rank == 0:
+                reqs = [comm.MPI_Isend(i, dest=1, tag=i) for i in range(4)]
+                comm.MPI_Waitall(reqs)
+            else:
+                reqs = [comm.MPI_Irecv(source=0, tag=i) for i in range(4)]
+                return comm.MPI_Waitall(reqs)
+
+        assert mpirun(body, 2).results[1] == [0, 1, 2, 3]
+
+    def test_test_polls_without_blocking(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.sim.sleep(1.0)
+                comm.MPI_Send("late", dest=1)
+            else:
+                req = comm.MPI_Irecv(source=0)
+                early = comm.MPI_Test(req)
+                comm.sim.sleep(2.0)
+                late = comm.MPI_Test(req)
+                return early, late
+
+        assert mpirun(body, 2).results[1] == (False, True)
+
+    def test_sendrecv_exchange(self):
+        def body(comm):
+            other = 1 - comm.rank
+            data, _ = comm.MPI_Sendrecv(comm.rank, dest=other, recvsource=other)
+            return data
+
+        assert mpirun(body, 2).results == [1, 0]
+
+
+class TestProtocols:
+    def test_eager_send_completes_without_receiver(self):
+        """Small sends are buffered: sender proceeds immediately."""
+
+        def body(comm):
+            if comm.rank == 0:
+                t0 = comm.sim.now
+                comm.MPI_Send(b"x" * 100, dest=1)  # < eager threshold
+                elapsed = comm.sim.now - t0
+                comm.MPI_Send(elapsed, dest=1, tag=99)
+            else:
+                comm.sim.sleep(5.0)  # receiver is late
+                comm.MPI_Recv(source=0, tag=0)
+                return comm.MPI_Recv(source=0, tag=99)[0]
+
+        assert mpirun(body, 2).results[1] < 1.0
+
+    def test_rendezvous_send_blocks_for_receiver(self):
+        """Large sends stall until the matching receive is posted."""
+        nbytes = 10 * 1024 * 1024
+
+        def body(comm):
+            if comm.rank == 0:
+                t0 = comm.sim.now
+                comm.MPI_Send(None, dest=1, nbytes=nbytes)
+                return comm.sim.now - t0
+            comm.sim.sleep(3.0)
+            comm.MPI_Recv(source=0)
+
+        assert mpirun(body, 2).results[0] >= 3.0
+
+    def test_intra_node_faster_than_inter_node(self):
+        nbytes = 1 << 20
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send(None, dest=1, nbytes=nbytes)
+                comm.MPI_Send(None, dest=2, nbytes=nbytes)
+            elif comm.rank == 1:
+                t0 = comm.sim.now
+                comm.MPI_Recv(source=0)
+                return comm.sim.now - t0
+            else:
+                t0 = comm.sim.now
+                comm.MPI_Recv(source=0)
+                return comm.sim.now - t0
+
+        # ranks 0,1 share node 0; rank 2 is alone on node 1.
+        res = mpirun(body, 3, ranks_per_node=2)
+        t_intra, t_inter = res.results[1], res.results[2]
+        assert t_intra < t_inter
+
+    def test_explicit_nbytes_prices_synthetic_payload(self):
+        model = NetworkModel()
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Send(None, dest=1, nbytes=320_000_000)
+            else:
+                t0 = comm.sim.now
+                comm.MPI_Recv(source=0)
+                return comm.sim.now - t0
+
+        t = mpirun(body, 2).results[1]
+        assert t == pytest.approx(320_000_000 / model.inter_bandwidth, rel=0.2)
+
+    def test_wtime_and_rank_size(self):
+        def body(comm):
+            assert comm.MPI_Comm_size() == 3
+            assert 0 <= comm.MPI_Comm_rank() < 3
+            t = comm.MPI_Wtime()
+            comm.sim.sleep(1.5)
+            return comm.MPI_Wtime() - t
+
+        assert all(abs(r - 1.5) < 1e-12 for r in mpirun(body, 3).results)
+
+    def test_abort_raises(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.MPI_Abort(3)
+
+        from repro.simt import ProcessCrashed
+
+        with pytest.raises(ProcessCrashed):
+            mpirun(body, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for the virtual clock and event heap."""
+
+import pytest
+
+from repro.simt.clock import VirtualClock
+from repro.simt.events import EventHeap
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance_to(3.5)
+        assert c.now == 3.5
+
+    def test_advance_to_same_time_ok(self):
+        c = VirtualClock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    def test_backwards_rejected(self):
+        c = VirtualClock(2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+
+class TestEventHeap:
+    def test_empty(self):
+        h = EventHeap()
+        assert not h
+        assert h.pop() is None
+        assert h.peek_time() is None
+
+    def test_time_order(self):
+        h = EventHeap()
+        order = []
+        h.push(2.0, order.append, ("b",))
+        h.push(1.0, order.append, ("a",))
+        h.push(3.0, order.append, ("c",))
+        while h:
+            ev = h.pop()
+            ev.fn(*ev.args)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        h = EventHeap()
+        evs = [h.push(1.0, lambda: None, (), priority=0) for _ in range(10)]
+        popped = [h.pop() for _ in range(10)]
+        assert [e.seq for e in popped] == [e.seq for e in evs]
+
+    def test_priority_beats_seq(self):
+        h = EventHeap()
+        late_prio = h.push(1.0, lambda: None, (), priority=5)
+        early_prio = h.push(1.0, lambda: None, (), priority=1)
+        assert h.pop() is early_prio
+        assert h.pop() is late_prio
+
+    def test_cancel_skipped(self):
+        h = EventHeap()
+        a = h.push(1.0, lambda: None)
+        b = h.push(2.0, lambda: None)
+        a.cancel()
+        assert h.pop() is b
+        assert h.pop() is None
+
+    def test_cancel_all_makes_heap_falsy(self):
+        h = EventHeap()
+        evs = [h.push(float(i), lambda: None) for i in range(4)]
+        for e in evs:
+            e.cancel()
+        assert not h
+        assert len(h) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        h = EventHeap()
+        a = h.push(1.0, lambda: None)
+        h.push(2.0, lambda: None)
+        a.cancel()
+        assert h.peek_time() == 2.0
+
+    def test_len_counts_live_only(self):
+        h = EventHeap()
+        a = h.push(1.0, lambda: None)
+        h.push(2.0, lambda: None)
+        assert len(h) == 2
+        a.cancel()
+        assert len(h) == 1

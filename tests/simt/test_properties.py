@@ -1,0 +1,141 @@
+"""Property-based tests of the simulation kernel's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt import Completion, Gate, Simulator, join
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=60,
+    )
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """Whatever order events are scheduled in, they execute sorted by
+    time with stable FIFO tie-breaking."""
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(delays):
+        sim.schedule(d, lambda i=i, d=d: fired.append((sim.now, d, i)))
+    sim.run()
+    times = [t for t, _d, _i in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    # each event fired exactly at its scheduled time
+    for t, d, _i in fired:
+        assert t == d
+    # ties preserve insertion order
+    for (t1, _d1, i1), (t2, _d2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sleeps=st.lists(
+        st.lists(st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+                 min_size=1, max_size=8),
+        min_size=1, max_size=8,
+    )
+)
+def test_process_local_time_is_sum_of_sleeps(sleeps):
+    """Each process ends exactly at the sum of its sleeps regardless of
+    interleaving with other processes."""
+    sim = Simulator()
+
+    def body(mine):
+        for d in mine:
+            sim.sleep(d)
+        return sim.now
+
+    procs = [sim.spawn(body, s, name=f"p{i}") for i, s in enumerate(sleeps)]
+    sim.run_all()
+    for proc, mine in zip(procs, sleeps):
+        assert proc.result == sum(mine)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fire_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    waiter_delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1, max_size=6,
+    ),
+)
+def test_completion_wakes_at_max_of_fire_and_wait(fire_delay, waiter_delays):
+    """wait() returns at max(fire_time, wait_start): never earlier,
+    never later (modulo the zero-delay wake event)."""
+    sim = Simulator()
+    c = Completion(sim)
+    c.fire_after(fire_delay, "v")
+
+    def body(d):
+        sim.sleep(d)
+        v = c.wait()
+        assert v == "v"
+        return sim.now
+
+    procs = [sim.spawn(body, d) for d in waiter_delays]
+    sim.run_all()
+    for proc, d in zip(procs, waiter_delays):
+        assert proc.result == max(fire_delay, d)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=0, max_size=10,
+    )
+)
+def test_join_fires_at_latest_member(delays):
+    sim = Simulator()
+    members = []
+    for d in delays:
+        c = Completion(sim)
+        c.fire_after(d, None)
+        members.append(c)
+    j = join(sim, members)
+    t = sim.run()
+    assert j.fired
+    assert j.fire_time == (max(delays) if delays else 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        min_size=1, max_size=10,
+    )
+)
+def test_gate_opens_exactly_at_last_arrival(arrivals):
+    sim = Simulator()
+    gate = Gate(sim, parties=len(arrivals))
+
+    def body(d):
+        sim.sleep(d)
+        gate.arrive().wait()
+        return sim.now
+
+    procs = [sim.spawn(body, d) for d in arrivals]
+    sim.run_all()
+    expected = max(arrivals)
+    for proc in procs:
+        assert proc.result == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_noise_is_deterministic_per_seed(seed):
+    from repro.simt import NoiseConfig, NoiseModel
+
+    a = NoiseModel(np.random.default_rng(seed), NoiseConfig())
+    b = NoiseModel(np.random.default_rng(seed), NoiseConfig())
+    xs = [a.perturb(0.5) for _ in range(20)]
+    ys = [b.perturb(0.5) for _ in range(20)]
+    assert xs == ys
+    assert a.bias == b.bias

@@ -1,0 +1,141 @@
+"""Tests for FifoServer/BandwidthLink, RNG streams and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.simt import BandwidthLink, FifoServer, NoiseConfig, NoiseModel, RngStreams, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestFifoServer:
+    def test_idle_server_starts_now(self, sim):
+        srv = FifoServer(sim, "s")
+        done = srv.serve(2.0)
+        sim.run()
+        assert done.fired
+        assert done.value == (0.0, 2.0)
+
+    def test_back_to_back_requests_queue(self, sim):
+        srv = FifoServer(sim, "s")
+        d1 = srv.serve(2.0)
+        d2 = srv.serve(3.0)
+        sim.run()
+        assert d1.value == (0.0, 2.0)
+        assert d2.value == (2.0, 5.0)
+        assert srv.busy_time == 5.0
+
+    def test_min_start_delays_service(self, sim):
+        srv = FifoServer(sim, "s")
+        done = srv.serve(1.0, min_start=4.0)
+        sim.run()
+        assert done.value == (4.0, 5.0)
+
+    def test_gap_between_requests(self, sim):
+        srv = FifoServer(sim, "s")
+        srv.serve(1.0)
+
+        def later():
+            sim.schedule(0, srv.serve, 1.0)
+
+        sim.schedule(10.0, later)
+        t = sim.run()
+        assert t == 11.0
+        assert srv.utilization() == pytest.approx(2.0 / 11.0)
+
+    def test_negative_duration_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FifoServer(sim).serve(-1.0)
+
+
+class TestBandwidthLink:
+    def test_transfer_time_model(self, sim):
+        link = BandwidthLink(sim, latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_transfers_serialize(self, sim):
+        link = BandwidthLink(sim, latency=0.0, bandwidth=100.0)
+        a = link.transfer(100)  # 1 s
+        b = link.transfer(200)  # 2 s
+        sim.run()
+        assert a.value == (0.0, 1.0)
+        assert b.value == (1.0, 3.0)
+        assert link.bytes_moved == 300
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            BandwidthLink(sim, latency=-1.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            BandwidthLink(sim, latency=0.0, bandwidth=0.0)
+        link = BandwidthLink(sim, latency=0.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            link.transfer_time(-5)
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        r = RngStreams(1)
+        assert r.get("a") is r.get("a")
+
+    def test_reproducible_across_instances(self):
+        x = RngStreams(7).get("jitter").random(5)
+        y = RngStreams(7).get("jitter").random(5)
+        assert np.array_equal(x, y)
+
+    def test_streams_independent_of_consumption_order(self):
+        r1 = RngStreams(3)
+        r1.get("a").random(100)
+        a_then_b = r1.get("b").random(5)
+        r2 = RngStreams(3)
+        b_only = r2.get("b").random(5)
+        assert np.array_equal(a_then_b, b_only)
+
+    def test_different_seeds_differ(self):
+        x = RngStreams(1).get("s").random(5)
+        y = RngStreams(2).get("s").random(5)
+        assert not np.array_equal(x, y)
+
+    def test_fork_independent(self):
+        base = RngStreams(5)
+        f1 = base.fork(1).get("s").random(5)
+        f2 = base.fork(2).get("s").random(5)
+        assert not np.array_equal(f1, f2)
+
+
+class TestNoiseModel:
+    def test_disabled_is_identity(self):
+        nm = NoiseModel(np.random.default_rng(0), NoiseConfig(enabled=False))
+        assert nm.perturb(1.23) == 1.23
+        assert nm.injected == 0.0
+
+    def test_noise_only_adds_time(self):
+        nm = NoiseModel(np.random.default_rng(0))
+        for d in [0.001, 0.1, 1.0, 10.0]:
+            assert nm.perturb(d) >= d
+
+    def test_zero_duration_untouched(self):
+        nm = NoiseModel(np.random.default_rng(0))
+        assert nm.perturb(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        nm = NoiseModel(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            nm.perturb(-1.0)
+
+    def test_mean_perturbation_is_small(self):
+        nm = NoiseModel(np.random.default_rng(0))
+        total = sum(nm.perturb(1.0) for _ in range(2000))
+        # jitter_mean=0.002 plus daemon 0.05*0.004=0.0002 → ~0.22% mean
+        assert 1.0 < total / 2000 < 1.01
+
+    def test_injected_accounting(self):
+        nm = NoiseModel(np.random.default_rng(0))
+        total_nominal = 0.0
+        total_actual = 0.0
+        for _ in range(100):
+            total_nominal += 1.0
+            total_actual += nm.perturb(1.0)
+        assert nm.injected == pytest.approx(total_actual - total_nominal)

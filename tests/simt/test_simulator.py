@@ -1,0 +1,255 @@
+"""Tests of the scheduler, processes, and synchronization objects."""
+
+import pytest
+
+from repro.simt import (
+    Completion,
+    Gate,
+    ProcessCrashed,
+    ProcessState,
+    SimulationError,
+    Simulator,
+    WaitQueue,
+)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(2.0, seen.append, "b")
+        sim.schedule(1.0, seen.append, "a")
+        sim.run()
+        assert seen == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(5.0, seen.append, 5)
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_run_until_advances_clock_when_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestProcesses:
+    def test_single_process_runs(self, sim):
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            sim.sleep(3.0)
+            trace.append(sim.now)
+            return "done"
+
+        proc = sim.spawn(body, name="p0")
+        sim.run_all()
+        assert trace == [0.0, 3.0]
+        assert proc.result == "done"
+        assert proc.state is ProcessState.FINISHED
+        assert proc.started_at == 0.0 and proc.finished_at == 3.0
+
+    def test_two_processes_interleave(self, sim):
+        trace = []
+
+        def body(label, dt):
+            for _ in range(3):
+                sim.sleep(dt)
+                trace.append((label, sim.now))
+
+        sim.spawn(body, "a", 1.0)
+        sim.spawn(body, "b", 2.0)
+        sim.run_all()
+        # At the t=2.0 tie, b's wakeup was scheduled first (at t=0,
+        # lower sequence number) so it runs before a's second wakeup.
+        assert trace == [
+            ("a", 1.0),
+            ("b", 2.0),
+            ("a", 2.0),
+            ("a", 3.0),
+            ("b", 4.0),
+            ("b", 6.0),
+        ]
+
+    def test_spawn_delay(self, sim):
+        times = []
+        sim.spawn(lambda: times.append(sim.now), delay=4.0)
+        sim.run_all()
+        assert times == [4.0]
+
+    def test_zero_sleep_is_noop(self, sim):
+        def body():
+            t0 = sim.now
+            sim.sleep(0.0)
+            assert sim.now == t0
+
+        sim.spawn(body)
+        sim.run_all()
+
+    def test_process_exception_propagates(self, sim):
+        def body():
+            sim.sleep(1.0)
+            raise ValueError("boom")
+
+        sim.spawn(body, name="bad")
+        with pytest.raises(ProcessCrashed) as ei:
+            sim.run()
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_done_completion_carries_result(self, sim):
+        worker = sim.spawn(lambda: 42, name="w")
+        results = []
+
+        def waiter():
+            results.append(worker.done.wait())
+
+        sim.spawn(waiter)
+        sim.run_all()
+        assert results == [42]
+
+    def test_sleep_outside_process_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sleep(1.0)
+
+    def test_deadlock_detection(self, sim):
+        c = Completion(sim, name="never")
+        sim.spawn(c.wait, name="stuck")
+        with pytest.raises(SimulationError, match="deadlock.*stuck"):
+            sim.run()
+
+
+class TestCompletion:
+    def test_wait_before_fire(self, sim):
+        c = Completion(sim)
+        got = []
+
+        def waiter():
+            got.append((c.wait(), sim.now))
+
+        sim.spawn(waiter)
+        sim.schedule(5.0, c.fire, "v")
+        sim.run_all()
+        assert got == [("v", 5.0)]
+
+    def test_wait_after_fire_is_instant(self, sim):
+        c = Completion(sim)
+        c.fire("x")
+        got = []
+
+        def waiter():
+            sim.sleep(3.0)
+            got.append((c.wait(), sim.now))
+
+        sim.spawn(waiter)
+        sim.run_all()
+        assert got == [("x", 3.0)]
+
+    def test_double_fire_rejected(self, sim):
+        c = Completion(sim)
+        c.fire()
+        with pytest.raises(RuntimeError):
+            c.fire()
+
+    def test_fire_after(self, sim):
+        c = Completion(sim)
+        c.fire_after(2.5, "later")
+        sim.run()
+        assert c.fired and c.fire_time == 2.5 and c.value == "later"
+
+    def test_multiple_waiters_all_wake(self, sim):
+        c = Completion(sim)
+        woke = []
+        for i in range(4):
+            sim.spawn(lambda i=i: woke.append((i, c.wait())), name=f"w{i}")
+        sim.schedule(1.0, c.fire, "z")
+        sim.run_all()
+        assert sorted(woke) == [(i, "z") for i in range(4)]
+
+    def test_callbacks(self, sim):
+        c = Completion(sim)
+        seen = []
+        c.add_callback(seen.append)
+        c.fire(7)
+        c.add_callback(lambda v: seen.append(v * 10))
+        sim.run()
+        assert seen == [7, 70]
+
+
+class TestWaitQueue:
+    def test_fifo_wakeup(self, sim):
+        q = WaitQueue(sim)
+        order = []
+
+        def waiter(i):
+            q.wait()
+            order.append(i)
+
+        for i in range(3):
+            sim.spawn(waiter, i)
+        sim.schedule(1.0, q.notify)
+        sim.schedule(2.0, q.notify)
+        sim.schedule(3.0, q.notify)
+        sim.run_all()
+        assert order == [0, 1, 2]
+
+    def test_notify_empty_returns_false(self, sim):
+        assert WaitQueue(sim).notify() is False
+
+    def test_notify_all(self, sim):
+        q = WaitQueue(sim)
+        n = []
+        for i in range(5):
+            sim.spawn(q.wait)
+        sim.schedule(1.0, lambda: n.append(q.notify_all()))
+        sim.run_all()
+        assert n == [5]
+
+
+class TestGate:
+    def test_opens_at_last_arrival(self, sim):
+        g = Gate(sim, parties=3)
+
+        def body(i):
+            sim.sleep(float(i))
+            g.arrive().wait()
+            return sim.now
+
+        procs = [sim.spawn(body, i) for i in range(3)]
+        sim.run_all()
+        assert [p.result for p in procs] == [2.0, 2.0, 2.0]
+
+    def test_too_many_arrivals_rejected(self, sim):
+        g = Gate(sim, parties=1)
+        g.arrive()
+        with pytest.raises(RuntimeError):
+            g.arrive()
+
+    def test_bad_parties(self, sim):
+        with pytest.raises(ValueError):
+            Gate(sim, parties=0)

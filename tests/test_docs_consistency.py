@@ -1,0 +1,93 @@
+"""Documentation ↔ code consistency guards.
+
+The README/DESIGN/EXPERIMENTS cite specific facts about the code (API
+surface sizes, example scripts, benchmark files).  These tests keep
+the documents honest as the code evolves.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name: str) -> str:
+    with open(os.path.join(REPO, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestCitedApiSurfaceSizes:
+    """The paper's numbers, cited in the docs, must match the specs."""
+
+    def test_runtime_and_driver_counts(self):
+        from repro.cuda import DRIVER_API, RUNTIME_API
+
+        assert len(RUNTIME_API) == 65
+        assert len(DRIVER_API) == 99
+        readme = read("README.md")
+        assert "65 + 99" in readme or ("65" in readme and "99" in readme)
+
+    def test_cublas_cufft_counts(self):
+        from repro.libs import CUBLAS_API, CUFFT_API
+
+        assert len(CUBLAS_API) == 167
+        assert len(CUFFT_API) == 13
+        readme = read("README.md")
+        assert "167" in readme and "13" in readme
+
+    def test_amber_kernel_count(self):
+        from repro.apps.amber import _REST_KERNELS, _TOP_KERNELS
+
+        assert len(_TOP_KERNELS) + len(_REST_KERNELS) == 39
+
+
+class TestReadmeExamplesExist:
+    def test_every_cited_example_script_exists(self):
+        readme = read("README.md")
+        cited = set(re.findall(r"`examples/([a-z_0-9]+\.py)`", readme))
+        assert cited, "README should cite example scripts"
+        for script in cited:
+            assert os.path.exists(os.path.join(REPO, "examples", script)), script
+
+    def test_at_least_three_examples(self):
+        scripts = [
+            f for f in os.listdir(os.path.join(REPO, "examples"))
+            if f.endswith(".py")
+        ]
+        assert len(scripts) >= 3
+        assert "quickstart.py" in scripts
+
+
+class TestExperimentsCitesRealBenchmarks:
+    def test_every_cited_bench_file_exists(self):
+        text = read("EXPERIMENTS.md") + read("DESIGN.md")
+        cited = set(re.findall(r"benchmarks/(bench_[a-z_0-9]+\.py)", text))
+        assert cited
+        for bench in cited:
+            assert os.path.exists(os.path.join(REPO, "benchmarks", bench)), bench
+
+    def test_every_figure_and_table_has_a_bench(self):
+        benches = os.listdir(os.path.join(REPO, "benchmarks"))
+        for needle in ("fig4_6", "table1", "fig8", "fig9", "fig10", "fig11"):
+            assert any(needle in b for b in benches), needle
+
+
+class TestDesignInventoryMatchesPackages:
+    def test_every_design_subpackage_exists(self):
+        import importlib
+
+        for pkg in ("repro.core", "repro.simt", "repro.cuda", "repro.mpi",
+                    "repro.libs", "repro.cluster", "repro.apps",
+                    "repro.analysis", "repro.ocl"):
+            importlib.import_module(pkg)
+
+    def test_table1_rows_match_paper_reference(self):
+        from repro.apps.sdk import PAPER_TABLE1
+
+        assert len(PAPER_TABLE1) == 8
+        assert PAPER_TABLE1["scan"].invocations == 3300
+        assert PAPER_TABLE1["BlackScholes"].profiler_seconds == pytest.approx(
+            2.540677
+        )
