@@ -1,0 +1,182 @@
+"""Wrapper-stack overhead microbenchmark (paper §V's headline claim).
+
+The paper's selling point is that IPM is cheap enough to leave on in
+production: per-event overheads in the microsecond range.  The other
+benchmarks measure *simulated* dilatation; this one measures the real
+wall-clock cost of our reproduction's interposition hot path — how many
+monitored events per second the wrapper stack itself can push through,
+versus the same wrappers with ``ipm.active = False`` (the bypass a real
+preloaded-but-disabled IPM pays).
+
+Two call shapes are driven in a 50/50 mix, matching the two wrapper
+flavours that exist in the wild:
+
+* a **plain** call (no hooks) — e.g. ``cudaConfigureCall``;
+* a **refined** call whose signature carries a direction suffix and a
+  byte count cycling over four sizes — e.g. ``cudaMemcpy(D2H)``.
+
+Results are written to ``BENCH_overhead.json`` at the repository root
+(schema documented in EXPERIMENTS.md §Overhead) so future PRs have a
+perf trajectory to compare against.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_overhead.py [--events N]
+
+or via pytest with the other benchmarks (``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.core import Ipm, IpmConfig
+from repro.core.wrapper_gen import WrapperHooks, generate_wrappers
+from repro.simt import Simulator
+
+#: monitored events/sec measured at the commit *before* the fast-path
+#: optimisation (signature interning + memoized hashing + slot hints),
+#: on the same harness: best of three runs.  Kept as the fixed
+#: reference point for the speedup the optimisation PR claims.
+PRE_OPT_EVENTS_PER_SEC = 306_000.0
+
+SCHEMA = "ipm-repro/bench-overhead/v1"
+
+#: byte sizes the refined call cycles through (4 distinct signatures).
+_SIZES = (1024, 4096, 65536, 1048576)
+
+
+class _NullApi:
+    """A do-nothing host API: the measurement is pure wrapper cost."""
+
+    def plain_call(self, x):
+        return 0
+
+    def sized_call(self, dst, src, count, kind):
+        return 0
+
+
+def _make_monitor(active: bool):
+    sim = Simulator()
+    ipm = Ipm(sim, config=IpmConfig(host_idle=False), blocking_calls=set())
+    hooks = {
+        "sized_call": WrapperHooks(refine=lambda a, k, r: ("(D2H)", a[2]))
+    }
+    proxy = generate_wrappers(
+        ipm, _NullApi(), ["plain_call", "sized_call"], domain="CUDA",
+        hooks=hooks,
+    )
+    ipm.active = active
+    return ipm, proxy
+
+
+def _drive(proxy, n: int) -> float:
+    """Issue ``2*n`` wrapped calls; returns events/sec (wall clock)."""
+    plain = proxy.plain_call
+    sized = proxy.sized_call
+    sizes = _SIZES
+    t0 = time.perf_counter()
+    for i in range(n):
+        plain(i)
+        sized(0, 0, sizes[i & 3], 2)
+    elapsed = time.perf_counter() - t0
+    return 2 * n / elapsed
+
+
+def run_overhead_bench(events: int = 300_000, warmup: int = 2_000) -> Dict:
+    """Measure monitored vs inactive throughput; returns the result dict.
+
+    ``events`` is the total number of monitored events per measured
+    pass (two wrapped calls per loop iteration).
+    """
+    if events <= 0:
+        raise ValueError(f"events must be positive: {events}")
+    iterations = max(1, events // 2)
+    ipm_on, proxy_on = _make_monitor(active=True)
+    _drive(proxy_on, warmup)
+    monitored = _drive(proxy_on, iterations)
+    _ipm_off, proxy_off = _make_monitor(active=False)
+    _drive(proxy_off, warmup)
+    inactive = _drive(proxy_off, iterations)
+    return {
+        "schema": SCHEMA,
+        "events": 2 * iterations,
+        "monitored_events_per_sec": round(monitored, 1),
+        "inactive_events_per_sec": round(inactive, 1),
+        "overhead_us_per_event": round(
+            (1.0 / monitored - 1.0 / inactive) * 1e6, 4
+        ),
+        "prechange_monitored_events_per_sec": PRE_OPT_EVENTS_PER_SEC,
+        "speedup_vs_prechange": round(monitored / PRE_OPT_EVENTS_PER_SEC, 2),
+        "distinct_signatures": len(ipm_on.table),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def default_output_path() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_overhead.json",
+    )
+
+
+def write_result(result: Dict, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_result(result: Dict) -> str:
+    lines = [
+        "Overhead — wall-clock wrapper-stack throughput",
+        f"events measured        : {result['events']}",
+        f"monitored  [events/s]  : {result['monitored_events_per_sec']:12.0f}",
+        f"inactive   [events/s]  : {result['inactive_events_per_sec']:12.0f}",
+        f"overhead per event [us]: {result['overhead_us_per_event']:12.4f}",
+        f"pre-opt    [events/s]  : "
+        f"{result['prechange_monitored_events_per_sec']:12.0f}",
+        f"speedup vs pre-opt     : {result['speedup_vs_prechange']:11.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--events", type=int, default=300_000,
+                    help="monitored events per measured pass")
+    ap.add_argument("--out", default=default_output_path(),
+                    help="output JSON path")
+    args = ap.parse_args(argv)
+    if args.events <= 0:
+        ap.error(f"--events must be positive (got {args.events})")
+    result = run_overhead_bench(events=args.events)
+    print(format_result(result))
+    path = write_result(result, args.out)
+    print(f"[saved to {path}]")
+    return 0
+
+
+def test_overhead_throughput(benchmark):
+    """pytest-benchmark entry point alongside the paper benchmarks."""
+    from conftest import emit, once
+
+    result = once(benchmark, run_overhead_bench)
+    emit("bench_overhead.txt", format_result(result))
+    write_result(result, default_output_path())
+    assert result["monitored_events_per_sec"] > 0
+    assert (
+        result["monitored_events_per_sec"]
+        >= 2.0 * result["prechange_monitored_events_per_sec"]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

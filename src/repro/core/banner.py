@@ -117,13 +117,14 @@ def banner_parallel(job: JobReport, top: Optional[int] = 20) -> str:
         ]
         lines.append(_stat_line(d, pct, show_total=False))
     lines.append("# #calls    :")
+    per_task_by_name = [t.table.by_name() for t in job.tasks]
     for d in domains:
         counts = []
-        for t in job.tasks:
+        for by_name in per_task_by_name:
             counts.append(
                 sum(
                     stats.count
-                    for name, stats in t.table.by_name().items()
+                    for name, stats in by_name.items()
                     if job.domains.get(name.split("(")[0]) == d
                     and not name.startswith("@")
                 )

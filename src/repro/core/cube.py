@@ -73,14 +73,15 @@ def job_to_cube(job: JobReport) -> CubeModel:
     model.cnodes = names
     model.processes = [(t.hostname, t.rank) for t in job.tasks]
     nprocs = len(model.processes)
+    per_task_by_name = [task.table.by_name() for task in job.tasks]
     for cid, name in enumerate(names):
         times = [0.0] * nprocs
         counts = [0.0] * nprocs
-        for i, task in enumerate(job.tasks):
-            by_name = task.table.by_name()
-            if name in by_name:
-                times[i] = by_name[name].total
-                counts[i] = float(by_name[name].count)
+        for i, by_name in enumerate(per_task_by_name):
+            stats = by_name.get(name)
+            if stats is not None:
+                times[i] = stats.total
+                counts[i] = float(stats.count)
         metric = _metric_of(name, job.domains)
         model.severity[(metric, cid)] = times
         model.severity[("calls", cid)] = counts

@@ -56,6 +56,9 @@ class CallStats:
 class PerfHashTable:
     """Fixed-capacity open-addressing table of event statistics."""
 
+    #: :meth:`locate` address of an overflow-resident signature.
+    OVERFLOW = -1
+
     def __init__(self, capacity: int = 8192) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -67,14 +70,40 @@ class PerfHashTable:
         self.entries = 0
         self.collisions = 0
         self.overflowed = 0
+        #: bumped on every mutation; aggregate caches key on it.
+        self.version = 0
+        self._agg: Dict[object, object] = {}
+        self._agg_version = -1
 
-    def _probe(self, sig: EventSignature) -> Optional[int]:
+    def _find(self, sig: EventSignature) -> Optional[int]:
+        """Read-only lookup: index of the slot holding ``sig``, else None.
+
+        Stops at the first free slot — entries are never deleted, so a
+        resident signature always precedes the first hole of its probe
+        chain.  Never touches the ``collisions`` counter, which tracks
+        insert-path probe steps only.
+        """
+        slots = self._slots
+        capacity = self.capacity
+        start = sig.stable_hash() % capacity
+        for step in range(capacity):
+            idx = (start + step) % capacity
+            slot = slots[idx]
+            if slot is None:
+                return None
+            if slot[0] == sig:
+                return idx
+        return None
+
+    def _probe_insert(self, sig: EventSignature) -> Optional[int]:
         """Index of the slot holding ``sig`` or the first free slot;
         None when the table is full and ``sig`` absent."""
-        start = sig.stable_hash() % self.capacity
-        for step in range(self.capacity):
-            idx = (start + step) % self.capacity
-            slot = self._slots[idx]
+        slots = self._slots
+        capacity = self.capacity
+        start = sig.stable_hash() % capacity
+        for step in range(capacity):
+            idx = (start + step) % capacity
+            slot = slots[idx]
             if slot is None:
                 if step:
                     self.collisions += 1
@@ -83,34 +112,69 @@ class PerfHashTable:
                 return idx
         return None
 
-    def update(self, sig: EventSignature, duration: float) -> CallStats:
-        """Record one observation of ``sig``; returns its stats entry."""
-        idx = self._probe(sig)
+    def _get_or_create(self, sig: EventSignature) -> CallStats:
+        """Single-probe lookup-or-insert; spills to overflow when full."""
+        idx = self._probe_insert(sig)
         if idx is None:
             stats = self._overflow.get(sig)
             if stats is None:
                 stats = CallStats()
                 self._overflow[sig] = stats
                 self.overflowed += 1
-            stats.update(duration)
             return stats
         slot = self._slots[idx]
-        if slot is None:
-            stats = CallStats()
-            self._slots[idx] = (sig, stats)
-            self.entries += 1
-        else:
-            stats = slot[1]
+        if slot is not None:
+            return slot[1]
+        stats = CallStats()
+        self._slots[idx] = (sig, stats)
+        self.entries += 1
+        return stats
+
+    def locate(self, sig: EventSignature) -> Optional[int]:
+        """Stable address of ``sig`` for hinted updates.
+
+        Returns a slot index, :data:`OVERFLOW` for overflow residents,
+        or None when absent.  Addresses stay valid for the table's
+        lifetime: entries never move and are never deleted.
+        """
+        idx = self._find(sig)
+        if idx is not None:
+            return idx
+        if sig in self._overflow:
+            return self.OVERFLOW
+        return None
+
+    def update(
+        self, sig: EventSignature, duration: float, hint: Optional[int] = None
+    ) -> CallStats:
+        """Record one observation of ``sig``; returns its stats entry.
+
+        ``hint`` — a prior :meth:`locate` result for an interned ``sig``
+        — turns the steady-state path into a single identity check
+        instead of a hash + probe; a stale or wrong hint falls back to
+        the probing path.
+        """
+        self.version += 1
+        if hint is not None:
+            if hint >= 0:
+                slot = self._slots[hint]
+                if slot is not None and slot[0] is sig:
+                    stats = slot[1]
+                    stats.update(duration)
+                    return stats
+            else:
+                stats = self._overflow.get(sig)
+                if stats is not None:
+                    stats.update(duration)
+                    return stats
+        stats = self._get_or_create(sig)
         stats.update(duration)
         return stats
 
     def get(self, sig: EventSignature) -> Optional[CallStats]:
-        idx = self._probe(sig)
+        idx = self._find(sig)
         if idx is not None:
-            slot = self._slots[idx]
-            if slot is not None and slot[0] == sig:
-                return slot[1]
-            return None
+            return self._slots[idx][1]
         return self._overflow.get(sig)
 
     def items(self) -> Iterator[Tuple[EventSignature, CallStats]]:
@@ -123,42 +187,63 @@ class PerfHashTable:
         return self.entries + len(self._overflow)
 
     # -- aggregation helpers -------------------------------------------------
+    #
+    # All aggregates are cached until the next mutation, so the report
+    # layer (banner + XML + CUBE each read the same views several
+    # times) scans the slot array once instead of once per section.
+    # Cached results are shared between callers: treat them as
+    # read-only.
+
+    def _agg_cache(self) -> Dict[object, object]:
+        if self._agg_version != self.version:
+            self._agg = {}
+            self._agg_version = self.version
+        return self._agg
 
     def by_name(self) -> Dict[str, CallStats]:
         """Collapse byte/callsite attributes: one entry per call name."""
-        out: Dict[str, CallStats] = {}
-        for sig, stats in self.items():
-            agg = out.get(sig.name)
-            if agg is None:
-                out[sig.name] = stats.copy()
-            else:
-                agg.merge(stats)
+        cache = self._agg_cache()
+        out = cache.get("by_name")
+        if out is None:
+            out = {}
+            for sig, stats in self.items():
+                agg = out.get(sig.name)
+                if agg is None:
+                    out[sig.name] = stats.copy()
+                else:
+                    agg.merge(stats)
+            cache["by_name"] = out
         return out
 
     def total_time(self, prefix: str = "") -> float:
         """Summed time over signatures whose name starts with ``prefix``."""
-        return sum(
-            stats.total for sig, stats in self.items() if sig.name.startswith(prefix)
-        )
+        cache = self._agg_cache()
+        key = ("time", prefix)
+        total = cache.get(key)
+        if total is None:
+            total = sum(
+                stats.total
+                for sig, stats in self.items()
+                if sig.name.startswith(prefix)
+            )
+            cache[key] = total
+        return total
 
     def total_bytes(self, prefix: str = "") -> int:
-        return sum(
-            (sig.nbytes or 0) * stats.count
-            for sig, stats in self.items()
-            if sig.name.startswith(prefix)
-        )
+        cache = self._agg_cache()
+        key = ("bytes", prefix)
+        total = cache.get(key)
+        if total is None:
+            total = sum(
+                (sig.nbytes or 0) * stats.count
+                for sig, stats in self.items()
+                if sig.name.startswith(prefix)
+            )
+            cache[key] = total
+        return total
 
     def merge(self, other: "PerfHashTable") -> None:
         """Fold another table in (cross-rank aggregation)."""
+        self.version += 1
         for sig, stats in other.items():
-            mine = self.get(sig)
-            if mine is None:
-                idx = self._probe(sig)
-                if idx is None or self._slots[idx] is not None:
-                    ov = self._overflow.setdefault(sig, CallStats())
-                    ov.merge(stats)
-                    continue
-                mine = CallStats()
-                self._slots[idx] = (sig, mine)
-                self.entries += 1
-            mine.merge(stats)
+            self._get_or_create(sig).merge(stats)

@@ -78,6 +78,7 @@ class Ipm:
         self.config = config or IpmConfig()
         self.hostname = hostname
         self.command = command
+        # Never reassigned: generated wrappers bind it at creation time.
         self.table = PerfHashTable(self.config.hash_capacity)
         self.overhead = OverheadModel(sim, self.config.overhead)
         #: call-name → domain, for banner section totals.
@@ -89,6 +90,9 @@ class Ipm:
         self.stop_time: Optional[float] = None
         self.current_region = DEFAULT_REGION
         self._region_stack: List[str] = []
+        #: wrappers' signature-interning caches (repro.core.wrapper_gen);
+        #: invalidated on region transitions.
+        self._sig_caches: List[Dict[Any, Any]] = []
         self.mem_gb = 0.0
         self.gflops = 0.0
         #: optional GPU counter component (repro.core.papi, §VI).
@@ -149,16 +153,34 @@ class Ipm:
             domain="CUDA",
         )
 
+    # -- signature interning -------------------------------------------------
+
+    def register_sig_cache(self, cache: Dict[Any, Any]) -> None:
+        """Register a wrapper's signature-interning cache.
+
+        Wrappers key their caches on (suffix, region, nbytes), so stale
+        entries under another region would still be correct — clearing
+        on region transitions just keeps each cache bounded to the live
+        region's working set.
+        """
+        self._sig_caches.append(cache)
+
+    def _invalidate_sig_caches(self) -> None:
+        for cache in self._sig_caches:
+            cache.clear()
+
     # -- regions (IPM's MPI_Pcontrol-style code regions) ------------------------
 
     def region_enter(self, name: str) -> None:
         self._region_stack.append(self.current_region)
         self.current_region = name
+        self._invalidate_sig_caches()
 
     def region_exit(self) -> None:
         if not self._region_stack:
             raise RuntimeError("region_exit without matching region_enter")
         self.current_region = self._region_stack.pop()
+        self._invalidate_sig_caches()
 
     # -- wrapping -----------------------------------------------------------------
 

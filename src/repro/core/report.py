@@ -43,10 +43,14 @@ class TaskReport:
         """Total time in calls attributed to ``domain`` (MPI/CUDA/…)."""
         return sum(
             stats.total
-            for sig, stats in self.table.items()
-            if ipm_domains.get(sig.name.split("(")[0]) == domain
-            and not sig.is_pseudo
+            for name, stats in self.table.by_name().items()
+            if not name.startswith("@")
+            and ipm_domains.get(name.split("(")[0]) == domain
         )
+
+    def by_name(self) -> Dict[str, CallStats]:
+        """The task table's per-name aggregate (cached; read-only)."""
+        return self.table.by_name()
 
     def gpu_exec_time(self) -> float:
         """Total ``@CUDA_EXEC_STRMxx`` time (GPU kernel execution)."""
@@ -69,6 +73,8 @@ class JobReport:
     def __post_init__(self) -> None:
         if not self.tasks:
             raise ValueError("a JobReport needs at least one task")
+        self._merged: Optional[PerfHashTable] = None
+        self._merged_versions: Optional[tuple] = None
 
     @property
     def ntasks(self) -> int:
@@ -86,10 +92,21 @@ class JobReport:
         return sorted({t.hostname for t in self.tasks})
 
     def merged_table(self) -> PerfHashTable:
-        merged = PerfHashTable(capacity=max(t.table.capacity for t in self.tasks))
-        for t in self.tasks:
-            merged.merge(t.table)
-        return merged
+        """Cross-rank aggregate table (cached; treat as read-only).
+
+        Rebuilt only when a task table has mutated since the last call
+        — the banner, CUBE and advisor consumers all read it.
+        """
+        versions = tuple(t.table.version for t in self.tasks)
+        if self._merged is None or versions != self._merged_versions:
+            merged = PerfHashTable(
+                capacity=max(t.table.capacity for t in self.tasks)
+            )
+            for t in self.tasks:
+                merged.merge(t.table)
+            self._merged = merged
+            self._merged_versions = versions
+        return self._merged
 
     def merged_by_name(self) -> Dict[str, CallStats]:
         return self.merged_table().by_name()

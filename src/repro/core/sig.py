@@ -49,10 +49,20 @@ class EventSignature:
     nbytes: Optional[int] = None
     callsite: int = 0
 
+    def __post_init__(self) -> None:
+        # Computed once per signature: wrappers intern signatures, so a
+        # steady-state event never rebuilds the key string or re-CRCs it.
+        key = f"{self.name}|{self.region}|{self.nbytes}|{self.callsite}"
+        object.__setattr__(self, "_hash", zlib.crc32(key.encode("utf-8")))
+
     def stable_hash(self) -> int:
         """Deterministic 32-bit hash (stable across runs/processes)."""
-        key = f"{self.name}|{self.region}|{self.nbytes}|{self.callsite}"
-        return zlib.crc32(key.encode("utf-8"))
+        return self._hash
+
+    def __hash__(self) -> int:
+        # Equal signatures CRC the same key, so reusing stable_hash for
+        # dict/set hashing is consistent with the generated __eq__.
+        return self._hash
 
     @property
     def is_pseudo(self) -> bool:

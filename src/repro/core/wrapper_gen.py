@@ -117,33 +117,51 @@ def _make_wrapper(
     post = hk.post if hk else None
     refine = hk.refine if hk else None
     sim = ipm.sim
+    table = ipm.table
+    overhead = ipm.overhead
+    #: interned signatures: (suffix, region, nbytes) → (sig, slot hint).
+    #: Steady-state calls reuse one EventSignature object and update its
+    #: hash-table entry through the hinted single-check path instead of
+    #: rebuilding + re-hashing + re-probing on every event.
+    sig_cache: Dict[
+        Tuple[str, str, Optional[int]], Tuple[EventSignature, Optional[int]]
+    ] = {}
+    ipm.register_sig_cache(sig_cache)
 
     def wrapper(*args: Any, **kwargs: Any) -> Any:
         if not ipm.active:
             return real(*args, **kwargs)
-        ipm.overhead.charge_entry()
+        overhead.charge_entry()
         pre_result = pre(args, kwargs) if pre is not None else None
         begin = sim.now
         result = real(*args, **kwargs)
         end = sim.now
         if post is not None:
             post(pre_result, args, kwargs, result)
-        suffix, nbytes = ("", None)
         if refine is not None:
             suffix, nbytes = refine(args, kwargs, result)
-        ipm.update(
-            EventSignature(name + suffix, ipm.current_region, nbytes),
-            end - begin,
-            domain=domain,
-        )
+        else:
+            suffix, nbytes = "", None
+        key = (suffix, ipm.current_region, nbytes)
+        interned = sig_cache.get(key)
+        if interned is not None:
+            sig = interned[0]
+            table.update(sig, end - begin, interned[1])
+        else:
+            # first sighting: full path (registers the call's domain),
+            # then intern the signature with its table address.
+            sig = EventSignature(name + suffix, ipm.current_region, nbytes)
+            ipm.update(sig, end - begin, domain=domain)
+            sig_cache[key] = (sig, table.locate(sig))
         if ipm.trace is not None:
             from repro.core.trace import TraceRecord
 
-            ipm.trace.add(TraceRecord(begin, end, name + suffix, "host", nbytes))
-        ipm.overhead.charge_exit()
+            ipm.trace.add(TraceRecord(begin, end, sig.name, "host", nbytes))
+        overhead.charge_exit()
         return result
 
     wrapper.__name__ = name
     wrapper.__qualname__ = f"ipm_wrap.{name}"
     wrapper.__doc__ = f"IPM interposition wrapper for {name} ({domain})."
+    wrapper.__wrapped__ = real
     return wrapper

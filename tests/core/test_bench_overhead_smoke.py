@@ -1,0 +1,53 @@
+"""Tier-1 smoke test for the overhead benchmark harness.
+
+Runs ``benchmarks/bench_overhead.py`` at a tiny event count (well under
+a second) so the measurement harness itself cannot silently rot: the
+harness must drive the real wrapper stack, produce sane numbers, and
+write a JSON file with the documented schema.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+
+def _load_bench_overhead():
+    path = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "bench_overhead.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_overhead", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_overhead_bench_smoke(tmp_path):
+    bench = _load_bench_overhead()
+    result = bench.run_overhead_bench(events=2_000, warmup=200)
+    assert result["schema"] == bench.SCHEMA
+    assert result["events"] == 2_000
+    assert result["monitored_events_per_sec"] > 0
+    assert result["inactive_events_per_sec"] > 0
+    # monitoring is never free, so the bypass must be faster
+    assert (
+        result["inactive_events_per_sec"] > result["monitored_events_per_sec"]
+    )
+    assert result["overhead_us_per_event"] > 0
+    assert result["prechange_monitored_events_per_sec"] > 0
+    # one plain + four byte-bucketed refined signatures
+    assert result["distinct_signatures"] == 5
+
+    out = tmp_path / "BENCH_overhead.json"
+    bench.write_result(result, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded == result
+
+    text = bench.format_result(result)
+    assert "monitored" in text and "speedup" in text
+
+
+def test_overhead_bench_default_output_is_repo_root():
+    bench = _load_bench_overhead()
+    path = Path(bench.default_output_path())
+    assert path.name == "BENCH_overhead.json"
+    assert path.parent == Path(__file__).resolve().parents[2]

@@ -114,6 +114,125 @@ class TestPerfHashTable:
         with pytest.raises(ValueError):
             PerfHashTable(capacity=0)
 
+    def test_get_does_not_inflate_collisions(self):
+        """collisions counts insert-path probe steps only — report
+        passes (get/by_name/total_time) must not skew the stat the
+        ablation benchmarks read."""
+        t = PerfHashTable(capacity=8)
+        for i in range(6):
+            t.update(EventSignature(f"f{i}"), 1.0)
+        inserted = t.collisions
+        for _ in range(50):
+            for i in range(6):
+                t.get(EventSignature(f"f{i}"))
+            t.get(EventSignature("absent"))
+            t.by_name()
+            t.total_time()
+        assert t.collisions == inserted
+
+    def test_locate_and_hinted_update(self):
+        t = PerfHashTable(capacity=8)
+        sig = EventSignature("MPI_Send", nbytes=64)
+        t.update(sig, 1.0)
+        hint = t.locate(sig)
+        assert hint is not None and hint >= 0
+        stats = t.update(sig, 2.0, hint)
+        assert stats.count == 2 and stats.total == 3.0
+        # a wrong hint falls back to the probing path
+        wrong = (hint + 1) % t.capacity
+        assert t.update(sig, 4.0, wrong).count == 3
+        assert t.locate(EventSignature("absent")) is None
+
+    def test_locate_and_hinted_update_in_overflow(self):
+        t = PerfHashTable(capacity=2)
+        sigs = [EventSignature(f"f{i}") for i in range(4)]
+        for s in sigs:
+            t.update(s, 1.0)
+        spilled = [s for s in sigs if t.locate(s) == PerfHashTable.OVERFLOW]
+        assert len(spilled) == 2
+        for s in spilled:
+            t.update(s, 2.0, PerfHashTable.OVERFLOW)
+            assert t.get(s).total == 3.0
+
+    def test_aggregate_caches_track_mutations(self):
+        t = PerfHashTable()
+        t.update(EventSignature("a", nbytes=8), 1.0)
+        assert t.by_name()["a"].total == 1.0
+        assert t.total_time() == 1.0
+        assert t.total_bytes() == 8
+        t.update(EventSignature("a", nbytes=8), 2.0)
+        assert t.by_name()["a"].total == 3.0
+        assert t.total_time() == 3.0
+        assert t.total_bytes() == 16
+        other = PerfHashTable()
+        other.update(EventSignature("b"), 5.0)
+        t.merge(other)
+        assert t.total_time() == 8.0
+        assert "b" in t.by_name()
+
+
+class TestMergeOverflow:
+    """Cross-rank merge across the slot/overflow boundary."""
+
+    def _stats_of(self, durations):
+        s = CallStats()
+        for d in durations:
+            s.update(d)
+        return s
+
+    def test_merge_spills_to_overflow_when_full(self):
+        dst = PerfHashTable(capacity=2)
+        dst.update(EventSignature("a"), 1.0)
+        dst.update(EventSignature("b"), 1.0)
+        src = PerfHashTable(capacity=8)
+        src.update(EventSignature("c"), 3.0)
+        src.update(EventSignature("d"), 4.0)
+        dst.merge(src)
+        assert len(dst) == 4
+        assert dst.overflowed == 2
+        assert dst.locate(EventSignature("c")) == PerfHashTable.OVERFLOW
+        assert dst.get(EventSignature("c")).total == 3.0
+        assert dst.get(EventSignature("d")).total == 4.0
+
+    def test_merge_overflow_entries_land_in_slots(self):
+        src = PerfHashTable(capacity=2)
+        for i in range(5):
+            src.update(EventSignature(f"f{i}"), float(i))
+        assert src.overflowed == 3
+        dst = PerfHashTable(capacity=64)
+        dst.merge(src)
+        assert len(dst) == 5
+        assert dst.overflowed == 0
+        for i in range(5):
+            loc = dst.locate(EventSignature(f"f{i}"))
+            assert loc is not None and loc >= 0
+            assert dst.get(EventSignature(f"f{i}")).total == float(i)
+
+    def test_merge_stats_correct_across_areas(self):
+        """Counts/totals/min/max survive slot→slot, slot→overflow and
+        overflow→slot merges exactly."""
+        a = PerfHashTable(capacity=2)
+        b = PerfHashTable(capacity=2)
+        durations_a = {"x": [1.0, 5.0], "y": [2.0], "z": [0.25]}
+        durations_b = {"x": [0.5], "z": [8.0], "w": [3.0]}
+        for name, ds in durations_a.items():
+            for d in ds:
+                a.update(EventSignature(name), d)
+        for name, ds in durations_b.items():
+            for d in ds:
+                b.update(EventSignature(name), d)
+        a.merge(b)
+        for name in ("x", "y", "z", "w"):
+            expect = self._stats_of(
+                durations_a.get(name, []) + durations_b.get(name, [])
+            )
+            got = a.get(EventSignature(name))
+            assert got is not None
+            assert got.count == expect.count
+            assert got.total == pytest.approx(expect.total)
+            assert got.tmin == expect.tmin and got.tmax == expect.tmax
+        assert len(a) == 4
+
 
 @settings(max_examples=80, deadline=None)
 @given(

@@ -128,6 +128,76 @@ class TestGeneration:
             generate_wrappers(ipm, FakeApi(sim), ["do_work"], domain="F",
                               linkage="magic")
 
+    def test_dunder_wrapped_exposes_real(self, sim, ipm):
+        """Stdlib decorator convention: inspect.unwrap sees through."""
+        import inspect
+
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        # bound methods are re-created per access, so compare equality
+        assert proxy.do_work.__wrapped__ == api.do_work
+        assert inspect.unwrap(proxy.do_work) == api.do_work
+
+
+class TestSignatureInterning:
+    """The fast path: interned signatures + slot hints."""
+
+    def test_steady_state_reuses_one_signature_object(self, sim, ipm):
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+
+        def body():
+            for _ in range(50):
+                proxy.do_work(1)
+
+        in_proc(sim, body)
+        assert len(ipm.table) == 1
+        assert ipm.table.get(EventSignature("do_work")).count == 50
+        # exactly one interned (sig, hint) entry exists for the wrapper
+        (cache,) = ipm._sig_caches
+        assert len(cache) == 1
+
+    def test_region_change_routes_and_invalidates(self, sim, ipm):
+        """Events after region_enter/region_exit land under the right
+        region, and the transitions clear the interning caches."""
+        api = FakeApi(sim)
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE")
+        (cache,) = ipm._sig_caches
+
+        def body():
+            proxy.do_work(1)
+            proxy.do_work(1)
+            ipm.region_enter("solver")
+            assert not cache  # hint cache invalidated on entry
+            proxy.do_work(1)
+            ipm.region_exit()
+            assert not cache  # …and again on exit
+            proxy.do_work(1)
+
+        in_proc(sim, body)
+        main = ipm.table.get(EventSignature("do_work"))
+        solver = ipm.table.get(EventSignature("do_work", region="solver"))
+        assert main.count == 3
+        assert solver.count == 1
+
+    def test_interning_with_refined_bytes(self, sim, ipm):
+        api = FakeApi(sim)
+        hooks = {"do_work": WrapperHooks(
+            refine=lambda a, k, r: ("(D2H)", a[0]))}
+        proxy = generate_wrappers(ipm, api, ["do_work"], domain="FAKE",
+                                  hooks=hooks)
+
+        def body():
+            for _ in range(10):
+                proxy.do_work(64)
+                proxy.do_work(128)
+
+        in_proc(sim, body)
+        assert ipm.table.get(
+            EventSignature("do_work(D2H)", nbytes=64)).count == 10
+        assert ipm.table.get(
+            EventSignature("do_work(D2H)", nbytes=128)).count == 10
+
 
 class TestStaticLinkage:
     """The --wrap variant (paper: '--wrap foo … __wrap_foo / __real_foo')."""
