@@ -15,6 +15,11 @@ flavours that exist in the wild:
 * a **refined** call whose signature carries a direction suffix and a
   byte count cycling over four sizes — e.g. ``cudaMemcpy(D2H)``.
 
+A third configuration re-runs the monitored pass with the streaming
+telemetry subsystem enabled (per-event counter folding plus a sampler
+tick every ``_TICK_EVERY`` loop iterations into a memory sink), so the
+recorded JSON quantifies what leaving telemetry on costs per event.
+
 Results are written to ``BENCH_overhead.json`` at the repository root
 (schema documented in EXPERIMENTS.md §Overhead) so future PRs have a
 perf trajectory to compare against.
@@ -46,10 +51,15 @@ from repro.simt import Simulator
 #: reference point for the speedup the optimisation PR claims.
 PRE_OPT_EVENTS_PER_SEC = 306_000.0
 
-SCHEMA = "ipm-repro/bench-overhead/v1"
+SCHEMA = "ipm-repro/bench-overhead/v2"
 
 #: byte sizes the refined call cycles through (4 distinct signatures).
 _SIZES = (1024, 4096, 65536, 1048576)
+
+#: loop iterations between synthetic sampler ticks in the telemetry
+#: pass (the simulator clock is frozen here, so the benchmark advances
+#: a virtual 10 ms per tick by hand).
+_TICK_EVERY = 4096
 
 
 class _NullApi:
@@ -76,6 +86,29 @@ def _make_monitor(active: bool):
     return ipm, proxy
 
 
+def _make_telemetry_monitor():
+    """The monitored stack plus an enabled telemetry hub (memory sink)."""
+    from repro.telemetry import TelemetryConfig, TelemetryHub
+
+    sim = Simulator()
+    tcfg = TelemetryConfig(enabled=True, sinks=("memory",))
+    ipm = Ipm(
+        sim,
+        config=IpmConfig(host_idle=False, telemetry=tcfg),
+        blocking_calls=set(),
+    )
+    hooks = {
+        "sized_call": WrapperHooks(refine=lambda a, k, r: ("(D2H)", a[2]))
+    }
+    proxy = generate_wrappers(
+        ipm, _NullApi(), ["plain_call", "sized_call"], domain="CUDA",
+        hooks=hooks,
+    )
+    hub = TelemetryHub(sim, tcfg)
+    hub.register_rank(0, ipm)
+    return ipm, proxy, hub
+
+
 def _drive(proxy, n: int) -> float:
     """Issue ``2*n`` wrapped calls; returns events/sec (wall clock)."""
     plain = proxy.plain_call
@@ -85,6 +118,29 @@ def _drive(proxy, n: int) -> float:
     for i in range(n):
         plain(i)
         sized(0, 0, sizes[i & 3], 2)
+    elapsed = time.perf_counter() - t0
+    return 2 * n / elapsed
+
+
+def _drive_telemetry(proxy, hub, n: int) -> float:
+    """The monitored loop with periodic sampler ticks interleaved.
+
+    Ticks advance a synthetic virtual clock (one interval per tick)
+    because nothing runs the simulator here; a closing sample keeps
+    even tiny smoke-test passes from measuring zero ticks.
+    """
+    plain = proxy.plain_call
+    sized = proxy.sized_call
+    sizes = _SIZES
+    dt = hub.config.interval
+    mask = _TICK_EVERY - 1
+    t0 = time.perf_counter()
+    for i in range(n):
+        plain(i)
+        sized(0, 0, sizes[i & 3], 2)
+        if (i & mask) == mask:
+            hub.sample_now(dt * (hub.ticks + 1))
+    hub.sample_now(dt * (hub.ticks + 1))
     elapsed = time.perf_counter() - t0
     return 2 * n / elapsed
 
@@ -104,6 +160,12 @@ def run_overhead_bench(events: int = 300_000, warmup: int = 2_000) -> Dict:
     _ipm_off, proxy_off = _make_monitor(active=False)
     _drive(proxy_off, warmup)
     inactive = _drive(proxy_off, iterations)
+    _ipm_tel, proxy_tel, hub = _make_telemetry_monitor()
+    _drive_telemetry(proxy_tel, hub, warmup)
+    ticks_before = hub.ticks
+    telemetry = _drive_telemetry(proxy_tel, hub, iterations)
+    telemetry_ticks = hub.ticks - ticks_before
+    hub.finish()
     return {
         "schema": SCHEMA,
         "events": 2 * iterations,
@@ -112,6 +174,11 @@ def run_overhead_bench(events: int = 300_000, warmup: int = 2_000) -> Dict:
         "overhead_us_per_event": round(
             (1.0 / monitored - 1.0 / inactive) * 1e6, 4
         ),
+        "telemetry_events_per_sec": round(telemetry, 1),
+        "telemetry_overhead_us_per_event": round(
+            (1.0 / telemetry - 1.0 / inactive) * 1e6, 4
+        ),
+        "telemetry_ticks": telemetry_ticks,
         "prechange_monitored_events_per_sec": PRE_OPT_EVENTS_PER_SEC,
         "speedup_vs_prechange": round(monitored / PRE_OPT_EVENTS_PER_SEC, 2),
         "distinct_signatures": len(ipm_on.table),
@@ -141,6 +208,10 @@ def format_result(result: Dict) -> str:
         f"monitored  [events/s]  : {result['monitored_events_per_sec']:12.0f}",
         f"inactive   [events/s]  : {result['inactive_events_per_sec']:12.0f}",
         f"overhead per event [us]: {result['overhead_us_per_event']:12.4f}",
+        f"telemetry  [events/s]  : {result['telemetry_events_per_sec']:12.0f}"
+        f"  ({result['telemetry_ticks']} sampler ticks)",
+        f"telemetry overhead [us]: "
+        f"{result['telemetry_overhead_us_per_event']:12.4f}",
         f"pre-opt    [events/s]  : "
         f"{result['prechange_monitored_events_per_sec']:12.0f}",
         f"speedup vs pre-opt     : {result['speedup_vs_prechange']:11.2f}x",

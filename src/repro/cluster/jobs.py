@@ -80,6 +80,9 @@ class JobResult:
     events_executed: int = 0
     #: per-rank CUDA-profiler logs when ``cuda_profile`` was set.
     profilers: List[Any] = field(default_factory=list)
+    #: the :class:`~repro.telemetry.sampler.TelemetryHub` when the
+    #: config enabled streaming telemetry (store + sinks), else None.
+    telemetry: Optional[Any] = None
 
 
 def run_job(
@@ -137,6 +140,15 @@ def run_job(
     ipms: List[Optional[Ipm]] = [None] * ntasks
     envs: List[Optional[ProcessEnv]] = [None] * ntasks
     profilers: List[Any] = []
+    hub = None
+    if ipm_config is not None and ipm_config.telemetry.enabled:
+        from repro.telemetry.sampler import TelemetryHub
+
+        hub = TelemetryHub(
+            sim,
+            ipm_config.telemetry,
+            meta={"command": command, "ntasks": ntasks, "seed": seed},
+        )
 
     def rank_main(rank: int) -> Any:
         node = cluster.node_of_rank(rank, ranks_per_node)
@@ -162,6 +174,8 @@ def run_job(
                 blocking_calls=set(blocking),
             )
             ipms[rank] = ipm
+            if hub is not None:
+                hub.register_rank(rank, ipm, node)
             rt_h = ipm.wrap_runtime(rt)
             drv_h = ipm.wrap_driver(Driver(rt))
             # the libraries link against the *interposed* runtime — with
@@ -199,6 +213,8 @@ def run_job(
         return app(env)
 
     procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(ntasks)]
+    if hub is not None:
+        hub.start(lambda: any(p.alive for p in procs))
     sim.run()
     unfinished = [p.name for p in procs if p.alive]
     if unfinished:
@@ -215,6 +231,8 @@ def run_job(
             tasks.append(ipm.finalize(stop_time=procs[rank].finished_at))
             domains.update(ipm.domains)
         sim.run()  # settle any events finalize queued
+        if hub is not None:
+            hub.finish()
         report = JobReport(
             tasks=tasks,
             domains=domains,
@@ -230,4 +248,5 @@ def run_job(
         sim_seconds=_time.perf_counter() - t_host0,
         events_executed=sim.events_executed,
         profilers=profilers,
+        telemetry=hub,
     )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 import numpy as np
 
@@ -63,6 +63,20 @@ class Node:
             )
             for g in range(spec.gpus)
         ]
+
+    # -- telemetry rollups ----------------------------------------------
+
+    def gpu_busy_time(self, now: float) -> float:
+        """Summed compute-engine busy time of the node's GPUs at ``now``."""
+        return sum(d.compute.busy_time_at(now) for d in self.devices)
+
+    def copy_bytes_total(self) -> Dict[str, int]:
+        """Node-level copy-engine byte totals, by transfer direction."""
+        totals: Dict[str, int] = {}
+        for d in self.devices:
+            for direction, nbytes in d.copy_bytes.items():
+                totals[direction] = totals.get(direction, 0) + nbytes
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.hostname} gpus={len(self.devices)}>"

@@ -21,6 +21,16 @@ BAR = "#" * 75
 _DOMAIN_ORDER = ["MPI", "CUDA", "CUBLAS", "CUFFT"]
 
 
+def _trace_footer(tasks: List[TaskReport]) -> List[str]:
+    """``# trace : N recorded, M dropped`` when tracing was enabled."""
+    rings = [t.trace for t in tasks if t.trace is not None]
+    if not rings:
+        return []
+    recorded = sum(r.recorded for r in rings)
+    dropped = sum(r.dropped for r in rings)
+    return [f"# trace     : {recorded} recorded, {dropped} dropped"]
+
+
 def _fmt_time(t: float) -> str:
     return f"{t:10.2f}"
 
@@ -53,6 +63,7 @@ def banner_serial(task: TaskReport, top: Optional[int] = None) -> str:
         "#",
         _func_header(),
         *_func_rows(task.table.by_name(), task.wallclock, top),
+        *_trace_footer([task]),
         "#",
         BAR,
     ]
@@ -137,6 +148,7 @@ def banner_parallel(job: JobReport, top: Optional[int] = 20) -> str:
         "#",
         _func_header(),
         *_func_rows(job.merged_by_name(), wall_total, top),
+        *_trace_footer(job.tasks),
         "#",
         BAR,
     ]

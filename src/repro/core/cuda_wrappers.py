@@ -113,6 +113,8 @@ def wrap_runtime(ipm: "Ipm", rt: "Runtime") -> InterposedAPI:
     def launch_pre(args: tuple, kwargs: dict):
         assert ktt is not None
         ktt.on_pre_launch()
+        if ipm.tele is not None:
+            ipm.tele.launches += 1
         return None
 
     def launch_post(_pre: Any, args: tuple, kwargs: dict, result: Any) -> None:
@@ -214,6 +216,8 @@ def wrap_driver(ipm: "Ipm", drv: "Driver") -> InterposedAPI:
     def launch_pre(args: tuple, kwargs: dict):
         assert ktt is not None
         ktt.on_pre_launch()
+        if ipm.tele is not None:
+            ipm.tele.launches += 1
         return None
 
     def launch_post(_pre: Any, args: tuple, kwargs: dict, result: Any) -> None:

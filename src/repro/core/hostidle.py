@@ -148,6 +148,17 @@ def identify_blocking_calls(force: bool = False) -> Set[str]:
     return blocking
 
 
+def cached_blocking_set() -> Optional[Set[str]]:
+    """The identified blocking set, if the microbenchmark already ran.
+
+    Non-forcing peek for observers (the telemetry sinks record it as
+    run metadata) that must not trigger the probe runs themselves.
+    """
+    if _cached_blocking_set is None:
+        return None
+    return set(_cached_blocking_set)
+
+
 def blocking_wrapper_names(blocking_set: Set[str]) -> Set[str]:
     """Collapse direction-suffixed probe names to wrapper call names."""
     return {name.split("(")[0] for name in blocking_set}

@@ -25,6 +25,7 @@ from repro.core.ktt import KernelRecord, KernelTimingTable
 from repro.core.overhead import OverheadConfig, OverheadModel
 from repro.core.report import TaskReport
 from repro.core.sig import DEFAULT_REGION, EventSignature, cuda_exec_name
+from repro.telemetry.config import TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simt.simulator import Simulator
@@ -53,6 +54,9 @@ class IpmConfig:
     #: (repro.core.trace; IPM itself is a profiler — tracing is opt-in).
     trace_capacity: int = 0
     overhead: OverheadConfig = field(default_factory=OverheadConfig)
+    #: streaming telemetry (repro.telemetry): virtual-time sampler +
+    #: sinks.  Off by default — golden outputs stay byte-identical.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.ktt_policy not in ("on_d2h", "on_every_call"):
@@ -105,6 +109,16 @@ class Ipm:
             from repro.core.trace import TraceRing
 
             self.trace = TraceRing(self.config.trace_capacity)
+        #: optional streaming-telemetry counters (repro.telemetry);
+        #: ``None`` keeps the wrapper hot path telemetry-free.
+        self.tele = None
+        if self.config.telemetry.enabled:
+            from repro.telemetry.counters import RankCounters
+
+            self.tele = RankCounters()
+        #: host-launch -> device-kernel correlation (trace flow events).
+        self._corr_seq = 0
+        self._pending_corr: Optional[int] = None
         if blocking_calls is None and self.config.host_idle:
             from repro.core.hostidle import blocking_wrapper_names, identify_blocking_calls
 
@@ -128,6 +142,7 @@ class Ipm:
         stream_id: int,
         duration: float,
         start: Optional[float] = None,
+        corr: Optional[int] = None,
     ) -> None:
         """Record one completed GPU kernel (called by the KTT)."""
         self.update(
@@ -136,12 +151,14 @@ class Ipm:
             domain="CUDA",
         )
         self.kernel_details.append(KernelRecord(kernel, stream_id, duration))
+        if self.tele is not None:
+            self.tele.kernel_time += duration
         if self.trace is not None and start is not None:
             from repro.core.trace import TraceRecord
 
             self.trace.add(
                 TraceRecord(start, start + duration, kernel,
-                            lane=f"gpu:strm{stream_id:02d}")
+                            lane=f"gpu:strm{stream_id:02d}", corr=corr)
             )
 
     def record_host_idle(self, duration: float) -> None:
@@ -152,6 +169,28 @@ class Ipm:
             duration,
             domain="CUDA",
         )
+        if self.tele is not None:
+            self.tele.host_idle_time += duration
+
+    # -- launch correlation (trace flow events) -----------------------------
+
+    def next_launch_corr(self) -> int:
+        """Allocate a correlation id for the launch being wrapped.
+
+        Called by the kernel timing table's pre-launch hook (only when
+        tracing is on); the id is left pending so the generic wrapper
+        can stamp it onto the host-side trace record of the same call.
+        """
+        self._corr_seq += 1
+        self._pending_corr = self._corr_seq
+        return self._corr_seq
+
+    def take_launch_corr(self) -> Optional[int]:
+        """Consume the pending correlation id (None for non-launches)."""
+        corr = self._pending_corr
+        if corr is not None:
+            self._pending_corr = None
+        return corr
 
     # -- signature interning -------------------------------------------------
 
@@ -253,4 +292,5 @@ class Ipm:
             mem_gb=self.mem_gb,
             gflops=self.gflops,
             counters=counters,
+            trace=self.trace,
         )

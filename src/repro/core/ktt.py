@@ -48,6 +48,8 @@ class KttSlot:
     stream_id: int = 0
     kernel: Optional["Kernel"] = None
     occupied: bool = False
+    #: launch correlation id (trace flow events), when tracing is on.
+    corr: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,7 @@ class KernelTimingTable:
         self.kernels_timed = 0
         self._pending_start: Optional["CudaEvent"] = None
         self._pending_stream: Optional["Stream"] = None
+        self._pending_corr: Optional[int] = None
 
     # -- launch-side hooks ------------------------------------------------
 
@@ -92,6 +95,11 @@ class KernelTimingTable:
         self.rt.cudaEventRecord(ev, stream)
         self._pending_start = ev
         self._pending_stream = stream
+        # correlate the host-side launch record with the device-side
+        # kernel record (the wrapper stamps the same id on its record).
+        self._pending_corr = (
+            self.ipm.next_launch_corr() if self.ipm.trace is not None else None
+        )
 
     def on_post_launch(self, kernel: "Kernel", launch_ok: bool = True) -> None:
         """Record the stop event and occupy a table slot.
@@ -102,8 +110,10 @@ class KernelTimingTable:
         """
         start = self._pending_start
         stream = self._pending_stream
+        corr = self._pending_corr
         self._pending_start = None
         self._pending_stream = None
+        self._pending_corr = None
         if start is None:
             return
         if not launch_ok:
@@ -127,6 +137,7 @@ class KernelTimingTable:
         slot.stream_id = stream.stream_id if stream is not None else 0
         slot.kernel = kernel
         slot.occupied = True
+        slot.corr = corr
 
     # -- completion checking ------------------------------------------------
 
@@ -145,6 +156,7 @@ class KernelTimingTable:
                 self.ipm.record_kernel(
                     name, slot.stream_id, duration,
                     start=slot.start_event.timestamp,
+                    corr=slot.corr,
                 )
                 self.kernels_timed += 1
                 harvested += 1
@@ -153,6 +165,7 @@ class KernelTimingTable:
             slot.start_event = slot.stop_event = None
             slot.kernel = None
             slot.occupied = False
+            slot.corr = None
             self._free.append(slot.index)
         return harvested
 

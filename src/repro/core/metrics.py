@@ -40,6 +40,8 @@ def gpu_utilization(job: JobReport) -> float:
     """GPU kernel execution time as a fraction of wallclock, averaged
     over tasks (Amber: "quite high GPU utilization (35.96% of total
     wallclock execution time)")."""
+    if not job.tasks:
+        return 0.0
     fractions = [
         t.gpu_exec_time() / t.wallclock if t.wallclock else 0.0 for t in job.tasks
     ]
@@ -48,6 +50,8 @@ def gpu_utilization(job: JobReport) -> float:
 
 def host_idle_percent(job: JobReport) -> float:
     """``@CUDA_HOST_IDLE`` as a fraction of wallclock (Amber: 0.08%)."""
+    if not job.tasks:
+        return 0.0
     fractions = [
         t.host_idle_time() / t.wallclock if t.wallclock else 0.0 for t in job.tasks
     ]

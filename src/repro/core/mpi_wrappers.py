@@ -44,6 +44,24 @@ def wrap_mpi(ipm: "Ipm", comm: "RankComm") -> InterposedAPI:
             ipm.region_exit()
         return None
 
+    # streaming telemetry: payload bytes by direction (sent for sends
+    # and collectives, received from completion statuses), folded into
+    # the per-rank counters the virtual-time sampler reads.
+    tele = ipm.tele
+
+    def _sent_post(_pre: Any, args: tuple, kwargs: dict, result: Any) -> None:
+        _, nbytes = _send_refine(args, kwargs, result)
+        if nbytes:
+            tele.mpi_sent_bytes += nbytes
+
+    def _recv_post(refine):
+        def post(_pre: Any, args: tuple, kwargs: dict, result: Any) -> None:
+            _, nbytes = refine(args, kwargs, result)
+            if nbytes:
+                tele.mpi_recv_bytes += nbytes
+
+        return post
+
     hooks: Dict[str, WrapperHooks] = {
         "MPI_Pcontrol": WrapperHooks(pre=pcontrol_pre),
     }
@@ -51,10 +69,19 @@ def wrap_mpi(ipm: "Ipm", comm: "RankComm") -> InterposedAPI:
         if not spec.has_bytes:
             continue
         if spec.name in ("MPI_Recv", "MPI_Sendrecv"):
-            hooks[spec.name] = WrapperHooks(refine=_recv_refine)
+            hooks[spec.name] = WrapperHooks(
+                refine=_recv_refine,
+                post=_recv_post(_recv_refine) if tele is not None else None,
+            )
         else:
-            hooks[spec.name] = WrapperHooks(refine=_send_refine)
-    hooks["MPI_Wait"] = WrapperHooks(refine=_wait_refine)
+            hooks[spec.name] = WrapperHooks(
+                refine=_send_refine,
+                post=_sent_post if tele is not None else None,
+            )
+    hooks["MPI_Wait"] = WrapperHooks(
+        refine=_wait_refine,
+        post=_recv_post(_wait_refine) if tele is not None else None,
+    )
     return generate_wrappers(
         ipm,
         comm,

@@ -9,11 +9,14 @@ XML log, HTML page and CUBE export are rendered from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.hashtable import CallStats, PerfHashTable
 from repro.core.ktt import KernelRecord
 from repro.core.sig import CUDA_EXEC_PREFIX, CUDA_HOST_IDLE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.trace import TraceRing
 
 
 @dataclass
@@ -34,6 +37,10 @@ class TaskReport:
     gflops: float = 0.0
     #: GPU hardware-counter totals (Component-PAPI extension, §VI).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: the rank's chronological trace ring, when tracing was enabled
+    #: (``IpmConfig.trace_capacity > 0``); feeds the banner's trace
+    #: footer and the Chrome-trace exporter.
+    trace: Optional["TraceRing"] = None
 
     @property
     def wallclock(self) -> float:

@@ -30,6 +30,11 @@ class TraceRecord:
     #: "host" or "gpu:<stream>"
     lane: str = "host"
     nbytes: Optional[int] = None
+    #: correlation id pairing a host-side launch record with the
+    #: device-side execution record of the same kernel (set by the
+    #: kernel timing table; consumed by the Chrome-trace exporter's
+    #: flow events).
+    corr: Optional[int] = None
 
     @property
     def duration(self) -> float:

@@ -119,6 +119,9 @@ def _make_wrapper(
     sim = ipm.sim
     table = ipm.table
     overhead = ipm.overhead
+    #: streaming-telemetry counters; None keeps the hot path untouched
+    #: (bound at wrapper-creation time, like the other monitor state).
+    tele = ipm.tele
     #: interned signatures: (suffix, region, nbytes) → (sig, slot hint).
     #: Steady-state calls reuse one EventSignature object and update its
     #: hash-table entry through the hinted single-check path instead of
@@ -153,10 +156,15 @@ def _make_wrapper(
             sig = EventSignature(name + suffix, ipm.current_region, nbytes)
             ipm.update(sig, end - begin, domain=domain)
             sig_cache[key] = (sig, table.locate(sig))
+        if tele is not None:
+            tele.on_event(domain, end - begin, suffix, nbytes)
         if ipm.trace is not None:
             from repro.core.trace import TraceRecord
 
-            ipm.trace.add(TraceRecord(begin, end, sig.name, "host", nbytes))
+            ipm.trace.add(
+                TraceRecord(begin, end, sig.name, "host", nbytes,
+                            ipm.take_launch_corr())
+            )
         overhead.charge_exit()
         return result
 

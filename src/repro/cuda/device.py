@@ -50,6 +50,9 @@ class Device:
             "d2d": FifoServer(sim, f"gpu{device_id}.d2d"),
         }
         self.memset_engine = FifoServer(sim, f"gpu{device_id}.memset")
+        #: bytes moved per transfer direction (copy-engine activity;
+        #: read by the telemetry sampler as bytes/s by direction).
+        self.copy_bytes: Dict[str, int] = {"h2d": 0, "d2h": 0, "d2d": 0, "h2h": 0}
         #: serializes context creation (driver-level lock).
         self.context_init_lock = FifoServer(sim, f"gpu{device_id}.ctxinit")
         self.contexts_created = 0

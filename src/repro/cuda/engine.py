@@ -18,7 +18,7 @@ contention without any special-case code.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Set, TYPE_CHECKING
+from typing import Deque, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cuda.costmodel import DeviceSpec
@@ -43,6 +43,10 @@ class ComputeEngine:
         #: sum of kernel execution durations (for utilization metrics).
         self.kernel_time = 0.0
         self.kernels_executed = 0
+        #: wall-clock time with ≥1 kernel resident (concurrent kernels
+        #: count once) — the "GPU busy" the telemetry sampler reports.
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
 
     def submit(self, op: "KernelOp") -> None:
         self._pending.append(op)
@@ -58,6 +62,8 @@ class ComputeEngine:
     def _try_start(self) -> None:
         while self._pending and self._fits(self._pending[0]):
             op = self._pending.popleft()
+            if not self._running:
+                self._busy_since = self.sim.now
             self._running.add(op)
             self._occ_used += op.kernel.occupancy
             start = self.sim.now
@@ -70,8 +76,18 @@ class ComputeEngine:
             self._occ_used = 0.0
         self.kernel_time += op.duration
         self.kernels_executed += 1
+        if not self._running and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
         op.on_executed(start, self.sim.now)
         self._try_start()
+
+    def busy_time_at(self, now: float) -> float:
+        """Busy time accumulated up to ``now``, including the open
+        interval of a kernel still running."""
+        if self._busy_since is not None:
+            return self.busy_time + (now - self._busy_since)
+        return self.busy_time
 
     @property
     def running_count(self) -> int:

@@ -120,7 +120,10 @@ class MemcpyOp(StreamOp):
 
     def start(self) -> None:
         self._mark_ready()
-        engine = self.ctx.device.copy_engine(self.direction)
+        device = self.ctx.device
+        counters = device.copy_bytes
+        counters[self.direction] = counters.get(self.direction, 0) + self.nbytes
+        engine = device.copy_engine(self.direction)
         engine.serve(self.duration).add_callback(self._on_served)
 
     def _on_served(self, span: Any) -> None:

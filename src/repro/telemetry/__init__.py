@@ -1,0 +1,61 @@
+"""Streaming telemetry: live time series and shareable timeline traces.
+
+IPM's reports are *post-mortem* — banner/XML/CUBE after the job ends.
+This package adds the live view modern GPU-fleet practice expects, on
+top of the same interposition machinery:
+
+* a **virtual-time sampler** (:mod:`repro.telemetry.sampler`) — a
+  recurring simulation event that snapshots per-rank, per-GPU and
+  per-node counters into a bounded :class:`TimeSeriesStore`;
+* **pluggable sinks** (:mod:`repro.telemetry.sinks`) — in-memory ring,
+  JSONL file, and OpenMetrics/Prometheus text exposition;
+* a **Chrome Trace Event exporter**
+  (:mod:`repro.telemetry.chrome_trace`) — converts the per-rank trace
+  rings + kernel timings + sampled counters into a Perfetto-loadable
+  ``trace.json``, with flow arrows linking each host-side launch to
+  its device-side kernel execution.  Also available as a CLI:
+  ``python -m repro.telemetry.trace2json``.
+
+Everything is **off by default**: with
+``IpmConfig.telemetry.enabled = False`` (and ``trace_capacity = 0``)
+no event is scheduled, no counter is touched, and all golden outputs
+stay byte-identical.
+
+The modules in this package import nothing from :mod:`repro.core` at
+module level — :mod:`repro.core.ipm` imports the config from here, so
+the dependency must stay one-way at import time.
+"""
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.counters import RankCounters
+from repro.telemetry.series import SamplePoint, TimeSeries, TimeSeriesStore
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    OpenMetricsSink,
+    TelemetrySink,
+    make_sinks,
+)
+from repro.telemetry.sampler import TelemetryHub
+from repro.telemetry.chrome_trace import (
+    job_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "RankCounters",
+    "SamplePoint",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "TelemetrySink",
+    "MemorySink",
+    "JsonlSink",
+    "OpenMetricsSink",
+    "make_sinks",
+    "TelemetryHub",
+    "job_to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

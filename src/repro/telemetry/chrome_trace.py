@@ -1,0 +1,286 @@
+"""Chrome Trace Event export (Perfetto / ``chrome://tracing`` loadable).
+
+Converts a finished job's per-rank trace rings, kernel timings and
+sampled counter series into the Trace Event JSON format:
+
+* one **process lane per rank** (``pid`` = rank) named after the rank
+  and its host;
+* one **thread lane per CUDA stream** plus a host lane per rank
+  (host ``tid`` 0, stream *s* at ``tid`` ``1 + s``);
+* **flow events** (``ph: "s"`` / ``"f"``) linking each host-side
+  ``cudaLaunch``/``cuLaunch*`` slice to the device-side execution of
+  the kernel it launched, via the correlation ids the kernel timing
+  table stamps on trace records;
+* **counter tracks** (``ph: "C"``) from the sampler's time-series
+  store — rank-labelled series on the rank's process, GPU/node series
+  on synthetic processes.
+
+Timestamps are microseconds, as the format requires.  The export is a
+pure function of the report + store, so seeded runs export
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.report import JobReport
+    from repro.telemetry.series import TimeSeriesStore
+
+SCHEMA = "ipm-repro/chrome-trace/v1"
+
+#: seconds -> Trace Event microseconds.
+_US = 1e6
+
+#: synthetic pids for non-rank counter tracks (ranks use pid = rank).
+GPU_PID_BASE = 900000
+NODE_PID_BASE = 950000
+
+#: flow ids must be unique across the whole trace; rank-local
+#: correlation ids are spread out by rank.
+_FLOW_STRIDE = 10_000_000
+
+
+def _us(t: float) -> float:
+    return round(t * _US, 3)
+
+
+def _meta(pid: int, name: str, value: str, tid: int = 0) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "ts": 0.0,
+        "args": {"name": value},
+    }
+
+
+def _lane_tid(lane: str) -> int:
+    """host -> 0; "gpu:strmNN" -> 1 + NN (unknown lanes get a high tid)."""
+    if lane == "host":
+        return 0
+    if lane.startswith("gpu:strm"):
+        try:
+            return 1 + int(lane[len("gpu:strm"):])
+        except ValueError:
+            pass
+    return 999
+
+
+def job_to_chrome_trace(
+    job: "JobReport",
+    store: Optional["TimeSeriesStore"] = None,
+    *,
+    include_counters: bool = True,
+) -> Dict[str, Any]:
+    """Build the Trace Event dict for a finished job.
+
+    Requires the job to have been run with ``trace_capacity > 0`` for
+    timeline slices; counter tracks additionally need the sampler's
+    ``store``.  Both degrade gracefully to an events-only /
+    counters-only trace.
+    """
+    events: List[Dict[str, Any]] = []
+    #: (pid, corr) -> ts of the flow endpoint, host side / device side.
+    flow_host: Dict[tuple, Dict[str, Any]] = {}
+    flow_dev: Dict[tuple, Dict[str, Any]] = {}
+
+    for task in job.tasks:
+        pid = task.rank
+        events.append(
+            _meta(pid, "process_name", f"rank {task.rank} ({task.hostname})")
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0.0,
+                "args": {"sort_index": task.rank},
+            }
+        )
+        trace = getattr(task, "trace", None)
+        if trace is None:
+            continue
+        records = trace.records()
+        for lane in sorted({r.lane for r in records}):
+            events.append(_meta(pid, "thread_name", lane, tid=_lane_tid(lane)))
+        for r in records:
+            tid = _lane_tid(r.lane)
+            ev: Dict[str, Any] = {
+                "ph": "X",
+                "name": r.name,
+                "cat": "host" if r.lane == "host" else "gpu",
+                "pid": pid,
+                "tid": tid,
+                "ts": _us(r.begin),
+                "dur": _us(max(r.duration, 0.0)),
+            }
+            if r.nbytes is not None:
+                ev["args"] = {"nbytes": r.nbytes}
+            events.append(ev)
+            corr = getattr(r, "corr", None)
+            if corr is not None:
+                endpoint = {"pid": pid, "tid": tid, "ts": _us(r.begin)}
+                if r.lane == "host":
+                    flow_host[(pid, corr)] = endpoint
+                else:
+                    flow_dev[(pid, corr)] = endpoint
+
+    # flow arrows: only fully-matched launch -> execution pairs.
+    for key in sorted(flow_host.keys() & flow_dev.keys()):
+        pid, corr = key
+        flow_id = pid * _FLOW_STRIDE + corr
+        src, dst = flow_host[key], flow_dev[key]
+        events.append(
+            {
+                "ph": "s",
+                "id": flow_id,
+                "name": "launch",
+                "cat": "launch",
+                "pid": src["pid"],
+                "tid": src["tid"],
+                "ts": src["ts"],
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "name": "launch",
+                "cat": "launch",
+                "pid": dst["pid"],
+                "tid": dst["tid"],
+                "ts": dst["ts"],
+            }
+        )
+
+    if include_counters and store is not None:
+        events.extend(_counter_events(store))
+
+    # the format wants ts-sorted events; metadata first among ties.
+    events.sort(
+        key=lambda e: (e["ts"], 0 if e["ph"] == "M" else 1, e["pid"], e["tid"])
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA,
+            "command": job.command,
+            "ranks": job.ntasks,
+            "hosts": job.hosts(),
+        },
+    }
+
+
+def _counter_events(store: "TimeSeriesStore") -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, str] = {}
+    node_ids: Dict[str, int] = {}
+    for series in store.series():
+        labels = dict(series.labels)
+        if "rank" in labels:
+            pid = int(labels["rank"])
+        elif "gpu" in labels:
+            pid = GPU_PID_BASE + int(labels["gpu"])
+            seen_pids.setdefault(pid, f"gpu {labels['gpu']}")
+        elif "node" in labels:
+            host = labels["node"]
+            pid = NODE_PID_BASE + node_ids.setdefault(host, len(node_ids))
+            seen_pids.setdefault(pid, f"node {host}")
+        else:
+            pid = NODE_PID_BASE - 1
+            seen_pids.setdefault(pid, "cluster")
+        for t, v in series.points:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": series.name,
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _us(t),
+                    "args": {"value": v},
+                }
+            )
+    for pid, name in seen_pids.items():
+        events.append(_meta(pid, "process_name", name))
+    return events
+
+
+def write_chrome_trace(
+    job: "JobReport",
+    path: str,
+    store: Optional["TimeSeriesStore"] = None,
+    *,
+    indent: Optional[int] = None,
+) -> str:
+    """Export ``job`` to ``path`` as ``trace.json``; returns the path."""
+    trace = job_to_chrome_trace(job, store)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, sort_keys=True, indent=indent,
+                  separators=None if indent else (",", ":"))
+        fh.write("\n")
+    return path
+
+
+#: event types the validator accepts (the subset we emit).
+_KNOWN_PHASES = {"X", "M", "C", "s", "f"}
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Structural validation of an exported trace; returns problems.
+
+    Checks the fields Perfetto's importer relies on: required
+    ``ph``/``ts``/``pid``/``tid`` on every event, non-negative ``dur``
+    on slices, globally monotone ``ts`` ordering, and 1:1-matched flow
+    ``s``/``f`` pairs with ``s`` preceding ``f``.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    last_ts = None
+    starts: Dict[Any, float] = {}
+    finishes: Dict[Any, float] = {}
+    for i, ev in enumerate(events):
+        for field in ("ph", "ts", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i}: missing {field!r}")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown ph {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i}: ts {ts} < previous {last_ts}")
+        last_ts = ts
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                problems.append(f"event {i}: X without valid dur")
+            if not ev.get("name"):
+                problems.append(f"event {i}: X without name")
+        elif ph == "s":
+            if ev.get("id") in starts:
+                problems.append(f"event {i}: duplicate flow start {ev.get('id')}")
+            starts[ev.get("id")] = ts
+        elif ph == "f":
+            if ev.get("id") in finishes:
+                problems.append(f"event {i}: duplicate flow finish {ev.get('id')}")
+            finishes[ev.get("id")] = ts
+    for fid, ts in starts.items():
+        if fid not in finishes:
+            problems.append(f"flow {fid}: start without finish")
+        elif finishes[fid] < ts:
+            problems.append(f"flow {fid}: finish before start")
+    for fid in finishes:
+        if fid not in starts:
+            problems.append(f"flow {fid}: finish without start")
+    return problems

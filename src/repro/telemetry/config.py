@@ -1,0 +1,54 @@
+"""Telemetry configuration (referenced from :class:`repro.core.ipm.IpmConfig`).
+
+Kept import-light on purpose: :mod:`repro.core.ipm` imports this
+module at import time, so it must not pull in anything from
+:mod:`repro.core` (directly or transitively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: sink names :func:`repro.telemetry.sinks.make_sinks` understands.
+KNOWN_SINKS = ("memory", "jsonl", "openmetrics")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Streaming-telemetry feature flags and sizes.
+
+    Off by default: with ``enabled=False`` nothing is sampled, no sink
+    is created, and the monitoring hot path stays untouched.
+    """
+
+    enabled: bool = False
+    #: sampling cadence in *virtual* seconds (the paper-era default of
+    #: 10 ms matches one DCGM-style scrape per simulated centisecond).
+    interval: float = 0.010
+    #: max points retained per series in the in-process store.
+    retention: int = 4096
+    #: which sinks receive every sample batch.
+    sinks: Tuple[str, ...] = ("memory",)
+    #: capacity of the in-memory ring sink, in sample points.
+    memory_capacity: int = 65536
+    #: output path of the JSONL sink (``None`` keeps lines in memory).
+    jsonl_path: Optional[str] = None
+    #: output path of the OpenMetrics sink (``None`` keeps it in
+    #: memory; read it back via :meth:`OpenMetricsSink.expose`).
+    openmetrics_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"telemetry interval must be positive: {self.interval}")
+        if self.retention <= 0:
+            raise ValueError(f"telemetry retention must be positive: {self.retention}")
+        if self.memory_capacity <= 0:
+            raise ValueError(
+                f"telemetry memory_capacity must be positive: {self.memory_capacity}"
+            )
+        unknown = [s for s in self.sinks if s not in KNOWN_SINKS]
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry sinks {unknown!r}; known: {list(KNOWN_SINKS)}"
+            )

@@ -1,0 +1,75 @@
+"""Per-rank hot-path counters behind the sampler.
+
+One :class:`RankCounters` hangs off each :class:`repro.core.ipm.Ipm`
+when telemetry is enabled (``ipm.tele``); the interposition wrappers
+fold every monitored event into it with one extra call, and the
+sampler turns the monotonically-growing totals into rates by taking
+deltas between ticks.
+
+The counters are deliberately dumb — plain attributes and dicts, no
+locking (ranks are simulated processes under a strict-handoff
+scheduler, so there is no real concurrency), no time stamps (the
+sampler owns the clock).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: memcpy direction suffixes (as produced by the signature refiners)
+#: that are broken out into per-direction byte counters.
+_DIRECTIONS = ("H2D", "D2H", "D2D", "H2H")
+
+
+class RankCounters:
+    """Monotonic event totals for one monitored rank."""
+
+    __slots__ = (
+        "events",
+        "domain_time",
+        "domain_bytes",
+        "copy_bytes",
+        "host_idle_time",
+        "kernel_time",
+        "launches",
+        "mpi_sent_bytes",
+        "mpi_recv_bytes",
+    )
+
+    def __init__(self) -> None:
+        #: monitored events (wrapped calls) observed so far.
+        self.events = 0
+        #: time spent inside wrapped calls, by domain (MPI/CUDA/...).
+        self.domain_time: Dict[str, float] = {}
+        #: bytes carried by refined signatures, by domain.
+        self.domain_bytes: Dict[str, int] = {}
+        #: memcpy bytes by direction (from the "(H2D)"-style suffixes).
+        self.copy_bytes: Dict[str, int] = {d: 0 for d in _DIRECTIONS}
+        #: ``@CUDA_HOST_IDLE`` time recorded so far.
+        self.host_idle_time = 0.0
+        #: device-side kernel execution time recorded so far.
+        self.kernel_time = 0.0
+        #: monitored kernel launches.
+        self.launches = 0
+        #: MPI payload bytes sent / received.
+        self.mpi_sent_bytes = 0
+        self.mpi_recv_bytes = 0
+
+    def on_event(
+        self,
+        domain: str,
+        duration: float,
+        suffix: str = "",
+        nbytes: Optional[int] = None,
+    ) -> None:
+        """Fold one wrapped call into the totals (the wrapper hot path)."""
+        self.events += 1
+        times = self.domain_time
+        times[domain] = times.get(domain, 0.0) + duration
+        if nbytes:
+            sizes = self.domain_bytes
+            sizes[domain] = sizes.get(domain, 0) + nbytes
+            if suffix:
+                direction = suffix[1:-1]  # "(H2D)" -> "H2D"
+                if direction in self.copy_bytes:
+                    self.copy_bytes[direction] += nbytes

@@ -1,0 +1,304 @@
+"""The virtual-time sampler: a recurring simulation event.
+
+:class:`TelemetryHub` owns one telemetry session: the series store,
+the sinks, and the sampling loop.  Every ``interval`` seconds of
+*virtual* time it snapshots
+
+* per-rank counters from each registered ``Ipm`` (monitored-event
+  rate, MPI time fraction, per-rank GPU busy fraction,
+  ``@CUDA_HOST_IDLE`` fraction, memcpy bytes/s by direction,
+  hash-table occupancy and collisions);
+* per-GPU engine activity from each registered device (compute-engine
+  busy fraction, kernel retirement rate, copy-engine bytes/s by
+  direction);
+* per-node rollups aggregating the rank series of co-located ranks
+  and the node's devices.
+
+Monotonic totals become rates by delta against the previous tick.
+
+Scheduling protocol: the tick reschedules itself only while (a) the
+``keep_running`` predicate holds (the job runner passes "any rank
+still alive") and (b) the event heap holds at least one other event.
+Condition (b) is what preserves the simulator's deadlock detection —
+without it a perpetual sampler event would keep ``Simulator.run``
+spinning forever on a deadlocked job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.series import SamplePoint, TimeSeriesStore
+from repro.telemetry.sinks import TelemetrySink, make_sinks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ipm import Ipm
+    from repro.cluster.node import Node
+    from repro.simt.simulator import Simulator
+
+#: tick priority — large, so a tick observes every same-timestamp
+#: event's effects (lower priorities run first).
+TICK_PRIORITY = 1_000_000
+
+#: JSONL/OpenMetrics metadata schema tag.
+META_SCHEMA = "ipm-repro/telemetry/v1"
+
+
+class TelemetryHub:
+    """One telemetry session: store + sinks + the sampling loop."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        config: Optional[TelemetryConfig] = None,
+        meta: Optional[Dict] = None,
+        sinks: Optional[Sequence[TelemetrySink]] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or TelemetryConfig(enabled=True)
+        self.store = TimeSeriesStore(retention=self.config.retention)
+        self.sinks: List[TelemetrySink] = (
+            list(sinks) if sinks is not None else make_sinks(self.config)
+        )
+        self.meta: Dict = {"schema": META_SCHEMA, "interval": self.config.interval}
+        if meta:
+            self.meta.update(meta)
+        #: (rank, ipm, node-or-None) registrations, in rank order.
+        self._ranks: List[tuple] = []
+        #: device_id -> device, discovered from registered nodes.
+        self._devices: Dict[int, Any] = {}
+        #: hostname -> node, for the rollups.
+        self._nodes: Dict[str, Any] = {}
+        self._prev: Dict[tuple, float] = {}
+        self._last_t: Optional[float] = None
+        self._keep_running: Optional[Callable[[], bool]] = None
+        self._opened = False
+        self._finished = False
+        self.ticks = 0
+
+    # -- registration ---------------------------------------------------
+
+    def register_rank(
+        self, rank: int, ipm: "Ipm", node: Optional["Node"] = None
+    ) -> None:
+        """Register one monitored rank (and its node's GPUs, if given)."""
+        self._ranks.append((rank, ipm, node))
+        if node is not None:
+            self.register_node(node)
+
+    def register_node(self, node: "Node") -> None:
+        self._nodes.setdefault(node.hostname, node)
+        for dev in node.devices:
+            self._devices.setdefault(dev.device_id, dev)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if not self._opened:
+            self._opened = True
+            meta = dict(self.meta)
+            try:  # record the §III-C blocking set if it has been identified
+                from repro.core.hostidle import cached_blocking_set
+
+                blocking = cached_blocking_set()
+                if blocking is not None:
+                    meta["blocking_calls"] = sorted(blocking)
+            except ImportError:  # pragma: no cover - core always present
+                pass
+            for sink in self.sinks:
+                sink.open(meta)
+
+    def start(self, keep_running: Optional[Callable[[], bool]] = None) -> None:
+        """Open the sinks and schedule the first tick."""
+        self._ensure_open()
+        self._keep_running = keep_running
+        self._last_t = self.sim.now
+        self.sim.schedule(
+            self.config.interval, self._tick, priority=TICK_PRIORITY
+        )
+
+    def _tick(self) -> None:
+        self.sample_now()
+        # Reschedule only while the job is live AND other events exist:
+        # an otherwise-empty heap means completion or deadlock, and in
+        # both cases the sampler must let the run loop terminate.
+        alive = self._keep_running is None or self._keep_running()
+        if alive and bool(self.sim.heap):
+            self.sim.schedule(
+                self.config.interval, self._tick, priority=TICK_PRIORITY
+            )
+
+    def sample_now(self, t: Optional[float] = None) -> List[SamplePoint]:
+        """Take one sample at time ``t`` (default: the virtual now).
+
+        Public so callers without a running simulation (benchmarks,
+        interactive use) can drive the sampler by hand.
+        """
+        self._ensure_open()
+        if t is None:
+            t = self.sim.now
+        if self._last_t is None:
+            self._last_t = t
+        dt = t - self._last_t
+        self._last_t = t
+        points = self._collect(t, dt)
+        for p in points:
+            self.store.record(p.t, p.name, p.labels, p.value)
+        for sink in self.sinks:
+            sink.emit(t, points)
+        self.ticks += 1
+        return points
+
+    def finish(self) -> None:
+        """Take a closing sample (if time advanced) and close the sinks."""
+        if self._finished:
+            return
+        self._finished = True
+        self._ensure_open()
+        if self._last_t is None or self.sim.now > self._last_t:
+            self.sample_now()
+        for sink in self.sinks:
+            sink.close()
+
+    # -- collection -----------------------------------------------------
+
+    def _rate(self, key: tuple, current: float, dt: float) -> float:
+        """Turn a monotonic total into a per-second rate via deltas."""
+        prev = self._prev.get(key, 0.0)
+        self._prev[key] = current
+        return (current - prev) / dt if dt > 0 else 0.0
+
+    def _collect(self, t: float, dt: float) -> List[SamplePoint]:
+        points: List[SamplePoint] = []
+
+        def add(name: str, labels: Dict[str, object], value: float) -> None:
+            points.append(
+                SamplePoint(
+                    t,
+                    name,
+                    tuple(sorted((k, str(v)) for k, v in labels.items())),
+                    float(value),
+                )
+            )
+
+        # per-rank series -------------------------------------------------
+        rank_rates: Dict[int, Dict[str, float]] = {}
+        for rank, ipm, _node in self._ranks:
+            lbl = {"rank": rank}
+            rates: Dict[str, float] = {}
+            tele = ipm.tele
+            if tele is not None:
+                rates["events_per_sec"] = self._rate(
+                    ("rk.ev", rank), float(tele.events), dt
+                )
+                rates["mpi_fraction"] = self._rate(
+                    ("rk.mpi", rank), tele.domain_time.get("MPI", 0.0), dt
+                )
+                rates["gpu_busy_fraction"] = self._rate(
+                    ("rk.kern", rank), tele.kernel_time, dt
+                )
+                rates["host_idle_fraction"] = self._rate(
+                    ("rk.idle", rank), tele.host_idle_time, dt
+                )
+                add("ipm_events_per_sec", lbl, rates["events_per_sec"])
+                add("ipm_mpi_fraction", lbl, rates["mpi_fraction"])
+                add("ipm_gpu_busy_fraction", lbl, rates["gpu_busy_fraction"])
+                add("ipm_host_idle_fraction", lbl, rates["host_idle_fraction"])
+                add(
+                    "ipm_copy_h2d_bytes_per_sec",
+                    lbl,
+                    self._rate(("rk.h2d", rank), float(tele.copy_bytes["H2D"]), dt),
+                )
+                add(
+                    "ipm_copy_d2h_bytes_per_sec",
+                    lbl,
+                    self._rate(("rk.d2h", rank), float(tele.copy_bytes["D2H"]), dt),
+                )
+                add(
+                    "ipm_launches_per_sec",
+                    lbl,
+                    self._rate(("rk.lnch", rank), float(tele.launches), dt),
+                )
+            table = ipm.table
+            add("ipm_hash_occupancy", lbl, table.entries / table.capacity)
+            add("ipm_hash_collisions_total", lbl, float(table.collisions))
+            rank_rates[rank] = rates
+
+        # per-GPU series --------------------------------------------------
+        gpu_busy: Dict[int, float] = {}
+        for dev_id in sorted(self._devices):
+            dev = self._devices[dev_id]
+            lbl = {"gpu": dev_id}
+            busy = self._rate(
+                ("gpu.busy", dev_id), dev.compute.busy_time_at(t), dt
+            )
+            gpu_busy[dev_id] = busy
+            add("gpu_busy_fraction", lbl, busy)
+            add(
+                "gpu_kernels_per_sec",
+                lbl,
+                self._rate(
+                    ("gpu.kern", dev_id), float(dev.compute.kernels_executed), dt
+                ),
+            )
+            add(
+                "gpu_copy_h2d_bytes_per_sec",
+                lbl,
+                self._rate(
+                    ("gpu.h2d", dev_id), float(dev.copy_bytes.get("h2d", 0)), dt
+                ),
+            )
+            add(
+                "gpu_copy_d2h_bytes_per_sec",
+                lbl,
+                self._rate(
+                    ("gpu.d2h", dev_id), float(dev.copy_bytes.get("d2h", 0)), dt
+                ),
+            )
+
+        # per-node rollups -------------------------------------------------
+        for hostname in sorted(self._nodes):
+            node = self._nodes[hostname]
+            lbl = {"node": hostname}
+            node_devs = [d.device_id for d in node.devices]
+            if node_devs:
+                add(
+                    "node_gpu_busy_fraction",
+                    lbl,
+                    sum(gpu_busy.get(d, 0.0) for d in node_devs) / len(node_devs),
+                )
+            node_ranks = [
+                rank
+                for rank, _ipm, n in self._ranks
+                if n is not None and n.hostname == hostname
+            ]
+            member_rates = [rank_rates[r] for r in node_ranks if rank_rates.get(r)]
+            if member_rates:
+                add(
+                    "node_events_per_sec",
+                    lbl,
+                    sum(r["events_per_sec"] for r in member_rates),
+                )
+                add(
+                    "node_mpi_fraction",
+                    lbl,
+                    sum(r["mpi_fraction"] for r in member_rates)
+                    / len(member_rates),
+                )
+                add(
+                    "node_host_idle_fraction",
+                    lbl,
+                    sum(r["host_idle_fraction"] for r in member_rates)
+                    / len(member_rates),
+                )
+        return points
+
+    # -- convenience ----------------------------------------------------
+
+    def sink(self, name: str) -> Optional[TelemetrySink]:
+        """The first sink of a given registered name, if present."""
+        for s in self.sinks:
+            if getattr(s, "name", None) == name:
+                return s
+        return None

@@ -36,6 +36,10 @@ def test_overhead_bench_smoke(tmp_path):
     assert result["prechange_monitored_events_per_sec"] > 0
     # one plain + four byte-bucketed refined signatures
     assert result["distinct_signatures"] == 5
+    # the telemetry-enabled pass must run and actually tick the sampler
+    assert result["telemetry_events_per_sec"] > 0
+    assert result["telemetry_ticks"] >= 1
+    assert result["telemetry_overhead_us_per_event"] > 0
 
     out = tmp_path / "BENCH_overhead.json"
     bench.write_result(result, str(out))

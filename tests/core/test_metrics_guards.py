@@ -1,0 +1,28 @@
+"""Degenerate-input guards on the derived metrics.
+
+A job report with zero tasks (every rank filtered out, or a report
+assembled from an empty selection) used to crash ``gpu_utilization``
+and ``host_idle_percent`` with ZeroDivisionError.
+"""
+
+from repro.core.hashtable import PerfHashTable
+from repro.core.metrics import gpu_utilization, host_idle_percent
+from repro.core.report import JobReport, TaskReport
+
+
+def test_zero_task_job_yields_zero_not_crash():
+    # JobReport refuses to be *constructed* empty, but filtering can
+    # drain the task list afterwards — the metrics must not divide by it
+    task = TaskReport(
+        rank=0,
+        nranks=1,
+        hostname="dirac01",
+        command="./a.out",
+        start_time=0.0,
+        stop_time=1.0,
+        table=PerfHashTable(),
+    )
+    job = JobReport(tasks=[task], domains={})
+    job.tasks.clear()
+    assert gpu_utilization(job) == 0.0
+    assert host_idle_percent(job) == 0.0

@@ -1,0 +1,110 @@
+"""Chrome-trace exporter: schema validity, flows, and determinism."""
+
+import json
+
+from repro.telemetry.chrome_trace import (
+    job_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.trace2json import run_traced_job
+
+
+def _trace(result):
+    return job_to_chrome_trace(result.report, result.telemetry.store)
+
+
+def test_exported_trace_passes_schema_validation():
+    result = run_traced_job("square", 2, seed=5)
+    trace = _trace(result)
+    assert validate_chrome_trace(trace) == []
+    events = trace["traceEvents"]
+    assert any(e["ph"] == "X" for e in events)
+    assert any(e["ph"] == "C" for e in events)
+    assert trace["otherData"]["ranks"] == 2
+
+
+def test_flow_events_pair_launches_with_kernels():
+    result = run_traced_job("square", 1, seed=5)
+    events = _trace(result)["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) >= 1
+    assert len(starts) == len(finishes)
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    fin_by_id = {e["id"]: e for e in finishes}
+    for s in starts:
+        f = fin_by_id[s["id"]]
+        # host-side launch precedes (or coincides with) device execution,
+        # which lives on a stream lane of the same rank process
+        assert s["ts"] <= f["ts"]
+        assert s["tid"] == 0
+        assert f["tid"] >= 1
+        assert s["pid"] == f["pid"]
+
+
+def test_lanes_one_process_per_rank_one_thread_per_stream():
+    result = run_traced_job("square", 2, seed=5)
+    events = _trace(result)["traceEvents"]
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name" and e["pid"] < 900000
+    }
+    assert set(process_names) == {0, 1}
+    assert all(name.startswith("rank ") for name in process_names.values())
+    for pid in (0, 1):
+        tids = {
+            e["tid"]
+            for e in events
+            if e["ph"] == "X" and e["pid"] == pid
+        }
+        assert 0 in tids  # host lane
+        assert any(t >= 1 for t in tids)  # at least one stream lane
+
+
+def test_export_is_deterministic_across_runs(tmp_path):
+    a = run_traced_job("square", 2, seed=7)
+    b = run_traced_job("square", 2, seed=7)
+    ja = json.dumps(_trace(a), sort_keys=True)
+    jb = json.dumps(_trace(b), sort_keys=True)
+    assert ja == jb
+    pa = write_chrome_trace(a.report, str(tmp_path / "a.json"), a.telemetry.store)
+    pb = write_chrome_trace(b.report, str(tmp_path / "b.json"), b.telemetry.store)
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+    assert json.loads((tmp_path / "a.json").read_text())["traceEvents"]
+    assert pa != pb
+
+
+def test_validator_flags_malformed_traces():
+    assert validate_chrome_trace({}) == ["traceEvents missing or empty"]
+    bad = {
+        "traceEvents": [
+            {"ph": "X", "ts": 2.0, "pid": 0, "tid": 0},  # no dur, no name
+            {"ph": "s", "id": 7, "ts": 1.0, "pid": 0, "tid": 0},  # regress
+            {"ph": "??", "ts": 3.0, "pid": 0},  # unknown phase, no tid
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("without valid dur" in p for p in problems)
+    assert any("without name" in p for p in problems)
+    assert any("< previous" in p for p in problems)
+    assert any("unknown ph" in p for p in problems)
+    assert any("missing 'tid'" in p for p in problems)
+    assert any("start without finish" in p for p in problems)
+
+
+def test_validator_catches_flow_ordering_and_duplicates():
+    ev = lambda **kw: {"pid": 0, "tid": 0, "name": "l", **kw}  # noqa: E731
+    trace = {
+        "traceEvents": [
+            ev(ph="f", id=1, ts=0.0),
+            ev(ph="s", id=1, ts=1.0),
+            ev(ph="s", id=2, ts=2.0),
+            ev(ph="s", id=2, ts=3.0),
+            ev(ph="f", id=2, ts=4.0),
+        ]
+    }
+    problems = validate_chrome_trace(trace)
+    assert any("finish before start" in p for p in problems)
+    assert any("duplicate flow start" in p for p in problems)

@@ -1,0 +1,105 @@
+"""End-to-end telemetry smoke: tiny HPL with sampler + all three sinks.
+
+Also pins the golden-output guarantee: enabling telemetry must not
+change the simulated job or its banner by one byte.
+"""
+
+import itertools
+import json
+
+from repro.apps.hpl import HplConfig, hpl_app
+from repro.cluster.jobs import run_job
+from repro.core.banner import banner
+from repro.core.hostidle import identify_blocking_calls
+from repro.core.ipm import IpmConfig
+from repro.cuda.stream import Stream
+from repro.telemetry.chrome_trace import job_to_chrome_trace, validate_chrome_trace
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.sinks import JSONL_SCHEMA
+
+
+def _run_hpl(tmp_path, telemetry=True, trace_capacity=4096):
+    # Stream ids come from a process-global counter, so back-to-back
+    # runs shift the @CUDA_EXEC_STRMxx names.  Warm the blocking-call
+    # cache (its probes create streams too) and rewind the counter so
+    # every run in this module numbers streams identically.
+    identify_blocking_calls()
+    Stream._ids = itertools.count(1)
+    tcfg = TelemetryConfig(
+        enabled=telemetry,
+        interval=0.050,
+        sinks=("memory", "jsonl", "openmetrics"),
+        jsonl_path=str(tmp_path / "telemetry.jsonl") if telemetry else None,
+        openmetrics_path=str(tmp_path / "metrics.prom") if telemetry else None,
+    )
+    return run_job(
+        lambda env: hpl_app(env, HplConfig.tiny()),
+        2,
+        command="./xhpl.cuda",
+        ipm_config=IpmConfig(trace_capacity=trace_capacity, telemetry=tcfg),
+        seed=3,
+    )
+
+
+def test_hpl_smoke_all_sinks_and_trace(tmp_path):
+    result = _run_hpl(tmp_path)
+    hub = result.telemetry
+    assert hub is not None
+    assert hub.ticks >= 2
+
+    # memory sink: non-empty, sampled the headline series
+    mem = hub.sink("memory")
+    assert mem is not None and len(mem) > 0 and mem.closed
+    names = {p.name for p in mem.points()}
+    assert "gpu_busy_fraction" in names
+    assert "ipm_host_idle_fraction" in names
+    assert "node_gpu_busy_fraction" in names
+
+    # JSONL sink: meta header + one well-formed line per tick
+    lines = (tmp_path / "telemetry.jsonl").read_text().splitlines()
+    assert len(lines) >= 3
+    header = json.loads(lines[0])
+    assert header["kind"] == "meta"
+    assert header["schema"] == JSONL_SCHEMA
+    assert header["command"] == "./xhpl.cuda"
+    assert header["ntasks"] == 2
+    ts = []
+    for line in lines[1:]:
+        rec = json.loads(line)
+        assert rec["kind"] == "sample"
+        ts.append(rec["t"])
+    assert ts == sorted(ts)
+
+    # OpenMetrics sink: exposition with the required series, terminated
+    prom = (tmp_path / "metrics.prom").read_text()
+    assert "# TYPE gpu_busy_fraction gauge" in prom
+    assert 'gpu_busy_fraction{gpu="0"}' in prom
+    assert "ipm_host_idle_fraction" in prom
+    assert prom.endswith("# EOF\n")
+
+    # Chrome trace from the same run validates
+    trace = job_to_chrome_trace(result.report, hub.store)
+    assert validate_chrome_trace(trace) == []
+
+    # banner footer surfaces the trace ring fill (satellite: TraceRing.dropped)
+    text = banner(result.report)
+    footer = [l for l in text.splitlines() if l.startswith("# trace")]
+    assert len(footer) == 1
+    assert "recorded" in footer[0] and "dropped" in footer[0]
+
+
+def test_telemetry_does_not_perturb_the_job(tmp_path):
+    """Same seed, telemetry on vs off: byte-identical banner, same clock."""
+    (tmp_path / "on").mkdir()
+    on = _run_hpl(tmp_path / "on", trace_capacity=0, telemetry=True)
+    off = _run_hpl(tmp_path / "off", trace_capacity=0, telemetry=False)
+    assert on.wallclock == off.wallclock
+    assert banner(on.report) == banner(off.report)
+    assert on.telemetry is not None
+    assert off.telemetry is None
+
+
+def test_banner_has_no_trace_footer_without_tracing(tmp_path):
+    result = _run_hpl(tmp_path, trace_capacity=0)
+    text = banner(result.report)
+    assert not any(l.startswith("# trace") for l in text.splitlines())

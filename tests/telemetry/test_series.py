@@ -1,0 +1,75 @@
+"""Time-series store: canonical labels, retention, deterministic order."""
+
+import pytest
+
+from repro.telemetry.series import (
+    SamplePoint,
+    TimeSeries,
+    TimeSeriesStore,
+    canon_labels,
+)
+
+
+def test_canon_labels_sorts_and_stringifies():
+    assert canon_labels({"rank": 3, "app": "hpl"}) == (
+        ("app", "hpl"),
+        ("rank", "3"),
+    )
+    assert canon_labels(None) == ()
+    assert canon_labels({}) == ()
+
+
+def test_sample_point_label_dict():
+    p = SamplePoint(1.0, "x", (("rank", "0"),), 2.0)
+    assert p.label_dict() == {"rank": "0"}
+
+
+def test_series_retention_evicts_oldest():
+    s = TimeSeries("x", (), retention=3)
+    for i in range(5):
+        s.append(float(i), float(i * 10))
+    assert len(s) == 3
+    assert s.times() == [2.0, 3.0, 4.0]
+    assert s.values() == [20.0, 30.0, 40.0]
+    assert s.latest() == (4.0, 40.0)
+
+
+def test_series_rejects_nonpositive_retention():
+    with pytest.raises(ValueError):
+        TimeSeries("x", (), retention=0)
+    with pytest.raises(ValueError):
+        TimeSeriesStore(retention=-1)
+
+
+def test_store_record_get_latest():
+    store = TimeSeriesStore(retention=16)
+    store.record(0.0, "gpu_busy_fraction", {"gpu": 0}, 0.5)
+    store.record(1.0, "gpu_busy_fraction", {"gpu": 0}, 0.7)
+    store.record(1.0, "gpu_busy_fraction", {"gpu": 1}, 0.1)
+    assert len(store) == 2
+    assert store.total_points() == 3
+    assert store.latest("gpu_busy_fraction", gpu=0) == 0.7
+    assert store.latest("gpu_busy_fraction", gpu=1) == 0.1
+    assert store.latest("gpu_busy_fraction", gpu=9) is None
+    assert store.get("nope") is None
+
+
+def test_store_series_listing_is_deterministic():
+    store = TimeSeriesStore()
+    store.record(0.0, "b", {"rank": 1}, 1.0)
+    store.record(0.0, "a", {"rank": 0}, 1.0)
+    store.record(0.0, "a", {"rank": 1}, 1.0)
+    keys = [(s.name, s.labels) for s in store.series()]
+    assert keys == sorted(keys)
+    assert store.names() == ["a", "b"]
+    assert [s.labels for s in store.series("a")] == [
+        (("rank", "0"),),
+        (("rank", "1"),),
+    ]
+
+
+def test_store_accepts_preencoded_label_tuple():
+    store = TimeSeriesStore()
+    p = store.record(0.0, "x", (("rank", "0"),), 1.0)
+    assert p.labels == (("rank", "0"),)
+    assert store.latest("x", rank=0) == 1.0
