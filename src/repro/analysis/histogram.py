@@ -39,6 +39,10 @@ def ensemble_stats(with_ipm: Sequence[float], without_ipm: Sequence[float]):
     """
     s_with = EnsembleStats.of(with_ipm)
     s_without = EnsembleStats.of(without_ipm)
+    if s_without.mean == 0.0:
+        # degenerate baseline (all-zero runtimes) — report no dilatation
+        # instead of dividing by zero.
+        return s_with, s_without, 0.0
     dilatation = (s_with.mean - s_without.mean) / s_without.mean
     return s_with, s_without, dilatation
 

@@ -30,7 +30,15 @@ def format_scaling(points: Sequence[ScalingPoint], categories: List[str]) -> str
 
 
 def speedup(points: Sequence[ScalingPoint]) -> Dict[int, float]:
-    """Speedups relative to the smallest configuration."""
+    """Speedups relative to the smallest configuration.
+
+    Points with zero wallclock (a run killed by fault injection before
+    doing any work) get a speedup of 0.0 rather than dividing by zero.
+    """
     pts = sorted(points, key=lambda p: p.nprocs)
+    if not pts:
+        return {}
     base = pts[0].wallclock
-    return {p.nprocs: base / p.wallclock for p in pts}
+    return {
+        p.nprocs: base / p.wallclock if p.wallclock > 0 else 0.0 for p in pts
+    }

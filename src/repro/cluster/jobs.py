@@ -29,6 +29,7 @@ from repro.core.ipm import Ipm, IpmConfig
 from repro.core.report import JobReport
 from repro.cuda.driver import Driver
 from repro.cuda.runtime import Runtime
+from repro.faults import FaultInjector, FaultPlan, RankAborted
 from repro.libs.blasref import HostBlas
 from repro.libs.cublas import Cublas
 from repro.libs.cufft import Cufft
@@ -36,8 +37,9 @@ from repro.libs.thunking import ThunkingBlas
 from repro.mpi.comm import CommWorld
 from repro.mpi.network import Network
 from repro.simt.noise import NoiseConfig, NoiseModel
+from repro.simt.process import ProcessState
 from repro.simt.random import RngStreams
-from repro.simt.simulator import Simulator
+from repro.simt.simulator import ProcessCrashed, SimulationError, Simulator
 
 
 @dataclass
@@ -60,9 +62,15 @@ class ProcessEnv:
     ipm: Optional[Ipm] = None
     #: CUDA-profiler emulation attached to this rank (CUDA_PROFILE=1).
     profiler: Optional[Any] = None
+    #: this rank's :class:`~repro.faults.injector.RankFaults` view when
+    #: the job runs under a fault plan; None leaves every path clean.
+    faults: Optional[Any] = None
 
     def hostcompute(self, seconds: float) -> None:
         """Host-side computation for ``seconds``, perturbed by OS noise."""
+        if self.faults is not None:
+            self.faults.check_abort()
+            seconds *= self.faults.host_multiplier()
         self.sim.sleep(self.noise.perturb(seconds))
 
 
@@ -83,6 +91,10 @@ class JobResult:
     #: the :class:`~repro.telemetry.sampler.TelemetryHub` when the
     #: config enabled streaming telemetry (store + sinks), else None.
     telemetry: Optional[Any] = None
+    #: the :class:`~repro.faults.injector.FaultInjector` when the job
+    #: ran under an active fault plan (its ``events`` log is the fired
+    #: fault schedule), else None.
+    faults: Optional[FaultInjector] = None
 
 
 def run_job(
@@ -98,6 +110,7 @@ def run_job(
     noise: Optional[NoiseConfig] = None,
     cuda_profile: bool = False,
     gpu_timing: Optional[Any] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> JobResult:
     """Run ``app(env)`` on ``ntasks`` ranks of a (possibly shared-GPU) cluster.
 
@@ -106,6 +119,12 @@ def run_job(
     pre-built ``cluster`` is passed, the job runs on *its* simulator;
     otherwise a fresh Dirac cluster is created (``gpu_timing`` tweaks
     its GPUs' timing model).
+
+    ``faults`` (or ``ipm_config.faults``) attaches a deterministic
+    :class:`~repro.faults.plan.FaultPlan`.  Injected rank aborts do not
+    crash the job: the runner records them, lets surviving ranks run
+    (or stall), and degrades to a *partial* :class:`JobReport` with
+    per-rank ``status`` — telemetry is flushed either way.
     """
     if ntasks <= 0:
         raise ValueError(f"ntasks must be positive: {ntasks}")
@@ -137,6 +156,26 @@ def run_job(
         if ipm_config is not None and ipm_config.host_idle
         else set()
     )
+    plan = faults if faults is not None else (
+        ipm_config.faults if ipm_config is not None else None
+    )
+    injector: Optional[FaultInjector] = None
+    if plan is not None and plan.active:
+        injector = FaultInjector(plan, streams, ntasks, sim)
+        inj = injector  # non-Optional binding for the closures below
+
+        def _engine_slowdown(device_id: int):
+            return lambda now: inj.engine_multiplier(device_id, now)
+
+        for node in cluster.nodes:
+            for dev in node.devices:
+                hook = _engine_slowdown(dev.device_id)
+                dev.compute.slowdown = hook
+                for engine in dev._copy_engines.values():
+                    engine.slowdown = hook
+                dev.memset_engine.slowdown = hook
+        if plan.mpi:
+            network.fault_delay = injector.mpi_extra_delay
     ipms: List[Optional[Ipm]] = [None] * ntasks
     envs: List[Optional[ProcessEnv]] = [None] * ntasks
     profilers: List[Any] = []
@@ -153,6 +192,10 @@ def run_job(
     def rank_main(rank: int) -> Any:
         node = cluster.node_of_rank(rank, ranks_per_node)
         rt = Runtime(sim, node.devices, process_name=f"{command}:r{rank}")
+        rfaults = None
+        if injector is not None:
+            rfaults = injector.for_rank(rank, node.index)
+            rt.faults = rfaults
         profiler = None
         if cuda_profile:
             from repro.cuda.profiler import CudaProfiler
@@ -176,6 +219,10 @@ def run_job(
             ipms[rank] = ipm
             if hub is not None:
                 hub.register_rank(rank, ipm, node)
+            if rfaults is not None:
+                # wrappers bind the check at creation time — set before
+                # wrapping so every monitored call honors the abort.
+                ipm.fault_check = rfaults.check_abort
             rt_h = ipm.wrap_runtime(rt)
             drv_h = ipm.wrap_driver(Driver(rt))
             # the libraries link against the *interposed* runtime — with
@@ -208,6 +255,7 @@ def run_job(
                              bias=job_bias),
             ipm=ipm,
             profiler=profiler,
+            faults=rfaults,
         )
         envs[rank] = env
         return app(env)
@@ -215,30 +263,82 @@ def run_job(
     procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(ntasks)]
     if hub is not None:
         hub.start(lambda: any(p.alive for p in procs))
-    sim.run()
-    unfinished = [p.name for p in procs if p.alive]
-    if unfinished:
-        raise RuntimeError(f"ranks never finished: {unfinished}")
-    wallclock = max(p.finished_at for p in procs) - min(p.started_at for p in procs)
-    report: Optional[JobReport] = None
-    if ipm_config is not None:
-        tasks = []
-        domains: dict = {}
-        for rank in range(ntasks):
-            ipm = ipms[rank]
-            assert ipm is not None
-            # the app already ended; finalize drains KTTs event-free
-            tasks.append(ipm.finalize(stop_time=procs[rank].finished_at))
-            domains.update(ipm.domains)
-        sim.run()  # settle any events finalize queued
+    #: ranks killed by the fault plan (rank -> abort virtual time).
+    aborted: dict = {}
+    try:
+        while True:
+            try:
+                sim.run()
+                break
+            except ProcessCrashed as crash:
+                exc = crash.proc.exc
+                if injector is not None and isinstance(exc, RankAborted):
+                    # a *planned* abort: the monitor must survive it.
+                    # Record the death and keep simulating the others.
+                    aborted[exc.rank] = exc.at
+                    continue
+                raise
+            except SimulationError:
+                if injector is not None and aborted:
+                    # survivors blocked forever on a dead peer (e.g. a
+                    # collective with the aborted rank) — a stall, not
+                    # a structural bug; degrade to a partial report.
+                    break
+                raise
+        unfinished = [p.name for p in procs if p.alive]
+        if unfinished and not aborted:
+            raise RuntimeError(f"ranks never finished: {unfinished}")
+
+        def rank_status(rank: int) -> str:
+            p = procs[rank]
+            if rank in aborted or p.state is ProcessState.CRASHED:
+                return "aborted"
+            if p.alive:
+                return "stalled"
+            return "completed"
+
+        stop_times = [
+            p.finished_at if p.finished_at is not None else sim.now
+            for p in procs
+        ]
+        start_times = [
+            p.started_at for p in procs if p.started_at is not None
+        ]
+        wallclock = max(stop_times) - (min(start_times) if start_times else 0.0)
+        report: Optional[JobReport] = None
+        if ipm_config is not None:
+            tasks = []
+            domains: dict = {}
+            for rank in range(ntasks):
+                ipm = ipms[rank]
+                assert ipm is not None
+                status = rank_status(rank)
+                # completed ranks drain KTTs event-free; dead/stalled
+                # ranks keep whatever device timing was harvested.
+                tasks.append(
+                    ipm.finalize(
+                        stop_time=stop_times[rank],
+                        status=status,
+                        drain=status == "completed",
+                    )
+                )
+                domains.update(ipm.domains)
+            try:
+                sim.run()  # settle any events finalize queued
+            except SimulationError:
+                if not aborted:  # stalled peers still count as blocked
+                    raise
+            report = JobReport(
+                tasks=tasks,
+                domains=domains,
+                start_stamp=f"t={min(t.start_time for t in tasks):.3f}",
+                stop_stamp=f"t={max(t.stop_time for t in tasks):.3f}",
+            )
+    finally:
+        # telemetry must flush even when a rank raised out of app code
+        # (finish() is idempotent, so the normal path pays nothing).
         if hub is not None:
             hub.finish()
-        report = JobReport(
-            tasks=tasks,
-            domains=domains,
-            start_stamp=f"t={min(t.start_time for t in tasks):.3f}",
-            stop_stamp=f"t={max(t.stop_time for t in tasks):.3f}",
-        )
     return JobResult(
         wallclock=wallclock,
         results=[p.result for p in procs],
@@ -249,4 +349,5 @@ def run_job(
         events_executed=sim.events_executed,
         profilers=profilers,
         telemetry=hub,
+        faults=injector,
     )

@@ -60,6 +60,9 @@ def banner_serial(task: TaskReport, top: Optional[int] = None) -> str:
         f"# command   : {task.command}",
         f"# host      : {task.hostname}",
         f"# wallclock : {task.wallclock:.2f}",
+        # only partial runs carry a status line — complete banners stay
+        # byte-identical to the pre-fault-injection layout.
+        *([f"# status    : {task.status}"] if not task.completed else []),
         "#",
         _func_header(),
         *_func_rows(task.table.by_name(), task.wallclock, top),
@@ -72,21 +75,19 @@ def banner_serial(task: TaskReport, top: Optional[int] = None) -> str:
 
 def _stat_line(label: str, values: List[float], show_total: bool = True) -> str:
     total = sum(values)
-    avg = total / len(values)
+    avg = total / len(values) if values else 0.0
+    vmin = min(values) if values else 0.0
+    vmax = max(values) if values else 0.0
     tot_s = f"{total:12.2f}" if show_total else " " * 12
-    return (
-        f"# {label:<10s}: {tot_s} {avg:10.2f} {min(values):10.2f} "
-        f"{max(values):10.2f}"
-    )
+    return f"# {label:<10s}: {tot_s} {avg:10.2f} {vmin:10.2f} {vmax:10.2f}"
 
 
 def _count_line(label: str, values: List[int]) -> str:
     total = sum(values)
-    avg = total // len(values)
-    return (
-        f"# {label:<10s}: {total:12d} {avg:10d} {min(values):10d} "
-        f"{max(values):10d}"
-    )
+    avg = total // len(values) if values else 0
+    vmin = min(values) if values else 0
+    vmax = max(values) if values else 0
+    return f"# {label:<10s}: {total:12d} {avg:10d} {vmin:10d} {vmax:10d}"
 
 
 def _present_domains(job: JobReport) -> List[str]:
@@ -104,7 +105,7 @@ def banner_parallel(job: JobReport, top: Optional[int] = 20) -> str:
         "#",
         f"# command   : {job.command}",
         f"# start     : {job.start_stamp or '-':<26s} host      : "
-        f"{job.tasks[0].hostname}",
+        f"{job.tasks[0].hostname if job.tasks else '-'}",
         f"# stop      : {job.stop_stamp or '-':<26s} wallclock : "
         f"{job.wallclock:.2f}",
         f"# mpi_tasks : {job.ntasks} on {nhosts} nodes"
@@ -112,6 +113,18 @@ def banner_parallel(job: JobReport, top: Optional[int] = 20) -> str:
         + f"%comm     : {job.comm_percent():.2f}",
         f"# mem [GB]  : {job.total_mem_gb():<26.2f} gflop/sec : "
         f"{sum(t.gflops for t in job.tasks):.2f}",
+    ]
+    if not job.complete:
+        # partial job (a rank aborted/stalled under fault injection) —
+        # complete banners carry no status line and stay byte-identical.
+        done = sum(1 for t in job.tasks if t.completed)
+        failed = ", ".join(
+            f"rank {t.rank}: {t.status}" for t in job.tasks if not t.completed
+        )
+        lines.append(
+            f"# status    : {done}/{job.ntasks} ranks completed ({failed})"
+        )
+    lines += [
         "#",
         f"# {'':<10s}: {'[total]':>12s} {'<avg>':>10s} {'min':>10s} {'max':>10s}",
         _stat_line("wallclock", wallclocks),

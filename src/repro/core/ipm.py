@@ -57,6 +57,9 @@ class IpmConfig:
     #: streaming telemetry (repro.telemetry): virtual-time sampler +
     #: sinks.  Off by default — golden outputs stay byte-identical.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: fault-injection plan (repro.faults.FaultPlan) or None.  Off by
+    #: default — an unfaulted job stays byte-identical.
+    faults: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.ktt_policy not in ("on_d2h", "on_every_call"):
@@ -109,6 +112,12 @@ class Ipm:
             from repro.core.trace import TraceRing
 
             self.trace = TraceRing(self.config.trace_capacity)
+        #: fault-injection abort check (raises RankAborted past the
+        #: planned abort time); bound by wrappers at creation, so the
+        #: job runner must set it *before* wrapping.  None = no checks.
+        self.fault_check: Optional[Any] = None
+        #: monitored calls that returned an error code (per domain).
+        self.error_counts: Dict[str, int] = {}
         #: optional streaming-telemetry counters (repro.telemetry);
         #: ``None`` keeps the wrapper hot path telemetry-free.
         self.tele = None
@@ -171,6 +180,41 @@ class Ipm:
         )
         if self.tele is not None:
             self.tele.host_idle_time += duration
+
+    def record_error(
+        self,
+        name: str,
+        suffix: str,
+        error_name: str,
+        duration: float,
+        nbytes: Optional[int],
+        domain: str,
+    ) -> EventSignature:
+        """Record one *failing* monitored call (graceful degradation).
+
+        The call lands in the hash table under an error-tagged
+        signature (so the banner/XML/CUBE show error counts per call),
+        and its time also accumulates under the ``@CUDA_ERROR``
+        accounting region — the error-side analogue of
+        ``@CUDA_HOST_IDLE``.  Rare path: no signature interning.
+        """
+        from repro.core.sig import CUDA_ERROR, error_tagged_name
+
+        tagged = EventSignature(
+            error_tagged_name(name, suffix, error_name),
+            self.current_region,
+            nbytes,
+        )
+        self.update(tagged, duration, domain=domain)
+        self.update(
+            EventSignature(CUDA_ERROR, self.current_region),
+            duration,
+            domain="CUDA",
+        )
+        self.error_counts[domain] = self.error_counts.get(domain, 0) + 1
+        if self.tele is not None:
+            self.tele.on_error(domain)
+        return tagged
 
     # -- launch correlation (trace flow events) -----------------------------
 
@@ -260,17 +304,28 @@ class Ipm:
 
     # -- lifecycle --------------------------------------------------------------------
 
-    def finalize(self, stop_time: Optional[float] = None) -> TaskReport:
+    def finalize(
+        self,
+        stop_time: Optional[float] = None,
+        *,
+        status: str = "completed",
+        drain: bool = True,
+    ) -> TaskReport:
         """Drain kernel timing, stop monitoring, emit the task report.
 
         ``stop_time`` overrides the task's end timestamp — the job
         runner passes each rank's actual exit time, since it finalizes
-        all ranks after the job drained.
+        all ranks after the job drained.  ``status`` marks aborted or
+        stalled ranks in the partial report; ``drain=False`` skips the
+        KTT drain for ranks whose device work can never complete
+        (in-flight kernel timings are abandoned, everything already
+        harvested survives).
         """
-        for ktt in self.ktts:
-            ktt.drain()
-        if self.ocl_timer is not None:
-            self.ocl_timer.drain()
+        if drain:
+            for ktt in self.ktts:
+                ktt.drain()
+            if self.ocl_timer is not None:
+                self.ocl_timer.drain()
         self.stop_time = self.sim.now if stop_time is None else stop_time
         self.active = False
         counters = {}
@@ -293,4 +348,5 @@ class Ipm:
             gflops=self.gflops,
             counters=counters,
             trace=self.trace,
+            status=status,
         )

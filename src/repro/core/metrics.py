@@ -81,6 +81,9 @@ def kernel_imbalance(job: JobReport) -> Dict[str, ImbalanceStat]:
     """Cross-rank imbalance per kernel."""
     out: Dict[str, ImbalanceStat] = {}
     for name, per_rank in kernel_time_by_rank(job).items():
+        if not per_rank:
+            out[name] = ImbalanceStat(name, 0.0, 0.0, 0.0)
+            continue
         mean = sum(per_rank) / len(per_rank)
         out[name] = ImbalanceStat(name, mean, min(per_rank), max(per_rank))
     return out
@@ -92,5 +95,7 @@ def function_time_stats(job: JobReport, name: str) -> ImbalanceStat:
     for t in job.tasks:
         by_name = t.table.by_name()
         times.append(by_name[name].total if name in by_name else 0.0)
+    if not times:
+        return ImbalanceStat(name, 0.0, 0.0, 0.0)
     mean = sum(times) / len(times)
     return ImbalanceStat(name, mean, min(times), max(times))

@@ -41,6 +41,13 @@ class TaskReport:
     #: (``IpmConfig.trace_capacity > 0``); feeds the banner's trace
     #: footer and the Chrome-trace exporter.
     trace: Optional["TraceRing"] = None
+    #: how the rank ended: "completed", "aborted" (fault-plan kill or
+    #: crash) or "stalled" (blocked forever after a peer died).
+    status: str = "completed"
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
 
     @property
     def wallclock(self) -> float:
@@ -89,11 +96,20 @@ class JobReport:
 
     @property
     def wallclock(self) -> float:
-        return max(t.wallclock for t in self.tasks)
+        return max((t.wallclock for t in self.tasks), default=0.0)
 
     @property
     def command(self) -> str:
-        return self.tasks[0].command
+        return self.tasks[0].command if self.tasks else "-"
+
+    @property
+    def complete(self) -> bool:
+        """True when every rank ran to completion (no partial report)."""
+        return all(t.completed for t in self.tasks)
+
+    def rank_statuses(self) -> Dict[int, str]:
+        """Per-rank completion status (``rank -> status``)."""
+        return {t.rank: t.status for t in self.tasks}
 
     def hosts(self) -> List[str]:
         return sorted({t.hostname for t in self.tasks})
@@ -107,7 +123,7 @@ class JobReport:
         versions = tuple(t.table.version for t in self.tasks)
         if self._merged is None or versions != self._merged_versions:
             merged = PerfHashTable(
-                capacity=max(t.table.capacity for t in self.tasks)
+                capacity=max((t.table.capacity for t in self.tasks), default=8192)
             )
             for t in self.tasks:
                 merged.merge(t.table)
@@ -126,6 +142,8 @@ class JobReport:
 
     def comm_percent(self) -> float:
         """%comm of the banner header: mean MPI fraction of wallclock."""
+        if not self.tasks:
+            return 0.0
         fractions = [
             t.domain_time(self.domains, "MPI") / t.wallclock if t.wallclock else 0.0
             for t in self.tasks

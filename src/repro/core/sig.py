@@ -24,6 +24,19 @@ DEFAULT_REGION = "ipm_main"
 CUDA_EXEC_PREFIX = "@CUDA_EXEC_STRM"
 #: pseudo-event for implicit host blocking in sync memory transfers.
 CUDA_HOST_IDLE = "@CUDA_HOST_IDLE"
+#: pseudo-event accumulating time spent in *failing* monitored calls
+#: (the error accounting region; analogous to ``@CUDA_HOST_IDLE``).
+CUDA_ERROR = "@CUDA_ERROR"
+
+
+def error_tagged_name(name: str, suffix: str, error_name: str) -> str:
+    """Error-tagged signature name, e.g. ``cudaMemcpy(H2D)(!cudaErrorInvalidValue)``.
+
+    The tag is appended in parenthesis form so ``name.split("(")[0]``
+    still recovers the base call (the domain map and banner call
+    counting key on it).
+    """
+    return f"{name}{suffix}(!{error_name})"
 
 
 def cuda_exec_name(stream_id: int) -> str:

@@ -28,6 +28,7 @@ Two linkage styles are supported, as in the paper:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple, TYPE_CHECKING
 
@@ -36,6 +37,36 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: refiner result: (name suffix, byte count or None)
 Refinement = Tuple[str, Optional[int]]
+
+#: status codes that signal "not finished yet", not a failure — the
+#: legitimate return of cudaStreamQuery/cudaEventQuery polling.
+_BENIGN_STATUS = {"cudaErrorNotReady", "CUDA_ERROR_NOT_READY"}
+
+#: calls whose *return value* is a previously stored error, not the
+#: outcome of this call — error-tagging them would double-count.
+_ERROR_QUERY_CALLS = {"cudaGetLastError", "cudaPeekAtLastError"}
+
+
+def _result_error_name(result: Any) -> Optional[str]:
+    """Name of the error code a wrapped call returned, or None.
+
+    Only IntEnum results count — MPI-style wrappers return payloads
+    (often plain ints), which must never be mistaken for error codes.
+    Tuple results follow the C out-parameter convention: the status is
+    the first member.
+    """
+    code = result
+    if type(code) is tuple:
+        if not code:
+            return None
+        code = code[0]
+    if (
+        isinstance(code, enum.IntEnum)
+        and code.value != 0
+        and code.name not in _BENIGN_STATUS
+    ):
+        return code.name
+    return None
 
 
 @dataclass
@@ -119,6 +150,10 @@ def _make_wrapper(
     sim = ipm.sim
     table = ipm.table
     overhead = ipm.overhead
+    #: fault-injection abort check; None keeps the hot path untouched
+    #: (bound at wrapper-creation time, so set ipm.fault_check first).
+    fault_check = ipm.fault_check
+    detect_errors = name not in _ERROR_QUERY_CALLS
     #: streaming-telemetry counters; None keeps the hot path untouched
     #: (bound at wrapper-creation time, like the other monitor state).
     tele = ipm.tele
@@ -134,6 +169,8 @@ def _make_wrapper(
     def wrapper(*args: Any, **kwargs: Any) -> Any:
         if not ipm.active:
             return real(*args, **kwargs)
+        if fault_check is not None:
+            fault_check()
         overhead.charge_entry()
         pre_result = pre(args, kwargs) if pre is not None else None
         begin = sim.now
@@ -145,17 +182,25 @@ def _make_wrapper(
             suffix, nbytes = refine(args, kwargs, result)
         else:
             suffix, nbytes = "", None
-        key = (suffix, ipm.current_region, nbytes)
-        interned = sig_cache.get(key)
-        if interned is not None:
-            sig = interned[0]
-            table.update(sig, end - begin, interned[1])
+        error_name = _result_error_name(result) if detect_errors else None
+        if error_name is not None:
+            # failing call: error-tagged signature + @CUDA_ERROR region
+            # (rare path — no interning).
+            sig = ipm.record_error(
+                name, suffix, error_name, end - begin, nbytes, domain
+            )
         else:
-            # first sighting: full path (registers the call's domain),
-            # then intern the signature with its table address.
-            sig = EventSignature(name + suffix, ipm.current_region, nbytes)
-            ipm.update(sig, end - begin, domain=domain)
-            sig_cache[key] = (sig, table.locate(sig))
+            key = (suffix, ipm.current_region, nbytes)
+            interned = sig_cache.get(key)
+            if interned is not None:
+                sig = interned[0]
+                table.update(sig, end - begin, interned[1])
+            else:
+                # first sighting: full path (registers the call's domain),
+                # then intern the signature with its table address.
+                sig = EventSignature(name + suffix, ipm.current_region, nbytes)
+                ipm.update(sig, end - begin, domain=domain)
+                sig_cache[key] = (sig, table.locate(sig))
         if tele is not None:
             tele.on_event(domain, end - begin, suffix, nbytes)
         if ipm.trace is not None:

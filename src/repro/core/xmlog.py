@@ -52,6 +52,10 @@ def _task_to_xml(task: TaskReport) -> ET.Element:
             "gflops": f"{task.gflops:.17g}",
         },
     )
+    if task.status != "completed":
+        # only partial runs carry the attribute — complete logs stay
+        # byte-identical to the pre-fault-injection schema.
+        el.set("status", task.status)
     regions: Dict[str, ET.Element] = {}
     for sig, stats in sorted(
         task.table.items(), key=lambda kv: (kv[0].region, kv[0].name, kv[0].nbytes or -1)
@@ -162,6 +166,7 @@ def xml_to_job(root: ET.Element) -> JobReport:
                 mem_gb=float(task_el.get("mem_gb", "0")),
                 gflops=float(task_el.get("gflops", "0")),
                 counters=counters,
+                status=task_el.get("status", "completed"),
             )
         )
     tasks.sort(key=lambda t: t.rank)

@@ -18,7 +18,7 @@ contention without any special-case code.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set, TYPE_CHECKING
+from typing import Callable, Deque, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cuda.costmodel import DeviceSpec
@@ -47,6 +47,9 @@ class ComputeEngine:
         #: count once) — the "GPU busy" the telemetry sampler reports.
         self.busy_time = 0.0
         self._busy_since: Optional[float] = None
+        #: fault-injection service-time multiplier (time -> factor);
+        #: None keeps kernel durations exactly as drawn.
+        self.slowdown: Optional[Callable[[float], float]] = None
 
     def submit(self, op: "KernelOp") -> None:
         self._pending.append(op)
@@ -67,14 +70,20 @@ class ComputeEngine:
             self._running.add(op)
             self._occ_used += op.kernel.occupancy
             start = self.sim.now
-            self.sim.schedule(op.duration, self._finish, op, start)
+            # the effective duration is fixed at start (slowdown faults
+            # stretch it); when no slowdown is wired it is bit-identical
+            # to the drawn duration.
+            duration = op.duration
+            if self.slowdown is not None:
+                duration *= self.slowdown(start)
+            self.sim.schedule(duration, self._finish, op, start, duration)
 
-    def _finish(self, op: "KernelOp", start: float) -> None:
+    def _finish(self, op: "KernelOp", start: float, duration: float) -> None:
         self._running.remove(op)
         self._occ_used -= op.kernel.occupancy
         if self._occ_used < 1e-12:
             self._occ_used = 0.0
-        self.kernel_time += op.duration
+        self.kernel_time += duration
         self.kernels_executed += 1
         if not self._running and self._busy_since is not None:
             self.busy_time += self.sim.now - self._busy_since

@@ -123,6 +123,9 @@ class Runtime:
         self._contexts: dict[int, Context] = {}
         self._config_stack: List[Tuple[LaunchConfig, list]] = []
         self.calls_made = 0
+        #: fault-injection view (repro.faults.injector.RankFaults) or
+        #: None; the job runner sets it when a FaultPlan is active.
+        self.faults: Optional[Any] = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -163,6 +166,21 @@ class Runtime:
         if ctx is not None:
             ctx.last_error = code
         return code
+
+    def _injected_error(self, call: str) -> Optional[cudaError_t]:
+        """Planned fault for ``call``, as an error code (None = healthy).
+
+        May raise :class:`~repro.faults.plan.RankAborted` when the
+        fault plan kills this rank — the abort escapes the API like a
+        process death, not like a return code.
+        """
+        faults = self.faults
+        if faults is None:
+            return None
+        code = faults.cuda_error(call)
+        if code is None:
+            return None
+        return self._fail(CudaError(code, f"injected fault in {call}"))
 
     def _resolve_stream(self, stream: Optional[Stream]) -> Stream:
         ctx = self._ensure_context()
@@ -209,6 +227,9 @@ class Runtime:
     def cudaMalloc(self, size: int) -> Tuple[cudaError_t, Optional[DevicePtr]]:
         ctx = self._ensure_context()
         self._charge(self.device.timing.host_call_malloc)
+        injected = self._injected_error("cudaMalloc")
+        if injected is not None:
+            return injected, None
         try:
             ptr = self.device.memory.malloc(
                 size,
@@ -294,14 +315,57 @@ class Runtime:
 
     # memcpy helpers ------------------------------------------------------
 
+    @staticmethod
+    def _validate_count(count: Optional[int]) -> None:
+        """Reject non-integral and negative transfer sizes up front.
+
+        Unvalidated counts used to flow into the hash table and the
+        kernel timing table as negative byte/duration values (or blow
+        up inside a device event, long after the offending call).
+        """
+        if count is None:
+            return
+        if isinstance(count, bool) or not isinstance(count, (int, np.integer)):
+            raise CudaError(E.cudaErrorInvalidValue, f"bad memcpy count: {count!r}")
+        if count < 0:
+            raise CudaError(E.cudaErrorInvalidValue, f"negative memcpy count: {count}")
+
+    def _check_device_span(self, ptr: DevicePtr, nbytes: int) -> None:
+        """Validate that ``nbytes`` at ``ptr`` stay inside one allocation."""
+        alloc = self.device.memory.find(ptr)
+        off = ptr.address - alloc.base
+        if off + nbytes > alloc.size:
+            raise CudaError(
+                E.cudaErrorInvalidValue,
+                f"memcpy overruns allocation: {nbytes}B at offset {off} "
+                f"of a {alloc.size}B allocation",
+            )
+
+    @staticmethod
+    def _check_host_span(obj, nbytes: int) -> None:
+        """Validate an explicit count against a sized host buffer."""
+        try:
+            cap = _host_nbytes(obj)
+        except TypeError:
+            return  # unsized object; the direction checks handle misuse
+        if nbytes > cap:
+            raise CudaError(
+                E.cudaErrorInvalidValue,
+                f"memcpy overruns host buffer: {nbytes}B > {cap}B",
+            )
+
     def _memcpy_plan(self, dst, src, count: Optional[int], kind: cudaMemcpyKind):
         """Resolve (direction, nbytes, pinned, mover) for a transfer."""
         K = cudaMemcpyKind
         mem = self.device.memory
+        self._validate_count(count)
         if kind == K.cudaMemcpyHostToDevice:
             if not isinstance(dst, DevicePtr):
                 raise CudaError(E.cudaErrorInvalidMemcpyDirection, "H2D needs device dst")
             nbytes = count if count is not None else _host_nbytes(src)
+            if count is not None:
+                self._check_host_span(src, nbytes)
+            self._check_device_span(dst, nbytes)
             pinned = _host_is_pinned(src)
 
             def mover() -> None:
@@ -314,6 +378,9 @@ class Runtime:
             if not isinstance(src, DevicePtr):
                 raise CudaError(E.cudaErrorInvalidMemcpyDirection, "D2H needs device src")
             nbytes = count if count is not None else _host_nbytes(dst)
+            if count is not None:
+                self._check_host_span(dst, nbytes)
+            self._check_device_span(src, nbytes)
             pinned = _host_is_pinned(dst)
 
             def mover() -> None:
@@ -327,6 +394,8 @@ class Runtime:
                 raise CudaError(E.cudaErrorInvalidMemcpyDirection, "D2D needs device ptrs")
             if count is None:
                 raise CudaError(E.cudaErrorInvalidValue, "D2D needs an explicit count")
+            self._check_device_span(src, count)
+            self._check_device_span(dst, count)
 
             def mover() -> None:
                 data = mem.read(src, count)
@@ -336,6 +405,8 @@ class Runtime:
             return "d2d", count, True, mover
         if kind == K.cudaMemcpyHostToHost:
             nbytes = count if count is not None else _host_nbytes(src)
+            if count is not None:
+                self._check_host_span(src, nbytes)
 
             def mover() -> None:
                 data = _host_read(src, nbytes)
@@ -367,6 +438,9 @@ class Runtime:
         and blocks the host until the bytes have moved."""
         ctx = self._ensure_context()
         self._charge(self.device.timing.host_call_memcpy)
+        injected = self._injected_error("cudaMemcpy")
+        if injected is not None:
+            return injected
         try:
             direction, nbytes, pinned, mover = self._memcpy_plan(dst, src, count, kind)
         except (CudaError,) as exc:
@@ -390,6 +464,9 @@ class Runtime:
     ) -> cudaError_t:
         ctx = self._ensure_context()
         self._charge(self.device.timing.host_call_launch)
+        injected = self._injected_error("cudaMemcpyAsync")
+        if injected is not None:
+            return injected
         try:
             st = self._resolve_stream(stream)
             direction, nbytes, pinned, mover = self._memcpy_plan(dst, src, count, kind)
@@ -543,6 +620,9 @@ class Runtime:
                 CudaError(E.cudaErrorMissingConfiguration, "no cudaConfigureCall")
             )
         cfg, args = self._config_stack.pop()
+        injected = self._injected_error("cudaLaunch")
+        if injected is not None:
+            return injected
         try:
             st = self._resolve_stream(cfg.stream)
             op = KernelOp(ctx, func, cfg, tuple(args))

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the simulated GPU cluster.
+
+The subsystem the robustness experiments drive: seed-driven fault
+schedules (:mod:`repro.faults.plan`), the live injector wired into the
+CUDA runtime / engines / network / job runner
+(:mod:`repro.faults.injector`), and application-level retry helpers
+(:mod:`repro.faults.retry`).
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, RankFaults
+from repro.faults.plan import (
+    INJECTABLE_CUDA_CALLS,
+    CudaFaultSpec,
+    FaultPlan,
+    MpiDelaySpec,
+    NodeSlowdownSpec,
+    RankAborted,
+    RankAbortSpec,
+    StreamSlowdownSpec,
+)
+from repro.faults.retry import RETRYABLE_CUDA, RetriesExhausted, retry_with_backoff
+
+__all__ = [
+    "CudaFaultSpec",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "INJECTABLE_CUDA_CALLS",
+    "MpiDelaySpec",
+    "NodeSlowdownSpec",
+    "RankAborted",
+    "RankAbortSpec",
+    "RankFaults",
+    "RETRYABLE_CUDA",
+    "RetriesExhausted",
+    "retry_with_backoff",
+    "StreamSlowdownSpec",
+]

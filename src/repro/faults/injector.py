@@ -1,0 +1,191 @@
+"""The fault injector: turns a :class:`FaultPlan` into live decisions.
+
+One :class:`FaultInjector` exists per faulted job.  It owns the RNG
+channels (``faults.cuda.rank<r>`` for per-rank CUDA draws, a shared
+``faults.mpi`` channel for message draws — message order is itself
+deterministic under the strict-handoff scheduler) and a chronological
+:attr:`events` log of every fault that actually fired, which is what
+the determinism tests compare across runs.
+
+Decision rules that keep the schedule reproducible:
+
+* RNG is consumed **only** when a probabilistic spec matches the call
+  (rate < 1 draws one uniform; rate == 1 draws nothing), so adding a
+  windowed spec never perturbs draws outside its window;
+* deterministic faults (slowdown multipliers, aborts) consume no RNG
+  at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.cuda.errors import cudaError_t
+from repro.faults.plan import FaultPlan, RankAborted
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.simt.random import RngStreams
+    from repro.simt.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that fired, for the schedule log."""
+
+    t: float
+    kind: str  # "cuda" | "mpi_delay" | "abort"
+    rank: int  # -1 when not rank-attributed (network)
+    detail: str
+    value: float = 0.0
+
+    def key(self) -> tuple:
+        return (round(self.t, 12), self.kind, self.rank, self.detail,
+                round(self.value, 12))
+
+
+class FaultInjector:
+    """Live fault decisions for one job, driven by a :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        streams: "RngStreams",
+        ntasks: int,
+        sim: "Simulator",
+    ) -> None:
+        if not plan.active:
+            raise ValueError("FaultInjector needs an enabled, non-empty plan")
+        self.plan = plan
+        self.sim = sim
+        self.ntasks = ntasks
+        self._streams = streams
+        self._cuda_rng: Dict[int, "np.random.Generator"] = {}
+        self._mpi_rng = streams.get("faults.mpi") if plan.mpi else None
+        #: per (spec index, rank) CUDA failure counters (max_failures).
+        self._cuda_fired: Dict[tuple, int] = {}
+        #: chronological log of fired faults (the reproducible schedule).
+        self.events: List[FaultEvent] = []
+
+    # -- CUDA call failures ---------------------------------------------
+
+    def _rank_rng(self, rank: int) -> "np.random.Generator":
+        rng = self._cuda_rng.get(rank)
+        if rng is None:
+            rng = self._streams.get(f"faults.cuda.rank{rank}")
+            self._cuda_rng[rank] = rng
+        return rng
+
+    def cuda_error(self, rank: int, call: str, now: float) -> Optional[cudaError_t]:
+        """The error to inject into ``call`` on ``rank`` now, if any."""
+        for i, spec in enumerate(self.plan.cuda):
+            if not spec.matches(rank, call, now):
+                continue
+            key = (i, rank)
+            if (
+                spec.max_failures is not None
+                and self._cuda_fired.get(key, 0) >= spec.max_failures
+            ):
+                continue
+            if spec.rate < 1.0 and self._rank_rng(rank).random() >= spec.rate:
+                continue
+            self._cuda_fired[key] = self._cuda_fired.get(key, 0) + 1
+            self.events.append(
+                FaultEvent(now, "cuda", rank, f"{call}:{spec.error.name}")
+            )
+            return spec.error
+        return None
+
+    # -- engine / host slowdowns ----------------------------------------
+
+    def engine_multiplier(self, device_id: int, now: float) -> float:
+        """Combined service-time multiplier for a device's engines."""
+        mult = 1.0
+        for spec in self.plan.streams:
+            if spec.matches(device_id, now):
+                mult *= spec.multiplier
+        return mult
+
+    def host_multiplier(self, node_index: int, now: float) -> float:
+        """Combined host-compute multiplier for a node."""
+        mult = 1.0
+        for spec in self.plan.nodes:
+            if spec.matches(node_index, now):
+                mult *= spec.multiplier
+        return mult
+
+    # -- MPI delay spikes -------------------------------------------------
+
+    def mpi_extra_delay(
+        self, now: float, nbytes: int, src_node: int, dst_node: int
+    ) -> float:
+        """Extra in-flight delay (seconds) for one network transfer."""
+        extra = 0.0
+        rng = self._mpi_rng
+        if rng is None:
+            return extra
+        for spec in self.plan.mpi:
+            if not spec.matches(now):
+                continue
+            if rng.random() < spec.rate:
+                extra += float(rng.exponential(spec.extra_mean))
+        if extra > 0.0:
+            self.events.append(
+                FaultEvent(now, "mpi_delay", -1,
+                           f"{src_node}->{dst_node}:{nbytes}B", extra)
+            )
+        return extra
+
+    # -- rank aborts ------------------------------------------------------
+
+    def abort_time(self, rank: int) -> Optional[float]:
+        times = [s.at for s in self.plan.aborts if s.rank == rank]
+        return min(times) if times else None
+
+    def log_abort(self, rank: int, now: float) -> None:
+        self.events.append(FaultEvent(now, "abort", rank, "rank_abort"))
+
+    def for_rank(self, rank: int, node_index: int) -> "RankFaults":
+        return RankFaults(self, rank, node_index)
+
+    # -- determinism -------------------------------------------------------
+
+    def schedule_key(self) -> tuple:
+        """Hashable fingerprint of the fired-fault schedule."""
+        return tuple(e.key() for e in self.events)
+
+
+class RankFaults:
+    """One rank's view of the injector, bound to its node."""
+
+    __slots__ = ("injector", "rank", "node_index", "_abort_at", "_aborted")
+
+    def __init__(self, injector: FaultInjector, rank: int, node_index: int) -> None:
+        self.injector = injector
+        self.rank = rank
+        self.node_index = node_index
+        self._abort_at = injector.abort_time(rank)
+        self._aborted = False
+
+    def cuda_error(self, call: str) -> Optional[cudaError_t]:
+        """Runtime hook: injected error for ``call``, after abort check."""
+        self.check_abort()
+        return self.injector.cuda_error(self.rank, call, self.injector.sim.now)
+
+    def host_multiplier(self) -> float:
+        return self.injector.host_multiplier(
+            self.node_index, self.injector.sim.now
+        )
+
+    def check_abort(self) -> None:
+        """Raise :class:`RankAborted` once the abort time has passed."""
+        at = self._abort_at
+        if at is None or self._aborted:
+            return
+        now = self.injector.sim.now
+        if now >= at:
+            self._aborted = True
+            self.injector.log_abort(self.rank, now)
+            raise RankAborted(self.rank, now)

@@ -1,0 +1,75 @@
+"""Retry-with-backoff for retryable application-level operations.
+
+Transient faults (a windowed :class:`CudaFaultSpec`, a delay spike)
+are exactly the failures a resilient application retries.  This helper
+runs under the simulated clock — the backoff sleeps advance *virtual*
+time on the calling rank, so IPM observes the retries and the waiting
+the same way it would in a real degraded run.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, FrozenSet, Optional, TYPE_CHECKING
+
+from repro.cuda.errors import cudaError_t
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.simulator import Simulator
+
+#: CUDA errors worth retrying: transient resource pressure, not misuse.
+RETRYABLE_CUDA: FrozenSet[cudaError_t] = frozenset(
+    {
+        cudaError_t.cudaErrorMemoryAllocation,
+        cudaError_t.cudaErrorLaunchFailure,
+        cudaError_t.cudaErrorNotReady,
+    }
+)
+
+
+class RetriesExhausted(RuntimeError):
+    """All attempts failed; carries the last failing result."""
+
+    def __init__(self, attempts: int, last_result: Any) -> None:
+        super().__init__(f"operation failed after {attempts} attempts: {last_result!r}")
+        self.attempts = attempts
+        self.last_result = last_result
+
+
+def _default_is_retryable(result: Any) -> bool:
+    code = result[0] if type(result) is tuple and result else result
+    return isinstance(code, enum.IntEnum) and code in RETRYABLE_CUDA
+
+
+def retry_with_backoff(
+    sim: "Simulator",
+    fn: Callable[[], Any],
+    *,
+    attempts: int = 4,
+    base_delay: float = 1e-3,
+    factor: float = 2.0,
+    is_retryable: Optional[Callable[[Any], bool]] = None,
+) -> Any:
+    """Call ``fn()`` until it stops returning a retryable failure.
+
+    Between attempts the calling rank sleeps ``base_delay * factor**i``
+    virtual seconds.  Returns the first non-retryable result (success
+    *or* a permanent error — the caller keeps the C return-code
+    convention); raises :class:`RetriesExhausted` when every attempt
+    returned a retryable failure.
+    """
+    if attempts <= 0:
+        raise ValueError(f"attempts must be positive: {attempts}")
+    if base_delay < 0 or factor <= 0:
+        raise ValueError(f"bad backoff: base_delay={base_delay}, factor={factor}")
+    check = is_retryable if is_retryable is not None else _default_is_retryable
+    result: Any = None
+    for i in range(attempts):
+        result = fn()
+        if not check(result):
+            return result
+        if i + 1 < attempts:
+            delay = base_delay * factor**i
+            if delay > 0:
+                sim.sleep(delay)
+    raise RetriesExhausted(attempts, result)

@@ -22,6 +22,8 @@ from repro.simt.resources import FifoServer
 from repro.simt.waiters import Completion, join
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable, Optional
+
     from repro.simt.simulator import Simulator
 
 
@@ -70,6 +72,10 @@ class Network:
         self._rx: Dict[int, FifoServer] = {}
         self.bytes_moved = 0
         self.messages = 0
+        #: fault-injection hook adding extra in-flight seconds per
+        #: transfer: ``(now, nbytes, src_node, dst_node) -> seconds``.
+        #: None keeps transfer times untouched.
+        self.fault_delay: "Optional[Callable[[float, int, int, int], float]]" = None
 
     def _nic(self, table: Dict[int, FifoServer], node: int, tag: str) -> FifoServer:
         srv = table.get(node)
@@ -93,6 +99,8 @@ class Network:
         self.bytes_moved += nbytes
         self.messages += 1
         dur = self.transfer_cost(nbytes, src_node, dst_node)
+        if self.fault_delay is not None:
+            dur += self.fault_delay(self.sim.now, nbytes, src_node, dst_node)
         if src_node == dst_node:
             # shared-memory copy: contends only with itself via the
             # node's rx server (stand-in for the memory system).

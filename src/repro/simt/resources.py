@@ -8,7 +8,7 @@ interconnect links are all instances of these.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.simt.waiters import Completion
 
@@ -31,10 +31,15 @@ class FifoServer:
         self._free_at = 0.0
         self.busy_time = 0.0
         self.requests = 0
+        #: fault-injection service-time multiplier (time -> factor);
+        #: None leaves service times untouched.
+        self.slowdown: Optional[Callable[[float], float]] = None
 
     def serve(self, duration: float, min_start: float = 0.0) -> Completion:
         if duration < 0:
             raise ValueError(f"negative service time: {duration}")
+        if self.slowdown is not None:
+            duration = duration * self.slowdown(self.sim.now)
         start = max(self.sim.now, self._free_at, min_start)
         end = start + duration
         self._free_at = end

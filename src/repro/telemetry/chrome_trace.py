@@ -179,6 +179,29 @@ def job_to_chrome_trace(
     }
 
 
+def store_to_chrome_trace(
+    store: "TimeSeriesStore", meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Counters-only trace from a bare time-series store.
+
+    Used when no job report is available — e.g. rebuilding a trace from
+    a collected telemetry JSONL file.  ``meta`` is merged into
+    ``otherData``.
+    """
+    events = _counter_events(store)
+    events.sort(
+        key=lambda e: (e["ts"], 0 if e["ph"] == "M" else 1, e["pid"], e["tid"])
+    )
+    other: Dict[str, Any] = {"schema": SCHEMA}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
 def _counter_events(store: "TimeSeriesStore") -> List[Dict[str, Any]]:
     events: List[Dict[str, Any]] = []
     seen_pids: Dict[int, str] = {}

@@ -26,6 +26,7 @@ class RankCounters:
 
     __slots__ = (
         "events",
+        "errors",
         "domain_time",
         "domain_bytes",
         "copy_bytes",
@@ -39,6 +40,8 @@ class RankCounters:
     def __init__(self) -> None:
         #: monitored events (wrapped calls) observed so far.
         self.events = 0
+        #: monitored calls that returned an error code.
+        self.errors = 0
         #: time spent inside wrapped calls, by domain (MPI/CUDA/...).
         self.domain_time: Dict[str, float] = {}
         #: bytes carried by refined signatures, by domain.
@@ -73,3 +76,7 @@ class RankCounters:
                 direction = suffix[1:-1]  # "(H2D)" -> "H2D"
                 if direction in self.copy_bytes:
                     self.copy_bytes[direction] += nbytes
+
+    def on_error(self, domain: str) -> None:
+        """Count one failing monitored call (the error-rate series)."""
+        self.errors += 1

@@ -202,6 +202,12 @@ class TelemetryHub:
                     ("rk.idle", rank), tele.host_idle_time, dt
                 )
                 add("ipm_events_per_sec", lbl, rates["events_per_sec"])
+                add(
+                    "ipm_errors_per_sec",
+                    lbl,
+                    self._rate(("rk.err", rank), float(tele.errors), dt),
+                )
+                add("ipm_errors_total", lbl, float(tele.errors))
                 add("ipm_mpi_fraction", lbl, rates["mpi_fraction"])
                 add("ipm_gpu_busy_fraction", lbl, rates["gpu_busy_fraction"])
                 add("ipm_host_idle_fraction", lbl, rates["host_idle_fraction"])

@@ -5,23 +5,88 @@
     python -m repro.telemetry.trace2json --out trace.json
     python -m repro.telemetry.trace2json --app square --ntasks 1
     python -m repro.telemetry.trace2json --ntasks 4 --ranks-per-node 2
+    python -m repro.telemetry.trace2json --from-jsonl run.jsonl
 
 Runs the chosen app with tracing + the telemetry sampler enabled and
 writes a Perfetto-loadable ``trace.json`` (open it at
 https://ui.perfetto.dev or ``chrome://tracing``).  The run is seeded,
 so the same invocation always produces the same file.
+
+With ``--from-jsonl`` no job is run: a previously collected telemetry
+JSONL file (the :class:`~repro.telemetry.sinks.JsonlSink` format) is
+converted into a counters-only trace instead.
+
+Exit codes: 0 success, 2 unreadable or malformed input, 3 input held
+no samples (empty trace).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.telemetry.chrome_trace import validate_chrome_trace, write_chrome_trace
 from repro.telemetry.config import TelemetryConfig
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.series import TimeSeriesStore
+
 APPS = ("hpl", "square")
+
+#: pinned exit codes of the CLI contract (tested).
+EXIT_OK = 0
+EXIT_BAD_INPUT = 2
+EXIT_EMPTY = 3
+
+
+def load_jsonl_store(path: str) -> "TimeSeriesStore":
+    """Parse a :class:`~repro.telemetry.sinks.JsonlSink` file back into
+    a :class:`~repro.telemetry.series.TimeSeriesStore`.
+
+    Raises ``OSError`` when the file cannot be read and ``ValueError``
+    (with ``path:line``) on malformed content.
+    """
+    from repro.telemetry.series import TimeSeriesStore
+    from repro.telemetry.sinks import JSONL_SCHEMA
+
+    store = TimeSeriesStore()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(rec, dict) or "kind" not in rec:
+                raise ValueError(
+                    f"{path}:{lineno}: expected an object with a 'kind' field"
+                )
+            kind = rec["kind"]
+            if kind == "meta":
+                schema = rec.get("schema")
+                if schema != JSONL_SCHEMA:
+                    raise ValueError(
+                        f"{path}:{lineno}: unknown schema {schema!r} "
+                        f"(expected {JSONL_SCHEMA!r})"
+                    )
+            elif kind == "sample":
+                try:
+                    t = float(rec["t"])
+                    for p in rec["points"]:
+                        store.record(
+                            t, p["name"], p.get("labels"), float(p["value"])
+                        )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed sample: {exc!r}"
+                    ) from exc
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
+    return store
 
 
 def run_traced_job(
@@ -84,11 +149,17 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--out", default="trace.json", help="output path")
     ap.add_argument("--indent", type=int, default=None,
                     help="pretty-print with this JSON indent")
+    ap.add_argument("--from-jsonl", metavar="PATH", default=None,
+                    help="convert a collected telemetry JSONL file into "
+                         "a counters-only trace instead of running a job")
     args = ap.parse_args(argv)
     if args.ntasks <= 0:
         ap.error(f"--ntasks must be positive (got {args.ntasks})")
     if args.trace_capacity <= 0:
         ap.error("--trace-capacity must be positive")
+
+    if args.from_jsonl is not None:
+        return _convert_jsonl(args)
 
     result = run_traced_job(
         args.app,
@@ -124,7 +195,39 @@ def main(argv: Optional[list] = None) -> int:
         f"{counters} counter samples "
         f"(load in https://ui.perfetto.dev or chrome://tracing)"
     )
-    return 0
+    return EXIT_OK
+
+
+def _convert_jsonl(args: argparse.Namespace) -> int:
+    """The ``--from-jsonl`` mode: JSONL file -> counters-only trace."""
+    from repro.telemetry.chrome_trace import store_to_chrome_trace
+
+    try:
+        store = load_jsonl_store(args.from_jsonl)
+    except OSError as exc:
+        print(f"error: cannot read {args.from_jsonl}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    trace = store_to_chrome_trace(store, meta={"source": args.from_jsonl})
+    counters = sum(1 for e in trace["traceEvents"] if e["ph"] == "C")
+    if counters == 0:
+        print(
+            f"error: {args.from_jsonl}: no samples (empty trace)",
+            file=sys.stderr,
+        )
+        return EXIT_EMPTY
+    problems = validate_chrome_trace(trace)
+    if problems:  # pragma: no cover - exporter invariant
+        for p in problems:
+            print(f"warning: {p}", file=sys.stderr)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, sort_keys=True, indent=args.indent,
+                  separators=None if args.indent else (",", ":"))
+        fh.write("\n")
+    print(f"wrote {args.out}: {counters} counter samples from {args.from_jsonl}")
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -74,7 +74,10 @@ class TestResourceFailures:
 
         res = run_job(app, 1, ipm_config=IpmConfig())
         by = res.report.merged_by_name()
-        assert by["cudaMalloc"].count == 1  # failures are still events
+        # failures are still events — recorded under the error-tagged
+        # name, plus the @CUDA_ERROR accounting region
+        assert by["cudaMalloc(!cudaErrorMemoryAllocation)"].count == 1
+        assert by["@CUDA_ERROR"].count == 1
 
     def test_cublas_alloc_failure_cleanup(self):
         def app(env):
@@ -104,7 +107,7 @@ class TestResourceFailures:
 
         res = run_job(app, 1, ipm_config=IpmConfig())
         by = res.report.merged_by_name()
-        assert by["cudaLaunch"].count == 1
+        assert by["cudaLaunch(!cudaErrorLaunchFailure)"].count == 1
         # no phantom kernel timing was recorded
         assert not any(n.startswith("@CUDA_EXEC") for n in by)
 

@@ -5,12 +5,19 @@ assembled from an empty selection) used to crash ``gpu_utilization``
 and ``host_idle_percent`` with ZeroDivisionError.
 """
 
+from repro.analysis.histogram import ensemble_stats
+from repro.analysis.scaling import ScalingPoint, speedup
 from repro.core.hashtable import PerfHashTable
-from repro.core.metrics import gpu_utilization, host_idle_percent
+from repro.core.metrics import (
+    function_time_stats,
+    gpu_utilization,
+    host_idle_percent,
+    kernel_imbalance,
+)
 from repro.core.report import JobReport, TaskReport
 
 
-def test_zero_task_job_yields_zero_not_crash():
+def _drained_job():
     # JobReport refuses to be *constructed* empty, but filtering can
     # drain the task list afterwards — the metrics must not divide by it
     task = TaskReport(
@@ -24,5 +31,36 @@ def test_zero_task_job_yields_zero_not_crash():
     )
     job = JobReport(tasks=[task], domains={})
     job.tasks.clear()
+    return job
+
+
+def test_zero_task_job_yields_zero_not_crash():
+    job = _drained_job()
     assert gpu_utilization(job) == 0.0
     assert host_idle_percent(job) == 0.0
+
+
+def test_imbalance_stats_survive_an_empty_task_list():
+    job = _drained_job()
+    stat = function_time_stats(job, "cudaMemcpy")
+    assert (stat.mean, stat.tmin, stat.tmax) == (0.0, 0.0, 0.0)
+    assert kernel_imbalance(job) == {}
+
+
+def test_speedup_guards():
+    assert speedup([]) == {}
+    pts = [
+        ScalingPoint(nprocs=1, wallclock=10.0),
+        ScalingPoint(nprocs=4, wallclock=0.0),  # run killed by a fault
+        ScalingPoint(nprocs=2, wallclock=5.0),
+    ]
+    s = speedup(pts)
+    assert s[1] == 1.0
+    assert s[2] == 2.0
+    assert s[4] == 0.0  # not a ZeroDivisionError
+
+
+def test_ensemble_stats_with_a_degenerate_baseline():
+    s_with, s_without, dilatation = ensemble_stats([1.0, 2.0], [0.0, 0.0])
+    assert s_without.mean == 0.0
+    assert dilatation == 0.0

@@ -1,0 +1,146 @@
+"""Transfer-size validation: bad counts fail fast with InvalidValue.
+
+Regression suite for the hardening sweep: negative / non-integral /
+boolean counts and spans overrunning the device allocation or the host
+buffer must come back as ``cudaErrorInvalidValue`` (runtime) or
+``CUDA_ERROR_INVALID_VALUE`` (driver), never as corrupt table entries
+or crashes deep inside a device event.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CUresult, Driver, cudaError_t, cudaMemcpyKind
+
+from tests.cuda.conftest import run_in_proc
+
+E = cudaError_t
+R = CUresult
+K = cudaMemcpyKind
+
+
+@pytest.fixture()
+def drv(rt):
+    return Driver(rt)
+
+
+def _setup(rt, nbytes=256):
+    err, ptr = rt.cudaMalloc(nbytes)
+    assert err == E.cudaSuccess
+    host = np.zeros(nbytes // 8, dtype=np.float64)
+    return ptr, host
+
+
+class TestSyncMemcpyCounts:
+    @pytest.mark.parametrize("count", [-1, -4096, True, 3.5, "64"])
+    def test_bad_count_is_invalid_value(self, sim, rt, count):
+        def body():
+            ptr, host = _setup(rt)
+            return rt.cudaMemcpy(ptr, host, count, K.cudaMemcpyHostToDevice)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidValue
+
+    def test_count_overrunning_the_device_allocation(self, sim, rt):
+        def body():
+            ptr, _ = _setup(rt, nbytes=256)
+            big = np.zeros(128, dtype=np.float64)  # 1024B host source
+            return rt.cudaMemcpy(ptr, big, 1024, K.cudaMemcpyHostToDevice)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidValue
+
+    def test_count_overrunning_the_host_buffer(self, sim, rt):
+        def body():
+            ptr, host = _setup(rt, nbytes=4096)
+            # host holds 512B; asking for 2048B overruns it
+            small = np.zeros(64, dtype=np.float64)
+            return rt.cudaMemcpy(ptr, small, 2048, K.cudaMemcpyHostToDevice)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidValue
+
+    def test_d2h_is_validated_too(self, sim, rt):
+        def body():
+            ptr, host = _setup(rt)
+            out = []
+            out.append(rt.cudaMemcpy(host, ptr, -8, K.cudaMemcpyDeviceToHost))
+            out.append(rt.cudaMemcpy(host, ptr, 4096, K.cudaMemcpyDeviceToHost))
+            return out
+
+        assert run_in_proc(sim, body) == [E.cudaErrorInvalidValue] * 2
+
+    def test_valid_transfers_still_succeed(self, sim, rt):
+        def body():
+            ptr, host = _setup(rt)
+            a = rt.cudaMemcpy(ptr, host, 256, K.cudaMemcpyHostToDevice)
+            b = rt.cudaMemcpy(host, ptr, None, K.cudaMemcpyDeviceToHost)
+            return a, b
+
+        assert run_in_proc(sim, body) == (E.cudaSuccess, E.cudaSuccess)
+
+
+class TestAsyncMemcpyCounts:
+    @pytest.mark.parametrize("count", [-1, True, 2.5])
+    def test_bad_count_fails_before_enqueue(self, sim, rt, count):
+        def body():
+            ptr, host = _setup(rt)
+            _, stream = rt.cudaStreamCreate()
+            err = rt.cudaMemcpyAsync(ptr, host, count,
+                                     K.cudaMemcpyHostToDevice, stream)
+            # the failed copy enqueued nothing: the stream is idle
+            return err, rt.cudaStreamQuery(stream)
+
+        err, q = run_in_proc(sim, body)
+        assert err == E.cudaErrorInvalidValue
+        assert q == E.cudaSuccess
+
+    def test_async_span_overrun(self, sim, rt):
+        def body():
+            ptr, host = _setup(rt, nbytes=256)
+            _, stream = rt.cudaStreamCreate()
+            big = np.zeros(128, dtype=np.float64)
+            return rt.cudaMemcpyAsync(ptr, big, 1024,
+                                      K.cudaMemcpyHostToDevice, stream)
+
+        assert run_in_proc(sim, body) == E.cudaErrorInvalidValue
+
+
+class TestDriverMemcpyCounts:
+    def _ctx(self, drv):
+        assert drv.cuInit() == R.CUDA_SUCCESS
+        err, _ctx = drv.cuCtxCreate(0, 0)
+        assert err == R.CUDA_SUCCESS
+
+    def test_htod_bad_count(self, sim, drv):
+        def body():
+            self._ctx(drv)
+            err, ptr = drv.cuMemAlloc(256)
+            host = np.zeros(32, dtype=np.float64)
+            return (
+                drv.cuMemcpyHtoD(ptr, host, -16),
+                drv.cuMemcpyHtoD(ptr, host, 4096),
+            )
+
+        out = run_in_proc(sim, body)
+        assert out == (R.CUDA_ERROR_INVALID_VALUE, R.CUDA_ERROR_INVALID_VALUE)
+
+    def test_dtoh_bad_count(self, sim, drv):
+        def body():
+            self._ctx(drv)
+            err, ptr = drv.cuMemAlloc(256)
+            host = np.zeros(32, dtype=np.float64)
+            return drv.cuMemcpyDtoH(host, ptr, 4096)
+
+        assert run_in_proc(sim, body) == R.CUDA_ERROR_INVALID_VALUE
+
+    def test_valid_driver_copy_succeeds(self, sim, drv):
+        def body():
+            self._ctx(drv)
+            err, ptr = drv.cuMemAlloc(256)
+            host = np.arange(32, dtype=np.float64)
+            back = np.zeros(32, dtype=np.float64)
+            a = drv.cuMemcpyHtoD(ptr, host, 256)
+            b = drv.cuMemcpyDtoH(back, ptr, 256)
+            return a, b, back
+
+        a, b, back = run_in_proc(sim, body)
+        assert (a, b) == (R.CUDA_SUCCESS, R.CUDA_SUCCESS)
+        np.testing.assert_array_equal(back, np.arange(32, dtype=np.float64))

@@ -1,0 +1,113 @@
+"""Rank aborts degrade gracefully: partial report, flushed telemetry."""
+
+import json
+
+import pytest
+
+from repro.apps.hpl import HplConfig, hpl_app
+from repro.cluster import run_job
+from repro.core import IpmConfig
+from repro.core.banner import banner
+from repro.faults import FaultPlan, RankAborted, RankAbortSpec
+from repro.telemetry.config import TelemetryConfig
+
+
+def _faulted_hpl(tmp_path, abort_at):
+    tcfg = TelemetryConfig(
+        enabled=True,
+        interval=0.020,
+        sinks=("memory", "jsonl"),
+        jsonl_path=str(tmp_path / "telemetry.jsonl"),
+    )
+    return run_job(
+        lambda env: hpl_app(env, HplConfig.tiny()),
+        2,
+        command="./xhpl.cuda",
+        ipm_config=IpmConfig(telemetry=tcfg),
+        seed=3,
+        faults=FaultPlan(aborts=[RankAbortSpec(rank=1, at=abort_at)]),
+    )
+
+
+#: mid-factorization abort point: past the ~1.2 s context-creation
+#: phase (the first cudaMalloc returns only after the context init is
+#: served), with several LU steps already profiled, well before the
+#: ~3.9 s baseline finish.
+MID_RUN = 2.0
+
+
+class TestAbortMidJob:
+    def test_partial_report_with_per_rank_status(self, tmp_path):
+        res = _faulted_hpl(tmp_path, abort_at=MID_RUN)
+        job = res.report
+        assert job is not None and job.ntasks == 2
+        assert not job.complete
+        statuses = job.rank_statuses()
+        assert statuses[1] == "aborted"
+        # the survivor either finished or blocked forever on its dead
+        # peer (HPL is collective-heavy, so stalling is the norm)
+        assert statuses[0] in ("completed", "stalled")
+        # both ranks still carry their monitoring state up to the fault
+        assert len(job.tasks[1].table) > 0
+        # the abort itself is on the fired-fault schedule
+        aborts = [e for e in res.faults.events if e.kind == "abort"]
+        assert len(aborts) == 1
+        assert aborts[0].rank == 1
+        assert aborts[0].t >= MID_RUN
+
+    def test_banner_carries_the_status_line(self, tmp_path):
+        res = _faulted_hpl(tmp_path, abort_at=MID_RUN)
+        text = banner(res.report)
+        status = [l for l in text.splitlines() if l.startswith("# status")]
+        assert len(status) == 1
+        assert "rank 1: aborted" in status[0]
+
+    def test_telemetry_flushed_despite_the_abort(self, tmp_path):
+        res = _faulted_hpl(tmp_path, abort_at=MID_RUN)
+        hub = res.telemetry
+        assert hub is not None
+        mem = hub.sink("memory")
+        assert mem.closed and len(mem) > 0
+        lines = (tmp_path / "telemetry.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "meta"
+        assert any(json.loads(l)["kind"] == "sample" for l in lines[1:])
+
+    def test_abort_at_time_zero_kills_before_any_work(self, tmp_path):
+        res = _faulted_hpl(tmp_path, abort_at=0.0)
+        assert res.report.rank_statuses()[1] == "aborted"
+
+    def test_unplanned_crash_still_propagates(self):
+        """Only *planned* aborts are absorbed — real bugs must surface."""
+        from repro.simt import ProcessCrashed
+
+        def app(env):
+            if env.rank == 1:
+                raise RuntimeError("actual bug")
+            env.mpi.MPI_Barrier()
+
+        with pytest.raises(ProcessCrashed):
+            run_job(app, 2, faults=FaultPlan(aborts=[RankAbortSpec(0, 99.0)]))
+
+    def test_hand_raised_rankaborted_outside_a_plan_propagates(self):
+        """RankAborted raised by app code without an injector is a crash."""
+        from repro.simt import ProcessCrashed
+
+        def app(env):
+            raise RankAborted(env.rank, env.sim.now)
+
+        with pytest.raises(ProcessCrashed):
+            run_job(app, 1)
+
+    def test_unmonitored_abort_gives_partial_results(self):
+        def app(env):
+            for _ in range(4):  # abort checks happen at call boundaries
+                env.hostcompute(0.05)
+            return env.rank
+
+        res = run_job(
+            app, 2,
+            faults=FaultPlan(aborts=[RankAbortSpec(rank=1, at=0.1)]),
+        )
+        assert res.report is None
+        assert res.results[0] == 0
+        assert res.results[1] is None  # the aborted rank never returned

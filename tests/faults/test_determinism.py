@@ -1,0 +1,92 @@
+"""Seeded fault schedules are reproducible; disabled plans are free.
+
+Two guarantees of the fault subsystem:
+
+* same seed + same plan => byte-identical fault schedule, reports and
+  banner (the paper-repro golden-output discipline extends to faults);
+* a disabled or empty :class:`FaultPlan` is indistinguishable from no
+  plan at all — the un-faulted hot path must not shift by one byte.
+"""
+
+import itertools
+
+import pytest
+
+from repro.apps.hpl import HplConfig, hpl_app
+from repro.cluster import run_job
+from repro.core import IpmConfig
+from repro.core.banner import banner
+from repro.core.hostidle import identify_blocking_calls
+from repro.cuda import cudaError_t
+from repro.cuda.stream import Stream
+from repro.faults import CudaFaultSpec, FaultPlan, MpiDelaySpec
+
+E = cudaError_t
+
+#: a plan exercising both RNG channels: probabilistic CUDA faults (the
+#: per-rank streams) and MPI delay spikes (the shared stream).
+CHAOS = FaultPlan(
+    cuda=[CudaFaultSpec(call="*", error=E.cudaErrorLaunchFailure, rate=0.2)],
+    mpi=[MpiDelaySpec(rate=0.5, extra_mean=0.003)],
+)
+
+
+def _pin_globals():
+    # Stream ids come from a process-global counter, so back-to-back
+    # runs shift the @CUDA_EXEC_STRMxx names.  Warm the blocking-call
+    # cache and rewind the counter, as the telemetry golden tests do.
+    identify_blocking_calls()
+    Stream._ids = itertools.count(1)
+
+
+def _run(faults=None, seed=11):
+    _pin_globals()
+    return run_job(
+        lambda env: hpl_app(env, HplConfig.tiny()),
+        2,
+        command="./xhpl.cuda",
+        ipm_config=IpmConfig(),
+        seed=seed,
+        faults=faults,
+    )
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_plan_identical_schedule(self):
+        a = _run(CHAOS)
+        b = _run(CHAOS)
+        assert a.faults.events  # the chaos plan actually fired
+        assert a.faults.schedule_key() == b.faults.schedule_key()
+        assert a.faults.events == b.faults.events
+
+    def test_same_seed_same_plan_identical_outputs(self):
+        a = _run(CHAOS)
+        b = _run(CHAOS)
+        assert a.wallclock == b.wallclock
+        assert banner(a.report) == banner(b.report)
+
+    def test_different_seed_different_schedule(self):
+        a = _run(CHAOS, seed=11)
+        b = _run(CHAOS, seed=12)
+        assert a.faults.schedule_key() != b.faults.schedule_key()
+
+
+class TestDisabledPlansAreFree:
+    def test_disabled_and_empty_plans_match_no_plan_exactly(self):
+        base = _run(faults=None)
+        empty = _run(faults=FaultPlan())
+        disabled = _run(faults=FaultPlan(enabled=False, cuda=CHAOS.cuda,
+                                         mpi=CHAOS.mpi))
+        assert base.wallclock == empty.wallclock == disabled.wallclock
+        text = banner(base.report)
+        assert banner(empty.report) == text
+        assert banner(disabled.report) == text
+        # no injector is even constructed for an inactive plan
+        assert empty.faults is None
+        assert disabled.faults is None
+
+    def test_faulted_run_differs_from_baseline(self):
+        """Sanity: the chaos plan is not a no-op."""
+        base = _run(faults=None)
+        chaotic = _run(CHAOS)
+        assert chaotic.wallclock != pytest.approx(base.wallclock, rel=1e-9)

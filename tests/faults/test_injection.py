@@ -1,0 +1,184 @@
+"""Injected faults are observed by IPM — and degrade, never crash."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import run_job
+from repro.core import IpmConfig
+from repro.cuda import Kernel, cudaError_t, cudaMemcpyKind
+from repro.faults import (
+    CudaFaultSpec,
+    FaultPlan,
+    MpiDelaySpec,
+    NodeSlowdownSpec,
+    StreamSlowdownSpec,
+)
+from repro.telemetry.config import TelemetryConfig
+
+E = cudaError_t
+K = cudaMemcpyKind
+
+
+def little_app(env):
+    """malloc + H2D + kernel + D2H + host compute + allreduce."""
+    err, ptr = env.rt.cudaMalloc(8000)
+    host = np.zeros(1000)
+    env.rt.cudaMemcpy(ptr, host, 8000, K.cudaMemcpyHostToDevice)
+    env.rt.launch(Kernel("work", nominal_duration=0.01), 100, 64, args=(ptr,))
+    env.rt.cudaMemcpy(host, ptr, 8000, K.cudaMemcpyDeviceToHost)
+    env.hostcompute(0.05)
+    total = env.mpi.MPI_Allreduce(env.rank)
+    env.rt.cudaFree(ptr)
+    return total
+
+
+class TestCudaErrorInjection:
+    def test_injected_error_reaches_the_application(self):
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="cudaMemcpy", error=E.cudaErrorInvalidValue,
+                          max_failures=1)
+        ])
+
+        seen = []
+
+        def app(env):
+            err, ptr = env.rt.cudaMalloc(64)
+            host = np.zeros(8)
+            seen.append(env.rt.cudaMemcpy(ptr, host, 64, K.cudaMemcpyHostToDevice))
+            seen.append(env.rt.cudaMemcpy(ptr, host, 64, K.cudaMemcpyHostToDevice))
+            # the injected error is sticky in cudaGetLastError until read
+            env.rt.cudaFree(ptr)
+
+        run_job(app, 1, faults=plan)
+        assert seen == [E.cudaErrorInvalidValue, E.cudaSuccess]
+
+    def test_monitored_failure_is_error_tagged_and_counted(self):
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="cudaMemcpy", error=E.cudaErrorInvalidValue,
+                          max_failures=1)
+        ])
+        tcfg = TelemetryConfig(enabled=True, interval=0.01, sinks=("memory",))
+        res = run_job(little_app, 2, ipm_config=IpmConfig(telemetry=tcfg),
+                      faults=plan)
+        by = res.report.merged_by_name()
+        # per-rank first H2D failed on both ranks: tagged name + region
+        assert by["cudaMemcpy(H2D)(!cudaErrorInvalidValue)"].count == 2
+        assert by["@CUDA_ERROR"].count == 2
+        # healthy events kept their untagged names
+        assert by["cudaMemcpy(D2H)"].count == 2
+        # telemetry error series observed the failures
+        errs = [
+            p for p in res.telemetry.sink("memory").points()
+            if p.name == "ipm_errors_total"
+        ]
+        assert errs and max(p.value for p in errs) == 1.0
+        # and the injector's schedule log has exactly the two firings
+        fired = [e for e in res.faults.events if e.kind == "cuda"]
+        assert len(fired) == 2
+        assert all(e.detail == "cudaMemcpy:cudaErrorInvalidValue" for e in fired)
+
+    def test_error_counts_per_domain(self):
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="cudaMalloc", error=E.cudaErrorMemoryAllocation,
+                          max_failures=1)
+        ])
+
+        def app(env):
+            env.rt.cudaMalloc(64)
+
+        res = run_job(app, 1, ipm_config=IpmConfig(), faults=plan)
+        task = res.report.tasks[0]
+        assert task.status == "completed"
+        by = task.by_name()
+        assert by["cudaMalloc(!cudaErrorMemoryAllocation)"].count == 1
+
+    def test_plan_can_ride_on_ipm_config(self):
+        """`IpmConfig.faults` is an alternate route for the same plan."""
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="cudaMalloc", error=E.cudaErrorMemoryAllocation,
+                          max_failures=1)
+        ])
+
+        def app(env):
+            env.rt.cudaMalloc(64)
+
+        res = run_job(app, 1, ipm_config=IpmConfig(faults=plan))
+        by = res.report.tasks[0].by_name()
+        assert by["cudaMalloc(!cudaErrorMemoryAllocation)"].count == 1
+        # an explicit run_job argument wins over the config's plan
+        quiet = run_job(app, 1, ipm_config=IpmConfig(faults=plan),
+                        faults=FaultPlan())
+        assert quiet.faults is None
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="*", error=E.cudaErrorInvalidValue, rate=0.0)
+        ])
+        res = run_job(little_app, 2, ipm_config=IpmConfig(), faults=plan)
+        assert res.faults.events == []
+        assert "@CUDA_ERROR" not in res.report.merged_by_name()
+
+
+class TestSlowdowns:
+    def test_stream_slowdown_lengthens_device_work(self):
+        base = run_job(little_app, 2, seed=7)
+        slow = run_job(
+            little_app, 2, seed=7,
+            faults=FaultPlan(streams=[StreamSlowdownSpec(multiplier=8.0)]),
+        )
+        assert slow.wallclock > base.wallclock
+
+    def test_node_slowdown_hits_only_matching_nodes(self):
+        def app(env):
+            env.hostcompute(0.1)
+
+        base = run_job(app, 2, seed=7)
+        slow = run_job(
+            app, 2, seed=7,
+            faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=3.0, nodes=(0,))]),
+        )
+        # rank 0 (node 0) computes 0.3s, rank 1 unchanged at 0.1s
+        assert slow.wallclock == pytest.approx(3 * base.wallclock, rel=1e-6)
+        untouched = run_job(
+            app, 2, seed=7,
+            faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=3.0, nodes=(9,))]),
+        )
+        assert untouched.wallclock == base.wallclock
+
+    def test_windowed_slowdown_expires(self):
+        def app(env):
+            env.hostcompute(0.1)
+
+        # window opens long after the job finished: no effect at all
+        res = run_job(
+            app, 1, seed=7,
+            faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=5.0,
+                                                     t0=10.0, t1=20.0)]),
+        )
+        base = run_job(app, 1, seed=7)
+        assert res.wallclock == base.wallclock
+
+
+def pingpong_app(env):
+    """Point-to-point traffic (collectives are closed-form, p2p moves
+    through :class:`~repro.mpi.network.Network` where delay injects)."""
+    payload = b"x" * 4096
+    for _ in range(8):
+        if env.rank == 0:
+            env.mpi.MPI_Send(payload, dest=1)
+            env.mpi.MPI_Recv(source=1)
+        else:
+            env.mpi.MPI_Recv(source=0)
+            env.mpi.MPI_Send(payload, dest=0)
+
+
+class TestMpiDelay:
+    def test_delay_spikes_slow_the_job_and_are_logged(self):
+        base = run_job(pingpong_app, 2, seed=5)
+        plan = FaultPlan(mpi=[MpiDelaySpec(rate=1.0, extra_mean=0.02)])
+        slow = run_job(pingpong_app, 2, seed=5, faults=plan)
+        assert slow.wallclock > base.wallclock
+        spikes = [e for e in slow.faults.events if e.kind == "mpi_delay"]
+        assert spikes
+        assert all(e.value > 0 for e in spikes)
+        assert all(e.rank == -1 for e in spikes)

@@ -1,0 +1,107 @@
+"""FaultPlan/spec validation: bad plans must fail at construction."""
+
+import pytest
+
+from repro.cuda import cudaError_t
+from repro.faults import (
+    CudaFaultSpec,
+    FaultInjector,
+    FaultPlan,
+    MpiDelaySpec,
+    NodeSlowdownSpec,
+    RankAbortSpec,
+    StreamSlowdownSpec,
+)
+from repro.simt import RngStreams, Simulator
+
+E = cudaError_t
+
+
+class TestCudaFaultSpec:
+    def test_defaults_are_valid(self):
+        spec = CudaFaultSpec()
+        assert spec.call == "cudaLaunch"
+        assert spec.matches(0, "cudaLaunch", 0.0)
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ValueError, match="not an injectable"):
+            CudaFaultSpec(call="cudaFrobnicate")
+
+    def test_wildcard_call_accepted(self):
+        spec = CudaFaultSpec(call="*", error=E.cudaErrorMemoryAllocation)
+        assert spec.matches(3, "cudaMalloc", 1.0)
+        assert spec.matches(3, "cudaMemcpy", 1.0)
+
+    def test_success_is_not_a_fault(self):
+        with pytest.raises(ValueError, match="cudaSuccess"):
+            CudaFaultSpec(error=E.cudaSuccess)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            CudaFaultSpec(rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            CudaFaultSpec(rate=-0.1)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            CudaFaultSpec(t0=2.0, t1=1.0)
+        with pytest.raises(ValueError, match="window"):
+            CudaFaultSpec(t0=-1.0)
+
+    def test_window_is_half_open(self):
+        spec = CudaFaultSpec(t0=1.0, t1=2.0)
+        assert not spec.matches(0, "cudaLaunch", 0.999)
+        assert spec.matches(0, "cudaLaunch", 1.0)
+        assert not spec.matches(0, "cudaLaunch", 2.0)
+
+    def test_rank_filter(self):
+        spec = CudaFaultSpec(ranks=[1, 3])
+        assert spec.matches(1, "cudaLaunch", 0.0)
+        assert not spec.matches(0, "cudaLaunch", 0.0)
+
+    def test_max_failures_positive(self):
+        with pytest.raises(ValueError, match="max_failures"):
+            CudaFaultSpec(max_failures=0)
+
+
+class TestOtherSpecs:
+    def test_multipliers_must_be_positive(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            StreamSlowdownSpec(multiplier=0.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            NodeSlowdownSpec(multiplier=-2.0)
+
+    def test_mpi_rate_and_mean(self):
+        with pytest.raises(ValueError, match="rate"):
+            MpiDelaySpec(rate=0.0)
+        with pytest.raises(ValueError, match="extra_mean"):
+            MpiDelaySpec(extra_mean=0.0)
+
+    def test_abort_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            RankAbortSpec(rank=-1, at=0.0)
+        with pytest.raises(ValueError, match="abort time"):
+            RankAbortSpec(rank=0, at=-1.0)
+
+
+class TestFaultPlan:
+    def test_lists_become_tuples(self):
+        plan = FaultPlan(cuda=[CudaFaultSpec()], aborts=[RankAbortSpec(0, 1.0)])
+        assert isinstance(plan.cuda, tuple)
+        assert isinstance(plan.aborts, tuple)
+
+    def test_duplicate_aborts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate abort"):
+            FaultPlan(aborts=[RankAbortSpec(1, 1.0), RankAbortSpec(1, 2.0)])
+
+    def test_empty_plan_is_inactive(self):
+        assert FaultPlan().empty
+        assert not FaultPlan().active
+
+    def test_disabled_plan_is_inactive(self):
+        plan = FaultPlan(enabled=False, cuda=[CudaFaultSpec()])
+        assert not plan.active
+
+    def test_injector_refuses_inactive_plan(self):
+        with pytest.raises(ValueError, match="enabled, non-empty"):
+            FaultInjector(FaultPlan(), RngStreams(0), 1, Simulator())

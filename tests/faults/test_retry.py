@@ -1,0 +1,136 @@
+"""retry_with_backoff: virtual-time backoff around retryable failures."""
+
+import pytest
+
+from repro.cluster import run_job
+from repro.cuda import cudaError_t
+from repro.faults import (
+    RETRYABLE_CUDA,
+    CudaFaultSpec,
+    FaultPlan,
+    RetriesExhausted,
+    retry_with_backoff,
+)
+
+E = cudaError_t
+
+
+def _in_sim(fn):
+    """Run ``fn(env)`` on one simulated rank; returns its result."""
+    return run_job(fn, 1).results[0]
+
+
+class TestRetryLoop:
+    def test_success_after_transient_failures(self):
+        def app(env):
+            calls = []
+
+            def flaky():
+                calls.append(env.sim.now)
+                if len(calls) < 3:
+                    return E.cudaErrorMemoryAllocation
+                return E.cudaSuccess
+
+            t0 = env.sim.now
+            out = retry_with_backoff(env.sim, flaky,
+                                     base_delay=0.01, factor=2.0)
+            # two backoff sleeps: 0.01 + 0.02 virtual seconds
+            return out, len(calls), env.sim.now - t0
+
+        out, ncalls, elapsed = _in_sim(app)
+        assert out == E.cudaSuccess
+        assert ncalls == 3
+        assert elapsed == pytest.approx(0.03)
+
+    def test_tuple_results_follow_the_out_parameter_convention(self):
+        def app(env):
+            results = iter([
+                (E.cudaErrorMemoryAllocation, None),
+                (E.cudaSuccess, 0xDEAD),
+            ])
+            return retry_with_backoff(env.sim, lambda: next(results),
+                                      base_delay=0.001)
+
+        assert _in_sim(app) == (E.cudaSuccess, 0xDEAD)
+
+    def test_permanent_error_returned_without_retry(self):
+        def app(env):
+            calls = []
+
+            def broken():
+                calls.append(1)
+                return E.cudaErrorInvalidValue  # misuse: not retryable
+
+            t0 = env.sim.now
+            out = retry_with_backoff(env.sim, broken, base_delay=0.01)
+            return out, len(calls), env.sim.now - t0
+
+        out, ncalls, elapsed = _in_sim(app)
+        assert out == E.cudaErrorInvalidValue
+        assert ncalls == 1
+        assert elapsed == 0.0
+
+    def test_retries_exhausted(self):
+        def app(env):
+            with pytest.raises(RetriesExhausted) as err:
+                retry_with_backoff(
+                    env.sim, lambda: E.cudaErrorLaunchFailure,
+                    attempts=3, base_delay=0.001,
+                )
+            return err.value.attempts, err.value.last_result
+
+        attempts, last = _in_sim(app)
+        assert attempts == 3
+        assert last == E.cudaErrorLaunchFailure
+
+    def test_custom_is_retryable(self):
+        def app(env):
+            results = iter(["try-again", "ok"])
+            return retry_with_backoff(
+                env.sim, lambda: next(results),
+                base_delay=0.001, is_retryable=lambda r: r == "try-again",
+            )
+
+        assert _in_sim(app) == "ok"
+
+    def test_validation(self):
+        def app(env):
+            for bad in (
+                dict(attempts=0),
+                dict(base_delay=-1.0),
+                dict(factor=0.0),
+            ):
+                with pytest.raises(ValueError):
+                    retry_with_backoff(env.sim, lambda: None, **bad)
+            return True
+
+        assert _in_sim(app)
+
+
+class TestRetryAgainstInjectedFaults:
+    def test_transient_oom_survived_by_retrying(self):
+        """Injected OOMs stop after max_failures; the retry outlives them."""
+        plan = FaultPlan(cuda=[
+            CudaFaultSpec(call="cudaMalloc",
+                          error=E.cudaErrorMemoryAllocation,
+                          max_failures=2)
+        ])
+
+        def app(env):
+            err, ptr = retry_with_backoff(
+                env.sim, lambda: env.rt.cudaMalloc(4096),
+                attempts=8, base_delay=0.02,
+            )
+            assert ptr is not None
+            env.rt.cudaFree(ptr)
+            return err
+
+        res = run_job(app, 1, faults=plan)
+        assert res.results[0] == E.cudaSuccess
+        # both budgeted OOMs actually fired before the success
+        oom = [e for e in res.faults.events if e.kind == "cuda"]
+        assert len(oom) == 2
+
+    def test_retryable_set_contents(self):
+        assert E.cudaErrorMemoryAllocation in RETRYABLE_CUDA
+        assert E.cudaErrorInvalidValue not in RETRYABLE_CUDA

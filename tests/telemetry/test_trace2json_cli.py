@@ -1,0 +1,117 @@
+"""The trace2json CLI contract: ``--from-jsonl`` mode and exit codes."""
+
+import json
+
+import pytest
+
+from repro.telemetry.series import SamplePoint
+from repro.telemetry.sinks import JSONL_SCHEMA, JsonlSink
+from repro.telemetry.trace2json import (
+    EXIT_BAD_INPUT,
+    EXIT_EMPTY,
+    EXIT_OK,
+    load_jsonl_store,
+    main,
+)
+
+
+def _write_jsonl(path, samples=3):
+    """A well-formed telemetry JSONL file via the real sink."""
+    sink = JsonlSink(path=str(path))
+    sink.open({"command": "./xhpl.cuda", "ntasks": 2})
+    for i in range(samples):
+        t = 0.05 * (i + 1)
+        sink.emit(
+            t,
+            [
+                SamplePoint(t, "ipm_calls_total", (("rank", "0"),), 10.0 * i),
+                SamplePoint(t, "node_power_watts",
+                            (("node", "dirac01"),), 220.0),
+            ],
+        )
+    sink.close()
+    return path
+
+
+class TestExitCodes:
+    def test_missing_file_is_bad_input(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["--from-jsonl", str(tmp_path / "nope.jsonl"),
+                   "--out", str(out)])
+        assert rc == EXIT_BAD_INPUT
+        assert "cannot read" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_malformed_line_is_bad_input(self, tmp_path, capsys):
+        src = tmp_path / "bad.jsonl"
+        src.write_text('{"kind": "meta", "schema": "%s"}\nnot json\n'
+                       % JSONL_SCHEMA)
+        rc = main(["--from-jsonl", str(src), "--out",
+                   str(tmp_path / "trace.json")])
+        assert rc == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert f"{src}:2" in err and "not JSON" in err
+
+    def test_wrong_schema_is_bad_input(self, tmp_path, capsys):
+        src = tmp_path / "alien.jsonl"
+        src.write_text('{"kind": "meta", "schema": "someone-elses/v9"}\n')
+        rc = main(["--from-jsonl", str(src), "--out",
+                   str(tmp_path / "trace.json")])
+        assert rc == EXIT_BAD_INPUT
+        assert "unknown schema" in capsys.readouterr().err
+
+    def test_meta_only_file_is_empty(self, tmp_path, capsys):
+        src = tmp_path / "empty.jsonl"
+        _write_jsonl(src, samples=0)
+        rc = main(["--from-jsonl", str(src), "--out",
+                   str(tmp_path / "trace.json")])
+        assert rc == EXIT_EMPTY
+        assert "no samples" in capsys.readouterr().err
+
+    def test_valid_file_converts_to_a_chrome_trace(self, tmp_path, capsys):
+        src = _write_jsonl(tmp_path / "run.jsonl")
+        out = tmp_path / "trace.json"
+        rc = main(["--from-jsonl", str(src), "--out", str(out)])
+        assert rc == EXIT_OK
+        assert "wrote" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 6  # 3 samples x 2 series
+        assert trace["otherData"]["schema"].startswith("ipm-repro/chrome-trace")
+        assert trace["otherData"]["source"] == str(src)
+
+
+class TestLoader:
+    def test_roundtrips_series_and_points(self, tmp_path):
+        src = _write_jsonl(tmp_path / "run.jsonl")
+        store = load_jsonl_store(str(src))
+        names = {s.name for s in store.series()}
+        assert names == {"ipm_calls_total", "node_power_watts"}
+        calls = next(s for s in store.series() if s.name == "ipm_calls_total")
+        assert [v for _, v in calls.points] == [0.0, 10.0, 20.0]
+
+    def test_unknown_kind_is_rejected_with_position(self, tmp_path):
+        src = tmp_path / "odd.jsonl"
+        src.write_text(
+            '{"kind": "meta", "schema": "%s"}\n{"kind": "frobnicate"}\n'
+            % JSONL_SCHEMA
+        )
+        with pytest.raises(ValueError, match=r"odd\.jsonl:2: unknown kind"):
+            load_jsonl_store(str(src))
+
+    def test_malformed_sample_is_rejected(self, tmp_path):
+        src = tmp_path / "broken.jsonl"
+        src.write_text(
+            '{"kind": "sample", "t": "soon", "points": []}\n'
+        )
+        with pytest.raises(ValueError, match="malformed sample"):
+            load_jsonl_store(str(src))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        src = tmp_path / "gaps.jsonl"
+        src.write_text(
+            '\n{"kind": "sample", "t": 1.0, "points": '
+            '[{"name": "x", "labels": {}, "value": 2.0}]}\n\n'
+        )
+        store = load_jsonl_store(str(src))
+        assert len(list(store.series())) == 1
