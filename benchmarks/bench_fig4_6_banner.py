@@ -12,18 +12,17 @@ its monitoring mechanisms and checks their defining features:
 
 import pytest
 
-from repro.apps.square import SquareConfig, square_app
-from repro.cluster import run_job
-from repro.core import IpmConfig, banner_serial
+from repro import IpmConfig, JobSpec
+from repro.core import banner_serial
 
-from conftest import emit, once
+from conftest import emit, once, sweep_runner
 
 
 def _run(config: IpmConfig):
-    return run_job(
-        lambda env: square_app(env, SquareConfig()),
-        ntasks=1, command="./cuda.ipm", ipm_config=config, seed=15,
+    spec = JobSpec(
+        app="square", ntasks=1, command="./cuda.ipm", ipm=config, seed=15,
     )
+    return sweep_runner().run([spec])[0]
 
 
 @pytest.mark.benchmark(group="fig4-6")

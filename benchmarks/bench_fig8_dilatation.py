@@ -21,31 +21,24 @@ import os
 
 import pytest
 
+from repro import IpmConfig, JobSpec, NoiseConfig
 from repro.analysis import ascii_histogram, ensemble_stats
-from repro.apps.hpl import HplConfig, hpl_app
-from repro.cluster import run_job
-from repro.core import IpmConfig
-from repro.simt import NoiseConfig
 
-from conftest import emit, once
+from conftest import emit, once, sweep_runner
 
 RUNS = int(os.environ.get("REPRO_FIG8_RUNS", "40"))
 
 
 def _ensemble():
-    cfg = HplConfig.paper_16rank()
-    with_ipm, without_ipm = [], []
-    for i in range(RUNS):
-        without_ipm.append(
-            run_job(lambda env: hpl_app(env, cfg), 16, command="xhpl.cuda",
-                    noise=NoiseConfig(), seed=1000 + i).wallclock
-        )
-        with_ipm.append(
-            run_job(lambda env: hpl_app(env, cfg), 16, command="xhpl.cuda",
-                    noise=NoiseConfig(), seed=2000 + i,
-                    ipm_config=IpmConfig()).wallclock
-        )
-    return with_ipm, without_ipm
+    """The 2×RUNS ensemble as one sweep (paper_16rank == HplConfig())."""
+    base = JobSpec(app="hpl", ntasks=16, command="xhpl.cuda",
+                   noise=NoiseConfig())
+    without_specs = [base.replace(seed=1000 + i) for i in range(RUNS)]
+    with_specs = [base.replace(seed=2000 + i, ipm=IpmConfig())
+                  for i in range(RUNS)]
+    sweep = sweep_runner().run(without_specs + with_specs)
+    wallclocks = sweep.wallclocks()
+    return wallclocks[RUNS:], wallclocks[:RUNS]
 
 
 @pytest.mark.benchmark(group="fig8")

@@ -16,13 +16,11 @@ import os
 
 import pytest
 
+from repro import IpmConfig, JobSpec, NoiseConfig
 from repro.analysis import format_table
-from repro.apps.hpl import HplConfig, hpl_app
-from repro.cluster import run_job
-from repro.core import IpmConfig, metrics, read_cube, write_cube, write_xml
-from repro.simt import NoiseConfig
+from repro.core import metrics, read_cube, write_cube, write_xml
 
-from conftest import RESULTS_DIR, emit, once
+from conftest import RESULTS_DIR, emit, once, sweep_runner
 
 FIG9_KERNELS = [
     "dgemm_nn_e_kernel", "dgemm_nt_tex_kernel", "dtrsm_gpu_64_mm", "transpose",
@@ -30,11 +28,11 @@ FIG9_KERNELS = [
 
 
 def _run():
-    return run_job(
-        lambda env: hpl_app(env, HplConfig.paper_16rank()), 16,
-        command="./xhpl.cuda", ipm_config=IpmConfig(),
+    spec = JobSpec(
+        app="hpl", ntasks=16, command="./xhpl.cuda", ipm=IpmConfig(),
         noise=NoiseConfig(), seed=1,
     )
+    return sweep_runner().run([spec])[0]
 
 
 @pytest.mark.benchmark(group="fig9")

@@ -16,6 +16,27 @@ import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
+#: set to a directory to relocate the figure-sweep result cache, or to
+#: "0"/"off" to disable caching (every run then resimulates).
+SWEEP_CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def sweep_runner(workers=None):
+    """The figure scripts' :class:`repro.SweepRunner`.
+
+    Jobs are content-addressed into ``results/.sweep_cache`` (override
+    via ``REPRO_SWEEP_CACHE``), so re-running a figure script replays
+    the simulations from disk — determinism makes the cached reports
+    byte-identical to fresh runs.
+    """
+    from repro import ResultCache, SweepRunner
+
+    where = os.environ.get(
+        SWEEP_CACHE_ENV, os.path.join(RESULTS_DIR, ".sweep_cache")
+    )
+    cache = None if where in ("0", "off", "") else ResultCache(where)
+    return SweepRunner(workers=workers, cache=cache)
+
 
 def save_result(name: str, text: str) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -7,57 +7,67 @@ nodes) plus the MKL baseline at the smallest size, and prints the
 Fig. 10 breakdown: wallclock, MPI vs CUBLAS, and the contributions of
 MPI_Allreduce / MPI_Wait / MPI_Gather / cublasSetMatrix /
 cublasGetMatrix.  Watch MPI_Gather explode at 8 ranks/node.
+
+The study is expressed as declarative :class:`repro.JobSpec` values
+and executed as one batch through :class:`repro.SweepRunner` — the
+independent configurations fan out onto worker processes, and passing
+``--cache DIR`` replays previously computed points from disk
+(determinism makes the cached results byte-identical to fresh runs).
 """
 
-from repro.analysis import ScalingPoint, format_scaling
-from repro.apps.paratec import ParatecConfig, paratec_app
-from repro.cluster import run_job
-from repro.core import IpmConfig
+import sys
+
+from repro import IpmConfig, JobSpec, ResultCache, SweepRunner
+from repro.analysis import format_scaling, sweep_scaling
+from repro.sweep import SweepReport
 
 N_NODES = 8
-CONFIG = ParatecConfig(
-    iterations=8,
-    gemm_calls_total=240,
-    fft_parallel_seconds=440.0,
-    fft_serial_seconds=4.0,
-    gather_bytes_per_rank=40 << 20,
-)
+PARATEC = {
+    "iterations": 8,
+    "gemm_calls_total": 240,
+    "fft_parallel_seconds": 440.0,
+    "fft_serial_seconds": 4.0,
+    "gather_bytes_per_rank": 40 << 20,
+}
 CATEGORIES = ["MPI", "CUBLAS", "MPI_Allreduce", "MPI_Wait", "MPI_Gather",
               "cublasSetMatrix", "cublasGetMatrix"]
 
 
-def measure(nprocs: int, blas: str) -> ScalingPoint:
-    result = run_job(
-        lambda env: paratec_app(env, CONFIG, blas=blas),
+def spec(nprocs: int, blas: str) -> JobSpec:
+    return JobSpec(
+        app="paratec",
         ntasks=nprocs,
+        app_params={**PARATEC, "blas": blas},
         command=f"paratec.{blas}",
         ranks_per_node=max(1, nprocs // N_NODES),
         n_nodes=N_NODES,
-        ipm_config=IpmConfig(),
+        ipm=IpmConfig(),
         seed=2,
     )
-    job = result.report
-    by = job.merged_by_name()
-    breakdown = {
-        "MPI": sum(job.domain_times("MPI")) / nprocs,
-        "CUBLAS": sum(job.domain_times("CUBLAS")) / nprocs,
-    }
-    for name in CATEGORIES[2:]:
-        breakdown[name] = (by[name].total / nprocs) if name in by else 0.0
-    return ScalingPoint(nprocs, result.wallclock, breakdown)
 
 
-def main() -> None:
-    mkl = measure(8, "mkl")
+def main(argv=None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    cache = ResultCache(argv[argv.index("--cache") + 1]) \
+        if "--cache" in argv else None
+    runner = SweepRunner(cache=cache)
+
+    sweep = runner.run(
+        [spec(8, "mkl")] + [spec(n, "cublas") for n in (8, 16, 32, 64)]
+    )
+    mkl, cublas = sweep[0], sweep.results[1:]
     print(f"MKL BLAS baseline at 8 procs: {mkl.wallclock:.0f} s")
-    points = []
-    for nprocs in (8, 16, 32, 64):
-        pt = measure(nprocs, "cublas")
-        points.append(pt)
-        print(f"CUBLAS at {nprocs:3d} procs: {pt.wallclock:.0f} s")
-    speedup = mkl.wallclock / points[0].wallclock
+    for pt in cublas:
+        print(f"CUBLAS at {pt.spec.ntasks:3d} procs: {pt.wallclock:.0f} s")
+    if cache is not None:
+        print(f"[{sweep.cache_hits} cached, {sweep.executed} simulated, "
+              f"mode={sweep.mode}]")
+    speedup = mkl.wallclock / cublas[0].wallclock
     print(f"\nCUBLAS vs MKL at 8 procs: {100 * (1 - 1 / speedup):.0f}% faster "
           "(paper: ~35% at 32 procs)\n")
+
+    # the CUBLAS points (MKL baseline dropped) as a Fig. 10 table
+    points = sweep_scaling(SweepReport(results=list(cublas)), CATEGORIES)
     print(format_scaling(points, CATEGORIES))
     print("\nNote the MPI_Gather (and the waits it causes) at "
           f"{points[-1].nprocs} procs = 8 ranks/node — the paper's NUMA "

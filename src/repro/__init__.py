@@ -24,9 +24,57 @@ Subpackages
     table/histogram/scaling/comparison helpers for the benchmark
     harness.
 
+:mod:`repro.sweep`
+    declarative job specs, the parallel sweep runner and the
+    content-addressed result cache.
+
 See ``README.md`` for a tour, ``DESIGN.md`` for the architecture and
 substitution rationale, and ``EXPERIMENTS.md`` for paper-vs-measured
 results.
+
+Stable facade
+-------------
+The names below are the supported public API — scripts and examples
+import them from ``repro`` directly instead of deep-importing from six
+subpackages::
+
+    from repro import IpmConfig, JobSpec, SweepRunner, run_job
+
+    result = run_job(JobSpec(app="hpl", ntasks=16, ipm=IpmConfig()))
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+# NOTE: __version__ must be bound before these imports — repro.sweep
+# reads it back for cache metadata while the package initializes.
+from repro.cluster.jobs import JobResult, ProcessEnv, run_job  # noqa: E402
+from repro.core.ipm import IpmConfig  # noqa: E402
+from repro.core.report import JobReport, TaskReport  # noqa: E402
+from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.simt.noise import NoiseConfig  # noqa: E402
+from repro.sweep import (  # noqa: E402
+    JobSpec,
+    ResultCache,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+)
+from repro.telemetry.config import TelemetryConfig  # noqa: E402
+
+__all__ = [
+    "FaultPlan",
+    "IpmConfig",
+    "JobReport",
+    "JobResult",
+    "JobSpec",
+    "NoiseConfig",
+    "ProcessEnv",
+    "ResultCache",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "TaskReport",
+    "TelemetryConfig",
+    "run_job",
+    "__version__",
+]

@@ -1,0 +1,157 @@
+"""``python -m repro`` — the unified command-line entry point.
+
+Subcommands::
+
+    python -m repro sweep specs.json --workers 4 --cache .sweep-cache
+    python -m repro trace2json --app hpl --out trace.json
+    python -m repro report profile.xml --top 12
+
+``sweep`` executes a batch of :class:`~repro.sweep.spec.JobSpec`
+descriptions (a JSON array, or an object with a ``"specs"`` array)
+through the parallel :class:`~repro.sweep.runner.SweepRunner`;
+``trace2json`` is the Chrome-trace exporter (also still reachable as
+``python -m repro.telemetry.trace2json``); ``report`` renders the IPM
+banner from a saved XML log.
+
+Exit codes (pinned, shared by every subcommand):
+
+* 0 — success;
+* 2 — unreadable or malformed input (bad JSON, bad spec, bad XML,
+  unknown subcommand usage);
+* 3 — structurally valid input holding no work/data (empty spec list,
+  trace without samples).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+#: pinned exit codes of the CLI contract (tested).
+EXIT_OK = 0
+EXIT_BAD_INPUT = 2
+EXIT_EMPTY = 3
+
+
+def _load_specs(path: str) -> List["object"]:
+    from repro.sweep.spec import JobSpec
+
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and "specs" in data:
+        data = data["specs"]
+    if not isinstance(data, list):
+        raise ValueError(
+            "expected a JSON array of job specs (or an object with a "
+            f"'specs' array), got {type(data).__name__}"
+        )
+    return [JobSpec.from_jsonable(entry) for entry in data]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.runner import SweepRunner
+
+    try:
+        specs = _load_specs(args.specs)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"sweep: bad input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if not specs:
+        print("sweep: no specs in input", file=sys.stderr)
+        return EXIT_EMPTY
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = SweepRunner(workers=args.workers, cache=cache, mode=args.mode)
+    report = runner.run(specs)
+    summary = report.summary()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    for row in summary["results"]:
+        marker = "cached" if row["from_cache"] else "ran"
+        print(
+            f"{row['spec_hash'][:12]}  {row['app']:>8} x{row['ntasks']:<3d} "
+            f"seed={row['seed']:<6d} wallclock={row['wallclock']:10.3f}s  "
+            f"[{marker}]"
+        )
+    print(
+        f"{len(report)} jobs: {report.executed} simulated, "
+        f"{report.cache_hits} cache hits ({report.mode}, "
+        f"{report.workers} workers, {report.host_seconds:.2f}s host)"
+    )
+    return EXIT_OK
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.banner import banner
+    from repro.core.xmlog import read_xml
+
+    try:
+        job = read_xml(args.xml)
+    except (OSError, ValueError, SyntaxError) as exc:
+        print(f"report: bad input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    print(banner(job, top=args.top))
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # trace2json owns its own argparse and exit-code contract; forward
+    # everything after the subcommand verbatim.
+    if argv and argv[0] == "trace2json":
+        from repro.telemetry.trace2json import main as trace_main
+
+        return trace_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-cluster monitoring reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a batch of job specs (parallel, cached)"
+    )
+    p_sweep.add_argument("specs", help="JSON file: array of JobSpec objects")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cpu-sized)")
+    p_sweep.add_argument("--mode", choices=("auto", "process", "serial"),
+                         default="auto")
+    p_sweep.add_argument("--cache", default=None, metavar="DIR",
+                         help="content-addressed result cache directory")
+    p_sweep.add_argument("--out", default=None, metavar="FILE",
+                         help="write the sweep summary JSON here")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    sub.add_parser(
+        "trace2json",
+        help="export a Chrome trace (python -m repro.telemetry.trace2json)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="render the IPM banner from a saved XML log"
+    )
+    p_report.add_argument("xml", help="IPM XML log (write_xml output)")
+    p_report.add_argument("--top", type=int, default=20,
+                          help="regions per banner section (default 20)")
+    p_report.set_defaults(fn=_cmd_report)
+
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors already (== EXIT_BAD_INPUT);
+        # normalize anything else it might raise.
+        return EXIT_BAD_INPUT if exc.code not in (0, None) else EXIT_OK
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        print(f"{args.cmd}: bad input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ paper-vs-measured comparison records for EXPERIMENTS.md."""
 
 from repro.analysis.tables import format_table
 from repro.analysis.histogram import EnsembleStats, ascii_histogram, ensemble_stats
-from repro.analysis.scaling import ScalingPoint, format_scaling
+from repro.analysis.scaling import ScalingPoint, format_scaling, sweep_scaling
 from repro.analysis.compare import Comparison, format_comparisons
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "ensemble_stats",
     "ScalingPoint",
     "format_scaling",
+    "sweep_scaling",
     "Comparison",
     "format_comparisons",
 ]

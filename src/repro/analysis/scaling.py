@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.report import SweepReport
 
 
 @dataclass(frozen=True)
@@ -19,8 +22,48 @@ class ScalingPoint:
     breakdown: Dict[str, float] = field(default_factory=dict)
 
 
-def format_scaling(points: Sequence[ScalingPoint], categories: List[str]) -> str:
-    """Render a Fig. 10-style stacked breakdown as a table."""
+def sweep_scaling(
+    sweep: "SweepReport", categories: Optional[List[str]] = None
+) -> List[ScalingPoint]:
+    """Scaling series straight from a sweep over process counts.
+
+    Each monitored result becomes one :class:`ScalingPoint` whose
+    breakdown holds seconds/rank per monitoring domain ("MPI",
+    "CUDA", …) — or only the named ``categories``, which may also be
+    individual call names (``"MPI_Gather"``), matching what the
+    Fig. 10 script tabulates.  Points come back sorted by rank count,
+    ready for :func:`format_scaling`.
+    """
+    points = []
+    for result in sweep:
+        job = result.report
+        if job is None:
+            points.append(ScalingPoint(result.spec.ntasks, result.wallclock))
+            continue
+        names = categories or sorted(set(job.domains.values()))
+        by = job.merged_by_name()
+        breakdown = {}
+        for name in names:
+            if name in set(job.domains.values()):
+                seconds = sum(job.domain_times(name))
+            else:
+                seconds = by[name].total if name in by else 0.0
+            breakdown[name] = seconds / job.ntasks
+        points.append(
+            ScalingPoint(result.spec.ntasks, result.wallclock, breakdown)
+        )
+    return sorted(points, key=lambda p: p.nprocs)
+
+
+def format_scaling(
+    points: Sequence[ScalingPoint], categories: Optional[List[str]] = None
+) -> str:
+    """Render a Fig. 10-style stacked breakdown as a table.
+
+    ``categories`` defaults to every breakdown key seen, sorted.
+    """
+    if categories is None:
+        categories = sorted({c for p in points for c in p.breakdown})
     headers = ["procs", "wallclock[s]"] + [f"{c}[s/rank]" for c in categories]
     rows = [
         [p.nprocs, p.wallclock] + [p.breakdown.get(c, 0.0) for c in categories]

@@ -7,19 +7,30 @@
 * **the dynamic loader** — builds each rank's "process image": CUDA
   runtime + driver on the node's GPU(s), CUBLAS/CUFFT on top, the MPI
   communicator, and a host-compute helper routed through the OS-noise
-  model.  With ``ipm_config`` set, every handle is resolved through
+  model.  With monitoring configured, every handle is resolved through
   IPM's interposition wrappers instead (LD_PRELOAD) — *"No source code
   changes, recompilation, or even re-linking of the application is
   required"*: the same ``app(env)`` runs monitored or unmonitored;
 * **IPM's job finalization** — collects the per-rank task reports into
   a :class:`JobReport` after the last rank exits.
+
+The canonical call is ``run_job(spec)`` with a
+:class:`~repro.sweep.spec.JobSpec` — one frozen, hashable value that
+describes the whole job (and that the sweep runner can parallelize and
+content-address).  The historical kwargs signature
+``run_job(app, ntasks, ...)`` still works: it builds a ``JobSpec``
+internally and emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.spec import JobSpec
 
 import numpy as np
 
@@ -97,9 +108,25 @@ class JobResult:
     faults: Optional[FaultInjector] = None
 
 
+#: kwargs of the deprecated signature and the JobSpec fields they map
+#: to (the README/EXPERIMENTS migration table is generated from this).
+LEGACY_KWARG_TO_SPEC_FIELD = {
+    "app": "app",
+    "ntasks": "ntasks",
+    "command": "command",
+    "n_nodes": "n_nodes",
+    "ranks_per_node": "ranks_per_node",
+    "ipm_config": "ipm",
+    "seed": "seed",
+    "noise": "noise",
+    "cuda_profile": "cuda_profile",
+    "faults": "faults",
+}
+
+
 def run_job(
-    app: Callable[[ProcessEnv], Any],
-    ntasks: int,
+    app: "JobSpec | Callable[[ProcessEnv], Any]",
+    ntasks: Optional[int] = None,
     *,
     command: str = "./a.out",
     cluster: Optional[Cluster] = None,
@@ -112,24 +139,98 @@ def run_job(
     gpu_timing: Optional[Any] = None,
     faults: Optional[FaultPlan] = None,
 ) -> JobResult:
-    """Run ``app(env)`` on ``ntasks`` ranks of a (possibly shared-GPU) cluster.
+    """Run one simulated job described by a :class:`JobSpec`.
 
-    ``ipm_config=None`` runs unmonitored; otherwise IPM is preloaded
-    into every rank and a :class:`JobReport` is produced.  When a
-    pre-built ``cluster`` is passed, the job runs on *its* simulator;
-    otherwise a fresh Dirac cluster is created (``gpu_timing`` tweaks
-    its GPUs' timing model).
+    Canonical form::
 
-    ``faults`` (or ``ipm_config.faults``) attaches a deterministic
+        run_job(JobSpec(app="hpl", ntasks=16, ipm=IpmConfig(), seed=1))
+
+    ``spec.ipm=None`` runs unmonitored; otherwise IPM is preloaded
+    into every rank and a :class:`JobReport` is produced.
+
+    ``cluster`` and ``gpu_timing`` are runtime-only extras that stay
+    *outside* the spec (they carry live simulator state / timing-model
+    objects, which are not content-addressable): a pre-built
+    ``cluster`` makes the job run on *its* simulator; ``gpu_timing``
+    tweaks the GPUs of the fresh Dirac cluster built otherwise.
+
+    ``spec.faults`` (or ``spec.ipm.faults``) attaches a deterministic
     :class:`~repro.faults.plan.FaultPlan`.  Injected rank aborts do not
     crash the job: the runner records them, lets surviving ranks run
     (or stall), and degrades to a *partial* :class:`JobReport` with
     per-rank ``status`` — telemetry is flushed either way.
+
+    The pre-JobSpec signature ``run_job(app, ntasks, command=...,
+    ipm_config=..., ...)`` is deprecated but fully supported: it builds
+    the equivalent ``JobSpec`` internally (see
+    :data:`LEGACY_KWARG_TO_SPEC_FIELD`) and emits a
+    ``DeprecationWarning``.
     """
-    if ntasks <= 0:
-        raise ValueError(f"ntasks must be positive: {ntasks}")
-    if ranks_per_node <= 0:
-        raise ValueError(f"ranks_per_node must be positive: {ranks_per_node}")
+    from repro.sweep.spec import JobSpec
+
+    if isinstance(app, JobSpec):
+        spec = app
+        legacy = {
+            "ntasks": (ntasks, None),
+            "command": (command, "./a.out"),
+            "n_nodes": (n_nodes, None),
+            "ranks_per_node": (ranks_per_node, 1),
+            "ipm_config": (ipm_config, None),
+            "seed": (seed, 0),
+            "noise": (noise, None),
+            "cuda_profile": (cuda_profile, False),
+            "faults": (faults, None),
+        }
+        clashes = [k for k, (v, default) in legacy.items() if v != default]
+        if clashes:
+            raise TypeError(
+                f"run_job(spec) got legacy kwargs {clashes} — set the "
+                "corresponding JobSpec fields instead "
+                "(see LEGACY_KWARG_TO_SPEC_FIELD)"
+            )
+    else:
+        if ntasks is None:
+            raise TypeError(
+                "run_job(app, ...) needs ntasks (or pass a JobSpec)"
+            )
+        warnings.warn(
+            "run_job(app, ntasks, ...) is deprecated; build a "
+            "repro.JobSpec and call run_job(spec) "
+            "(see LEGACY_KWARG_TO_SPEC_FIELD for the field mapping)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = JobSpec(
+            app=app,
+            ntasks=ntasks,
+            command=command,
+            n_nodes=n_nodes,
+            ranks_per_node=ranks_per_node,
+            ipm=ipm_config,
+            seed=seed,
+            noise=noise,
+            cuda_profile=cuda_profile,
+            faults=faults,
+        )
+    return _run_spec(spec, cluster=cluster, gpu_timing=gpu_timing)
+
+
+def _run_spec(
+    spec: "JobSpec",
+    cluster: Optional[Cluster] = None,
+    gpu_timing: Optional[Any] = None,
+) -> JobResult:
+    """Execute one :class:`JobSpec` (the mpirun+loader machinery)."""
+    app = spec.build_app()
+    ntasks = spec.ntasks
+    command = spec.command
+    n_nodes = spec.n_nodes
+    ranks_per_node = spec.ranks_per_node
+    ipm_config = spec.ipm
+    seed = spec.seed
+    noise = spec.noise
+    cuda_profile = spec.cuda_profile
+    faults = spec.faults
     t_host0 = _time.perf_counter()
     streams = RngStreams(seed)
     if cluster is None:

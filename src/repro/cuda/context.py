@@ -9,7 +9,6 @@ to device-side completions.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.cuda.errors import cudaError_t
@@ -26,12 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class Context:
     """One process's state on one device."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, device: "Device", owner: str = "") -> None:
         self.device = device
         self.sim: "Simulator" = device.sim
-        self.context_id = next(Context._ids)
+        self.context_id = self.sim.next_id("cuda.context")
         self.owner = owner
         self.default_stream = Stream(self, is_default=True)
         self.streams: List[Stream] = [self.default_stream]

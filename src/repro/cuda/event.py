@@ -9,7 +9,6 @@ exactly the quantity IPM's kernel timing table consumes.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, TYPE_CHECKING
 
 from repro.simt.waiters import Completion
@@ -25,12 +24,10 @@ class CudaEvent:
     semantics: an event tracks its most recent record).
     """
 
-    _ids = itertools.count(1)
-
     def __init__(self, ctx: "Context", flags: int = 0) -> None:
         self.ctx = ctx
         self.flags = flags
-        self.eid = next(CudaEvent._ids)
+        self.eid = ctx.sim.next_id("cuda.event")
         self.name = f"event-{self.eid}"
         self.destroyed = False
         #: device timestamp of the most recent completed record (seconds).

@@ -18,7 +18,6 @@ blocks on the op — IPM then separates "waiting for the device" from
 
 from __future__ import annotations
 
-import itertools
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.simt.waiters import Completion, join
@@ -31,13 +30,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class Stream:
     """One CUDA stream inside a context."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, ctx: "Context", is_default: bool = False) -> None:
         self.ctx = ctx
         self.sim = ctx.sim
         self.is_default = is_default
-        self.stream_id = 0 if is_default else next(Stream._ids)
+        # ids come from the simulation, not a process-global counter:
+        # stream numbering reaches reports (@CUDA_EXEC_STRMxx, kernel
+        # records), so it must be a function of the job alone.
+        self.stream_id = 0 if is_default else self.sim.next_id("cuda.stream")
         #: completion of the most recently enqueued op (None = empty).
         self.last: Optional[Completion] = None
         self.destroyed = False

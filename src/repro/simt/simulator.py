@@ -48,6 +48,19 @@ class Simulator:
         self._crashed: Optional[SimProcess] = None
         #: number of events executed; cheap progress/perf metric.
         self.events_executed = 0
+        #: per-kind id allocators (streams, contexts, CUDA events, …).
+        #: Scoped to the simulation rather than the process so object
+        #: numbering — which leaks into reports via stream names and
+        #: kernel records — is a function of the job alone: the same
+        #: job spec produces byte-identical reports no matter how many
+        #: jobs ran earlier in the process (the sweep-cache contract).
+        self._id_counters: dict = {}
+
+    def next_id(self, kind: str) -> int:
+        """Allocate the next id (1-based) in the ``kind`` namespace."""
+        n = self._id_counters.get(kind, 0) + 1
+        self._id_counters[kind] = n
+        return n
 
     # -- clock ----------------------------------------------------------
 

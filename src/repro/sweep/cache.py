@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache of sweep results.
+
+Layout (one directory per spec, keyed by ``spec.content_hash()``)::
+
+    <root>/
+      ab/abcdef....../
+        result.pkl    # pickled _CacheRecord (report bytes + scalars)
+        profile.xml   # the IPM XML log, when the job was monitored
+        meta.json     # spec JSON + stamps, for humans and tooling
+
+Writes are atomic (temp file + ``os.replace``) so a crashed writer
+never leaves a half-entry that later reads as a result.  Reads treat
+*any* failure — missing files, truncated pickle, wrong types, version
+skew — as a miss: the runner recomputes and overwrites.  Determinism
+makes that safe; the cache is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro import __version__
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.spec import JobSpec
+
+#: pickle protocol pinned so equal results stay byte-equal across
+#: writers (protocol 4 is available on every supported Python).
+PICKLE_PROTOCOL = 4
+
+#: bumped on incompatible record layout changes; old entries miss.
+CACHE_VERSION = 1
+
+
+@dataclass
+class _CacheRecord:
+    """What one cache entry stores (kept tiny and version-checked)."""
+
+    version: int
+    spec_hash: str
+    #: pickled JobReport bytes (b"" for unmonitored jobs).
+    report_pickle: bytes
+    wallclock: float
+    events_executed: int
+
+
+def pickle_report(report) -> bytes:
+    """Pickle a JobReport with the cache's pinned protocol."""
+    return pickle.dumps(report, protocol=PICKLE_PROTOCOL)
+
+
+class ResultCache:
+    """Content-addressed store: ``JobSpec`` -> cached job outcome."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_dir(self, spec_hash: str) -> str:
+        return os.path.join(self.root, spec_hash[:2], spec_hash)
+
+    def lookup(self, spec: "JobSpec") -> Optional[_CacheRecord]:
+        """The stored record for ``spec``, or None (counted as a miss).
+
+        Corrupt or incompatible entries are misses, not errors.
+        """
+        spec_hash = spec.content_hash()
+        path = os.path.join(self._entry_dir(spec_hash), "result.pkl")
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+            if (
+                not isinstance(record, _CacheRecord)
+                or record.version != CACHE_VERSION
+                or record.spec_hash != spec_hash
+            ):
+                raise ValueError("incompatible cache record")
+            # unpickle eagerly so a truncated payload is caught *here*
+            # (and reads as a miss) rather than at use time.
+            if record.report_pickle:
+                pickle.loads(record.report_pickle)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(
+        self,
+        spec: "JobSpec",
+        report_pickle: bytes,
+        wallclock: float,
+        events_executed: int,
+        xml_text: Optional[str] = None,
+    ) -> str:
+        """Persist one result; returns the entry directory."""
+        spec_hash = spec.content_hash()
+        entry = self._entry_dir(spec_hash)
+        os.makedirs(entry, exist_ok=True)
+        record = _CacheRecord(
+            version=CACHE_VERSION,
+            spec_hash=spec_hash,
+            report_pickle=report_pickle,
+            wallclock=wallclock,
+            events_executed=events_executed,
+        )
+        self._atomic_write(
+            os.path.join(entry, "result.pkl"),
+            pickle.dumps(record, protocol=PICKLE_PROTOCOL),
+        )
+        if xml_text is not None:
+            self._atomic_write(
+                os.path.join(entry, "profile.xml"), xml_text.encode("utf-8")
+            )
+        meta = {
+            "cache_version": CACHE_VERSION,
+            "repro_version": __version__,
+            "spec_hash": spec_hash,
+            "spec": json.loads(spec.to_json()),
+        }
+        self._atomic_write(
+            os.path.join(entry, "meta.json"),
+            json.dumps(meta, indent=2, sort_keys=True).encode("utf-8"),
+        )
+        return entry
+
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

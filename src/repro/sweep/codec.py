@@ -1,0 +1,123 @@
+"""JSON codec for the frozen configuration dataclasses.
+
+A :class:`~repro.sweep.spec.JobSpec` must round-trip through JSON (for
+the CLI and the on-disk cache metadata) and hash stably (for content
+addressing).  Both need one canonical encoding of the configuration
+tree — :class:`~repro.core.ipm.IpmConfig` and everything hanging off
+it: overhead model, telemetry, fault plans, OS noise.
+
+The encoding is explicit rather than pickled: a dataclass becomes
+``{"__config__": "<ClassName>", <field>: <value>, ...}`` and an enum
+member becomes ``{"__enum__": "<EnumName>", "value": "<member>"}``,
+with tuples as JSON arrays.  Only classes in :data:`CONFIG_TYPES` /
+:data:`ENUM_TYPES` decode — the cache directory is data, not code, and
+must never instantiate arbitrary types.
+
+Canonical form: ``dumps`` sorts keys and strips whitespace, so two
+equal configs always serialize to the same bytes (the contract
+``JobSpec.content_hash`` is built on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any, Dict
+
+from repro.core.ipm import IpmConfig
+from repro.core.overhead import OverheadConfig
+from repro.cuda.errors import cudaError_t
+from repro.faults.plan import (
+    CudaFaultSpec,
+    FaultPlan,
+    MpiDelaySpec,
+    NodeSlowdownSpec,
+    RankAbortSpec,
+    StreamSlowdownSpec,
+)
+from repro.simt.noise import NoiseConfig
+from repro.telemetry.config import TelemetryConfig
+
+#: dataclasses the codec will decode (name -> class).
+CONFIG_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        IpmConfig,
+        OverheadConfig,
+        TelemetryConfig,
+        NoiseConfig,
+        FaultPlan,
+        CudaFaultSpec,
+        StreamSlowdownSpec,
+        NodeSlowdownSpec,
+        MpiDelaySpec,
+        RankAbortSpec,
+    )
+}
+
+#: enums the codec will decode (name -> class).
+ENUM_TYPES: Dict[str, type] = {cudaError_t.__name__: cudaError_t}
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def encode(obj: Any) -> Any:
+    """Encode a config value into JSON-able data (see module docstring)."""
+    if isinstance(obj, enum.Enum):
+        kind = type(obj).__name__
+        if kind not in ENUM_TYPES:
+            raise TypeError(f"unregistered enum type: {kind}")
+        return {"__enum__": kind, "value": obj.name}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        kind = type(obj).__name__
+        if kind not in CONFIG_TYPES:
+            raise TypeError(f"unregistered config type: {kind}")
+        out: Dict[str, Any] = {"__config__": kind}
+        for f in dataclasses.fields(obj):
+            out[f.name] = encode(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [encode(v) for v in obj]
+    if isinstance(obj, dict):
+        bad = [k for k in obj if not isinstance(k, str)]
+        if bad:
+            raise TypeError(f"non-string mapping keys are not encodable: {bad!r}")
+        return {k: encode(v) for k, v in obj.items()}
+    if isinstance(obj, _PRIMITIVES):
+        return obj
+    raise TypeError(f"not encodable as sweep config data: {type(obj).__name__}")
+
+
+def decode(data: Any) -> Any:
+    """Inverse of :func:`encode`; only registered types materialize."""
+    if isinstance(data, dict):
+        if "__enum__" in data:
+            kind = data["__enum__"]
+            if kind not in ENUM_TYPES:
+                raise ValueError(f"unknown enum type in config data: {kind!r}")
+            return ENUM_TYPES[kind][data["value"]]
+        if "__config__" in data:
+            kind = data["__config__"]
+            if kind not in CONFIG_TYPES:
+                raise ValueError(f"unknown config type in config data: {kind!r}")
+            cls = CONFIG_TYPES[kind]
+            known = {f.name for f in dataclasses.fields(cls)}
+            kwargs = {
+                k: decode(v) for k, v in data.items()
+                if k != "__config__" and k in known
+            }
+            return cls(**kwargs)
+        return {k: decode(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return tuple(decode(v) for v in data)
+    return data
+
+
+def dumps(obj: Any) -> str:
+    """Canonical JSON text of ``obj`` (stable key order, no whitespace)."""
+    return json.dumps(encode(obj), sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str) -> Any:
+    return decode(json.loads(text))

@@ -1,0 +1,131 @@
+"""The application registry: spec-addressable workload builders.
+
+A :class:`~repro.sweep.spec.JobSpec` names its workload by string so
+the spec stays serializable and content-hashable; this module maps
+those names back to the callables :func:`repro.cluster.jobs.run_job`
+executes.  Every paper workload registers itself here:
+
+========  ==========================  ==============================
+name      config class                extra parameters
+========  ==========================  ==============================
+square    :class:`SquareConfig`       —
+hpl       :class:`HplConfig`          —
+paratec   :class:`ParatecConfig`      ``blas`` ("cublas" or "mkl")
+amber     :class:`AmberConfig`        —
+========  ==========================  ==============================
+
+``app_params`` of a spec are the config dataclass's field overrides,
+plus the optional ``preset`` key selecting a named constructor
+(``"tiny"``, ``"paper_16rank"``, …) whose values the overrides are
+applied on top of.  Unknown keys are rejected at build time so typos
+fail loudly instead of silently running the default problem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.apps import (
+    AmberConfig,
+    HplConfig,
+    ParatecConfig,
+    SquareConfig,
+    amber_app,
+    hpl_app,
+    paratec_app,
+    square_app,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AppEntry:
+    """One registered workload: its config class and builder."""
+
+    name: str
+    config_cls: type
+    #: builds ``app(env)`` from (config, extra-params dict).
+    factory: Callable[[Any, Dict[str, Any]], Callable[[Any], Any]]
+    #: extra non-config parameter names the factory understands.
+    extra_params: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, AppEntry] = {}
+
+
+def register_app(entry: AppEntry) -> None:
+    """Register (or replace) a workload under ``entry.name``."""
+    _REGISTRY[entry.name] = entry
+
+
+def registered_apps() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_entry(name: str) -> AppEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; registered: {list(registered_apps())}"
+        ) from None
+
+
+def _build_config(entry: AppEntry, params: Dict[str, Any]) -> Any:
+    preset = params.pop("preset", None)
+    if preset is not None:
+        ctor = getattr(entry.config_cls, str(preset), None)
+        if ctor is None or not callable(ctor):
+            raise ValueError(
+                f"app {entry.name!r} has no preset {preset!r} on "
+                f"{entry.config_cls.__name__}"
+            )
+        base = ctor()
+    else:
+        base = None
+    field_names = {f.name for f in dataclasses.fields(entry.config_cls)}
+    overrides = {k: v for k, v in params.items() if k in field_names}
+    unknown = [k for k in params if k not in field_names and k not in entry.extra_params]
+    if unknown:
+        raise ValueError(
+            f"unknown app_params for {entry.name!r}: {sorted(unknown)} "
+            f"(config fields: {sorted(field_names)}, "
+            f"extras: {list(entry.extra_params)})"
+        )
+    if base is not None:
+        return dataclasses.replace(base, **overrides) if overrides else base
+    return entry.config_cls(**overrides)
+
+
+def build_app(name: str, app_params: Optional[Mapping[str, Any]] = None):
+    """Resolve ``(name, app_params)`` into an ``app(env)`` callable."""
+    entry = get_entry(name)
+    params = dict(app_params or {})
+    extras = {k: params.pop(k) for k in list(params) if k in entry.extra_params}
+    config = _build_config(entry, params)
+    return entry.factory(config, extras)
+
+
+register_app(AppEntry(
+    name="square",
+    config_cls=SquareConfig,
+    factory=lambda cfg, extras: lambda env: square_app(env, cfg),
+))
+register_app(AppEntry(
+    name="hpl",
+    config_cls=HplConfig,
+    factory=lambda cfg, extras: lambda env: hpl_app(env, cfg),
+))
+register_app(AppEntry(
+    name="paratec",
+    config_cls=ParatecConfig,
+    factory=lambda cfg, extras: (
+        lambda env: paratec_app(env, cfg, blas=extras.get("blas", "cublas"))
+    ),
+    extra_params=("blas",),
+))
+register_app(AppEntry(
+    name="amber",
+    config_cls=AmberConfig,
+    factory=lambda cfg, extras: lambda env: amber_app(env, cfg),
+))

@@ -1,0 +1,227 @@
+"""`SweepRunner`: execute many job specs, in parallel, through a cache.
+
+The paper's figures are all *sweeps* — the same deterministic
+simulation re-run across ranks, GPU counts, seeds and monitoring
+configurations.  The runner exploits the two properties that makes
+cheap:
+
+* **independence** — specs share nothing at runtime, so they fan out
+  onto a ``ProcessPoolExecutor`` (each worker rebuilds the simulation
+  from the spec; nothing mutable crosses the process boundary);
+* **determinism** — a spec maps to one byte-exact
+  :class:`~repro.core.report.JobReport`, so results are content-
+  addressed by ``spec.content_hash()`` and replayed from disk on the
+  next invocation.
+
+Execution degrades gracefully: ``workers=1``, ``mode="serial"``, or
+any failure to stand up / keep up the process pool falls back to
+in-process serial execution with identical results (pinned by test).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.cache import ResultCache, pickle_report
+from repro.sweep.report import SweepReport, SweepResult
+from repro.sweep.spec import JobSpec
+
+#: executor modes: "auto" tries a process pool and falls back serial.
+MODES = ("auto", "process", "serial")
+
+#: payload a worker returns: (report pickle, wallclock, events, xml).
+_WorkerOut = Tuple[bytes, float, int, Optional[str]]
+
+
+def _default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+def execute_spec_json(spec_json: str, want_xml: bool) -> _WorkerOut:
+    """Run one spec from its JSON form (the worker-side entry point).
+
+    Top-level so ``ProcessPoolExecutor`` can dispatch it by reference;
+    also the serial path, so both modes share one code path and the
+    report bytes are produced identically either way.
+    """
+    from repro.cluster.jobs import run_job
+
+    spec = JobSpec.from_json(spec_json)
+    result = run_job(spec)
+    report_pickle = b""
+    xml_text: Optional[str] = None
+    if result.report is not None:
+        report_pickle = pickle_report(result.report)
+        if want_xml:
+            import io
+
+            from repro.core.xmlog import job_to_xml
+            from xml.etree import ElementTree as ET
+
+            tree = ET.ElementTree(job_to_xml(result.report))
+            ET.indent(tree)
+            buf = io.StringIO()
+            tree.write(buf, encoding="unicode", xml_declaration=True)
+            xml_text = buf.getvalue()
+    return (report_pickle, result.wallclock, result.events_executed, xml_text)
+
+
+class SweepRunner:
+    """Runs batches of :class:`JobSpec` with parallelism and caching."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
+        if workers is not None and workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        self.workers = workers if workers is not None else _default_workers()
+        self.cache = cache
+        self.mode = mode
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> SweepReport:
+        """Execute ``specs``; results come back in submission order.
+
+        Duplicate specs (same content hash) are simulated once and
+        fanned out; cached specs are not simulated at all.
+        """
+        t0 = _time.perf_counter()
+        specs = list(specs)
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, JobSpec):
+                raise TypeError(
+                    f"specs[{i}] is not a JobSpec: {type(spec).__name__}"
+                )
+            if not spec.serializable:
+                raise TypeError(
+                    f"specs[{i}] wraps a raw callable and cannot be swept; "
+                    "name a registered app instead (repro.sweep.registry)"
+                )
+        hits0 = self.cache.hits if self.cache else 0
+        misses0 = self.cache.misses if self.cache else 0
+
+        #: hash -> finished payload (+ cache provenance flag).
+        done: Dict[str, Tuple[_WorkerOut, bool]] = {}
+        unique: Dict[str, JobSpec] = {}
+        order: List[str] = []
+        for spec in specs:
+            key = spec.content_hash()
+            order.append(key)
+            if key in done or key in unique:
+                continue
+            record = self.cache.lookup(spec) if self.cache else None
+            if record is not None:
+                done[key] = (
+                    (record.report_pickle, record.wallclock,
+                     record.events_executed, None),
+                    True,
+                )
+            else:
+                unique[key] = spec
+
+        mode_used = self._execute(unique, done)
+
+        results: List[SweepResult] = []
+        reports: Dict[str, object] = {}
+        for spec, key in zip(specs, order):
+            payload, from_cache = done[key]
+            report_pickle, wallclock, events, _xml = payload
+            if key not in reports:
+                reports[key] = (
+                    pickle.loads(report_pickle) if report_pickle else None
+                )
+            results.append(SweepResult(
+                spec=spec,
+                spec_hash=key,
+                report=reports[key],
+                wallclock=wallclock,
+                events_executed=events,
+                from_cache=from_cache,
+                report_pickle=report_pickle,
+            ))
+        return SweepReport(
+            results=results,
+            cache_hits=(self.cache.hits - hits0) if self.cache else 0,
+            cache_misses=(self.cache.misses - misses0) if self.cache else 0,
+            host_seconds=_time.perf_counter() - t0,
+            workers=self.workers,
+            mode=mode_used,
+            executed=len(unique),
+        )
+
+    # -- execution backends ----------------------------------------------
+
+    def _execute(
+        self,
+        pending: Dict[str, JobSpec],
+        done: Dict[str, Tuple[_WorkerOut, bool]],
+    ) -> str:
+        """Run every pending spec, filling ``done``; returns the mode."""
+        want_xml = self.cache is not None
+        if (
+            self.mode in ("auto", "process")
+            and self.workers > 1
+            and len(pending) > 1
+        ):
+            try:
+                self._run_pool(pending, done, want_xml)
+                return "process"
+            except Exception:
+                if self.mode == "process":
+                    raise
+                # "auto": the pool failed (fork limits, a dying
+                # executor, ...) — finish serially; determinism makes
+                # the retry safe and the results identical.
+        for key, spec in pending.items():
+            if key in done:
+                continue
+            done[key] = (self._run_one(spec, want_xml), False)
+        return "serial"
+
+    def _run_pool(
+        self,
+        pending: Dict[str, JobSpec],
+        done: Dict[str, Tuple[_WorkerOut, bool]],
+        want_xml: bool,
+    ) -> None:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        todo = {k: s for k, s in pending.items() if k not in done}
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(todo)), mp_context=ctx
+        ) as pool:
+            futures = {
+                key: pool.submit(execute_spec_json, spec.to_json(), want_xml)
+                for key, spec in todo.items()
+            }
+            for key, future in futures.items():
+                payload = future.result()
+                self._store(todo[key], payload)
+                done[key] = (payload, False)
+
+    def _run_one(self, spec: JobSpec, want_xml: bool) -> _WorkerOut:
+        payload = execute_spec_json(spec.to_json(), want_xml)
+        self._store(spec, payload)
+        return payload
+
+    def _store(self, spec: JobSpec, payload: _WorkerOut) -> None:
+        if self.cache is None:
+            return
+        report_pickle, wallclock, events, xml_text = payload
+        self.cache.store(
+            spec, report_pickle, wallclock, events, xml_text=xml_text
+        )

@@ -101,16 +101,13 @@ def run_traced_job(
     """Run one traced+sampled job; returns its :class:`JobResult`."""
     from repro.cluster import run_job
     from repro.core import IpmConfig
+    from repro.sweep.spec import JobSpec
 
     if app == "hpl":
-        from repro.apps.hpl import HplConfig, hpl_app
-
-        fn = lambda env: hpl_app(env, HplConfig.tiny())  # noqa: E731
+        app_params = {"preset": "tiny"}
         command = "./xhpl.cuda"
     elif app == "square":
-        from repro.apps.square import square_app
-
-        fn = square_app
+        app_params = {}
         command = "./square"
     else:
         raise ValueError(f"unknown app {app!r}; known: {list(APPS)}")
@@ -120,14 +117,15 @@ def run_traced_job(
             enabled=True, interval=interval, sinks=("memory",)
         ),
     )
-    return run_job(
-        fn,
-        ntasks,
+    return run_job(JobSpec(
+        app=app,
+        app_params=app_params,
+        ntasks=ntasks,
         command=command,
-        ipm_config=config,
+        ipm=config,
         ranks_per_node=ranks_per_node,
         seed=seed,
-    )
+    ))
 
 
 def main(argv: Optional[list] = None) -> int:

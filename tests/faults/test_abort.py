@@ -4,9 +4,8 @@ import json
 
 import pytest
 
+from repro import IpmConfig, JobSpec, run_job
 from repro.apps.hpl import HplConfig, hpl_app
-from repro.cluster import run_job
-from repro.core import IpmConfig
 from repro.core.banner import banner
 from repro.faults import FaultPlan, RankAborted, RankAbortSpec
 from repro.telemetry.config import TelemetryConfig
@@ -19,14 +18,14 @@ def _faulted_hpl(tmp_path, abort_at):
         sinks=("memory", "jsonl"),
         jsonl_path=str(tmp_path / "telemetry.jsonl"),
     )
-    return run_job(
-        lambda env: hpl_app(env, HplConfig.tiny()),
-        2,
+    return run_job(JobSpec(
+        app=lambda env: hpl_app(env, HplConfig.tiny()),
+        ntasks=2,
         command="./xhpl.cuda",
-        ipm_config=IpmConfig(telemetry=tcfg),
+        ipm=IpmConfig(telemetry=tcfg),
         seed=3,
         faults=FaultPlan(aborts=[RankAbortSpec(rank=1, at=abort_at)]),
-    )
+    ))
 
 
 #: mid-factorization abort point: past the ~1.2 s context-creation
@@ -86,7 +85,10 @@ class TestAbortMidJob:
             env.mpi.MPI_Barrier()
 
         with pytest.raises(ProcessCrashed):
-            run_job(app, 2, faults=FaultPlan(aborts=[RankAbortSpec(0, 99.0)]))
+            run_job(JobSpec(
+                app=app, ntasks=2,
+                faults=FaultPlan(aborts=[RankAbortSpec(0, 99.0)]),
+            ))
 
     def test_hand_raised_rankaborted_outside_a_plan_propagates(self):
         """RankAborted raised by app code without an injector is a crash."""
@@ -96,7 +98,7 @@ class TestAbortMidJob:
             raise RankAborted(env.rank, env.sim.now)
 
         with pytest.raises(ProcessCrashed):
-            run_job(app, 1)
+            run_job(JobSpec(app=app, ntasks=1))
 
     def test_unmonitored_abort_gives_partial_results(self):
         def app(env):
@@ -104,10 +106,10 @@ class TestAbortMidJob:
                 env.hostcompute(0.05)
             return env.rank
 
-        res = run_job(
-            app, 2,
+        res = run_job(JobSpec(
+            app=app, ntasks=2,
             faults=FaultPlan(aborts=[RankAbortSpec(rank=1, at=0.1)]),
-        )
+        ))
         assert res.report is None
         assert res.results[0] == 0
         assert res.results[1] is None  # the aborted rank never returned

@@ -8,17 +8,12 @@ Two guarantees of the fault subsystem:
   plan at all — the un-faulted hot path must not shift by one byte.
 """
 
-import itertools
-
 import pytest
 
+from repro import IpmConfig, JobSpec, run_job
 from repro.apps.hpl import HplConfig, hpl_app
-from repro.cluster import run_job
-from repro.core import IpmConfig
 from repro.core.banner import banner
-from repro.core.hostidle import identify_blocking_calls
 from repro.cuda import cudaError_t
-from repro.cuda.stream import Stream
 from repro.faults import CudaFaultSpec, FaultPlan, MpiDelaySpec
 
 E = cudaError_t
@@ -31,24 +26,17 @@ CHAOS = FaultPlan(
 )
 
 
-def _pin_globals():
-    # Stream ids come from a process-global counter, so back-to-back
-    # runs shift the @CUDA_EXEC_STRMxx names.  Warm the blocking-call
-    # cache and rewind the counter, as the telemetry golden tests do.
-    identify_blocking_calls()
-    Stream._ids = itertools.count(1)
-
-
 def _run(faults=None, seed=11):
-    _pin_globals()
-    return run_job(
-        lambda env: hpl_app(env, HplConfig.tiny()),
-        2,
+    # Stream ids are per-simulation (Simulator.next_id), so repeated
+    # runs need no global pinning to line their STRMxx names up.
+    return run_job(JobSpec(
+        app=lambda env: hpl_app(env, HplConfig.tiny()),
+        ntasks=2,
         command="./xhpl.cuda",
-        ipm_config=IpmConfig(),
+        ipm=IpmConfig(),
         seed=seed,
         faults=faults,
-    )
+    ))
 
 
 class TestScheduleDeterminism:

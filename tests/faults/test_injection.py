@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import run_job
-from repro.core import IpmConfig
+from repro import IpmConfig, JobSpec, run_job
 from repro.cuda import Kernel, cudaError_t, cudaMemcpyKind
 from repro.faults import (
     CudaFaultSpec,
@@ -49,7 +48,7 @@ class TestCudaErrorInjection:
             # the injected error is sticky in cudaGetLastError until read
             env.rt.cudaFree(ptr)
 
-        run_job(app, 1, faults=plan)
+        run_job(JobSpec(app=app, ntasks=1, faults=plan))
         assert seen == [E.cudaErrorInvalidValue, E.cudaSuccess]
 
     def test_monitored_failure_is_error_tagged_and_counted(self):
@@ -58,8 +57,8 @@ class TestCudaErrorInjection:
                           max_failures=1)
         ])
         tcfg = TelemetryConfig(enabled=True, interval=0.01, sinks=("memory",))
-        res = run_job(little_app, 2, ipm_config=IpmConfig(telemetry=tcfg),
-                      faults=plan)
+        res = run_job(JobSpec(app=little_app, ntasks=2,
+                              ipm=IpmConfig(telemetry=tcfg), faults=plan))
         by = res.report.merged_by_name()
         # per-rank first H2D failed on both ranks: tagged name + region
         assert by["cudaMemcpy(H2D)(!cudaErrorInvalidValue)"].count == 2
@@ -86,7 +85,7 @@ class TestCudaErrorInjection:
         def app(env):
             env.rt.cudaMalloc(64)
 
-        res = run_job(app, 1, ipm_config=IpmConfig(), faults=plan)
+        res = run_job(JobSpec(app=app, ntasks=1, ipm=IpmConfig(), faults=plan))
         task = res.report.tasks[0]
         assert task.status == "completed"
         by = task.by_name()
@@ -102,47 +101,48 @@ class TestCudaErrorInjection:
         def app(env):
             env.rt.cudaMalloc(64)
 
-        res = run_job(app, 1, ipm_config=IpmConfig(faults=plan))
+        res = run_job(JobSpec(app=app, ntasks=1, ipm=IpmConfig(faults=plan)))
         by = res.report.tasks[0].by_name()
         assert by["cudaMalloc(!cudaErrorMemoryAllocation)"].count == 1
-        # an explicit run_job argument wins over the config's plan
-        quiet = run_job(app, 1, ipm_config=IpmConfig(faults=plan),
-                        faults=FaultPlan())
+        # an explicit spec-level plan wins over the config's plan
+        quiet = run_job(JobSpec(app=app, ntasks=1, ipm=IpmConfig(faults=plan),
+                                faults=FaultPlan()))
         assert quiet.faults is None
 
     def test_rate_zero_never_fires(self):
         plan = FaultPlan(cuda=[
             CudaFaultSpec(call="*", error=E.cudaErrorInvalidValue, rate=0.0)
         ])
-        res = run_job(little_app, 2, ipm_config=IpmConfig(), faults=plan)
+        res = run_job(JobSpec(app=little_app, ntasks=2, ipm=IpmConfig(),
+                              faults=plan))
         assert res.faults.events == []
         assert "@CUDA_ERROR" not in res.report.merged_by_name()
 
 
 class TestSlowdowns:
     def test_stream_slowdown_lengthens_device_work(self):
-        base = run_job(little_app, 2, seed=7)
-        slow = run_job(
-            little_app, 2, seed=7,
+        base = run_job(JobSpec(app=little_app, ntasks=2, seed=7))
+        slow = run_job(JobSpec(
+            app=little_app, ntasks=2, seed=7,
             faults=FaultPlan(streams=[StreamSlowdownSpec(multiplier=8.0)]),
-        )
+        ))
         assert slow.wallclock > base.wallclock
 
     def test_node_slowdown_hits_only_matching_nodes(self):
         def app(env):
             env.hostcompute(0.1)
 
-        base = run_job(app, 2, seed=7)
-        slow = run_job(
-            app, 2, seed=7,
+        base = run_job(JobSpec(app=app, ntasks=2, seed=7))
+        slow = run_job(JobSpec(
+            app=app, ntasks=2, seed=7,
             faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=3.0, nodes=(0,))]),
-        )
+        ))
         # rank 0 (node 0) computes 0.3s, rank 1 unchanged at 0.1s
         assert slow.wallclock == pytest.approx(3 * base.wallclock, rel=1e-6)
-        untouched = run_job(
-            app, 2, seed=7,
+        untouched = run_job(JobSpec(
+            app=app, ntasks=2, seed=7,
             faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=3.0, nodes=(9,))]),
-        )
+        ))
         assert untouched.wallclock == base.wallclock
 
     def test_windowed_slowdown_expires(self):
@@ -150,12 +150,12 @@ class TestSlowdowns:
             env.hostcompute(0.1)
 
         # window opens long after the job finished: no effect at all
-        res = run_job(
-            app, 1, seed=7,
+        res = run_job(JobSpec(
+            app=app, ntasks=1, seed=7,
             faults=FaultPlan(nodes=[NodeSlowdownSpec(multiplier=5.0,
                                                      t0=10.0, t1=20.0)]),
-        )
-        base = run_job(app, 1, seed=7)
+        ))
+        base = run_job(JobSpec(app=app, ntasks=1, seed=7))
         assert res.wallclock == base.wallclock
 
 
@@ -174,9 +174,9 @@ def pingpong_app(env):
 
 class TestMpiDelay:
     def test_delay_spikes_slow_the_job_and_are_logged(self):
-        base = run_job(pingpong_app, 2, seed=5)
+        base = run_job(JobSpec(app=pingpong_app, ntasks=2, seed=5))
         plan = FaultPlan(mpi=[MpiDelaySpec(rate=1.0, extra_mean=0.02)])
-        slow = run_job(pingpong_app, 2, seed=5, faults=plan)
+        slow = run_job(JobSpec(app=pingpong_app, ntasks=2, seed=5, faults=plan))
         assert slow.wallclock > base.wallclock
         spikes = [e for e in slow.faults.events if e.kind == "mpi_delay"]
         assert spikes

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import run_job
+from repro import JobSpec, run_job
 from repro.cuda import cudaError_t
 from repro.faults import (
     RETRYABLE_CUDA,
@@ -17,7 +17,7 @@ E = cudaError_t
 
 def _in_sim(fn):
     """Run ``fn(env)`` on one simulated rank; returns its result."""
-    return run_job(fn, 1).results[0]
+    return run_job(JobSpec(app=fn, ntasks=1)).results[0]
 
 
 class TestRetryLoop:
@@ -125,7 +125,7 @@ class TestRetryAgainstInjectedFaults:
             env.rt.cudaFree(ptr)
             return err
 
-        res = run_job(app, 1, faults=plan)
+        res = run_job(JobSpec(app=app, ntasks=1, faults=plan))
         assert res.results[0] == E.cudaSuccess
         # both budgeted OOMs actually fired before the success
         oom = [e for e in res.faults.events if e.kind == "cuda"]

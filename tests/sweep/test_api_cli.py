@@ -1,0 +1,168 @@
+"""The stable facade, the deprecated kwargs shim, and `python -m repro`."""
+
+import json
+import pickle
+
+import pytest
+
+import repro
+from repro import IpmConfig, JobSpec, run_job
+from repro.__main__ import EXIT_BAD_INPUT, EXIT_EMPTY, EXIT_OK, main
+from repro.cluster.jobs import LEGACY_KWARG_TO_SPEC_FIELD
+
+
+class TestFacade:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_the_issue_mandated_exports(self):
+        for name in ("JobSpec", "run_job", "SweepRunner", "IpmConfig",
+                     "TelemetryConfig", "FaultPlan", "JobReport"):
+            assert name in repro.__all__
+
+    def test_facade_classes_are_the_canonical_ones(self):
+        from repro.cluster.jobs import run_job as deep_run_job
+        from repro.sweep.spec import JobSpec as deep_spec
+
+        assert repro.run_job is deep_run_job
+        assert repro.JobSpec is deep_spec
+
+
+class TestDeprecatedShim:
+    def test_legacy_kwargs_warn_and_match_the_spec_path(self):
+        spec = JobSpec(app="square", ntasks=1, command="./square",
+                       ipm=IpmConfig(), seed=9)
+        canonical = run_job(spec)
+        with pytest.warns(DeprecationWarning, match="JobSpec"):
+            legacy = run_job(
+                spec.build_app(), 1, command="./square",
+                ipm_config=IpmConfig(), seed=9,
+            )
+        assert pickle.dumps(legacy.report, protocol=4) == \
+               pickle.dumps(canonical.report, protocol=4)
+        assert legacy.wallclock == canonical.wallclock
+
+    def test_spec_call_does_not_warn(self, recwarn):
+        run_job(JobSpec(app="square", ntasks=1))
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_spec_plus_legacy_kwargs_is_an_error(self):
+        spec = JobSpec(app="square", ntasks=1)
+        with pytest.raises(TypeError, match="seed"):
+            run_job(spec, seed=3)
+        with pytest.raises(TypeError, match="ntasks"):
+            run_job(spec, 2)
+
+    def test_legacy_call_without_ntasks_is_an_error(self):
+        with pytest.raises(TypeError, match="ntasks"):
+            run_job(lambda env: None)
+
+    def test_migration_table_covers_the_old_signature(self):
+        assert LEGACY_KWARG_TO_SPEC_FIELD == {
+            "app": "app",
+            "ntasks": "ntasks",
+            "command": "command",
+            "n_nodes": "n_nodes",
+            "ranks_per_node": "ranks_per_node",
+            "ipm_config": "ipm",
+            "seed": "seed",
+            "noise": "noise",
+            "cuda_profile": "cuda_profile",
+            "faults": "faults",
+        }
+        spec_fields = {f.name for f in
+                       __import__("dataclasses").fields(JobSpec)}
+        assert set(LEGACY_KWARG_TO_SPEC_FIELD.values()) <= \
+               spec_fields | {"app", "ntasks"}
+
+
+def _write_specs(tmp_path, specs):
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps([s.to_jsonable() for s in specs]))
+    return str(path)
+
+
+class TestCliSweep:
+    SPECS = [JobSpec(app="square", ntasks=1, ipm=IpmConfig(), seed=s)
+             for s in (1, 2)]
+
+    def test_ok_run_prints_rows_and_writes_summary(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        code = main(["sweep", _write_specs(tmp_path, self.SPECS),
+                     "--mode", "serial", "--out", str(out)])
+        assert code == EXIT_OK
+        printed = capsys.readouterr().out
+        assert "2 jobs: 2 simulated" in printed
+        summary = json.loads(out.read_text())
+        assert summary["jobs"] == 2
+        assert [r["seed"] for r in summary["results"]] == [1, 2]
+
+    def test_cache_hits_on_second_pass(self, tmp_path, capsys):
+        specs = _write_specs(tmp_path, self.SPECS)
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", specs, "--mode", "serial",
+                     "--cache", cache]) == EXIT_OK
+        assert main(["sweep", specs, "--mode", "serial",
+                     "--cache", cache]) == EXIT_OK
+        assert "2 cache hits" in capsys.readouterr().out
+
+    def test_missing_file_is_bad_input(self, tmp_path):
+        assert main(["sweep", str(tmp_path / "nope.json")]) == EXIT_BAD_INPUT
+
+    def test_malformed_json_is_bad_input(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", str(bad)]) == EXIT_BAD_INPUT
+
+    def test_bad_spec_is_bad_input(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"app": "square"}]))  # no ntasks
+        assert main(["sweep", str(bad)]) == EXIT_BAD_INPUT
+
+    def test_empty_list_is_empty(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        assert main(["sweep", str(empty)]) == EXIT_EMPTY
+
+    def test_specs_object_form_is_accepted(self, tmp_path):
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps(
+            {"specs": [JobSpec(app="square", ntasks=1).to_jsonable()]}
+        ))
+        assert main(["sweep", str(path), "--mode", "serial"]) == EXIT_OK
+
+
+class TestCliReportAndAliases:
+    def test_report_renders_a_saved_xml(self, tmp_path, capsys):
+        from repro.core import write_xml
+
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        assert main(["report", str(xml)]) == EXIT_OK
+        assert "IPM" in capsys.readouterr().out
+
+    def test_report_on_garbage_is_bad_input(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not-ipm/>")
+        assert main(["report", str(bad)]) == EXIT_BAD_INPUT
+
+    def test_unknown_subcommand_is_bad_input(self, capsys):
+        assert main(["frobnicate"]) == EXIT_BAD_INPUT
+
+    def test_trace2json_is_forwarded(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(["trace2json", "--app", "square", "--ntasks", "1",
+                     "--out", str(out)])
+        assert code == EXIT_OK
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+
+    def test_trace2json_module_alias_still_works(self, tmp_path):
+        from repro.telemetry.trace2json import main as trace_main
+
+        out = tmp_path / "trace.json"
+        assert trace_main(["--app", "square", "--ntasks", "1",
+                           "--out", str(out)]) == EXIT_OK

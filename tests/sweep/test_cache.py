@@ -1,0 +1,111 @@
+"""The result cache: byte-identical replay, corruption tolerance."""
+
+import os
+import pickle
+
+from repro import IpmConfig, JobSpec, ResultCache, SweepRunner
+from repro.sweep.cache import CACHE_VERSION, _CacheRecord
+
+
+SPEC = JobSpec(app="square", ntasks=1, command="./square", ipm=IpmConfig(),
+               seed=5)
+
+
+def _runner(tmp_path):
+    return SweepRunner(mode="serial", cache=ResultCache(str(tmp_path)))
+
+
+def _entry_file(tmp_path, spec=SPEC):
+    h = spec.content_hash()
+    return os.path.join(str(tmp_path), h[:2], h, "result.pkl")
+
+
+class TestHitsAndMisses:
+    def test_cache_hit_is_byte_identical_to_the_fresh_run(self, tmp_path):
+        runner = _runner(tmp_path)
+        fresh = runner.run([SPEC])
+        assert (fresh.cache_hits, fresh.cache_misses) == (0, 1)
+        assert not fresh[0].from_cache
+
+        replay = runner.run([SPEC])
+        assert (replay.cache_hits, replay.cache_misses) == (1, 0)
+        assert replay[0].from_cache
+        assert replay.executed == 0
+        assert replay[0].report_pickle == fresh[0].report_pickle
+        assert replay[0].wallclock == fresh[0].wallclock
+        assert replay[0].events_executed == fresh[0].events_executed
+
+    def test_hits_survive_a_new_cache_instance(self, tmp_path):
+        fresh = _runner(tmp_path).run([SPEC])
+        replay = _runner(tmp_path).run([SPEC])
+        assert replay.cache_hits == 1
+        assert replay[0].report_pickle == fresh[0].report_pickle
+
+    def test_entry_carries_xml_and_meta_sidecars(self, tmp_path):
+        _runner(tmp_path).run([SPEC])
+        entry = os.path.dirname(_entry_file(tmp_path))
+        assert sorted(os.listdir(entry)) == [
+            "meta.json", "profile.xml", "result.pkl",
+        ]
+        xml = open(os.path.join(entry, "profile.xml")).read()
+        assert xml.startswith("<?xml")
+        assert "<ipm_job " in xml
+
+
+class TestCorruptionIsAMiss:
+    def test_truncated_entry_recomputes_instead_of_crashing(self, tmp_path):
+        runner = _runner(tmp_path)
+        fresh = runner.run([SPEC])
+        path = _entry_file(tmp_path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+
+        again = runner.run([SPEC])
+        assert again.cache_hits == 0
+        assert again.cache_misses == 1
+        assert again.executed == 1
+        assert again[0].report_pickle == fresh[0].report_pickle
+        # and the recompute healed the entry
+        healed = runner.run([SPEC])
+        assert healed.cache_hits == 1
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        runner = _runner(tmp_path)
+        runner.run([SPEC])
+        with open(_entry_file(tmp_path), "wb") as fh:
+            fh.write(b"not a pickle at all")
+        assert runner.cache.lookup(SPEC) is None
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        runner = _runner(tmp_path)
+        fresh = runner.run([SPEC])
+        record = _CacheRecord(
+            version=CACHE_VERSION + 1,
+            spec_hash=SPEC.content_hash(),
+            report_pickle=fresh[0].report_pickle,
+            wallclock=fresh[0].wallclock,
+            events_executed=fresh[0].events_executed,
+        )
+        with open(_entry_file(tmp_path), "wb") as fh:
+            pickle.dump(record, fh)
+        assert runner.cache.lookup(SPEC) is None
+
+    def test_truncated_report_payload_is_a_miss(self, tmp_path):
+        runner = _runner(tmp_path)
+        fresh = runner.run([SPEC])
+        record = _CacheRecord(
+            version=CACHE_VERSION,
+            spec_hash=SPEC.content_hash(),
+            report_pickle=fresh[0].report_pickle[:-10],
+            wallclock=fresh[0].wallclock,
+            events_executed=fresh[0].events_executed,
+        )
+        with open(_entry_file(tmp_path), "wb") as fh:
+            pickle.dump(record, fh)
+        assert runner.cache.lookup(SPEC) is None
+
+    def test_empty_cache_dir_is_just_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.lookup(SPEC) is None
+        assert (cache.hits, cache.misses) == (0, 1)

@@ -1,0 +1,179 @@
+"""JobSpec identity: hashing, JSON round-trips, validation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import FaultPlan, IpmConfig, JobSpec, NoiseConfig, TelemetryConfig
+from repro.faults import CudaFaultSpec, RankAbortSpec
+from repro.cuda import cudaError_t
+from repro.sweep.spec import SPEC_SCHEMA
+
+
+def full_spec():
+    """A spec exercising every serializable field."""
+    return JobSpec(
+        app="hpl",
+        ntasks=4,
+        app_params={"preset": "tiny"},
+        command="./xhpl.cuda",
+        n_nodes=4,
+        ranks_per_node=1,
+        seed=7,
+        ipm=IpmConfig(telemetry=TelemetryConfig(enabled=True,
+                                                sinks=("memory",))),
+        noise=NoiseConfig(),
+        faults=FaultPlan(
+            cuda=[CudaFaultSpec(call="cudaMemcpy",
+                                error=cudaError_t.cudaErrorInvalidValue,
+                                max_failures=1)],
+            aborts=[RankAbortSpec(rank=1, at=2.0)],
+        ),
+        cuda_profile=True,
+    )
+
+
+class TestContentHash:
+    def test_equal_specs_hash_equal(self):
+        assert full_spec().content_hash() == full_spec().content_hash()
+
+    def test_equal_specs_compare_equal_and_are_hashable(self):
+        a, b = full_spec(), full_spec()
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_any_field_change_changes_the_hash(self):
+        base = full_spec()
+        changed = [
+            base.replace(app="square", app_params={}),
+            base.replace(ntasks=5),
+            base.replace(app_params={"preset": "paper_16rank"}),
+            base.replace(command="./other"),
+            base.replace(n_nodes=8),
+            base.replace(ranks_per_node=2),
+            base.replace(seed=8),
+            base.replace(ipm=None),
+            base.replace(ipm=IpmConfig(trace_capacity=1)),
+            base.replace(noise=None),
+            base.replace(faults=None),
+            base.replace(faults=FaultPlan()),
+            base.replace(cuda_profile=False),
+        ]
+        hashes = [base.content_hash()] + [s.content_hash() for s in changed]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_app_params_order_does_not_matter(self):
+        a = JobSpec(app="hpl", ntasks=2, app_params={"n": 512, "nb": 64})
+        b = JobSpec(app="hpl", ntasks=2, app_params=[("nb", 64), ("n", 512)])
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_identity(self):
+        spec = full_spec()
+        back = JobSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.content_hash() == spec.content_hash()
+
+    def test_json_is_canonical_and_schema_stamped(self):
+        data = json.loads(full_spec().to_json())
+        assert data["schema"] == SPEC_SCHEMA
+        # canonical form: same spec, same text
+        assert full_spec().to_json() == full_spec().to_json()
+
+    def test_unknown_fields_are_rejected(self):
+        data = full_spec().to_jsonable()
+        data["walltime_limit"] = 60
+        with pytest.raises(ValueError, match="unknown JobSpec fields"):
+            JobSpec.from_jsonable(data)
+
+    def test_unsupported_schema_is_rejected(self):
+        data = full_spec().to_jsonable()
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            JobSpec.from_jsonable(data)
+
+    def test_app_and_ntasks_are_required(self):
+        with pytest.raises(ValueError, match="app"):
+            JobSpec.from_jsonable({"ntasks": 2})
+
+    def test_minimal_object_decodes_with_defaults(self):
+        spec = JobSpec.from_jsonable({"app": "square", "ntasks": 1})
+        assert spec == JobSpec(app="square", ntasks=1)
+
+
+class TestValidation:
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError, match="ntasks"):
+            JobSpec(app="hpl", ntasks=0)
+        with pytest.raises(ValueError, match="ranks_per_node"):
+            JobSpec(app="hpl", ntasks=1, ranks_per_node=0)
+        with pytest.raises(ValueError, match="n_nodes"):
+            JobSpec(app="hpl", ntasks=1, n_nodes=-1)
+
+    def test_config_fields_are_type_checked(self):
+        with pytest.raises(TypeError, match="ipm"):
+            JobSpec(app="hpl", ntasks=1, ipm={"host_idle": True})
+        with pytest.raises(TypeError, match="noise"):
+            JobSpec(app="hpl", ntasks=1, noise=object())
+        with pytest.raises(TypeError, match="faults"):
+            JobSpec(app="hpl", ntasks=1, faults=object())
+
+    def test_app_params_values_must_be_json_primitive(self):
+        with pytest.raises(TypeError, match="app_params"):
+            JobSpec(app="hpl", ntasks=1, app_params={"cfg": object()})
+
+    def test_duplicate_app_params_keys_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JobSpec(app="hpl", ntasks=1, app_params=[("n", 1), ("n", 2)])
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            full_spec().seed = 99
+
+
+class TestCallableEscapeHatch:
+    def test_callable_specs_run_but_refuse_identity(self):
+        spec = JobSpec(app=lambda env: None, ntasks=1)
+        assert not spec.serializable
+        with pytest.raises(TypeError, match="cannot be serialized"):
+            spec.to_json()
+        with pytest.raises(TypeError, match="cannot be serialized"):
+            spec.content_hash()
+
+    def test_callable_plus_app_params_is_rejected_at_build(self):
+        spec = JobSpec(app=lambda env: None, ntasks=1,
+                       app_params={"preset": "tiny"})
+        with pytest.raises(TypeError, match="registry-named"):
+            spec.build_app()
+
+
+class TestRegistry:
+    def test_registered_apps_cover_the_paper_workloads(self):
+        from repro.sweep import registered_apps
+
+        assert set(registered_apps()) >= {"square", "hpl", "paratec", "amber"}
+
+    def test_unknown_app_name_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            JobSpec(app="nosuch", ntasks=1).build_app()
+
+    def test_unknown_preset_fails_loudly(self):
+        spec = JobSpec(app="hpl", ntasks=1, app_params={"preset": "huge"})
+        with pytest.raises(ValueError, match="preset"):
+            spec.build_app()
+
+    def test_unknown_config_key_fails_loudly(self):
+        spec = JobSpec(app="hpl", ntasks=1, app_params={"nn": 512})
+        with pytest.raises(ValueError, match="unknown app_params"):
+            spec.build_app()
+
+    def test_preset_with_overrides(self):
+        from repro.apps import HplConfig
+        from repro.sweep import build_app
+
+        tiny = HplConfig.tiny()
+        built = build_app("hpl", {"preset": "tiny", "nb": tiny.nb * 2})
+        assert callable(built)

@@ -4,27 +4,19 @@ Also pins the golden-output guarantee: enabling telemetry must not
 change the simulated job or its banner by one byte.
 """
 
-import itertools
 import json
 
+from repro import IpmConfig, JobSpec, run_job
 from repro.apps.hpl import HplConfig, hpl_app
-from repro.cluster.jobs import run_job
 from repro.core.banner import banner
-from repro.core.hostidle import identify_blocking_calls
-from repro.core.ipm import IpmConfig
-from repro.cuda.stream import Stream
 from repro.telemetry.chrome_trace import job_to_chrome_trace, validate_chrome_trace
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.sinks import JSONL_SCHEMA
 
 
 def _run_hpl(tmp_path, telemetry=True, trace_capacity=4096):
-    # Stream ids come from a process-global counter, so back-to-back
-    # runs shift the @CUDA_EXEC_STRMxx names.  Warm the blocking-call
-    # cache (its probes create streams too) and rewind the counter so
-    # every run in this module numbers streams identically.
-    identify_blocking_calls()
-    Stream._ids = itertools.count(1)
+    # Stream ids are per-simulation (Simulator.next_id), so back-to-back
+    # runs number @CUDA_EXEC_STRMxx identically without any pinning.
     tcfg = TelemetryConfig(
         enabled=telemetry,
         interval=0.050,
@@ -32,13 +24,13 @@ def _run_hpl(tmp_path, telemetry=True, trace_capacity=4096):
         jsonl_path=str(tmp_path / "telemetry.jsonl") if telemetry else None,
         openmetrics_path=str(tmp_path / "metrics.prom") if telemetry else None,
     )
-    return run_job(
-        lambda env: hpl_app(env, HplConfig.tiny()),
-        2,
+    return run_job(JobSpec(
+        app=lambda env: hpl_app(env, HplConfig.tiny()),
+        ntasks=2,
         command="./xhpl.cuda",
-        ipm_config=IpmConfig(trace_capacity=trace_capacity, telemetry=tcfg),
+        ipm=IpmConfig(trace_capacity=trace_capacity, telemetry=tcfg),
         seed=3,
-    )
+    ))
 
 
 def test_hpl_smoke_all_sinks_and_trace(tmp_path):
