@@ -25,8 +25,12 @@ Subpackages
     harness.
 
 :mod:`repro.sweep`
-    declarative job specs, the parallel sweep runner and the
+    declarative job specs, the parallel sweep runner (with supervised
+    crash/hang containment and resumable journals) and the
     content-addressed result cache.
+:mod:`repro.errors`
+    the unified error taxonomy: every failure the toolkit can contain
+    carries a terminal ``status`` out of :data:`repro.errors.STATUSES`.
 
 See ``README.md`` for a tour, ``DESIGN.md`` for the architecture and
 substitution rationale, and ``EXPERIMENTS.md`` for paper-vs-measured
@@ -43,18 +47,21 @@ subpackages::
     result = run_job(JobSpec(app="hpl", ntasks=16, ipm=IpmConfig()))
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 # NOTE: __version__ must be bound before these imports — repro.sweep
 # reads it back for cache metadata while the package initializes.
 from repro.cluster.jobs import JobResult, ProcessEnv, run_job  # noqa: E402
 from repro.core.ipm import IpmConfig  # noqa: E402
 from repro.core.report import JobReport, TaskReport  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
 from repro.faults.plan import FaultPlan  # noqa: E402
 from repro.simt.noise import NoiseConfig  # noqa: E402
+from repro.simt.simulator import LivenessLimits  # noqa: E402
 from repro.sweep import (  # noqa: E402
     JobSpec,
     ResultCache,
+    SweepJournal,
     SweepReport,
     SweepResult,
     SweepRunner,
@@ -67,9 +74,12 @@ __all__ = [
     "JobReport",
     "JobResult",
     "JobSpec",
+    "LivenessLimits",
     "NoiseConfig",
     "ProcessEnv",
+    "ReproError",
     "ResultCache",
+    "SweepJournal",
     "SweepReport",
     "SweepResult",
     "SweepRunner",

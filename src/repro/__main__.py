@@ -19,7 +19,10 @@ Exit codes (pinned, shared by every subcommand):
 * 2 — unreadable or malformed input (bad JSON, bad spec, bad XML,
   unknown subcommand usage);
 * 3 — structurally valid input holding no work/data (empty spec list,
-  trace without samples).
+  trace without samples);
+* 4 — the sweep *completed* but one or more specs ended in a non-ok
+  terminal status (crashed, timeout, deadlock, …): partial results
+  were produced and reported, distinct from "could not run at all".
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from typing import List, Optional
 EXIT_OK = 0
 EXIT_BAD_INPUT = 2
 EXIT_EMPTY = 3
+EXIT_SPEC_FAILURES = 4
 
 
 def _load_specs(path: str) -> List["object"]:
@@ -62,8 +66,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not specs:
         print("sweep: no specs in input", file=sys.stderr)
         return EXIT_EMPTY
+    if args.resume and not args.cache:
+        print("sweep: --resume needs --cache (the journal lives next to "
+              "the result cache)", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    liveness = None
+    if args.max_events is not None or args.max_virtual_time is not None:
+        from repro.simt.simulator import LivenessLimits
+
+        liveness = LivenessLimits(
+            max_events=args.max_events,
+            max_virtual_time=args.max_virtual_time,
+        )
     cache = ResultCache(args.cache) if args.cache else None
-    runner = SweepRunner(workers=args.workers, cache=cache, mode=args.mode)
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        mode=args.mode,
+        timeout=args.timeout,
+        retries=args.retries,
+        quarantine_after=args.quarantine_after,
+        liveness=liveness,
+        resume=args.resume,
+    )
     report = runner.run(specs)
     summary = report.summary()
     if args.out:
@@ -72,17 +97,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
     for row in summary["results"]:
         marker = "cached" if row["from_cache"] else "ran"
-        print(
+        if row["status"] != "ok":
+            marker = row["status"]
+        line = (
             f"{row['spec_hash'][:12]}  {row['app']:>8} x{row['ntasks']:<3d} "
             f"seed={row['seed']:<6d} wallclock={row['wallclock']:10.3f}s  "
             f"[{marker}]"
         )
+        if row["error"]:
+            line += f"  {row['error']}"
+        print(line)
+    tail = ""
+    if report.errors_total:
+        counts = ", ".join(
+            f"{n} {s}" for s, n in sorted(report.status_counts().items())
+            if s != "ok"
+        )
+        tail = f", {report.errors_total} failed ({counts})"
     print(
         f"{len(report)} jobs: {report.executed} simulated, "
         f"{report.cache_hits} cache hits ({report.mode}, "
         f"{report.workers} workers, {report.host_seconds:.2f}s host)"
+        + tail
     )
-    return EXIT_OK
+    return EXIT_SPEC_FAILURES if report.errors_total else EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -125,6 +163,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="content-addressed result cache directory")
     p_sweep.add_argument("--out", default=None, metavar="FILE",
                          help="write the sweep summary JSON here")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock limit per attempt; a hung spec "
+                              "is killed and marked 'timeout' (enables "
+                              "supervised execution)")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for crashed/timed-out specs "
+                              "(enables supervised execution)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="replay the journal + cache and re-run only "
+                              "specs that never finished ok (needs --cache)")
+    p_sweep.add_argument("--quarantine-after", type=int, default=3,
+                         metavar="N",
+                         help="with --resume: skip specs with N+ journaled "
+                              "failures (default 3)")
+    p_sweep.add_argument("--max-events", type=int, default=None,
+                         metavar="N",
+                         help="liveness watchdog: abort a spec after N "
+                              "simulator events (status 'livelock')")
+    p_sweep.add_argument("--max-virtual-time", type=float, default=None,
+                         metavar="SECONDS",
+                         help="liveness watchdog: abort a spec past this "
+                              "virtual time (status 'livelock')")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     sub.add_parser(

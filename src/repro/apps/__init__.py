@@ -21,8 +21,11 @@ from repro.apps.square import SquareConfig, square_app
 from repro.apps.hpl import HplConfig, hpl_app
 from repro.apps.paratec import ParatecConfig, paratec_app
 from repro.apps.amber import AmberConfig, amber_app
+from repro.apps.canary import CanaryConfig, canary_app
 
 __all__ = [
+    "CanaryConfig",
+    "canary_app",
     "SquareConfig",
     "square_app",
     "HplConfig",

@@ -1,0 +1,86 @@
+"""The canary workload: a job that misbehaves on purpose.
+
+Supervised sweeps need something to supervise.  ``canary`` is a tiny
+registry-named app (so specs carrying it serialize, hash and cross
+process boundaries like any paper workload) whose ``mode`` selects a
+failure the supervision stack must contain:
+
+=========  ==========================================================
+mode       behaviour
+=========  ==========================================================
+ok         does ``work`` seconds of host compute and returns
+crash      raises ``RuntimeError`` out of rank code (worker crash)
+deadlock   blocks forever on a completion nobody fires
+spin       livelocks the simulator with zero-delay self-rescheduling
+           events (only the liveness watchdog can stop it)
+hang       burns real wall-clock time forever (only a process kill
+           can stop it)
+=========  ==========================================================
+
+Only rank ``victim`` misbehaves; other ranks complete their host
+compute, mirroring the single-bad-rank failures a shared cluster
+actually produces.  ``spin`` and ``hang`` are intentionally fatal
+without supervision — run them only under a
+:class:`~repro.simt.simulator.LivenessLimits` watchdog or a
+wall-clock timeout respectively (the hang-canary CI test does both).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.simt.waiters import Completion
+
+MODES = ("ok", "crash", "deadlock", "spin", "hang")
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """What the canary does and when."""
+
+    mode: str = "ok"
+    #: host-compute seconds every rank performs before misbehaving.
+    work: float = 1e-3
+    #: the rank that misbehaves (others always complete).
+    victim: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown canary mode {self.mode!r}; known: {MODES}")
+        if self.work < 0:
+            raise ValueError(f"negative work: {self.work}")
+        if self.victim < 0:
+            raise ValueError(f"negative victim rank: {self.victim}")
+
+
+def canary_app(env, config: CanaryConfig) -> str:
+    """One rank of the canary job."""
+    if config.work > 0:
+        env.hostcompute(config.work)
+    if env.rank != config.victim:
+        return "ok"
+    mode = config.mode
+    if mode == "ok":
+        return "ok"
+    if mode == "crash":
+        raise RuntimeError(
+            f"canary: planned crash on rank {env.rank}"
+        )
+    if mode == "deadlock":
+        Completion(env.sim, name="canary.never").wait()
+        raise AssertionError("unreachable: nobody fires canary.never")
+    if mode == "spin":
+        sim = env.sim
+
+        def respin() -> None:
+            sim.schedule(0.0, respin)
+
+        sim.schedule(0.0, respin)
+        # park the rank so the heap never empties and the zero-delay
+        # loop spins the run loop forever (until the watchdog trips).
+        Completion(sim, name="canary.spin-park").wait()
+        raise AssertionError("unreachable: the spin loop never stops")
+    # mode == "hang": a real host-side hang, invisible to virtual time.
+    while True:  # pragma: no cover - only ever killed from outside
+        _time.sleep(0.05)

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster, make_dirac
 from repro.core.hostidle import blocking_wrapper_names, identify_blocking_calls
+from repro.errors import JobStalled
 from repro.core.ipm import Ipm, IpmConfig
 from repro.core.report import JobReport
 from repro.cuda.driver import Driver
@@ -50,7 +51,12 @@ from repro.mpi.network import Network
 from repro.simt.noise import NoiseConfig, NoiseModel
 from repro.simt.process import ProcessState
 from repro.simt.random import RngStreams
-from repro.simt.simulator import ProcessCrashed, SimulationError, Simulator
+from repro.simt.simulator import (
+    LivenessLimits,
+    ProcessCrashed,
+    SimulationError,
+    Simulator,
+)
 
 
 @dataclass
@@ -138,6 +144,7 @@ def run_job(
     cuda_profile: bool = False,
     gpu_timing: Optional[Any] = None,
     faults: Optional[FaultPlan] = None,
+    liveness: Optional[LivenessLimits] = None,
 ) -> JobResult:
     """Run one simulated job described by a :class:`JobSpec`.
 
@@ -148,11 +155,16 @@ def run_job(
     ``spec.ipm=None`` runs unmonitored; otherwise IPM is preloaded
     into every rank and a :class:`JobReport` is produced.
 
-    ``cluster`` and ``gpu_timing`` are runtime-only extras that stay
-    *outside* the spec (they carry live simulator state / timing-model
-    objects, which are not content-addressable): a pre-built
+    ``cluster``, ``gpu_timing`` and ``liveness`` are runtime-only
+    extras that stay *outside* the spec (they carry live simulator
+    state / timing-model objects / supervision policy, none of which
+    belong in the job's content-addressed identity): a pre-built
     ``cluster`` makes the job run on *its* simulator; ``gpu_timing``
-    tweaks the GPUs of the fresh Dirac cluster built otherwise.
+    tweaks the GPUs of the fresh Dirac cluster built otherwise;
+    ``liveness`` arms the simulator's watchdog
+    (:class:`~repro.simt.simulator.LivenessLimits`) so a livelocked
+    job raises a structured
+    :class:`~repro.simt.simulator.LivenessError` instead of hanging.
 
     ``spec.faults`` (or ``spec.ipm.faults``) attaches a deterministic
     :class:`~repro.faults.plan.FaultPlan`.  Injected rank aborts do not
@@ -212,13 +224,16 @@ def run_job(
             cuda_profile=cuda_profile,
             faults=faults,
         )
-    return _run_spec(spec, cluster=cluster, gpu_timing=gpu_timing)
+    return _run_spec(
+        spec, cluster=cluster, gpu_timing=gpu_timing, liveness=liveness
+    )
 
 
 def _run_spec(
     spec: "JobSpec",
     cluster: Optional[Cluster] = None,
     gpu_timing: Optional[Any] = None,
+    liveness: Optional[LivenessLimits] = None,
 ) -> JobResult:
     """Execute one :class:`JobSpec` (the mpirun+loader machinery)."""
     app = spec.build_app()
@@ -234,13 +249,15 @@ def _run_spec(
     t_host0 = _time.perf_counter()
     streams = RngStreams(seed)
     if cluster is None:
-        sim = Simulator()
+        sim = Simulator(liveness=liveness)
         needed = (ntasks + ranks_per_node - 1) // ranks_per_node
         cluster = make_dirac(
             sim, n_nodes=max(needed, n_nodes or 0), seed=seed, gpu_timing=gpu_timing
         )
     else:
         sim = cluster.sim
+        if liveness is not None and liveness.active:
+            sim.liveness = liveness
     rank_to_node = [
         cluster.node_of_rank(r, ranks_per_node).index for r in range(ntasks)
     ]
@@ -388,7 +405,7 @@ def _run_spec(
                 raise
         unfinished = [p.name for p in procs if p.alive]
         if unfinished and not aborted:
-            raise RuntimeError(f"ranks never finished: {unfinished}")
+            raise JobStalled(f"ranks never finished: {unfinished}")
 
         def rank_status(rank: int) -> str:
             p = procs[rank]

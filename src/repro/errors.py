@@ -1,0 +1,108 @@
+"""The unified error taxonomy of the reproduction.
+
+Every subsystem that can fail terminally — the simulation kernel
+(:mod:`repro.simt`), the job runner (:mod:`repro.cluster.jobs`), the
+fault machinery (:mod:`repro.faults`) and the sweep layer
+(:mod:`repro.sweep`) — raises from one family rooted at
+:class:`ReproError`, and every member carries a ``status`` string out
+of :data:`STATUSES`.  That string is the whole contract between a
+failure and the supervision layer: the sweep runner maps it onto
+:class:`~repro.sweep.report.SweepResult.status`, the journal records
+it, the :class:`~repro.sweep.report.SweepReport` rolls it up (its
+``errors_total`` mirrors the ``ipm_errors_total`` telemetry series),
+and the CLI turns "any non-ok spec" into exit code 4.
+
+The concrete exception classes live next to the machinery that raises
+them (``DeadlockError``/``LivenessError`` in
+:mod:`repro.simt.simulator`, ``RankAborted`` in
+:mod:`repro.faults.plan`, …); this module holds only the root, the
+status vocabulary, and the sweep-supervision errors that belong to no
+simulator.  It imports nothing from the rest of the package so any
+layer may depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: every terminal state a supervised spec can end in (``SweepResult.
+#: status`` vocabulary).  "ok" is the success state; everything else
+#: maps 1:1 onto an exception's ``status`` attribute or a supervisor
+#: observation (a killed worker, an exceeded deadline, a poison spec).
+STATUSES = (
+    "ok",          # ran to completion
+    "crashed",     # a process raised / a worker died
+    "timeout",     # exceeded the supervisor's wall-clock deadline
+    "deadlock",    # event heap empty with blocked processes
+    "livelock",    # liveness watchdog tripped (event/time budget)
+    "stalled",     # ranks never finished without a structural error
+    "aborted",     # killed by a planned fault injection
+    "quarantined", # poison spec skipped after repeated failures
+    "failed",      # any other terminal error
+)
+
+
+class ReproError(Exception):
+    """Root of the taxonomy; ``status`` names the terminal state."""
+
+    status: str = "failed"
+
+
+class SpecTimeout(ReproError):
+    """A supervised spec exceeded its wall-clock deadline."""
+
+    status = "timeout"
+
+    def __init__(self, spec_hash: str, timeout: float) -> None:
+        super().__init__(
+            f"spec {spec_hash[:12]} exceeded its {timeout:g}s wall-clock "
+            "timeout and was killed"
+        )
+        self.spec_hash = spec_hash
+        self.timeout = timeout
+
+
+class WorkerCrashed(ReproError):
+    """A sweep worker process died without reporting a result."""
+
+    status = "crashed"
+
+    def __init__(self, spec_hash: str, exitcode: Optional[int]) -> None:
+        super().__init__(
+            f"worker running spec {spec_hash[:12]} died without a result "
+            f"(exit code {exitcode})"
+        )
+        self.spec_hash = spec_hash
+        self.exitcode = exitcode
+
+
+class QuarantinedSpec(ReproError):
+    """A spec was skipped because the journal marks it poison."""
+
+    status = "quarantined"
+
+    def __init__(self, spec_hash: str, failures: int) -> None:
+        super().__init__(
+            f"spec {spec_hash[:12]} quarantined after {failures} recorded "
+            "failures (set quarantine_after=None to force a re-run)"
+        )
+        self.spec_hash = spec_hash
+        self.failures = failures
+
+
+class JobStalled(ReproError, RuntimeError):
+    """Ranks never finished although the simulation ran dry cleanly."""
+
+    status = "stalled"
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map any exception to its terminal status string.
+
+    Taxonomy members carry their own ``status``; everything else —
+    codec errors, registry typos, plain bugs — is ``"failed"``.
+    """
+    status = getattr(exc, "status", None)
+    if isinstance(status, str) and status in STATUSES:
+        return status
+    return "failed"

@@ -22,9 +22,10 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.cuda.errors import cudaError_t
+from repro.errors import ReproError
 
 
-class RankAborted(RuntimeError):
+class RankAborted(ReproError, RuntimeError):
     """A planned whole-rank abort fired inside a simulated rank.
 
     Raised out of the application code (wrapper entry, host compute,
@@ -32,6 +33,8 @@ class RankAborted(RuntimeError):
     cleanup, mid-operation.  The job runner recognizes the injected
     abort and degrades to a partial report instead of re-raising.
     """
+
+    status = "aborted"
 
     def __init__(self, rank: int, at: float) -> None:
         super().__init__(f"rank {rank} aborted by fault plan at t={at:.6f}")

@@ -5,16 +5,33 @@ are exactly the failures a resilient application retries.  This helper
 runs under the simulated clock — the backoff sleeps advance *virtual*
 time on the calling rank, so IPM observes the retries and the waiting
 the same way it would in a real degraded run.
+
+It also runs under the *host* clock (``sim=None``): the supervised
+sweep runner reuses the same loop, with ``time.sleep`` backoffs, to
+re-attempt specs whose worker crashed or timed out.
+
+Backoff delays may carry **deterministic jitter**: pass ``jitter`` (a
+fraction of the delay) together with an ``rng`` drawn from
+:class:`~repro.simt.random.RngStreams` — the stdlib ``random`` module
+is deliberately not a fallback, because jittered retries must stay
+bit-reproducible under a fixed experiment seed.  ``max_elapsed``
+bounds the total clock time the loop may consume: once starting the
+next backoff sleep would exceed the bound, the loop gives up with
+:class:`RetriesExhausted` instead of sleeping past it.
 """
 
 from __future__ import annotations
 
 import enum
+import time as _time
 from typing import Any, Callable, FrozenSet, Optional, TYPE_CHECKING
 
 from repro.cuda.errors import cudaError_t
+from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.simt.simulator import Simulator
 
 #: CUDA errors worth retrying: transient resource pressure, not misuse.
@@ -27,7 +44,7 @@ RETRYABLE_CUDA: FrozenSet[cudaError_t] = frozenset(
 )
 
 
-class RetriesExhausted(RuntimeError):
+class RetriesExhausted(ReproError, RuntimeError):
     """All attempts failed; carries the last failing result."""
 
     def __init__(self, attempts: int, last_result: Any) -> None:
@@ -42,27 +59,50 @@ def _default_is_retryable(result: Any) -> bool:
 
 
 def retry_with_backoff(
-    sim: "Simulator",
+    sim: "Optional[Simulator]",
     fn: Callable[[], Any],
     *,
     attempts: int = 4,
     base_delay: float = 1e-3,
     factor: float = 2.0,
     is_retryable: Optional[Callable[[Any], bool]] = None,
+    jitter: float = 0.0,
+    rng: "Optional[np.random.Generator]" = None,
+    max_elapsed: Optional[float] = None,
 ) -> Any:
     """Call ``fn()`` until it stops returning a retryable failure.
 
-    Between attempts the calling rank sleeps ``base_delay * factor**i``
-    virtual seconds.  Returns the first non-retryable result (success
-    *or* a permanent error — the caller keeps the C return-code
-    convention); raises :class:`RetriesExhausted` when every attempt
-    returned a retryable failure.
+    Between attempts the caller sleeps ``base_delay * factor**i``
+    seconds — *virtual* seconds on the calling rank when ``sim`` is a
+    simulator, host seconds (``time.sleep``) when ``sim`` is None.
+    Returns the first non-retryable result (success *or* a permanent
+    error — the caller keeps the C return-code convention); raises
+    :class:`RetriesExhausted` when every attempt returned a retryable
+    failure, or when ``max_elapsed`` clock seconds would be exceeded
+    by the next backoff sleep.
+
+    ``jitter`` spreads each delay uniformly over
+    ``[delay*(1-jitter), delay*(1+jitter)]`` using ``rng`` — a seeded
+    generator from :class:`~repro.simt.random.RngStreams` is required
+    so jittered schedules stay deterministic (``random`` is never
+    consulted).
     """
     if attempts <= 0:
         raise ValueError(f"attempts must be positive: {attempts}")
     if base_delay < 0 or factor <= 0:
         raise ValueError(f"bad backoff: base_delay={base_delay}, factor={factor}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1]: {jitter}")
+    if jitter > 0 and rng is None:
+        raise ValueError(
+            "jitter needs a seeded rng (RngStreams.get(...)); the stdlib "
+            "'random' module is not an acceptable substitute"
+        )
+    if max_elapsed is not None and max_elapsed <= 0:
+        raise ValueError(f"max_elapsed must be positive: {max_elapsed}")
     check = is_retryable if is_retryable is not None else _default_is_retryable
+    now = (lambda: sim.now) if sim is not None else _time.monotonic
+    t0 = now()
     result: Any = None
     for i in range(attempts):
         result = fn()
@@ -70,6 +110,16 @@ def retry_with_backoff(
             return result
         if i + 1 < attempts:
             delay = base_delay * factor**i
+            if jitter > 0 and delay > 0:
+                delay *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
+            if (
+                max_elapsed is not None
+                and (now() - t0) + delay > max_elapsed
+            ):
+                raise RetriesExhausted(i + 1, result)
             if delay > 0:
-                sim.sleep(delay)
+                if sim is not None:
+                    sim.sleep(delay)
+                else:
+                    _time.sleep(delay)
     raise RetriesExhausted(attempts, result)

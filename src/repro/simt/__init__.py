@@ -34,7 +34,14 @@ Public API
 
 from repro.simt.clock import VirtualClock
 from repro.simt.events import EventHeap, ScheduledEvent
-from repro.simt.simulator import Simulator, SimulationError, ProcessCrashed
+from repro.simt.simulator import (
+    DeadlockError,
+    LivenessError,
+    LivenessLimits,
+    ProcessCrashed,
+    SimulationError,
+    Simulator,
+)
 from repro.simt.process import SimProcess, ProcessState
 from repro.simt.waiters import Completion, WaitQueue, join
 from repro.simt.resources import FifoServer, BandwidthLink, Gate
@@ -47,6 +54,9 @@ __all__ = [
     "ScheduledEvent",
     "Simulator",
     "SimulationError",
+    "DeadlockError",
+    "LivenessError",
+    "LivenessLimits",
     "ProcessCrashed",
     "SimProcess",
     "ProcessState",

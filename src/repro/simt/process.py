@@ -58,6 +58,13 @@ class SimProcess:
         self.exc: Optional[BaseException] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: what the process is currently blocked on (a Completion, a
+        #: WaitQueue, or a plain string like "sleep"); None while
+        #: runnable.  Formatted lazily by :meth:`describe_wait` so the
+        #: hot baton handoff only pays one attribute store.
+        self.wait_target: Any = None
+        #: virtual time at which the current block started.
+        self.blocked_at: Optional[float] = None
         #: fired (with ``result`` as value) when the process exits.
         self.done = Completion(sim, name=f"{self.name}.done")
         self._wake_value: Any = None
@@ -94,18 +101,39 @@ class SimProcess:
 
     # -- baton passing (called from the process's own thread) ----------
 
-    def _yield_to_scheduler(self) -> Any:
+    def _yield_to_scheduler(self, target: Any = None) -> Any:
         """Block this process and hand the baton to the scheduler.
 
-        Returns the value passed to the resume (see
-        ``Simulator._switch_to``).
+        ``target`` names what the process is waiting for (shown by the
+        deadlock diagnosis).  Returns the value passed to the resume
+        (see ``Simulator._switch_to``).
         """
+        self.wait_target = target
+        self.blocked_at = self.sim.now
         self.state = ProcessState.BLOCKED
         self.sim._sched_lock.release()
         self._resume_lock.acquire()
         self.state = ProcessState.RUNNING
+        self.wait_target = None
         value, self._wake_value = self._wake_value, None
         return value
+
+    def describe_wait(self) -> str:
+        """Human-readable description of the current block site.
+
+        E.g. ``"completion 'kernel.done' since t=1.250000"`` — what the
+        deadlock message prints for each blocked process.
+        """
+        target = self.wait_target
+        if target is None:
+            desc = "unknown"
+        elif isinstance(target, str):
+            desc = target
+        else:
+            name = getattr(target, "name", "") or "?"
+            desc = f"{type(target).__name__.lower()} {name!r}"
+        at = self.blocked_at
+        return desc if at is None else f"{desc} since t={at:.6f}"
 
     @property
     def alive(self) -> bool:

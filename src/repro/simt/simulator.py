@@ -10,14 +10,16 @@ process hands it back by blocking or exiting.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
+from repro.errors import ReproError
 from repro.simt.clock import VirtualClock
 from repro.simt.events import EventHeap, ScheduledEvent
 from repro.simt.process import ProcessState, SimProcess
 
 
-class SimulationError(RuntimeError):
+class SimulationError(ReproError, RuntimeError):
     """Raised for structural simulation failures (e.g. deadlock)."""
 
 
@@ -28,15 +30,103 @@ class ProcessCrashed(SimulationError):
     traceback, so test failures inside rank code surface normally.
     """
 
+    status = "crashed"
+
     def __init__(self, proc: SimProcess) -> None:
         super().__init__(f"simulated process {proc.name!r} crashed: {proc.exc!r}")
         self.proc = proc
 
 
+class DeadlockError(SimulationError):
+    """Event heap ran dry while processes were still blocked.
+
+    The message names every blocked process together with *what* it is
+    waiting on (completion/queue name, or "sleep") and the virtual time
+    it blocked at — the first question a deadlock post-mortem asks.
+    """
+
+    status = "deadlock"
+
+    def __init__(self, blocked: List[SimProcess]) -> None:
+        sites = "; ".join(
+            f"{p.name} waiting on {p.describe_wait()}" for p in blocked
+        )
+        super().__init__(
+            f"deadlock: event heap empty with {len(blocked)} blocked "
+            f"process{'es' if len(blocked) != 1 else ''}: {sites}"
+        )
+        self.blocked = list(blocked)
+
+
+class LivenessError(SimulationError):
+    """The liveness watchdog tripped: the run exceeded its budget.
+
+    Converts livelock (events firing forever without the job finishing,
+    or virtual time running away) into a structured, diagnosable error
+    instead of a hung interpreter.
+    """
+
+    status = "livelock"
+
+    def __init__(
+        self,
+        kind: str,
+        budget: float,
+        events_executed: int,
+        now: float,
+        heap_size: int,
+    ) -> None:
+        super().__init__(
+            f"liveness watchdog: {kind} budget exceeded ({budget:g}) after "
+            f"{events_executed} events at t={now:.6f} "
+            f"({heap_size} events still queued)"
+        )
+        self.kind = kind
+        self.budget = budget
+        self.events_executed = events_executed
+        self.now = now
+        self.heap_size = heap_size
+
+
+@dataclass(frozen=True)
+class LivenessLimits:
+    """Watchdog budgets for one :class:`Simulator`.
+
+    ``max_events`` bounds the total number of events the simulator may
+    execute (a zero-delay self-rescheduling loop trips it); ``max_
+    virtual_time`` bounds how far the clock may advance (a job that
+    "runs" forever in virtual time trips it).  ``None`` disables the
+    corresponding check; the default instance checks nothing.
+    """
+
+    max_events: Optional[int] = None
+    max_virtual_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError(f"max_events must be positive: {self.max_events}")
+        if self.max_virtual_time is not None and self.max_virtual_time <= 0:
+            raise ValueError(
+                f"max_virtual_time must be positive: {self.max_virtual_time}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.max_events is not None or self.max_virtual_time is not None
+
+
 class Simulator:
     """Deterministic discrete-event simulator with thread-backed processes."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        liveness: Optional[LivenessLimits] = None,
+    ) -> None:
+        #: watchdog budgets; None (or an all-None instance) checks
+        #: nothing and keeps the run loop on the historical fast path.
+        self.liveness = liveness if liveness is not None and liveness.active \
+            else None
         self.clock = VirtualClock(start_time)
         self.heap = EventHeap()
         self.processes: List[SimProcess] = []
@@ -127,7 +217,7 @@ class Simulator:
         if duration == 0:
             return
         self.schedule(duration, self._switch_to, proc, None)
-        proc._yield_to_scheduler()
+        proc._yield_to_scheduler("sleep")
 
     # -- baton passing (called from the run loop) -------------------------
 
@@ -160,6 +250,7 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        watchdog = self.liveness
         try:
             while True:
                 if self._crashed is not None:
@@ -172,6 +263,8 @@ class Simulator:
                 if until is not None and nxt > until:
                     self.clock.advance_to(until)
                     return self.clock.now
+                if watchdog is not None:
+                    self._check_liveness(watchdog, nxt)
                 ev = self.heap.pop()
                 assert ev is not None
                 self.clock.advance_to(ev.time)
@@ -183,15 +276,31 @@ class Simulator:
                 raise ProcessCrashed(proc) from proc.exc
             blocked = [p for p in self.processes if p.state is ProcessState.BLOCKED]
             if blocked:
-                names = ", ".join(p.name for p in blocked)
-                raise SimulationError(
-                    f"deadlock: event heap empty with blocked processes: {names}"
-                )
+                raise DeadlockError(blocked)
             if until is not None and until > self.clock.now:
                 self.clock.advance_to(until)
             return self.clock.now
         finally:
             self._running = False
+
+    def _check_liveness(self, limits: LivenessLimits, next_time: float) -> None:
+        """Raise :class:`LivenessError` when a watchdog budget is spent."""
+        if (
+            limits.max_events is not None
+            and self.events_executed >= limits.max_events
+        ):
+            raise LivenessError(
+                "event-count", limits.max_events, self.events_executed,
+                self.clock.now, len(self.heap),
+            )
+        if (
+            limits.max_virtual_time is not None
+            and next_time > limits.max_virtual_time
+        ):
+            raise LivenessError(
+                "virtual-time", limits.max_virtual_time, self.events_executed,
+                self.clock.now, len(self.heap),
+            )
 
     def run_all(self) -> float:
         """Run to completion and assert every spawned process finished."""

@@ -81,7 +81,7 @@ class Completion:
         if self._fired:
             return self.value
         self._waiting.append(proc)
-        return proc._yield_to_scheduler()
+        return proc._yield_to_scheduler(self)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Run ``fn(value)`` when fired (immediately-scheduled if already fired)."""
@@ -140,7 +140,7 @@ class WaitQueue:
     def wait(self) -> Any:
         proc = self.sim.require_current()
         self._waiting.append(proc)
-        return proc._yield_to_scheduler()
+        return proc._yield_to_scheduler(self)
 
     def notify(self, value: Any = None) -> bool:
         """Wake the oldest waiter; returns False if nobody was waiting."""

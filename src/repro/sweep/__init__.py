@@ -15,10 +15,13 @@ service:
   store of job reports, so re-running a figure script replays from
   disk instead of resimulating;
 * :class:`~repro.sweep.report.SweepReport` — ordered results feeding
-  the :mod:`repro.analysis` scaling/ensemble/comparison tools.
+  the :mod:`repro.analysis` scaling/ensemble/comparison tools;
+* :class:`~repro.sweep.journal.SweepJournal` — append-only record of
+  supervised status transitions, powering ``--resume`` and quarantine.
 """
 
 from repro.sweep.cache import ResultCache, pickle_report
+from repro.sweep.journal import JournalEntry, SweepJournal
 from repro.sweep.registry import AppEntry, build_app, register_app, registered_apps
 from repro.sweep.report import SweepReport, SweepResult
 from repro.sweep.runner import SweepRunner
@@ -27,7 +30,9 @@ from repro.sweep.spec import JobSpec
 __all__ = [
     "AppEntry",
     "JobSpec",
+    "JournalEntry",
     "ResultCache",
+    "SweepJournal",
     "SweepReport",
     "SweepResult",
     "SweepRunner",

@@ -13,6 +13,12 @@ never leaves a half-entry that later reads as a result.  Reads treat
 *any* failure — missing files, truncated pickle, wrong types, version
 skew — as a miss: the runner recomputes and overwrites.  Determinism
 makes that safe; the cache is an accelerator, never a source of truth.
+
+For the same reason a cache that cannot *write* (read-only directory,
+disk full) must not kill the sweep: the first failed store disables
+further writes with a warning, lookups keep working (a read-only cache
+is still a perfectly good replay source), and results simply stop
+being persisted.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
@@ -61,6 +68,9 @@ class ResultCache:
         self.root = os.fspath(root)
         self.hits = 0
         self.misses = 0
+        #: set after the first OSError on store; further stores no-op
+        #: (lookups still work — a read-only cache can still replay).
+        self.write_disabled = False
 
     def _entry_dir(self, spec_hash: str) -> str:
         return os.path.join(self.root, spec_hash[:2], spec_hash)
@@ -98,36 +108,54 @@ class ResultCache:
         wallclock: float,
         events_executed: int,
         xml_text: Optional[str] = None,
-    ) -> str:
-        """Persist one result; returns the entry directory."""
+    ) -> Optional[str]:
+        """Persist one result; returns the entry directory.
+
+        An :class:`OSError` (read-only cache dir, disk full, …)
+        disables further writes with a warning and returns None — the
+        sweep carries on uncached rather than crashing.
+        """
+        if self.write_disabled:
+            return None
         spec_hash = spec.content_hash()
         entry = self._entry_dir(spec_hash)
-        os.makedirs(entry, exist_ok=True)
-        record = _CacheRecord(
-            version=CACHE_VERSION,
-            spec_hash=spec_hash,
-            report_pickle=report_pickle,
-            wallclock=wallclock,
-            events_executed=events_executed,
-        )
-        self._atomic_write(
-            os.path.join(entry, "result.pkl"),
-            pickle.dumps(record, protocol=PICKLE_PROTOCOL),
-        )
-        if xml_text is not None:
-            self._atomic_write(
-                os.path.join(entry, "profile.xml"), xml_text.encode("utf-8")
+        try:
+            os.makedirs(entry, exist_ok=True)
+            record = _CacheRecord(
+                version=CACHE_VERSION,
+                spec_hash=spec_hash,
+                report_pickle=report_pickle,
+                wallclock=wallclock,
+                events_executed=events_executed,
             )
-        meta = {
-            "cache_version": CACHE_VERSION,
-            "repro_version": __version__,
-            "spec_hash": spec_hash,
-            "spec": json.loads(spec.to_json()),
-        }
-        self._atomic_write(
-            os.path.join(entry, "meta.json"),
-            json.dumps(meta, indent=2, sort_keys=True).encode("utf-8"),
-        )
+            self._atomic_write(
+                os.path.join(entry, "result.pkl"),
+                pickle.dumps(record, protocol=PICKLE_PROTOCOL),
+            )
+            if xml_text is not None:
+                self._atomic_write(
+                    os.path.join(entry, "profile.xml"),
+                    xml_text.encode("utf-8"),
+                )
+            meta = {
+                "cache_version": CACHE_VERSION,
+                "repro_version": __version__,
+                "spec_hash": spec_hash,
+                "spec": json.loads(spec.to_json()),
+            }
+            self._atomic_write(
+                os.path.join(entry, "meta.json"),
+                json.dumps(meta, indent=2, sort_keys=True).encode("utf-8"),
+            )
+        except OSError as exc:
+            self.write_disabled = True
+            warnings.warn(
+                f"result cache writes disabled: cannot store under "
+                f"{self.root}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         return entry
 
     @staticmethod

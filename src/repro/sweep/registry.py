@@ -12,6 +12,7 @@ square    :class:`SquareConfig`       —
 hpl       :class:`HplConfig`          —
 paratec   :class:`ParatecConfig`      ``blas`` ("cublas" or "mkl")
 amber     :class:`AmberConfig`        —
+canary    :class:`CanaryConfig`       — (supervision test workload)
 ========  ==========================  ==============================
 
 ``app_params`` of a spec are the config dataclass's field overrides,
@@ -28,10 +29,12 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.apps import (
     AmberConfig,
+    CanaryConfig,
     HplConfig,
     ParatecConfig,
     SquareConfig,
     amber_app,
+    canary_app,
     hpl_app,
     paratec_app,
     square_app,
@@ -128,4 +131,9 @@ register_app(AppEntry(
     name="amber",
     config_cls=AmberConfig,
     factory=lambda cfg, extras: lambda env: amber_app(env, cfg),
+))
+register_app(AppEntry(
+    name="canary",
+    config_cls=CanaryConfig,
+    factory=lambda cfg, extras: lambda env: canary_app(env, cfg),
 ))

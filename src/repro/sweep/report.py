@@ -25,7 +25,8 @@ class SweepResult:
 
     spec: JobSpec
     spec_hash: str
-    #: the job's monitoring report; None when the spec ran unmonitored.
+    #: the job's monitoring report; None when the spec ran unmonitored
+    #: or did not finish (``status != "ok"``).
     report: Optional[JobReport]
     #: simulated (virtual-time) wallclock of the job, seconds.
     wallclock: float
@@ -36,6 +37,18 @@ class SweepResult:
     #: computed it (b"" for unmonitored jobs) — the byte-identity
     #: contract between serial, parallel and cached execution.
     report_pickle: bytes = b""
+    #: terminal state out of :data:`repro.errors.STATUSES`; anything
+    #: but "ok" means the spec failed and carries no report.
+    status: str = "ok"
+    #: one-line diagnosis when ``status != "ok"`` (exception text, the
+    #: worker's exit code, the deadlock site list, …).
+    error: Optional[str] = None
+    #: supervised attempts consumed (1 on the unsupervised path).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass
@@ -72,6 +85,34 @@ class SweepReport:
         """The monitored jobs' reports (skips unmonitored specs)."""
         return [r.report for r in self.results if r.report is not None]
 
+    # -- robustness rollups ----------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when every spec finished (the CLI's exit-0 condition)."""
+        return all(r.status == "ok" for r in self.results)
+
+    @property
+    def errors_total(self) -> int:
+        """Specs that ended in a non-ok terminal state.
+
+        The sweep-level analogue of the per-rank ``ipm_errors_total``
+        telemetry series: one monotone counter of everything that went
+        wrong, rolled up per batch instead of per rank.
+        """
+        return sum(1 for r in self.results if r.status != "ok")
+
+    def status_counts(self) -> Dict[str, int]:
+        """Terminal-status histogram (only statuses that occurred)."""
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return counts
+
+    def failures(self) -> List[SweepResult]:
+        """The non-ok results, in submission order."""
+        return [r for r in self.results if r.status != "ok"]
+
     def scaling_points(
         self,
         breakdown: Callable[[SweepResult], Dict[str, float]],
@@ -85,6 +126,7 @@ class SweepReport:
         points = [
             ScalingPoint(r.spec.ntasks, r.wallclock, breakdown(r))
             for r in self.results
+            if r.status == "ok"
         ]
         return sorted(points, key=lambda p: p.nprocs)
 
@@ -98,6 +140,8 @@ class SweepReport:
             "workers": self.workers,
             "mode": self.mode,
             "host_seconds": self.host_seconds,
+            "statuses": self.status_counts(),
+            "errors_total": self.errors_total,
             "results": [
                 {
                     "app": r.spec.app,
@@ -108,6 +152,9 @@ class SweepReport:
                     "events_executed": r.events_executed,
                     "from_cache": r.from_cache,
                     "monitored": r.report is not None,
+                    "status": r.status,
+                    "error": r.error,
+                    "attempts": r.attempts,
                 }
                 for r in self.results
             ],

@@ -16,6 +16,30 @@ cheap:
 Execution degrades gracefully: ``workers=1``, ``mode="serial"``, or
 any failure to stand up / keep up the process pool falls back to
 in-process serial execution with identical results (pinned by test).
+
+Supervision
+-----------
+On a shared cluster the sweep itself is the fragile part: one crashing
+spec, one hung simulator, one dead worker and a million-spec batch
+dies with a traceback.  Turning on any supervision knob (``timeout``,
+``retries``, ``liveness``, ``journal``/``resume``) switches the runner
+into **supervised** mode: every attempt runs in its own child process
+(one kill contains one spec), a wall-clock ``timeout`` converts hangs
+into ``status="timeout"``, the simulator's
+:class:`~repro.simt.simulator.LivenessLimits` watchdog converts
+livelock into ``status="livelock"``, failures are retried with
+host-clock backoff through
+:func:`repro.faults.retry.retry_with_backoff`, every transition is
+journaled (:class:`~repro.sweep.journal.SweepJournal`) so ``resume``
+replays finished work from cache+journal, and specs that keep failing
+are quarantined instead of poisoning the batch again.  Terminal states
+come from :data:`repro.errors.STATUSES` and land in
+:attr:`~repro.sweep.report.SweepResult.status` — the sweep always
+*completes* and reports, it never propagates a worker's death.
+
+With every knob at its default the supervised machinery is bypassed
+entirely and results are byte-identical to the historical runner
+(pinned by test).
 """
 
 from __future__ import annotations
@@ -23,35 +47,60 @@ from __future__ import annotations
 import os
 import pickle
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import (
+    QuarantinedSpec,
+    SpecTimeout,
+    WorkerCrashed,
+    classify_error,
+)
+from repro.faults.retry import RetriesExhausted, retry_with_backoff
+from repro.simt.random import RngStreams
+from repro.simt.simulator import LivenessLimits
 from repro.sweep.cache import ResultCache, pickle_report
+from repro.sweep.journal import SweepJournal
 from repro.sweep.report import SweepReport, SweepResult
 from repro.sweep.spec import JobSpec
 
 #: executor modes: "auto" tries a process pool and falls back serial.
 MODES = ("auto", "process", "serial")
 
+#: statuses worth a bounded retry: they smell infrastructural (a dead
+#: worker, an exceeded deadline, an unclassified error) rather than a
+#: deterministic property of the spec (a deadlock will deadlock again).
+RETRYABLE_STATUSES = frozenset({"crashed", "timeout", "failed"})
+
 #: payload a worker returns: (report pickle, wallclock, events, xml).
 _WorkerOut = Tuple[bytes, float, int, Optional[str]]
+
+#: payload of a spec that produced nothing (failed / quarantined).
+_EMPTY_OUT: _WorkerOut = (b"", 0.0, 0, None)
 
 
 def _default_workers() -> int:
     return max(1, min(8, (os.cpu_count() or 2) - 1))
 
 
-def execute_spec_json(spec_json: str, want_xml: bool) -> _WorkerOut:
+def execute_spec_json(
+    spec_json: str,
+    want_xml: bool,
+    liveness: Optional[LivenessLimits] = None,
+) -> _WorkerOut:
     """Run one spec from its JSON form (the worker-side entry point).
 
     Top-level so ``ProcessPoolExecutor`` can dispatch it by reference;
     also the serial path, so both modes share one code path and the
-    report bytes are produced identically either way.
+    report bytes are produced identically either way.  ``liveness``
+    arms the simulator's watchdog (supervised runs only — it is
+    runtime policy, not part of the spec's identity).
     """
     from repro.cluster.jobs import run_job
 
     spec = JobSpec.from_json(spec_json)
-    result = run_job(spec)
+    result = run_job(spec, liveness=liveness)
     report_pickle = b""
     xml_text: Optional[str] = None
     if result.report is not None:
@@ -70,22 +119,133 @@ def execute_spec_json(spec_json: str, want_xml: bool) -> _WorkerOut:
     return (report_pickle, result.wallclock, result.events_executed, xml_text)
 
 
+def _supervised_child(conn, spec_json: str, want_xml: bool, liveness) -> None:
+    """Child-process body of one supervised attempt.
+
+    Sends exactly one ``(status, payload, error)`` message and exits;
+    a child that dies before sending is diagnosed parent-side from its
+    exit code.  BaseException is deliberate: a failing attempt must
+    *report*, not kill the pipe silently.
+    """
+    try:
+        payload = execute_spec_json(spec_json, want_xml, liveness=liveness)
+        conn.send(("ok", payload, None))
+    except BaseException as exc:  # noqa: BLE001 - containment boundary
+        try:
+            conn.send(
+                (classify_error(exc), None, f"{type(exc).__name__}: {exc}")
+            )
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Outcome:
+    """One attempt's terminal state (supervised path)."""
+
+    status: str
+    payload: Optional[_WorkerOut] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class _Settled:
+    """A finished spec inside ``run()`` (both paths)."""
+
+    payload: _WorkerOut
+    from_cache: bool
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 1
+
+
 class SweepRunner:
-    """Runs batches of :class:`JobSpec` with parallelism and caching."""
+    """Runs batches of :class:`JobSpec` with parallelism and caching.
+
+    The keyword-only supervision knobs (all off by default):
+
+    ``timeout``
+        wall-clock seconds one attempt may take before its worker is
+        killed and the spec marked ``timeout`` (needs process mode;
+        the in-process serial path cannot preempt a hard hang).
+    ``retries``
+        extra attempts for specs ending in a
+        :data:`RETRYABLE_STATUSES` state, with exponential host-clock
+        backoff (``retry_backoff`` base seconds, optional
+        deterministic ``retry_jitter``) via
+        :func:`~repro.faults.retry.retry_with_backoff`.
+    ``liveness``
+        :class:`~repro.simt.simulator.LivenessLimits` armed inside
+        every attempt's simulator — livelock becomes ``livelock``.
+    ``journal`` / ``resume``
+        a :class:`~repro.sweep.journal.SweepJournal` records every
+        status transition; ``resume=True`` (with a cache) re-runs only
+        specs that never reached ``ok`` and quarantines specs with
+        ``quarantine_after``+ recorded failures.
+    """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         mode: str = "auto",
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_jitter: float = 0.0,
+        quarantine_after: Optional[int] = 3,
+        liveness: Optional[LivenessLimits] = None,
+        journal: Optional[SweepJournal] = None,
+        resume: bool = False,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
         if workers is not None and workers <= 0:
             raise ValueError(f"workers must be positive: {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0: {retries}")
+        if quarantine_after is not None and quarantine_after <= 0:
+            raise ValueError(
+                f"quarantine_after must be positive or None: {quarantine_after}"
+            )
         self.workers = workers if workers is not None else _default_workers()
         self.cache = cache
         self.mode = mode
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_jitter = retry_jitter
+        self.quarantine_after = quarantine_after
+        self.liveness = liveness if liveness is not None and liveness.active \
+            else None
+        if resume and journal is None:
+            if cache is None:
+                raise ValueError(
+                    "resume=True needs a journal (or a cache to put the "
+                    "default journal next to)"
+                )
+            journal = SweepJournal.for_cache(cache)
+        self.journal = journal
+        self.resume = resume
+
+    @property
+    def supervised(self) -> bool:
+        """True when any supervision knob moved off its default."""
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.liveness is not None
+            or self.journal is not None
+            or self.resume
+        )
 
     # -- public API -------------------------------------------------------
 
@@ -93,7 +253,9 @@ class SweepRunner:
         """Execute ``specs``; results come back in submission order.
 
         Duplicate specs (same content hash) are simulated once and
-        fanned out; cached specs are not simulated at all.
+        fanned out; cached specs are not simulated at all.  Supervised
+        runs *always* return a report: failures land in per-result
+        ``status``/``error``, never as exceptions.
         """
         t0 = _time.perf_counter()
         specs = list(specs)
@@ -110,8 +272,8 @@ class SweepRunner:
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
 
-        #: hash -> finished payload (+ cache provenance flag).
-        done: Dict[str, Tuple[_WorkerOut, bool]] = {}
+        #: hash -> finished outcome.
+        done: Dict[str, _Settled] = {}
         unique: Dict[str, JobSpec] = {}
         order: List[str] = []
         for spec in specs:
@@ -121,10 +283,11 @@ class SweepRunner:
                 continue
             record = self.cache.lookup(spec) if self.cache else None
             if record is not None:
-                done[key] = (
+                done[key] = _Settled(
                     (record.report_pickle, record.wallclock,
                      record.events_executed, None),
-                    True,
+                    from_cache=True,
+                    attempts=0,
                 )
             else:
                 unique[key] = spec
@@ -134,8 +297,8 @@ class SweepRunner:
         results: List[SweepResult] = []
         reports: Dict[str, object] = {}
         for spec, key in zip(specs, order):
-            payload, from_cache = done[key]
-            report_pickle, wallclock, events, _xml = payload
+            settled = done[key]
+            report_pickle, wallclock, events, _xml = settled.payload
             if key not in reports:
                 reports[key] = (
                     pickle.loads(report_pickle) if report_pickle else None
@@ -146,8 +309,11 @@ class SweepRunner:
                 report=reports[key],
                 wallclock=wallclock,
                 events_executed=events,
-                from_cache=from_cache,
+                from_cache=settled.from_cache,
                 report_pickle=report_pickle,
+                status=settled.status,
+                error=settled.error,
+                attempts=settled.attempts,
             ))
         return SweepReport(
             results=results,
@@ -164,9 +330,11 @@ class SweepRunner:
     def _execute(
         self,
         pending: Dict[str, JobSpec],
-        done: Dict[str, Tuple[_WorkerOut, bool]],
+        done: Dict[str, _Settled],
     ) -> str:
         """Run every pending spec, filling ``done``; returns the mode."""
+        if self.supervised:
+            return self._execute_supervised(pending, done)
         want_xml = self.cache is not None
         if (
             self.mode in ("auto", "process")
@@ -185,13 +353,13 @@ class SweepRunner:
         for key, spec in pending.items():
             if key in done:
                 continue
-            done[key] = (self._run_one(spec, want_xml), False)
+            done[key] = _Settled(self._run_one(spec, want_xml), False)
         return "serial"
 
     def _run_pool(
         self,
         pending: Dict[str, JobSpec],
-        done: Dict[str, Tuple[_WorkerOut, bool]],
+        done: Dict[str, _Settled],
         want_xml: bool,
     ) -> None:
         import multiprocessing
@@ -211,7 +379,7 @@ class SweepRunner:
             for key, future in futures.items():
                 payload = future.result()
                 self._store(todo[key], payload)
-                done[key] = (payload, False)
+                done[key] = _Settled(payload, False)
 
     def _run_one(self, spec: JobSpec, want_xml: bool) -> _WorkerOut:
         payload = execute_spec_json(spec.to_json(), want_xml)
@@ -225,3 +393,158 @@ class SweepRunner:
         self.cache.store(
             spec, report_pickle, wallclock, events, xml_text=xml_text
         )
+
+    # -- supervised execution ---------------------------------------------
+
+    def _execute_supervised(
+        self,
+        pending: Dict[str, JobSpec],
+        done: Dict[str, _Settled],
+    ) -> str:
+        """Contain crashes/hangs per spec; fill ``done`` with statuses."""
+        todo = {k: s for k, s in pending.items() if k not in done}
+        history = self.journal.replay() if self.journal is not None else {}
+        runnable: Dict[str, JobSpec] = {}
+        for key, spec in todo.items():
+            entry = history.get(key)
+            if (
+                self.quarantine_after is not None
+                and entry is not None
+                and entry.failures >= self.quarantine_after
+            ):
+                exc = QuarantinedSpec(key, entry.failures)
+                if self.journal is not None:
+                    self.journal.record(key, "quarantined", error=str(exc))
+                done[key] = _Settled(
+                    _EMPTY_OUT, False,
+                    status="quarantined", error=str(exc), attempts=0,
+                )
+            else:
+                runnable[key] = spec
+        serial = self.mode == "serial" or self.workers <= 1 or len(runnable) <= 1
+        if serial:
+            for key, spec in runnable.items():
+                done[key] = self._supervise_one(key, spec)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(runnable))
+            ) as pool:
+                futures = {
+                    key: pool.submit(self._supervise_one, key, spec)
+                    for key, spec in runnable.items()
+                }
+                for key, future in futures.items():
+                    done[key] = future.result()
+        return "supervised-serial" if self.mode == "serial" else "supervised"
+
+    def _supervise_one(self, key: str, spec: JobSpec) -> _Settled:
+        """All attempts of one spec: journal, retry, quarantine input."""
+        want_xml = self.cache is not None
+        if self.journal is not None:
+            self.journal.record(key, "start")
+        attempts = [0]
+
+        def one_attempt() -> _Outcome:
+            attempts[0] += 1
+            return self._attempt(spec, key, want_xml)
+
+        rng = None
+        if self.retry_jitter > 0:
+            # deterministic per-spec jitter stream: same sweep, same
+            # spec, same backoff schedule — never the stdlib `random`.
+            rng = RngStreams(int(key[:8], 16)).get("sweep.retry")
+        try:
+            outcome = retry_with_backoff(
+                None,
+                one_attempt,
+                attempts=self.retries + 1,
+                base_delay=self.retry_backoff,
+                factor=2.0,
+                is_retryable=lambda o: o.status in RETRYABLE_STATUSES,
+                jitter=self.retry_jitter,
+                rng=rng,
+            )
+        except RetriesExhausted as exc:
+            outcome = exc.last_result
+        if self.journal is not None:
+            self.journal.record(
+                key, outcome.status, attempt=attempts[0], error=outcome.error
+            )
+        if outcome.status == "ok":
+            self._store(spec, outcome.payload)
+            return _Settled(outcome.payload, False, attempts=attempts[0])
+        return _Settled(
+            _EMPTY_OUT, False,
+            status=outcome.status, error=outcome.error, attempts=attempts[0],
+        )
+
+    def _attempt(self, spec: JobSpec, key: str, want_xml: bool) -> _Outcome:
+        """One attempt, contained.  Never raises."""
+        if self.mode == "serial":
+            return self._attempt_inline(spec, want_xml)
+        try:
+            return self._attempt_child(spec, key, want_xml)
+        except OSError:
+            if self.mode == "process":
+                raise
+            # cannot spawn a child (fork limits, ...): degrade to the
+            # in-process attempt — crashes are still contained, hard
+            # wall-clock hangs are not (documented limitation).
+            return self._attempt_inline(spec, want_xml)
+
+    def _attempt_inline(self, spec: JobSpec, want_xml: bool) -> _Outcome:
+        try:
+            payload = execute_spec_json(
+                spec.to_json(), want_xml, liveness=self.liveness
+            )
+        except Exception as exc:
+            return _Outcome(
+                classify_error(exc), None, f"{type(exc).__name__}: {exc}"
+            )
+        return _Outcome("ok", payload)
+
+    def _attempt_child(
+        self, spec: JobSpec, key: str, want_xml: bool
+    ) -> _Outcome:
+        """Run one attempt in its own process; kill it on timeout."""
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_supervised_child,
+            args=(send_conn, spec.to_json(), want_xml, self.liveness),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        try:
+            # poll(None) blocks until a message arrives or the child
+            # dies (EOF also makes the pipe readable).
+            if not recv_conn.poll(self.timeout):
+                self._kill(proc)
+                exc = SpecTimeout(key, float(self.timeout))
+                return _Outcome("timeout", None, str(exc))
+            try:
+                status, payload, error = recv_conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                proc.join(5.0)
+                exc = WorkerCrashed(key, proc.exitcode)
+                return _Outcome("crashed", None, str(exc))
+            proc.join(5.0)
+            if proc.is_alive():  # refuses to exit after reporting
+                self._kill(proc)
+            return _Outcome(status, payload, error)
+        finally:
+            recv_conn.close()
+
+    @staticmethod
+    def _kill(proc) -> None:
+        proc.terminate()
+        proc.join(5.0)
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            proc.kill()
+            proc.join(5.0)

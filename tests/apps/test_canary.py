@@ -1,0 +1,57 @@
+"""The canary workload: planned misbehaviour for the supervision stack."""
+
+import pytest
+
+from repro import JobSpec, LivenessLimits, run_job
+from repro.apps import CanaryConfig
+from repro.errors import classify_error
+from repro.simt import DeadlockError, LivenessError, ProcessCrashed
+
+
+def spec(mode, ntasks=2, **params):
+    return JobSpec(app="canary", ntasks=ntasks,
+                   app_params={"mode": mode, "work": 1e-3, **params})
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = CanaryConfig()
+        assert cfg.mode == "ok"
+        assert cfg.victim == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="canary mode"):
+            CanaryConfig(mode="nap")
+        with pytest.raises(ValueError, match="work"):
+            CanaryConfig(work=-1.0)
+        with pytest.raises(ValueError, match="victim"):
+            CanaryConfig(victim=-1)
+
+
+class TestModes:
+    def test_ok_mode_completes_on_every_rank(self):
+        res = run_job(spec("ok", ntasks=3))
+        assert res.results == ["ok", "ok", "ok"]
+        assert res.wallclock > 0
+
+    def test_crash_mode_raises_out_of_the_victim_rank(self):
+        with pytest.raises(ProcessCrashed, match="planned crash on rank 0"):
+            run_job(spec("crash"))
+
+    def test_only_the_victim_misbehaves(self):
+        with pytest.raises(ProcessCrashed, match="rank 1"):
+            run_job(spec("crash", victim=1))
+
+    def test_deadlock_mode_deadlocks_with_a_named_site(self):
+        with pytest.raises(DeadlockError) as err:
+            run_job(spec("deadlock"))
+        assert "completion 'canary.never'" in str(err.value)
+        assert classify_error(err.value) == "deadlock"
+
+    def test_spin_mode_trips_the_event_budget_watchdog(self):
+        """The hang canary: only the watchdog ends a zero-delay livelock."""
+        with pytest.raises(LivenessError, match="event-count budget"):
+            run_job(spec("spin"),
+                    liveness=LivenessLimits(max_events=5000))
+        assert classify_error(LivenessError("event-count", 1, 1, 0.0, 0)) \
+            == "livelock"

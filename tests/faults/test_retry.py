@@ -134,3 +134,93 @@ class TestRetryAgainstInjectedFaults:
     def test_retryable_set_contents(self):
         assert E.cudaErrorMemoryAllocation in RETRYABLE_CUDA
         assert E.cudaErrorInvalidValue not in RETRYABLE_CUDA
+
+
+class TestJitterAndBounds:
+    def test_jitter_requires_seeded_rng(self):
+        def app(env):
+            with pytest.raises(ValueError, match="seeded rng"):
+                retry_with_backoff(env.sim, lambda: None, jitter=0.5)
+            with pytest.raises(ValueError, match="jitter"):
+                retry_with_backoff(env.sim, lambda: None, jitter=1.5)
+            return True
+
+        assert _in_sim(app)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        """Same RngStreams seed => identical jittered backoff schedule."""
+        from repro.simt.random import RngStreams
+
+        def schedule():
+            rng = RngStreams(42).get("retry.test")
+
+            def app(env):
+                times = []
+
+                def failing():
+                    times.append(env.sim.now)
+                    return E.cudaErrorMemoryAllocation
+
+                with pytest.raises(RetriesExhausted):
+                    retry_with_backoff(env.sim, failing, attempts=4,
+                                       base_delay=0.1, jitter=0.5, rng=rng)
+                return times
+
+            return _in_sim(app)
+
+        a, b = schedule(), schedule()
+        assert a == b  # bit-reproducible under a fixed seed
+        delays = [t2 - t1 for t1, t2 in zip(a, a[1:])]
+        for delay, nominal in zip(delays, (0.1, 0.2, 0.4)):
+            assert nominal * 0.5 <= delay <= nominal * 1.5
+        assert delays != [0.1, 0.2, 0.4]  # jitter actually moved them
+
+    def test_max_elapsed_stops_before_overshooting(self):
+        """The loop refuses to start a sleep that would exceed the bound."""
+        def app(env):
+            calls = []
+
+            def failing():
+                calls.append(env.sim.now)
+                return E.cudaErrorMemoryAllocation
+
+            t0 = env.sim.now
+            with pytest.raises(RetriesExhausted) as err:
+                retry_with_backoff(env.sim, failing, attempts=10,
+                                   base_delay=1.0, max_elapsed=4.0)
+            return len(calls), env.sim.now - t0, err.value.attempts
+
+        ncalls, elapsed, attempts = _in_sim(app)
+        # delays 1, 2 fit (3s total); the 4s delay would overshoot 4.0
+        assert ncalls == 3
+        assert attempts == 3
+        assert elapsed == pytest.approx(3.0)
+
+    def test_max_elapsed_validation(self):
+        def app(env):
+            with pytest.raises(ValueError, match="max_elapsed"):
+                retry_with_backoff(env.sim, lambda: None, max_elapsed=0.0)
+            return True
+
+        assert _in_sim(app)
+
+    def test_host_clock_mode_sleeps_real_time(self):
+        """sim=None retries on the host clock (the supervised runner's path)."""
+        import time
+
+        results = iter(["flaky", "flaky", "done"])
+        t0 = time.monotonic()
+        out = retry_with_backoff(
+            None, lambda: next(results),
+            base_delay=0.01, is_retryable=lambda r: r == "flaky",
+        )
+        assert out == "done"
+        assert time.monotonic() - t0 >= 0.03  # 0.01 + 0.02 host seconds
+
+    def test_host_clock_max_elapsed(self):
+        with pytest.raises(RetriesExhausted):
+            retry_with_backoff(
+                None, lambda: "flaky",
+                attempts=50, base_delay=0.02, factor=1.0,
+                is_retryable=lambda r: r == "flaky", max_elapsed=0.05,
+            )

@@ -1,0 +1,128 @@
+"""Liveness watchdog and enriched deadlock diagnosis."""
+
+import pytest
+
+from repro.simt import (
+    Completion,
+    DeadlockError,
+    LivenessError,
+    LivenessLimits,
+    Simulator,
+)
+
+
+class TestLivenessLimits:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LivenessLimits(max_events=0)
+        with pytest.raises(ValueError):
+            LivenessLimits(max_virtual_time=-1.0)
+
+    def test_active(self):
+        assert not LivenessLimits().active
+        assert LivenessLimits(max_events=10).active
+        assert LivenessLimits(max_virtual_time=5.0).active
+
+    def test_inactive_limits_are_dropped_by_simulator(self):
+        assert Simulator(liveness=LivenessLimits()).liveness is None
+        armed = LivenessLimits(max_events=10)
+        assert Simulator(liveness=armed).liveness is armed
+
+
+class TestEventBudget:
+    def test_self_rescheduling_livelock_is_caught(self):
+        sim = Simulator(liveness=LivenessLimits(max_events=100))
+
+        def respin():
+            sim.schedule(0.0, respin)
+
+        sim.schedule(0.0, respin)
+        with pytest.raises(LivenessError, match="event-count budget"):
+            sim.run()
+        assert sim.events_executed == 100
+
+    def test_budget_not_hit_when_work_finishes(self):
+        sim = Simulator(liveness=LivenessLimits(max_events=100))
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: hits.append(sim.now))
+        sim.run()
+        assert len(hits) == 10
+
+    def test_error_reports_progress(self):
+        sim = Simulator(liveness=LivenessLimits(max_events=5))
+
+        def respin():
+            sim.schedule(1.0, respin)
+
+        sim.schedule(0.0, respin)
+        with pytest.raises(LivenessError) as err:
+            sim.run()
+        msg = str(err.value)
+        assert "5" in msg and "events" in msg and "t=" in msg
+
+
+class TestVirtualTimeBudget:
+    def test_runaway_virtual_time_is_caught(self):
+        sim = Simulator(liveness=LivenessLimits(max_virtual_time=10.0))
+
+        def hop():
+            sim.schedule(3.0, hop)
+
+        sim.schedule(0.0, hop)
+        with pytest.raises(LivenessError, match="virtual-time budget"):
+            sim.run()
+        # the event past the bound was never executed
+        assert sim.now <= 10.0
+
+    def test_job_inside_budget_unaffected(self):
+        sim = Simulator(liveness=LivenessLimits(max_virtual_time=100.0))
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+
+
+class TestDeadlockDiagnosis:
+    def test_message_names_wait_target_and_block_time(self):
+        """The deadlock report format is part of the API (pinned)."""
+        sim = Simulator()
+
+        def stuck():
+            sim.sleep(1.25)
+            Completion(sim, name="never.fires").wait()
+
+        sim.spawn(stuck, name="victim")
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        msg = str(err.value)
+        assert msg.startswith("deadlock: event heap empty with 1 blocked")
+        assert "victim waiting on completion 'never.fires'" in msg
+        assert "since t=1.250000" in msg
+        assert [p.name for p in err.value.blocked] == ["victim"]
+
+    def test_multiple_blocked_processes_all_reported(self):
+        sim = Simulator()
+
+        def stuck(name):
+            def body():
+                Completion(sim, name=f"{name}.gate").wait()
+            return body
+
+        sim.spawn(stuck("alpha"), name="alpha")
+        sim.spawn(stuck("beta"), name="beta")
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        msg = str(err.value)
+        assert "2 blocked processes" in msg
+        assert "alpha waiting on completion 'alpha.gate'" in msg
+        assert "beta waiting on completion 'beta.gate'" in msg
+
+    def test_deadlock_status_is_classified(self):
+        from repro.errors import classify_error
+
+        sim = Simulator()
+        c = Completion(sim, name="gate")
+        sim.spawn(c.wait, name="p")
+        with pytest.raises(DeadlockError) as err:
+            sim.run()
+        assert classify_error(err.value) == "deadlock"

@@ -7,7 +7,13 @@ import pytest
 
 import repro
 from repro import IpmConfig, JobSpec, run_job
-from repro.__main__ import EXIT_BAD_INPUT, EXIT_EMPTY, EXIT_OK, main
+from repro.__main__ import (
+    EXIT_BAD_INPUT,
+    EXIT_EMPTY,
+    EXIT_OK,
+    EXIT_SPEC_FAILURES,
+    main,
+)
 from repro.cluster.jobs import LEGACY_KWARG_TO_SPEC_FIELD
 
 
@@ -132,6 +138,70 @@ class TestCliSweep:
             {"specs": [JobSpec(app="square", ntasks=1).to_jsonable()]}
         ))
         assert main(["sweep", str(path), "--mode", "serial"]) == EXIT_OK
+
+
+class TestCliSupervisedSweep:
+    def _canary(self, mode, seed=1):
+        return JobSpec(app="canary", ntasks=2, seed=seed,
+                       app_params={"mode": mode, "work": 1e-3})
+
+    def test_exit_codes_are_distinct(self):
+        assert len({EXIT_OK, EXIT_BAD_INPUT, EXIT_EMPTY,
+                    EXIT_SPEC_FAILURES}) == 4
+        assert EXIT_SPEC_FAILURES == 4
+
+    def test_failed_specs_exit_4_and_print_statuses(self, tmp_path, capsys):
+        specs = _write_specs(
+            tmp_path, [self._canary("ok"), self._canary("crash")])
+        code = main(["sweep", specs, "--workers", "2",
+                     "--timeout", "10", "--out",
+                     str(tmp_path / "summary.json")])
+        assert code == EXIT_SPEC_FAILURES
+        printed = capsys.readouterr().out
+        assert "[crashed]" in printed
+        assert "1 failed (1 crashed)" in printed
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["errors_total"] == 1
+        assert summary["statuses"] == {"ok": 1, "crashed": 1}
+        assert [r["status"] for r in summary["results"]] == \
+            ["ok", "crashed"]
+
+    def test_watchdog_flags_catch_livelock(self, tmp_path, capsys):
+        specs = _write_specs(tmp_path, [self._canary("spin")])
+        code = main(["sweep", specs, "--workers", "2", "--timeout", "30",
+                     "--max-events", "5000"])
+        assert code == EXIT_SPEC_FAILURES
+        assert "[livelock]" in capsys.readouterr().out
+
+    def test_resume_without_cache_is_bad_input(self, tmp_path, capsys):
+        specs = _write_specs(tmp_path, [self._canary("ok")])
+        assert main(["sweep", specs, "--resume"]) == EXIT_BAD_INPUT
+        assert "--cache" in capsys.readouterr().err
+
+    def test_resume_replays_ok_and_reruns_failures(self, tmp_path, capsys):
+        """The kill-and-resume flow, via the CLI contract."""
+        specs = _write_specs(
+            tmp_path, [self._canary("ok"), self._canary("crash")])
+        cache = str(tmp_path / "cache")
+        base = ["sweep", specs, "--workers", "2", "--timeout", "10",
+                "--cache", cache, "--resume", "--quarantine-after", "10"]
+        assert main(base) == EXIT_SPEC_FAILURES
+        capsys.readouterr()
+        assert main(base) == EXIT_SPEC_FAILURES
+        printed = capsys.readouterr().out
+        # the ok spec replayed from cache; only the crasher re-ran
+        assert "1 simulated" in printed
+        assert "1 cache hits" in printed
+
+    def test_quarantine_after_takes_effect(self, tmp_path, capsys):
+        specs = _write_specs(tmp_path, [self._canary("crash")])
+        cache = str(tmp_path / "cache")
+        base = ["sweep", specs, "--workers", "1", "--timeout", "10",
+                "--cache", cache, "--resume", "--quarantine-after", "1"]
+        assert main(base) == EXIT_SPEC_FAILURES
+        capsys.readouterr()
+        assert main(base) == EXIT_SPEC_FAILURES
+        assert "[quarantined]" in capsys.readouterr().out
 
 
 class TestCliReportAndAliases:

@@ -109,3 +109,38 @@ class TestCorruptionIsAMiss:
         cache = ResultCache(str(tmp_path))
         assert cache.lookup(SPEC) is None
         assert (cache.hits, cache.misses) == (0, 1)
+
+
+class TestUnwritableCache:
+    def test_store_failure_disables_writes_and_warns(self, tmp_path):
+        """A read-only cache dir degrades the sweep, never kills it."""
+        import pytest
+
+        # the cache root is a regular file, so every store fails with
+        # OSError for any uid (chmod-based read-only setups are
+        # bypassed when tests run as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(str(blocker))
+        runner = SweepRunner(mode="serial", cache=cache)
+        with pytest.warns(RuntimeWarning, match="cache writes disabled"):
+            report = runner.run([SPEC])
+        assert cache.write_disabled
+        assert report[0].status == "ok"
+        assert report[0].report_pickle  # the result itself is intact
+
+        # further stores are silent no-ops, not repeated warnings
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert cache.store(SPEC, b"x", 1.0, 1) is None
+
+    def test_read_only_cache_still_replays(self, tmp_path):
+        """Lookups keep hitting after writes are disabled."""
+        _runner(tmp_path).run([SPEC])  # populate
+        cache = ResultCache(str(tmp_path))
+        cache.write_disabled = True
+        report = SweepRunner(mode="serial", cache=cache).run([SPEC])
+        assert report[0].from_cache
+        assert report.executed == 0

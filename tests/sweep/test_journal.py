@@ -1,0 +1,98 @@
+"""SweepJournal: append-only history, torn-write tolerance, degradation."""
+
+import json
+
+import pytest
+
+from repro.sweep.journal import JOURNAL_VERSION, JournalEntry, SweepJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return SweepJournal(str(tmp_path / "journal.jsonl"))
+
+
+class TestRecordReplay:
+    def test_missing_file_is_empty_history(self, journal):
+        assert journal.replay() == {}
+        assert journal.failures("deadbeef") == 0
+
+    def test_terminal_events_aggregate(self, journal):
+        journal.record("aaa", "start")
+        journal.record("aaa", "crashed", attempt=2, error="boom")
+        journal.record("bbb", "start")
+        journal.record("bbb", "ok")
+        entries = journal.replay()
+        assert entries["aaa"].status == "crashed"
+        assert entries["aaa"].failures == 1
+        assert entries["aaa"].error == "boom"
+        assert entries["aaa"].attempts == 2
+        assert not entries["aaa"].interrupted
+        assert entries["bbb"].status == "ok"
+        assert entries["bbb"].failures == 0
+
+    def test_ok_resets_the_failure_count(self, journal):
+        journal.record("aaa", "timeout", error="slow")
+        journal.record("aaa", "crashed", error="boom")
+        assert journal.failures("aaa") == 2
+        journal.record("aaa", "ok")
+        assert journal.failures("aaa") == 0
+        assert journal.replay()["aaa"].error is None
+
+    def test_unclosed_start_marks_interrupted(self, journal):
+        """A sweep killed mid-spec leaves a dangling 'start'."""
+        journal.record("aaa", "start")
+        entry = journal.replay()["aaa"]
+        assert entry.interrupted
+        assert entry.status is None
+
+    def test_unknown_event_is_rejected_at_write_time(self, journal):
+        with pytest.raises(ValueError, match="unknown journal event"):
+            journal.record("aaa", "exploded")
+
+
+class TestTolerance:
+    def test_torn_and_corrupt_lines_are_skipped(self, journal):
+        journal.record("aaa", "ok")
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "spec": "bbb", "even')  # torn mid-append
+        journal.record("ccc", "crashed")
+        entries = SweepJournal(journal.path).replay()
+        assert set(entries) == {"aaa", "ccc"}
+
+    def test_unknown_version_lines_are_skipped(self, journal):
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"v": JOURNAL_VERSION + 1, "spec": "aaa",
+                                 "event": "ok"}) + "\n")
+        journal.record("bbb", "ok")
+        assert set(journal.replay()) == {"bbb"}
+
+    def test_non_dict_and_untyped_lines_are_skipped(self, journal):
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write("[1, 2, 3]\n")
+            fh.write(json.dumps({"v": JOURNAL_VERSION, "spec": 7,
+                                 "event": "ok"}) + "\n")
+        assert journal.replay() == {}
+
+    def test_write_failure_disables_with_warning(self, tmp_path):
+        # the journal's parent "directory" is a regular file, so the
+        # append must fail with OSError for any uid (chmod-based
+        # read-only setups are bypassed when tests run as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        journal = SweepJournal(str(blocker / "journal.jsonl"))
+        with pytest.warns(RuntimeWarning, match="journal disabled"):
+            journal.record("aaa", "ok")
+        assert journal.disabled
+        # later records are silent no-ops, not repeated warnings
+        journal.record("bbb", "ok")
+        assert journal.replay() == {}
+
+
+class TestEntryDefaults:
+    def test_journal_entry_shape(self):
+        entry = JournalEntry("abc")
+        assert entry.status is None
+        assert entry.failures == 0
+        assert entry.attempts == 0
+        assert not entry.interrupted

@@ -1,0 +1,258 @@
+"""Supervised sweeps: containment, retries, quarantine, resume.
+
+The acceptance scenario of this layer: a sweep holding one crashing
+spec, one hanging spec and one deadlocking spec *completes*, yields
+per-spec terminal statuses, and ``resume`` re-runs only what never
+finished ok.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    IpmConfig,
+    JobSpec,
+    LivenessLimits,
+    ResultCache,
+    SweepJournal,
+    SweepRunner,
+)
+
+#: cheap monitored jobs for byte-identity checks.
+SPECS = [
+    JobSpec(app="square", ntasks=1, command="./square", ipm=IpmConfig(),
+            seed=s)
+    for s in (1, 2, 3)
+]
+
+
+def canary(mode, seed=1, **params):
+    return JobSpec(app="canary", ntasks=2, seed=seed,
+                   app_params={"mode": mode, "work": 1e-3, **params})
+
+
+def _pickles(report):
+    return [r.report_pickle for r in report]
+
+
+class TestAcceptance:
+    def test_mixed_failure_sweep_completes_with_statuses(self, tmp_path):
+        """One crash + one hang + one deadlock + one ok: the sweep ends."""
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(
+            workers=4, cache=cache, timeout=5.0,
+            liveness=LivenessLimits(max_events=20000), resume=True,
+        )
+        specs = [canary("ok"), canary("crash"), canary("hang"),
+                 canary("deadlock"), canary("spin")]
+        report = runner.run(specs)
+        statuses = [r.status for r in report]
+        assert statuses == ["ok", "crashed", "timeout", "deadlock",
+                            "livelock"]
+        assert report.mode == "supervised"
+        assert not report.ok
+        assert report.errors_total == 4
+        assert report.status_counts() == {
+            "ok": 1, "crashed": 1, "timeout": 1, "deadlock": 1,
+            "livelock": 1,
+        }
+        # failed specs carry a diagnosis and no report
+        for r in report.failures():
+            assert r.error
+            assert r.report is None
+            assert r.report_pickle == b""
+        assert "canary: planned crash" in report[1].error
+        assert "wall-clock timeout" in report[2].error
+        assert "deadlock" in report[3].error
+        assert "watchdog" in report[4].error
+
+    def test_resume_reruns_only_the_non_ok_specs(self, tmp_path):
+        """The resume contract (pinned): ok specs replay, failures re-run."""
+        cache = ResultCache(str(tmp_path))
+        specs = [canary("ok"), canary("crash"), canary("ok", seed=7),
+                 canary("deadlock")]
+
+        def make_runner():
+            return SweepRunner(
+                workers=2, cache=ResultCache(str(tmp_path)), timeout=5.0,
+                resume=True, quarantine_after=None,
+            )
+
+        first = make_runner().run(specs)
+        assert [r.status for r in first] == ["ok", "crashed", "ok",
+                                             "deadlock"]
+        second = make_runner().run(specs)
+        # exactly the two failures were simulated again
+        assert second.executed == 2
+        assert [r.from_cache for r in second] == [True, False, True, False]
+        assert [r.status for r in second] == [r.status for r in first]
+        # the replayed results are byte-identical to the fresh ones
+        assert _pickles(second)[0] == _pickles(first)[0]
+        assert _pickles(second)[2] == _pickles(first)[2]
+
+
+class TestQuarantine:
+    def test_poison_spec_is_quarantined_after_n_failures(self, tmp_path):
+        spec = canary("crash")
+
+        def run_once():
+            return SweepRunner(
+                workers=1, cache=ResultCache(str(tmp_path)),
+                resume=True, quarantine_after=2,
+            ).run([spec])[0]
+
+        assert run_once().status == "crashed"     # failure #1
+        assert run_once().status == "crashed"     # failure #2
+        third = run_once()                        # not run at all
+        assert third.status == "quarantined"
+        assert third.attempts == 0
+        assert "quarantined after 2 recorded failures" in third.error
+
+    def test_quarantine_none_never_quarantines(self, tmp_path):
+        spec = canary("crash")
+        for _ in range(4):
+            result = SweepRunner(
+                workers=1, cache=ResultCache(str(tmp_path)),
+                resume=True, quarantine_after=None,
+            ).run([spec])[0]
+            assert result.status == "crashed"
+
+
+class TestRetries:
+    def test_deterministic_failures_retry_and_settle(self, tmp_path):
+        """A crash is retryable; a deterministic crash consumes attempts."""
+        journal = SweepJournal(str(tmp_path / "j.jsonl"))
+        runner = SweepRunner(workers=1, retries=2, retry_backoff=0.01,
+                             journal=journal)
+        result = runner.run([canary("crash")])[0]
+        assert result.status == "crashed"
+        assert result.attempts == 3  # 1 + 2 retries
+        entry = journal.replay()[result.spec_hash]
+        assert entry.status == "crashed"
+
+    def test_deadlock_is_not_retried(self):
+        runner = SweepRunner(workers=1, retries=3, retry_backoff=0.01)
+        result = runner.run([canary("deadlock")])[0]
+        assert result.status == "deadlock"
+        assert result.attempts == 1
+
+    def test_ok_spec_uses_one_attempt(self):
+        runner = SweepRunner(workers=1, retries=3, retry_backoff=0.01)
+        result = runner.run([canary("ok")])[0]
+        assert result.status == "ok"
+        assert result.attempts == 1
+
+    def test_retry_jitter_demands_no_stdlib_random(self, monkeypatch):
+        """Jittered retries must never consult the stdlib ``random``."""
+        import random
+
+        def forbidden(*a, **kw):  # pragma: no cover - failure path
+            raise AssertionError("stdlib random consulted")
+
+        monkeypatch.setattr(random, "random", forbidden)
+        monkeypatch.setattr(random, "uniform", forbidden)
+        runner = SweepRunner(workers=1, retries=2, retry_backoff=0.01,
+                             retry_jitter=0.5)
+        result = runner.run([canary("crash")])[0]
+        assert result.status == "crashed"
+        assert result.attempts == 3
+
+
+class TestByteIdentityUnderSupervision:
+    def test_default_knobs_keep_the_unsupervised_path(self):
+        runner = SweepRunner(workers=2)
+        assert runner.supervised is False
+        assert any(SweepRunner(**kw).supervised for kw in (
+            {"timeout": 1.0}, {"retries": 1}, {"resume": True,
+             "journal": SweepJournal("unused.jsonl")},
+        ))
+
+    def test_robustness_off_matches_serial_byte_for_byte(self):
+        """Supervision off => byte-identical to the historical runner."""
+        serial = SweepRunner(mode="serial").run(SPECS)
+        default = SweepRunner(workers=2, mode="auto").run(SPECS)
+        assert default.mode in ("process", "serial")
+        assert _pickles(default) == _pickles(serial)
+
+    def test_supervised_ok_sweep_matches_serial_byte_for_byte(self):
+        """Child-process containment must not perturb the results."""
+        serial = SweepRunner(mode="serial").run(SPECS)
+        supervised = SweepRunner(workers=2, timeout=60.0).run(SPECS)
+        assert supervised.mode == "supervised"
+        assert _pickles(supervised) == _pickles(serial)
+        assert supervised.wallclocks() == serial.wallclocks()
+
+    def test_supervised_serial_mode(self):
+        serial = SweepRunner(mode="serial").run(SPECS)
+        sup = SweepRunner(mode="serial", retries=1).run(SPECS)
+        assert sup.mode == "supervised-serial"
+        assert _pickles(sup) == _pickles(serial)
+
+
+class TestWorkerDeathContainment:
+    def test_mid_sweep_worker_death_falls_back_byte_identically(
+        self, monkeypatch
+    ):
+        """A worker dying mid-pool must not change the sweep's results."""
+        import repro.sweep.runner as runner_mod
+
+        parent = os.getpid()
+        real = runner_mod.execute_spec_json
+        victim_seed = SPECS[1].seed
+
+        def sabotaged(spec_json, want_xml, liveness=None):
+            spec = JobSpec.from_json(spec_json)
+            if os.getpid() != parent and spec.seed == victim_seed:
+                os._exit(137)  # hard death: no exception, no cleanup
+            return real(spec_json, want_xml, liveness)
+
+        # pickle-by-reference must resolve to the sabotaged version in
+        # forked pool workers; fork shares the patched module anyway.
+        sabotaged.__module__ = "repro.sweep.runner"
+        sabotaged.__qualname__ = "execute_spec_json"
+        monkeypatch.setattr(runner_mod, "execute_spec_json", sabotaged)
+
+        serial = SweepRunner(mode="serial").run(SPECS)
+        fallen = SweepRunner(workers=2, mode="auto").run(SPECS)
+        assert fallen.mode == "serial"  # the pool died, serial finished
+        assert _pickles(fallen) == _pickles(serial)
+
+    def test_pool_construction_failure_falls_back(self, monkeypatch):
+        """ProcessPoolExecutor itself failing to build degrades cleanly."""
+        import repro.sweep.runner as runner_mod
+
+        def no_pool(*a, **kw):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        serial = SweepRunner(mode="serial").run(SPECS)
+        fallen = SweepRunner(workers=2, mode="auto").run(SPECS)
+        assert fallen.mode == "serial"
+        assert _pickles(fallen) == _pickles(serial)
+
+
+class TestSupervisionValidation:
+    def test_bad_knobs_are_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SweepRunner(timeout=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(retries=-1)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            SweepRunner(quarantine_after=0)
+
+    def test_resume_without_cache_or_journal_is_rejected(self):
+        with pytest.raises(ValueError, match="resume"):
+            SweepRunner(resume=True)
+
+    def test_resume_with_cache_gets_the_cache_journal(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(cache=cache, resume=True)
+        assert runner.journal is not None
+        assert runner.journal.path == os.path.join(cache.root,
+                                                   "journal.jsonl")
+
+    def test_inactive_liveness_does_not_trigger_supervision(self):
+        runner = SweepRunner(liveness=LivenessLimits())
+        assert runner.liveness is None
+        assert runner.supervised is False
