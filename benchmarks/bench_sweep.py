@@ -7,7 +7,7 @@ addressed on disk so the next invocation replays it.  This benchmark
 quantifies both levers on a small ensemble of monitored tiny-HPL jobs:
 
 * **serial vs parallel** — the same specs through ``mode="serial"``
-  and a 4-worker process pool, asserting byte-identical reports;
+  and a 4-worker warm-worker pool, asserting byte-identical reports;
 * **cold vs warm cache** — a fresh cache directory filled once, then
   replayed, asserting hits and byte-identity again.
 
@@ -39,7 +39,10 @@ from typing import Dict, List
 
 from repro import IpmConfig, JobSpec, ResultCache, SweepRunner
 
-SCHEMA = "ipm-repro/bench-sweep/v1"
+SCHEMA = "ipm-repro/bench-sweep/v2"
+
+#: parallel speedup floor asserted on multi-core hosts.
+PARALLEL_FLOOR = 2.0
 
 #: worker processes for the parallel pass (the acceptance point).
 WORKERS = 4
@@ -99,11 +102,20 @@ def run_sweep_bench(jobs: int = 8) -> Dict:
         _pickles(warm) == _pickles(cold) == _pickles(serial)
     )
 
+    cpu_count = _usable_cores()
+    floor_checked = cpu_count >= 2
     return {
         "schema": SCHEMA,
         "jobs": jobs,
-        "cpu_count": _usable_cores(),
+        "cpu_count": cpu_count,
         "workers": WORKERS,
+        "parallel_floor": PARALLEL_FLOOR,
+        "parallel_floor_checked": floor_checked,
+        "parallel_floor_skip_reason": None if floor_checked else (
+            f"host exposes {cpu_count} usable core(s): forked workers "
+            "time-share one CPU, so a parallel speedup floor is "
+            "physically unmeasurable here"
+        ),
         "parallel_mode_used": par.mode,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
@@ -150,17 +162,34 @@ def format_result(result: Dict) -> str:
         f"{result['cache_hits_warm']} hits, "
         f"byte-identical={result['cache_byte_identical']})",
     ]
+    if not result["parallel_floor_checked"]:
+        lines.append(
+            f"parallel floor      :    SKIPPED "
+            f"({result['parallel_floor_skip_reason']})"
+        )
     return "\n".join(lines)
 
 
 def check_result(result: Dict) -> None:
-    """The acceptance floors (shared by pytest and the CLI)."""
+    """The acceptance floors (shared by pytest and the CLI).
+
+    The parallel speedup floor only applies where it is physically
+    measurable; on single-core hosts the skip is recorded in the JSON
+    (``parallel_floor_checked`` / ``parallel_floor_skip_reason``) and
+    logged to stderr rather than silently waved through.
+    """
     assert result["parallel_byte_identical"]
     assert result["cache_byte_identical"]
     assert result["cache_hits_warm"] == result["jobs"]
     assert result["cache_speedup"] >= 10.0
-    if result["cpu_count"] >= 2:
-        assert result["parallel_speedup"] >= 2.0
+    if result["parallel_floor_checked"]:
+        assert result["parallel_speedup"] >= result["parallel_floor"]
+    else:
+        print(
+            f"[bench_sweep] skipping >= {result['parallel_floor']}x "
+            f"parallel floor: {result['parallel_floor_skip_reason']}",
+            file=sys.stderr,
+        )
 
 
 def main(argv=None) -> int:

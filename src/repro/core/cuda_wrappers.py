@@ -176,6 +176,9 @@ def wrap_runtime(ipm: "Ipm", rt: "Runtime") -> InterposedAPI:
         domain="CUDA",
         hooks=hooks,
         linkage=ipm.config.linkage,
+        # the CUDA runtime API is positional-only at every call site —
+        # lets the generator emit the leaner *args-only fast wrappers.
+        pass_kwargs=False,
     )
 
     # The <<<>>> sugar must go through the *wrapped* triple, the way a
@@ -260,4 +263,5 @@ def wrap_driver(ipm: "Ipm", drv: "Driver") -> InterposedAPI:
         domain="CUDA",
         hooks=hooks,
         linkage=ipm.config.linkage,
+        pass_kwargs=False,
     )

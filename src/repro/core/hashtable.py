@@ -1,23 +1,38 @@
 """The performance data hash table (paper Fig. 1).
 
 An open-addressing table of fixed capacity, as in real IPM: linear
-probing from ``stable_hash(sig) % capacity``; each slot holds the
+probing from ``stable_hash(sig) % capacity``; each entry holds the
 event signature and its running statistics {count, total, min, max}
 ("for each hash table entry IPM stores the number of calls made and
 the average duration, as well as the minimum and maximum", §II).
 
+Storage is columnar ("slab") rather than per-slot objects: parallel
+lists of counts/totals/min/max/bytes indexed by slot, so the per-event
+update performed by the interposition wrappers is a handful of list
+writes with no attribute lookups and no allocation.  ``CallStats``
+views are reconstructed lazily at report time.  The legacy per-slot
+object layout survives as :class:`ObjectPerfHashTable` — a debugging
+fallback selected with ``IPM_REPRO_TABLE=object`` — and both backends
+pickle through one canonical reducer, so reports are byte-identical
+regardless of backend.
+
 If the table fills up, further *new* signatures go to an overflow
 dict (counted, so tests and reports can flag it) — real IPM's
 behaviour under overflow is implementation-defined; losing data
-silently would be worse for a reproduction.
+silently would be worse for a reproduction.  Overflow entries extend
+the same columns past ``capacity``, so every entry has one stable
+integer address for the wrappers' interned fast path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.sig import EventSignature
+
+_INF = float("inf")
 
 
 @dataclass
@@ -53,8 +68,21 @@ class CallStats:
         return CallStats(self.count, self.total, self.tmin, self.tmax)
 
 
+def _rebuild_table(capacity, slot_rows, overflow_rows, collisions):
+    """Canonical unpickler shared by both backends.
+
+    The pickled form records entries at their exact slot addresses (a
+    re-insertion could probe differently if capacities ever diverged),
+    so both backends produce byte-identical pickles for the same event
+    stream and either can load the other's output.
+    """
+    table = make_table(capacity)
+    table._restore(slot_rows, overflow_rows, collisions)
+    return table
+
+
 class PerfHashTable:
-    """Fixed-capacity open-addressing table of event statistics."""
+    """Fixed-capacity open-addressing table over columnar slabs."""
 
     #: :meth:`locate` address of an overflow-resident signature.
     OVERFLOW = -1
@@ -63,17 +91,48 @@ class PerfHashTable:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
-        self._slots: List[Optional[Tuple[EventSignature, CallStats]]] = (
-            [None] * capacity
-        )
-        self._overflow: Dict[EventSignature, CallStats] = {}
+        # Parallel column slabs, indexed by slot; overflow entries are
+        # appended past ``capacity`` so they too have flat addresses.
+        self._sigs: List[Optional[EventSignature]] = [None] * capacity
+        self._count: List[int] = [0] * capacity
+        self._total: List[float] = [0.0] * capacity
+        self._tmin: List[float] = [_INF] * capacity
+        self._tmax: List[float] = [0.0] * capacity
+        self._nbytes: List[int] = [0] * capacity
+        #: signature → extended column index (>= capacity).
+        self._overflow: Dict[EventSignature, int] = {}
         self.entries = 0
         self.collisions = 0
         self.overflowed = 0
-        #: bumped on every mutation; aggregate caches key on it.
-        self.version = 0
+        # Mutations through the explicit API bump ``_version_base``;
+        # wrapper fast-path writes only touch the count column of
+        # interned ("hot") indexes, and ``version`` folds those counts
+        # in lazily — the hot path carries no version bookkeeping.
+        self._version_base = 0
+        self._hot: List[int] = []
+        self._hot_set: set = set()
         self._agg: Dict[object, object] = {}
         self._agg_version = -1
+
+    # -- versioning ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation stamp; aggregate caches key on it."""
+        base = self._version_base
+        if self._hot:
+            count = self._count
+            base += sum(map(count.__getitem__, self._hot))
+        return base
+
+    def hot_count(self) -> int:
+        """Events recorded through interned fast-path addresses."""
+        if not self._hot:
+            return 0
+        count = self._count
+        return sum(map(count.__getitem__, self._hot))
+
+    # -- probing ------------------------------------------------------------
 
     def _find(self, sig: EventSignature) -> Optional[int]:
         """Read-only lookup: index of the slot holding ``sig``, else None.
@@ -83,52 +142,85 @@ class PerfHashTable:
         chain.  Never touches the ``collisions`` counter, which tracks
         insert-path probe steps only.
         """
-        slots = self._slots
+        sigs = self._sigs
         capacity = self.capacity
         start = sig.stable_hash() % capacity
         for step in range(capacity):
             idx = (start + step) % capacity
-            slot = slots[idx]
-            if slot is None:
+            resident = sigs[idx]
+            if resident is None:
                 return None
-            if slot[0] == sig:
+            if resident == sig:
                 return idx
         return None
 
     def _probe_insert(self, sig: EventSignature) -> Optional[int]:
         """Index of the slot holding ``sig`` or the first free slot;
         None when the table is full and ``sig`` absent."""
-        slots = self._slots
+        sigs = self._sigs
         capacity = self.capacity
         start = sig.stable_hash() % capacity
         for step in range(capacity):
             idx = (start + step) % capacity
-            slot = slots[idx]
-            if slot is None:
+            resident = sigs[idx]
+            if resident is None:
                 if step:
                     self.collisions += 1
                 return idx
-            if slot[0] == sig:
+            if resident == sig:
                 return idx
         return None
 
-    def _get_or_create(self, sig: EventSignature) -> CallStats:
-        """Single-probe lookup-or-insert; spills to overflow when full."""
+    def _append_overflow(self, sig: EventSignature) -> int:
+        idx = len(self._sigs)
+        self._sigs.append(sig)
+        self._count.append(0)
+        self._total.append(0.0)
+        self._tmin.append(_INF)
+        self._tmax.append(0.0)
+        self._nbytes.append(sig.nbytes or 0)
+        self._overflow[sig] = idx
+        self.overflowed += 1
+        return idx
+
+    def _locate_or_insert(self, sig: EventSignature) -> int:
+        """Flat column index of ``sig``, inserting an empty entry if
+        absent (spilling to the extended overflow columns when full)."""
         idx = self._probe_insert(sig)
         if idx is None:
-            stats = self._overflow.get(sig)
-            if stats is None:
-                stats = CallStats()
-                self._overflow[sig] = stats
-                self.overflowed += 1
-            return stats
-        slot = self._slots[idx]
-        if slot is not None:
-            return slot[1]
-        stats = CallStats()
-        self._slots[idx] = (sig, stats)
-        self.entries += 1
-        return stats
+            oidx = self._overflow.get(sig)
+            if oidx is None:
+                oidx = self._append_overflow(sig)
+            return oidx
+        if self._sigs[idx] is None:
+            self._sigs[idx] = sig
+            self._nbytes[idx] = sig.nbytes or 0
+            self.entries += 1
+        return idx
+
+    def index_of(self, sig: EventSignature) -> Optional[int]:
+        """Flat column index of a resident signature (read-only)."""
+        idx = self._find(sig)
+        if idx is not None:
+            return idx
+        return self._overflow.get(sig)
+
+    def intern(self, sig: EventSignature) -> int:
+        """Stable flat address for the wrappers' fused record path.
+
+        The returned index addresses the column slabs directly; it is
+        also registered as "hot" so :attr:`version` and the overhead
+        model's derived call count observe fast-path writes.
+        """
+        idx = self.index_of(sig)
+        if idx is None:
+            idx = self._locate_or_insert(sig)
+        if idx not in self._hot_set:
+            self._hot_set.add(idx)
+            self._hot.append(idx)
+        return idx
+
+    # -- recording ----------------------------------------------------------
 
     def locate(self, sig: EventSignature) -> Optional[int]:
         """Stable address of ``sig`` for hinted updates.
@@ -147,17 +239,285 @@ class PerfHashTable:
     def update(
         self, sig: EventSignature, duration: float, hint: Optional[int] = None
     ) -> CallStats:
-        """Record one observation of ``sig``; returns its stats entry.
+        """Record one observation of ``sig``; returns a stats snapshot.
 
         ``hint`` — a prior :meth:`locate` result for an interned ``sig``
         — turns the steady-state path into a single identity check
         instead of a hash + probe; a stale or wrong hint falls back to
         the probing path.
         """
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        self._version_base += 1
+        idx = None
+        if hint is not None:
+            if 0 <= hint < self.capacity:
+                if self._sigs[hint] is sig:
+                    idx = hint
+            else:
+                idx = self._overflow.get(sig)
+        if idx is None:
+            idx = self._locate_or_insert(sig)
+        self._count[idx] += 1
+        self._total[idx] += duration
+        if duration < self._tmin[idx]:
+            self._tmin[idx] = duration
+        if duration > self._tmax[idx]:
+            self._tmax[idx] = duration
+        return CallStats(
+            self._count[idx], self._total[idx], self._tmin[idx], self._tmax[idx]
+        )
+
+    def load(
+        self,
+        sig: EventSignature,
+        count: int,
+        total: float,
+        tmin: float,
+        tmax: float,
+    ) -> None:
+        """Overwrite the stats of ``sig`` (XML round-trip rebuilds)."""
+        self._version_base += 1
+        idx = self._locate_or_insert(sig)
+        self._count[idx] = count
+        self._total[idx] = total
+        self._tmin[idx] = tmin
+        self._tmax[idx] = tmax
+
+    def get(self, sig: EventSignature) -> Optional[CallStats]:
+        idx = self.index_of(sig)
+        if idx is None:
+            return None
+        return CallStats(
+            self._count[idx], self._total[idx], self._tmin[idx], self._tmax[idx]
+        )
+
+    def iter_rows(self) -> Iterator[Tuple[EventSignature, int, float, float, float]]:
+        """Raw (sig, count, total, tmin, tmax) rows, slot order then
+        overflow insertion order — the allocation-light report path."""
+        sigs = self._sigs
+        count, total = self._count, self._total
+        tmin, tmax = self._tmin, self._tmax
+        for idx in range(self.capacity):
+            sig = sigs[idx]
+            if sig is not None:
+                yield sig, count[idx], total[idx], tmin[idx], tmax[idx]
+        for sig, idx in self._overflow.items():
+            yield sig, count[idx], total[idx], tmin[idx], tmax[idx]
+
+    def items(self) -> Iterator[Tuple[EventSignature, CallStats]]:
+        for sig, count, total, tmin, tmax in self.iter_rows():
+            yield sig, CallStats(count, total, tmin, tmax)
+
+    def __len__(self) -> int:
+        return self.entries + len(self._overflow)
+
+    # -- aggregation helpers -------------------------------------------------
+    #
+    # All aggregates are cached until the next mutation, so the report
+    # layer (banner + XML + CUBE each read the same views several
+    # times) scans the columns once instead of once per section.
+    # Cached results are shared between callers: treat them as
+    # read-only.
+
+    def _agg_cache(self) -> Dict[object, object]:
+        version = self.version
+        if self._agg_version != version:
+            self._agg = {}
+            self._agg_version = version
+        return self._agg
+
+    def by_name(self) -> Dict[str, CallStats]:
+        """Collapse byte/callsite attributes: one entry per call name."""
+        cache = self._agg_cache()
+        out = cache.get("by_name")
+        if out is None:
+            out = {}
+            for sig, count, total, tmin, tmax in self.iter_rows():
+                agg = out.get(sig.name)
+                if agg is None:
+                    out[sig.name] = CallStats(count, total, tmin, tmax)
+                else:
+                    agg.count += count
+                    agg.total += total
+                    agg.tmin = min(agg.tmin, tmin)
+                    agg.tmax = max(agg.tmax, tmax)
+            cache["by_name"] = out
+        return out
+
+    def total_time(self, prefix: str = "") -> float:
+        """Summed time over signatures whose name starts with ``prefix``."""
+        cache = self._agg_cache()
+        key = ("time", prefix)
+        total = cache.get(key)
+        if total is None:
+            total = sum(
+                row_total
+                for sig, _count, row_total, _tmin, _tmax in self.iter_rows()
+                if sig.name.startswith(prefix)
+            )
+            cache[key] = total
+        return total
+
+    def total_bytes(self, prefix: str = "") -> int:
+        cache = self._agg_cache()
+        key = ("bytes", prefix)
+        total = cache.get(key)
+        if total is None:
+            total = sum(
+                (sig.nbytes or 0) * count
+                for sig, count, _total, _tmin, _tmax in self.iter_rows()
+                if sig.name.startswith(prefix)
+            )
+            cache[key] = total
+        return total
+
+    def merge(self, other: "PerfHashTable") -> None:
+        """Fold another table in (cross-rank aggregation)."""
+        self._version_base += 1
+        for sig, count, total, tmin, tmax in other.iter_rows():
+            idx = self._locate_or_insert(sig)
+            self._count[idx] += count
+            self._total[idx] += total
+            if tmin < self._tmin[idx]:
+                self._tmin[idx] = tmin
+            if tmax > self._tmax[idx]:
+                self._tmax[idx] = tmax
+
+    # -- pickling ------------------------------------------------------------
+
+    def _canonical_rows(self):
+        slot_rows = []
+        for idx in range(self.capacity):
+            sig = self._sigs[idx]
+            if sig is not None:
+                slot_rows.append(
+                    (idx, sig, self._count[idx], self._total[idx],
+                     self._tmin[idx], self._tmax[idx])
+                )
+        overflow_rows = [
+            (sig, self._count[idx], self._total[idx],
+             self._tmin[idx], self._tmax[idx])
+            for sig, idx in self._overflow.items()
+        ]
+        return tuple(slot_rows), tuple(overflow_rows)
+
+    def __reduce__(self):
+        slot_rows, overflow_rows = self._canonical_rows()
+        return (
+            _rebuild_table,
+            (self.capacity, slot_rows, overflow_rows, self.collisions),
+        )
+
+    def _restore(self, slot_rows, overflow_rows, collisions) -> None:
+        for idx, sig, count, total, tmin, tmax in slot_rows:
+            self._sigs[idx] = sig
+            self._count[idx] = count
+            self._total[idx] = total
+            self._tmin[idx] = tmin
+            self._tmax[idx] = tmax
+            self._nbytes[idx] = sig.nbytes or 0
+            self.entries += 1
+        for sig, count, total, tmin, tmax in overflow_rows:
+            idx = self._append_overflow(sig)
+            self._count[idx] = count
+            self._total[idx] = total
+            self._tmin[idx] = tmin
+            self._tmax[idx] = tmax
+        self.overflowed = len(overflow_rows)
+        self.collisions = collisions
+        self._version_base = len(slot_rows) + len(overflow_rows)
+
+
+class ObjectPerfHashTable:
+    """The legacy per-slot-object layout (``IPM_REPRO_TABLE=object``).
+
+    Kept as a debugging fallback and as the reference implementation
+    for the slab/object parity property test; reports produced through
+    it are byte-identical to the slab backend's.
+    """
+
+    OVERFLOW = -1
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[Tuple[EventSignature, CallStats]]] = (
+            [None] * capacity
+        )
+        self._overflow: Dict[EventSignature, CallStats] = {}
+        self.entries = 0
+        self.collisions = 0
+        self.overflowed = 0
+        #: bumped on every mutation; aggregate caches key on it.
+        self.version = 0
+        self._agg: Dict[object, object] = {}
+        self._agg_version = -1
+
+    def hot_count(self) -> int:
+        return 0
+
+    def _find(self, sig: EventSignature) -> Optional[int]:
+        slots = self._slots
+        capacity = self.capacity
+        start = sig.stable_hash() % capacity
+        for step in range(capacity):
+            idx = (start + step) % capacity
+            slot = slots[idx]
+            if slot is None:
+                return None
+            if slot[0] == sig:
+                return idx
+        return None
+
+    def _probe_insert(self, sig: EventSignature) -> Optional[int]:
+        slots = self._slots
+        capacity = self.capacity
+        start = sig.stable_hash() % capacity
+        for step in range(capacity):
+            idx = (start + step) % capacity
+            slot = slots[idx]
+            if slot is None:
+                if step:
+                    self.collisions += 1
+                return idx
+            if slot[0] == sig:
+                return idx
+        return None
+
+    def _get_or_create(self, sig: EventSignature) -> CallStats:
+        idx = self._probe_insert(sig)
+        if idx is None:
+            stats = self._overflow.get(sig)
+            if stats is None:
+                stats = CallStats()
+                self._overflow[sig] = stats
+                self.overflowed += 1
+            return stats
+        slot = self._slots[idx]
+        if slot is not None:
+            return slot[1]
+        stats = CallStats()
+        self._slots[idx] = (sig, stats)
+        self.entries += 1
+        return stats
+
+    def locate(self, sig: EventSignature) -> Optional[int]:
+        idx = self._find(sig)
+        if idx is not None:
+            return idx
+        if sig in self._overflow:
+            return self.OVERFLOW
+        return None
+
+    def update(
+        self, sig: EventSignature, duration: float, hint: Optional[int] = None
+    ) -> CallStats:
         self.version += 1
         if hint is not None:
             if hint >= 0:
-                slot = self._slots[hint]
+                slot = self._slots[hint] if hint < self.capacity else None
                 if slot is not None and slot[0] is sig:
                     stats = slot[1]
                     stats.update(duration)
@@ -171,11 +531,34 @@ class PerfHashTable:
         stats.update(duration)
         return stats
 
+    def load(
+        self,
+        sig: EventSignature,
+        count: int,
+        total: float,
+        tmin: float,
+        tmax: float,
+    ) -> None:
+        self.version += 1
+        stats = self._get_or_create(sig)
+        stats.count = count
+        stats.total = total
+        stats.tmin = tmin
+        stats.tmax = tmax
+
     def get(self, sig: EventSignature) -> Optional[CallStats]:
         idx = self._find(sig)
         if idx is not None:
             return self._slots[idx][1]
         return self._overflow.get(sig)
+
+    def iter_rows(self) -> Iterator[Tuple[EventSignature, int, float, float, float]]:
+        for slot in self._slots:
+            if slot is not None:
+                sig, stats = slot
+                yield sig, stats.count, stats.total, stats.tmin, stats.tmax
+        for sig, stats in self._overflow.items():
+            yield sig, stats.count, stats.total, stats.tmin, stats.tmax
 
     def items(self) -> Iterator[Tuple[EventSignature, CallStats]]:
         for slot in self._slots:
@@ -186,64 +569,59 @@ class PerfHashTable:
     def __len__(self) -> int:
         return self.entries + len(self._overflow)
 
-    # -- aggregation helpers -------------------------------------------------
-    #
-    # All aggregates are cached until the next mutation, so the report
-    # layer (banner + XML + CUBE each read the same views several
-    # times) scans the slot array once instead of once per section.
-    # Cached results are shared between callers: treat them as
-    # read-only.
-
     def _agg_cache(self) -> Dict[object, object]:
         if self._agg_version != self.version:
             self._agg = {}
             self._agg_version = self.version
         return self._agg
 
-    def by_name(self) -> Dict[str, CallStats]:
-        """Collapse byte/callsite attributes: one entry per call name."""
-        cache = self._agg_cache()
-        out = cache.get("by_name")
-        if out is None:
-            out = {}
-            for sig, stats in self.items():
-                agg = out.get(sig.name)
-                if agg is None:
-                    out[sig.name] = stats.copy()
-                else:
-                    agg.merge(stats)
-            cache["by_name"] = out
-        return out
+    by_name = PerfHashTable.by_name
+    total_time = PerfHashTable.total_time
+    total_bytes = PerfHashTable.total_bytes
 
-    def total_time(self, prefix: str = "") -> float:
-        """Summed time over signatures whose name starts with ``prefix``."""
-        cache = self._agg_cache()
-        key = ("time", prefix)
-        total = cache.get(key)
-        if total is None:
-            total = sum(
-                stats.total
-                for sig, stats in self.items()
-                if sig.name.startswith(prefix)
-            )
-            cache[key] = total
-        return total
-
-    def total_bytes(self, prefix: str = "") -> int:
-        cache = self._agg_cache()
-        key = ("bytes", prefix)
-        total = cache.get(key)
-        if total is None:
-            total = sum(
-                (sig.nbytes or 0) * stats.count
-                for sig, stats in self.items()
-                if sig.name.startswith(prefix)
-            )
-            cache[key] = total
-        return total
-
-    def merge(self, other: "PerfHashTable") -> None:
-        """Fold another table in (cross-rank aggregation)."""
+    def merge(self, other) -> None:
         self.version += 1
-        for sig, stats in other.items():
-            self._get_or_create(sig).merge(stats)
+        for sig, count, total, tmin, tmax in other.iter_rows():
+            stats = self._get_or_create(sig)
+            stats.count += count
+            stats.total += total
+            stats.tmin = min(stats.tmin, tmin)
+            stats.tmax = max(stats.tmax, tmax)
+
+    def _canonical_rows(self):
+        slot_rows = []
+        for idx, slot in enumerate(self._slots):
+            if slot is not None:
+                sig, stats = slot
+                slot_rows.append(
+                    (idx, sig, stats.count, stats.total, stats.tmin, stats.tmax)
+                )
+        overflow_rows = [
+            (sig, stats.count, stats.total, stats.tmin, stats.tmax)
+            for sig, stats in self._overflow.items()
+        ]
+        return tuple(slot_rows), tuple(overflow_rows)
+
+    __reduce__ = PerfHashTable.__reduce__
+
+    def _restore(self, slot_rows, overflow_rows, collisions) -> None:
+        for idx, sig, count, total, tmin, tmax in slot_rows:
+            self._slots[idx] = (sig, CallStats(count, total, tmin, tmax))
+            self.entries += 1
+        for sig, count, total, tmin, tmax in overflow_rows:
+            self._overflow[sig] = CallStats(count, total, tmin, tmax)
+        self.overflowed = len(overflow_rows)
+        self.collisions = collisions
+        self.version = len(slot_rows) + len(overflow_rows)
+
+
+def table_backend() -> str:
+    """Active storage backend: ``"array"`` (slab) or ``"object"``."""
+    return "object" if os.environ.get("IPM_REPRO_TABLE") == "object" else "array"
+
+
+def make_table(capacity: int = 8192):
+    """Build a performance table with the env-selected backend."""
+    if table_backend() == "object":
+        return ObjectPerfHashTable(capacity)
+    return PerfHashTable(capacity)

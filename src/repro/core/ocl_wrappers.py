@@ -159,4 +159,5 @@ def wrap_opencl(ipm: "Ipm", ocl: "OpenCL") -> InterposedAPI:
         domain="OPENCL",
         hooks=hooks,
         linkage=ipm.config.linkage,
+        pass_kwargs=False,
     )

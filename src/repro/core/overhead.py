@@ -14,13 +14,21 @@ wrapper charges its bookkeeping cost to the host's virtual clock:
   the *real* runtime API and are charged by it (host_call_launch etc.),
   exactly like a real interposed library calling into CUDA.
 
-All costs are accumulated in :attr:`charged` for attribution tests.
+Wrapper-call accounting is *derived*, not accumulated: the slab-backed
+hash table counts every interposed event at its interned indexes, so
+:attr:`calls` and :attr:`charged` read those counts lazily instead of
+the wrappers writing two attributes per event.  Events invisible to
+the interned counts — failing calls (error-tagged signatures are never
+interned) and every event on the legacy object-backed table — are
+attributed explicitly via :meth:`count_call`.  Virtual-time sleeps
+still happen inline in the wrappers at the exact historical points, so
+simulated timelines are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simt.simulator import Simulator
@@ -46,17 +54,51 @@ class OverheadModel:
     def __init__(self, sim: "Simulator", config: OverheadConfig | None = None):
         self.sim = sim
         self.config = config or OverheadConfig()
-        #: total monitoring time injected, seconds.
-        self.charged = 0.0
-        self.calls = 0
+        #: explicitly attributed monitoring time, seconds (ktt/hostidle
+        #: charges plus the per-call cost of non-interned events).
+        self._charged = 0.0
+        self._calls = 0
+        self._per_call = self.config.entry + self.config.exit
+        #: hash table whose interned ("hot") event counts stand in for
+        #: per-event call accounting; None falls back to explicit-only.
+        self._table: Optional[Any] = None
+
+    def attach_table(self, table: Any) -> None:
+        """Derive call accounting from ``table``'s interned counts."""
+        self._table = table
+
+    @property
+    def calls(self) -> int:
+        """Wrapper invocations observed (derived + explicit)."""
+        table = self._table
+        n = self._calls
+        if table is not None:
+            n += table.hot_count()
+        return n
+
+    @property
+    def charged(self) -> float:
+        """Total monitoring time injected, seconds."""
+        table = self._table
+        c = self._charged
+        if table is not None:
+            c += table.hot_count() * self._per_call
+        return c
+
+    def count_call(self) -> None:
+        """Attribute one wrapper call invisible to the interned counts
+        (error-path events; every event on the object-backed table)."""
+        self._calls += 1
+        self._charged += self._per_call
 
     def _charge(self, cost: float) -> None:
-        self.charged += cost
+        self._charged += cost
         if self.sim.current is not None and cost > 0:
             self.sim.sleep(cost)
 
     def charge_entry(self) -> None:
-        self.calls += 1
+        """Explicit entry charge (legacy API: counts the call too)."""
+        self._calls += 1
         self._charge(self.config.entry)
 
     def charge_exit(self) -> None:

@@ -17,6 +17,18 @@ actions before and after the actual call") used for kernel timing and
 host-idle separation, and a *refiner* that augments the event
 signature with direction suffixes and byte counts.
 
+Each wrapper is *specialized at generation time* for its monitoring
+configuration.  Hook-free calls on the slab-backed table get a fused
+record path: the signature's flat slab index is cached per call site,
+so a steady-state event is a clock read, the real call, a second clock
+read, and four list writes — no ``CallStats`` object, no per-event
+telemetry call, no overhead-counter writes (call counts and charged
+time are derived lazily from the slab's interned counts; see
+``repro.core.overhead``).  Wrappers with hooks, tracing, fault checks,
+or the legacy object-backed table keep the fully general path, whose
+event ordering and virtual-time charging are bit-identical to the
+historical implementation.
+
 Two linkage styles are supported, as in the paper:
 
 * ``dynamic`` — LD_PRELOAD-style: the wrapped callable replaces the
@@ -45,6 +57,14 @@ _BENIGN_STATUS = {"cudaErrorNotReady", "CUDA_ERROR_NOT_READY"}
 #: calls whose *return value* is a previously stored error, not the
 #: outcome of this call — error-tagging them would double-count.
 _ERROR_QUERY_CALLS = {"cudaGetLastError", "cudaPeekAtLastError"}
+
+#: shared kwargs dict for *args-only wrappers (never written to: hooks
+#: and refiners only read their kwargs mapping).
+_EMPTY_KWARGS: Dict[str, Any] = {}
+
+#: "no result seen yet" sentinel for the per-wrapper success-identity
+#: cache (must not compare identical to any real return value).
+_NO_RESULT = object()
 
 
 def _result_error_name(result: Any) -> Optional[str]:
@@ -112,11 +132,18 @@ def generate_wrappers(
     domain: str,
     hooks: Optional[Dict[str, WrapperHooks]] = None,
     linkage: str = "dynamic",
+    pass_kwargs: bool = True,
 ) -> InterposedAPI:
     """Build an interposed proxy over ``raw_api`` for ``names``.
 
     Names absent from the raw object are skipped (a dynamic linker
     only interposes symbols that resolve).
+
+    ``pass_kwargs=False`` generates ``*args``-only wrappers — measurably
+    cheaper per event (no empty kwargs dict allocated per call) — and is
+    correct for APIs whose call sites are purely positional, like the C
+    signatures the CUDA/OpenCL specs mirror.  MPI and the math-library
+    domains keep keyword support (``MPI_Send(payload, dest=1)``).
     """
     if linkage not in ("dynamic", "static"):
         raise ValueError(f"unknown linkage {linkage!r}")
@@ -126,7 +153,9 @@ def generate_wrappers(
         real = getattr(raw_api, name, None)
         if not callable(real):
             continue
-        wrapper = _make_wrapper(ipm, name, real, domain, hooks.get(name))
+        wrapper = _make_wrapper(
+            ipm, name, real, domain, hooks.get(name), pass_kwargs
+        )
         object.__setattr__(proxy, name, wrapper)
         proxy._wrapped_names.add(name)
         if linkage == "static":
@@ -141,6 +170,7 @@ def _make_wrapper(
     real: Callable[..., Any],
     domain: str,
     hk: Optional[WrapperHooks],
+    pass_kwargs: bool,
 ) -> Callable[..., Any]:
     from repro.core.sig import EventSignature
 
@@ -148,34 +178,60 @@ def _make_wrapper(
     post = hk.post if hk else None
     refine = hk.refine if hk else None
     sim = ipm.sim
+    clock = sim.clock
     table = ipm.table
     overhead = ipm.overhead
     #: fault-injection abort check; None keeps the hot path untouched
     #: (bound at wrapper-creation time, so set ipm.fault_check first).
     fault_check = ipm.fault_check
     detect_errors = name not in _ERROR_QUERY_CALLS
-    #: streaming-telemetry counters; None keeps the hot path untouched
-    #: (bound at wrapper-creation time, like the other monitor state).
-    tele = ipm.tele
-    #: interned signatures: (suffix, region, nbytes) → (sig, slot hint).
-    #: Steady-state calls reuse one EventSignature object and update its
-    #: hash-table entry through the hinted single-check path instead of
-    #: rebuilding + re-hashing + re-probing on every event.
-    sig_cache: Dict[
-        Tuple[str, str, Optional[int]], Tuple[EventSignature, Optional[int]]
-    ] = {}
-    ipm.register_sig_cache(sig_cache)
+    #: chronological trace ring; created only in Ipm.__init__, so
+    #: binding at wrapper-creation time is safe.
+    trace = ipm.trace
+    #: slab backend → flat column indexes + derived overhead/telemetry
+    #: accounting; the object backend counts calls explicitly.
+    slab = hasattr(table, "intern")
+    ocfg = overhead.config
+    entry_cost = ocfg.entry
+    exit_cost = ocfg.exit
 
-    def wrapper(*args: Any, **kwargs: Any) -> Any:
-        if not ipm.active:
-            return real(*args, **kwargs)
+    #: the wrapper's signature-interning cache — exactly one per
+    #: wrapper, registered for invalidation on region transitions.
+    #: Plain calls have one possible signature per region, so a
+    #: single-element list suffices; refined calls key a dict on the
+    #: refiner's (suffix, nbytes) tuple, reused verbatim.  Region is
+    #: not part of the key: transitions clear the cache, so a cached
+    #: entry is always for the current region.
+    cache: Any = {} if refine is not None else []
+    ipm.register_sig_cache(cache)
+
+    def first_sight(
+        suffix: str, nbytes: Optional[int], duration: float, key: Any
+    ) -> EventSignature:
+        """Full record path for a signature's first event: registers
+        the call's domain, then interns the signature with its stable
+        table address."""
+        sig = EventSignature(name + suffix, ipm.current_region, nbytes)
+        ipm.update(sig, duration, domain=domain)
+        idx = table.intern(sig) if slab else table.locate(sig)
+        if refine is not None:
+            cache[key] = (sig, idx)
+        else:
+            cache.append((sig, idx))
+        return sig
+
+    def generic(args: tuple, kwargs: dict) -> Any:
+        """The fully general wrapper body (Fig. 2 anatomy, exact event
+        ordering and virtual-time charging of the pre-slab wrappers)."""
         if fault_check is not None:
             fault_check()
-        overhead.charge_entry()
+        cur = sim._current is not None
+        if cur and entry_cost > 0.0:
+            sim.sleep(entry_cost)
         pre_result = pre(args, kwargs) if pre is not None else None
-        begin = sim.now
+        begin = clock._now
         result = real(*args, **kwargs)
-        end = sim.now
+        end = clock._now
         if post is not None:
             post(pre_result, args, kwargs, result)
         if refine is not None:
@@ -185,33 +241,182 @@ def _make_wrapper(
         error_name = _result_error_name(result) if detect_errors else None
         if error_name is not None:
             # failing call: error-tagged signature + @CUDA_ERROR region
-            # (rare path — no interning).
+            # (rare path — no interning, so count it explicitly).
             sig = ipm.record_error(
                 name, suffix, error_name, end - begin, nbytes, domain
             )
+            overhead.count_call()
         else:
-            key = (suffix, ipm.current_region, nbytes)
-            interned = sig_cache.get(key)
+            if refine is not None:
+                key = (suffix, nbytes)
+                interned = cache.get(key)
+            else:
+                key = None
+                interned = cache[0] if cache else None
             if interned is not None:
                 sig = interned[0]
                 table.update(sig, end - begin, interned[1])
             else:
-                # first sighting: full path (registers the call's domain),
-                # then intern the signature with its table address.
-                sig = EventSignature(name + suffix, ipm.current_region, nbytes)
-                ipm.update(sig, end - begin, domain=domain)
-                sig_cache[key] = (sig, table.locate(sig))
-        if tele is not None:
-            tele.on_event(domain, end - begin, suffix, nbytes)
-        if ipm.trace is not None:
+                sig = first_sight(suffix, nbytes, end - begin, key)
+            if not slab:
+                overhead.count_call()
+        if trace is not None:
             from repro.core.trace import TraceRecord
 
-            ipm.trace.add(
+            trace.add(
                 TraceRecord(begin, end, sig.name, "host", nbytes,
                             ipm.take_launch_corr())
             )
-        overhead.charge_exit()
+        if cur and exit_cost > 0.0:
+            sim.sleep(exit_cost)
         return result
+
+    fast = (
+        slab
+        and pre is None
+        and post is None
+        and trace is None
+        and fault_check is None
+    )
+    if not fast:
+        if pass_kwargs:
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not ipm.active:
+                    return real(*args, **kwargs)
+                return generic(args, kwargs)
+        else:
+            def wrapper(*args: Any) -> Any:
+                if not ipm.active:
+                    return real(*args)
+                return generic(args, _EMPTY_KWARGS)
+    else:
+        # -- fused slab record path ------------------------------------
+        # Only reachable outside a simulated process (no virtual-time
+        # charging possible), with no hooks/trace/fault checks: record
+        # = two clock reads + four column writes at the cached index.
+        # Accounting (overhead calls/charged, telemetry totals, table
+        # version) is derived lazily from these counts.
+        counts = table._count
+        totals = table._total
+        tmins = table._tmin
+        tmaxs = table._tmax
+        #: identity cache of the last known-successful return value —
+        #: API status enums are singletons, so steady-state success
+        #: checking is one ``is`` comparison instead of an isinstance
+        #: chain per event.
+        ok_cell = [_NO_RESULT]
+
+        def fast_miss(result: Any, args: tuple, kwargs: dict,
+                      dur: float) -> bool:
+            """Classify an unrecognized result; True → error recorded."""
+            error_name = _result_error_name(result) if detect_errors else None
+            if error_name is None:
+                ok_cell[0] = result
+                return False
+            if refine is not None:
+                suffix, nbytes = refine(args, kwargs, result)
+            else:
+                suffix, nbytes = "", None
+            ipm.record_error(name, suffix, error_name, dur, nbytes, domain)
+            overhead.count_call()
+            return True
+
+        if refine is not None and pass_kwargs:
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not ipm.active:
+                    return real(*args, **kwargs)
+                if sim._current is not None:
+                    return generic(args, kwargs)
+                begin = clock._now
+                result = real(*args, **kwargs)
+                dur = clock._now - begin
+                if result is not ok_cell[0]:
+                    if fast_miss(result, args, kwargs, dur):
+                        return result
+                key = refine(args, kwargs, result)
+                try:
+                    idx = cache[key][1]
+                except KeyError:
+                    first_sight(key[0], key[1], dur, key)
+                    return result
+                counts[idx] += 1
+                totals[idx] += dur
+                if dur < tmins[idx]:
+                    tmins[idx] = dur
+                elif dur > tmaxs[idx]:
+                    tmaxs[idx] = dur
+                return result
+        elif refine is not None:
+            def wrapper(*args: Any) -> Any:
+                if not ipm.active:
+                    return real(*args)
+                if sim._current is not None:
+                    return generic(args, _EMPTY_KWARGS)
+                begin = clock._now
+                result = real(*args)
+                dur = clock._now - begin
+                if result is not ok_cell[0]:
+                    if fast_miss(result, args, _EMPTY_KWARGS, dur):
+                        return result
+                key = refine(args, _EMPTY_KWARGS, result)
+                try:
+                    idx = cache[key][1]
+                except KeyError:
+                    first_sight(key[0], key[1], dur, key)
+                    return result
+                counts[idx] += 1
+                totals[idx] += dur
+                if dur < tmins[idx]:
+                    tmins[idx] = dur
+                elif dur > tmaxs[idx]:
+                    tmaxs[idx] = dur
+                return result
+        elif pass_kwargs:
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not ipm.active:
+                    return real(*args, **kwargs)
+                if sim._current is not None:
+                    return generic(args, kwargs)
+                begin = clock._now
+                result = real(*args, **kwargs)
+                dur = clock._now - begin
+                if result is not ok_cell[0]:
+                    if fast_miss(result, args, kwargs, dur):
+                        return result
+                if cache:
+                    idx = cache[0][1]
+                    counts[idx] += 1
+                    totals[idx] += dur
+                    if dur < tmins[idx]:
+                        tmins[idx] = dur
+                    elif dur > tmaxs[idx]:
+                        tmaxs[idx] = dur
+                else:
+                    first_sight("", None, dur, None)
+                return result
+        else:
+            def wrapper(*args: Any) -> Any:
+                if not ipm.active:
+                    return real(*args)
+                if sim._current is not None:
+                    return generic(args, _EMPTY_KWARGS)
+                begin = clock._now
+                result = real(*args)
+                dur = clock._now - begin
+                if result is not ok_cell[0]:
+                    if fast_miss(result, args, _EMPTY_KWARGS, dur):
+                        return result
+                if cache:
+                    idx = cache[0][1]
+                    counts[idx] += 1
+                    totals[idx] += dur
+                    if dur < tmins[idx]:
+                        tmins[idx] = dur
+                    elif dur > tmaxs[idx]:
+                        tmaxs[idx] = dur
+                else:
+                    first_sight("", None, dur, None)
+                return result
 
     wrapper.__name__ = name
     wrapper.__qualname__ = f"ipm_wrap.{name}"

@@ -13,7 +13,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import Dict, Tuple
 
-from repro.core.hashtable import PerfHashTable
+from repro.core.hashtable import make_table
 from repro.core.ktt import KernelRecord
 from repro.core.report import JobReport, TaskReport
 from repro.core.sig import EventSignature
@@ -121,7 +121,7 @@ def xml_to_job(root: ET.Element) -> JobReport:
     tasks = []
     ntasks = int(root.get("ntasks", "1"))
     for task_el in root.findall("task"):
-        table = PerfHashTable()
+        table = make_table()
         for region_el in task_el.findall("region"):
             region = region_el.get("name", "ipm_main")
             for func in region_el.findall("func"):
@@ -131,12 +131,13 @@ def xml_to_job(root: ET.Element) -> JobReport:
                     region,
                     int(nbytes) if nbytes is not None else None,
                 )
-                stats = table.update(sig, 0.0)
-                # rebuild exact stats (update() gave count=1/total=0)
-                stats.count = int(func.get("count", "0"))
-                stats.total = float(func.get("ttot", "0"))
-                stats.tmin = float(func.get("tmin", "0"))
-                stats.tmax = float(func.get("tmax", "0"))
+                table.load(
+                    sig,
+                    int(func.get("count", "0")),
+                    float(func.get("ttot", "0")),
+                    float(func.get("tmin", "0")),
+                    float(func.get("tmax", "0")),
+                )
         details = []
         kernels_el = task_el.find("kernels")
         if kernels_el is not None:

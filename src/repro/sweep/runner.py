@@ -6,8 +6,10 @@ configurations.  The runner exploits the two properties that makes
 cheap:
 
 * **independence** — specs share nothing at runtime, so they fan out
-  onto a ``ProcessPoolExecutor`` (each worker rebuilds the simulation
-  from the spec; nothing mutable crosses the process boundary);
+  onto a pool of persistent *warm workers*
+  (:class:`~repro.sweep.warmpool.WarmWorkerPool`: long-lived children
+  that import the simulation stack once and serve batches of specs
+  over a pipe; nothing mutable crosses the process boundary);
 * **determinism** — a spec maps to one byte-exact
   :class:`~repro.core.report.JobReport`, so results are content-
   addressed by ``spec.content_hash()`` and replayed from disk on the
@@ -17,14 +19,22 @@ Execution degrades gracefully: ``workers=1``, ``mode="serial"``, or
 any failure to stand up / keep up the process pool falls back to
 in-process serial execution with identical results (pinned by test).
 
+The pool is *persistent*: it outlives one ``run()`` call, so repeated
+sweeps through the same runner reuse the warmed-up children.  It is
+torn down by :meth:`SweepRunner.close` (the runner is a context
+manager), when the runner is garbage-collected, and hard-killed on
+KeyboardInterrupt — a Ctrl-C'd sweep leaves no children behind and
+its journal stays resumable.
+
 Supervision
 -----------
 On a shared cluster the sweep itself is the fragile part: one crashing
 spec, one hung simulator, one dead worker and a million-spec batch
 dies with a traceback.  Turning on any supervision knob (``timeout``,
 ``retries``, ``liveness``, ``journal``/``resume``) switches the runner
-into **supervised** mode: every attempt runs in its own child process
-(one kill contains one spec), a wall-clock ``timeout`` converts hangs
+into **supervised** mode: every attempt runs in a warm child process
+(one kill contains one spec; the killed worker is replaced, not
+mourned), a wall-clock ``timeout`` converts hangs
 into ``status="timeout"``, the simulator's
 :class:`~repro.simt.simulator.LivenessLimits` watchdog converts
 livelock into ``status="livelock"``, failures are retried with
@@ -47,7 +57,8 @@ from __future__ import annotations
 import os
 import pickle
 import time as _time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -64,6 +75,7 @@ from repro.sweep.cache import ResultCache, pickle_report
 from repro.sweep.journal import SweepJournal
 from repro.sweep.report import SweepReport, SweepResult
 from repro.sweep.spec import JobSpec
+from repro.sweep.warmpool import WarmWorkerPool, WorkerPoolBroken
 
 #: executor modes: "auto" tries a process pool and falls back serial.
 MODES = ("auto", "process", "serial")
@@ -117,31 +129,6 @@ def execute_spec_json(
             tree.write(buf, encoding="unicode", xml_declaration=True)
             xml_text = buf.getvalue()
     return (report_pickle, result.wallclock, result.events_executed, xml_text)
-
-
-def _supervised_child(conn, spec_json: str, want_xml: bool, liveness) -> None:
-    """Child-process body of one supervised attempt.
-
-    Sends exactly one ``(status, payload, error)`` message and exits;
-    a child that dies before sending is diagnosed parent-side from its
-    exit code.  BaseException is deliberate: a failing attempt must
-    *report*, not kill the pipe silently.
-    """
-    try:
-        payload = execute_spec_json(spec_json, want_xml, liveness=liveness)
-        conn.send(("ok", payload, None))
-    except BaseException as exc:  # noqa: BLE001 - containment boundary
-        try:
-            conn.send(
-                (classify_error(exc), None, f"{type(exc).__name__}: {exc}")
-            )
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
 
 
 @dataclass
@@ -235,6 +222,12 @@ class SweepRunner:
             journal = SweepJournal.for_cache(cache)
         self.journal = journal
         self.resume = resume
+        #: lazily-created persistent worker pool; reused across run()
+        #: calls so repeated sweeps skip child start-up entirely.
+        self._pool: Optional[WarmWorkerPool] = None
+        #: set on interrupt/failure teardown so in-flight supervision
+        #: threads stop borrowing workers instead of respawning them.
+        self._tearing_down = False
 
     @property
     def supervised(self) -> bool:
@@ -246,6 +239,41 @@ class SweepRunner:
             or self.journal is not None
             or self.resume
         )
+
+    # -- warm-pool lifecycle ----------------------------------------------
+
+    def _ensure_pool(self, need: int) -> WarmWorkerPool:
+        """Return the persistent pool, creating/growing it to fit ``need``."""
+        if self._tearing_down:
+            raise WorkerPoolBroken("runner is tearing down")
+        target = max(1, min(self.workers, need))
+        pool = self._pool
+        if pool is None or pool.closed:
+            pool = WarmWorkerPool(target)
+            self._pool = pool
+            # belt-and-braces: if the runner is garbage-collected with
+            # the pool still up, kill the children rather than leak them.
+            weakref.finalize(self, pool.terminate)
+        else:
+            pool.grow(target)
+        return pool
+
+    def _teardown_pool(self) -> None:
+        """Hard-kill the pool (interrupt / fatal-error path)."""
+        self._tearing_down = True
+        if self._pool is not None:
+            self._pool.terminate()
+
+    def close(self) -> None:
+        """Gracefully shut down the persistent worker pool."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public API -------------------------------------------------------
 
@@ -292,7 +320,15 @@ class SweepRunner:
             else:
                 unique[key] = spec
 
-        mode_used = self._execute(unique, done)
+        self._tearing_down = False
+        try:
+            mode_used = self._execute(unique, done)
+        except BaseException:
+            # interrupt or fatal error mid-sweep: kill the warm workers
+            # before unwinding so a Ctrl-C'd sweep leaves no children
+            # behind (the journal keeps its "start" entries → resumable).
+            self._teardown_pool()
+            raise
 
         results: List[SweepResult] = []
         reports: Dict[str, object] = {}
@@ -362,24 +398,30 @@ class SweepRunner:
         done: Dict[str, _Settled],
         want_xml: bool,
     ) -> None:
-        import multiprocessing
-
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
         todo = {k: s for k, s in pending.items() if k not in done}
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(todo)), mp_context=ctx
-        ) as pool:
-            futures = {
-                key: pool.submit(execute_spec_json, spec.to_json(), want_xml)
-                for key, spec in todo.items()
-            }
-            for key, future in futures.items():
-                payload = future.result()
+        pool = self._ensure_pool(len(todo))
+        items = [
+            (key, spec.to_json(), want_xml, None)
+            for key, spec in todo.items()
+        ]
+        results = pool.run_batch(items)
+        failed: Optional[Tuple[str, Optional[str]]] = None
+        for key in todo:
+            tag, status, payload, error = results[key]
+            if status == "ok" and payload is not None:
                 self._store(todo[key], payload)
-                done[key] = _Settled(payload, False)
+                done[key] = _Settled(tuple(payload), False)
+            elif failed is None:
+                failed = (key, error)
+        if failed is not None:
+            # unsupervised semantics are all-or-nothing: re-raise so the
+            # serial fallback re-runs the failures in-process and the
+            # caller sees the original exception type, exactly as the
+            # one-shot pool did.  The oks above are already stored, so
+            # the fallback only repeats the failing specs.
+            raise WorkerPoolBroken(
+                f"spec {failed[0][:12]} failed in warm worker: {failed[1]}"
+            )
 
     def _run_one(self, spec: JobSpec, want_xml: bool) -> _WorkerOut:
         payload = execute_spec_json(spec.to_json(), want_xml)
@@ -426,6 +468,13 @@ class SweepRunner:
             for key, spec in runnable.items():
                 done[key] = self._supervise_one(key, spec)
         else:
+            if self.mode != "serial" and runnable:
+                try:
+                    # stand the warm pool up once, before the supervision
+                    # threads race to borrow workers from it.
+                    self._ensure_pool(len(runnable))
+                except (OSError, WorkerPoolBroken):
+                    pass  # per-attempt fallback degrades inline
             with ThreadPoolExecutor(
                 max_workers=min(self.workers, len(runnable))
             ) as pool:
@@ -433,8 +482,16 @@ class SweepRunner:
                     key: pool.submit(self._supervise_one, key, spec)
                     for key, spec in runnable.items()
                 }
-                for key, future in futures.items():
-                    done[key] = future.result()
+                try:
+                    for key, future in futures.items():
+                        done[key] = future.result()
+                except BaseException:
+                    # interrupt while supervision threads block on
+                    # worker pipes: kill the workers *inside* the
+                    # with-block, or shutdown(wait=True) would deadlock
+                    # waiting on threads stuck in conn.poll().
+                    self._teardown_pool()
+                    raise
         return "supervised-serial" if self.mode == "serial" else "supervised"
 
     def _supervise_one(self, key: str, spec: JobSpec) -> _Settled:
@@ -483,13 +540,16 @@ class SweepRunner:
         if self.mode == "serial":
             return self._attempt_inline(spec, want_xml)
         try:
-            return self._attempt_child(spec, key, want_xml)
-        except OSError:
+            return self._attempt_warm(spec, key, want_xml)
+        except (OSError, WorkerPoolBroken):
             if self.mode == "process":
                 raise
-            # cannot spawn a child (fork limits, ...): degrade to the
-            # in-process attempt — crashes are still contained, hard
-            # wall-clock hangs are not (documented limitation).
+            if self._tearing_down:
+                return _Outcome("crashed", None, "worker pool torn down")
+            # cannot stand up / borrow from the warm pool (fork limits,
+            # ...): degrade to the in-process attempt — crashes are
+            # still contained, hard wall-clock hangs are not
+            # (documented limitation).
             return self._attempt_inline(spec, want_xml)
 
     def _attempt_inline(self, spec: JobSpec, want_xml: bool) -> _Outcome:
@@ -503,48 +563,43 @@ class SweepRunner:
             )
         return _Outcome("ok", payload)
 
-    def _attempt_child(
+    def _attempt_warm(
         self, spec: JobSpec, key: str, want_xml: bool
     ) -> _Outcome:
-        """Run one attempt in its own process; kill it on timeout."""
-        import multiprocessing
+        """Run one attempt on a borrowed warm worker; kill it on timeout.
 
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_supervised_child,
-            args=(send_conn, spec.to_json(), want_xml, self.liveness),
-            daemon=True,
-        )
-        proc.start()
-        send_conn.close()
+        A healthy worker goes back into the pool for the next attempt;
+        a hung or dead one is discarded (killed + replaced), so one bad
+        spec costs one child restart, never the pool.
+        """
+        if self._tearing_down:
+            return _Outcome("crashed", None, "worker pool torn down")
+        pool = self._ensure_pool(self.workers)
+        worker = pool.checkout()
+        healthy = False
         try:
-            # poll(None) blocks until a message arrives or the child
+            worker.conn.send(
+                [(key, spec.to_json(), want_xml, self.liveness)]
+            )
+            # poll(None) blocks until a message arrives or the worker
             # dies (EOF also makes the pipe readable).
-            if not recv_conn.poll(self.timeout):
-                self._kill(proc)
+            if not worker.conn.poll(self.timeout):
                 exc = SpecTimeout(key, float(self.timeout))
                 return _Outcome("timeout", None, str(exc))
             try:
-                status, payload, error = recv_conn.recv()
+                _tag, status, payload, error = worker.conn.recv()
             except (EOFError, OSError, pickle.UnpicklingError):
-                proc.join(5.0)
-                exc = WorkerCrashed(key, proc.exitcode)
+                worker.proc.join(5.0)
+                exc = WorkerCrashed(key, worker.proc.exitcode)
                 return _Outcome("crashed", None, str(exc))
-            proc.join(5.0)
-            if proc.is_alive():  # refuses to exit after reporting
-                self._kill(proc)
+            healthy = True
             return _Outcome(status, payload, error)
+        except (BrokenPipeError, OSError):
+            worker.proc.join(5.0)
+            exc = WorkerCrashed(key, worker.proc.exitcode)
+            return _Outcome("crashed", None, str(exc))
         finally:
-            recv_conn.close()
-
-    @staticmethod
-    def _kill(proc) -> None:
-        proc.terminate()
-        proc.join(5.0)
-        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
-            proc.kill()
-            proc.join(5.0)
+            if healthy:
+                pool.checkin(worker)
+            else:
+                pool.discard(worker)

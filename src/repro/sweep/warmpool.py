@@ -1,0 +1,276 @@
+"""Persistent warm workers for the sweep runner.
+
+The historical runner paid a full child start-up per parallel batch
+(``ProcessPoolExecutor``) or — supervised — per *attempt* (one forked
+child per spec try).  For the paper's sweeps, where one spec simulates
+in tens of milliseconds, process start-up dominated wall-clock.
+
+A :class:`WarmWorkerPool` keeps long-lived child processes around
+instead: each worker imports the simulation stack **once**, then
+serves batches of specs over its pipe until told to stop.  The parent
+distributes work as ``(tag, spec_json, want_xml, liveness)`` tuples
+and reads back ``(tag, status, payload, error)`` messages — the same
+per-attempt protocol the supervised runner's one-shot children spoke,
+so supervision (timeout kill, crash containment, journal, resume)
+composes unchanged on top.
+
+Lifecycle rules, all pinned by tests:
+
+* a worker that dies mid-batch breaks the pool (unsupervised callers
+  fall back to serial execution with byte-identical results);
+* a supervised caller can :meth:`discard` a hung worker — it is
+  killed and a fresh one spawned in its place, so one bad spec never
+  shrinks the pool;
+* :meth:`terminate` (also run via ``weakref.finalize`` when the owner
+  is collected, and on KeyboardInterrupt) kills every child; workers
+  additionally self-exit on pipe EOF, so even a SIGKILLed parent
+  leaves no orphans grinding on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: one unit of work: (tag, spec_json, want_xml, liveness).
+WorkItem = Tuple[Any, str, bool, Any]
+
+#: one finished unit: (tag, status, payload, error).
+ItemResult = Tuple[Any, str, Optional[tuple], Optional[str]]
+
+
+class WorkerPoolBroken(RuntimeError):
+    """The pool lost a worker (or was torn down) and cannot continue."""
+
+
+def _serve(conn) -> None:
+    """Child-process loop: execute batches until EOF or the sentinel.
+
+    ``execute_spec_json`` is looked up through the runner module *per
+    item* — late binding keeps a parent-side monkeypatch (inherited at
+    fork time) effective, which the worker-death containment tests
+    rely on.  BaseException containment mirrors the one-shot child:
+    a failing attempt must report a status, never kill the pipe
+    silently.
+    """
+    from repro.errors import classify_error
+    from repro.sweep import runner as runner_mod
+
+    while True:
+        try:
+            batch = conn.recv()
+        except (EOFError, OSError):
+            break  # parent died or hung up: self-terminate
+        if batch is None:
+            break
+        for tag, spec_json, want_xml, liveness in batch:
+            try:
+                payload = runner_mod.execute_spec_json(
+                    spec_json, want_xml, liveness=liveness
+                )
+                msg: ItemResult = (tag, "ok", payload, None)
+            except BaseException as exc:  # noqa: BLE001 - containment
+                msg = (
+                    tag,
+                    classify_error(exc),
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                return
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - nothing left to do
+        pass
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class WarmWorker:
+    """One persistent child process plus its duplex pipe."""
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.proc = ctx.Process(target=_serve, args=(child_conn,), daemon=True)
+        self.proc.start()
+        child_conn.close()
+
+    def stop(self, grace: float = 1.0) -> None:
+        """Ask the worker to exit (sentinel), then force it if needed."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(grace)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            self._close_conn()
+
+    def kill(self, grace: float = 5.0) -> None:
+        """Terminate the worker unconditionally."""
+        self.proc.terminate()
+        self.proc.join(grace)
+        if self.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            self.proc.kill()
+            self.proc.join(grace)
+        self._close_conn()
+
+    def _close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class WarmWorkerPool:
+    """A fixed-size pool of :class:`WarmWorker` children."""
+
+    def __init__(self, workers: int, ctx=None) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        if ctx is None:
+            ctx = _pool_context()
+        self._ctx = ctx
+        self.workers: List[WarmWorker] = []
+        self._idle: "_queue.SimpleQueue[WarmWorker]" = _queue.SimpleQueue()
+        self.closed = False
+        for _ in range(workers):
+            self._spawn()
+
+    def _spawn(self) -> WarmWorker:
+        worker = WarmWorker(self._ctx)
+        self.workers.append(worker)
+        self._idle.put(worker)
+        return worker
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def grow(self, target: int) -> None:
+        """Ensure at least ``target`` workers exist."""
+        while len(self.workers) < target and not self.closed:
+            self._spawn()
+
+    # -- supervised check-out protocol ---------------------------------
+
+    def checkout(self) -> WarmWorker:
+        """Borrow an idle worker (blocks until one frees up)."""
+        while True:
+            if self.closed:
+                raise WorkerPoolBroken("worker pool is closed")
+            try:
+                worker = self._idle.get(timeout=0.1)
+            except _queue.Empty:
+                continue
+            if self.closed:
+                raise WorkerPoolBroken("worker pool is closed")
+            return worker
+
+    def checkin(self, worker: WarmWorker) -> None:
+        """Return a healthy worker to the idle set."""
+        if self.closed:
+            worker.kill()
+            return
+        self._idle.put(worker)
+
+    def discard(self, worker: WarmWorker) -> None:
+        """Kill a hung/dead worker and replace it with a fresh one.
+
+        The pool keeps its size so concurrent supervision threads never
+        starve; if the replacement cannot be spawned (fork limits) the
+        pool shrinks and, once empty, closes.
+        """
+        worker.kill()
+        try:
+            self.workers.remove(worker)
+        except ValueError:  # pragma: no cover - double discard
+            pass
+        if self.closed:
+            return
+        try:
+            self._spawn()
+        except OSError:
+            if not self.workers:
+                self.closed = True
+
+    # -- batch fan-out (unsupervised path) -----------------------------
+
+    def run_batch(self, items: Sequence[WorkItem]) -> Dict[Any, ItemResult]:
+        """Scatter ``items`` round-robin, gather every result.
+
+        Any failure — a worker dying mid-batch, an interrupt — tears
+        the whole pool down before propagating, so the caller can fall
+        back serially (or unwind) without leaving children running.
+        """
+        from multiprocessing.connection import wait as _wait
+
+        if self.closed:
+            raise WorkerPoolBroken("worker pool is closed")
+        n = len(self.workers)
+        borrowed = [self.checkout() for _ in range(n)]
+        pending: Dict[WarmWorker, int] = {}
+        results: Dict[Any, ItemResult] = {}
+        try:
+            for i, worker in enumerate(borrowed):
+                batch = list(items[i::n])
+                if batch:
+                    worker.conn.send(batch)
+                    pending[worker] = len(batch)
+            while pending:
+                by_conn = {w.conn: w for w in pending}
+                for conn in _wait(list(by_conn)):
+                    worker = by_conn[conn]
+                    try:
+                        tag, status, payload, error = conn.recv()
+                    except (EOFError, OSError):
+                        worker.proc.join(5.0)
+                        raise WorkerPoolBroken(
+                            f"warm worker died mid-batch "
+                            f"(exit code {worker.proc.exitcode})"
+                        ) from None
+                    results[tag] = (tag, status, payload, error)
+                    pending[worker] -= 1
+                    if not pending[worker]:
+                        del pending[worker]
+        except BaseException:
+            self.terminate()
+            raise
+        for worker in borrowed:
+            self.checkin(worker)
+        return results
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: sentinel every worker, then reap."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self.workers:
+            worker.stop()
+        self.workers.clear()
+
+    def terminate(self) -> None:
+        """Hard shutdown: kill every worker immediately."""
+        if self.closed and not self.workers:
+            return
+        self.closed = True
+        for worker in self.workers:
+            worker.kill()
+        self.workers.clear()
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

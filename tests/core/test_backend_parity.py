@@ -1,0 +1,142 @@
+"""Slab vs. object table backends: byte-identical reports, by property.
+
+The slab-backed :class:`~repro.core.hashtable.PerfHashTable` is a pure
+performance representation change — every observable (CallStats views,
+iteration order, merge results, pickles, XML) must match the legacy
+object-backed table exactly.  These tests drive *randomized* event
+streams (seeded, so failures reproduce) through the real wrapper
+generator under both backends and require the resulting
+:class:`~repro.core.report.JobReport` pickles to be byte-identical.
+
+The object backend is selected the same way users select it: the
+``IPM_REPRO_TABLE=object`` escape hatch read by
+:func:`~repro.core.hashtable.make_table` at Ipm construction time.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core import Ipm, IpmConfig, table_backend
+from repro.core.report import JobReport
+from repro.core.wrapper_gen import WrapperHooks, generate_wrappers
+from repro.simt import Simulator
+from repro.sweep.cache import pickle_report
+
+
+class StreamApi:
+    """A fake library whose calls burn virtual time and move bytes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _work(self, seconds):
+        if seconds > 0 and self.sim.current is not None:
+            self.sim.sleep(seconds)
+
+    def alpha(self, seconds):
+        self._work(seconds)
+        return 0
+
+    def beta(self, seconds, tag=None):
+        self._work(seconds)
+        return tag
+
+    def send(self, nbytes, direction, seconds):
+        self._work(seconds)
+        return nbytes
+
+
+def _run_stream(seed: int, events: int = 300) -> bytes:
+    """One randomized monitored run -> pickled JobReport bytes.
+
+    The stream mixes plain calls, kwargs calls, refined calls (suffix +
+    byte count, several distinct signatures) and region transitions —
+    jointly covering every wrapper variant the generator emits.
+    """
+    sim = Simulator()
+    ipm = Ipm(sim, config=IpmConfig(host_idle=False), blocking_calls=set())
+    api = StreamApi(sim)
+    hooks = {
+        "send": WrapperHooks(
+            refine=lambda a, k, r: (f"({a[1]})", a[0]),
+        )
+    }
+    proxy = generate_wrappers(
+        ipm, api, ["alpha", "beta", "send"], domain="FAKE", hooks=hooks
+    )
+    rng = random.Random(seed)
+
+    def body():
+        depth = 0
+        for _ in range(events):
+            op = rng.randrange(10)
+            dur = rng.choice((0.0, 1e-4, 2e-4, 5e-4))
+            if op < 4:
+                proxy.alpha(dur)
+            elif op < 6:
+                proxy.beta(dur)
+            elif op < 7:
+                proxy.beta(dur, tag=rng.randrange(3))
+            elif op < 9:
+                proxy.send(
+                    rng.choice((64, 4096, 1 << 20)),
+                    rng.choice(("H2D", "D2H")),
+                    dur,
+                )
+            elif depth == 0 and rng.random() < 0.5:
+                ipm.region_enter(rng.choice(("solver", "io")))
+                depth = 1
+            elif depth:
+                ipm.region_exit()
+                depth = 0
+        while depth:
+            ipm.region_exit()
+            depth -= 1
+
+    sim.spawn(body)
+    sim.run()
+    task = ipm.finalize()
+    report = JobReport(
+        tasks=[task],
+        domains=dict(ipm.domains),
+        start_stamp="t=0.000",
+        stop_stamp=f"t={sim.now:.3f}",
+    )
+    return pickle_report(report)
+
+
+def _with_backend(backend, fn):
+    """Run ``fn`` with ``IPM_REPRO_TABLE`` forced to ``backend``."""
+    saved = os.environ.get("IPM_REPRO_TABLE")
+    try:
+        if backend is None:
+            os.environ.pop("IPM_REPRO_TABLE", None)
+        else:
+            os.environ["IPM_REPRO_TABLE"] = backend
+        return fn()
+    finally:
+        if saved is None:
+            os.environ.pop("IPM_REPRO_TABLE", None)
+        else:
+            os.environ["IPM_REPRO_TABLE"] = saved
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams_produce_identical_report_bytes(self, seed):
+        slab = _with_backend(None, lambda: _run_stream(seed))
+        legacy = _with_backend("object", lambda: _run_stream(seed))
+        assert slab == legacy
+
+    def test_env_escape_hatch_selects_the_object_backend(self):
+        assert _with_backend(None, table_backend) == "array"
+        assert _with_backend("object", table_backend) == "object"
+
+    def test_parity_survives_a_merge_heavy_stream(self):
+        """Many distinct refined signatures force slab overflow/merge
+        paths; parity must hold there too."""
+        slab = _with_backend(None, lambda: _run_stream(99, events=1500))
+        legacy = _with_backend("object", lambda: _run_stream(99, events=1500))
+        assert slab == legacy

@@ -219,13 +219,13 @@ class TestWorkerDeathContainment:
         assert _pickles(fallen) == _pickles(serial)
 
     def test_pool_construction_failure_falls_back(self, monkeypatch):
-        """ProcessPoolExecutor itself failing to build degrades cleanly."""
+        """The warm pool itself failing to build degrades cleanly."""
         import repro.sweep.runner as runner_mod
 
         def no_pool(*a, **kw):
             raise OSError("fork refused")
 
-        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        monkeypatch.setattr(runner_mod, "WarmWorkerPool", no_pool)
         serial = SweepRunner(mode="serial").run(SPECS)
         fallen = SweepRunner(workers=2, mode="auto").run(SPECS)
         assert fallen.mode == "serial"
@@ -256,3 +256,155 @@ class TestSupervisionValidation:
         runner = SweepRunner(liveness=LivenessLimits())
         assert runner.liveness is None
         assert runner.supervised is False
+
+
+#: subprocess body for the SIGINT teardown test: a supervised sweep
+#: over one ok spec and one wall-clock hang, with a side thread that
+#: publishes the warm workers' pids as soon as the pool stands up.
+_INTERRUPT_SCRIPT = """
+import json, sys, threading, time
+from repro import JobSpec, ResultCache, SweepRunner
+
+tmp = sys.argv[1]
+runner = SweepRunner(
+    workers=2, cache=ResultCache(tmp + "/cache"), timeout=300.0,
+    resume=True, quarantine_after=100,
+)
+
+def dump_pids():
+    while True:
+        pool = runner._pool
+        if pool is not None and len(pool.workers) >= 2:
+            pids = [w.proc.pid for w in pool.workers]
+            with open(tmp + "/pids.json", "w") as fh:
+                json.dump(pids, fh)
+            return
+        time.sleep(0.02)
+
+threading.Thread(target=dump_pids, daemon=True).start()
+specs = [
+    JobSpec(app="canary", ntasks=2, seed=1,
+            app_params={"mode": "ok", "work": 1e-3}),
+    JobSpec(app="canary", ntasks=2, seed=2,
+            app_params={"mode": "hang", "work": 1e-3}),
+]
+runner.run(specs)
+print("UNREACHABLE: the sweep was supposed to be interrupted")
+"""
+
+
+class TestWarmPoolLifecycle:
+    """Persistent workers: reuse across runs, teardown on interrupt."""
+
+    def test_pool_persists_across_runs_and_close_stops_it(self):
+        runner = SweepRunner(workers=2, timeout=10.0)
+        runner.run([canary("ok", seed=1), canary("ok", seed=2)])
+        pool = runner._pool
+        assert pool is not None and len(pool.workers) == 2
+        first_pids = sorted(w.proc.pid for w in pool.workers)
+        workers = list(pool.workers)
+        assert all(w.proc.is_alive() for w in workers)
+
+        # a second sweep through the same runner reuses the warm
+        # children instead of paying start-up again.
+        runner.run([canary("ok", seed=3), canary("ok", seed=4)])
+        assert runner._pool is pool
+        assert sorted(w.proc.pid for w in pool.workers) == first_pids
+
+        runner.close()
+        for w in workers:
+            w.proc.join(5.0)
+            assert not w.proc.is_alive()
+
+    def test_runner_is_a_context_manager(self):
+        with SweepRunner(workers=2, timeout=10.0) as runner:
+            runner.run([canary("ok", seed=1), canary("ok", seed=2)])
+            workers = list(runner._pool.workers)
+        for w in workers:
+            w.proc.join(5.0)
+            assert not w.proc.is_alive()
+
+    def test_sigint_kills_warm_workers_and_journal_stays_resumable(
+        self, tmp_path
+    ):
+        """The PR-5 kill-and-resume contract, extended to the warm pool.
+
+        SIGINT mid-sweep must (a) terminate the sweep, (b) leave no
+        warm worker running, and (c) leave the journal in a state a
+        ``resume`` run picks up from: the finished spec replays from
+        cache, only the interrupted one re-runs.
+        """
+        import json
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        script = tmp_path / "interrupted_sweep.py"
+        script.write_text(_INTERRUPT_SCRIPT)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(tmp_path)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        pids_path = tmp_path / "pids.json"
+        journal_path = tmp_path / "cache" / "journal.jsonl"
+        try:
+            # wait until the pool is up AND the ok spec finished (its
+            # journal entry closed) — then interrupt mid-hang.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if pids_path.exists() and journal_path.exists():
+                    events = [
+                        json.loads(line)["event"]
+                        for line in journal_path.read_text().splitlines()
+                        if line.strip()
+                    ]
+                    if "ok" in events:
+                        break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert proc.poll() is None, (
+                "sweep subprocess died before the interrupt: "
+                f"{proc.communicate()[1].decode()}"
+            )
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode != 0
+        assert b"UNREACHABLE" not in out
+
+        # (b) every warm worker is gone — no orphans grinding on.
+        worker_pids = json.loads(pids_path.read_text())
+        assert len(worker_pids) == 2
+        deadline = time.monotonic() + 10.0
+        alive = list(worker_pids)
+        while alive and time.monotonic() < deadline:
+            for pid in list(alive):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    alive.remove(pid)
+            time.sleep(0.05)
+        assert not alive, f"warm workers survived SIGINT: {alive}"
+
+        # (c) the journal replays: ok spec from cache, hang re-runs
+        # (and now times out quickly instead of hanging forever).
+        specs = [
+            canary("ok", seed=1),
+            canary("hang", seed=2),
+        ]
+        with SweepRunner(
+            workers=2, cache=ResultCache(str(tmp_path / "cache")),
+            timeout=2.0, resume=True, quarantine_after=100,
+        ) as resumed:
+            report = resumed.run(specs)
+        assert report.executed == 1
+        assert [r.from_cache for r in report] == [True, False]
+        assert [r.status for r in report] == ["ok", "timeout"]
