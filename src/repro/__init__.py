@@ -28,6 +28,10 @@ Subpackages
     declarative job specs, the parallel sweep runner (with supervised
     crash/hang containment and resumable journals) and the
     content-addressed result cache.
+:mod:`repro.fleet`
+    the live aggregation layer: jobs stream telemetry + lifecycle
+    records into a long-running aggregator holding fleet/job/node
+    rollups behind an HTTP query API (``python -m repro fleet serve``).
 :mod:`repro.errors`
     the unified error taxonomy: every failure the toolkit can contain
     carries a terminal ``status`` out of :data:`repro.errors.STATUSES`.
@@ -47,7 +51,7 @@ subpackages::
     result = run_job(JobSpec(app="hpl", ntasks=16, ipm=IpmConfig()))
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 # NOTE: __version__ must be bound before these imports — repro.sweep
 # reads it back for cache metadata while the package initializes.
@@ -56,6 +60,11 @@ from repro.core.ipm import IpmConfig  # noqa: E402
 from repro.core.report import JobReport, TaskReport  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    FleetAggregator,
+    FleetSink,
+    FleetStore,
+)
 from repro.simt.noise import NoiseConfig  # noqa: E402
 from repro.simt.simulator import LivenessLimits  # noqa: E402
 from repro.sweep import (  # noqa: E402
@@ -70,6 +79,9 @@ from repro.telemetry.config import TelemetryConfig  # noqa: E402
 
 __all__ = [
     "FaultPlan",
+    "FleetAggregator",
+    "FleetSink",
+    "FleetStore",
     "IpmConfig",
     "JobReport",
     "JobResult",

@@ -5,13 +5,19 @@ Subcommands::
     python -m repro sweep specs.json --workers 4 --cache .sweep-cache
     python -m repro trace2json --app hpl --out trace.json
     python -m repro report profile.xml --top 12
+    python -m repro fleet serve --http 127.0.0.1:9310
+    python -m repro fleet query 127.0.0.1:9310 /jobs
 
 ``sweep`` executes a batch of :class:`~repro.sweep.spec.JobSpec`
 descriptions (a JSON array, or an object with a ``"specs"`` array)
-through the parallel :class:`~repro.sweep.runner.SweepRunner`;
-``trace2json`` is the Chrome-trace exporter (also still reachable as
-``python -m repro.telemetry.trace2json``); ``report`` renders the IPM
-banner from a saved XML log.
+through the parallel :class:`~repro.sweep.runner.SweepRunner` —
+``--fleet HOST:PORT`` streams per-spec lifecycle and telemetry to a
+running aggregator; ``trace2json`` is the Chrome-trace exporter (also
+still reachable as ``python -m repro.telemetry.trace2json``);
+``report`` renders the IPM banner from a saved XML log (``--json``
+for the machine-readable form); ``fleet serve`` runs the
+:class:`~repro.fleet.service.FleetAggregator` and ``fleet query``
+fetches one endpoint from a running one.
 
 Exit codes (pinned, shared by every subcommand):
 
@@ -88,6 +94,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         quarantine_after=args.quarantine_after,
         liveness=liveness,
         resume=args.resume,
+        fleet=args.fleet,
     )
     report = runner.run(specs)
     summary = report.summary()
@@ -132,7 +139,108 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError, SyntaxError) as exc:
         print(f"report: bad input: {exc}", file=sys.stderr)
         return EXIT_BAD_INPUT
-    print(banner(job, top=args.top))
+    if args.json:
+        from repro.core.report import job_summary
+
+        print(json.dumps(job_summary(job, top=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(banner(job, top=args.top))
+    return EXIT_OK
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import signal as _signal
+    import time as _time
+
+    from repro.fleet.service import FleetAggregator
+
+    try:
+        agg = FleetAggregator(
+            ingest=args.ingest,
+            http=args.http,
+            tails=args.tail,
+            resolution=args.resolution,
+            host_resolution=args.host_resolution,
+            buckets=args.buckets,
+            stale_after=args.stale_after,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"fleet serve: bad input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+    # a long-running service should drain on SIGTERM like it does on
+    # Ctrl-C (supervisors and CI send TERM; shells started with `&`
+    # leave SIGINT ignored, so INT alone is not a usable stop signal).
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    old_sigterm = None
+    try:
+        old_sigterm = _signal.signal(_signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (in-process callers)
+    try:
+        with agg:
+            endpoints = {
+                "ingest": agg.ingest_address,
+                "http": agg.http_address,
+                "url": agg.http_url,
+            }
+            if args.announce:
+                # ephemeral ports (":0") resolve at bind time; scripts
+                # read the real endpoints back from this file.
+                with open(args.announce, "w", encoding="utf-8") as fh:
+                    json.dump(endpoints, fh)
+                    fh.write("\n")
+            print(f"fleet: ingest on {endpoints['ingest']}, "
+                  f"queries on {endpoints['url']}")
+            deadline = (
+                _time.monotonic() + args.duration
+                if args.duration is not None else None
+            )
+            try:
+                while deadline is None or _time.monotonic() < deadline:
+                    _time.sleep(min(
+                        0.2,
+                        max(0.0, deadline - _time.monotonic())
+                        if deadline is not None else 0.2,
+                    ))
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if old_sigterm is not None:
+            _signal.signal(_signal.SIGTERM, old_sigterm)
+    summary = agg.store.fleet_summary()
+    print(f"fleet: stopped after {summary['uptime']:.1f}s — "
+          f"{summary['ingest']['records']} records, "
+          f"{summary['counts']['finished']} jobs finished")
+    return EXIT_OK
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.server
+    if not base.startswith("http://") and not base.startswith("https://"):
+        base = f"http://{base}"
+    path = args.path if args.path.startswith("/") else f"/{args.path}"
+    url = base.rstrip("/") + path
+    if args.resolution is not None:
+        url += f"?resolution={args.resolution}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            body = resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        print(f"fleet query: {url}: HTTP {exc.code}: "
+              f"{exc.read().decode('utf-8', 'replace').strip()}",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"fleet query: cannot reach {url}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    print(body, end="" if body.endswith("\n") else "\n")
     return EXIT_OK
 
 
@@ -186,6 +294,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="SECONDS",
                          help="liveness watchdog: abort a spec past this "
                               "virtual time (status 'livelock')")
+    p_sweep.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                         help="stream per-spec lifecycle + telemetry to a "
+                              "fleet aggregator's ingest endpoint "
+                              "(see 'fleet serve')")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     sub.add_parser(
@@ -199,7 +311,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_report.add_argument("xml", help="IPM XML log (write_xml output)")
     p_report.add_argument("--top", type=int, default=20,
                           help="regions per banner section (default 20)")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the banner's content as JSON instead "
+                               "of text")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run or query the fleet telemetry aggregator"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_cmd", required=True)
+    p_serve = fleet_sub.add_parser(
+        "serve", help="run the aggregator (ingest socket + HTTP queries)"
+    )
+    p_serve.add_argument("--ingest", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="telemetry ingest bind address (default "
+                              "127.0.0.1:0 = ephemeral)")
+    p_serve.add_argument("--http", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="query API bind address (default ephemeral)")
+    p_serve.add_argument("--tail", action="append", default=[],
+                         metavar="FILE",
+                         help="also tail this telemetry JSONL file "
+                              "(repeatable)")
+    p_serve.add_argument("--resolution", type=float, default=0.05,
+                         help="job rollup bucket width, virtual seconds "
+                              "(default 0.05)")
+    p_serve.add_argument("--host-resolution", type=float, default=1.0,
+                         help="node/fleet rollup bucket width, host "
+                              "seconds (default 1.0)")
+    p_serve.add_argument("--buckets", type=int, default=512,
+                         help="rollup ring capacity per metric "
+                              "(default 512)")
+    p_serve.add_argument("--stale-after", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="flag running jobs/nodes stale after this "
+                              "publish silence (default 15)")
+    p_serve.add_argument("--announce", default=None, metavar="FILE",
+                         help="write the resolved endpoints here as JSON "
+                              "(for scripts using ephemeral ports)")
+    p_serve.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="serve for this long then exit (default: "
+                              "until interrupted)")
+    p_serve.set_defaults(fn=_cmd_fleet_serve)
+    p_query = fleet_sub.add_parser(
+        "query", help="fetch one endpoint from a running aggregator"
+    )
+    p_query.add_argument("server", metavar="HOST:PORT",
+                         help="the aggregator's HTTP address")
+    p_query.add_argument("path", nargs="?", default="/fleet",
+                         help="endpoint path (default /fleet; e.g. /jobs, "
+                              "/metrics, /jobs/<id>/rollups)")
+    p_query.add_argument("--resolution", type=float, default=None,
+                         help="downsample returned series to this bucket "
+                              "width")
+    p_query.set_defaults(fn=_cmd_fleet_query)
 
     try:
         args = parser.parse_args(argv)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.spec import JobSpec
@@ -145,6 +145,7 @@ def run_job(
     gpu_timing: Optional[Any] = None,
     faults: Optional[FaultPlan] = None,
     liveness: Optional[LivenessLimits] = None,
+    extra_sinks: Optional[Sequence[Any]] = None,
 ) -> JobResult:
     """Run one simulated job described by a :class:`JobSpec`.
 
@@ -155,16 +156,21 @@ def run_job(
     ``spec.ipm=None`` runs unmonitored; otherwise IPM is preloaded
     into every rank and a :class:`JobReport` is produced.
 
-    ``cluster``, ``gpu_timing`` and ``liveness`` are runtime-only
-    extras that stay *outside* the spec (they carry live simulator
-    state / timing-model objects / supervision policy, none of which
-    belong in the job's content-addressed identity): a pre-built
+    ``cluster``, ``gpu_timing``, ``liveness`` and ``extra_sinks`` are
+    runtime-only extras that stay *outside* the spec (they carry live
+    simulator state / timing-model objects / runtime policy, none of
+    which belong in the job's content-addressed identity): a pre-built
     ``cluster`` makes the job run on *its* simulator; ``gpu_timing``
     tweaks the GPUs of the fresh Dirac cluster built otherwise;
     ``liveness`` arms the simulator's watchdog
     (:class:`~repro.simt.simulator.LivenessLimits`) so a livelocked
     job raises a structured
-    :class:`~repro.simt.simulator.LivenessError` instead of hanging.
+    :class:`~repro.simt.simulator.LivenessError` instead of hanging;
+    ``extra_sinks`` appends telemetry sinks (e.g. a
+    :class:`~repro.fleet.sink.FleetSink` streaming samples to a fleet
+    aggregator) to the ones the spec's config builds — sinks only
+    observe samples, so report bytes are unchanged (pinned by test).
+    It needs the spec's telemetry enabled to see any samples.
 
     ``spec.faults`` (or ``spec.ipm.faults``) attaches a deterministic
     :class:`~repro.faults.plan.FaultPlan`.  Injected rank aborts do not
@@ -225,7 +231,8 @@ def run_job(
             faults=faults,
         )
     return _run_spec(
-        spec, cluster=cluster, gpu_timing=gpu_timing, liveness=liveness
+        spec, cluster=cluster, gpu_timing=gpu_timing, liveness=liveness,
+        extra_sinks=extra_sinks,
     )
 
 
@@ -234,6 +241,7 @@ def _run_spec(
     cluster: Optional[Cluster] = None,
     gpu_timing: Optional[Any] = None,
     liveness: Optional[LivenessLimits] = None,
+    extra_sinks: Optional[Sequence[Any]] = None,
 ) -> JobResult:
     """Execute one :class:`JobSpec` (the mpirun+loader machinery)."""
     app = spec.build_app()
@@ -300,11 +308,19 @@ def _run_spec(
     hub = None
     if ipm_config is not None and ipm_config.telemetry.enabled:
         from repro.telemetry.sampler import TelemetryHub
+        from repro.telemetry.sinks import make_sinks
 
+        hub_sinks = None
+        if extra_sinks:
+            # runtime-only additions (fleet streaming, tests) ride after
+            # the config-built sinks; they observe the same samples and
+            # cannot perturb the simulation or the report.
+            hub_sinks = make_sinks(ipm_config.telemetry) + list(extra_sinks)
         hub = TelemetryHub(
             sim,
             ipm_config.telemetry,
             meta={"command": command, "ntasks": ntasks, "seed": seed},
+            sinks=hub_sinks,
         )
 
     def rank_main(rank: int) -> Any:
@@ -452,6 +468,22 @@ def _run_spec(
                 start_stamp=f"t={min(t.start_time for t in tasks):.3f}",
                 stop_stamp=f"t={max(t.stop_time for t in tasks):.3f}",
             )
+        if hub is not None:
+            # hand the terminal outcome to any sink that wants it (the
+            # fleet sink publishes it as the job_end record) before
+            # finish() closes the sinks.
+            statuses = {r: rank_status(r) for r in range(ntasks)}
+            job_status = (
+                "ok"
+                if all(s == "completed" for s in statuses.values())
+                else "degraded"
+            )
+            for sink in hub.sinks:
+                outcome_hook = getattr(sink, "set_job_outcome", None)
+                if outcome_hook is not None:
+                    outcome_hook(
+                        job_status, ranks=statuses, wallclock=wallclock
+                    )
     finally:
         # telemetry must flush even when a rank raised out of app code
         # (finish() is idempotent, so the normal path pays nothing).

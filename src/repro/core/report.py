@@ -158,3 +158,52 @@ class JobReport:
             for t in self.tasks
         ]
         return 100.0 * sum(fractions) / len(fractions)
+
+
+def job_summary(job: JobReport, top: int = 20) -> Dict[str, object]:
+    """The banner's content as one JSON-ready dict.
+
+    Everything the text banner renders, machine-readable: header
+    facts, per-domain totals, per-rank status, and the ``top`` call
+    regions by total time.  This is the payload of ``python -m repro
+    report --json`` — consumers parse this instead of scraping the
+    banner text.
+    """
+    domain_names = sorted(set(job.domains.values()))
+    regions = [
+        {
+            "name": name,
+            "domain": job.domains.get(name.split("(")[0]),
+            "count": stats.count,
+            "total": stats.total,
+            "min": stats.tmin if stats.count else 0.0,
+            "max": stats.tmax,
+            "avg": stats.avg,
+        }
+        for name, stats in sorted(
+            job.merged_by_name().items(),
+            key=lambda kv: (-kv[1].total, kv[0]),
+        )[: max(0, top)]
+    ]
+    return {
+        "command": job.command,
+        "ntasks": job.ntasks,
+        "hosts": job.hosts(),
+        "start_stamp": job.start_stamp,
+        "stop_stamp": job.stop_stamp,
+        "wallclock": job.wallclock,
+        "complete": job.complete,
+        "rank_statuses": {
+            str(rank): status
+            for rank, status in sorted(job.rank_statuses().items())
+        },
+        "total_mem_gb": job.total_mem_gb(),
+        "comm_percent": job.comm_percent(),
+        "gflops": sum(t.gflops for t in job.tasks),
+        "domain_totals": {
+            domain: sum(job.domain_times(domain)) for domain in domain_names
+        },
+        "gpu_exec_time": sum(t.gpu_exec_time() for t in job.tasks),
+        "host_idle_time": sum(t.host_idle_time() for t in job.tasks),
+        "regions": regions,
+    }

@@ -1,0 +1,59 @@
+"""Fleet aggregation: live multi-job telemetry ingest, rollups, queries.
+
+The paper's end goal is *cluster-wide* monitoring — per-host GPU and
+host metrics rolled up across a whole system, not one job's
+post-mortem banner.  This package is that service layer on top of the
+existing per-job telemetry:
+
+* :mod:`repro.fleet.protocol` — the newline-delimited JSON wire
+  format every publisher speaks;
+* :class:`~repro.fleet.sink.FleetSink` — a telemetry sink that
+  streams a running job's samples and lifecycle events to the
+  aggregator over a local socket or pipe;
+* :mod:`repro.fleet.ingest` — the threaded socket listener plus a
+  torn-write-tolerant JSONL tailer that replays existing sink files;
+* :mod:`repro.fleet.rollup` — bounded streaming per-metric aggregates
+  (count/sum/min/max/last over a downsampling bucket ring);
+* :class:`~repro.fleet.registry.FleetRegistry` — job/node liveness
+  with publish-interval staleness detection;
+* :class:`~repro.fleet.store.FleetStore` — the thread-safe in-process
+  query API composing all of the above;
+* :class:`~repro.fleet.server.FleetHttpServer` — ``/metrics``
+  (OpenMetrics), ``/jobs``, ``/jobs/<id>/rollups``, ``/nodes/<host>``;
+* :class:`~repro.fleet.service.FleetAggregator` — the long-running
+  service (``python -m repro fleet serve``).
+
+The sweep runner streams into all of this with ``SweepRunner(...,
+fleet="host:port")`` / ``python -m repro sweep --fleet`` — progress
+becomes observable live instead of only via the journal, and fleet
+mode off stays byte-identical (pinned by test).
+"""
+
+from repro.fleet.ingest import IngestServer, JsonlTailIngester
+from repro.fleet.protocol import FLEET_SCHEMA, decode_line, encode_record
+from repro.fleet.registry import FleetRegistry, JobRecord, NodeRecord
+from repro.fleet.rollup import MetricRollup, RollupRing, RollupSet, StatWindow
+from repro.fleet.server import FleetHttpServer
+from repro.fleet.service import FleetAggregator
+from repro.fleet.sink import FleetSink, LineClient
+from repro.fleet.store import FleetStore
+
+__all__ = [
+    "FLEET_SCHEMA",
+    "FleetAggregator",
+    "FleetHttpServer",
+    "FleetRegistry",
+    "FleetSink",
+    "FleetStore",
+    "IngestServer",
+    "JobRecord",
+    "JsonlTailIngester",
+    "LineClient",
+    "MetricRollup",
+    "NodeRecord",
+    "RollupRing",
+    "RollupSet",
+    "StatWindow",
+    "decode_line",
+    "encode_record",
+]

@@ -1,0 +1,181 @@
+"""Ingest transports: the socket listener and the JSONL tailer.
+
+Two ways records reach the :class:`~repro.fleet.store.FleetStore`:
+
+* :class:`IngestServer` — a threaded localhost TCP listener speaking
+  the newline-delimited protocol; every
+  :class:`~repro.fleet.sink.FleetSink` (and the sweep runner's
+  lifecycle publisher) connects here.  One thread per connection; a
+  publisher vanishing mid-line costs one counted parse error, never
+  the server.
+* :class:`JsonlTailIngester` — replays/tails an existing
+  :class:`~repro.telemetry.sinks.JsonlSink` file into the store, so
+  every telemetry file ever written is already fleet-compatible.
+  Reading mirrors the sweep journal's repair semantics: a torn final
+  line (a writer killed mid-append) is *retained* and retried once
+  more bytes arrive; an interior line that cannot parse is counted
+  and skipped.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.fleet.protocol import (
+    decode_line,
+    format_address,
+    telemetry_line_to_records,
+)
+from repro.fleet.store import FleetStore
+
+
+class _IngestHandler(socketserver.StreamRequestHandler):
+    """One publisher connection: read lines, fold them into the store."""
+
+    def handle(self) -> None:
+        store: FleetStore = self.server.store  # type: ignore[attr-defined]
+        store.note_connection(+1)
+        try:
+            for line in self.rfile:
+                record = decode_line(line)
+                if record is None:
+                    store.note_parse_error()
+                else:
+                    store.ingest(record)
+        except OSError:
+            pass  # publisher vanished mid-line; its job goes stale
+        finally:
+            store.note_connection(-1)
+
+
+class _IngestTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class IngestServer:
+    """Threaded TCP ingest endpoint bound to localhost."""
+
+    def __init__(
+        self, store: FleetStore, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = store
+        self._server = _IngestTCPServer((host, port), _IngestHandler)
+        self._server.store = store  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def address_str(self) -> str:
+        return format_address(self.address)
+
+    def start(self) -> "IngestServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="fleet-ingest",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+
+class JsonlTailIngester:
+    """Tail one telemetry-JSONL file into the store.
+
+    ``poll()`` ingests whatever complete lines appeared since the last
+    call and is safe to call forever (the tail loop);``replay()`` is
+    the one-shot form for files that are already complete — it polls
+    once and closes the job with a ``job_end``.
+
+    Torn-write tolerance (pinned by tests): the trailing bytes after
+    the last newline are buffered, not parsed — if the writer was
+    killed mid-append the fragment waits until the line completes (or
+    is counted as one parse error at :meth:`finish`).  An *interior*
+    line that fails to parse is counted and skipped, exactly like the
+    sweep journal's replay.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        store: FleetStore,
+        job: Optional[str] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.store = store
+        base = os.path.basename(self.path)
+        self.job = job or (base[:-6] if base.endswith(".jsonl") else base)
+        self._offset = 0
+        self._partial = b""
+        self.records = 0
+        self.finished = False
+
+    def poll(self) -> int:
+        """Ingest newly appended complete lines; returns records folded."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size < self._offset:
+                    # the file was truncated/rewritten under us: start
+                    # over rather than ingest a torn middle.
+                    self._offset = 0
+                    self._partial = b""
+                fh.seek(self._offset)
+                chunk = fh.read()
+                self._offset = fh.tell()
+        except OSError:
+            return 0
+        data = self._partial + chunk
+        if not data:
+            return 0
+        lines = data.split(b"\n")
+        # bytes after the last newline are a line still being written
+        self._partial = lines.pop()
+        ingested = 0
+        for line in lines:
+            if not line.strip():
+                continue
+            record = decode_line(line)
+            if record is None:
+                self.store.note_parse_error()
+                continue
+            for mapped in telemetry_line_to_records(record, self.job):
+                if self.store.ingest(mapped):
+                    ingested += 1
+        self.records += ingested
+        return ingested
+
+    def finish(self, status: str = "ok") -> None:
+        """Close the job stream (file complete / tailer shutting down)."""
+        if self.finished:
+            return
+        self.finished = True
+        if self._partial.strip():
+            # a torn final line that never completed
+            self.store.note_parse_error()
+            self._partial = b""
+        if self.store.registry.job(self.job) is not None:
+            self.store.ingest(
+                {"kind": "job_end", "job": self.job, "status": status,
+                 "source": "tail"}
+            )
+
+    def replay(self) -> int:
+        """One-shot ingest of a complete file, closing the job."""
+        ingested = self.poll()
+        self.finish()
+        return ingested

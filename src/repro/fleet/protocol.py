@@ -1,0 +1,132 @@
+"""The fleet wire protocol: newline-delimited JSON records.
+
+Every byte that crosses the aggregator's ingest boundary — a
+:class:`~repro.fleet.sink.FleetSink` publishing over a socket, a
+:class:`~repro.fleet.ingest.JsonlTailIngester` replaying a sink file,
+the sweep runner announcing spec lifecycles — is one JSON object per
+line.  Record ``kind``s:
+
+``job_start`` / ``job_end``
+    a telemetry publisher opened/closed one job's stream (``job_end``
+    carries the terminal ``status``, per-rank statuses and wallclock);
+``sample``
+    one sampler tick: ``{"job", "t", "points": [{name, labels,
+    value}, ...]}`` — the same point shape the JSONL telemetry sink
+    writes, plus the job id;
+``rank_status``
+    one rank's terminal state when it differs from "completed";
+``spec_start`` / ``spec_finish``
+    the sweep runner's per-spec lifecycle (status, attempts, cache
+    provenance) — the observable version of the journal.
+
+Records may carry ``hts`` (the publisher's host wall-clock at send
+time); the aggregator turns it into the measured ingest lag.  Parsing
+is tolerant by design: a line that is not a JSON object with a string
+``kind`` decodes to ``None`` and is counted, never raised — torn
+writes and foreign lines must not take the aggregator down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: bumped on incompatible record-shape changes.
+FLEET_SCHEMA = "ipm-repro/fleet/v1"
+
+#: record kinds the store understands (anything else is counted).
+KINDS = (
+    "job_start",
+    "sample",
+    "rank_status",
+    "job_end",
+    "spec_start",
+    "spec_finish",
+)
+
+#: kinds that open/refresh a job vs. close it (registry transitions).
+START_KINDS = frozenset({"job_start", "spec_start"})
+END_KINDS = frozenset({"job_end", "spec_finish"})
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One wire line (UTF-8, newline-terminated, stable key order)."""
+    return json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: Union[str, bytes]) -> Optional[Dict[str, Any]]:
+    """Parse one wire line; ``None`` for anything malformed.
+
+    Tolerance contract: empty lines, torn JSON, non-object payloads
+    and records without a string ``kind`` all decode to ``None`` —
+    the caller counts them, nothing raises.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or not isinstance(record.get("kind"), str):
+        return None
+    return record
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``"host:port"`` (or an already-split pair) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def telemetry_line_to_records(
+    record: Dict[str, Any], job: str
+) -> List[Dict[str, Any]]:
+    """Map one telemetry-JSONL line onto fleet records.
+
+    The existing :class:`~repro.telemetry.sinks.JsonlSink` writes a
+    ``meta`` header then ``sample`` lines; replayed into the fleet
+    they become a ``job_start`` followed by fleet ``sample`` records
+    for the given ``job`` id.  Unknown line kinds map to nothing.
+    """
+    kind = record.get("kind")
+    if kind == "meta":
+        meta = {
+            k: v for k, v in record.items() if k not in ("kind", "schema")
+        }
+        return [{"kind": "job_start", "job": job, "meta": meta}]
+    if kind == "sample":
+        points = record.get("points")
+        if not isinstance(points, list):
+            return []
+        return [
+            {
+                "kind": "sample",
+                "job": job,
+                "t": record.get("t", 0.0),
+                "points": points,
+            }
+        ]
+    return []
+
+
+def sample_points(points: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Render sampler points into the wire shape (shared with JSONL)."""
+    return [
+        {"name": p.name, "labels": p.label_dict(), "value": p.value}
+        for p in points
+    ]

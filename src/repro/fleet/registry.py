@@ -1,0 +1,243 @@
+"""Job and node liveness: who is publishing, who went quiet.
+
+The paper's collectors publish at a fixed interval; the monitoring
+system's liveness model falls out of that: a host (or job) that has
+not published for a few intervals is *stale* — crashed, wedged, or
+partitioned — and flagging it is itself a monitoring result (the
+nvml_monitor/slurm_monitor pattern in SNIPPETS.md).
+
+The registry tracks first/last publish host-time per job and node,
+job state transitions (``running`` -> ``finished`` on a terminal
+record), per-rank statuses, and derives staleness against a
+configurable ``stale_after`` horizon.  It holds *identity and
+liveness* only — the numeric aggregates live in
+:mod:`repro.fleet.rollup`, composed by :class:`repro.fleet.store.FleetStore`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+#: a running job/node with no publish for this many seconds is stale
+#: (the publish-interval model: generous enough for bursty replay).
+DEFAULT_STALE_AFTER = 15.0
+
+
+@dataclass
+class JobRecord:
+    """Aggregated lifecycle state of one job stream."""
+
+    job: str
+    #: "running" until a terminal record arrives, then "finished".
+    state: str = "running"
+    #: terminal status ("ok", "crashed", ...) once finished.
+    status: Optional[str] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: host wall-clock of the first/most recent record.
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    #: ingest volume of this job.
+    samples: int = 0
+    points: int = 0
+    #: rank -> terminal status, when published.
+    ranks: Dict[str, str] = field(default_factory=dict)
+    #: hostnames that appeared in this job's node-level samples.
+    nodes: Set[str] = field(default_factory=set)
+    #: terminal extras (simulated wallclock, attempts, cache hit).
+    wallclock: Optional[float] = None
+    attempts: Optional[int] = None
+    from_cache: Optional[bool] = None
+    error: Optional[str] = None
+    #: who published ("job" sink, "sweep" runner, "tail" replay, ...).
+    source: Optional[str] = None
+
+    def summary(self, stale: bool = False) -> Dict[str, object]:
+        return {
+            "job": self.job,
+            "state": self.state,
+            "status": self.status,
+            "stale": stale,
+            "meta": dict(self.meta),
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "samples": self.samples,
+            "points": self.points,
+            "ranks": dict(self.ranks),
+            "nodes": sorted(self.nodes),
+            "wallclock": self.wallclock,
+            "attempts": self.attempts,
+            "from_cache": self.from_cache,
+            "error": self.error,
+            "source": self.source,
+        }
+
+
+@dataclass
+class NodeRecord:
+    """Liveness state of one publishing node (hostname)."""
+
+    node: str
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    samples: int = 0
+    jobs: Set[str] = field(default_factory=set)
+
+    def summary(self, stale: bool = False) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "stale": stale,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "samples": self.samples,
+            "jobs": sorted(self.jobs),
+        }
+
+
+class FleetRegistry:
+    """Who exists and who is live, across jobs and nodes.
+
+    Not thread-safe on its own — :class:`~repro.fleet.store.FleetStore`
+    serializes access under its lock.  ``clock`` is injectable so the
+    staleness horizon is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        stale_after: float = DEFAULT_STALE_AFTER,
+        clock: Callable[[], float] = _time.time,
+    ) -> None:
+        if stale_after <= 0:
+            raise ValueError(f"stale_after must be positive: {stale_after}")
+        self.stale_after = stale_after
+        self.clock = clock
+        self._jobs: Dict[str, JobRecord] = {}
+        self._nodes: Dict[str, NodeRecord] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def job_seen(self, job: str) -> JobRecord:
+        """Touch (and create on first sight) one job record."""
+        now = self.clock()
+        record = self._jobs.get(job)
+        if record is None:
+            record = self._jobs[job] = JobRecord(
+                job=job, first_seen=now, last_seen=now
+            )
+        else:
+            record.last_seen = now
+        return record
+
+    def job_started(
+        self,
+        job: str,
+        meta: Optional[Dict[str, object]] = None,
+        source: Optional[str] = None,
+    ) -> JobRecord:
+        record = self.job_seen(job)
+        # a restart (resubmitted spec) reopens the stream
+        record.state = "running"
+        if meta:
+            record.meta.update(meta)
+        if source is not None:
+            record.source = source
+        return record
+
+    def job_finished(
+        self,
+        job: str,
+        status: Optional[str] = None,
+        *,
+        wallclock: Optional[float] = None,
+        attempts: Optional[int] = None,
+        from_cache: Optional[bool] = None,
+        error: Optional[str] = None,
+        ranks: Optional[Dict[str, str]] = None,
+    ) -> JobRecord:
+        record = self.job_seen(job)
+        record.state = "finished"
+        if status is not None:
+            record.status = str(status)
+        if wallclock is not None:
+            record.wallclock = float(wallclock)
+        if attempts is not None:
+            record.attempts = int(attempts)
+        if from_cache is not None:
+            record.from_cache = bool(from_cache)
+        if error is not None:
+            record.error = str(error)
+        if ranks:
+            record.ranks.update(
+                {str(r): str(s) for r, s in ranks.items()}
+            )
+        return record
+
+    def rank_status(self, job: str, rank: object, status: str) -> JobRecord:
+        record = self.job_seen(job)
+        record.ranks[str(rank)] = str(status)
+        return record
+
+    def node_seen(self, node: str, job: Optional[str] = None) -> NodeRecord:
+        now = self.clock()
+        record = self._nodes.get(node)
+        if record is None:
+            record = self._nodes[node] = NodeRecord(
+                node=node, first_seen=now, last_seen=now
+            )
+        else:
+            record.last_seen = now
+        record.samples += 1
+        if job is not None:
+            record.jobs.add(job)
+        return record
+
+    # -- queries ---------------------------------------------------------
+
+    def job(self, job: str) -> Optional[JobRecord]:
+        return self._jobs.get(job)
+
+    def node(self, node: str) -> Optional[NodeRecord]:
+        return self._nodes.get(node)
+
+    def jobs(self) -> List[JobRecord]:
+        return [self._jobs[j] for j in sorted(self._jobs)]
+
+    def nodes(self) -> List[NodeRecord]:
+        return [self._nodes[n] for n in sorted(self._nodes)]
+
+    def job_is_stale(self, record: JobRecord, now: Optional[float] = None) -> bool:
+        """A *running* job that stopped publishing is stale."""
+        if record.state != "running":
+            return False
+        now = self.clock() if now is None else now
+        return (now - record.last_seen) > self.stale_after
+
+    def node_is_stale(self, record: NodeRecord, now: Optional[float] = None) -> bool:
+        now = self.clock() if now is None else now
+        return (now - record.last_seen) > self.stale_after
+
+    def stale_jobs(self, now: Optional[float] = None) -> List[JobRecord]:
+        now = self.clock() if now is None else now
+        return [r for r in self.jobs() if self.job_is_stale(r, now)]
+
+    def stale_nodes(self, now: Optional[float] = None) -> List[NodeRecord]:
+        now = self.clock() if now is None else now
+        return [r for r in self.nodes() if self.node_is_stale(r, now)]
+
+    def counts(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Job-state histogram plus node liveness, one scrape's worth."""
+        now = self.clock() if now is None else now
+        out = {"running": 0, "finished": 0, "stale": 0}
+        for record in self._jobs.values():
+            if self.job_is_stale(record, now):
+                out["stale"] += 1
+            elif record.state == "finished":
+                out["finished"] += 1
+            else:
+                out["running"] += 1
+        out["nodes"] = len(self._nodes)
+        out["nodes_stale"] = sum(
+            1 for r in self._nodes.values() if self.node_is_stale(r, now)
+        )
+        return out

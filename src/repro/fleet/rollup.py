@@ -1,0 +1,227 @@
+"""Streaming rollups: bounded, constant-memory aggregates of samples.
+
+The aggregator never stores raw samples — hundreds of concurrent jobs
+each ticking every simulated centisecond would grow without bound.
+Instead every ``(entity, metric)`` pair keeps
+
+* one :class:`StatWindow` over the whole stream (count/sum/min/max/
+  last — the nvml_monitor-style host aggregate schema), and
+* one :class:`RollupRing` of time-bucketed windows at a configurable
+  resolution, bounded to a fixed number of buckets (oldest evicted
+  first, like a fixed-size TSDB block).
+
+Queries can downsample on read (:meth:`RollupRing.series` with a
+coarser resolution) without touching what is retained.  A
+:class:`RollupSet` maps metric names to rollups for one entity (a
+job, a node, or the fleet) with a hard cap on distinct names — the
+cap is never silent: dropped names are counted and exposed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class StatWindow:
+    """Streaming count/sum/min/max/last over one value stream."""
+
+    __slots__ = ("count", "sum", "min", "max", "last", "last_t")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.last = 0.0
+        self.last_t = 0.0
+
+    def observe(self, value: float, t: float = 0.0) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.sum += value
+        self.last = value
+        self.last_t = t
+
+    def merge(self, other: "StatWindow") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.sum += other.sum
+        if other.last_t >= self.last_t:
+            self.last = other.last
+            self.last_t = other.last_t
+
+    @property
+    def avg(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "avg": self.avg,
+            "last": self.last,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StatWindow n={self.count} avg={self.avg:.4g} "
+            f"min={self.min:.4g} max={self.max:.4g}>"
+        )
+
+
+class RollupRing:
+    """Bounded ring of time-bucketed :class:`StatWindow` aggregates.
+
+    Points land in the bucket ``floor(t / resolution)``.  Out-of-order
+    points within the retained window update their bucket in place;
+    points older than the oldest retained bucket are dropped and
+    counted (``dropped_late``).
+    """
+
+    __slots__ = ("resolution", "capacity", "_buckets", "dropped_late")
+
+    def __init__(self, resolution: float = 1.0, capacity: int = 512) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive: {resolution}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.resolution = resolution
+        self.capacity = capacity
+        #: bucket index -> window, in insertion order (evict oldest).
+        self._buckets: "OrderedDict[int, StatWindow]" = OrderedDict()
+        self.dropped_late = 0
+
+    def observe(self, t: float, value: float) -> bool:
+        idx = int(t // self.resolution)
+        window = self._buckets.get(idx)
+        if window is None:
+            if self._buckets and idx < min(self._buckets):
+                self.dropped_late += 1
+                return False
+            window = self._buckets[idx] = StatWindow()
+            while len(self._buckets) > self.capacity:
+                self._buckets.popitem(last=False)
+        window.observe(value, t)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def buckets(self) -> List[Tuple[float, StatWindow]]:
+        """``(bucket_start_time, window)`` pairs in time order."""
+        return sorted(
+            ((idx * self.resolution, w) for idx, w in self._buckets.items()),
+            key=lambda kv: kv[0],
+        )
+
+    def series(self, resolution: Optional[float] = None) -> List[Dict[str, float]]:
+        """The ring as JSON-able buckets, optionally downsampled.
+
+        ``resolution`` coarser than the ring's merges adjacent buckets
+        on read; finer (or None) returns the ring's native buckets.
+        """
+        if resolution is not None and resolution <= 0:
+            raise ValueError(f"resolution must be positive: {resolution}")
+        native = self.buckets()
+        if resolution is None or resolution <= self.resolution:
+            return [dict(t=t0, **w.as_dict()) for t0, w in native]
+        merged: "OrderedDict[int, StatWindow]" = OrderedDict()
+        for t0, window in native:
+            idx = int(t0 // resolution)
+            target = merged.get(idx)
+            if target is None:
+                target = merged[idx] = StatWindow()
+            target.merge(window)
+        return [
+            dict(t=idx * resolution, **w.as_dict())
+            for idx, w in merged.items()
+        ]
+
+
+class MetricRollup:
+    """One metric of one entity: lifetime stats + the bucket ring."""
+
+    __slots__ = ("stats", "ring")
+
+    def __init__(self, resolution: float, capacity: int) -> None:
+        self.stats = StatWindow()
+        self.ring = RollupRing(resolution, capacity)
+
+    def observe(self, t: float, value: float) -> None:
+        self.stats.observe(value, t)
+        self.ring.observe(t, value)
+
+    def snapshot(self, resolution: Optional[float] = None) -> Dict[str, Any]:
+        return {
+            "stats": self.stats.as_dict(),
+            "series": self.ring.series(resolution),
+        }
+
+
+class RollupSet:
+    """All rollups of one entity, keyed by metric name, name-capped."""
+
+    __slots__ = ("resolution", "capacity", "max_metrics", "_metrics",
+                 "dropped_names")
+
+    def __init__(
+        self,
+        resolution: float = 1.0,
+        capacity: int = 512,
+        max_metrics: int = 64,
+    ) -> None:
+        if max_metrics <= 0:
+            raise ValueError(f"max_metrics must be positive: {max_metrics}")
+        self.resolution = resolution
+        self.capacity = capacity
+        self.max_metrics = max_metrics
+        self._metrics: Dict[str, MetricRollup] = {}
+        #: distinct metric names refused once the cap was hit — the
+        #: cap is exposed, never silent.
+        self.dropped_names = 0
+
+    def observe(self, name: str, t: float, value: float) -> bool:
+        rollup = self._metrics.get(name)
+        if rollup is None:
+            if len(self._metrics) >= self.max_metrics:
+                self.dropped_names += 1
+                return False
+            rollup = self._metrics[name] = MetricRollup(
+                self.resolution, self.capacity
+            )
+        rollup.observe(t, value)
+        return True
+
+    def get(self, name: str) -> Optional[MetricRollup]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def stats(self) -> Dict[str, StatWindow]:
+        """Metric name -> lifetime window (exposition order)."""
+        return {name: self._metrics[name].stats for name in self.names()}
+
+    def snapshot(self, resolution: Optional[float] = None) -> Dict[str, Any]:
+        return {
+            name: self._metrics[name].snapshot(resolution)
+            for name in self.names()
+        }

@@ -1,0 +1,149 @@
+"""The fleet query API over HTTP.
+
+A thin threaded front-end on :class:`~repro.fleet.store.FleetStore`:
+
+* ``GET /metrics`` — OpenMetrics exposition of the whole fleet;
+* ``GET /jobs`` — job list with liveness counts;
+* ``GET /jobs/<id>`` / ``GET /jobs/<id>/rollups`` — one job's
+  registry state + streaming rollups (``?resolution=`` downsamples
+  the series on read);
+* ``GET /nodes`` / ``GET /nodes/<host>`` — node liveness + rollups;
+* ``GET /fleet`` (also ``/``) — the aggregator's own vitals;
+* ``GET /healthz`` — liveness probe.
+
+Everything JSON except ``/metrics``; unknown paths and unknown ids
+are JSON 404s.  Handlers only ever call locked store queries, so a
+scrape never observes a torn update.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.fleet.protocol import format_address
+from repro.fleet.store import FleetStore
+
+#: the content type Prometheus scrapers negotiate for OpenMetrics.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    #: silence per-request stderr logging (the store counts instead).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._send(code, body + b"\n", "application/json; charset=utf-8")
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        store: FleetStore = self.server.store  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        resolution: Optional[float] = None
+        raw = parse_qs(url.query).get("resolution")
+        if raw:
+            try:
+                resolution = float(raw[0])
+                if resolution <= 0:
+                    raise ValueError
+            except ValueError:
+                self._json(400, {"error": f"bad resolution: {raw[0]!r}"})
+                return
+        try:
+            self._route(store, parts, resolution)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def _route(
+        self,
+        store: FleetStore,
+        parts: list,
+        resolution: Optional[float],
+    ) -> None:
+        if parts == ["metrics"]:
+            self._send(
+                200,
+                store.openmetrics().encode("utf-8"),
+                OPENMETRICS_CONTENT_TYPE,
+            )
+        elif parts == ["healthz"]:
+            self._json(200, {"ok": True})
+        elif not parts or parts == ["fleet"]:
+            self._json(200, store.fleet_summary())
+        elif parts == ["jobs"]:
+            self._json(200, store.jobs_summary())
+        elif (
+            len(parts) in (2, 3)
+            and parts[0] == "jobs"
+            and (len(parts) == 2 or parts[2] == "rollups")
+        ):
+            payload = store.job_rollups(parts[1], resolution)
+            if payload is None:
+                self._json(404, {"error": f"unknown job: {parts[1]}"})
+            else:
+                self._json(200, payload)
+        elif parts == ["nodes"]:
+            self._json(200, store.nodes_summary())
+        elif len(parts) == 2 and parts[0] == "nodes":
+            payload = store.node_summary(parts[1], resolution)
+            if payload is None:
+                self._json(404, {"error": f"unknown node: {parts[1]}"})
+            else:
+                self._json(200, payload)
+        else:
+            self._json(404, {"error": f"unknown path: /{'/'.join(parts)}"})
+
+
+class FleetHttpServer:
+    """Threaded HTTP server exposing one store's query API."""
+
+    def __init__(
+        self, store: FleetStore, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = store
+        self._server = ThreadingHTTPServer((host, port), _QueryHandler)
+        self._server.daemon_threads = True
+        self._server.store = store  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def address_str(self) -> str:
+        return format_address(self.address)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address_str}"
+
+    def start(self) -> "FleetHttpServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="fleet-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None

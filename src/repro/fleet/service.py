@@ -1,0 +1,136 @@
+"""`FleetAggregator`: the long-running service, assembled.
+
+One object owns the whole aggregator: the
+:class:`~repro.fleet.store.FleetStore`, the socket
+:class:`~repro.fleet.ingest.IngestServer` publishers connect to, the
+:class:`~repro.fleet.server.FleetHttpServer` queries are served from,
+and a background tail loop for any
+:class:`~repro.fleet.ingest.JsonlTailIngester` files.  ``start()``
+binds everything (port 0 picks ephemeral ports — read the resolved
+addresses back from :attr:`ingest_address` / :attr:`http_url`);
+``stop()`` is idempotent and drains the tailers before shutting the
+servers down.  The CLI front-end is ``python -m repro fleet serve``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.fleet.ingest import IngestServer, JsonlTailIngester
+from repro.fleet.protocol import parse_address
+from repro.fleet.server import FleetHttpServer
+from repro.fleet.store import FleetStore
+
+Address = Union[str, Tuple[str, int]]
+
+
+class FleetAggregator:
+    """Ingest + store + query API as one start/stoppable service."""
+
+    def __init__(
+        self,
+        store: Optional[FleetStore] = None,
+        ingest: Address = "127.0.0.1:0",
+        http: Address = "127.0.0.1:0",
+        tails: Sequence[str] = (),
+        tail_interval: float = 0.2,
+        **store_kwargs,
+    ) -> None:
+        if store is not None and store_kwargs:
+            raise ValueError(
+                "pass either a prebuilt store or store kwargs, not both"
+            )
+        self.store = store if store is not None else FleetStore(**store_kwargs)
+        self._ingest_bind = parse_address(ingest)
+        self._http_bind = parse_address(http)
+        self.tail_interval = tail_interval
+        self.tailers: List[JsonlTailIngester] = [
+            JsonlTailIngester(path, self.store) for path in tails
+        ]
+        self.ingest_server: Optional[IngestServer] = None
+        self.http_server: Optional[FleetHttpServer] = None
+        self._tail_stop = threading.Event()
+        self._tail_thread: Optional[threading.Thread] = None
+        self.started = False
+
+    # -- resolved endpoints ---------------------------------------------
+
+    @property
+    def ingest_address(self) -> str:
+        if self.ingest_server is None:
+            raise RuntimeError("aggregator is not started")
+        return self.ingest_server.address_str
+
+    @property
+    def http_address(self) -> str:
+        if self.http_server is None:
+            raise RuntimeError("aggregator is not started")
+        return self.http_server.address_str
+
+    @property
+    def http_url(self) -> str:
+        if self.http_server is None:
+            raise RuntimeError("aggregator is not started")
+        return self.http_server.url
+
+    # -- lifecycle -------------------------------------------------------
+
+    def add_tail(self, path: str, job: Optional[str] = None) -> JsonlTailIngester:
+        """Attach one more JSONL file to the tail loop (live)."""
+        tailer = JsonlTailIngester(path, self.store, job=job)
+        self.tailers.append(tailer)
+        if self.started:
+            self._ensure_tail_thread()
+        return tailer
+
+    def _ensure_tail_thread(self) -> None:
+        if self._tail_thread is None:
+            self._tail_thread = threading.Thread(
+                target=self._tail_loop, name="fleet-tail", daemon=True
+            )
+            self._tail_thread.start()
+
+    def _tail_loop(self) -> None:
+        while not self._tail_stop.wait(self.tail_interval):
+            for tailer in list(self.tailers):
+                tailer.poll()
+
+    def start(self) -> "FleetAggregator":
+        if self.started:
+            return self
+        self.started = True
+        self.ingest_server = IngestServer(
+            self.store, *self._ingest_bind
+        ).start()
+        self.http_server = FleetHttpServer(
+            self.store, *self._http_bind
+        ).start()
+        if self.tailers:
+            self._ensure_tail_thread()
+        return self
+
+    def stop(self) -> None:
+        if not self.started:
+            return
+        self.started = False
+        self._tail_stop.set()
+        if self._tail_thread is not None:
+            self._tail_thread.join(5.0)
+            self._tail_thread = None
+        # one closing poll so lines written while we were stopping land
+        for tailer in self.tailers:
+            tailer.poll()
+            tailer.finish()
+        if self.ingest_server is not None:
+            self.ingest_server.stop()
+            self.ingest_server = None
+        if self.http_server is not None:
+            self.http_server.stop()
+            self.http_server = None
+
+    def __enter__(self) -> "FleetAggregator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,215 @@
+"""`FleetSink`: publish one job's telemetry into the aggregator.
+
+A :class:`FleetSink` quacks like a
+:class:`repro.telemetry.sinks.TelemetrySink`, so it rides the existing
+sampler unchanged: ``open()`` announces ``job_start``, every tick
+becomes a ``sample`` record, ``close()`` publishes terminal rank
+statuses and ``job_end``.  The transport is a :class:`LineClient` —
+newline-delimited JSON over a localhost TCP socket or any writable
+pipe/file object.
+
+Publishing is *best-effort by contract*: a dead or unreachable
+aggregator must never fail the job.  The first transport error
+disables the client with one ``RuntimeWarning``; subsequent sends are
+counted as dropped and cost one attribute check.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time as _time
+import warnings
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.fleet.protocol import encode_record, parse_address, sample_points
+
+#: transport targets a LineClient accepts: "host:port", (host, port),
+#: or a writable binary file object (a pipe end).
+Target = Union[str, Tuple[str, int], Any]
+
+
+class LineClient:
+    """Best-effort NDJSON publisher over a socket or pipe.
+
+    Shared by :class:`FleetSink` (per-job samples) and the sweep
+    runner (lifecycle records).  ``send`` never raises: the first
+    failure warns and disables, later calls return False.
+    """
+
+    def __init__(self, target: Target, label: str = "fleet") -> None:
+        self.target = target
+        self.label = label
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._connected = False
+        self.disabled = False
+        self.sent = 0
+        self.dropped = 0
+        # one client may be shared across supervision threads; writes
+        # must not interleave mid-line.
+        self._lock = threading.Lock()
+
+    def _connect(self) -> None:
+        if isinstance(self.target, (str, tuple)):
+            address = parse_address(self.target)
+            self._sock = socket.create_connection(address, timeout=5.0)
+            # publishers are fire-and-forget; a slow aggregator should
+            # backpressure, not wedge the job forever.
+            self._sock.settimeout(30.0)
+        else:
+            if not hasattr(self.target, "write"):
+                raise ValueError(
+                    f"fleet target must be HOST:PORT or a writable "
+                    f"object, got {type(self.target).__name__}"
+                )
+            self._file = self.target
+        self._connected = True
+
+    def _disable(self, exc: Exception) -> None:
+        self.disabled = True
+        self._close_transport()
+        warnings.warn(
+            f"{self.label} publishing disabled: {type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def send(self, record: Dict[str, Any]) -> bool:
+        with self._lock:
+            if self.disabled:
+                self.dropped += 1
+                return False
+            try:
+                if not self._connected:
+                    self._connect()
+                data = encode_record(record)
+                if self._sock is not None:
+                    self._sock.sendall(data)
+                else:
+                    self._file.write(data)
+                    flush = getattr(self._file, "flush", None)
+                    if flush is not None:
+                        flush()
+            except (OSError, ValueError, TypeError) as exc:
+                self._disable(exc)
+                self.dropped += 1
+                return False
+            self.sent += 1
+            return True
+
+    def _close_transport(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - nothing left to do
+                pass
+            self._sock = None
+        # a pipe target is owned by the caller; never close it here.
+        self._file = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_transport()
+            self._connected = False
+
+
+class FleetSink:
+    """Telemetry sink streaming one job into a fleet aggregator."""
+
+    name = "fleet"
+
+    def __init__(
+        self,
+        target: Target,
+        job: str,
+        meta: Optional[Dict[str, Any]] = None,
+        source: str = "job",
+    ) -> None:
+        if not job:
+            raise ValueError("FleetSink needs a non-empty job id")
+        self.job = job
+        self.source = source
+        self.client = LineClient(target, label=f"fleet sink ({job[:12]})")
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.ticks = 0
+        self.closed = False
+        #: terminal outcome, set by the job runner before close().
+        self._status: Optional[str] = None
+        self._ranks: Dict[str, str] = {}
+        self._wallclock: Optional[float] = None
+
+    # -- TelemetrySink protocol -----------------------------------------
+
+    def open(self, meta: Dict) -> None:
+        merged = dict(meta)
+        merged.update(self.meta)
+        self.meta = merged
+        self.client.send(
+            {
+                "kind": "job_start",
+                "job": self.job,
+                "source": self.source,
+                "meta": merged,
+                "hts": _time.time(),
+            }
+        )
+
+    def emit(self, t: float, points: Sequence[Any]) -> None:
+        self.ticks += 1
+        self.client.send(
+            {
+                "kind": "sample",
+                "job": self.job,
+                "t": round(t, 9),
+                "points": sample_points(points),
+                "hts": _time.time(),
+            }
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for rank, status in sorted(self._ranks.items()):
+            if status != "completed":
+                self.client.send(
+                    {
+                        "kind": "rank_status",
+                        "job": self.job,
+                        "rank": rank,
+                        "status": status,
+                        "hts": _time.time(),
+                    }
+                )
+        end: Dict[str, Any] = {
+            "kind": "job_end",
+            "job": self.job,
+            "source": self.source,
+            "status": self._status or "unknown",
+            "hts": _time.time(),
+        }
+        if self._ranks:
+            end["ranks"] = dict(self._ranks)
+        if self._wallclock is not None:
+            end["wallclock"] = self._wallclock
+        self.client.send(end)
+        self.client.close()
+
+    # -- runner hook ----------------------------------------------------
+
+    def set_job_outcome(
+        self,
+        status: str,
+        ranks: Optional[Dict[Any, str]] = None,
+        wallclock: Optional[float] = None,
+    ) -> None:
+        """Record the job's terminal state for the ``job_end`` record.
+
+        Called by :func:`repro.cluster.jobs.run_job` once the report is
+        finalized — duck-typed so any sink can opt in.
+        """
+        self._status = status
+        if ranks:
+            self._ranks = {str(r): str(s) for r, s in ranks.items()}
+        self._wallclock = wallclock

@@ -1,0 +1,381 @@
+"""`FleetStore`: the aggregator's state — registry + rollups + queries.
+
+One thread-safe object holds everything the query API serves:
+
+* the :class:`~repro.fleet.registry.FleetRegistry` (job/node identity
+  and liveness);
+* per-job, per-node and fleet-wide :class:`~repro.fleet.rollup.RollupSet`
+  aggregates (max/min/avg GPU utilization, copy bytes, error counts,
+  host-idle fraction — whatever series the publishers emit);
+* ingest accounting (records/samples/points, parse errors, measured
+  ingest lag from publisher ``hts`` stamps).
+
+Time axes differ by entity on purpose: a *job's* rollup buckets on the
+job's own virtual time (``resolution``), because that is the axis its
+samples are meaningful on; *node* and *fleet* rollups bucket on host
+wall-clock since the store started (``host_resolution``), because they
+mix many jobs' virtual clocks.  Every ingest path and every query
+takes the same lock — ingest threads and HTTP handler threads never
+see a torn update.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fleet.protocol import END_KINDS, START_KINDS
+from repro.fleet.registry import DEFAULT_STALE_AFTER, FleetRegistry
+from repro.fleet.rollup import RollupSet, StatWindow
+from repro.telemetry.sinks import escape_label_value
+
+#: ``# HELP`` text of the aggregator's own exposition families.
+FLEET_HELP = {
+    "fleet_jobs": "Jobs known to the aggregator, by liveness state",
+    "fleet_nodes": "Nodes that published node-level samples",
+    "fleet_nodes_stale": "Nodes past the publish-interval staleness horizon",
+    "fleet_ingest_records_total": "Wire records ingested",
+    "fleet_ingest_samples_total": "Sample records ingested",
+    "fleet_ingest_points_total": "Individual sample points ingested",
+    "fleet_ingest_parse_errors_total": "Wire lines that failed to parse",
+    "fleet_ingest_dropped_total": "Records refused (missing job id, unknown kind)",
+    "fleet_rollup_names_dropped_total": "Metric names refused by the per-entity cap",
+    "fleet_ingest_lag_seconds": "Publisher-to-store latency measured from hts stamps",
+    "fleet_rollup": "Fleet-wide streaming aggregate of one metric",
+    "job_up": "1 while the job stream is live (0 finished or stale)",
+    "job_rollup": "Per-job streaming aggregate of one metric",
+    "node_rollup": "Per-node streaming aggregate of one metric",
+    "node_stale": "1 when the node is past the staleness horizon",
+}
+
+#: the aggregates each rollup family exposes per metric.
+_AGGS = ("avg", "min", "max", "last")
+
+
+class FleetStore:
+    """Live multi-job aggregates with an in-process query API."""
+
+    def __init__(
+        self,
+        resolution: float = 0.05,
+        host_resolution: float = 1.0,
+        buckets: int = 512,
+        max_metrics: int = 64,
+        stale_after: float = DEFAULT_STALE_AFTER,
+        clock: Callable[[], float] = _time.time,
+    ) -> None:
+        self.clock = clock
+        self.started_at = clock()
+        self.resolution = resolution
+        self.host_resolution = host_resolution
+        self.buckets = buckets
+        self.max_metrics = max_metrics
+        self.registry = FleetRegistry(stale_after=stale_after, clock=clock)
+        self._lock = threading.RLock()
+        self._job_rollups: Dict[str, RollupSet] = {}
+        self._node_rollups: Dict[str, RollupSet] = {}
+        self.fleet_rollups = RollupSet(
+            host_resolution, buckets, max_metrics
+        )
+        #: ingest accounting.
+        self.records = 0
+        self.samples = 0
+        self.points = 0
+        self.parse_errors = 0
+        self.dropped = 0
+        self.lag = StatWindow()
+        self.connections = 0
+
+    # -- ingest accounting (called by transports) -------------------------
+
+    def note_parse_error(self, n: int = 1) -> None:
+        with self._lock:
+            self.parse_errors += n
+
+    def note_connection(self, delta: int) -> None:
+        with self._lock:
+            self.connections += delta
+
+    # -- ingest -----------------------------------------------------------
+
+    def ingest(self, record: Dict[str, Any]) -> bool:
+        """Fold one parsed wire record in; False when refused.
+
+        Refusal is bookkeeping, never an exception: unknown kinds and
+        job-scoped records without a job id bump ``dropped``.
+        """
+        kind = record.get("kind")
+        job = record.get("job")
+        if not isinstance(job, str) or not job:
+            with self._lock:
+                self.dropped += 1
+            return False
+        with self._lock:
+            self.records += 1
+            hts = record.get("hts")
+            if isinstance(hts, (int, float)):
+                self.lag.observe(max(0.0, self.clock() - float(hts)),
+                                 self.clock())
+            if kind in START_KINDS:
+                meta = record.get("meta")
+                self.registry.job_started(
+                    job,
+                    meta=meta if isinstance(meta, dict) else None,
+                    source=record.get("source"),
+                )
+                return True
+            if kind == "sample":
+                return self._ingest_sample(job, record)
+            if kind == "rank_status":
+                self.registry.rank_status(
+                    job, record.get("rank"), str(record.get("status"))
+                )
+                return True
+            if kind in END_KINDS:
+                ranks = record.get("ranks")
+                self.registry.job_finished(
+                    job,
+                    status=record.get("status"),
+                    wallclock=record.get("wallclock"),
+                    attempts=record.get("attempts"),
+                    from_cache=record.get("from_cache"),
+                    error=record.get("error"),
+                    ranks=ranks if isinstance(ranks, dict) else None,
+                )
+                return True
+            self.dropped += 1
+            return False
+
+    def _ingest_sample(self, job: str, record: Dict[str, Any]) -> bool:
+        points = record.get("points")
+        if not isinstance(points, list):
+            self.dropped += 1
+            return False
+        job_record = self.registry.job_seen(job)
+        job_record.samples += 1
+        self.samples += 1
+        t = record.get("t")
+        t = float(t) if isinstance(t, (int, float)) else 0.0
+        host_t = self.clock() - self.started_at
+        job_set = self._job_rollups.get(job)
+        if job_set is None:
+            job_set = self._job_rollups[job] = RollupSet(
+                self.resolution, self.buckets, self.max_metrics
+            )
+        for point in points:
+            if not isinstance(point, dict):
+                continue
+            name = point.get("name")
+            value = point.get("value")
+            if not isinstance(name, str) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            value = float(value)
+            job_record.points += 1
+            self.points += 1
+            job_set.observe(name, t, value)
+            self.fleet_rollups.observe(name, host_t, value)
+            labels = point.get("labels")
+            node = labels.get("node") if isinstance(labels, dict) else None
+            if isinstance(node, str) and node:
+                job_record.nodes.add(node)
+                self.registry.node_seen(node, job)
+                node_set = self._node_rollups.get(node)
+                if node_set is None:
+                    node_set = self._node_rollups[node] = RollupSet(
+                        self.host_resolution, self.buckets, self.max_metrics
+                    )
+                node_set.observe(name, host_t, value)
+        return True
+
+    # -- queries ----------------------------------------------------------
+
+    def jobs_summary(self) -> Dict[str, Any]:
+        with self._lock:
+            now = self.clock()
+            return {
+                "counts": self.registry.counts(now),
+                "jobs": [
+                    r.summary(stale=self.registry.job_is_stale(r, now))
+                    for r in self.registry.jobs()
+                ],
+            }
+
+    def job_rollups(
+        self, job: str, resolution: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """One job's registry state + rollups; None for unknown jobs.
+
+        ``resolution`` downsamples the returned series on read (it
+        must be coarser than the store's native resolution to have an
+        effect); retention is untouched.
+        """
+        with self._lock:
+            record = self.registry.job(job)
+            if record is None:
+                return None
+            rollups = self._job_rollups.get(job)
+            out = record.summary(
+                stale=self.registry.job_is_stale(record)
+            )
+            out["resolution"] = (
+                resolution
+                if resolution and resolution > self.resolution
+                else self.resolution
+            )
+            out["metrics"] = (
+                rollups.snapshot(resolution) if rollups is not None else {}
+            )
+            if rollups is not None:
+                out["metrics_dropped"] = rollups.dropped_names
+            return out
+
+    def node_summary(
+        self, node: str, resolution: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self.registry.node(node)
+            if record is None:
+                return None
+            rollups = self._node_rollups.get(node)
+            out = record.summary(
+                stale=self.registry.node_is_stale(record)
+            )
+            out["metrics"] = (
+                rollups.snapshot(resolution) if rollups is not None else {}
+            )
+            return out
+
+    def nodes_summary(self) -> Dict[str, Any]:
+        with self._lock:
+            now = self.clock()
+            return {
+                "nodes": [
+                    r.summary(stale=self.registry.node_is_stale(r, now))
+                    for r in self.registry.nodes()
+                ],
+            }
+
+    def fleet_summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime": self.clock() - self.started_at,
+                "counts": self.registry.counts(),
+                "ingest": {
+                    "records": self.records,
+                    "samples": self.samples,
+                    "points": self.points,
+                    "parse_errors": self.parse_errors,
+                    "dropped": self.dropped,
+                    "connections": self.connections,
+                    "lag": self.lag.as_dict(),
+                },
+                "rollup_names_dropped": self._names_dropped(),
+                "metrics": {
+                    name: window.as_dict()
+                    for name, window in self.fleet_rollups.stats().items()
+                },
+            }
+
+    def _names_dropped(self) -> int:
+        total = self.fleet_rollups.dropped_names
+        total += sum(s.dropped_names for s in self._job_rollups.values())
+        total += sum(s.dropped_names for s in self._node_rollups.values())
+        return total
+
+    # -- OpenMetrics exposition -------------------------------------------
+
+    def openmetrics(self) -> str:
+        """The whole fleet as one OpenMetrics scrape body."""
+        with self._lock:
+            now = self.clock()
+            lines: List[str] = []
+
+            def family(name: str, kind: str = "gauge") -> None:
+                lines.append(f"# HELP {name} {FLEET_HELP[name]}")
+                lines.append(f"# TYPE {name} {kind}")
+
+            def metric(
+                name: str, labels: Dict[str, object], value: float
+            ) -> None:
+                if labels:
+                    lbl = ",".join(
+                        f'{k}="{escape_label_value(str(v))}"'
+                        for k, v in sorted(labels.items())
+                    )
+                    lines.append(f"{name}{{{lbl}}} {value:.9g}")
+                else:
+                    lines.append(f"{name} {value:.9g}")
+
+            counts = self.registry.counts(now)
+            family("fleet_jobs")
+            for state in ("running", "finished", "stale"):
+                metric("fleet_jobs", {"state": state}, counts[state])
+            family("fleet_nodes")
+            metric("fleet_nodes", {}, counts["nodes"])
+            family("fleet_nodes_stale")
+            metric("fleet_nodes_stale", {}, counts["nodes_stale"])
+            for name, value in (
+                ("fleet_ingest_records_total", self.records),
+                ("fleet_ingest_samples_total", self.samples),
+                ("fleet_ingest_points_total", self.points),
+                ("fleet_ingest_parse_errors_total", self.parse_errors),
+                ("fleet_ingest_dropped_total", self.dropped),
+                ("fleet_rollup_names_dropped_total", self._names_dropped()),
+            ):
+                family(name, "counter")
+                metric(name, {}, value)
+            family("fleet_ingest_lag_seconds")
+            lag = self.lag.as_dict()
+            for agg in _AGGS:
+                metric("fleet_ingest_lag_seconds", {"agg": agg}, lag[agg])
+
+            family("fleet_rollup")
+            for name, window in self.fleet_rollups.stats().items():
+                stats = window.as_dict()
+                for agg in _AGGS:
+                    metric(
+                        "fleet_rollup",
+                        {"metric": name, "agg": agg},
+                        stats[agg],
+                    )
+
+            family("job_up")
+            for record in self.registry.jobs():
+                live = (
+                    record.state == "running"
+                    and not self.registry.job_is_stale(record, now)
+                )
+                metric("job_up", {"job": record.job}, 1.0 if live else 0.0)
+            family("job_rollup")
+            for job in sorted(self._job_rollups):
+                for name, window in self._job_rollups[job].stats().items():
+                    stats = window.as_dict()
+                    for agg in _AGGS:
+                        metric(
+                            "job_rollup",
+                            {"job": job, "metric": name, "agg": agg},
+                            stats[agg],
+                        )
+
+            family("node_stale")
+            for record in self.registry.nodes():
+                metric(
+                    "node_stale",
+                    {"node": record.node},
+                    1.0 if self.registry.node_is_stale(record, now) else 0.0,
+                )
+            family("node_rollup")
+            for node in sorted(self._node_rollups):
+                for name, window in self._node_rollups[node].stats().items():
+                    stats = window.as_dict()
+                    for agg in _AGGS:
+                        metric(
+                            "node_rollup",
+                            {"node": node, "metric": name, "agg": agg},
+                            stats[agg],
+                        )
+            lines.append("# EOF")
+            return "\n".join(lines) + "\n"

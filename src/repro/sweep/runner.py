@@ -71,6 +71,7 @@ from repro.errors import (
 from repro.faults.retry import RetriesExhausted, retry_with_backoff
 from repro.simt.random import RngStreams
 from repro.simt.simulator import LivenessLimits
+from repro.sweep import events as _events
 from repro.sweep.cache import ResultCache, pickle_report
 from repro.sweep.journal import SweepJournal
 from repro.sweep.report import SweepReport, SweepResult
@@ -100,6 +101,7 @@ def execute_spec_json(
     spec_json: str,
     want_xml: bool,
     liveness: Optional[LivenessLimits] = None,
+    fleet: Optional[Tuple[object, str]] = None,
 ) -> _WorkerOut:
     """Run one spec from its JSON form (the worker-side entry point).
 
@@ -107,12 +109,27 @@ def execute_spec_json(
     also the serial path, so both modes share one code path and the
     report bytes are produced identically either way.  ``liveness``
     arms the simulator's watchdog (supervised runs only — it is
-    runtime policy, not part of the spec's identity).
+    runtime policy, not part of the spec's identity).  ``fleet`` is a
+    ``(target, job_id)`` pair: when the spec's telemetry is enabled, a
+    :class:`~repro.fleet.sink.FleetSink` streams its samples to the
+    aggregator at ``target`` live.  Both are runtime policy — neither
+    touches the spec's content hash or the report bytes (pinned by
+    test).
     """
     from repro.cluster.jobs import run_job
 
     spec = JobSpec.from_json(spec_json)
-    result = run_job(spec, liveness=liveness)
+    extra_sinks = None
+    if (
+        fleet is not None
+        and spec.ipm is not None
+        and spec.ipm.telemetry.enabled
+    ):
+        from repro.fleet.sink import FleetSink
+
+        target, job_id = fleet
+        extra_sinks = [FleetSink(target, job_id, source="sweep")]
+    result = run_job(spec, liveness=liveness, extra_sinks=extra_sinks)
     report_pickle = b""
     xml_text: Optional[str] = None
     if result.report is not None:
@@ -174,6 +191,14 @@ class SweepRunner:
         status transition; ``resume=True`` (with a cache) re-runs only
         specs that never reached ``ok`` and quarantines specs with
         ``quarantine_after``+ recorded failures.
+    ``fleet``
+        a fleet aggregator's ingest address (``"host:port"``): per-spec
+        lifecycle records (start/finish/status/attempts) stream there
+        live, and specs whose telemetry is enabled additionally attach
+        a :class:`~repro.fleet.sink.FleetSink` so their samples stream
+        too.  Observability only — it does not change which specs run,
+        the cache keys, or any report byte.  ``fleet`` does *not* flip
+        the runner into supervised mode.
     """
 
     def __init__(
@@ -190,6 +215,7 @@ class SweepRunner:
         liveness: Optional[LivenessLimits] = None,
         journal: Optional[SweepJournal] = None,
         resume: bool = False,
+        fleet: Optional[str] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
@@ -222,6 +248,11 @@ class SweepRunner:
             journal = SweepJournal.for_cache(cache)
         self.journal = journal
         self.resume = resume
+        #: fleet aggregator ingest address ("host:port") — lifecycle
+        #: records stream there and workers attach FleetSinks; pure
+        #: observability, results stay byte-identical (pinned by test).
+        self.fleet = fleet
+        self._fleet_client = None
         #: lazily-created persistent worker pool; reused across run()
         #: calls so repeated sweeps skip child start-up entirely.
         self._pool: Optional[WarmWorkerPool] = None
@@ -268,6 +299,29 @@ class SweepRunner:
         """Gracefully shut down the persistent worker pool."""
         if self._pool is not None:
             self._pool.close()
+        if self._fleet_client is not None:
+            self._fleet_client.close()
+            self._fleet_client = None
+
+    # -- lifecycle events --------------------------------------------------
+
+    def _notify(self, record: Dict[str, object]) -> None:
+        """Publish one lifecycle record (log always, fleet when set)."""
+        _events.log_event(record)
+        if self.fleet is None:
+            return
+        client = self._fleet_client
+        if client is None:
+            from repro.fleet.sink import LineClient
+
+            client = self._fleet_client = LineClient(
+                self.fleet, label="sweep lifecycle"
+            )
+        client.send(record)
+
+    def _fleet_item(self, key: str) -> Optional[Tuple[str, str]]:
+        """The (target, job) pair a worker needs to attach a FleetSink."""
+        return (self.fleet, key) if self.fleet is not None else None
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -317,6 +371,10 @@ class SweepRunner:
                     from_cache=True,
                     attempts=0,
                 )
+                self._notify(_events.spec_finish(
+                    key, "ok", attempts=0, from_cache=True,
+                    wallclock=record.wallclock,
+                ))
             else:
                 unique[key] = spec
 
@@ -389,7 +447,12 @@ class SweepRunner:
         for key, spec in pending.items():
             if key in done:
                 continue
-            done[key] = _Settled(self._run_one(spec, want_xml), False)
+            self._notify(_events.spec_start(key))
+            settled = _Settled(self._run_one(spec, want_xml, key), False)
+            done[key] = settled
+            self._notify(_events.spec_finish(
+                key, "ok", wallclock=settled.payload[1]
+            ))
         return "serial"
 
     def _run_pool(
@@ -401,9 +464,11 @@ class SweepRunner:
         todo = {k: s for k, s in pending.items() if k not in done}
         pool = self._ensure_pool(len(todo))
         items = [
-            (key, spec.to_json(), want_xml, None)
+            (key, spec.to_json(), want_xml, None, self._fleet_item(key))
             for key, spec in todo.items()
         ]
+        for key in todo:
+            self._notify(_events.spec_start(key))
         results = pool.run_batch(items)
         failed: Optional[Tuple[str, Optional[str]]] = None
         for key in todo:
@@ -411,6 +476,9 @@ class SweepRunner:
             if status == "ok" and payload is not None:
                 self._store(todo[key], payload)
                 done[key] = _Settled(tuple(payload), False)
+                self._notify(_events.spec_finish(
+                    key, "ok", wallclock=payload[1]
+                ))
             elif failed is None:
                 failed = (key, error)
         if failed is not None:
@@ -423,8 +491,10 @@ class SweepRunner:
                 f"spec {failed[0][:12]} failed in warm worker: {failed[1]}"
             )
 
-    def _run_one(self, spec: JobSpec, want_xml: bool) -> _WorkerOut:
-        payload = execute_spec_json(spec.to_json(), want_xml)
+    def _run_one(self, spec: JobSpec, want_xml: bool, key: str) -> _WorkerOut:
+        payload = execute_spec_json(
+            spec.to_json(), want_xml, fleet=self._fleet_item(key)
+        )
         self._store(spec, payload)
         return payload
 
@@ -461,6 +531,9 @@ class SweepRunner:
                     _EMPTY_OUT, False,
                     status="quarantined", error=str(exc), attempts=0,
                 )
+                self._notify(_events.spec_finish(
+                    key, "quarantined", attempts=0, error=str(exc)
+                ))
             else:
                 runnable[key] = spec
         serial = self.mode == "serial" or self.workers <= 1 or len(runnable) <= 1
@@ -499,6 +572,7 @@ class SweepRunner:
         want_xml = self.cache is not None
         if self.journal is not None:
             self.journal.record(key, "start")
+        self._notify(_events.spec_start(key))
         attempts = [0]
 
         def one_attempt() -> _Outcome:
@@ -527,6 +601,13 @@ class SweepRunner:
             self.journal.record(
                 key, outcome.status, attempt=attempts[0], error=outcome.error
             )
+        self._notify(_events.spec_finish(
+            key,
+            outcome.status,
+            attempts=attempts[0],
+            wallclock=outcome.payload[1] if outcome.payload else None,
+            error=outcome.error,
+        ))
         if outcome.status == "ok":
             self._store(spec, outcome.payload)
             return _Settled(outcome.payload, False, attempts=attempts[0])
@@ -538,7 +619,7 @@ class SweepRunner:
     def _attempt(self, spec: JobSpec, key: str, want_xml: bool) -> _Outcome:
         """One attempt, contained.  Never raises."""
         if self.mode == "serial":
-            return self._attempt_inline(spec, want_xml)
+            return self._attempt_inline(spec, key, want_xml)
         try:
             return self._attempt_warm(spec, key, want_xml)
         except (OSError, WorkerPoolBroken):
@@ -550,12 +631,15 @@ class SweepRunner:
             # ...): degrade to the in-process attempt — crashes are
             # still contained, hard wall-clock hangs are not
             # (documented limitation).
-            return self._attempt_inline(spec, want_xml)
+            return self._attempt_inline(spec, key, want_xml)
 
-    def _attempt_inline(self, spec: JobSpec, want_xml: bool) -> _Outcome:
+    def _attempt_inline(
+        self, spec: JobSpec, key: str, want_xml: bool
+    ) -> _Outcome:
         try:
             payload = execute_spec_json(
-                spec.to_json(), want_xml, liveness=self.liveness
+                spec.to_json(), want_xml, liveness=self.liveness,
+                fleet=self._fleet_item(key),
             )
         except Exception as exc:
             return _Outcome(
@@ -579,7 +663,8 @@ class SweepRunner:
         healthy = False
         try:
             worker.conn.send(
-                [(key, spec.to_json(), want_xml, self.liveness)]
+                [(key, spec.to_json(), want_xml, self.liveness,
+                  self._fleet_item(key))]
             )
             # poll(None) blocks until a message arrives or the worker
             # dies (EOF also makes the pipe readable).

@@ -8,8 +8,8 @@ in tens of milliseconds, process start-up dominated wall-clock.
 A :class:`WarmWorkerPool` keeps long-lived child processes around
 instead: each worker imports the simulation stack **once**, then
 serves batches of specs over its pipe until told to stop.  The parent
-distributes work as ``(tag, spec_json, want_xml, liveness)`` tuples
-and reads back ``(tag, status, payload, error)`` messages — the same
+distributes work as ``(tag, spec_json, want_xml, liveness, fleet)``
+tuples and reads back ``(tag, status, payload, error)`` messages — the same
 per-attempt protocol the supervised runner's one-shot children spoke,
 so supervision (timeout kill, crash containment, journal, resume)
 composes unchanged on top.
@@ -33,8 +33,8 @@ import multiprocessing
 import queue as _queue
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-#: one unit of work: (tag, spec_json, want_xml, liveness).
-WorkItem = Tuple[Any, str, bool, Any]
+#: one unit of work: (tag, spec_json, want_xml, liveness, fleet).
+WorkItem = Tuple[Any, str, bool, Any, Any]
 
 #: one finished unit: (tag, status, payload, error).
 ItemResult = Tuple[Any, str, Optional[tuple], Optional[str]]
@@ -64,10 +64,10 @@ def _serve(conn) -> None:
             break  # parent died or hung up: self-terminate
         if batch is None:
             break
-        for tag, spec_json, want_xml, liveness in batch:
+        for tag, spec_json, want_xml, liveness, fleet in batch:
             try:
                 payload = runner_mod.execute_spec_json(
-                    spec_json, want_xml, liveness=liveness
+                    spec_json, want_xml, liveness=liveness, fleet=fleet
                 )
                 msg: ItemResult = (tag, "ok", payload, None)
             except BaseException as exc:  # noqa: BLE001 - containment

@@ -28,6 +28,42 @@ from repro.telemetry.series import LabelSet, SamplePoint
 
 JSONL_SCHEMA = "ipm-repro/telemetry-jsonl/v1"
 
+#: ``# HELP`` text per known series family.  Exposition only emits a
+#: HELP line for names listed here — ad-hoc series stay TYPE-only,
+#: which the OpenMetrics spec allows.
+METRIC_HELP: Dict[str, str] = {
+    "ipm_events_per_sec": "Monitored events per second of one rank",
+    "ipm_errors_per_sec": "Monitored-call errors per second of one rank",
+    "ipm_errors_total": "Cumulative monitored-call errors of one rank",
+    "ipm_mpi_fraction": "Fraction of wall time one rank spent in MPI",
+    "ipm_gpu_busy_fraction": "Fraction of wall time one rank kept a kernel running",
+    "ipm_host_idle_fraction": "Fraction of wall time one rank idled in implicit blocking",
+    "ipm_copy_h2d_bytes_per_sec": "Host-to-device memcpy bytes per second of one rank",
+    "ipm_copy_d2h_bytes_per_sec": "Device-to-host memcpy bytes per second of one rank",
+    "ipm_launches_per_sec": "Kernel launches per second of one rank",
+    "ipm_hash_occupancy": "Fill fraction of one rank's performance hash table",
+    "ipm_hash_collisions_total": "Cumulative hash-table collisions of one rank",
+    "gpu_busy_fraction": "Compute-engine busy fraction of one GPU",
+    "gpu_kernels_per_sec": "Kernels retired per second on one GPU",
+    "gpu_copy_h2d_bytes_per_sec": "Host-to-device copy-engine bytes per second of one GPU",
+    "gpu_copy_d2h_bytes_per_sec": "Device-to-host copy-engine bytes per second of one GPU",
+    "node_gpu_busy_fraction": "Mean compute-engine busy fraction across one node's GPUs",
+    "node_events_per_sec": "Monitored events per second summed over one node's ranks",
+    "node_mpi_fraction": "Mean MPI time fraction across one node's ranks",
+    "node_host_idle_fraction": "Mean host-idle fraction across one node's ranks",
+}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the OpenMetrics text exposition spec.
+
+    Backslash, double quote and line feed are the three characters the
+    spec requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
 
 class TelemetrySink(Protocol):
     """What the sampler requires of a sink."""
@@ -159,15 +195,26 @@ class OpenMetricsSink:
         self.ticks += 1
 
     def expose(self) -> str:
-        """The exposition body (gauge families, ``# EOF`` terminated)."""
+        """The exposition body (gauge families, ``# EOF`` terminated).
+
+        Per the OpenMetrics text format: one ``# HELP`` (when the
+        family is a known series, :data:`METRIC_HELP`) and ``# TYPE``
+        line per family, label values escaped via
+        :func:`escape_label_value`.
+        """
         lines: List[str] = []
         current_family = None
         for (name, labels), (value, t) in sorted(self._latest.items()):
             if name != current_family:
+                help_text = METRIC_HELP.get(name)
+                if help_text is not None:
+                    lines.append(f"# HELP {name} {help_text}")
                 lines.append(f"# TYPE {name} gauge")
                 current_family = name
             if labels:
-                lbl = ",".join(f'{k}="{v}"' for k, v in labels)
+                lbl = ",".join(
+                    f'{k}="{escape_label_value(v)}"' for k, v in labels
+                )
                 lines.append(f"{name}{{{lbl}}} {value:.9g} {t:.6f}")
             else:
                 lines.append(f"{name} {value:.9g} {t:.6f}")

@@ -1,0 +1,144 @@
+"""`python -m repro`: report --json, fleet serve/query, sweep --fleet."""
+
+import json
+import threading
+import time
+
+from repro import IpmConfig, JobSpec, run_job
+from repro.__main__ import EXIT_BAD_INPUT, EXIT_OK, main
+from repro.core import write_xml
+
+
+def wait_until(cond, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(interval)
+    return cond()
+
+
+def telemetry_spec(seed):
+    return {
+        "app": "square", "ntasks": 2, "seed": seed,
+        "ipm": {
+            "__config__": "IpmConfig",
+            "telemetry": {
+                "__config__": "TelemetryConfig",
+                "enabled": True,
+                "sinks": ["memory"],
+            },
+        },
+    }
+
+
+class TestReportJson:
+    def test_json_flag_emits_machine_readable_summary(self, tmp_path, capsys):
+        res = run_job(JobSpec(app="square", ntasks=2, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        assert main(["report", str(xml), "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ntasks"] == 2
+        assert payload["complete"] is True
+        assert payload["wallclock"] > 0
+        assert payload["regions"]
+        assert {"name", "count", "total", "avg"} <= set(
+            payload["regions"][0]
+        )
+
+    def test_top_limits_the_region_list(self, tmp_path, capsys):
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        assert main(["report", str(xml), "--json", "--top", "1"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["regions"]) == 1
+
+
+class TestFleetServe:
+    def test_short_serve_announces_and_exits_cleanly(self, tmp_path, capsys):
+        announce = tmp_path / "endpoints.json"
+        code = main([
+            "fleet", "serve", "--ingest", "127.0.0.1:0",
+            "--http", "127.0.0.1:0", "--announce", str(announce),
+            "--duration", "0.2",
+        ])
+        assert code == EXIT_OK
+        endpoints = json.loads(announce.read_text())
+        assert set(endpoints) == {"ingest", "http", "url"}
+        assert not endpoints["ingest"].endswith(":0")  # port resolved
+        out = capsys.readouterr().out
+        assert "ingest on" in out and "stopped after" in out
+
+    def test_bad_bind_address_is_exit_2(self, capsys):
+        assert main([
+            "fleet", "serve", "--ingest", "not-an-address",
+            "--duration", "0.1",
+        ]) == EXIT_BAD_INPUT
+        assert "bad input" in capsys.readouterr().err
+
+
+class TestFleetQuery:
+    def test_unreachable_server_is_exit_2(self, capsys):
+        assert main([
+            "fleet", "query", "127.0.0.1:1", "/jobs",
+        ]) == EXIT_BAD_INPUT
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestSweepFleetRoundTrip:
+    """The CI smoke, in-process: serve + sweep --fleet + query."""
+
+    def test_sweep_streams_and_queries_serve_rollups(self, tmp_path, capsys):
+        specs = tmp_path / "specs.json"
+        specs.write_text(json.dumps(
+            [telemetry_spec(s) for s in (1, 2)]
+        ), encoding="utf-8")
+        announce = tmp_path / "endpoints.json"
+        serve_exit = []
+        server = threading.Thread(
+            target=lambda: serve_exit.append(main([
+                "fleet", "serve", "--ingest", "127.0.0.1:0",
+                "--http", "127.0.0.1:0", "--announce", str(announce),
+                "--duration", "6",
+            ])),
+            daemon=True,
+        )
+        server.start()
+        try:
+            assert wait_until(announce.exists)
+            endpoints = json.loads(announce.read_text())
+            capsys.readouterr()  # drain the serve banner
+
+            assert main([
+                "sweep", str(specs), "--mode", "serial",
+                "--fleet", endpoints["ingest"],
+            ]) == EXIT_OK
+            capsys.readouterr()
+
+            assert main([
+                "fleet", "query", endpoints["http"], "/jobs",
+            ]) == EXIT_OK
+            jobs = json.loads(capsys.readouterr().out)
+            assert jobs["counts"]["finished"] == 2
+            assert all(row["status"] == "ok" for row in jobs["jobs"])
+
+            job = jobs["jobs"][0]["job"]
+            assert main([
+                "fleet", "query", endpoints["http"],
+                f"/jobs/{job}/rollups", "--resolution", "0.5",
+            ]) == EXIT_OK
+            rollups = json.loads(capsys.readouterr().out)
+            assert rollups["resolution"] == 0.5
+            assert "gpu_busy_fraction" in rollups["metrics"]
+
+            assert main([
+                "fleet", "query", endpoints["url"], "/metrics",
+            ]) == EXIT_OK
+            metrics = capsys.readouterr().out
+            assert "# EOF" in metrics
+            assert 'fleet_jobs{state="finished"} 2' in metrics
+        finally:
+            server.join(30.0)
+        assert serve_exit == [EXIT_OK]  # clean shutdown at --duration

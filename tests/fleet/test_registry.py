@@ -1,0 +1,101 @@
+"""Job/node liveness: transitions and publish-interval staleness."""
+
+import pytest
+
+from repro.fleet.registry import FleetRegistry
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def reg(clock):
+    return FleetRegistry(stale_after=10.0, clock=clock)
+
+
+class TestJobLifecycle:
+    def test_started_then_finished(self, reg):
+        reg.job_started("j1", meta={"app": "hpl"}, source="job")
+        record = reg.job("j1")
+        assert record.state == "running"
+        reg.job_finished("j1", status="ok", wallclock=2.5, attempts=1,
+                         from_cache=False)
+        assert record.state == "finished"
+        assert record.status == "ok"
+        assert record.wallclock == 2.5
+
+    def test_restart_reopens_and_merges_meta(self, reg):
+        reg.job_started("j1", meta={"a": 1})
+        reg.job_finished("j1", status="crashed")
+        reg.job_started("j1", meta={"b": 2})
+        record = reg.job("j1")
+        assert record.state == "running"
+        assert record.meta == {"a": 1, "b": 2}
+
+    def test_rank_status_accumulates(self, reg):
+        reg.rank_status("j1", 0, "aborted")
+        reg.rank_status("j1", 1, "stalled")
+        assert reg.job("j1").ranks == {"0": "aborted", "1": "stalled"}
+
+    def test_summary_is_json_ready(self, reg):
+        import json
+
+        reg.job_started("j1", meta={"app": "hpl"})
+        json.dumps(reg.job("j1").summary(stale=False))
+
+
+class TestStaleness:
+    def test_running_job_goes_stale_past_horizon(self, reg, clock):
+        reg.job_started("j1")
+        record = reg.job("j1")
+        assert not reg.job_is_stale(record)
+        clock.t += 10.1
+        assert reg.job_is_stale(record)
+        assert [r.job for r in reg.stale_jobs()] == ["j1"]
+
+    def test_finished_job_is_never_stale(self, reg, clock):
+        reg.job_started("j1")
+        reg.job_finished("j1", status="ok")
+        clock.t += 100.0
+        assert not reg.job_is_stale(reg.job("j1"))
+
+    def test_publish_refreshes_the_horizon(self, reg, clock):
+        reg.job_started("j1")
+        clock.t += 8.0
+        reg.job_seen("j1")
+        clock.t += 8.0
+        assert not reg.job_is_stale(reg.job("j1"))  # only 8s since last
+
+    def test_node_staleness(self, reg, clock):
+        reg.node_seen("dirac01", "j1")
+        clock.t += 10.1
+        assert reg.node_is_stale(reg.node("dirac01"))
+        assert [r.node for r in reg.stale_nodes()] == ["dirac01"]
+
+    def test_counts_histogram(self, reg, clock):
+        reg.job_started("live")
+        reg.job_started("done")
+        reg.job_finished("done", status="ok")
+        reg.job_started("quiet")
+        clock.t += 10.1
+        reg.job_seen("live")  # refresh
+        reg.node_seen("dirac01")
+        counts = reg.counts()
+        assert counts == {
+            "running": 1, "finished": 1, "stale": 1,
+            "nodes": 1, "nodes_stale": 0,
+        }
+
+    def test_stale_after_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            FleetRegistry(stale_after=0, clock=clock)

@@ -1,0 +1,127 @@
+"""Streaming rollups: windows, bucket rings, downsampling, name caps."""
+
+import pytest
+
+from repro.fleet.rollup import MetricRollup, RollupRing, RollupSet, StatWindow
+
+
+class TestStatWindow:
+    def test_empty_window_is_all_zero(self):
+        w = StatWindow()
+        assert w.as_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "avg": 0.0, "last": 0.0,
+        }
+
+    def test_observe_tracks_min_max_avg_last(self):
+        w = StatWindow()
+        for i, v in enumerate([3.0, 1.0, 2.0]):
+            w.observe(v, t=float(i))
+        d = w.as_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert d["avg"] == pytest.approx(2.0)
+        assert d["last"] == 2.0
+
+    def test_negative_values_do_not_clamp_to_zero(self):
+        w = StatWindow()
+        w.observe(-5.0)
+        assert w.min == -5.0 and w.max == -5.0
+
+    def test_merge_combines_and_keeps_latest_last(self):
+        a, b = StatWindow(), StatWindow()
+        a.observe(1.0, t=1.0)
+        b.observe(9.0, t=5.0)
+        b.observe(3.0, t=6.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 1.0 and a.max == 9.0
+        assert a.last == 3.0  # b's last_t is newer
+
+    def test_merge_with_empty_is_identity(self):
+        a = StatWindow()
+        a.observe(2.0, t=1.0)
+        before = a.as_dict()
+        a.merge(StatWindow())
+        assert a.as_dict() == before
+
+
+class TestRollupRing:
+    def test_points_land_in_resolution_buckets(self):
+        ring = RollupRing(resolution=1.0, capacity=8)
+        ring.observe(0.2, 1.0)
+        ring.observe(0.9, 3.0)
+        ring.observe(1.1, 5.0)
+        buckets = ring.buckets()
+        assert [t for t, _ in buckets] == [0.0, 1.0]
+        assert buckets[0][1].count == 2
+        assert buckets[0][1].max == 3.0
+
+    def test_capacity_evicts_oldest_bucket(self):
+        ring = RollupRing(resolution=1.0, capacity=3)
+        for t in range(5):
+            ring.observe(float(t), 1.0)
+        assert [t for t, _ in ring.buckets()] == [2.0, 3.0, 4.0]
+
+    def test_late_point_past_oldest_bucket_is_counted_dropped(self):
+        ring = RollupRing(resolution=1.0, capacity=2)
+        for t in (0.0, 1.0, 2.0):
+            ring.observe(t, 1.0)
+        assert not ring.observe(0.5, 1.0)  # bucket 0 already evicted
+        assert ring.dropped_late == 1
+
+    def test_out_of_order_within_retention_updates_in_place(self):
+        ring = RollupRing(resolution=1.0, capacity=8)
+        ring.observe(0.1, 1.0)
+        ring.observe(2.0, 1.0)
+        assert ring.observe(0.5, 7.0)  # bucket 0 still retained
+        assert ring.buckets()[0][1].max == 7.0
+
+    def test_series_downsamples_on_read_only(self):
+        ring = RollupRing(resolution=1.0, capacity=16)
+        for t in range(4):
+            ring.observe(float(t), float(t))
+        coarse = ring.series(resolution=2.0)
+        assert [b["t"] for b in coarse] == [0.0, 2.0]
+        assert coarse[0]["count"] == 2 and coarse[0]["max"] == 1.0
+        assert len(ring) == 4  # retention untouched
+
+    def test_series_finer_than_native_returns_native(self):
+        ring = RollupRing(resolution=1.0, capacity=8)
+        ring.observe(0.0, 1.0)
+        assert ring.series(0.25) == ring.series()
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RollupRing(resolution=0)
+        with pytest.raises(ValueError):
+            RollupRing(capacity=0)
+        with pytest.raises(ValueError):
+            RollupRing().series(-1.0)
+
+
+class TestRollupSet:
+    def test_snapshot_has_stats_and_series_per_metric(self):
+        rs = RollupSet(resolution=1.0)
+        rs.observe("a", 0.5, 2.0)
+        rs.observe("a", 1.5, 4.0)
+        snap = rs.snapshot()
+        assert snap["a"]["stats"]["count"] == 2
+        assert len(snap["a"]["series"]) == 2
+
+    def test_metric_name_cap_is_counted_never_silent(self):
+        rs = RollupSet(max_metrics=2)
+        assert rs.observe("a", 0.0, 1.0)
+        assert rs.observe("b", 0.0, 1.0)
+        assert not rs.observe("c", 0.0, 1.0)
+        assert rs.dropped_names == 1
+        assert rs.names() == ["a", "b"]
+        # existing names keep folding after the cap trips
+        assert rs.observe("a", 1.0, 2.0)
+
+    def test_metric_rollup_snapshot_passes_resolution_through(self):
+        m = MetricRollup(resolution=1.0, capacity=8)
+        for t in range(4):
+            m.observe(float(t), 1.0)
+        assert len(m.snapshot(2.0)["series"]) == 2

@@ -1,0 +1,111 @@
+"""The HTTP query API: routes, content types, error handling."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fleet.server import OPENMETRICS_CONTENT_TYPE, FleetHttpServer
+from repro.fleet.store import FleetStore
+
+
+@pytest.fixture
+def served():
+    store = FleetStore()
+    store.ingest({"kind": "job_start", "job": "j1", "meta": {"app": "hpl"}})
+    store.ingest({
+        "kind": "sample", "job": "j1", "t": 0.02,
+        "points": [{"name": "gpu_busy_fraction",
+                    "labels": {"node": "dirac01"}, "value": 0.5}],
+    })
+    server = FleetHttpServer(store).start()
+    yield store, server.url
+    server.stop()
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+def get_json(url):
+    status, ctype, body = get(url)
+    assert ctype.startswith("application/json")
+    return status, json.loads(body)
+
+
+class TestRoutes:
+    def test_metrics_is_openmetrics_text(self, served):
+        _, url = served
+        status, ctype, body = get(url + "/metrics")
+        assert status == 200
+        assert ctype == OPENMETRICS_CONTENT_TYPE
+        assert body.decode().endswith("# EOF\n")
+
+    def test_healthz(self, served):
+        _, url = served
+        assert get_json(url + "/healthz") == (200, {"ok": True})
+
+    def test_root_and_fleet_serve_the_summary(self, served):
+        _, url = served
+        for path in ("/", "/fleet"):
+            status, payload = get_json(url + path)
+            assert status == 200
+            assert payload["ingest"]["samples"] == 1
+
+    def test_jobs_listing_and_detail(self, served):
+        _, url = served
+        status, payload = get_json(url + "/jobs")
+        assert status == 200
+        assert [j["job"] for j in payload["jobs"]] == ["j1"]
+        for path in ("/jobs/j1", "/jobs/j1/rollups"):
+            status, detail = get_json(url + path)
+            assert status == 200
+            assert "gpu_busy_fraction" in detail["metrics"]
+
+    def test_rollups_resolution_query_parameter(self, served):
+        store, url = served
+        store.ingest({
+            "kind": "sample", "job": "j1", "t": 0.08,
+            "points": [{"name": "gpu_busy_fraction", "labels": {},
+                        "value": 1.0}],
+        })
+        _, fine = get_json(url + "/jobs/j1/rollups")
+        _, coarse = get_json(url + "/jobs/j1/rollups?resolution=0.5")
+        assert len(coarse["metrics"]["gpu_busy_fraction"]["series"]) < \
+               len(fine["metrics"]["gpu_busy_fraction"]["series"])
+
+    def test_nodes_listing_and_detail(self, served):
+        _, url = served
+        status, payload = get_json(url + "/nodes")
+        assert [n["node"] for n in payload["nodes"]] == ["dirac01"]
+        status, detail = get_json(url + "/nodes/dirac01")
+        assert status == 200
+        assert detail["jobs"] == ["j1"]
+
+
+class TestErrors:
+    def expect(self, url, code):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url)
+        assert err.value.code == code
+        return json.loads(err.value.read())
+
+    def test_unknown_job_and_node_are_json_404(self, served):
+        _, url = served
+        assert "unknown job" in self.expect(url + "/jobs/nope", 404)["error"]
+        assert "unknown node" in \
+            self.expect(url + "/nodes/nope", 404)["error"]
+
+    def test_unknown_path_is_json_404(self, served):
+        _, url = served
+        self.expect(url + "/definitely/not/a/route", 404)
+
+    def test_bad_resolution_is_400(self, served):
+        _, url = served
+        for bad in ("abc", "-1", "0"):
+            payload = self.expect(
+                url + f"/jobs/j1/rollups?resolution={bad}", 400
+            )
+            assert "resolution" in payload["error"]

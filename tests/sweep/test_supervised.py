@@ -201,11 +201,11 @@ class TestWorkerDeathContainment:
         real = runner_mod.execute_spec_json
         victim_seed = SPECS[1].seed
 
-        def sabotaged(spec_json, want_xml, liveness=None):
+        def sabotaged(spec_json, want_xml, liveness=None, fleet=None):
             spec = JobSpec.from_json(spec_json)
             if os.getpid() != parent and spec.seed == victim_seed:
                 os._exit(137)  # hard death: no exception, no cleanup
-            return real(spec_json, want_xml, liveness)
+            return real(spec_json, want_xml, liveness, fleet)
 
         # pickle-by-reference must resolve to the sabotaged version in
         # forked pool workers; fork shares the patched module anyway.

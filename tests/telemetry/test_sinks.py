@@ -8,9 +8,11 @@ from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.series import SamplePoint
 from repro.telemetry.sinks import (
     JSONL_SCHEMA,
+    METRIC_HELP,
     JsonlSink,
     MemorySink,
     OpenMetricsSink,
+    escape_label_value,
     make_sinks,
 )
 
@@ -87,6 +89,37 @@ def test_openmetrics_exposition(tmp_path):
     assert text.count("# TYPE gpu_busy_fraction") == 1
     sink.close()
     assert path.read_text() == text
+
+
+@pytest.mark.parametrize("raw, escaped", [
+    ("plain", "plain"),
+    ('say "hi"', 'say \\"hi\\"'),
+    ("back\\slash", "back\\\\slash"),
+    ("two\nlines", "two\\nlines"),
+    ('\\"\n', '\\\\\\"\\n'),
+])
+def test_escape_label_value_per_openmetrics_spec(raw, escaped):
+    assert escape_label_value(raw) == escaped
+
+
+def test_openmetrics_format_pin(tmp_path):
+    """Satellite pin: HELP precedes TYPE; label values are escaped."""
+    sink = OpenMetricsSink(str(tmp_path / "m.prom"))
+    sink.open({})
+    sink.emit(0.5, [
+        _pt(0.5, "gpu_busy_fraction", 0.25, gpu=0),
+        _pt(0.5, "host_idle_fraction", 0.5, host='we"ird\\h\nost'),
+    ])
+    text = sink.expose()
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("# TYPE "):
+            name = line.split()[2]
+            if name in METRIC_HELP:
+                assert lines[i - 1] == f"# HELP {name} {METRIC_HELP[name]}"
+    assert "# HELP gpu_busy_fraction " in text
+    assert 'host_idle_fraction{host="we\\"ird\\\\h\\nost"} 0.5' in text
+    sink.close()
 
 
 def test_make_sinks_from_config(tmp_path):
