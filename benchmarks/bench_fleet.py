@@ -15,6 +15,12 @@ at the acceptance scale:
 * **live sweep** — a real ``SweepRunner(fleet=...)`` run of
   telemetry-enabled specs streaming into the same aggregator, with
   the ``/jobs`` and ``/metrics`` endpoints queried while it drains.
+* **durable replay** — the synthetic workload again, teed into a
+  :class:`repro.fleet.HistoryLog` (``fsync="never"``), then replayed
+  into a fresh store the way ``fleet serve --data-dir`` restarts;
+  measured: ``replay_records_per_sec`` against the live-ingest
+  record rate, plus the on-disk footprint before/after retention
+  compaction.
 
 Results are written to ``BENCH_fleet.json`` at the repository root
 (schema documented in EXPERIMENTS.md §Fleet).
@@ -32,17 +38,20 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
 from typing import Dict, List
 
 from repro import IpmConfig, JobSpec, SweepRunner, TelemetryConfig
-from repro.fleet import FleetAggregator, FleetSink
+from repro.fleet import FleetAggregator, FleetSink, FleetStore, HistoryLog
+from repro.fleet.rollup import DEFAULT_RETENTION_TIERS
 from repro.telemetry.series import SamplePoint
 
-SCHEMA = "ipm-repro/bench-fleet/v1"
+SCHEMA = "ipm-repro/bench-fleet/v2"
 
 #: concurrent synthetic publishers — the acceptance floor is 200.
 JOBS = 200
@@ -173,6 +182,63 @@ def _sweep_phase(jobs: int) -> Dict:
         }
 
 
+def _replay_phase(jobs: int, ticks: int, publishers: int) -> Dict:
+    data_dir = tempfile.mkdtemp(prefix="bench-fleet-history-")
+    try:
+        # live ingest, teed into the history log the way
+        # `fleet serve --data-dir` runs (fsync off to measure the
+        # pipeline, not the disk).
+        with FleetAggregator(
+            data_dir=data_dir, fsync="never", compact_interval=0.0,
+        ) as agg:
+            sinks = [
+                FleetSink(agg.ingest_address, job=f"bench-{i:04d}")
+                for i in range(jobs)
+            ]
+            shards = [sinks[i::publishers] for i in range(publishers)]
+            threads = [
+                threading.Thread(target=_publish, args=(shard, ticks))
+                for shard in shards if shard
+            ]
+            store = agg.store
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            _wait(lambda: store.registry.counts()["finished"] >= jobs)
+            live_s = time.perf_counter() - t0
+            live_records = store.records
+            live_samples = store.samples
+
+        # restart path: a fresh store rebuilt from the log alone.
+        replay_store = FleetStore(tiers=DEFAULT_RETENTION_TIERS)
+        log = HistoryLog(data_dir, fsync="never")
+        t0 = time.perf_counter()
+        replayed = replay_store.attach_history(log)
+        replay_s = time.perf_counter() - t0
+        bytes_before = log.total_bytes()
+        log.rotate()
+        compact_stats = log.compact(retain=0)
+        bytes_after = log.total_bytes()
+        log.close()
+        return {
+            "jobs": jobs,
+            "live_records": live_records,
+            "live_records_per_sec": round(live_records / live_s, 1),
+            "replayed_records": replayed,
+            "replay_seconds": round(replay_s, 3),
+            "replay_records_per_sec": round(replayed / replay_s, 1),
+            "replay_samples_match": replay_store.samples == live_samples,
+            "replay_torn_lines": log.torn_lines,
+            "compacted_segments": compact_stats["segments_compacted"],
+            "disk_bytes_before_compaction": bytes_before,
+            "disk_bytes_after_compaction": bytes_after,
+        }
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
 def run_fleet_bench(jobs: int = JOBS) -> Dict:
     """Measure synthetic ingest + live sweep streaming; returns the dict."""
     if jobs < 2:
@@ -186,6 +252,7 @@ def run_fleet_bench(jobs: int = JOBS) -> Dict:
         "cpu_count": cpu_count,
         "synthetic": _synthetic_phase(jobs, TICKS, PUBLISHERS),
         "sweep": _sweep_phase(SWEEP_JOBS),
+        "replay": _replay_phase(jobs, TICKS, PUBLISHERS),
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
@@ -206,7 +273,7 @@ def write_result(result: Dict, path: str) -> str:
 
 
 def format_result(result: Dict) -> str:
-    syn, swp = result["synthetic"], result["sweep"]
+    syn, swp, rep = result["synthetic"], result["sweep"], result["replay"]
     lag = syn["rollup_lag_avg_seconds"]
     lag_max = syn["rollup_lag_max_seconds"]
     return "\n".join([
@@ -226,6 +293,12 @@ def format_result(result: Dict) -> str:
         f"{swp['streamed_samples']} samples streamed)",
         f"query /jobs [s]     : {swp['jobs_query_seconds']:10.4f}",
         f"query /metrics [s]  : {swp['metrics_query_seconds']:10.4f}",
+        f"history replay      : {rep['replayed_records']:10d} records"
+        f"   ({rep['replay_records_per_sec']:.0f}/s vs "
+        f"{rep['live_records_per_sec']:.0f}/s live)",
+        f"history footprint   : {rep['disk_bytes_before_compaction']:10d}"
+        f" -> {rep['disk_bytes_after_compaction']} bytes"
+        f" ({rep['compacted_segments']} segments compacted)",
     ])
 
 
@@ -243,6 +316,17 @@ def check_result(result: Dict) -> None:
     assert swp["streamed_samples"] > 0
     assert swp["queried_finished"] == swp["jobs"]
     assert swp["metrics_openmetrics_terminated"]
+    rep = result["replay"]
+    assert rep["replayed_records"] == rep["live_records"]
+    assert rep["replay_samples_match"]
+    assert rep["replay_torn_lines"] == 0
+    # restart must never be slower than ingesting the same records
+    # live over sockets.
+    assert rep["replay_records_per_sec"] >= rep["live_records_per_sec"]
+    assert (
+        rep["disk_bytes_after_compaction"]
+        < rep["disk_bytes_before_compaction"]
+    )
 
 
 def main(argv=None) -> int:

@@ -5,8 +5,9 @@ Subcommands::
     python -m repro sweep specs.json --workers 4 --cache .sweep-cache
     python -m repro trace2json --app hpl --out trace.json
     python -m repro report profile.xml --top 12
-    python -m repro fleet serve --http 127.0.0.1:9310
+    python -m repro fleet serve --http 127.0.0.1:9310 --data-dir fleet-data
     python -m repro fleet query 127.0.0.1:9310 /jobs
+    python -m repro fleet compact fleet-data
 
 ``sweep`` executes a batch of :class:`~repro.sweep.spec.JobSpec`
 descriptions (a JSON array, or an object with a ``"specs"`` array)
@@ -16,8 +17,10 @@ running aggregator; ``trace2json`` is the Chrome-trace exporter (also
 still reachable as ``python -m repro.telemetry.trace2json``);
 ``report`` renders the IPM banner from a saved XML log (``--json``
 for the machine-readable form); ``fleet serve`` runs the
-:class:`~repro.fleet.service.FleetAggregator` and ``fleet query``
-fetches one endpoint from a running one.
+:class:`~repro.fleet.service.FleetAggregator` (``--data-dir`` makes
+it durable: restarts replay the on-disk record log), ``fleet query``
+fetches one endpoint from a running one, and ``fleet compact`` is the
+offline retention pass over a durable history directory.
 
 Exit codes (pinned, shared by every subcommand):
 
@@ -160,6 +163,10 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             ingest=args.ingest,
             http=args.http,
             tails=args.tail,
+            data_dir=args.data_dir,
+            retain=args.retain,
+            fsync=args.fsync,
+            compact_interval=args.compact_interval,
             resolution=args.resolution,
             host_resolution=args.host_resolution,
             buckets=args.buckets,
@@ -195,6 +202,9 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
                     fh.write("\n")
             print(f"fleet: ingest on {endpoints['ingest']}, "
                   f"queries on {endpoints['url']}")
+            if args.data_dir:
+                print(f"fleet: durable history in {args.data_dir} "
+                      f"({agg.replayed} records replayed)")
             deadline = (
                 _time.monotonic() + args.duration
                 if args.duration is not None else None
@@ -215,6 +225,28 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     print(f"fleet: stopped after {summary['uptime']:.1f}s — "
           f"{summary['ingest']['records']} records, "
           f"{summary['counts']['finished']} jobs finished")
+    return EXIT_OK
+
+
+def _cmd_fleet_compact(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fleet.history import HistoryLog
+
+    if not os.path.isdir(args.data_dir):
+        print(f"fleet compact: not a directory: {args.data_dir}",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    log = HistoryLog(args.data_dir, fsync="never")
+    try:
+        stats = log.compact(retain=args.retain, resolution=args.resolution)
+    finally:
+        log.close()
+    saved = stats["bytes_before"] - stats["bytes_after"]
+    print(f"fleet compact: {stats['segments_compacted']} segments "
+          f"rewritten, {stats['records_in']} -> {stats['records_out']} "
+          f"records, {stats['bytes_before']} -> {stats['bytes_after']} "
+          f"bytes ({saved} saved)")
     return EXIT_OK
 
 
@@ -347,6 +379,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="SECONDS",
                          help="flag running jobs/nodes stale after this "
                               "publish silence (default 15)")
+    p_serve.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="durable history: tee accepted records into "
+                              "a segmented log here and replay it on "
+                              "startup, so restarts resume the previous "
+                              "fleet state (default: memory-resident)")
+    p_serve.add_argument("--retain", type=int, default=4, metavar="N",
+                         help="with --data-dir: closed raw log segments "
+                              "kept before compaction downsamples them "
+                              "(default 4)")
+    p_serve.add_argument("--fsync", choices=("never", "rotate", "always"),
+                         default="rotate",
+                         help="with --data-dir: when to fsync the active "
+                              "segment (default rotate)")
+    p_serve.add_argument("--compact-interval", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="with --data-dir: retention-compaction "
+                              "period; <= 0 disables the background "
+                              "policy (default 60)")
     p_serve.add_argument("--announce", default=None, metavar="FILE",
                          help="write the resolved endpoints here as JSON "
                               "(for scripts using ephemeral ports)")
@@ -355,6 +405,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="serve for this long then exit (default: "
                               "until interrupted)")
     p_serve.set_defaults(fn=_cmd_fleet_serve)
+    p_compact = fleet_sub.add_parser(
+        "compact",
+        help="offline retention pass over a durable history directory",
+    )
+    p_compact.add_argument("data_dir", metavar="DIR",
+                           help="a 'fleet serve --data-dir' directory")
+    p_compact.add_argument("--retain", type=int, default=0, metavar="N",
+                           help="closed raw segments to leave untouched "
+                                "(default 0: compact everything closed)")
+    p_compact.add_argument("--resolution", type=float, default=0.5,
+                           help="compacted bucket width, virtual seconds "
+                                "(default 0.5 = 10x the default store "
+                                "resolution)")
+    p_compact.set_defaults(fn=_cmd_fleet_compact)
     p_query = fleet_sub.add_parser(
         "query", help="fetch one endpoint from a running aggregator"
     )

@@ -20,6 +20,11 @@ existing per-job telemetry:
   query API composing all of the above;
 * :class:`~repro.fleet.server.FleetHttpServer` — ``/metrics``
   (OpenMetrics), ``/jobs``, ``/jobs/<id>/rollups``, ``/nodes/<host>``;
+* :class:`~repro.fleet.history.HistoryLog` — the durable layer: a
+  segmented append-only NDJSON record log every accepted record tees
+  into, replayed on startup (``fleet serve --data-dir``) so restarts
+  resume the previous fleet state, with retention compaction that
+  downsamples old segments instead of forgetting them;
 * :class:`~repro.fleet.service.FleetAggregator` — the long-running
   service (``python -m repro fleet serve``).
 
@@ -29,6 +34,7 @@ becomes observable live instead of only via the journal, and fleet
 mode off stays byte-identical (pinned by test).
 """
 
+from repro.fleet.history import HistoryLog
 from repro.fleet.ingest import IngestServer, JsonlTailIngester
 from repro.fleet.protocol import FLEET_SCHEMA, decode_line, encode_record
 from repro.fleet.registry import FleetRegistry, JobRecord, NodeRecord
@@ -45,6 +51,7 @@ __all__ = [
     "FleetRegistry",
     "FleetSink",
     "FleetStore",
+    "HistoryLog",
     "IngestServer",
     "JobRecord",
     "JsonlTailIngester",

@@ -114,10 +114,17 @@ class JsonlTailIngester:
         store: FleetStore,
         job: Optional[str] = None,
     ) -> None:
+        if job is not None and not job:
+            # an empty id would be refused (and miscounted as a
+            # generic drop) on every single record — fail loudly here.
+            raise ValueError("job id must be non-empty")
         self.path = os.fspath(path)
         self.store = store
         base = os.path.basename(self.path)
-        self.job = job or (base[:-6] if base.endswith(".jsonl") else base)
+        stem = base[:-6] if base.endswith(".jsonl") else base
+        # a file named exactly ".jsonl" (or a trailing-slash path)
+        # must still derive a non-empty job id.
+        self.job = job if job is not None else (stem or base or "tail")
         self._offset = 0
         self._partial = b""
         self.records = 0

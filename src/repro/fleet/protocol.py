@@ -13,6 +13,12 @@ line.  Record ``kind``s:
     one sampler tick: ``{"job", "t", "points": [{name, labels,
     value}, ...]}`` — the same point shape the JSONL telemetry sink
     writes, plus the job id;
+``sample_agg``
+    a pre-aggregated sample bucket written by history compaction:
+    ``{"job", "t", "samples", "points": [{name, labels, agg:
+    {count, sum, min, max, last, last_t}}, ...]}`` — exact mergeable
+    StatWindow state, so replaying compacted history preserves
+    lifetime aggregates bit-for-bit;
 ``rank_status``
     one rank's terminal state when it differs from "completed";
 ``spec_start`` / ``spec_finish``
@@ -38,6 +44,7 @@ FLEET_SCHEMA = "ipm-repro/fleet/v1"
 KINDS = (
     "job_start",
     "sample",
+    "sample_agg",
     "rank_status",
     "job_end",
     "spec_start",

@@ -178,7 +178,12 @@ class FleetRegistry:
         record.ranks[str(rank)] = str(status)
         return record
 
-    def node_seen(self, node: str, job: Optional[str] = None) -> NodeRecord:
+    def node_seen(
+        self, node: str, job: Optional[str] = None, count: int = 1
+    ) -> NodeRecord:
+        """Touch a node record; ``count`` > 1 when folding a
+        pre-aggregated (compacted-history) bucket so sample counts
+        survive compaction exactly."""
         now = self.clock()
         record = self._nodes.get(node)
         if record is None:
@@ -187,7 +192,7 @@ class FleetRegistry:
             )
         else:
             record.last_seen = now
-        record.samples += 1
+        record.samples += count
         if job is not None:
             record.jobs.add(job)
         return record

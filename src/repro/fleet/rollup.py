@@ -15,12 +15,26 @@ coarser resolution) without touching what is retained.  A
 :class:`RollupSet` maps metric names to rollups for one entity (a
 job, a node, or the fleet) with a hard cap on distinct names — the
 cap is never silent: dropped names are counted and exposed.
+
+Retention tiers: a :class:`MetricRollup` can keep *coarser* rings
+behind the native one (``tiers=((10, cap), (100, cap))``).  A bucket
+evicted from tier N is not forgotten — it is merged
+(:meth:`RollupRing.absorb`, via :meth:`StatWindow.merge`) into tier
+N+1's bucket at 10x the resolution, so old history downsamples
+instead of vanishing (the G-NetMon long-horizon pattern).  Tiers hold
+*disjoint* time ranges by construction: a bucket lives in exactly one
+ring, so reads can stitch all tiers without double counting.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: the default retention ladder used by durable aggregators: evicted
+#: native buckets downsample 10x, then 100x, before falling off.
+DEFAULT_RETENTION_TIERS: Tuple[Tuple[int, int], ...] = ((10, 512), (100, 512))
 
 
 class StatWindow:
@@ -52,20 +66,57 @@ class StatWindow:
     def merge(self, other: "StatWindow") -> None:
         if other.count == 0:
             return
+        # an empty window adopts other's last unconditionally — its own
+        # last_t is the 0.0 sentinel, not an observation, and must not
+        # win against e.g. a negative-t stream (would corrupt the
+        # `last` aggregate in downsampled series and tier compaction).
         if self.count == 0:
             self.min, self.max = other.min, other.max
+            self.last, self.last_t = other.last, other.last_t
         else:
             self.min = min(self.min, other.min)
             self.max = max(self.max, other.max)
+            if other.last_t >= self.last_t:
+                self.last = other.last
+                self.last_t = other.last_t
         self.count += other.count
         self.sum += other.sum
-        if other.last_t >= self.last_t:
-            self.last = other.last
-            self.last_t = other.last_t
 
     @property
     def avg(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    # -- durable-history serialization (the sample_agg wire shape) ---------
+
+    def as_state(self) -> Dict[str, float]:
+        """The full mergeable state (``as_dict`` omits ``last_t``)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+            "last_t": self.last_t,
+        }
+
+    @classmethod
+    def from_state(cls, state: Any) -> Optional["StatWindow"]:
+        """Rebuild from :meth:`as_state`; None for malformed input."""
+        if not isinstance(state, dict):
+            return None
+        window = cls()
+        try:
+            window.count = int(state["count"])
+            window.sum = float(state["sum"])
+            window.min = float(state["min"])
+            window.max = float(state["max"])
+            window.last = float(state["last"])
+            window.last_t = float(state["last_t"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if window.count < 0:
+            return None
+        return window
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -90,33 +141,77 @@ class RollupRing:
     Points land in the bucket ``floor(t / resolution)``.  Out-of-order
     points within the retained window update their bucket in place;
     points older than the oldest retained bucket are dropped and
-    counted (``dropped_late``).
+    counted (``dropped_late``).  Eviction is strictly oldest-by-time:
+    the ring keeps a min-heap of retained bucket indices, so creating
+    a bucket costs O(log n) and an out-of-order point that lands
+    between retained buckets can never push out the newest one.  An
+    evicted bucket is handed to ``spill`` (the next retention tier)
+    when one is attached, instead of being forgotten.
     """
 
-    __slots__ = ("resolution", "capacity", "_buckets", "dropped_late")
+    __slots__ = ("resolution", "capacity", "_buckets", "_order",
+                 "dropped_late", "spill")
 
-    def __init__(self, resolution: float = 1.0, capacity: int = 512) -> None:
+    def __init__(
+        self,
+        resolution: float = 1.0,
+        capacity: int = 512,
+        spill: Optional[Callable[[float, "StatWindow"], Any]] = None,
+    ) -> None:
         if resolution <= 0:
             raise ValueError(f"resolution must be positive: {resolution}")
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.resolution = resolution
         self.capacity = capacity
-        #: bucket index -> window, in insertion order (evict oldest).
-        self._buckets: "OrderedDict[int, StatWindow]" = OrderedDict()
+        self._buckets: Dict[int, StatWindow] = {}
+        #: min-heap over retained bucket indices — the incrementally
+        #: tracked minimum (heap root) replaces a min() scan per new
+        #: bucket.  Every retained index appears exactly once: a new
+        #: bucket is only created at idx > root, and an evicted idx
+        #: can never be re-created (it is < the new root, so dropped).
+        self._order: List[int] = []
         self.dropped_late = 0
+        self.spill = spill
 
-    def observe(self, t: float, value: float) -> bool:
-        idx = int(t // self.resolution)
+    def _bucket(self, idx: int) -> Optional[StatWindow]:
+        """The retained window for ``idx``, creating (and evicting
+        oldest-by-time, spilling to the next tier) as needed; None when
+        ``idx`` is older than the oldest retained bucket."""
         window = self._buckets.get(idx)
         if window is None:
-            if self._buckets and idx < min(self._buckets):
+            if self._order and idx < self._order[0]:
                 self.dropped_late += 1
-                return False
+                return None
             window = self._buckets[idx] = StatWindow()
+            heapq.heappush(self._order, idx)
             while len(self._buckets) > self.capacity:
-                self._buckets.popitem(last=False)
+                oldest = heapq.heappop(self._order)
+                evicted = self._buckets.pop(oldest)
+                if self.spill is not None:
+                    self.spill(oldest * self.resolution, evicted)
+        return window
+
+    def observe(self, t: float, value: float) -> bool:
+        window = self._bucket(int(t // self.resolution))
+        if window is None:
+            return False
         window.observe(value, t)
+        return True
+
+    def absorb(self, t0: float, other: StatWindow) -> bool:
+        """Merge a whole window into the bucket holding ``t0``.
+
+        The tier-spill and compacted-history replay path: an evicted
+        finer bucket (or a ``sample_agg`` record) folds into this
+        ring's bucket via :meth:`StatWindow.merge`.
+        """
+        if other.count == 0:
+            return True
+        window = self._bucket(int(t0 // self.resolution))
+        if window is None:
+            return False
+        window.merge(other)
         return True
 
     def __len__(self) -> int:
@@ -154,57 +249,151 @@ class RollupRing:
 
 
 class MetricRollup:
-    """One metric of one entity: lifetime stats + the bucket ring."""
+    """One metric of one entity: lifetime stats + tiered bucket rings.
 
-    __slots__ = ("stats", "ring")
+    ``tiers`` is a ladder of ``(factor, capacity)`` pairs, finest
+    first: buckets evicted from the native ring spill into the first
+    tier (resolution × factor), that tier's evictions spill into the
+    next, and only the coarsest tier forgets.  With no tiers this is
+    exactly the single-ring rollup (and serializes identically).
+    """
 
-    def __init__(self, resolution: float, capacity: int) -> None:
+    __slots__ = ("stats", "ring", "tiers")
+
+    def __init__(
+        self,
+        resolution: float,
+        capacity: int,
+        tiers: Sequence[Tuple[int, int]] = (),
+    ) -> None:
         self.stats = StatWindow()
-        self.ring = RollupRing(resolution, capacity)
+        # build coarsest-first so each ring can spill into the next.
+        coarser: List[RollupRing] = []
+        downstream: Optional[RollupRing] = None
+        for factor, tier_capacity in sorted(tiers, reverse=True):
+            if factor <= 1:
+                raise ValueError(
+                    f"tier factor must be > 1: {factor}"
+                )
+            ring = RollupRing(
+                resolution * factor,
+                tier_capacity,
+                spill=downstream.absorb if downstream is not None else None,
+            )
+            coarser.append(ring)
+            downstream = ring
+        self.ring = RollupRing(
+            resolution,
+            capacity,
+            spill=downstream.absorb if downstream is not None else None,
+        )
+        #: finest (native) to coarsest — disjoint time ranges.
+        self.tiers: List[RollupRing] = [self.ring] + coarser[::-1]
 
     def observe(self, t: float, value: float) -> None:
         self.stats.observe(value, t)
         self.ring.observe(t, value)
 
+    def absorb(self, t: float, window: StatWindow) -> None:
+        """Fold a pre-aggregated window in (compacted-history replay)."""
+        self.stats.merge(window)
+        self.ring.absorb(t, window)
+
+    def series(self, resolution: Optional[float] = None) -> List[Dict[str, float]]:
+        """All tiers stitched into one time-ordered series.
+
+        Tiers hold disjoint buckets, so stitching never double counts;
+        coarse (older) buckets simply land at their start times.  With
+        a single tier this is exactly ``ring.series``.
+        """
+        if len(self.tiers) == 1:
+            return self.ring.series(resolution)
+        if resolution is not None and resolution <= 0:
+            raise ValueError(f"resolution must be positive: {resolution}")
+        out_res = self.ring.resolution
+        if resolution is not None and resolution > out_res:
+            out_res = resolution
+        merged: Dict[int, StatWindow] = {}
+        for ring in self.tiers:
+            for t0, window in ring.buckets():
+                idx = int(t0 // out_res)
+                target = merged.get(idx)
+                if target is None:
+                    target = merged[idx] = StatWindow()
+                target.merge(window)
+        return [
+            dict(t=idx * out_res, **merged[idx].as_dict())
+            for idx in sorted(merged)
+        ]
+
     def snapshot(self, resolution: Optional[float] = None) -> Dict[str, Any]:
-        return {
+        out = {
             "stats": self.stats.as_dict(),
-            "series": self.ring.series(resolution),
+            "series": self.series(resolution),
         }
+        if len(self.tiers) > 1:
+            # history depth per retention tier — how far back each
+            # resolution still answers.
+            out["tiers"] = [
+                {
+                    "resolution": ring.resolution,
+                    "buckets": len(ring),
+                    "capacity": ring.capacity,
+                    "dropped_late": ring.dropped_late,
+                }
+                for ring in self.tiers
+            ]
+        return out
 
 
 class RollupSet:
     """All rollups of one entity, keyed by metric name, name-capped."""
 
-    __slots__ = ("resolution", "capacity", "max_metrics", "_metrics",
-                 "dropped_names")
+    __slots__ = ("resolution", "capacity", "max_metrics", "tiers",
+                 "_metrics", "dropped_names")
 
     def __init__(
         self,
         resolution: float = 1.0,
         capacity: int = 512,
         max_metrics: int = 64,
+        tiers: Sequence[Tuple[int, int]] = (),
     ) -> None:
         if max_metrics <= 0:
             raise ValueError(f"max_metrics must be positive: {max_metrics}")
         self.resolution = resolution
         self.capacity = capacity
         self.max_metrics = max_metrics
+        self.tiers = tuple(tiers)
         self._metrics: Dict[str, MetricRollup] = {}
         #: distinct metric names refused once the cap was hit — the
         #: cap is exposed, never silent.
         self.dropped_names = 0
 
-    def observe(self, name: str, t: float, value: float) -> bool:
+    def _rollup(self, name: str) -> Optional[MetricRollup]:
         rollup = self._metrics.get(name)
         if rollup is None:
             if len(self._metrics) >= self.max_metrics:
                 self.dropped_names += 1
-                return False
+                return None
             rollup = self._metrics[name] = MetricRollup(
-                self.resolution, self.capacity
+                self.resolution, self.capacity, self.tiers
             )
+        return rollup
+
+    def observe(self, name: str, t: float, value: float) -> bool:
+        rollup = self._rollup(name)
+        if rollup is None:
+            return False
         rollup.observe(t, value)
+        return True
+
+    def absorb(self, name: str, t: float, window: StatWindow) -> bool:
+        """Fold a pre-aggregated window into one metric (replay path)."""
+        rollup = self._rollup(name)
+        if rollup is None:
+            return False
+        rollup.absorb(t, window)
         return True
 
     def get(self, name: str) -> Optional[MetricRollup]:

@@ -9,6 +9,8 @@ A thin threaded front-end on :class:`~repro.fleet.store.FleetStore`:
   the series on read);
 * ``GET /nodes`` / ``GET /nodes/<host>`` — node liveness + rollups;
 * ``GET /fleet`` (also ``/``) — the aggregator's own vitals;
+* ``GET /history`` — the durable-history log's segments and counters
+  (``{"enabled": false}`` for a memory-resident aggregator);
 * ``GET /healthz`` — liveness probe.
 
 Everything JSON except ``/metrics``; unknown paths and unknown ids
@@ -82,6 +84,8 @@ class _QueryHandler(BaseHTTPRequestHandler):
             )
         elif parts == ["healthz"]:
             self._json(200, {"ok": True})
+        elif parts == ["history"]:
+            self._json(200, store.history_summary())
         elif not parts or parts == ["fleet"]:
             self._json(200, store.fleet_summary())
         elif parts == ["jobs"]:

@@ -10,19 +10,36 @@ binds everything (port 0 picks ephemeral ports — read the resolved
 addresses back from :attr:`ingest_address` / :attr:`http_url`);
 ``stop()`` is idempotent and drains the tailers before shutting the
 servers down.  The CLI front-end is ``python -m repro fleet serve``.
+
+With ``data_dir`` the aggregator is *durable*: accepted records tee
+into a segmented :class:`~repro.fleet.history.HistoryLog`, startup
+replays the log back into the store (so a restart resumes the
+previous fleet state), rollups keep :data:`DEFAULT_RETENTION_TIERS`
+(evicted buckets downsample instead of vanishing), and a background
+policy thread periodically compacts old log segments into summary
+segments, keeping all but the newest ``retain`` raw.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.fleet.history import (
+    COMPACT_TIER_FACTOR,
+    DEFAULT_RETAIN_SEGMENTS,
+    HistoryLog,
+)
 from repro.fleet.ingest import IngestServer, JsonlTailIngester
 from repro.fleet.protocol import parse_address
+from repro.fleet.rollup import DEFAULT_RETENTION_TIERS
 from repro.fleet.server import FleetHttpServer
 from repro.fleet.store import FleetStore
 
 Address = Union[str, Tuple[str, int]]
+
+#: how often the durable aggregator's retention policy runs.
+DEFAULT_COMPACT_INTERVAL = 60.0
 
 
 class FleetAggregator:
@@ -35,13 +52,31 @@ class FleetAggregator:
         http: Address = "127.0.0.1:0",
         tails: Sequence[str] = (),
         tail_interval: float = 0.2,
+        data_dir: Optional[str] = None,
+        retain: int = DEFAULT_RETAIN_SEGMENTS,
+        fsync: str = "rotate",
+        compact_interval: float = DEFAULT_COMPACT_INTERVAL,
         **store_kwargs,
     ) -> None:
         if store is not None and store_kwargs:
             raise ValueError(
                 "pass either a prebuilt store or store kwargs, not both"
             )
+        if retain < 0:
+            raise ValueError(f"retain must be >= 0: {retain}")
+        if data_dir is not None and store is None:
+            # durable aggregators downsample aged buckets into coarser
+            # tiers by default instead of evicting them.
+            store_kwargs.setdefault("tiers", DEFAULT_RETENTION_TIERS)
         self.store = store if store is not None else FleetStore(**store_kwargs)
+        self.history = (
+            HistoryLog(data_dir, fsync=fsync) if data_dir is not None
+            else None
+        )
+        self.retain = retain
+        self.compact_interval = compact_interval
+        #: records restored from the log by the last start().
+        self.replayed = 0
         self._ingest_bind = parse_address(ingest)
         self._http_bind = parse_address(http)
         self.tail_interval = tail_interval
@@ -52,6 +87,8 @@ class FleetAggregator:
         self.http_server: Optional[FleetHttpServer] = None
         self._tail_stop = threading.Event()
         self._tail_thread: Optional[threading.Thread] = None
+        self._compact_stop = threading.Event()
+        self._compact_thread: Optional[threading.Thread] = None
         self.started = False
 
     # -- resolved endpoints ---------------------------------------------
@@ -96,10 +133,27 @@ class FleetAggregator:
             for tailer in list(self.tailers):
                 tailer.poll()
 
+    def _compact_loop(self) -> None:
+        while not self._compact_stop.wait(self.compact_interval):
+            self.compact()
+
+    def compact(self) -> Optional[Dict[str, Any]]:
+        """Run one retention pass over the history log, if durable."""
+        if self.history is None:
+            return None
+        return self.history.compact(
+            retain=self.retain,
+            resolution=self.store.resolution * COMPACT_TIER_FACTOR,
+        )
+
     def start(self) -> "FleetAggregator":
         if self.started:
             return self
         self.started = True
+        if self.history is not None and self.store.history is None:
+            # restart into the previous state before accepting new
+            # records — replayed and live ingest must not interleave.
+            self.replayed = self.store.attach_history(self.history)
         self.ingest_server = IngestServer(
             self.store, *self._ingest_bind
         ).start()
@@ -108,12 +162,22 @@ class FleetAggregator:
         ).start()
         if self.tailers:
             self._ensure_tail_thread()
+        if self.history is not None and self.compact_interval > 0:
+            self._compact_stop.clear()
+            self._compact_thread = threading.Thread(
+                target=self._compact_loop, name="fleet-compact", daemon=True
+            )
+            self._compact_thread.start()
         return self
 
     def stop(self) -> None:
         if not self.started:
             return
         self.started = False
+        self._compact_stop.set()
+        if self._compact_thread is not None:
+            self._compact_thread.join(5.0)
+            self._compact_thread = None
         self._tail_stop.set()
         if self._tail_thread is not None:
             self._tail_thread.join(5.0)
@@ -128,6 +192,8 @@ class FleetAggregator:
         if self.http_server is not None:
             self.http_server.stop()
             self.http_server = None
+        if self.history is not None:
+            self.history.close()
 
     def __enter__(self) -> "FleetAggregator":
         return self.start()

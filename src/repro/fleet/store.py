@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.fleet.protocol import END_KINDS, START_KINDS
 from repro.fleet.registry import DEFAULT_STALE_AFTER, FleetRegistry
 from repro.fleet.rollup import RollupSet, StatWindow
 from repro.telemetry.sinks import escape_label_value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.history import HistoryLog
 
 #: ``# HELP`` text of the aggregator's own exposition families.
 FLEET_HELP = {
@@ -42,6 +45,13 @@ FLEET_HELP = {
     "fleet_ingest_dropped_total": "Records refused (missing job id, unknown kind)",
     "fleet_rollup_names_dropped_total": "Metric names refused by the per-entity cap",
     "fleet_ingest_lag_seconds": "Publisher-to-store latency measured from hts stamps",
+    "fleet_history_segments": "On-disk history log segments retained",
+    "fleet_history_bytes": "On-disk history log footprint",
+    "fleet_history_appended_total": "Accepted records teed to the history log",
+    "fleet_history_replayed_total": "Records restored from the log at startup",
+    "fleet_history_torn_total": "Torn/undecodable log lines skipped on replay",
+    "fleet_history_compactions_total": "Compaction passes that rewrote segments",
+    "fleet_history_compacted_segments_total": "Raw segments rewritten into summaries",
     "fleet_rollup": "Fleet-wide streaming aggregate of one metric",
     "job_up": "1 while the job stream is live (0 finished or stale)",
     "job_rollup": "Per-job streaming aggregate of one metric",
@@ -64,6 +74,7 @@ class FleetStore:
         max_metrics: int = 64,
         stale_after: float = DEFAULT_STALE_AFTER,
         clock: Callable[[], float] = _time.time,
+        tiers: Sequence[Tuple[int, int]] = (),
     ) -> None:
         self.clock = clock
         self.started_at = clock()
@@ -71,12 +82,15 @@ class FleetStore:
         self.host_resolution = host_resolution
         self.buckets = buckets
         self.max_metrics = max_metrics
+        #: retention-tier ladder handed to every RollupSet — evicted
+        #: buckets downsample into coarser rings instead of vanishing.
+        self.tiers = tuple(tiers)
         self.registry = FleetRegistry(stale_after=stale_after, clock=clock)
         self._lock = threading.RLock()
         self._job_rollups: Dict[str, RollupSet] = {}
         self._node_rollups: Dict[str, RollupSet] = {}
         self.fleet_rollups = RollupSet(
-            host_resolution, buckets, max_metrics
+            host_resolution, buckets, max_metrics, self.tiers
         )
         #: ingest accounting.
         self.records = 0
@@ -86,6 +100,10 @@ class FleetStore:
         self.dropped = 0
         self.lag = StatWindow()
         self.connections = 0
+        #: durable history (attach_history); None = memory-resident.
+        self.history: Optional["HistoryLog"] = None
+        self.history_replayed = 0
+        self._replaying = False
 
     # -- ingest accounting (called by transports) -------------------------
 
@@ -103,7 +121,10 @@ class FleetStore:
         """Fold one parsed wire record in; False when refused.
 
         Refusal is bookkeeping, never an exception: unknown kinds and
-        job-scoped records without a job id bump ``dropped``.
+        job-scoped records without a job id bump ``dropped``.  With a
+        history log attached, every *accepted* record is teed to disk
+        before ingest returns (WAL semantics) — still under the store
+        lock, so the log order matches the fold order.
         """
         kind = record.get("kind")
         job = record.get("job")
@@ -112,40 +133,54 @@ class FleetStore:
                 self.dropped += 1
             return False
         with self._lock:
-            self.records += 1
-            hts = record.get("hts")
-            if isinstance(hts, (int, float)):
-                self.lag.observe(max(0.0, self.clock() - float(hts)),
-                                 self.clock())
-            if kind in START_KINDS:
-                meta = record.get("meta")
-                self.registry.job_started(
-                    job,
-                    meta=meta if isinstance(meta, dict) else None,
-                    source=record.get("source"),
-                )
-                return True
-            if kind == "sample":
-                return self._ingest_sample(job, record)
-            if kind == "rank_status":
-                self.registry.rank_status(
-                    job, record.get("rank"), str(record.get("status"))
-                )
-                return True
-            if kind in END_KINDS:
-                ranks = record.get("ranks")
-                self.registry.job_finished(
-                    job,
-                    status=record.get("status"),
-                    wallclock=record.get("wallclock"),
-                    attempts=record.get("attempts"),
-                    from_cache=record.get("from_cache"),
-                    error=record.get("error"),
-                    ranks=ranks if isinstance(ranks, dict) else None,
-                )
-                return True
-            self.dropped += 1
-            return False
+            accepted = self._fold(kind, job, record)
+            if (
+                accepted
+                and self.history is not None
+                and not self._replaying
+            ):
+                self.history.append(record)
+            return accepted
+
+    def _fold(self, kind: Any, job: str, record: Dict[str, Any]) -> bool:
+        self.records += 1
+        hts = record.get("hts")
+        if isinstance(hts, (int, float)) and not self._replaying:
+            # replayed records carry stale publisher stamps — folding
+            # them would poison the measured live ingest lag.
+            self.lag.observe(max(0.0, self.clock() - float(hts)),
+                             self.clock())
+        if kind in START_KINDS:
+            meta = record.get("meta")
+            self.registry.job_started(
+                job,
+                meta=meta if isinstance(meta, dict) else None,
+                source=record.get("source"),
+            )
+            return True
+        if kind == "sample":
+            return self._ingest_sample(job, record)
+        if kind == "sample_agg":
+            return self._ingest_sample_agg(job, record)
+        if kind == "rank_status":
+            self.registry.rank_status(
+                job, record.get("rank"), str(record.get("status"))
+            )
+            return True
+        if kind in END_KINDS:
+            ranks = record.get("ranks")
+            self.registry.job_finished(
+                job,
+                status=record.get("status"),
+                wallclock=record.get("wallclock"),
+                attempts=record.get("attempts"),
+                from_cache=record.get("from_cache"),
+                error=record.get("error"),
+                ranks=ranks if isinstance(ranks, dict) else None,
+            )
+            return True
+        self.dropped += 1
+        return False
 
     def _ingest_sample(self, job: str, record: Dict[str, Any]) -> bool:
         points = record.get("points")
@@ -158,11 +193,7 @@ class FleetStore:
         t = record.get("t")
         t = float(t) if isinstance(t, (int, float)) else 0.0
         host_t = self.clock() - self.started_at
-        job_set = self._job_rollups.get(job)
-        if job_set is None:
-            job_set = self._job_rollups[job] = RollupSet(
-                self.resolution, self.buckets, self.max_metrics
-            )
+        job_set = self._job_set(job)
         for point in points:
             if not isinstance(point, dict):
                 continue
@@ -182,13 +213,125 @@ class FleetStore:
             if isinstance(node, str) and node:
                 job_record.nodes.add(node)
                 self.registry.node_seen(node, job)
-                node_set = self._node_rollups.get(node)
-                if node_set is None:
-                    node_set = self._node_rollups[node] = RollupSet(
-                        self.host_resolution, self.buckets, self.max_metrics
-                    )
-                node_set.observe(name, host_t, value)
+                self._node_set(node).observe(name, host_t, value)
         return True
+
+    def _job_set(self, job: str) -> RollupSet:
+        job_set = self._job_rollups.get(job)
+        if job_set is None:
+            job_set = self._job_rollups[job] = RollupSet(
+                self.resolution, self.buckets, self.max_metrics, self.tiers
+            )
+        return job_set
+
+    def _node_set(self, node: str) -> RollupSet:
+        node_set = self._node_rollups.get(node)
+        if node_set is None:
+            node_set = self._node_rollups[node] = RollupSet(
+                self.host_resolution, self.buckets, self.max_metrics,
+                self.tiers
+            )
+        return node_set
+
+    def _ingest_sample_agg(self, job: str, record: Dict[str, Any]) -> bool:
+        """Fold one compacted-history bucket (exact StatWindow state).
+
+        Counts are preserved through compaction: the record carries
+        the number of original samples it merged, and each point's
+        window count feeds the point totals — so /jobs summaries and
+        lifetime aggregates match the uncompacted stream bit-for-bit.
+        """
+        points = record.get("points")
+        if not isinstance(points, list):
+            self.dropped += 1
+            return False
+        job_record = self.registry.job_seen(job)
+        samples = record.get("samples")
+        n_samples = (
+            int(samples) if isinstance(samples, (int, float)) else 1
+        )
+        job_record.samples += n_samples
+        self.samples += n_samples
+        t = record.get("t")
+        t = float(t) if isinstance(t, (int, float)) else 0.0
+        host_t = self.clock() - self.started_at
+        job_set = self._job_set(job)
+        for point in points:
+            if not isinstance(point, dict):
+                continue
+            name = point.get("name")
+            if not isinstance(name, str):
+                continue
+            window = StatWindow.from_state(point.get("agg"))
+            if window is None or window.count == 0:
+                continue
+            job_record.points += window.count
+            self.points += window.count
+            job_set.absorb(name, t, window)
+            self.fleet_rollups.absorb(name, host_t, window)
+            labels = point.get("labels")
+            node = labels.get("node") if isinstance(labels, dict) else None
+            if isinstance(node, str) and node:
+                job_record.nodes.add(node)
+                self.registry.node_seen(node, job, count=window.count)
+                self._node_set(node).absorb(name, host_t, window)
+        return True
+
+    # -- durable history ---------------------------------------------------
+
+    def attach_history(self, history: "HistoryLog") -> int:
+        """Replay a history log into the store, then tee into it.
+
+        The startup path of a durable aggregator: every retained
+        record folds back in (rebuilding registry, rollups and
+        counters), then the log becomes the store's write-ahead tee.
+        Staleness clocks re-base naturally — replayed records are
+        touched at *this* process's wall-clock, so a job that was
+        live before the restart stays non-stale for a fresh
+        ``stale_after`` horizon.  Returns the records restored.
+        """
+        with self._lock:
+            if self.history is not None:
+                raise RuntimeError("store already has a history log")
+            self._replaying = True
+            count = 0
+            try:
+                for record in history.replay():
+                    if self.ingest(record):
+                        count += 1
+            finally:
+                self._replaying = False
+            self.history = history
+            self.history_replayed = count
+            return count
+
+    def history_summary(self) -> Dict[str, Any]:
+        """The durable-history vitals (``/history`` endpoint)."""
+        with self._lock:
+            if self.history is None:
+                return {"enabled": False}
+            segments = self.history.segments()
+            return {
+                "enabled": True,
+                "root": self.history.root,
+                "fsync": self.history.fsync,
+                "segment_bytes": self.history.segment_bytes,
+                "segments": [
+                    {
+                        "seq": s.seq,
+                        "compacted": s.compacted,
+                        "bytes": s.bytes,
+                    }
+                    for s in segments
+                ],
+                "bytes": sum(s.bytes for s in segments),
+                "appended": self.history.appended,
+                "replayed": self.history_replayed,
+                "torn_lines": self.history.torn_lines,
+                "compactions": self.history.compactions,
+                "compacted_segments": self.history.compacted_segments,
+                "disabled": self.history.disabled,
+            }
 
     # -- queries ----------------------------------------------------------
 
@@ -260,7 +403,7 @@ class FleetStore:
 
     def fleet_summary(self) -> Dict[str, Any]:
         with self._lock:
-            return {
+            out = {
                 "uptime": self.clock() - self.started_at,
                 "counts": self.registry.counts(),
                 "ingest": {
@@ -278,6 +421,9 @@ class FleetStore:
                     for name, window in self.fleet_rollups.stats().items()
                 },
             }
+            if self.history is not None:
+                out["history"] = self.history_summary()
+            return out
 
     def _names_dropped(self) -> int:
         total = self.fleet_rollups.dropped_names
@@ -331,6 +477,28 @@ class FleetStore:
             lag = self.lag.as_dict()
             for agg in _AGGS:
                 metric("fleet_ingest_lag_seconds", {"agg": agg}, lag[agg])
+
+            if self.history is not None:
+                # durable-history families only exist with persistence
+                # on — the memory-resident exposition stays
+                # byte-identical (pinned by test).
+                segments = self.history.segments()
+                family("fleet_history_segments")
+                metric("fleet_history_segments", {}, len(segments))
+                family("fleet_history_bytes")
+                metric("fleet_history_bytes", {},
+                       sum(s.bytes for s in segments))
+                for name, value in (
+                    ("fleet_history_appended_total", self.history.appended),
+                    ("fleet_history_replayed_total", self.history_replayed),
+                    ("fleet_history_torn_total", self.history.torn_lines),
+                    ("fleet_history_compactions_total",
+                     self.history.compactions),
+                    ("fleet_history_compacted_segments_total",
+                     self.history.compacted_segments),
+                ):
+                    family(name, "counter")
+                    metric(name, {}, value)
 
             family("fleet_rollup")
             for name, window in self.fleet_rollups.stats().items():

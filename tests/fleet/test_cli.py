@@ -142,3 +142,110 @@ class TestSweepFleetRoundTrip:
         finally:
             server.join(30.0)
         assert serve_exit == [EXIT_OK]  # clean shutdown at --duration
+
+
+class TestDurableServeCli:
+    def test_serve_with_data_dir_restarts_into_previous_state(
+        self, tmp_path, capsys
+    ):
+        data = tmp_path / "fleet-data"
+        specs = tmp_path / "specs.json"
+        specs.write_text(
+            json.dumps([telemetry_spec(7)]), encoding="utf-8"
+        )
+        announce = tmp_path / "endpoints.json"
+
+        def serve():
+            return main([
+                "fleet", "serve", "--ingest", "127.0.0.1:0",
+                "--http", "127.0.0.1:0", "--announce", str(announce),
+                "--data-dir", str(data), "--duration", "6",
+                "--compact-interval", "0",
+            ])
+
+        exits = []
+        first = threading.Thread(
+            target=lambda: exits.append(serve()), daemon=True
+        )
+        first.start()
+        try:
+            assert wait_until(announce.exists)
+            endpoints = json.loads(announce.read_text())
+            capsys.readouterr()
+            assert main([
+                "sweep", str(specs), "--mode", "serial",
+                "--fleet", endpoints["ingest"],
+            ]) == EXIT_OK
+            capsys.readouterr()
+            assert main([
+                "fleet", "query", endpoints["http"], "/jobs",
+            ]) == EXIT_OK
+            before = json.loads(capsys.readouterr().out)
+            assert before["counts"]["finished"] == 1
+        finally:
+            first.join(30.0)
+        assert exits == [EXIT_OK]
+
+        announce.unlink()
+        second = threading.Thread(
+            target=lambda: exits.append(main([
+                "fleet", "serve", "--ingest", "127.0.0.1:0",
+                "--http", "127.0.0.1:0", "--announce", str(announce),
+                "--data-dir", str(data), "--duration", "1",
+                "--compact-interval", "0",
+            ])),
+            daemon=True,
+        )
+        second.start()
+        try:
+            assert wait_until(announce.exists)
+            endpoints = json.loads(announce.read_text())
+            capsys.readouterr()
+            assert main([
+                "fleet", "query", endpoints["http"], "/jobs",
+            ]) == EXIT_OK
+            after = json.loads(capsys.readouterr().out)
+            assert main([
+                "fleet", "query", endpoints["http"], "/history",
+            ]) == EXIT_OK
+            history = json.loads(capsys.readouterr().out)
+        finally:
+            second.join(30.0)
+        assert exits == [EXIT_OK, EXIT_OK]
+        assert after["counts"]["finished"] == 1
+        assert (
+            [r["job"] for r in after["jobs"]]
+            == [r["job"] for r in before["jobs"]]
+        )
+        assert history["enabled"] and history["replayed"] > 0
+
+    def test_bad_retain_is_exit_2(self, capsys):
+        assert main([
+            "fleet", "serve", "--retain", "-1", "--duration", "0.1",
+        ]) == EXIT_BAD_INPUT
+        assert "bad input" in capsys.readouterr().err
+
+
+class TestFleetCompactCli:
+    def test_compact_rewrites_closed_segments(self, tmp_path, capsys):
+        from repro.fleet.history import HistoryLog
+
+        data = tmp_path / "fleet-data"
+        log = HistoryLog(str(data), segment_bytes=256)
+        for i in range(40):
+            log.append({
+                "kind": "sample", "job": "j", "t": float(i),
+                "points": [{"name": "gpu_busy", "value": 0.5}],
+            })
+        log.close()
+        assert main([
+            "fleet", "compact", str(data), "--retain", "0",
+        ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "segments rewritten" in out and "saved" in out
+
+    def test_missing_directory_is_exit_2(self, tmp_path, capsys):
+        assert main([
+            "fleet", "compact", str(tmp_path / "nope"),
+        ]) == EXIT_BAD_INPUT
+        assert "not a directory" in capsys.readouterr().err

@@ -164,3 +164,34 @@ class TestJsonlReplay:
         tailer = JsonlTailIngester(str(path), store, job="ghost")
         tailer.replay()
         assert store.registry.job("ghost") is None
+
+
+class TestJsonlTailJobNaming:
+    def test_job_id_derives_from_file_stem(self, tmp_path):
+        path = tmp_path / "run-a.jsonl"
+        path.write_text("")
+        assert JsonlTailIngester(str(path), FleetStore()).job == "run-a"
+
+    def test_bare_jsonl_filename_never_yields_an_empty_job(self, tmp_path):
+        # regression: a file named exactly ".jsonl" stripped its suffix
+        # down to "" and every record was filed under the empty job id.
+        path = tmp_path / ".jsonl"
+        path.write_text("")
+        tailer = JsonlTailIngester(str(path), FleetStore())
+        assert tailer.job == ".jsonl"
+
+    def test_non_jsonl_name_is_used_whole(self, tmp_path):
+        path = tmp_path / "sink.log"
+        path.write_text("")
+        assert JsonlTailIngester(str(path), FleetStore()).job == "sink.log"
+
+    def test_explicit_empty_job_raises(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="non-empty"):
+            JsonlTailIngester(str(path), FleetStore(), job="")
+
+    def test_explicit_job_overrides_the_stem(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text("")
+        assert JsonlTailIngester(str(path), FleetStore(), job="x").job == "x"

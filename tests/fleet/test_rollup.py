@@ -125,3 +125,138 @@ class TestRollupSet:
         for t in range(4):
             m.observe(float(t), 1.0)
         assert len(m.snapshot(2.0)["series"]) == 2
+
+
+class TestStatWindowMergeAdopt:
+    def test_merge_into_empty_adopts_last_even_at_negative_time(self):
+        # regression: the old guard `other.last_t >= self.last_t` made
+        # an empty window (last_t == 0.0) ignore merges whose newest
+        # sample predated the epoch.
+        a, b = StatWindow(), StatWindow()
+        b.observe(5.0, t=-1.0)
+        a.merge(b)
+        assert a.last == 5.0 and a.last_t == -1.0
+        assert a.count == 1 and a.min == 5.0 and a.max == 5.0
+
+    def test_merge_empty_other_is_a_no_op(self):
+        a = StatWindow()
+        a.observe(2.0, t=1.0)
+        a.merge(StatWindow())
+        assert a.as_dict()["count"] == 1 and a.last == 2.0
+
+    def test_state_roundtrip(self):
+        w = StatWindow()
+        w.observe(3.0, t=1.0)
+        w.observe(-1.0, t=2.0)
+        again = StatWindow.from_state(w.as_state())
+        assert again is not None
+        assert again.as_state() == w.as_state()
+
+    def test_from_state_rejects_malformed(self):
+        assert StatWindow.from_state({"count": -1}) is None
+        assert StatWindow.from_state({"count": "x"}) is None
+        assert StatWindow.from_state("nope") is None
+
+
+class TestRollupRingEvictionOrder:
+    def test_eviction_is_oldest_by_time_not_insertion_order(self):
+        # regression: eviction used dict insertion order.  An
+        # out-of-order bucket created *between* retained ones sat at
+        # the insertion tail, so at capacity the ring evicted a newer
+        # bucket instead — and the late-drop check (min of retained)
+        # then let the evicted newer bucket be silently re-created,
+        # losing its samples.
+        ring = RollupRing(resolution=1.0, capacity=3)
+        for t in (0.0, 5.0, 3.0):  # insertion order 0, 5, 3
+            ring.observe(t, 1.0)
+        ring.observe(7.0, 1.0)  # evicts 0 (oldest either way)
+        ring.observe(8.0, 1.0)  # insertion-order eviction took 5 here
+        kept = [t for t, _ in ring.buckets()]
+        assert kept == [5.0, 7.0, 8.0]  # bucket 3 went, not bucket 5
+
+    def test_late_drop_tracks_evicted_minimum(self):
+        ring = RollupRing(resolution=1.0, capacity=3)
+        for t in (0.0, 5.0, 3.0, 7.0, 8.0):
+            ring.observe(t, 1.0)
+        assert not ring.observe(3.5, 1.0)  # below the surviving window
+        assert ring.dropped_late == 1
+        assert ring.observe(5.5, 1.0)  # oldest retained bucket still live
+        assert ring.buckets()[0][1].count == 2  # folded in, not re-created
+
+    def test_spill_receives_evicted_bucket(self):
+        spilled = []
+        ring = RollupRing(
+            resolution=1.0, capacity=2,
+            spill=lambda t0, w: spilled.append((t0, w.count)),
+        )
+        ring.observe(0.0, 1.0)
+        ring.observe(0.5, 2.0)
+        ring.observe(1.0, 1.0)
+        ring.observe(2.0, 1.0)
+        assert spilled == [(0.0, 2)]
+
+    def test_absorb_merges_whole_window_into_bucket(self):
+        ring = RollupRing(resolution=1.0, capacity=4)
+        w = StatWindow()
+        w.observe(1.0, t=0.1)
+        w.observe(3.0, t=0.2)
+        assert ring.absorb(0.4, w)
+        t0, bucket = ring.buckets()[0]
+        assert t0 == 0.0 and bucket.count == 2 and bucket.max == 3.0
+
+    def test_absorb_empty_window_is_accepted_without_a_bucket(self):
+        ring = RollupRing(resolution=1.0, capacity=4)
+        assert ring.absorb(0.0, StatWindow())
+        assert len(ring) == 0
+
+
+class TestRetentionTiers:
+    def test_evicted_buckets_downsample_into_coarser_tier(self):
+        m = MetricRollup(resolution=1.0, capacity=4, tiers=((10, 8),))
+        for t in range(8):
+            m.observe(float(t), float(t))
+        # buckets 0..3 were evicted from the fine ring into the 10x tier
+        fine = {b["t"] for b in m.ring.series()}
+        assert fine == {4.0, 5.0, 6.0, 7.0}
+        coarse = m.tiers[1].series()
+        assert len(coarse) == 1
+        assert coarse[0]["t"] == 0.0 and coarse[0]["count"] == 4
+
+    def test_series_stitches_tiers_without_double_counting(self):
+        m = MetricRollup(resolution=1.0, capacity=4, tiers=((10, 8),))
+        for t in range(8):
+            m.observe(float(t), 1.0)
+        series = m.series(resolution=10.0)
+        assert sum(b["count"] for b in series) == 8
+
+    def test_default_series_covers_both_tiers_at_native_resolution(self):
+        m = MetricRollup(resolution=1.0, capacity=4, tiers=((10, 8),))
+        for t in range(8):
+            m.observe(float(t), 1.0)
+        series = m.series()
+        assert sum(b["count"] for b in series) == 8
+        assert series[0]["t"] == 0.0 and series[-1]["t"] == 7.0
+
+    def test_snapshot_reports_tier_depths(self):
+        m = MetricRollup(resolution=1.0, capacity=4, tiers=((10, 8), (100, 8)))
+        for t in range(8):
+            m.observe(float(t), 1.0)
+        tiers = m.snapshot()["tiers"]
+        assert [t["resolution"] for t in tiers] == [1.0, 10.0, 100.0]
+        assert tiers[1]["buckets"] == 1
+
+    def test_single_tier_snapshot_has_no_tiers_key(self):
+        m = MetricRollup(resolution=1.0, capacity=4)
+        m.observe(0.0, 1.0)
+        assert "tiers" not in m.snapshot()
+
+    def test_bad_tier_factor_raises(self):
+        with pytest.raises(ValueError):
+            MetricRollup(resolution=1.0, capacity=8, tiers=((1, 8),))
+
+    def test_rollup_set_absorb_folds_into_named_metric(self):
+        rs = RollupSet(resolution=1.0)
+        w = StatWindow()
+        w.observe(2.0, t=0.5)
+        assert rs.absorb("gpu_busy", 0.5, w)
+        assert rs.snapshot()["gpu_busy"]["stats"]["count"] == 1
