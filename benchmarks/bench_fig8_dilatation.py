@@ -22,7 +22,7 @@ import os
 import pytest
 
 from repro import IpmConfig, JobSpec, NoiseConfig
-from repro.analysis import ascii_histogram, ensemble_stats
+from repro.analysis import ascii_histogram, compare_ensembles
 
 from conftest import emit, once, sweep_runner
 
@@ -44,7 +44,8 @@ def _ensemble():
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_runtime_dilatation(benchmark):
     with_ipm, without_ipm = once(benchmark, _ensemble)
-    s_with, s_without, dilatation = ensemble_stats(with_ipm, without_ipm)
+    cmp = compare_ensembles(with_ipm, without_ipm)
+    s_with, s_without, dilatation = cmp.with_ipm, cmp.without_ipm, cmp.dilatation
 
     lo = min(min(with_ipm), min(without_ipm))
     hi = max(max(with_ipm), max(without_ipm))

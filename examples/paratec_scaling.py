@@ -18,7 +18,7 @@ independent configurations fan out onto worker processes, and passing
 import sys
 
 from repro import IpmConfig, JobSpec, ResultCache, SweepRunner
-from repro.analysis import format_scaling, sweep_scaling
+from repro.analysis import format_scaling, scaling_series
 from repro.sweep import SweepReport
 
 N_NODES = 8
@@ -67,7 +67,7 @@ def main(argv=None) -> None:
           "(paper: ~35% at 32 procs)\n")
 
     # the CUBLAS points (MKL baseline dropped) as a Fig. 10 table
-    points = sweep_scaling(SweepReport(results=list(cublas)), CATEGORIES)
+    points = scaling_series(SweepReport(results=list(cublas)), CATEGORIES)
     print(format_scaling(points, CATEGORIES))
     print("\nNote the MPI_Gather (and the waits it causes) at "
           f"{points[-1].nprocs} procs = 8 ranks/node — the paper's NUMA "

@@ -21,6 +21,9 @@ Subpackages
     the paper's workloads: the Fig. 3 example, the Table I CUDA-SDK
     benchmarks, HPL, PARATEC and Amber.
 :mod:`repro.analysis`
+    the stable analysis surface: the automated diagnosis engine
+    (bottleneck classification, straggler detection, two-sweep
+    regression diffing behind ``python -m repro analyze``) plus the
     table/histogram/scaling/comparison helpers for the benchmark
     harness.
 
@@ -51,10 +54,20 @@ subpackages::
     result = run_job(JobSpec(app="hpl", ntasks=16, ipm=IpmConfig()))
 """
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 # NOTE: __version__ must be bound before these imports — repro.sweep
 # reads it back for cache metadata while the package initializes.
+from repro.analysis import (  # noqa: E402
+    Diagnosis,
+    Finding,
+    SpecDelta,
+    SweepDiagnosis,
+    SweepDiff,
+    analyze_job,
+    analyze_sweep,
+    diff_sweeps,
+)
 from repro.cluster.jobs import JobResult, ProcessEnv, run_job  # noqa: E402
 from repro.core.ipm import IpmConfig  # noqa: E402
 from repro.core.report import JobReport, TaskReport  # noqa: E402
@@ -78,7 +91,9 @@ from repro.sweep import (  # noqa: E402
 from repro.telemetry.config import TelemetryConfig  # noqa: E402
 
 __all__ = [
+    "Diagnosis",
     "FaultPlan",
+    "Finding",
     "FleetAggregator",
     "FleetSink",
     "FleetStore",
@@ -91,12 +106,18 @@ __all__ = [
     "ProcessEnv",
     "ReproError",
     "ResultCache",
+    "SpecDelta",
+    "SweepDiagnosis",
+    "SweepDiff",
     "SweepJournal",
     "SweepReport",
     "SweepResult",
     "SweepRunner",
     "TaskReport",
     "TelemetryConfig",
+    "analyze_job",
+    "analyze_sweep",
+    "diff_sweeps",
     "run_job",
     "__version__",
 ]

@@ -5,6 +5,9 @@ Subcommands::
     python -m repro sweep specs.json --workers 4 --cache .sweep-cache
     python -m repro trace2json --app hpl --out trace.json
     python -m repro report profile.xml --top 12
+    python -m repro analyze report profile.xml
+    python -m repro analyze diff baseline.json current.json
+    python -m repro analyze gate BENCH_overhead.json --baseline base.json
     python -m repro fleet serve --http 127.0.0.1:9310 --data-dir fleet-data
     python -m repro fleet query 127.0.0.1:9310 /jobs
     python -m repro fleet compact fleet-data
@@ -16,7 +19,12 @@ through the parallel :class:`~repro.sweep.runner.SweepRunner` —
 running aggregator; ``trace2json`` is the Chrome-trace exporter (also
 still reachable as ``python -m repro.telemetry.trace2json``);
 ``report`` renders the IPM banner from a saved XML log (``--json``
-for the machine-readable form); ``fleet serve`` runs the
+for the machine-readable form); ``analyze`` is the diagnosis engine
+(:mod:`repro.analysis`) — ``analyze report`` classifies bottlenecks
+and flags stragglers in saved logs, ``analyze diff`` compares two
+sweep summaries with confidence bounds, ``analyze gate`` is the CI
+regression gate over sweep summaries or flat ``BENCH_*.json``
+documents; ``fleet serve`` runs the
 :class:`~repro.fleet.service.FleetAggregator` (``--data-dir`` makes
 it durable: restarts replay the on-disk record log), ``fleet query``
 fetches one endpoint from a running one, and ``fleet compact`` is the
@@ -31,7 +39,10 @@ Exit codes (pinned, shared by every subcommand):
   trace without samples);
 * 4 — the sweep *completed* but one or more specs ended in a non-ok
   terminal status (crashed, timeout, deadlock, …): partial results
-  were produced and reported, distinct from "could not run at all".
+  were produced and reported, distinct from "could not run at all";
+* 5 — ``analyze diff``/``analyze gate`` found a confident performance
+  regression (the comparison itself succeeded — CI fails on this code
+  and only this code).
 """
 
 from __future__ import annotations
@@ -39,13 +50,30 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 #: pinned exit codes of the CLI contract (tested).
 EXIT_OK = 0
 EXIT_BAD_INPUT = 2
 EXIT_EMPTY = 3
 EXIT_SPEC_FAILURES = 4
+EXIT_REGRESSION = 5
+
+
+def _emit_text(text: str, out: Optional[str]) -> None:
+    """The one output writer every subcommand shares: ``--out FILE``
+    or stdout, always newline-terminated."""
+    if not text.endswith("\n"):
+        text += "\n"
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def _emit_json(data: Any, out: Optional[str]) -> None:
+    _emit_text(json.dumps(data, indent=2, sort_keys=True), out)
 
 
 def _load_specs(path: str) -> List["object"]:
@@ -145,11 +173,122 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.json:
         from repro.core.report import job_summary
 
-        print(json.dumps(job_summary(job, top=args.top),
-                         indent=2, sort_keys=True))
+        _emit_json(job_summary(job, top=args.top), args.out)
     else:
-        print(banner(job, top=args.top))
+        _emit_text(banner(job, top=args.top), args.out)
     return EXIT_OK
+
+
+def _load_json(path: str, what: str) -> Any:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read {what} {path!r}: {exc}")
+
+
+def _cmd_analyze_report(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        SweepDiagnosis,
+        analyze_job,
+        format_sweep_diagnosis,
+        to_document,
+    )
+    from repro.core.xmlog import read_xml
+
+    diagnoses = []
+    for path in args.xml:
+        try:
+            job = read_xml(path)
+        except (OSError, ValueError, SyntaxError) as exc:
+            print(f"analyze report: bad input: {path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_BAD_INPUT
+        diagnoses.append(analyze_job(job, label=path))
+    sdiag = SweepDiagnosis(diagnoses=tuple(diagnoses))
+    if args.json:
+        _emit_json(to_document(sdiag), args.out)
+    else:
+        _emit_text(format_sweep_diagnosis(sdiag), args.out)
+    return EXIT_OK
+
+
+def _is_sweep_summary(data: Any) -> bool:
+    return isinstance(data, dict) and isinstance(data.get("results"), list)
+
+
+def _cmd_analyze_diff(args: argparse.Namespace) -> int:
+    from repro.analysis import diff_sweeps, format_diff, to_document
+
+    baseline = _load_json(args.baseline, "baseline sweep summary")
+    current = _load_json(args.current, "current sweep summary")
+    for name, data in (("baseline", baseline), ("current", current)):
+        if not _is_sweep_summary(data):
+            raise ValueError(
+                f"{name} is not a sweep summary (expected the JSON "
+                "`python -m repro sweep --out` writes)"
+            )
+    diff = diff_sweeps(
+        baseline, current,
+        metric=args.metric,
+        confidence=args.confidence,
+        min_rel_delta=args.min_rel_delta,
+    )
+    if args.json:
+        _emit_json(to_document(diff), args.out)
+    else:
+        _emit_text(format_diff(diff), args.out)
+    if not diff.deltas:
+        print("analyze diff: no matching configs to compare",
+              file=sys.stderr)
+        return EXIT_EMPTY
+    return EXIT_REGRESSION if diff.has_regression else EXIT_OK
+
+
+def _cmd_analyze_gate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import (
+        diff_sweeps,
+        format_diff,
+        gate_metrics,
+        to_document,
+    )
+
+    if not os.path.exists(args.baseline):
+        print(f"analyze gate: no baseline at {args.baseline} — "
+              "nothing to gate against (first run passes)")
+        return EXIT_OK
+    baseline = _load_json(args.baseline, "baseline")
+    current = _load_json(args.current, "current")
+    if _is_sweep_summary(baseline) != _is_sweep_summary(current):
+        raise ValueError(
+            "baseline and current disagree in kind: one is a sweep "
+            "summary, the other a flat benchmark document"
+        )
+    if _is_sweep_summary(baseline):
+        diff = diff_sweeps(
+            baseline, current,
+            metric=args.metric[0] if args.metric else "wallclock",
+            confidence=args.confidence,
+            min_rel_delta=args.tolerance,
+        )
+    else:
+        diff = gate_metrics(
+            current, baseline,
+            metrics=args.metric or None,
+            tolerance=args.tolerance,
+            confidence=args.confidence,
+        )
+    if args.json:
+        _emit_json(to_document(diff), args.out)
+    else:
+        _emit_text(format_diff(diff), args.out)
+    if not diff.deltas:
+        print("analyze gate: nothing comparable between baseline and "
+              "current", file=sys.stderr)
+        return EXIT_EMPTY
+    return EXIT_REGRESSION if diff.has_regression else EXIT_OK
 
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
@@ -346,7 +485,77 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_report.add_argument("--json", action="store_true",
                           help="emit the banner's content as JSON instead "
                                "of text")
+    p_report.add_argument("--out", default=None, metavar="FILE",
+                          help="write the output here instead of stdout")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="automated diagnosis: bottleneck/straggler report, "
+             "two-sweep regression diff, CI gate (exit 5 = regression)",
+    )
+    analyze_sub = p_analyze.add_subparsers(dest="analyze_cmd", required=True)
+    p_a_report = analyze_sub.add_parser(
+        "report",
+        help="diagnose saved IPM XML logs (bottleneck class, "
+             "stragglers, load imbalance)",
+    )
+    p_a_report.add_argument("xml", nargs="+",
+                            help="IPM XML log(s) (write_xml output)")
+    p_a_report.add_argument("--json", action="store_true",
+                            help="emit the analysis document instead of text")
+    p_a_report.add_argument("--out", default=None, metavar="FILE",
+                            help="write the output here instead of stdout")
+    p_a_report.set_defaults(fn=_cmd_analyze_report)
+    p_a_diff = analyze_sub.add_parser(
+        "diff",
+        help="compare two sweep summaries config-by-config "
+             "(exit 5 on a confident regression)",
+    )
+    p_a_diff.add_argument("baseline",
+                          help="baseline sweep summary JSON "
+                               "(`repro sweep --out` output)")
+    p_a_diff.add_argument("current", help="current sweep summary JSON")
+    p_a_diff.add_argument("--metric", default="wallclock",
+                          help="summary-row metric to compare "
+                               "(default wallclock)")
+    p_a_diff.add_argument("--confidence", type=float, default=0.95,
+                          help="confidence level of bounds/verdicts "
+                               "(default 0.95)")
+    p_a_diff.add_argument("--min-rel-delta", type=float, default=0.01,
+                          help="relative slowdown below which a confident "
+                               "delta is ignored (default 0.01)")
+    p_a_diff.add_argument("--json", action="store_true",
+                          help="emit the analysis document instead of text")
+    p_a_diff.add_argument("--out", default=None, metavar="FILE",
+                          help="write the output here instead of stdout")
+    p_a_diff.set_defaults(fn=_cmd_analyze_diff)
+    p_a_gate = analyze_sub.add_parser(
+        "gate",
+        help="CI gate: current vs committed baseline (sweep summaries "
+             "or flat BENCH_*.json; a missing baseline passes)",
+    )
+    p_a_gate.add_argument("current",
+                          help="current measurement JSON (sweep summary "
+                               "or flat benchmark document)")
+    p_a_gate.add_argument("--baseline", required=True, metavar="FILE",
+                          help="committed baseline JSON of the same kind")
+    p_a_gate.add_argument("--metric", action="append", default=[],
+                          metavar="NAME",
+                          help="metric(s) to gate (repeatable; default: "
+                               "wallclock for sweeps, every *_per_sec/"
+                               "*_speedup key for benchmark documents)")
+    p_a_gate.add_argument("--tolerance", type=float, default=0.20,
+                          help="allowed fractional move in the bad "
+                               "direction (default 0.20)")
+    p_a_gate.add_argument("--confidence", type=float, default=0.95,
+                          help="confidence level of bounds/verdicts "
+                               "(default 0.95)")
+    p_a_gate.add_argument("--json", action="store_true",
+                          help="emit the analysis document instead of text")
+    p_a_gate.add_argument("--out", default=None, metavar="FILE",
+                          help="write the output here instead of stdout")
+    p_a_gate.set_defaults(fn=_cmd_analyze_gate)
 
     p_fleet = sub.add_parser(
         "fleet", help="run or query the fleet telemetry aggregator"

@@ -1,20 +1,137 @@
-"""Analysis utilities for the benchmark harness: table rendering,
-ensemble statistics (Fig. 8), scaling series (Fig. 10) and
-paper-vs-measured comparison records for EXPERIMENTS.md."""
+"""``repro.analysis`` — the stable analysis and diagnosis surface.
 
+One public API over what used to be ad-hoc helpers:
+
+* **Diagnosis engine** (:mod:`~repro.analysis.diagnose`):
+  :func:`analyze_job` / :func:`analyze_sweep` classify each job's
+  dominant bottleneck from the paper's region taxonomy and flag
+  stragglers with noise-honest robust z-scores.
+* **Regression differ** (:mod:`~repro.analysis.diff`):
+  :func:`diff_sweeps` compares two sweeps config-by-config with
+  confidence bounds; :func:`gate_metrics` gates flat ``BENCH_*.json``
+  documents.  Both power ``python -m repro analyze``.
+* **Result types** (:mod:`~repro.analysis.findings`): every engine
+  output is a frozen dataclass (:class:`Finding`, :class:`Diagnosis`,
+  :class:`SweepDiff`, …) that round-trips JSON through the sweep codec
+  under the shared :data:`ANALYSIS_SCHEMA` envelope.
+* **Figure/table helpers**: :func:`format_table`,
+  :func:`compare_ensembles`, :func:`scaling_series`,
+  :func:`scaling_speedups`, :func:`ascii_histogram`,
+  :func:`format_comparisons` — the canonical forms of the original
+  Fig. 8 / Fig. 10 utilities.  The old names (``ensemble_stats``,
+  ``sweep_scaling``, ``speedup``) still work but raise
+  ``DeprecationWarning``; :data:`LEGACY_HELPER_TO_API` maps each to
+  its replacement (mirroring the PR 4
+  ``LEGACY_KWARG_TO_SPEC_FIELD`` convention).
+"""
+
+from repro.analysis.findings import (
+    ANALYSIS_SCHEMA,
+    BOTTLENECKS,
+    DELTA_VERDICTS,
+    FINDING_KINDS,
+    SEVERITIES,
+    Diagnosis,
+    Finding,
+    SpecDelta,
+    SweepDiagnosis,
+    SweepDiff,
+    from_document,
+    register_analysis_type,
+    to_document,
+)
+from repro.analysis.diagnose import (
+    analyze_job,
+    analyze_sweep,
+    classify,
+    component_times,
+    detect_stragglers,
+    format_diagnosis,
+    format_sweep_diagnosis,
+)
+from repro.analysis.diff import (
+    diff_sweeps,
+    format_diff,
+    gate_metrics,
+    noise_cv,
+)
 from repro.analysis.tables import format_table
-from repro.analysis.histogram import EnsembleStats, ascii_histogram, ensemble_stats
-from repro.analysis.scaling import ScalingPoint, format_scaling, sweep_scaling
+from repro.analysis.histogram import (
+    EnsembleComparison,
+    EnsembleStats,
+    ascii_histogram,
+    compare_ensembles,
+    ensemble_stats,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    format_scaling,
+    scaling_series,
+    scaling_speedups,
+    speedup,
+    sweep_scaling,
+)
 from repro.analysis.compare import Comparison, format_comparisons
 
+#: deprecated helper -> its stable replacement (the analysis-surface
+#: analogue of the PR 4 ``LEGACY_KWARG_TO_SPEC_FIELD`` table; each old
+#: name keeps working behind a ``DeprecationWarning`` shim).
+LEGACY_HELPER_TO_API = {
+    "ensemble_stats": "compare_ensembles",
+    "sweep_scaling": "scaling_series",
+    "speedup": "scaling_speedups",
+}
+
+# the helper result dataclasses share the engine's JSON envelope.
+for _cls in (EnsembleStats, EnsembleComparison, ScalingPoint, Comparison):
+    register_analysis_type(_cls)
+del _cls
+
 __all__ = [
-    "format_table",
-    "EnsembleStats",
-    "ascii_histogram",
-    "ensemble_stats",
-    "ScalingPoint",
-    "format_scaling",
-    "sweep_scaling",
+    # schema + vocabularies
+    "ANALYSIS_SCHEMA",
+    "BOTTLENECKS",
+    "DELTA_VERDICTS",
+    "FINDING_KINDS",
+    "SEVERITIES",
+    "LEGACY_HELPER_TO_API",
+    # result types
     "Comparison",
+    "Diagnosis",
+    "EnsembleComparison",
+    "EnsembleStats",
+    "Finding",
+    "ScalingPoint",
+    "SpecDelta",
+    "SweepDiagnosis",
+    "SweepDiff",
+    # engine
+    "analyze_job",
+    "analyze_sweep",
+    "classify",
+    "component_times",
+    "detect_stragglers",
+    "diff_sweeps",
+    "gate_metrics",
+    "noise_cv",
+    # documents
+    "from_document",
+    "register_analysis_type",
+    "to_document",
+    # renderers
+    "ascii_histogram",
     "format_comparisons",
+    "format_diagnosis",
+    "format_diff",
+    "format_scaling",
+    "format_sweep_diagnosis",
+    "format_table",
+    # figure/table helpers (canonical)
+    "compare_ensembles",
+    "scaling_series",
+    "scaling_speedups",
+    # deprecated shims (kept importable)
+    "ensemble_stats",
+    "speedup",
+    "sweep_scaling",
 ]

@@ -1,0 +1,403 @@
+"""Automated per-job diagnosis: bottleneck class + straggler findings.
+
+The paper's region taxonomy makes bottleneck classification mechanical:
+every rank's :class:`~repro.core.hashtable.PerfHashTable` already
+splits time into GPU kernel execution (the ``@CUDA_EXEC_STRMxx``
+pseudo-regions), host-blocked time (``@CUDA_HOST_IDLE``), host↔device
+transfer calls, MPI, and the residual host compute.  :func:`analyze_job`
+turns those aggregates into a :class:`~repro.analysis.findings.Diagnosis`
+— one verdict out of :data:`~repro.analysis.findings.BOTTLENECKS` plus
+structured findings — and :func:`analyze_sweep` maps it over a
+:class:`~repro.sweep.report.SweepReport`.
+
+Straggler detection is a robust z-score over per-rank *active* time
+(wallclock minus MPI time): collectives synchronize rank wallclocks,
+so a straggler hides in equal wallclocks but shows as the one rank
+doing more work while its peers wait in MPI.  The spread estimate is
+the rank ensemble's MAD floored by the OS-noise model's analytic
+coefficient of variation (:func:`repro.analysis.diff.noise_cv`), so
+thresholds stay honest: under a noiseless deterministic simulation any
+real deviation is significant, under configured noise the threshold
+widens to match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.analysis.diff import noise_cv
+from repro.analysis.findings import (
+    BOTTLENECKS,
+    Diagnosis,
+    Finding,
+    SweepDiagnosis,
+)
+from repro.core.report import JobReport, TaskReport
+from repro.simt.noise import NoiseConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.report import SweepReport
+
+#: host-side calls whose time is host<->device data movement (the
+#: paper's transfer region: runtime memcpy/memset plus the CUBLAS
+#: helper transfers the thunking layer routes through).
+TRANSFER_CALLS = frozenset((
+    "cudaMemcpy",
+    "cudaMemcpyAsync",
+    "cudaMemcpyToSymbol",
+    "cudaMemcpyFromSymbol",
+    "cudaMemset",
+    "cudaMemsetAsync",
+    "cublasSetVector",
+    "cublasGetVector",
+    "cublasSetMatrix",
+    "cublasGetMatrix",
+    "cublasSetVectorAsync",
+    "cublasGetVectorAsync",
+    "cublasSetMatrixAsync",
+    "cublasGetMatrixAsync",
+))
+
+#: accelerator host-API domains (their call time is host-side time
+#: spent driving the device, not host compute).
+DEVICE_DOMAINS = ("CUBLAS", "CUDA", "CUFFT")
+
+#: the breakdown component names every Diagnosis carries.
+COMPONENTS = ("host_compute", "host_idle", "kernel", "network", "transfer")
+
+#: a component must claim at least this wallclock fraction to become
+#: the verdict; below it the job is "inconclusive".
+DEFAULT_MIN_FRACTION = 0.25
+
+#: robust z-score above which a rank is flagged a straggler.
+DEFAULT_Z_THRESHOLD = 4.0
+#: and its active time must exceed the median by this fraction (keeps
+#: microscopic-but-"significant" deviations out of the findings).
+DEFAULT_MIN_REL_EXCESS = 0.05
+
+#: max/mean active-time ratio above which load imbalance is flagged.
+DEFAULT_IMBALANCE_RATIO = 1.5
+
+#: MAD -> sigma for a normal distribution (1 / Phi^-1(3/4)).
+_MAD_SCALE = 0.6745
+
+
+def component_times(task: TaskReport, domains: Dict[str, str]) -> Dict[str, float]:
+    """One rank's time split into the taxonomy's components, seconds.
+
+    Components overlap by construction (kernels execute while the host
+    idles in a sync call), so they need not sum to the wallclock:
+
+    * ``kernel`` — GPU kernel execution (``@CUDA_EXEC_STRMxx``);
+    * ``transfer`` — host time inside :data:`TRANSFER_CALLS`;
+    * ``host_idle`` — host blocked on the device (``@CUDA_HOST_IDLE``);
+    * ``network`` — MPI call time;
+    * ``host_compute`` — the residual: wallclock minus MPI, minus idle,
+      minus every accelerator host-API call (clamped at zero).
+    """
+    network = task.domain_time(domains, "MPI")
+    host_idle = task.host_idle_time()
+    transfer = 0.0
+    device_api = 0.0
+    for name, stats in task.by_name().items():
+        if name.startswith("@"):
+            continue
+        base = name.split("(")[0]
+        if domains.get(base) in DEVICE_DOMAINS:
+            device_api += stats.total
+            if base in TRANSFER_CALLS:
+                transfer += stats.total
+    host_compute = max(0.0, task.wallclock - network - host_idle - device_api)
+    return {
+        "host_compute": host_compute,
+        "host_idle": host_idle,
+        "kernel": task.gpu_exec_time(),
+        "network": network,
+        "transfer": transfer,
+    }
+
+
+def classify(
+    breakdown: Dict[str, float],
+    *,
+    min_fraction: float = DEFAULT_MIN_FRACTION,
+) -> str:
+    """Breakdown fractions -> one of :data:`BOTTLENECKS`.
+
+    Host-idle time overlapping recorded kernel execution is evidence
+    *for* kernel-bound, not against it, so only the idle in excess of
+    kernel time competes as its own candidate (a host blocked on a
+    device doing nothing it accounts for — async transfers, peer
+    streams — is the genuine "host-idle-bound" signature).
+    """
+    idle_excess = max(
+        0.0, breakdown.get("host_idle", 0.0) - breakdown.get("kernel", 0.0)
+    )
+    candidates = (
+        ("kernel-bound", breakdown.get("kernel", 0.0)),
+        ("transfer-bound", breakdown.get("transfer", 0.0)),
+        ("network-bound", breakdown.get("network", 0.0)),
+        ("cpu-bound", breakdown.get("host_compute", 0.0)),
+        ("host-idle-bound", idle_excess),
+    )
+    verdict, best = "inconclusive", 0.0
+    for name, fraction in candidates:  # first maximal wins (priority order)
+        if fraction > best:
+            verdict, best = name, fraction
+    if best < min_fraction:
+        return "inconclusive"
+    assert verdict in BOTTLENECKS
+    return verdict
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def active_times(job: JobReport) -> Dict[int, float]:
+    """Per-rank active time (wallclock − MPI), the straggler metric.
+
+    Collectives equalize wallclocks — the fast ranks convert their
+    slack into MPI wait — so wall − MPI recovers each rank's own work
+    time and defeats the masking.
+    """
+    return {
+        t.rank: max(0.0, t.wallclock - t.domain_time(job.domains, "MPI"))
+        for t in job.tasks
+    }
+
+
+def detect_stragglers(
+    job: JobReport,
+    *,
+    noise: Optional[NoiseConfig] = None,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    min_rel_excess: float = DEFAULT_MIN_REL_EXCESS,
+    imbalance_ratio: float = DEFAULT_IMBALANCE_RATIO,
+) -> Tuple[Finding, ...]:
+    """Straggler + load-imbalance findings over one job's ranks."""
+    if job.ntasks < 2:
+        return ()
+    actives = active_times(job)
+    values = list(actives.values())
+    med = _median(values)
+    mad = _median([abs(v - med) for v in values])
+    # sigma: the measured spread, floored by the noise model's analytic
+    # cv (honest under configured noise) and by a tiny epsilon (so a
+    # noiseless deterministic deviation divides by something).
+    sigma = max(
+        mad / _MAD_SCALE,
+        noise_cv(noise) * abs(med),
+        1e-9 + 1e-6 * abs(med),
+    )
+    findings: List[Finding] = []
+    for rank in sorted(actives):
+        excess = actives[rank] - med
+        z = excess / sigma
+        if z > z_threshold and excess > min_rel_excess * max(med, 1e-12):
+            findings.append(Finding(
+                kind="straggler",
+                severity="warning",
+                target=f"rank:{rank}",
+                message=(
+                    f"rank {rank} is a straggler: active "
+                    f"{actives[rank]:.4g}s vs median {med:.4g}s "
+                    f"(+{excess / med:.0%}, robust z={min(z, 1e6):.1f})"
+                    if med > 0 else
+                    f"rank {rank} is a straggler: active "
+                    f"{actives[rank]:.4g}s vs median {med:.4g}s"
+                ),
+                metrics={
+                    "active": actives[rank],
+                    "median": med,
+                    "z": min(z, 1e9),  # keep JSON finite
+                },
+            ))
+    mean = sum(values) / len(values)
+    peak = max(values)
+    if mean > 0 and peak / mean >= imbalance_ratio:
+        findings.append(Finding(
+            kind="load_imbalance",
+            severity="warning",
+            message=(
+                f"load imbalance: slowest rank is active "
+                f"{peak:.4g}s vs {mean:.4g}s mean "
+                f"({peak / mean:.2f}x across {job.ntasks} ranks)"
+            ),
+            metrics={
+                "max_active": peak,
+                "mean_active": mean,
+                "ratio": peak / mean,
+            },
+        ))
+    return tuple(findings)
+
+
+def analyze_job(
+    job: JobReport,
+    *,
+    label: str = "job",
+    noise: Optional[NoiseConfig] = None,
+    min_fraction: float = DEFAULT_MIN_FRACTION,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+) -> Diagnosis:
+    """One job report -> its automated :class:`Diagnosis`."""
+    fractions: Dict[str, float] = {c: 0.0 for c in COMPONENTS}
+    for task in job.tasks:
+        wall = task.wallclock
+        if wall <= 0.0:
+            continue
+        for name, seconds in component_times(task, job.domains).items():
+            fractions[name] += seconds / wall / job.ntasks
+    verdict = classify(fractions, min_fraction=min_fraction)
+    findings: List[Finding] = []
+    dominant = {
+        "kernel-bound": "kernel",
+        "transfer-bound": "transfer",
+        "network-bound": "network",
+        "cpu-bound": "host_compute",
+        "host-idle-bound": "host_idle",
+    }.get(verdict)
+    if dominant is not None:
+        findings.append(Finding(
+            kind="bottleneck",
+            severity="info",
+            message=(
+                f"{label}: {verdict} — {dominant} is "
+                f"{fractions[dominant]:.0%} of wallclock "
+                f"(kernel {fractions['kernel']:.0%}, "
+                f"transfer {fractions['transfer']:.0%}, "
+                f"network {fractions['network']:.0%})"
+            ),
+            metrics={"fraction": fractions[dominant]},
+        ))
+    else:
+        findings.append(Finding(
+            kind="bottleneck",
+            severity="info",
+            message=(
+                f"{label}: inconclusive — no component reaches "
+                f"{min_fraction:.0%} of wallclock"
+            ),
+        ))
+    findings.extend(detect_stragglers(
+        job, noise=noise, z_threshold=z_threshold,
+    ))
+    if not job.complete:
+        bad = {
+            rank: status
+            for rank, status in sorted(job.rank_statuses().items())
+            if status != "completed"
+        }
+        findings.append(Finding(
+            kind="failed_ranks",
+            severity="critical",
+            message=(
+                f"{label}: partial report — "
+                + ", ".join(f"rank {r} {s}" for r, s in bad.items())
+            ),
+            metrics={"failed": float(len(bad))},
+        ))
+    return Diagnosis(
+        job=label,
+        verdict=verdict,
+        ntasks=job.ntasks,
+        wallclock=job.wallclock,
+        breakdown=fractions,
+        findings=tuple(findings),
+        complete=job.complete,
+    )
+
+
+def analyze_sweep(
+    sweep: "SweepReport",
+    *,
+    min_fraction: float = DEFAULT_MIN_FRACTION,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+) -> SweepDiagnosis:
+    """Diagnose every monitored job of a sweep.
+
+    Failed specs become critical ``failed_spec`` findings; ok-but-
+    unmonitored specs (no IPM attached) become info notes — neither is
+    silently dropped.
+    """
+    diagnoses: List[Diagnosis] = []
+    findings: List[Finding] = []
+    for result in sweep:
+        app = result.spec.app if isinstance(result.spec.app, str) else (
+            getattr(result.spec.app, "__name__", "callable")
+        )
+        label = f"{app} x{result.spec.ntasks} seed={result.spec.seed}"
+        target = f"spec:{result.spec_hash[:12]}"
+        if result.status != "ok":
+            findings.append(Finding(
+                kind="failed_spec",
+                severity="critical",
+                target=target,
+                message=(
+                    f"{label} failed ({result.status})"
+                    + (f": {result.error}" if result.error else "")
+                ),
+            ))
+            continue
+        if result.report is None:
+            findings.append(Finding(
+                kind="note",
+                severity="info",
+                target=target,
+                message=f"{label} ran unmonitored — nothing to diagnose",
+            ))
+            continue
+        diagnoses.append(analyze_job(
+            result.report,
+            label=label,
+            noise=result.spec.noise,
+            min_fraction=min_fraction,
+            z_threshold=z_threshold,
+        ))
+    return SweepDiagnosis(
+        diagnoses=tuple(diagnoses), findings=tuple(findings),
+    )
+
+
+def format_diagnosis(diag: Diagnosis) -> str:
+    """Render one :class:`Diagnosis` as the CLI's text block."""
+    head = (
+        f"{diag.job}: {diag.verdict} "
+        f"({diag.ntasks} ranks, wallclock {diag.wallclock:.4g}s"
+        + ("" if diag.complete else ", PARTIAL")
+        + ")"
+    )
+    parts = "  ".join(
+        f"{name}={value:.0%}" for name, value in diag.breakdown
+    )
+    lines = [head, f"  breakdown: {parts}"]
+    for f in diag.findings:
+        if f.kind == "bottleneck":
+            continue  # already the headline
+        lines.append(f"  [{f.severity}] {f.message}")
+    return "\n".join(lines)
+
+
+def format_sweep_diagnosis(sdiag: SweepDiagnosis) -> str:
+    """Render a :class:`SweepDiagnosis` as the CLI's text report."""
+    lines: List[str] = []
+    for diag in sdiag.diagnoses:
+        lines.append(format_diagnosis(diag))
+    for f in sdiag.findings:
+        lines.append(f"[{f.severity}] {f.message}")
+    counts = sdiag.verdict_counts()
+    if counts:
+        summary = ", ".join(
+            f"{n} {v}" for v, n in sorted(counts.items())
+        )
+        lines.append(
+            f"{len(sdiag.diagnoses)} job(s) diagnosed: {summary}"
+            + ("" if sdiag.ok else " — findings above info severity")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,366 @@
+"""Two-sweep differ: per-config regression detection with confidence.
+
+:func:`diff_sweeps` matches the configurations of a baseline sweep
+against a current sweep (grouping by the seed- and fault-independent
+:meth:`~repro.sweep.spec.JobSpec.config_hash`, so an ensemble of seeds
+forms one sample and an injected fault plan still compares against its
+clean baseline), computes a Welch z-statistic per config, and emits a
+:class:`~repro.analysis.findings.SweepDiff` whose verdict the CLI's
+exit code 5 is wired to.
+
+Honest thresholds: the sweep's own run-to-run spread is the first
+variance estimate; when a side is a single run (or deterministic), the
+OS-noise model's configuration gives an analytic floor via
+:func:`noise_cv` instead of pretending variance is zero.  A sweep
+diffed against itself is always verdict "ok" at any confidence level
+(every delta is exactly zero), which is what lets CI regression-gate
+golden sweep outputs byte-for-byte.
+
+:func:`gate_metrics` is the same machinery pointed at flat benchmark
+JSON (``BENCH_*.json``): named scalar metrics with a direction
+(throughput up = good, latency up = bad) and a tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
+
+from repro.analysis.findings import SpecDelta, SweepDiff
+from repro.simt.noise import NoiseConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.report import SweepReport
+
+#: default confidence level of diff verdicts and bounds.
+DEFAULT_CONFIDENCE = 0.95
+#: relative slowdown below which a confident delta is ignored (float
+#: noise, timer granularity — not a perf regression worth failing CI).
+DEFAULT_MIN_REL_DELTA = 0.01
+
+#: benchmark-metric direction by name suffix: larger is better.
+HIGHER_IS_BETTER_SUFFIXES = ("_per_sec", "_per_second", "_speedup")
+#: larger is worse (latencies, per-event costs, durations).
+LOWER_IS_BETTER_SUFFIXES = ("_us", "_us_per_event", "_seconds", "_lag")
+
+
+def noise_cv(noise: Optional[NoiseConfig]) -> float:
+    """Analytic coefficient of variation of a whole-run wallclock.
+
+    An approximation of the run-to-run spread the OS-noise model
+    induces, used as the variance *floor* when a config has too few
+    samples to estimate spread empirically:
+
+    * the per-run multiplicative bias contributes ``run_bias_sd``
+      directly (it scales the whole run);
+    * compute-segment jitter is ``Gamma(k, jitter_mean/k)`` per
+      segment; across a run it averages down, so its single-segment
+      standard deviation ``jitter_mean / sqrt(k)`` is an upper bound;
+    * daemon interruptions contribute sub-linearly and are folded into
+      the jitter bound rather than modeled per-duration (the differ
+      only needs a floor, not a forecast).
+
+    Disabled or absent noise returns 0.0 — a deterministic simulation
+    has genuinely zero variance, so *any* nonzero delta is significant.
+    """
+    if noise is None or not noise.enabled:
+        return 0.0
+    jitter_sd = (
+        noise.jitter_mean / math.sqrt(noise.jitter_shape)
+        if noise.jitter_mean > 0.0 and noise.jitter_shape > 0.0
+        else 0.0
+    )
+    daemon_sd = noise.daemon_rate * noise.daemon_mean
+    return math.sqrt(
+        noise.run_bias_sd ** 2 + jitter_sd ** 2 + daemon_sd ** 2
+    )
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[int, float, float]:
+    n = len(values)
+    if n == 0:
+        return 0, 0.0, 0.0
+    mean = sum(values) / n
+    if n < 2:
+        return n, mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return n, mean, math.sqrt(var)
+
+
+def z_critical(confidence: float) -> float:
+    """One-sided normal critical value for ``confidence`` in (0, 1)."""
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1): {confidence}")
+    return NormalDist().inv_cdf(confidence)
+
+
+def _compare(
+    key: str,
+    label: str,
+    metric: str,
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    confidence: float,
+    min_rel_delta: float,
+    baseline_cv: float = 0.0,
+    current_cv: float = 0.0,
+) -> SpecDelta:
+    """One matched sample pair -> a :class:`SpecDelta`."""
+    n_b, mean_b, std_b = _mean_std(baseline)
+    n_c, mean_c, std_c = _mean_std(current)
+    delta = mean_c - mean_b
+    rel = delta / mean_b if mean_b else 0.0
+    # per-side standard error: the measured spread, floored by the
+    # noise model's analytic cv so single runs stay honest.
+    se_b = max(std_b, baseline_cv * abs(mean_b)) / math.sqrt(max(n_b, 1))
+    se_c = max(std_c, current_cv * abs(mean_c)) / math.sqrt(max(n_c, 1))
+    se = math.hypot(se_b, se_c)
+    if se > 0.0:
+        z = delta / se
+    else:
+        z = math.inf if delta > 0 else (-math.inf if delta < 0 else 0.0)
+    zc = z_critical(confidence)
+    if mean_b:
+        rel_low = (delta - zc * se) / mean_b if se > 0.0 else rel
+        rel_high = (delta + zc * se) / mean_b if se > 0.0 else rel
+    else:
+        rel_low = rel_high = 0.0
+    if rel_low > min_rel_delta:
+        verdict = "regression"
+    elif rel_high < -min_rel_delta:
+        verdict = "improvement"
+    elif n_b == 0 or n_c == 0:
+        verdict = "indeterminate"
+    else:
+        verdict = "ok"
+    return SpecDelta(
+        key=key,
+        label=label,
+        metric=metric,
+        baseline_n=n_b,
+        baseline_mean=mean_b,
+        baseline_std=std_b,
+        current_n=n_c,
+        current_mean=mean_c,
+        current_std=std_c,
+        delta=delta,
+        rel_delta=rel,
+        z=z,
+        rel_delta_low=rel_low,
+        verdict=verdict,
+    )
+
+
+# -- sweep grouping ---------------------------------------------------------
+
+def _rows_of(sweep: Union["SweepReport", Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Normalize a SweepReport or a ``sweep --out`` summary to rows."""
+    if isinstance(sweep, Mapping):
+        rows = sweep.get("results")
+        if not isinstance(rows, list):
+            raise ValueError(
+                "not a sweep summary: expected an object with a "
+                "'results' array (the JSON `python -m repro sweep "
+                "--out` writes)"
+            )
+        return list(rows)
+    summary = sweep.summary()
+    return list(summary["results"])
+
+
+def _group_key(row: Mapping[str, Any]) -> str:
+    """Config identity of one summary row.
+
+    Prefers the seed/fault-independent ``config_hash`` (rows written
+    since this API exist carry it); summaries from older builds fall
+    back to the coarse ``app x ntasks`` key.
+    """
+    key = row.get("config_hash")
+    if key:
+        return str(key)
+    return f"{row.get('app')}:x{row.get('ntasks')}"
+
+
+def _group(rows: Iterable[Mapping[str, Any]], metric: str):
+    """rows -> key -> (label, values, cv); non-ok rows are skipped."""
+    groups: Dict[str, Tuple[str, List[float], float]] = {}
+    for row in rows:
+        if row.get("status", "ok") != "ok":
+            continue
+        if metric not in row:
+            raise ValueError(f"summary rows carry no metric {metric!r}")
+        key = _group_key(row)
+        label = f"{row.get('app')} x{row.get('ntasks')}"
+        cv = float(row.get("noise_cv") or 0.0)
+        entry = groups.setdefault(key, (label, [], cv))
+        entry[1].append(float(row[metric]))
+        if cv > entry[2]:
+            groups[key] = (entry[0], entry[1], cv)
+    return groups
+
+
+def diff_sweeps(
+    baseline: Union["SweepReport", Mapping[str, Any]],
+    current: Union["SweepReport", Mapping[str, Any]],
+    *,
+    metric: str = "wallclock",
+    confidence: float = DEFAULT_CONFIDENCE,
+    min_rel_delta: float = DEFAULT_MIN_REL_DELTA,
+) -> SweepDiff:
+    """Compare two sweeps config-by-config; larger ``metric`` = worse.
+
+    Accepts :class:`~repro.sweep.report.SweepReport` objects or the
+    summary dicts ``python -m repro sweep --out`` writes.  Configs are
+    matched by seed/fault-independent identity; each side's sample is
+    every ok result of that config (one per seed).  The returned
+    :class:`SweepDiff` carries one :class:`SpecDelta` per matched
+    config plus the unmatched keys of both sides.
+    """
+    base_groups = _group(_rows_of(baseline), metric)
+    cur_groups = _group(_rows_of(current), metric)
+    deltas = []
+    for key in sorted(k for k in base_groups if k in cur_groups):
+        label, base_vals, base_cv = base_groups[key]
+        _, cur_vals, cur_cv = cur_groups[key]
+        deltas.append(_compare(
+            key, label, metric, base_vals, cur_vals,
+            confidence=confidence, min_rel_delta=min_rel_delta,
+            baseline_cv=base_cv, current_cv=cur_cv,
+        ))
+    return SweepDiff(
+        deltas=tuple(deltas),
+        confidence=confidence,
+        min_rel_delta=min_rel_delta,
+        only_baseline=tuple(sorted(set(base_groups) - set(cur_groups))),
+        only_current=tuple(sorted(set(cur_groups) - set(base_groups))),
+    )
+
+
+# -- benchmark-metric gating ------------------------------------------------
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"``/``"lower"``-is-better by suffix, None if unknown."""
+    for suffix in HIGHER_IS_BETTER_SUFFIXES:
+        if name.endswith(suffix):
+            return "higher"
+    for suffix in LOWER_IS_BETTER_SUFFIXES:
+        if name.endswith(suffix):
+            return "lower"
+    return None
+
+
+def gate_metrics(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+    tolerance: float = 0.20,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> SweepDiff:
+    """Gate flat benchmark JSON (``BENCH_*.json``) against a baseline.
+
+    ``metrics`` names the scalar keys to compare; by default every
+    shared numeric key whose suffix marks it higher-is-better (the
+    throughput families) is gated — latency-style keys are too
+    machine-sensitive to gate implicitly, but can be named explicitly
+    and are then compared with the lower-is-better direction.
+    ``tolerance`` is the allowed fractional move in the bad direction
+    before the verdict is "regression" (single measurements carry no
+    variance, so the tolerance *is* the confidence machinery here).
+    """
+    if not (0.0 <= tolerance < 1.0):
+        raise ValueError(f"tolerance must be in [0, 1): {tolerance}")
+    if metrics is None:
+        names = sorted(
+            k for k in current
+            if metric_direction(k) == "higher"
+            and isinstance(current.get(k), (int, float))
+            and isinstance(baseline.get(k), (int, float))
+        )
+    else:
+        names = list(metrics)
+    deltas = []
+    for name in names:
+        cur, base = current.get(name), baseline.get(name)
+        if not isinstance(cur, (int, float)) or not isinstance(base, (int, float)):
+            raise ValueError(
+                f"metric {name!r} is not numeric on both sides "
+                f"(baseline {base!r}, current {cur!r})"
+            )
+        cur, base = float(cur), float(base)
+        direction = metric_direction(name) or "higher"
+        # the badness fraction: positive = moved in the bad direction.
+        # Single measurements carry no variance, so the confidence
+        # bound collapses onto the point estimate (z = ±inf).
+        raw_rel = (cur - base) / base if base else 0.0
+        bad_rel = raw_rel if direction == "lower" else -raw_rel
+        if bad_rel > tolerance:
+            verdict = "regression"
+        elif bad_rel < -tolerance:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+        deltas.append(SpecDelta(
+            key=f"metric:{name}", label=name, metric=name,
+            baseline_n=1, baseline_mean=base, baseline_std=0.0,
+            current_n=1, current_mean=cur, current_std=0.0,
+            delta=cur - base,
+            rel_delta=bad_rel,
+            z=math.inf if bad_rel > 0 else (-math.inf if bad_rel < 0 else 0.0),
+            rel_delta_low=bad_rel,
+            verdict=verdict,
+        ))
+    return SweepDiff(
+        deltas=tuple(deltas),
+        confidence=confidence,
+        min_rel_delta=tolerance,
+    )
+
+
+def format_diff(diff: SweepDiff) -> str:
+    """Render a :class:`SweepDiff` as the CLI's human-readable table."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for d in diff.deltas:
+        rows.append([
+            d.label,
+            d.metric,
+            d.baseline_mean,
+            d.current_mean,
+            f"{d.rel_delta:+.1%}",
+            f"{d.rel_delta_low:+.1%}",
+            d.verdict.upper() if d.verdict == "regression" else d.verdict,
+        ])
+    lines = [format_table(
+        ["config", "metric", "baseline", "current", "rel",
+         f">= @{diff.confidence:.0%}", "verdict"],
+        rows, floatfmt=".6g",
+    )]
+    for key in diff.only_baseline:
+        lines.append(f"only in baseline (not compared): {key}")
+    for key in diff.only_current:
+        lines.append(f"only in current (not compared): {key}")
+    regs = diff.regressions()
+    lines.append(
+        f"{len(diff.deltas)} compared: {len(regs)} regression(s), "
+        f"{len(diff.improvements())} improvement(s) — "
+        f"verdict {diff.verdict.upper()}"
+    )
+    for f in diff.findings():
+        if f.kind == "regression":
+            lines.append(f"  {f.message}")
+    return "\n".join(lines)

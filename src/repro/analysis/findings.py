@@ -1,0 +1,344 @@
+"""The diagnosis engine's public result types — a versioned API.
+
+Everything :mod:`repro.analysis.diagnose` and
+:mod:`repro.analysis.diff` emit is one of the frozen dataclasses
+below, not an ad-hoc dict: a :class:`Finding` is one structured
+observation (a straggler, a regression, a failed spec), a
+:class:`Diagnosis` is one job's full verdict, a :class:`SweepDiff` is
+the two-sweep comparison.  All of them JSON-round-trip through the
+existing sweep codec (:mod:`repro.sweep.codec`), so analysis output
+crosses process and CLI boundaries the same way job specs do.
+
+Documents
+---------
+:func:`to_document` / :func:`from_document` wrap a result in the
+stable envelope every ``python -m repro`` JSON emitter shares::
+
+    {"schema": "ipm-repro/analysis/v1", "payload": {"__config__": ...}}
+
+``python -m repro report --json`` stamps the same ``schema`` value on
+its :func:`repro.core.report.job_summary` payload — one schema id
+across the whole machine-readable surface (pinned by test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+#: the shared schema id of every machine-readable analysis document
+#: (also stamped on ``python -m repro report --json`` output).
+ANALYSIS_SCHEMA = "ipm-repro/analysis/v1"
+
+#: finding severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+#: the finding vocabulary (``Finding.kind`` values the engine emits).
+FINDING_KINDS = (
+    "bottleneck",       # dominant-component classification of one job
+    "straggler",        # one rank far off the job's robust center
+    "load_imbalance",   # wide rank-to-rank active-time spread
+    "failed_ranks",     # a partial JobReport (aborted/stalled ranks)
+    "failed_spec",      # a sweep spec with a non-ok terminal status
+    "regression",       # a confidently slower config/metric
+    "improvement",      # a confidently faster config/metric
+    "note",             # informational (unmatched configs, caveats...)
+)
+
+#: ``Diagnosis.verdict`` vocabulary — the paper's region taxonomy made
+#: mechanical (kernel / transfer / host-idle / MPI per rank) plus the
+#: residual host-compute bucket and the give-up label.
+BOTTLENECKS = (
+    "kernel-bound",
+    "transfer-bound",
+    "host-idle-bound",
+    "network-bound",
+    "cpu-bound",
+    "inconclusive",
+)
+
+#: ``SpecDelta.verdict`` vocabulary.
+DELTA_VERDICTS = ("ok", "regression", "improvement", "indeterminate")
+
+
+def _freeze_metrics(
+    metrics: Union[Mapping[str, float], Tuple[Tuple[str, float], ...]],
+) -> Tuple[Tuple[str, float], ...]:
+    """Normalize a metrics mapping to name-sorted ``(name, value)`` pairs."""
+    items = metrics.items() if isinstance(metrics, Mapping) else tuple(metrics)
+    out = tuple(sorted((str(k), float(v)) for k, v in items))
+    names = [k for k, _ in out]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate metric names: {names}")
+    return out
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured observation about a job, sweep or comparison."""
+
+    #: one of :data:`FINDING_KINDS`.
+    kind: str
+    #: one of :data:`SEVERITIES`.
+    severity: str
+    #: one human-readable sentence (the CLI prints it verbatim).
+    message: str
+    #: what the finding is about: ``"rank:3"``, ``"spec:<hash12>"``,
+    #: ``"metric:monitored_events_per_sec"``, "" for the whole job.
+    target: str = ""
+    #: supporting numbers, name-sorted ``(name, value)`` pairs so equal
+    #: findings encode to identical canonical JSON.
+    metrics: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FINDING_KINDS:
+            raise ValueError(
+                f"unknown finding kind {self.kind!r} (known: {FINDING_KINDS})"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r} (known: {SEVERITIES})"
+            )
+        object.__setattr__(self, "metrics", _freeze_metrics(self.metrics))
+
+    def metric(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        """One supporting number by name (None/default when absent)."""
+        for k, v in self.metrics:
+            if k == name:
+                return v
+        return default
+
+    def metrics_dict(self) -> Dict[str, float]:
+        return dict(self.metrics)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One job's automated verdict: classification + findings."""
+
+    #: job identity (a spec hash, an XML path, a label — caller's pick).
+    job: str
+    #: dominant bottleneck, one of :data:`BOTTLENECKS`.
+    verdict: str
+    ntasks: int
+    wallclock: float
+    #: mean per-rank fraction of wallclock per component, name-sorted
+    #: pairs over ``("host_compute", "host_idle", "kernel", "network",
+    #: "transfer")``.  Components overlap (kernels run while the host
+    #: computes), so fractions need not sum to 1.
+    breakdown: Tuple[Tuple[str, float], ...] = ()
+    findings: Tuple[Finding, ...] = ()
+    #: False when the job report was partial (aborted/stalled ranks).
+    complete: bool = True
+
+    def __post_init__(self) -> None:
+        if self.verdict not in BOTTLENECKS:
+            raise ValueError(
+                f"unknown verdict {self.verdict!r} (known: {BOTTLENECKS})"
+            )
+        object.__setattr__(self, "breakdown", _freeze_metrics(self.breakdown))
+        object.__setattr__(self, "findings", tuple(self.findings))
+
+    def fraction(self, component: str) -> float:
+        """One component's mean wallclock fraction (0.0 when absent)."""
+        for k, v in self.breakdown:
+            if k == component:
+                return v
+        return 0.0
+
+    @property
+    def stragglers(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.kind == "straggler")
+
+
+@dataclass(frozen=True)
+class SweepDiagnosis:
+    """Per-job diagnoses of one sweep plus sweep-level findings."""
+
+    diagnoses: Tuple[Diagnosis, ...] = ()
+    #: findings that belong to the sweep, not one job (failed specs).
+    findings: Tuple[Finding, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "diagnoses", tuple(self.diagnoses))
+        object.__setattr__(self, "findings", tuple(self.findings))
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing rose above severity "info"."""
+        every = list(self.findings)
+        for d in self.diagnoses:
+            every.extend(d.findings)
+        return all(f.severity == "info" for f in every)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for d in self.diagnoses:
+            counts[d.verdict] = counts.get(d.verdict, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class SpecDelta:
+    """One matched config (or metric) compared across two sweeps."""
+
+    #: group identity: a seed/fault-independent config hash, or a
+    #: ``metric:<name>`` key for benchmark-metric gates.
+    key: str
+    #: human label (``"hpl x2"``, ``"monitored_events_per_sec"``).
+    label: str
+    #: what was compared (``"wallclock"`` or a benchmark metric name).
+    metric: str
+    baseline_n: int
+    baseline_mean: float
+    baseline_std: float
+    current_n: int
+    current_mean: float
+    current_std: float
+    #: current − baseline, in the metric's own unit.
+    delta: float
+    #: delta / baseline_mean (signed; 0.0 when the baseline mean is 0).
+    rel_delta: float
+    #: Welch z-statistic of the delta (``inf`` for a nonzero delta with
+    #: no variance on either side — a deterministic difference).
+    z: float
+    #: one-sided lower confidence bound on ``rel_delta`` at the diff's
+    #: confidence level — the honest "it is at least this much slower".
+    rel_delta_low: float
+    #: one of :data:`DELTA_VERDICTS`.
+    verdict: str
+
+    def __post_init__(self) -> None:
+        if self.verdict not in DELTA_VERDICTS:
+            raise ValueError(
+                f"unknown delta verdict {self.verdict!r} "
+                f"(known: {DELTA_VERDICTS})"
+            )
+
+
+@dataclass(frozen=True)
+class SweepDiff:
+    """The two-sweep comparison: per-config deltas + the gate verdict."""
+
+    deltas: Tuple[SpecDelta, ...]
+    #: the confidence level the bounds/verdicts were computed at.
+    confidence: float
+    #: relative-slowdown floor below which a confident delta is noise.
+    min_rel_delta: float
+    #: config keys present only in the baseline / only in the current
+    #: sweep (never compared — surfaced so silent drops are visible).
+    only_baseline: Tuple[str, ...] = ()
+    only_current: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError(
+                f"confidence must be in (0, 1): {self.confidence}"
+            )
+        if self.min_rel_delta < 0.0:
+            raise ValueError(
+                f"min_rel_delta must be >= 0: {self.min_rel_delta}"
+            )
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        object.__setattr__(self, "only_baseline", tuple(self.only_baseline))
+        object.__setattr__(self, "only_current", tuple(self.only_current))
+
+    def regressions(self) -> Tuple[SpecDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regression")
+
+    def improvements(self) -> Tuple[SpecDelta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "improvement")
+
+    @property
+    def has_regression(self) -> bool:
+        return any(d.verdict == "regression" for d in self.deltas)
+
+    @property
+    def verdict(self) -> str:
+        """The gate verdict: ``"regression"`` or ``"ok"``."""
+        return "regression" if self.has_regression else "ok"
+
+    def findings(self) -> Tuple[Finding, ...]:
+        """The diff rendered into the finding vocabulary."""
+        out = []
+        for d in self.deltas:
+            if d.verdict not in ("regression", "improvement"):
+                continue
+            out.append(Finding(
+                kind=d.verdict,
+                severity="critical" if d.verdict == "regression" else "info",
+                target=f"spec:{d.key}" if not d.key.startswith("metric:")
+                       else d.key,
+                message=(
+                    f"{d.label}: {d.metric} "
+                    f"{d.baseline_mean:.6g} -> {d.current_mean:.6g} "
+                    f"({d.rel_delta:+.1%}, "
+                    f">= {d.rel_delta_low:+.1%} at "
+                    f"{self.confidence:.0%} confidence)"
+                ),
+                metrics={
+                    "baseline_mean": d.baseline_mean,
+                    "current_mean": d.current_mean,
+                    "rel_delta": d.rel_delta,
+                    "rel_delta_low": d.rel_delta_low,
+                },
+            ))
+        return tuple(out)
+
+
+#: the types the sweep codec learns to (de)serialize for analysis
+#: (extended by :func:`register_analysis_type` — the legacy helper
+#: result dataclasses join the same envelope).
+_ANALYSIS_TYPES = [Finding, Diagnosis, SweepDiagnosis, SpecDelta, SweepDiff]
+
+
+def register_analysis_type(cls: type) -> type:
+    """Admit one more frozen result dataclass to the analysis envelope
+    (and to the sweep codec's decode registry); idempotent."""
+    if cls not in _ANALYSIS_TYPES:
+        _ANALYSIS_TYPES.append(cls)
+    return cls
+
+
+def _codec():
+    """The sweep codec with the analysis types registered.
+
+    Lazy on purpose: importing :mod:`repro.sweep` at module scope from
+    here would cycle (``repro.sweep.report`` imports
+    ``repro.analysis``), so registration happens on first use.
+    """
+    from repro.sweep import codec
+
+    for cls in _ANALYSIS_TYPES:
+        codec.CONFIG_TYPES.setdefault(cls.__name__, cls)
+    return codec
+
+
+def to_document(obj: Any) -> Dict[str, Any]:
+    """Wrap one analysis result in the schema-stamped JSON envelope."""
+    if not isinstance(obj, tuple(_ANALYSIS_TYPES)):
+        raise TypeError(
+            f"not an analysis result type: {type(obj).__name__}"
+        )
+    return {"schema": ANALYSIS_SCHEMA, "payload": _codec().encode(obj)}
+
+
+def from_document(data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`to_document` (validates the schema stamp)."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"an analysis document must be an object: {data!r}")
+    schema = data.get("schema")
+    if schema != ANALYSIS_SCHEMA:
+        raise ValueError(
+            f"unsupported analysis schema {schema!r} "
+            f"(expected {ANALYSIS_SCHEMA!r})"
+        )
+    if "payload" not in data:
+        raise ValueError("analysis document has no 'payload'")
+    obj = _codec().decode(data["payload"])
+    if not isinstance(obj, tuple(_ANALYSIS_TYPES)):
+        raise ValueError(
+            f"analysis payload decoded to {type(obj).__name__}, "
+            "not an analysis result type"
+        )
+    return obj

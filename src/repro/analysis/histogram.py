@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -32,19 +33,48 @@ class EnsembleStats:
         )
 
 
-def ensemble_stats(with_ipm: Sequence[float], without_ipm: Sequence[float]):
-    """The Fig. 8 headline numbers: mean dilatation vs natural variability.
+@dataclass(frozen=True)
+class EnsembleComparison:
+    """The Fig. 8 headline result: monitored vs unmonitored ensembles."""
 
-    Returns ``(stats_with, stats_without, dilatation_fraction)``.
-    """
+    with_ipm: EnsembleStats
+    without_ipm: EnsembleStats
+    #: (mean_with − mean_without) / mean_without; 0.0 on a degenerate
+    #: all-zero baseline instead of dividing by zero.
+    dilatation: float
+
+
+def compare_ensembles(
+    with_ipm: Sequence[float], without_ipm: Sequence[float]
+) -> EnsembleComparison:
+    """The Fig. 8 headline numbers: mean dilatation vs natural variability."""
     s_with = EnsembleStats.of(with_ipm)
     s_without = EnsembleStats.of(without_ipm)
     if s_without.mean == 0.0:
-        # degenerate baseline (all-zero runtimes) — report no dilatation
-        # instead of dividing by zero.
-        return s_with, s_without, 0.0
-    dilatation = (s_with.mean - s_without.mean) / s_without.mean
-    return s_with, s_without, dilatation
+        dilatation = 0.0
+    else:
+        dilatation = (s_with.mean - s_without.mean) / s_without.mean
+    return EnsembleComparison(
+        with_ipm=s_with, without_ipm=s_without, dilatation=dilatation,
+    )
+
+
+def ensemble_stats(
+    with_ipm: Sequence[float], without_ipm: Sequence[float]
+) -> Tuple[EnsembleStats, EnsembleStats, float]:
+    """Deprecated: use :func:`compare_ensembles`.
+
+    Returns the old ``(stats_with, stats_without, dilatation)`` tuple.
+    """
+    warnings.warn(
+        "ensemble_stats() is deprecated; use "
+        "repro.analysis.compare_ensembles(), which returns an "
+        "EnsembleComparison",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    c = compare_ensembles(with_ipm, without_ipm)
+    return c.with_ipm, c.without_ipm, c.dilatation
 
 
 def ascii_histogram(

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 
@@ -22,9 +23,9 @@ class ScalingPoint:
     breakdown: Dict[str, float] = field(default_factory=dict)
 
 
-def sweep_scaling(
-    sweep: "SweepReport", categories: Optional[List[str]] = None
-) -> List[ScalingPoint]:
+def scaling_series(
+    sweep: "SweepReport", categories: Optional[Sequence[str]] = None
+) -> Tuple[ScalingPoint, ...]:
     """Scaling series straight from a sweep over process counts.
 
     Each monitored result becomes one :class:`ScalingPoint` whose
@@ -40,7 +41,7 @@ def sweep_scaling(
         if job is None:
             points.append(ScalingPoint(result.spec.ntasks, result.wallclock))
             continue
-        names = categories or sorted(set(job.domains.values()))
+        names = list(categories) if categories else sorted(set(job.domains.values()))
         by = job.merged_by_name()
         breakdown = {}
         for name in names:
@@ -52,7 +53,20 @@ def sweep_scaling(
         points.append(
             ScalingPoint(result.spec.ntasks, result.wallclock, breakdown)
         )
-    return sorted(points, key=lambda p: p.nprocs)
+    return tuple(sorted(points, key=lambda p: p.nprocs))
+
+
+def sweep_scaling(
+    sweep: "SweepReport", categories: Optional[List[str]] = None
+) -> List[ScalingPoint]:
+    """Deprecated: use :func:`scaling_series` (same series, as a tuple)."""
+    warnings.warn(
+        "sweep_scaling() is deprecated; use "
+        "repro.analysis.scaling_series(), which returns a tuple",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(scaling_series(sweep, categories))
 
 
 def format_scaling(
@@ -72,7 +86,7 @@ def format_scaling(
     return format_table(headers, rows, floatfmt=".1f")
 
 
-def speedup(points: Sequence[ScalingPoint]) -> Dict[int, float]:
+def scaling_speedups(points: Sequence[ScalingPoint]) -> Dict[int, float]:
     """Speedups relative to the smallest configuration.
 
     Points with zero wallclock (a run killed by fault injection before
@@ -85,3 +99,13 @@ def speedup(points: Sequence[ScalingPoint]) -> Dict[int, float]:
     return {
         p.nprocs: base / p.wallclock if p.wallclock > 0 else 0.0 for p in pts
     }
+
+
+def speedup(points: Sequence[ScalingPoint]) -> Dict[int, float]:
+    """Deprecated: use :func:`scaling_speedups`."""
+    warnings.warn(
+        "speedup() is deprecated; use repro.analysis.scaling_speedups()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return scaling_speedups(points)

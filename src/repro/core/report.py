@@ -167,8 +167,11 @@ def job_summary(job: JobReport, top: int = 20) -> Dict[str, object]:
     facts, per-domain totals, per-rank status, and the ``top`` call
     regions by total time.  This is the payload of ``python -m repro
     report --json`` — consumers parse this instead of scraping the
-    banner text.
+    banner text.  Stamped with the analysis surface's shared schema id
+    (lazy import: the analysis package imports this module).
     """
+    from repro.analysis.findings import ANALYSIS_SCHEMA
+
     domain_names = sorted(set(job.domains.values()))
     regions = [
         {
@@ -186,6 +189,7 @@ def job_summary(job: JobReport, top: int = 20) -> Dict[str, object]:
         )[: max(0, top)]
     ]
     return {
+        "schema": ANALYSIS_SCHEMA,
         "command": job.command,
         "ntasks": job.ntasks,
         "hosts": job.hosts(),

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.analysis.diff import noise_cv
 from repro.analysis.scaling import ScalingPoint
 from repro.core.report import JobReport
 from repro.sweep.spec import JobSpec
@@ -148,6 +149,13 @@ class SweepReport:
                     "ntasks": r.spec.ntasks,
                     "seed": r.spec.seed,
                     "spec_hash": r.spec_hash,
+                    # seed/fault-independent identity + the noise
+                    # model's analytic cv: what `repro analyze diff`
+                    # matches configs and floors variance with.
+                    "config_hash": (
+                        r.spec.config_hash() if r.spec.serializable else None
+                    ),
+                    "noise_cv": noise_cv(r.spec.noise),
                     "wallclock": r.wallclock,
                     "events_executed": r.events_executed,
                     "from_cache": r.from_cache,

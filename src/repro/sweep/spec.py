@@ -179,6 +179,22 @@ class JobSpec:
         """A copy with ``changes`` applied (dataclasses.replace)."""
         return replace(self, **changes)
 
+    def config_hash(self) -> str:
+        """Seed- and fault-independent configuration identity.
+
+        The :meth:`content_hash` of this spec with ``seed`` zeroed and
+        every fault plan stripped (both ``faults`` and ``ipm.faults``).
+        An ensemble over seeds shares one config hash — its members are
+        samples of the same configuration — and a fault-perturbed run
+        keeps the hash of its clean baseline, which is what lets the
+        sweep differ match "the same config, now misbehaving" across
+        two sweeps instead of treating it as a brand-new spec.
+        """
+        ipm = self.ipm
+        if ipm is not None and ipm.faults is not None:
+            ipm = replace(ipm, faults=None)
+        return self.replace(seed=0, faults=None, ipm=ipm).content_hash()
+
     # -- execution --------------------------------------------------------
 
     def build_app(self) -> Callable[[Any], Any]:

@@ -1,0 +1,214 @@
+"""`python -m repro analyze` — CLI contract, exit codes, output writer."""
+
+import json
+
+import pytest
+
+from repro import FaultPlan, IpmConfig, JobSpec, run_job
+from repro.__main__ import (
+    EXIT_BAD_INPUT,
+    EXIT_EMPTY,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_SPEC_FAILURES,
+    main,
+)
+from repro.analysis import ANALYSIS_SCHEMA, from_document
+from repro.faults.plan import NodeSlowdownSpec
+from repro.sweep import SweepRunner
+
+BASE = JobSpec(app="paratec", ntasks=4, app_params={"preset": "tiny"},
+               ipm=IpmConfig())
+SLOW_FAULT = FaultPlan(
+    enabled=True, nodes=(NodeSlowdownSpec(multiplier=3.0, nodes=(1,)),)
+)
+
+
+def _summary_file(tmp_path, name, *specs):
+    summary = SweepRunner(mode="serial").run(list(specs)).summary()
+    path = tmp_path / name
+    path.write_text(json.dumps(summary))
+    return str(path)
+
+
+class TestExitCodeContract:
+    def test_codes_are_pinned_and_distinct(self):
+        assert (EXIT_OK, EXIT_BAD_INPUT, EXIT_EMPTY, EXIT_SPEC_FAILURES,
+                EXIT_REGRESSION) == (0, 2, 3, 4, 5)
+
+
+class TestAnalyzeReport:
+    @pytest.fixture()
+    def xml(self, tmp_path):
+        from repro.core import write_xml
+
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        path = tmp_path / "profile.xml"
+        write_xml(res.report, str(path))
+        return str(path)
+
+    def test_text_report_names_the_bottleneck(self, xml, capsys):
+        assert main(["analyze", "report", xml]) == EXIT_OK
+        assert "kernel-bound" in capsys.readouterr().out
+
+    def test_json_report_is_a_schema_stamped_document(self, xml, capsys):
+        assert main(["analyze", "report", xml, "--json"]) == EXIT_OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == ANALYSIS_SCHEMA
+        sdiag = from_document(doc)
+        (diag,) = sdiag.diagnoses
+        assert diag.verdict == "kernel-bound"
+        assert diag.job == xml
+
+    def test_out_flag_writes_the_same_payload(self, xml, tmp_path, capsys):
+        out = tmp_path / "diag.json"
+        assert main(["analyze", "report", xml, "--json",
+                     "--out", str(out)]) == EXIT_OK
+        assert capsys.readouterr().out == ""
+        assert json.loads(out.read_text())["schema"] == ANALYSIS_SCHEMA
+
+    def test_garbage_xml_is_bad_input(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not-ipm/>")
+        assert main(["analyze", "report", str(bad)]) == EXIT_BAD_INPUT
+
+
+class TestAnalyzeDiff:
+    def test_injected_slowdown_exits_5_and_names_the_spec(
+            self, tmp_path, capsys):
+        baseline = _summary_file(tmp_path, "base.json", BASE)
+        current = _summary_file(tmp_path, "cur.json",
+                                BASE.replace(faults=SLOW_FAULT))
+        assert main(["analyze", "diff", baseline, current]) == \
+            EXIT_REGRESSION
+        printed = capsys.readouterr().out
+        assert "REGRESSION" in printed
+        assert "paratec x4" in printed
+        assert "95%" in printed  # the confidence bound is part of the story
+
+    def test_self_diff_exits_0_at_any_confidence(self, tmp_path):
+        summary = _summary_file(tmp_path, "s.json", BASE,
+                                BASE.replace(seed=5))
+        for confidence in ("0.5", "0.95", "0.999999"):
+            assert main(["analyze", "diff", summary, summary,
+                         "--confidence", confidence]) == EXIT_OK
+
+    def test_json_document_round_trips(self, tmp_path, capsys):
+        summary = _summary_file(tmp_path, "s.json", BASE)
+        assert main(["analyze", "diff", summary, summary,
+                     "--json"]) == EXIT_OK
+        diff = from_document(json.loads(capsys.readouterr().out))
+        assert diff.verdict == "ok"
+
+    def test_disjoint_sweeps_are_empty(self, tmp_path):
+        a = _summary_file(tmp_path, "a.json", BASE)
+        b = _summary_file(tmp_path, "b.json", BASE.replace(ntasks=2))
+        assert main(["analyze", "diff", a, b]) == EXIT_EMPTY
+
+    def test_non_summary_input_is_bad(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a summary"}))
+        good = _summary_file(tmp_path, "good.json", BASE)
+        assert main(["analyze", "diff", str(bad), good]) == EXIT_BAD_INPUT
+        assert main(["analyze", "diff", str(tmp_path / "nope.json"),
+                     good]) == EXIT_BAD_INPUT
+
+
+class TestAnalyzeGate:
+    BENCH = {"schema": "ipm-repro/bench-overhead/v3",
+             "monitored_events_per_sec": 100000.0,
+             "overhead_us_per_event": 2.0}
+
+    def _bench_file(self, tmp_path, name, **overrides):
+        path = tmp_path / name
+        path.write_text(json.dumps(dict(self.BENCH, **overrides)))
+        return str(path)
+
+    def test_missing_baseline_passes(self, tmp_path, capsys):
+        current = self._bench_file(tmp_path, "cur.json")
+        assert main(["analyze", "gate", current, "--baseline",
+                     str(tmp_path / "absent.json")]) == EXIT_OK
+        assert "first run passes" in capsys.readouterr().out
+
+    def test_throughput_regression_exits_5(self, tmp_path):
+        baseline = self._bench_file(tmp_path, "base.json")
+        current = self._bench_file(tmp_path, "cur.json",
+                                   monitored_events_per_sec=50000.0)
+        assert main(["analyze", "gate", current,
+                     "--baseline", baseline]) == EXIT_REGRESSION
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = self._bench_file(tmp_path, "base.json")
+        current = self._bench_file(tmp_path, "cur.json",
+                                   monitored_events_per_sec=90000.0)
+        assert main(["analyze", "gate", current,
+                     "--baseline", baseline]) == EXIT_OK
+
+    def test_sweep_summaries_gate_through_the_differ(self, tmp_path):
+        baseline = _summary_file(tmp_path, "base.json", BASE)
+        current = _summary_file(tmp_path, "cur.json",
+                                BASE.replace(faults=SLOW_FAULT))
+        assert main(["analyze", "gate", current, "--baseline", baseline,
+                     "--tolerance", "0.10"]) == EXIT_REGRESSION
+        assert main(["analyze", "gate", baseline,
+                     "--baseline", baseline]) == EXIT_OK
+
+    def test_mixed_kinds_are_bad_input(self, tmp_path):
+        sweep = _summary_file(tmp_path, "sweep.json", BASE)
+        bench = self._bench_file(tmp_path, "bench.json")
+        assert main(["analyze", "gate", bench,
+                     "--baseline", sweep]) == EXIT_BAD_INPUT
+
+    def test_named_metric_selection(self, tmp_path):
+        baseline = self._bench_file(tmp_path, "base.json")
+        current = self._bench_file(tmp_path, "cur.json",
+                                   overhead_us_per_event=10.0)
+        # latency keys are not gated by default ...
+        assert main(["analyze", "gate", current,
+                     "--baseline", baseline]) == EXIT_OK
+        # ... but explicit opt-in gates them with the right direction
+        assert main(["analyze", "gate", current, "--baseline", baseline,
+                     "--metric", "overhead_us_per_event"]) == \
+            EXIT_REGRESSION
+
+    def test_nothing_comparable_is_empty(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"platform": "x"}))
+        assert main(["analyze", "gate", str(a),
+                     "--baseline", str(a)]) == EXIT_EMPTY
+
+
+class TestSharedOutputWriter:
+    """`report --json` and `analyze` share one writer + schema stamp."""
+
+    def test_report_json_carries_the_shared_schema(self, tmp_path, capsys):
+        from repro.core import write_xml
+
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        assert main(["report", str(xml), "--json"]) == EXIT_OK
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == ANALYSIS_SCHEMA
+
+    def test_report_supports_out_like_analyze(self, tmp_path, capsys):
+        from repro.core import write_xml
+
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        out = tmp_path / "summary.json"
+        assert main(["report", str(xml), "--json",
+                     "--out", str(out)]) == EXIT_OK
+        assert capsys.readouterr().out == ""
+        assert json.loads(out.read_text())["ntasks"] == 1
+
+    def test_text_out_is_newline_terminated(self, tmp_path):
+        from repro.core import write_xml
+
+        res = run_job(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        xml = tmp_path / "profile.xml"
+        write_xml(res.report, str(xml))
+        out = tmp_path / "banner.txt"
+        assert main(["report", str(xml), "--out", str(out)]) == EXIT_OK
+        assert out.read_text().endswith("\n")

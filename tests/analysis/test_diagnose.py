@@ -1,0 +1,193 @@
+"""Seeded end-to-end acceptance tests for the diagnosis engine."""
+
+import pytest
+
+from repro import FaultPlan, IpmConfig, JobSpec
+from repro.analysis import (
+    analyze_job,
+    analyze_sweep,
+    classify,
+    component_times,
+    detect_stragglers,
+    format_diagnosis,
+    format_sweep_diagnosis,
+)
+from repro.faults.plan import NodeSlowdownSpec, RankAbortSpec
+from repro.sweep import SweepRunner
+
+#: hpl with the host work stripped: virtually all time is the GPU
+#: update kernels (the host waits in cudaEventSynchronize).
+KERNEL_HEAVY_HPL = {
+    "preset": "tiny",
+    "gpu_update_total": 2.0,
+    "cpu_panel_total": 0.05,
+    "overlap_fraction": 0.0,
+    "step_host_overhead": 0.0,
+}
+
+#: paratec with the host FFT work cut down: the thunked CUBLAS
+#: transfers (SetMatrix/GetMatrix around a tiny-k zgemm) dominate.
+TRANSFER_HEAVY_PARATEC = {
+    "preset": "tiny",
+    "fft_parallel_seconds": 0.4,
+    "fft_serial_seconds": 0.0,
+}
+
+
+def _run(*specs):
+    return SweepRunner(mode="serial").run(list(specs))
+
+
+class TestClassification:
+    def test_hpl_kernel_heavy_classifies_kernel_bound(self):
+        sweep = _run(JobSpec(app="hpl", ntasks=2,
+                             app_params=KERNEL_HEAVY_HPL, ipm=IpmConfig()))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        assert diag.verdict == "kernel-bound"
+        assert diag.fraction("kernel") > diag.fraction("transfer")
+        assert diag.fraction("kernel") > diag.fraction("host_compute")
+
+    def test_paratec_transfer_heavy_classifies_transfer_bound(self):
+        sweep = _run(JobSpec(app="paratec", ntasks=2,
+                             app_params=TRANSFER_HEAVY_PARATEC,
+                             ipm=IpmConfig()))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        assert diag.verdict == "transfer-bound"
+        assert diag.fraction("transfer") > 0.5
+
+    def test_host_heavy_paratec_classifies_cpu_bound(self):
+        sweep = _run(JobSpec(app="paratec", ntasks=2,
+                             app_params={"preset": "tiny"}, ipm=IpmConfig()))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        assert diag.verdict == "cpu-bound"
+
+    def test_classify_is_mechanical(self):
+        assert classify({"kernel": 0.7, "transfer": 0.1}) == "kernel-bound"
+        assert classify({"transfer": 0.6, "kernel": 0.2}) == "transfer-bound"
+        assert classify({"network": 0.5}) == "network-bound"
+        assert classify({"host_compute": 0.9}) == "cpu-bound"
+        # idle only wins through its excess over kernel time
+        assert classify({"host_idle": 0.5, "kernel": 0.45}) == "kernel-bound"
+        assert classify({"host_idle": 0.6, "kernel": 0.1}) == "host-idle-bound"
+        assert classify({"kernel": 0.1, "transfer": 0.1}) == "inconclusive"
+
+    def test_breakdown_components_are_complete(self):
+        sweep = _run(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        (result,) = sweep
+        (task,) = result.report.tasks
+        comp = component_times(task, result.report.domains)
+        assert set(comp) == {"host_compute", "host_idle", "kernel",
+                             "network", "transfer"}
+        assert comp["kernel"] > 0.0
+
+    def test_bottleneck_finding_carries_the_headline(self):
+        sweep = _run(JobSpec(app="hpl", ntasks=2,
+                             app_params=KERNEL_HEAVY_HPL, ipm=IpmConfig()))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        (bn,) = [f for f in diag.findings if f.kind == "bottleneck"]
+        assert bn.severity == "info"
+        assert "kernel-bound" in bn.message
+
+
+class TestStragglers:
+    def test_fault_induced_straggler_is_flagged(self):
+        # one slowed node in a collective-synchronized job: wallclocks
+        # equalize, but active time (wall - MPI) exposes the victim.
+        fault = FaultPlan(enabled=True,
+                          nodes=(NodeSlowdownSpec(multiplier=3.0,
+                                                  nodes=(1,)),))
+        sweep = _run(JobSpec(app="paratec", ntasks=4,
+                             app_params={"preset": "tiny"},
+                             ipm=IpmConfig(), faults=fault))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        stragglers = diag.stragglers
+        assert len(stragglers) == 1
+        (s,) = stragglers
+        assert s.target == "rank:1"
+        assert s.severity == "warning"
+        assert s.metric("z") > 4.0
+        assert s.metric("active") > s.metric("median")
+        # the wide spread also surfaces as load imbalance
+        assert any(f.kind == "load_imbalance" for f in diag.findings)
+
+    def test_clean_run_has_no_stragglers(self):
+        sweep = _run(JobSpec(app="paratec", ntasks=4,
+                             app_params={"preset": "tiny"},
+                             ipm=IpmConfig()))
+        (diag,) = analyze_sweep(sweep).diagnoses
+        assert diag.stragglers == ()
+
+    def test_single_rank_job_cannot_straggle(self):
+        sweep = _run(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        (result,) = sweep
+        assert detect_stragglers(result.report) == ()
+
+    def test_noise_model_widens_the_threshold(self):
+        # a deviation that is wildly significant under zero noise must
+        # shrink in z when the noise model claims large variance.
+        from repro.analysis.diff import noise_cv
+        from repro.simt.noise import NoiseConfig
+
+        loud = NoiseConfig(run_bias_sd=0.5)
+        assert noise_cv(loud) > noise_cv(NoiseConfig())
+        assert noise_cv(None) == 0.0
+        assert noise_cv(NoiseConfig(enabled=False)) == 0.0
+
+
+class TestSweepLevel:
+    def test_partial_report_becomes_failed_ranks_finding(self):
+        fault = FaultPlan(enabled=True,
+                          aborts=(RankAbortSpec(rank=0, at=0.5),))
+        sweep = _run(JobSpec(app="square", ntasks=2,
+                             ipm=IpmConfig(faults=fault)))
+        sdiag = analyze_sweep(sweep)
+        (diag,) = sdiag.diagnoses
+        assert not diag.complete
+        (f,) = [f for f in diag.findings if f.kind == "failed_ranks"]
+        assert f.severity == "critical"
+        assert "rank 0 aborted" in f.message
+        assert not sdiag.ok
+
+    def test_failed_spec_becomes_critical_finding(self):
+        from repro.sweep.report import SweepReport, SweepResult
+
+        spec = JobSpec(app="square", ntasks=1, ipm=IpmConfig())
+        failed = SweepResult(
+            spec=spec, spec_hash=spec.content_hash(), report=None,
+            wallclock=0.0, events_executed=0, from_cache=False,
+            status="crashed", error="boom",
+        )
+        sdiag = analyze_sweep(SweepReport(results=[failed]))
+        assert sdiag.diagnoses == ()
+        (f,) = sdiag.findings
+        assert f.kind == "failed_spec" and f.severity == "critical"
+        assert "crashed" in f.message and "boom" in f.message
+        assert not sdiag.ok
+
+    def test_unmonitored_spec_becomes_note(self):
+        sweep = _run(JobSpec(app="square", ntasks=1))  # no ipm
+        sdiag = analyze_sweep(sweep)
+        assert sdiag.diagnoses == ()
+        (note,) = sdiag.findings
+        assert note.kind == "note" and "unmonitored" in note.message
+
+    def test_renderers_produce_text(self):
+        sweep = _run(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        sdiag = analyze_sweep(sweep)
+        text = format_sweep_diagnosis(sdiag)
+        assert "kernel-bound" in text
+        assert "breakdown:" in format_diagnosis(sdiag.diagnoses[0])
+
+    def test_deterministic_across_runs(self):
+        spec = JobSpec(app="hpl", ntasks=2, app_params=KERNEL_HEAVY_HPL,
+                       ipm=IpmConfig())
+        a = analyze_sweep(_run(spec))
+        b = analyze_sweep(_run(spec))
+        assert a == b
+
+    def test_analyze_job_label_and_completeness(self):
+        sweep = _run(JobSpec(app="square", ntasks=1, ipm=IpmConfig()))
+        (result,) = sweep
+        diag = analyze_job(result.report, label="my-job")
+        assert diag.job == "my-job"
+        assert diag.complete

@@ -1,0 +1,204 @@
+"""The two-sweep differ: matching, statistics, verdicts, gating."""
+
+import math
+
+import pytest
+
+from repro import FaultPlan, IpmConfig, JobSpec, NoiseConfig
+from repro.analysis import diff_sweeps, format_diff, gate_metrics, noise_cv
+from repro.analysis.diff import metric_direction, z_critical
+from repro.faults.plan import NodeSlowdownSpec
+from repro.sweep import SweepRunner
+
+BASE = JobSpec(app="paratec", ntasks=4, app_params={"preset": "tiny"},
+               ipm=IpmConfig())
+SLOW_FAULT = FaultPlan(
+    enabled=True, nodes=(NodeSlowdownSpec(multiplier=3.0, nodes=(1,)),)
+)
+
+
+def _run(*specs):
+    return SweepRunner(mode="serial").run(list(specs))
+
+
+class TestConfigIdentity:
+    def test_config_hash_ignores_seed_and_faults(self):
+        assert BASE.config_hash() == BASE.replace(seed=77).config_hash()
+        assert BASE.config_hash() == \
+            BASE.replace(faults=SLOW_FAULT).config_hash()
+        ipm_faulted = BASE.replace(ipm=IpmConfig(faults=SLOW_FAULT))
+        assert BASE.config_hash() == ipm_faulted.config_hash()
+
+    def test_config_hash_tracks_real_config_changes(self):
+        assert BASE.config_hash() != BASE.replace(ntasks=2).config_hash()
+        assert BASE.config_hash() != \
+            BASE.replace(app_params={"preset": "tiny",
+                                     "iterations": 5}).config_hash()
+
+    def test_summary_rows_carry_identity_and_noise_floor(self):
+        sweep = _run(BASE.replace(noise=NoiseConfig()))
+        (row,) = sweep.summary()["results"]
+        assert row["config_hash"] == \
+            BASE.replace(noise=NoiseConfig()).config_hash()
+        assert row["noise_cv"] == pytest.approx(noise_cv(NoiseConfig()))
+
+
+class TestDiffVerdicts:
+    def test_injected_slowdown_is_a_confident_regression(self):
+        baseline = _run(BASE).summary()
+        current = _run(BASE.replace(faults=SLOW_FAULT)).summary()
+        diff = diff_sweeps(baseline, current)
+        assert diff.verdict == "regression"
+        (delta,) = diff.deltas
+        assert delta.verdict == "regression"
+        assert delta.rel_delta > 0.5
+        # the confidence bound is honest: a deterministic delta's lower
+        # bound equals the point estimate
+        assert delta.rel_delta_low == pytest.approx(delta.rel_delta)
+        assert math.isinf(delta.z)
+        assert "paratec" in delta.label
+
+    def test_self_diff_is_ok_at_any_confidence(self):
+        summary = _run(BASE, BASE.replace(seed=5)).summary()
+        for confidence in (0.5, 0.95, 0.999999):
+            diff = diff_sweeps(summary, summary, confidence=confidence)
+            assert diff.verdict == "ok"
+            assert all(d.verdict == "ok" for d in diff.deltas)
+            assert all(d.delta == 0.0 for d in diff.deltas)
+
+    def test_seeds_pool_into_one_sample_per_config(self):
+        summary = _run(BASE, BASE.replace(seed=5),
+                       BASE.replace(seed=9)).summary()
+        diff = diff_sweeps(summary, summary)
+        (delta,) = diff.deltas  # one config, three seeds
+        assert delta.baseline_n == 3 and delta.current_n == 3
+
+    def test_improvement_is_not_a_regression(self):
+        slow = _run(BASE.replace(faults=SLOW_FAULT)).summary()
+        fast = _run(BASE).summary()
+        diff = diff_sweeps(slow, fast)
+        assert diff.verdict == "ok"
+        (delta,) = diff.deltas
+        assert delta.verdict == "improvement"
+
+    def test_unmatched_configs_are_surfaced_not_dropped(self):
+        baseline = _run(BASE).summary()
+        current = _run(BASE.replace(ntasks=2)).summary()
+        diff = diff_sweeps(baseline, current)
+        assert diff.deltas == ()
+        assert len(diff.only_baseline) == 1
+        assert len(diff.only_current) == 1
+
+    def test_min_rel_delta_floors_tiny_confident_deltas(self):
+        base = {"results": [{"app": "a", "ntasks": 1, "config_hash": "k",
+                             "status": "ok", "wallclock": 100.0}]}
+        cur = {"results": [{"app": "a", "ntasks": 1, "config_hash": "k",
+                            "status": "ok", "wallclock": 100.5}]}
+        # a certain 0.5% slowdown stays under the default 1% floor ...
+        assert diff_sweeps(base, cur).verdict == "ok"
+        # ... but trips a tighter one
+        assert diff_sweeps(base, cur, min_rel_delta=0.001).verdict == \
+            "regression"
+
+    def test_noise_floor_softens_single_run_verdicts(self):
+        rows = lambda wall, cv: {"results": [
+            {"app": "a", "ntasks": 1, "config_hash": "k", "status": "ok",
+             "wallclock": wall, "noise_cv": cv}
+        ]}
+        # 3% slower: a certain regression without noise ...
+        assert diff_sweeps(rows(100.0, 0.0),
+                           rows(103.0, 0.0)).verdict == "regression"
+        # ... but indistinguishable under a 5%-cv noise model
+        assert diff_sweeps(rows(100.0, 0.05),
+                           rows(103.0, 0.05)).verdict == "ok"
+
+    def test_failed_rows_are_excluded_from_samples(self):
+        base = {"results": [
+            {"app": "a", "ntasks": 1, "config_hash": "k", "status": "ok",
+             "wallclock": 10.0},
+            {"app": "a", "ntasks": 1, "config_hash": "k",
+             "status": "crashed", "wallclock": 0.0},
+        ]}
+        diff = diff_sweeps(base, base)
+        (delta,) = diff.deltas
+        assert delta.baseline_n == 1
+
+    def test_old_summaries_fall_back_to_coarse_keys(self):
+        row = {"app": "hpl", "ntasks": 4, "status": "ok", "wallclock": 5.0}
+        diff = diff_sweeps({"results": [row]}, {"results": [dict(row)]})
+        (delta,) = diff.deltas
+        assert delta.key == "hpl:x4"
+
+    def test_rejects_non_summary_input(self):
+        with pytest.raises(ValueError, match="sweep summary"):
+            diff_sweeps({"nope": 1}, {"results": []})
+
+
+class TestStatistics:
+    def test_z_critical_monotone(self):
+        assert z_critical(0.95) == pytest.approx(1.6449, abs=1e-3)
+        assert z_critical(0.99) > z_critical(0.95)
+        with pytest.raises(ValueError):
+            z_critical(1.0)
+
+    def test_noise_cv_composition(self):
+        quiet = NoiseConfig(jitter_mean=0.0, daemon_rate=0.0,
+                            run_bias_sd=0.01)
+        assert noise_cv(quiet) == pytest.approx(0.01)
+        louder = NoiseConfig(jitter_mean=0.0, daemon_rate=0.0,
+                             run_bias_sd=0.02)
+        assert noise_cv(louder) > noise_cv(quiet)
+
+
+class TestMetricGate:
+    BASE = {"schema": "ipm-repro/bench-overhead/v3",
+            "monitored_events_per_sec": 100000.0,
+            "overhead_us_per_event": 2.0,
+            "platform": "x"}
+
+    def test_throughput_drop_beyond_tolerance_regresses(self):
+        cur = dict(self.BASE, monitored_events_per_sec=70000.0)
+        diff = gate_metrics(cur, self.BASE, tolerance=0.20)
+        assert diff.verdict == "regression"
+        (delta,) = diff.deltas
+        assert delta.metric == "monitored_events_per_sec"
+        assert delta.current_mean == 70000.0  # un-normalized means
+        assert delta.rel_delta > 0.20  # badness fraction
+
+    def test_drop_within_tolerance_passes(self):
+        cur = dict(self.BASE, monitored_events_per_sec=90000.0)
+        assert gate_metrics(cur, self.BASE, tolerance=0.20).verdict == "ok"
+
+    def test_latency_metrics_need_explicit_opt_in(self):
+        cur = dict(self.BASE, overhead_us_per_event=10.0)
+        # default selection gates only higher-is-better keys
+        auto = gate_metrics(cur, self.BASE, tolerance=0.20)
+        assert [d.metric for d in auto.deltas] == \
+            ["monitored_events_per_sec"]
+        explicit = gate_metrics(cur, self.BASE, tolerance=0.20,
+                                metrics=["overhead_us_per_event"])
+        assert explicit.verdict == "regression"
+
+    def test_direction_inference(self):
+        assert metric_direction("monitored_events_per_sec") == "higher"
+        assert metric_direction("cache_speedup") == "higher"
+        assert metric_direction("overhead_us_per_event") == "lower"
+        assert metric_direction("platform") is None
+
+    def test_non_numeric_named_metric_rejected(self):
+        with pytest.raises(ValueError, match="not numeric"):
+            gate_metrics(self.BASE, self.BASE, metrics=["platform"])
+
+    def test_self_gate_passes(self):
+        assert gate_metrics(self.BASE, self.BASE).verdict == "ok"
+
+
+class TestRenderer:
+    def test_format_diff_names_the_regressed_config(self):
+        baseline = _run(BASE).summary()
+        current = _run(BASE.replace(faults=SLOW_FAULT)).summary()
+        text = format_diff(diff_sweeps(baseline, current))
+        assert "REGRESSION" in text
+        assert "paratec x4" in text
+        assert "95%" in text
+        assert "1 regression(s)" in text

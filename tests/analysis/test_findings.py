@@ -1,0 +1,174 @@
+"""The versioned analysis result types: invariants + JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ANALYSIS_SCHEMA,
+    BOTTLENECKS,
+    DELTA_VERDICTS,
+    FINDING_KINDS,
+    SEVERITIES,
+    Diagnosis,
+    EnsembleComparison,
+    EnsembleStats,
+    Finding,
+    SpecDelta,
+    SweepDiagnosis,
+    SweepDiff,
+    from_document,
+    to_document,
+)
+
+
+def _finding(**overrides):
+    kw = dict(kind="straggler", severity="warning", message="rank 3 slow",
+              target="rank:3", metrics={"z": 6.5, "active": 2.0})
+    kw.update(overrides)
+    return Finding(**kw)
+
+
+def _delta(**overrides):
+    kw = dict(key="abc", label="hpl x2", metric="wallclock",
+              baseline_n=3, baseline_mean=10.0, baseline_std=0.1,
+              current_n=3, current_mean=12.0, current_std=0.1,
+              delta=2.0, rel_delta=0.2, z=12.0, rel_delta_low=0.15,
+              verdict="regression")
+    kw.update(overrides)
+    return SpecDelta(**kw)
+
+
+class TestVocabularies:
+    def test_finding_rejects_unknown_kind_and_severity(self):
+        with pytest.raises(ValueError, match="finding kind"):
+            _finding(kind="vibe")
+        with pytest.raises(ValueError, match="severity"):
+            _finding(severity="catastrophic")
+
+    def test_diagnosis_rejects_unknown_verdict(self):
+        with pytest.raises(ValueError, match="verdict"):
+            Diagnosis(job="j", verdict="gpu-sad", ntasks=1, wallclock=1.0)
+
+    def test_delta_rejects_unknown_verdict(self):
+        with pytest.raises(ValueError, match="delta verdict"):
+            _delta(verdict="meh")
+
+    def test_vocabularies_are_pinned(self):
+        assert "kernel-bound" in BOTTLENECKS and "inconclusive" in BOTTLENECKS
+        assert DELTA_VERDICTS == ("ok", "regression", "improvement",
+                                  "indeterminate")
+        assert SEVERITIES == ("info", "warning", "critical")
+        assert "straggler" in FINDING_KINDS and "regression" in FINDING_KINDS
+
+
+class TestFrozenInvariants:
+    def test_metrics_are_name_sorted_pairs(self):
+        f = _finding(metrics={"z": 1.0, "active": 2.0})
+        assert f.metrics == (("active", 2.0), ("z", 1.0))
+        assert f.metric("z") == 1.0
+        assert f.metric("absent") is None
+        assert f.metrics_dict() == {"active": 2.0, "z": 1.0}
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            _finding(metrics=(("z", 1.0), ("z", 2.0)))
+
+    def test_finding_is_frozen_and_hashable(self):
+        f = _finding()
+        with pytest.raises(AttributeError):
+            f.kind = "note"
+        assert f in {f}
+
+    def test_equal_findings_encode_identically(self):
+        a = _finding(metrics={"z": 6.5, "active": 2.0})
+        b = _finding(metrics=(("active", 2.0), ("z", 6.5)))
+        assert a == b
+        assert json.dumps(to_document(a), sort_keys=True) == \
+            json.dumps(to_document(b), sort_keys=True)
+
+    def test_sweep_diff_validates_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            SweepDiff(deltas=(), confidence=1.5, min_rel_delta=0.01)
+        with pytest.raises(ValueError, match="min_rel_delta"):
+            SweepDiff(deltas=(), confidence=0.95, min_rel_delta=-0.1)
+
+
+class TestDocuments:
+    def test_round_trip_every_engine_type(self):
+        diag = Diagnosis(
+            job="hpl x2", verdict="kernel-bound", ntasks=2, wallclock=4.0,
+            breakdown={"kernel": 0.6, "transfer": 0.1},
+            findings=(_finding(),),
+        )
+        objects = [
+            _finding(),
+            diag,
+            SweepDiagnosis(diagnoses=(diag,), findings=(_finding(),)),
+            _delta(),
+            SweepDiff(deltas=(_delta(),), confidence=0.95,
+                      min_rel_delta=0.01, only_baseline=("x",)),
+        ]
+        for obj in objects:
+            doc = to_document(obj)
+            assert doc["schema"] == ANALYSIS_SCHEMA
+            # through real JSON text, not just dict identity
+            back = from_document(json.loads(json.dumps(doc)))
+            assert back == obj
+
+    def test_registered_helper_types_round_trip_too(self):
+        cmp = EnsembleComparison(
+            with_ipm=EnsembleStats(n=2, mean=2.0, std=0.1, vmin=1.9, vmax=2.1),
+            without_ipm=EnsembleStats(n=2, mean=1.0, std=0.1, vmin=0.9,
+                                      vmax=1.1),
+            dilatation=1.0,
+        )
+        assert from_document(json.loads(json.dumps(to_document(cmp)))) == cmp
+
+    def test_document_validation(self):
+        with pytest.raises(TypeError, match="analysis result"):
+            to_document({"not": "a dataclass"})
+        with pytest.raises(ValueError, match="schema"):
+            from_document({"schema": "ipm-repro/analysis/v999",
+                           "payload": {}})
+        with pytest.raises(ValueError, match="payload"):
+            from_document({"schema": ANALYSIS_SCHEMA})
+        with pytest.raises(ValueError, match="not an analysis result"):
+            from_document({"schema": ANALYSIS_SCHEMA, "payload": {"x": 1}})
+
+    def test_diagnosis_accessors(self):
+        d = Diagnosis(
+            job="j", verdict="transfer-bound", ntasks=4, wallclock=2.0,
+            breakdown={"transfer": 0.7, "kernel": 0.1},
+            findings=(_finding(),
+                      _finding(kind="load_imbalance", target="")),
+        )
+        assert d.fraction("transfer") == 0.7
+        assert d.fraction("network") == 0.0
+        assert len(d.stragglers) == 1
+
+    def test_sweep_diff_verdict_and_findings(self):
+        ok = SweepDiff(deltas=(_delta(verdict="ok"),), confidence=0.95,
+                       min_rel_delta=0.01)
+        assert ok.verdict == "ok" and not ok.has_regression
+        assert ok.findings() == ()
+        bad = SweepDiff(deltas=(_delta(),), confidence=0.95,
+                        min_rel_delta=0.01)
+        assert bad.verdict == "regression"
+        (f,) = bad.findings()
+        assert f.kind == "regression" and f.severity == "critical"
+        assert "95% confidence" in f.message
+        assert f.metric("rel_delta_low") == 0.15
+
+    def test_sweep_diagnosis_ok_property(self):
+        quiet = SweepDiagnosis(diagnoses=(
+            Diagnosis(job="j", verdict="kernel-bound", ntasks=1,
+                      wallclock=1.0,
+                      findings=(_finding(kind="bottleneck",
+                                         severity="info"),)),
+        ))
+        assert quiet.ok
+        noisy = SweepDiagnosis(findings=(_finding(kind="failed_spec",
+                                                  severity="critical"),))
+        assert not noisy.ok
+        assert quiet.verdict_counts() == {"kernel-bound": 1}

@@ -5,8 +5,8 @@ assembled from an empty selection) used to crash ``gpu_utilization``
 and ``host_idle_percent`` with ZeroDivisionError.
 """
 
-from repro.analysis.histogram import ensemble_stats
-from repro.analysis.scaling import ScalingPoint, speedup
+from repro.analysis.histogram import compare_ensembles
+from repro.analysis.scaling import ScalingPoint, scaling_speedups
 from repro.core.hashtable import PerfHashTable
 from repro.core.metrics import (
     function_time_stats,
@@ -48,19 +48,19 @@ def test_imbalance_stats_survive_an_empty_task_list():
 
 
 def test_speedup_guards():
-    assert speedup([]) == {}
+    assert scaling_speedups([]) == {}
     pts = [
         ScalingPoint(nprocs=1, wallclock=10.0),
         ScalingPoint(nprocs=4, wallclock=0.0),  # run killed by a fault
         ScalingPoint(nprocs=2, wallclock=5.0),
     ]
-    s = speedup(pts)
+    s = scaling_speedups(pts)
     assert s[1] == 1.0
     assert s[2] == 2.0
     assert s[4] == 0.0  # not a ZeroDivisionError
 
 
 def test_ensemble_stats_with_a_degenerate_baseline():
-    s_with, s_without, dilatation = ensemble_stats([1.0, 2.0], [0.0, 0.0])
-    assert s_without.mean == 0.0
-    assert dilatation == 0.0
+    cmp = compare_ensembles([1.0, 2.0], [0.0, 0.0])
+    assert cmp.without_ipm.mean == 0.0
+    assert cmp.dilatation == 0.0

@@ -34,6 +34,31 @@ class TestFacade:
         assert repro.run_job is deep_run_job
         assert repro.JobSpec is deep_spec
 
+    def test_version_is_bumped_for_the_analysis_api(self):
+        assert repro.__version__ == "0.5.0"
+
+    def test_analysis_exports_are_on_the_facade(self):
+        import repro.analysis as analysis
+
+        for name in ("Finding", "Diagnosis", "SweepDiagnosis", "SpecDelta",
+                     "SweepDiff", "analyze_job", "analyze_sweep",
+                     "diff_sweeps"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is getattr(analysis, name)
+
+    def test_analysis_surface_is_pinned(self):
+        import repro.analysis as analysis
+
+        assert set(analysis.__all__) >= {
+            "ANALYSIS_SCHEMA", "Finding", "Diagnosis", "SweepDiagnosis",
+            "SpecDelta", "SweepDiff", "analyze_job", "analyze_sweep",
+            "detect_stragglers", "classify", "diff_sweeps", "gate_metrics",
+            "to_document", "from_document", "compare_ensembles",
+            "scaling_series", "scaling_speedups",
+        }
+        for name in analysis.__all__:
+            assert getattr(analysis, name) is not None
+
 
 class TestDeprecatedShim:
     def test_legacy_kwargs_warn_and_match_the_spec_path(self):

@@ -120,14 +120,14 @@ class TestSweepReportAggregation:
         assert all(r["monitored"] for r in summary["results"])
 
     def test_scaling_points_feed_the_analysis_tools(self):
-        from repro.analysis import format_scaling, sweep_scaling
+        from repro.analysis import format_scaling, scaling_series
 
         specs = [
             JobSpec(app="square", ntasks=n, ipm=IpmConfig(), seed=1)
             for n in (2, 1)
         ]
         report = SweepRunner(mode="serial").run(specs)
-        points = sweep_scaling(report)
+        points = scaling_series(report)
         assert [p.nprocs for p in points] == [1, 2]  # sorted by ranks
         assert all(p.breakdown for p in points)
         text = format_scaling(points)
