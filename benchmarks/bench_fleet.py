@@ -21,6 +21,12 @@ at the acceptance scale:
   measured: ``replay_records_per_sec`` against the live-ingest
   record rate, plus the on-disk footprint before/after retention
   compaction.
+* **chaos recovery** — a durable publisher behind a
+  :class:`repro.fleet.ChaosProxy` is partitioned mid-stream
+  (disconnect -> spool), then healed (reconnect -> drain); measured:
+  spool write throughput during the outage, ``recovery_seconds``
+  from heal to full convergence, drain throughput, and
+  ``records_lost`` — whose acceptance floor is exactly 0.
 
 Results are written to ``BENCH_fleet.json`` at the repository root
 (schema documented in EXPERIMENTS.md §Fleet).
@@ -47,11 +53,19 @@ import urllib.request
 from typing import Dict, List
 
 from repro import IpmConfig, JobSpec, SweepRunner, TelemetryConfig
-from repro.fleet import FleetAggregator, FleetSink, FleetStore, HistoryLog
+from repro.fleet import (
+    ChaosPlan,
+    ChaosProxy,
+    FleetAggregator,
+    FleetSink,
+    FleetStore,
+    HistoryLog,
+    ResilientClient,
+)
 from repro.fleet.rollup import DEFAULT_RETENTION_TIERS
 from repro.telemetry.series import SamplePoint
 
-SCHEMA = "ipm-repro/bench-fleet/v2"
+SCHEMA = "ipm-repro/bench-fleet/v3"
 
 #: concurrent synthetic publishers — the acceptance floor is 200.
 JOBS = 200
@@ -64,6 +78,9 @@ PUBLISHERS = 8
 
 #: telemetry-enabled specs for the live sweep phase.
 SWEEP_JOBS = 6
+
+#: records published into the spool during the chaos outage.
+CHAOS_RECORDS = 2000
 
 
 def _point(t: float, name: str, value: float, **labels) -> SamplePoint:
@@ -239,6 +256,77 @@ def _replay_phase(jobs: int, ticks: int, publishers: int) -> Dict:
         shutil.rmtree(data_dir, ignore_errors=True)
 
 
+def _chaos_phase(records: int = CHAOS_RECORDS) -> Dict:
+    """Disconnect -> spool -> reconnect -> drain, with a stopwatch."""
+
+    def sample(i: int) -> Dict:
+        return {
+            "kind": "sample", "job": "bench-chaos", "t": i * 0.01,
+            "points": [{"name": "gpu_busy_fraction", "labels": {},
+                        "value": 0.5}],
+        }
+
+    spool_dir = tempfile.mkdtemp(prefix="bench-fleet-spool-")
+    warmup = 10
+    total = warmup + records
+    try:
+        with FleetAggregator() as agg:
+            proxy = ChaosProxy(agg.ingest_address, ChaosPlan(seed=42))
+            proxy.start()
+            client = ResilientClient(
+                proxy.address_str,
+                label="bench chaos",
+                pub="bench-chaos",
+                spool_dir=spool_dir,
+                retry_base=0.02,
+                retry_max_delay=0.25,
+            )
+            store = agg.store
+            try:
+                # healthy warm-up: prove the pipe works end to end
+                for i in range(warmup):
+                    client.send(sample(i))
+                assert client.flush(30.0)
+
+                # the outage: partition, keep publishing into the spool
+                proxy.pause()
+                t0 = time.perf_counter()
+                for i in range(warmup, total):
+                    client.send(sample(i))
+                # the queue drains to disk in the background; the
+                # write rate is only honest once it all lands
+                _wait(lambda: client.spool_depth >= records)
+                spool_s = time.perf_counter() - t0
+                spooled = client.spool_depth
+
+                # the heal: reconnect, drain, converge
+                proxy.resume()
+                t0 = time.perf_counter()
+                drained = client.flush(120.0)
+                converged = _wait(lambda: store.samples >= total)
+                recovery_s = time.perf_counter() - t0
+                stats = client.stats()
+            finally:
+                client.close(flush_timeout=0.0)
+                proxy.stop()
+            totals = store.publishers_summary()["totals"]
+            return {
+                "records": records,
+                "spooled_during_outage": spooled,
+                "spool_write_per_sec": round(records / spool_s, 1),
+                "drained": bool(drained),
+                "converged": bool(converged),
+                "recovery_seconds": round(recovery_s, 3),
+                "drain_records_per_sec": round(spooled / recovery_s, 1),
+                "reconnects": stats["reconnects"],
+                "records_lost": total - totals["received"],
+                "duplicates_deduped": totals["duplicates"],
+                "gap_records": totals["gap_records"],
+            }
+    finally:
+        shutil.rmtree(spool_dir, ignore_errors=True)
+
+
 def run_fleet_bench(jobs: int = JOBS) -> Dict:
     """Measure synthetic ingest + live sweep streaming; returns the dict."""
     if jobs < 2:
@@ -253,6 +341,7 @@ def run_fleet_bench(jobs: int = JOBS) -> Dict:
         "synthetic": _synthetic_phase(jobs, TICKS, PUBLISHERS),
         "sweep": _sweep_phase(SWEEP_JOBS),
         "replay": _replay_phase(jobs, TICKS, PUBLISHERS),
+        "chaos": _chaos_phase(CHAOS_RECORDS),
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
@@ -273,7 +362,8 @@ def write_result(result: Dict, path: str) -> str:
 
 
 def format_result(result: Dict) -> str:
-    syn, swp, rep = result["synthetic"], result["sweep"], result["replay"]
+    syn, swp = result["synthetic"], result["sweep"]
+    rep, cha = result["replay"], result["chaos"]
     lag = syn["rollup_lag_avg_seconds"]
     lag_max = syn["rollup_lag_max_seconds"]
     return "\n".join([
@@ -299,6 +389,14 @@ def format_result(result: Dict) -> str:
         f"history footprint   : {rep['disk_bytes_before_compaction']:10d}"
         f" -> {rep['disk_bytes_after_compaction']} bytes"
         f" ({rep['compacted_segments']} segments compacted)",
+        f"chaos spool write   : {cha['spool_write_per_sec']:10.0f}/s"
+        f"   ({cha['spooled_during_outage']} records through the outage)",
+        f"chaos recovery [s]  : {cha['recovery_seconds']:10.3f}"
+        f"   ({cha['drain_records_per_sec']:.0f}/s drained, "
+        f"{cha['reconnects']} reconnects)",
+        f"chaos records lost  : {cha['records_lost']:10d}"
+        f"   ({cha['duplicates_deduped']} replays deduped, "
+        f"{cha['gap_records']} gaps)",
     ])
 
 
@@ -327,6 +425,13 @@ def check_result(result: Dict) -> None:
         rep["disk_bytes_after_compaction"]
         < rep["disk_bytes_before_compaction"]
     )
+    cha = result["chaos"]
+    assert cha["drained"] and cha["converged"]
+    assert cha["reconnects"] >= 1
+    assert cha["gap_records"] == 0
+    # the resilience contract: an outage costs time, never records
+    assert cha["records_lost"] == 0
+    assert cha["drain_records_per_sec"] > 0
 
 
 def main(argv=None) -> int:

@@ -107,6 +107,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("sweep: --resume needs --cache (the journal lives next to "
               "the result cache)", file=sys.stderr)
         return EXIT_BAD_INPUT
+    if args.fleet_spool and not args.fleet:
+        print("sweep: --fleet-spool needs --fleet (it spools the fleet "
+              "stream)", file=sys.stderr)
+        return EXIT_BAD_INPUT
     liveness = None
     if args.max_events is not None or args.max_virtual_time is not None:
         from repro.simt.simulator import LivenessLimits
@@ -126,6 +130,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         liveness=liveness,
         resume=args.resume,
         fleet=args.fleet,
+        fleet_spool=args.fleet_spool,
     )
     report = runner.run(specs)
     summary = report.summary()
@@ -306,6 +311,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             retain=args.retain,
             fsync=args.fsync,
             compact_interval=args.compact_interval,
+            forward=args.forward,
+            forward_interval=args.forward_interval,
             resolution=args.resolution,
             host_resolution=args.host_resolution,
             buckets=args.buckets,
@@ -344,6 +351,9 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             if args.data_dir:
                 print(f"fleet: durable history in {args.data_dir} "
                       f"({agg.replayed} records replayed)")
+            if args.forward:
+                print(f"fleet: forwarding upstream to {args.forward} "
+                      f"every {args.forward_interval}s")
             deadline = (
                 _time.monotonic() + args.duration
                 if args.duration is not None else None
@@ -387,6 +397,32 @@ def _cmd_fleet_compact(args: argparse.Namespace) -> int:
           f"records, {stats['bytes_before']} -> {stats['bytes_after']} "
           f"bytes ({saved} saved)")
     return EXIT_OK
+
+
+def _cmd_fleet_drain(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fleet.sink import drain_spool_dir
+    from repro.fleet.spool import pending_spools
+
+    if not os.path.isdir(args.spool_dir):
+        print(f"fleet drain: not a directory: {args.spool_dir}",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if not pending_spools(args.spool_dir):
+        print(f"fleet drain: nothing pending in {args.spool_dir}")
+        return EXIT_OK
+    outcome = drain_spool_dir(
+        args.server, args.spool_dir, timeout=args.timeout
+    )
+    for entry in outcome["details"]:
+        state = "drained" if not entry["pending"] else (
+            f"{entry['pending']} still pending"
+        )
+        print(f"  {entry['pub']}: {entry['delivered']} delivered, {state}")
+    print(f"fleet drain: {outcome['delivered']} records from "
+          f"{outcome['spools']} spools, {outcome['pending']} left")
+    return EXIT_OK if outcome["pending"] == 0 else EXIT_SPEC_FAILURES
 
 
 def _cmd_fleet_query(args: argparse.Namespace) -> int:
@@ -469,6 +505,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="stream per-spec lifecycle + telemetry to a "
                               "fleet aggregator's ingest endpoint "
                               "(see 'fleet serve')")
+    p_sweep.add_argument("--fleet-spool", default=None, metavar="DIR",
+                         help="with --fleet: spool records to this "
+                              "directory while the aggregator is "
+                              "unreachable and replay them on reconnect "
+                              "(zero-loss publishing)")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     sub.add_parser(
@@ -606,6 +647,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="with --data-dir: retention-compaction "
                               "period; <= 0 disables the background "
                               "policy (default 60)")
+    p_serve.add_argument("--forward", default=None, metavar="HOST:PORT",
+                         help="federate: forward accepted records "
+                              "upstream to a head aggregator's ingest "
+                              "endpoint (samples compacted to windows; "
+                              "with --data-dir the upstream stream is "
+                              "spooled across head outages)")
+    p_serve.add_argument("--forward-interval", type=float, default=0.25,
+                         metavar="SECONDS",
+                         help="how often buffered windows flush upstream "
+                              "(default 0.25)")
     p_serve.add_argument("--announce", default=None, metavar="FILE",
                          help="write the resolved endpoints here as JSON "
                               "(for scripts using ephemeral ports)")
@@ -628,6 +679,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "(default 0.5 = 10x the default store "
                                 "resolution)")
     p_compact.set_defaults(fn=_cmd_fleet_compact)
+    p_drain = fleet_sub.add_parser(
+        "drain",
+        help="deliver records left spooled by publishers that outlived "
+             "an aggregator outage",
+    )
+    p_drain.add_argument("server", metavar="HOST:PORT",
+                         help="the aggregator's ingest endpoint")
+    p_drain.add_argument("spool_dir", metavar="DIR",
+                         help="a publisher spool directory "
+                              "(e.g. sweep --fleet-spool DIR)")
+    p_drain.add_argument("--timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="total delivery budget (default 30)")
+    p_drain.set_defaults(fn=_cmd_fleet_drain)
     p_query = fleet_sub.add_parser(
         "query", help="fetch one endpoint from a running aggregator"
     )

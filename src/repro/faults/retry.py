@@ -69,11 +69,14 @@ def retry_with_backoff(
     jitter: float = 0.0,
     rng: "Optional[np.random.Generator]" = None,
     max_elapsed: Optional[float] = None,
+    max_delay: Optional[float] = None,
 ) -> Any:
     """Call ``fn()`` until it stops returning a retryable failure.
 
     Between attempts the caller sleeps ``base_delay * factor**i``
-    seconds — *virtual* seconds on the calling rank when ``sim`` is a
+    seconds (capped at ``max_delay`` when given, so long-running
+    reconnect loops plateau instead of growing without bound) —
+    *virtual* seconds on the calling rank when ``sim`` is a
     simulator, host seconds (``time.sleep``) when ``sim`` is None.
     Returns the first non-retryable result (success *or* a permanent
     error — the caller keeps the C return-code convention); raises
@@ -100,6 +103,8 @@ def retry_with_backoff(
         )
     if max_elapsed is not None and max_elapsed <= 0:
         raise ValueError(f"max_elapsed must be positive: {max_elapsed}")
+    if max_delay is not None and max_delay <= 0:
+        raise ValueError(f"max_delay must be positive: {max_delay}")
     check = is_retryable if is_retryable is not None else _default_is_retryable
     now = (lambda: sim.now) if sim is not None else _time.monotonic
     t0 = now()
@@ -110,6 +115,8 @@ def retry_with_backoff(
             return result
         if i + 1 < attempts:
             delay = base_delay * factor**i
+            if max_delay is not None:
+                delay = min(delay, max_delay)
             if jitter > 0 and delay > 0:
                 delay *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
             if (

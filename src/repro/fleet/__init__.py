@@ -32,8 +32,18 @@ The sweep runner streams into all of this with ``SweepRunner(...,
 fleet="host:port")`` / ``python -m repro sweep --fleet`` — progress
 becomes observable live instead of only via the journal, and fleet
 mode off stays byte-identical (pinned by test).
+
+The pipeline is *resilient* end to end: publishers are
+:class:`~repro.fleet.sink.ResilientClient` streams (bounded queue or
+durable :class:`~repro.fleet.spool.Spool`, jittered reconnect,
+per-record sequence stamps the head audits and acks), leaves federate
+into heads via :class:`~repro.fleet.forward.FleetForwarder`, and the
+seed-driven :mod:`repro.fleet.chaos` harness (refusal windows, torn
+mid-line cuts, kill/restart) proves no accepted record is ever lost.
 """
 
+from repro.fleet.chaos import ChaosPlan, ChaosProxy, tear_tail
+from repro.fleet.forward import FleetForwarder
 from repro.fleet.history import HistoryLog
 from repro.fleet.ingest import IngestServer, JsonlTailIngester
 from repro.fleet.protocol import FLEET_SCHEMA, decode_line, encode_record
@@ -41,12 +51,21 @@ from repro.fleet.registry import FleetRegistry, JobRecord, NodeRecord
 from repro.fleet.rollup import MetricRollup, RollupRing, RollupSet, StatWindow
 from repro.fleet.server import FleetHttpServer
 from repro.fleet.service import FleetAggregator
-from repro.fleet.sink import FleetSink, LineClient
+from repro.fleet.sink import (
+    FleetSink,
+    LineClient,
+    ResilientClient,
+    drain_spool_dir,
+)
+from repro.fleet.spool import Spool, pending_spools
 from repro.fleet.store import FleetStore
 
 __all__ = [
     "FLEET_SCHEMA",
+    "ChaosPlan",
+    "ChaosProxy",
     "FleetAggregator",
+    "FleetForwarder",
     "FleetHttpServer",
     "FleetRegistry",
     "FleetSink",
@@ -58,9 +77,14 @@ __all__ = [
     "LineClient",
     "MetricRollup",
     "NodeRecord",
+    "ResilientClient",
     "RollupRing",
     "RollupSet",
+    "Spool",
     "StatWindow",
     "decode_line",
+    "drain_spool_dir",
     "encode_record",
+    "pending_spools",
+    "tear_tail",
 ]

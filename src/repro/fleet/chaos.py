@@ -1,0 +1,362 @@
+"""Deterministic chaos for the fleet transport.
+
+The repo's fault machinery (:mod:`repro.faults`) injects seed-driven
+failures into the *simulated* cluster; this module extends the same
+discipline to the real sockets the fleet pipeline runs on, so the
+resilience story is testable without flaky sleeps or OS luck:
+
+* :class:`ChaosPlan` — a frozen, seeded fault schedule: which
+  connections are refused, which get cut mid-stream (and after how
+  many bytes — drawn from a named
+  :class:`~repro.simt.random.RngStreams` stream per connection, so
+  the schedule is a pure function of the seed), and how much latency
+  is injected;
+* :class:`ChaosProxy` — a TCP proxy that sits between publishers and
+  an aggregator and executes the plan: refused connections are
+  closed on accept, cut connections forward exactly ``cut_at`` bytes
+  (usually mid-line — producing a torn record at the aggregator)
+  then tear the forward path (in-flight acknowledgements drain back
+  before the close propagates), and ``pause()``/``resume()``
+  partition the endpoint outright (new connections get
+  ECONNREFUSED, established pipes are slammed both ways).
+  ``retarget()`` points the proxy at a restarted upstream without
+  publishers noticing;
+* :func:`tear_tail` — truncate a file mid-record, fabricating the
+  torn final line a kill -9 leaves behind;
+* plus :meth:`repro.fleet.service.FleetAggregator.kill` (the
+  in-process kill -9: freeze, close sockets, no drain) — together
+  the vocabulary the chaos acceptance tests are written in.
+
+Everything observable converges deterministically: the *schedule* is
+seed-exact while thread timing naturally jitters, so assertions are
+written against invariants (no acknowledged record lost, sequence
+audit clean, rollups converge) rather than timings.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time as _time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.fleet.protocol import format_address, parse_address
+from repro.simt.random import RngStreams
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded fault schedule for one :class:`ChaosProxy`.
+
+    Connection indices count every *attempted* connection through the
+    proxy, starting at 0.  All randomness comes from named streams of
+    ``RngStreams(seed)``, so two proxies built from equal plans
+    execute identical schedules.
+    """
+
+    seed: int = 0
+    #: refuse this many initial connections (a startup outage).
+    refuse_first: int = 0
+    #: additionally refuse every k-th connection (0 = never).
+    refuse_every: int = 0
+    #: cut every k-th *accepted* connection mid-stream (0 = never).
+    cut_every: int = 0
+    #: the cut lands uniformly in this byte range into the stream —
+    #: small enough to land mid-line for any realistic record.
+    cut_after_bytes: Tuple[int, int] = (32, 256)
+    #: fixed forwarding delay per chunk, seconds (0 = none).
+    delay: float = 0.0
+    #: +/- fraction of ``delay`` jittered per chunk.
+    delay_jitter: float = 0.5
+
+    def refuses(self, index: int) -> bool:
+        if index < self.refuse_first:
+            return True
+        return bool(
+            self.refuse_every and (index + 1) % self.refuse_every == 0
+        )
+
+    def cut_point(self, index: int, rng: RngStreams) -> Optional[int]:
+        """Bytes to forward before cutting connection ``index``."""
+        if not self.cut_every or (index + 1) % self.cut_every != 0:
+            return None
+        lo, hi = self.cut_after_bytes
+        return int(rng.get(f"cut.{index}").integers(lo, max(lo + 1, hi)))
+
+    def chunk_delay(self, index: int, rng: RngStreams) -> float:
+        if self.delay <= 0:
+            return 0.0
+        if self.delay_jitter <= 0:
+            return self.delay
+        u = float(rng.get(f"delay.{index}").random())
+        return self.delay * (1.0 + self.delay_jitter * (2.0 * u - 1.0))
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of an aggregator."""
+
+    def __init__(
+        self,
+        upstream: Union[str, Tuple[str, int]],
+        plan: Optional[ChaosPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.plan = plan or ChaosPlan()
+        self._rng = RngStreams(self.plan.seed)
+        self._upstream = parse_address(upstream)
+        self._host = host
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        self._active: List[socket.socket] = []
+        self.connections = 0
+        self.refused = 0
+        self.cuts = 0
+        self.bytes_forwarded = 0
+        self.paused = False
+        self._bind(host, port)
+        self._port = self._listener.getsockname()[1]
+
+    def _bind(self, host: str, port: int) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        self._listener = listener
+
+    # -- addresses --------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
+
+    @property
+    def address_str(self) -> str:
+        return format_address(self.address)
+
+    @property
+    def upstream(self) -> Tuple[str, int]:
+        with self._lock:
+            return self._upstream
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="chaos-proxy", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self._close_listener()
+        self._kill_connections()
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+            self._accept_thread = None
+
+    def pause(self, kill_connections: bool = True) -> None:
+        """Partition the endpoint: new connections get ECONNREFUSED.
+
+        With ``kill_connections`` (default) established pipes drop
+        too — the full network-partition story, not just a closed
+        front door.
+        """
+        self.paused = True
+        self._close_listener()
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+            self._accept_thread = None
+        if kill_connections:
+            self._kill_connections()
+
+    def resume(self) -> None:
+        """Heal the partition; same port, same fault schedule."""
+        if not self.paused:
+            return
+        self.paused = False
+        # a publisher mid-connect can transiently hold the port (its
+        # kernel-chosen source port may collide with the one we are
+        # rebinding); retry briefly instead of failing the heal.
+        deadline = _time.monotonic() + 5.0
+        while True:
+            try:
+                self._bind(self._host, self._port)
+                break
+            except OSError:
+                if _time.monotonic() >= deadline:
+                    raise
+                _time.sleep(0.05)
+        self.start()
+
+    def retarget(self, upstream: Union[str, Tuple[str, int]]) -> None:
+        """Point future connections at a (restarted) upstream."""
+        with self._lock:
+            self._upstream = parse_address(upstream)
+
+    def _close_listener(self) -> None:
+        if self._listener is not None:
+            # same story as _slam: close() alone does not wake a
+            # thread blocked in accept(), and the sleeping syscall
+            # keeps the kernel listener alive — still accepting! —
+            # after the fd is gone.  shutdown() wakes it (EINVAL).
+            _slam(self._listener)
+            self._listener = None
+
+    def _kill_connections(self) -> None:
+        with self._lock:
+            active, self._active = self._active, []
+        for sock in active:
+            _slam(sock)
+
+    # -- the data path ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None and not self._stopped.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: paused or stopped
+            index = self.connections
+            self.connections += 1
+            if self.plan.refuses(index):
+                self.refused += 1
+                try:
+                    # RST rather than FIN: closest to a refusal the
+                    # accept/close dance can produce.
+                    conn.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                    )
+                except OSError:
+                    pass
+                conn.close()
+                continue
+            try:
+                up = socket.create_connection(self.upstream, timeout=5.0)
+                if up.getsockname() == up.getpeername():
+                    # dialing a dead upstream port can self-connect on
+                    # localhost (TCP simultaneous open); piping the
+                    # publisher to an echo of itself is not chaos, it
+                    # is a hang.
+                    up.close()
+                    raise ConnectionRefusedError("self-connected")
+            except OSError:
+                conn.close()
+                continue
+            with self._lock:
+                self._active.extend((conn, up))
+            cut_at = self.plan.cut_point(index, self._rng)
+            threading.Thread(
+                target=self._pump,
+                args=(conn, up, index, cut_at, True),
+                name=f"chaos-up-{index}",
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump,
+                args=(up, conn, index, None, False),
+                name=f"chaos-down-{index}",
+                daemon=True,
+            ).start()
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        index: int,
+        cut_at: Optional[int],
+        upstream_bound: bool,
+    ) -> None:
+        forwarded = 0
+        while not self._stopped.is_set():
+            try:
+                data = src.recv(4096)
+            except OSError:
+                break
+            if not data:
+                break
+            if upstream_bound:
+                delay = self.plan.chunk_delay(index, self._rng)
+                if delay > 0:
+                    _time.sleep(delay)
+            if (
+                upstream_bound
+                and cut_at is not None
+                and forwarded + len(data) >= cut_at
+            ):
+                keep = cut_at - forwarded
+                try:
+                    if keep > 0:
+                        dst.sendall(data[:keep])
+                except OSError:
+                    pass
+                self.cuts += 1
+                self.bytes_forwarded += max(0, keep)
+                # tear the *forward* path only: the upstream sees EOF
+                # after the torn bytes and finishes its side (acks for
+                # whatever it folded drain back through the other
+                # pump), then its close propagates to the publisher.
+                # A full bidirectional slam is what pause() is for.
+                for sock, how in ((dst, socket.SHUT_WR),
+                                  (src, socket.SHUT_RD)):
+                    try:
+                        sock.shutdown(how)
+                    except OSError:
+                        pass
+                return
+            try:
+                dst.sendall(data)
+            except OSError:
+                break
+            forwarded += len(data)
+            if upstream_bound:
+                self.bytes_forwarded += len(data)
+        for sock in (src, dst):
+            _slam(sock)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _slam(sock: socket.socket) -> None:
+    """Tear a socket down so *every* thread blocked on it wakes.
+
+    ``close()`` alone does not interrupt a peer thread sleeping in
+    ``recv()`` on the same socket — and the sleeping syscall keeps the
+    kernel socket alive, so the far end never even sees a FIN.
+    ``shutdown()`` first guarantees both.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+def tear_tail(path: str, drop_bytes: int = 7) -> int:
+    """Truncate a file mid-record; returns bytes removed.
+
+    Fabricates the torn final line a kill -9 mid-append leaves on
+    disk — the input the spool/history torn-write repair paths are
+    contractually required to survive.
+    """
+    size = os.path.getsize(path)
+    keep = max(0, size - drop_bytes)
+    with open(path, "rb+") as fh:
+        fh.truncate(keep)
+    return size - keep

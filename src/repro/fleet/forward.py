@@ -1,0 +1,262 @@
+"""`FleetForwarder`: leaf→head federation over the fleet protocol.
+
+A leaf aggregator (one rack's ``fleet serve``) tees every record it
+accepts into a forwarder; the forwarder ships the stream upstream to
+a head aggregator over the same ``ipm-repro/fleet/v1`` NDJSON
+protocol — so a head is just another aggregator, and racks stack.
+
+Two paths through the tee:
+
+* lifecycle records (``job_start``, ``job_end``, ``rank_status``,
+  ``spec_*``) pass straight through to the
+  :class:`~repro.fleet.sink.ResilientClient` — the head should learn
+  about state transitions at ingest latency;
+* ``sample`` / ``sample_agg`` records fold into per-(job, bucket)
+  :class:`~repro.fleet.rollup.StatWindow` buffers — the exact
+  structure history compaction uses — and a background flush emits
+  them as ``sample_agg`` windows at the *store's native resolution*.
+  StatWindow state is exactly mergeable and bucket-aligned with the
+  head's rings, so the head's per-job rollups equal a
+  single-aggregator run bit-for-bit, at a fraction of the raw sample
+  rate (repeated flushes of a still-open bucket merge exactly, too).
+
+The transport is the resilient client, so federation inherits the
+whole failure story: jittered reconnect, bounded buffering, optional
+durable spooling under the leaf's ``--data-dir``, and sequence stamps
+the head audits — either side can restart without losing a record
+the leaf accepted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.fleet.history import _labels_key
+from repro.fleet.rollup import StatWindow
+from repro.fleet.sink import ResilientClient
+from repro.fleet.store import FleetStore
+
+#: how often buffered windows flush upstream.
+DEFAULT_FORWARD_INTERVAL = 0.25
+
+
+class FleetForwarder:
+    """Ship one store's accepted records upstream to a fleet head."""
+
+    def __init__(
+        self,
+        store: FleetStore,
+        target: Union[str, Tuple[str, int]],
+        *,
+        interval: float = DEFAULT_FORWARD_INTERVAL,
+        resolution: Optional[float] = None,
+        spool_dir: Optional[str] = None,
+        pub: Optional[str] = None,
+        label: str = "fleet forward",
+        client: Optional[ResilientClient] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.store = store
+        self.target = target
+        self.interval = interval
+        #: bucket width for forwarded windows.  The default — the
+        #: store's own job resolution — makes the head's job series
+        #: identical to direct ingest; coarser trades fidelity for
+        #: upstream bytes.
+        self.resolution = float(resolution or store.resolution)
+        if self.resolution <= 0:
+            raise ValueError(
+                f"resolution must be positive: {self.resolution}"
+            )
+        self.client = client or ResilientClient(
+            target,
+            label=label,
+            pub=pub,
+            spool_dir=spool_dir,
+        )
+        # job -> bucket index -> {"samples": n,
+        #                         "points": {(name, lkey): [labels, win]}}
+        self._pending: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._plock = threading.Lock()
+        self.lifecycle_forwarded = 0
+        self.samples_folded = 0
+        self.windows_forwarded = 0
+        self.flushes = 0
+        self.tee_errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- the store-side tee ----------------------------------------------
+
+    def tee(self, record: Dict[str, Any]) -> None:
+        """Called by the store (under its lock) for each accepted record.
+
+        Must be fast and must never raise into the ingest path: a
+        broken forwarder degrades federation, not the leaf.
+        """
+        try:
+            kind = record.get("kind")
+            if kind == "sample" or kind == "sample_agg":
+                self._fold(kind, record)
+            else:
+                # the client restamps pub/seq with its own stream ids
+                self.client.send(record)
+                self.lifecycle_forwarded += 1
+        except Exception:
+            self.tee_errors += 1
+
+    def _fold(self, kind: str, record: Dict[str, Any]) -> None:
+        job = record.get("job")
+        points = record.get("points")
+        if not isinstance(job, str) or not isinstance(points, list):
+            return
+        t = record.get("t")
+        t = float(t) if isinstance(t, (int, float)) else 0.0
+        idx = int(t // self.resolution)
+        with self._plock:
+            buckets = self._pending.setdefault(job, {})
+            bucket = buckets.get(idx)
+            if bucket is None:
+                bucket = buckets[idx] = {"samples": 0, "points": {}}
+            if kind == "sample":
+                bucket["samples"] += 1
+                self.samples_folded += 1
+            else:
+                samples = record.get("samples")
+                bucket["samples"] += (
+                    int(samples)
+                    if isinstance(samples, (int, float))
+                    else 1
+                )
+            for point in points:
+                if not isinstance(point, dict):
+                    continue
+                name = point.get("name")
+                if not isinstance(name, str):
+                    continue
+                labels = point.get("labels")
+                key = (name, _labels_key(labels))
+                entry = bucket["points"].get(key)
+                if entry is None:
+                    entry = bucket["points"][key] = [
+                        labels if isinstance(labels, dict) else {},
+                        StatWindow(),
+                    ]
+                if kind == "sample":
+                    value = point.get("value")
+                    if isinstance(value, (int, float)):
+                        entry[1].observe(float(value), t)
+                else:
+                    window = StatWindow.from_state(point.get("agg"))
+                    if window is not None:
+                        entry[1].merge(window)
+
+    # -- flushing ---------------------------------------------------------
+
+    def flush(self) -> int:
+        """Emit every buffered window upstream; returns windows sent.
+
+        Safe against a bucket still filling: the same (job, bucket)
+        flushed twice emits two partial windows whose StatWindow
+        states merge exactly at the head (absorb is associative).
+        """
+        with self._plock:
+            pending, self._pending = self._pending, {}
+        sent = 0
+        for job in sorted(pending):
+            for idx in sorted(pending[job]):
+                bucket = pending[job][idx]
+                if not bucket["points"] and not bucket["samples"]:
+                    continue
+                self.client.send(
+                    {
+                        "kind": "sample_agg",
+                        "job": job,
+                        # the bucket *midpoint*: a boundary value like
+                        # 17*0.05 can floor-divide back into bucket 16
+                        # at the head (0.85 // 0.05 == 16.0), while the
+                        # midpoint re-buckets to idx under any float
+                        # rounding — the head's windows land exactly
+                        # where direct ingest would put them.
+                        "t": (idx + 0.5) * self.resolution,
+                        "samples": bucket["samples"],
+                        "points": [
+                            {
+                                "name": name,
+                                "labels": dict(entry[0]),
+                                "agg": entry[1].as_state(),
+                            }
+                            for (name, _lkey), entry in sorted(
+                                bucket["points"].items()
+                            )
+                        ],
+                        "hts": _time.time(),
+                    }
+                )
+                sent += 1
+        self.windows_forwarded += sent
+        self.flushes += 1
+        return sent
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.flush()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "FleetForwarder":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="fleet-forward", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, flush_timeout: float = 5.0) -> None:
+        """Drain: final flush, then close the upstream client."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.flush()
+        self.client.close(flush_timeout=flush_timeout)
+
+    def abandon(self) -> None:
+        """Kill-style stop: no final flush, no client drain."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(1.0)
+            self._thread = None
+        self.client.close(flush_timeout=0.0)
+
+    def summary(self) -> Dict[str, Any]:
+        with self._plock:
+            pending_jobs = len(self._pending)
+        stats = self.client.stats()
+        return {
+            "target": (
+                self.target
+                if isinstance(self.target, str)
+                else f"{self.target[0]}:{self.target[1]}"
+            ),
+            "interval": self.interval,
+            "resolution": self.resolution,
+            "pub": self.client.pub,
+            "connected": stats["connected"],
+            "durable": stats["durable"],
+            "spool_depth": stats["spool_depth"],
+            "reconnects": stats["reconnects"],
+            "dropped_lines": stats["dropped_lines"],
+            "sent": stats["sent"],
+            "acked": stats["acked"],
+            "lifecycle_forwarded": self.lifecycle_forwarded,
+            "samples_folded": self.samples_folded,
+            "windows_forwarded": self.windows_forwarded,
+            "flushes": self.flushes,
+            "tee_errors": self.tee_errors,
+            "pending_jobs": pending_jobs,
+        }

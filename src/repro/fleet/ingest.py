@@ -25,26 +25,57 @@ import threading
 from typing import Optional, Tuple
 
 from repro.fleet.protocol import (
+    CONTROL_KINDS,
+    ack_record,
     decode_line,
+    encode_record,
     format_address,
+    record_stamp,
     telemetry_line_to_records,
 )
 from repro.fleet.store import FleetStore
 
 
 class _IngestHandler(socketserver.StreamRequestHandler):
-    """One publisher connection: read lines, fold them into the store."""
+    """One publisher connection: read lines, fold them into the store.
+
+    A ``hello`` preamble with ``ack: true`` turns on per-record
+    acknowledgements for that publisher: every stamped record the
+    store *processed* (folded, deduped or refused — anything but
+    frozen) is confirmed back on the same connection, which is what
+    lets a durable publisher truncate its spool.  Control records
+    never reach the store.
+    """
 
     def handle(self) -> None:
         store: FleetStore = self.server.store  # type: ignore[attr-defined]
         store.note_connection(+1)
+        ack_pub = None
         try:
             for line in self.rfile:
+                if store.frozen:
+                    break  # a killed aggregator stops mid-connection
                 record = decode_line(line)
                 if record is None:
                     store.note_parse_error()
-                else:
-                    store.ingest(record)
+                    continue
+                kind = record.get("kind")
+                if kind in CONTROL_KINDS:
+                    if (
+                        kind == "hello"
+                        and isinstance(record.get("pub"), str)
+                        and record.get("pub")
+                        and record.get("ack")
+                    ):
+                        ack_pub = record["pub"]
+                    continue
+                status = store.ingest_status(record)
+                if status == "frozen":
+                    break
+                if ack_pub is not None:
+                    stamp = record_stamp(record)
+                    if stamp is not None and stamp[0] == ack_pub:
+                        self.wfile.write(encode_record(ack_record(*stamp)))
         except OSError:
             pass  # publisher vanished mid-line; its job goes stale
         finally:
@@ -54,6 +85,11 @@ class _IngestHandler(socketserver.StreamRequestHandler):
 class _IngestTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # resilient publishers connect concurrently (every drain thread at
+    # once after an outage heals); the stdlib default backlog of 5
+    # drops SYNs under that herd and costs each victim a kernel
+    # connect retry.
+    request_queue_size = 128
 
 
 class IngestServer:

@@ -30,6 +30,27 @@ time); the aggregator turns it into the measured ingest lag.  Parsing
 is tolerant by design: a line that is not a JSON object with a string
 ``kind`` decodes to ``None`` and is counted, never raised — torn
 writes and foreign lines must not take the aggregator down.
+
+Resilient publishers additionally stamp every record with ``pub`` (a
+publisher id, unique per stream) and ``seq`` (a monotonically
+increasing integer starting at 0 for that publisher).  The stamps buy
+two guarantees on a lossy transport: the registry *dedups replays*
+(a record whose ``seq`` is not beyond the publisher's high-water mark
+is acknowledged but not folded twice) and *counts gaps* (a jump in
+``seq`` is exactly the number of records that publisher dropped
+before they reached the wire).  Two control kinds ride the same
+framing but never reach the store:
+
+``hello``
+    connection preamble ``{"kind": "hello", "pub": ..., "ack":
+    true|false}`` — a publisher announcing itself; with ``ack`` true
+    the ingest side confirms every stamped record it processed;
+``ack``
+    flows aggregator→publisher only: ``{"kind": "ack", "pub": ...,
+    "seq": n}`` confirms the record stamped ``(pub, n)`` was
+    processed (folded *or* refused/deduped — either way the publisher
+    must not resend it), which is what lets a spooling publisher
+    truncate its on-disk backlog.
 """
 
 from __future__ import annotations
@@ -54,6 +75,35 @@ KINDS = (
 #: kinds that open/refresh a job vs. close it (registry transitions).
 START_KINDS = frozenset({"job_start", "spec_start"})
 END_KINDS = frozenset({"job_end", "spec_finish"})
+
+#: transport-level control records — consumed by the ingest handler,
+#: never folded into the store.
+CONTROL_KINDS = frozenset({"hello", "ack"})
+
+
+def hello_record(pub: str, want_ack: bool) -> Dict[str, Any]:
+    """The connection preamble a resilient publisher sends first."""
+    return {"kind": "hello", "pub": pub, "ack": bool(want_ack)}
+
+
+def ack_record(pub: str, seq: int) -> Dict[str, Any]:
+    """The aggregator's confirmation that ``(pub, seq)`` is processed."""
+    return {"kind": "ack", "pub": pub, "seq": seq}
+
+
+def record_stamp(record: Dict[str, Any]) -> Optional[Tuple[str, int]]:
+    """``(pub, seq)`` when the record carries a valid stamp, else None."""
+    pub = record.get("pub")
+    seq = record.get("seq")
+    if (
+        isinstance(pub, str)
+        and pub
+        and isinstance(seq, int)
+        and not isinstance(seq, bool)
+        and seq >= 0
+    ):
+        return pub, seq
+    return None
 
 
 def encode_record(record: Dict[str, Any]) -> bytes:

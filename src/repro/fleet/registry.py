@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 #: a running job/node with no publish for this many seconds is stale
 #: (the publish-interval model: generous enough for bursty replay).
@@ -95,6 +95,39 @@ class NodeRecord:
         }
 
 
+@dataclass
+class PublisherRecord:
+    """Sequence-number audit state of one resilient publisher stream.
+
+    ``last_seq`` is the high-water mark; anything at or below it is a
+    replay (counted in ``duplicates``, not folded twice), and a jump
+    past ``last_seq + 1`` is exactly the number of records that
+    publisher lost before they reached the wire (``gap_records``).
+    """
+
+    pub: str
+    last_seq: int = -1
+    #: distinct records accepted from this stream.
+    received: int = 0
+    #: replayed records deduped away.
+    duplicates: int = 0
+    #: records the publisher numbered but this store never saw.
+    gap_records: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "pub": self.pub,
+            "last_seq": self.last_seq,
+            "received": self.received,
+            "duplicates": self.duplicates,
+            "gap_records": self.gap_records,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+        }
+
+
 class FleetRegistry:
     """Who exists and who is live, across jobs and nodes.
 
@@ -114,6 +147,7 @@ class FleetRegistry:
         self.clock = clock
         self._jobs: Dict[str, JobRecord] = {}
         self._nodes: Dict[str, NodeRecord] = {}
+        self._pubs: Dict[str, PublisherRecord] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -197,7 +231,51 @@ class FleetRegistry:
             record.jobs.add(job)
         return record
 
+    def publisher_seen(self, pub: str, seq: int) -> Tuple[bool, int]:
+        """Audit one stamped record; ``(fresh, gap)``.
+
+        ``fresh`` False means the record is a replay the caller must
+        not fold again (it should still be acknowledged — the
+        publisher is waiting to truncate its spool).  ``gap`` is how
+        many sequence numbers this record jumped past: records the
+        publisher consumed numbers for that never arrived here.  A
+        publisher first seen mid-stream charges its whole prefix as a
+        gap — on a durable head a restart replays history first, so
+        the prefix is only "missing" when it truly never made it.
+        """
+        now = self.clock()
+        record = self._pubs.get(pub)
+        if record is None:
+            record = self._pubs[pub] = PublisherRecord(
+                pub=pub, first_seen=now, last_seen=now
+            )
+            gap = seq
+        else:
+            record.last_seen = now
+            if seq <= record.last_seq:
+                record.duplicates += 1
+                return False, 0
+            gap = seq - record.last_seq - 1
+        record.gap_records += gap
+        record.last_seq = seq
+        record.received += 1
+        return True, gap
+
     # -- queries ---------------------------------------------------------
+
+    def publishers(self) -> List[PublisherRecord]:
+        return [self._pubs[p] for p in sorted(self._pubs)]
+
+    def publisher_totals(self) -> Dict[str, int]:
+        """Fleet-wide sums of the per-publisher audit counters."""
+        return {
+            "publishers": len(self._pubs),
+            "received": sum(p.received for p in self._pubs.values()),
+            "duplicates": sum(p.duplicates for p in self._pubs.values()),
+            "gap_records": sum(
+                p.gap_records for p in self._pubs.values()
+            ),
+        }
 
     def job(self, job: str) -> Optional[JobRecord]:
         return self._jobs.get(job)

@@ -11,7 +11,12 @@ A thin threaded front-end on :class:`~repro.fleet.store.FleetStore`:
 * ``GET /fleet`` (also ``/``) — the aggregator's own vitals;
 * ``GET /history`` — the durable-history log's segments and counters
   (``{"enabled": false}`` for a memory-resident aggregator);
-* ``GET /healthz`` — liveness probe.
+* ``GET /publishers`` — the per-publisher sequence audit (received /
+  duplicate / gap counts per resilient publisher stream);
+* ``GET /healthz`` — liveness *and honesty* probe: answering at all
+  is liveness, and the payload reports ``degraded`` (with publisher
+  gap counts, forwarder spool depth and reconnect state) whenever
+  ingest is known to be partial.
 
 Everything JSON except ``/metrics``; unknown paths and unknown ids
 are JSON 404s.  Handlers only ever call locked store queries, so a
@@ -83,7 +88,9 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 OPENMETRICS_CONTENT_TYPE,
             )
         elif parts == ["healthz"]:
-            self._json(200, {"ok": True})
+            self._json(200, store.health_summary())
+        elif parts == ["publishers"]:
+            self._json(200, store.publishers_summary())
         elif parts == ["history"]:
             self._json(200, store.history_summary())
         elif not parts or parts == ["fleet"]:

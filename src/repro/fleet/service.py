@@ -18,13 +18,25 @@ previous fleet state), rollups keep :data:`DEFAULT_RETENTION_TIERS`
 (evicted buckets downsample instead of vanishing), and a background
 policy thread periodically compacts old log segments into summary
 segments, keeping all but the newest ``retain`` raw.
+
+With ``forward`` the aggregator is a *leaf*: every record it accepts
+also tees into a :class:`~repro.fleet.forward.FleetForwarder`, which
+ships lifecycle records upstream immediately and compacts samples
+into ``sample_agg`` windows for a head aggregator (``fleet serve
+--forward head:port``).  A durable leaf spools its upstream traffic
+under ``data_dir/forward-spool`` so a head outage loses nothing.
+
+:meth:`kill` is the chaos harness's in-process kill -9: freeze the
+store, slam the sockets shut, drain nothing.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.fleet.forward import DEFAULT_FORWARD_INTERVAL, FleetForwarder
 from repro.fleet.history import (
     COMPACT_TIER_FACTOR,
     DEFAULT_RETAIN_SEGMENTS,
@@ -56,6 +68,8 @@ class FleetAggregator:
         retain: int = DEFAULT_RETAIN_SEGMENTS,
         fsync: str = "rotate",
         compact_interval: float = DEFAULT_COMPACT_INTERVAL,
+        forward: Optional[Address] = None,
+        forward_interval: float = DEFAULT_FORWARD_INTERVAL,
         **store_kwargs,
     ) -> None:
         if store is not None and store_kwargs:
@@ -69,10 +83,14 @@ class FleetAggregator:
             # tiers by default instead of evicting them.
             store_kwargs.setdefault("tiers", DEFAULT_RETENTION_TIERS)
         self.store = store if store is not None else FleetStore(**store_kwargs)
+        self.data_dir = data_dir
         self.history = (
             HistoryLog(data_dir, fsync=fsync) if data_dir is not None
             else None
         )
+        self.forward_target = forward
+        self.forward_interval = forward_interval
+        self.forwarder: Optional[FleetForwarder] = None
         self.retain = retain
         self.compact_interval = compact_interval
         #: records restored from the log by the last start().
@@ -154,6 +172,22 @@ class FleetAggregator:
             # restart into the previous state before accepting new
             # records — replayed and live ingest must not interleave.
             self.replayed = self.store.attach_history(self.history)
+        if self.forward_target is not None and self.forwarder is None:
+            # attach after replay: replayed records never re-forward
+            # (the durable forward spool already holds the unacked
+            # tail from the previous life of this leaf).
+            spool_dir = pub = None
+            if self.data_dir is not None:
+                spool_dir = os.path.join(self.data_dir, "forward-spool")
+                pub = f"forward:{os.path.abspath(self.data_dir)}"
+            self.forwarder = FleetForwarder(
+                self.store,
+                self.forward_target,
+                interval=self.forward_interval,
+                spool_dir=spool_dir,
+                pub=pub,
+            ).start()
+            self.store.attach_forward(self.forwarder)
         self.ingest_server = IngestServer(
             self.store, *self._ingest_bind
         ).start()
@@ -189,6 +223,42 @@ class FleetAggregator:
         if self.ingest_server is not None:
             self.ingest_server.stop()
             self.ingest_server = None
+        if self.forwarder is not None:
+            # after ingest stopped, before http: the final flush ships
+            # the buffered tail upstream, then drains the client.
+            self.forwarder.stop()
+            self.forwarder = None
+        if self.http_server is not None:
+            self.http_server.stop()
+            self.http_server = None
+        if self.history is not None:
+            self.history.close()
+
+    def kill(self) -> None:
+        """Die like kill -9: freeze, close sockets, drain nothing.
+
+        The chaos harness's in-process stand-in for an aggregator
+        crash.  The store refuses (and never acks) everything from the
+        moment of death, in-flight connections break mid-line, tailers
+        and the forwarder are abandoned with their buffers, and the
+        history log is left exactly as the last append wrote it — so a
+        restart on the same ``data_dir`` must recover from whatever
+        is on disk, like after a real SIGKILL.
+        """
+        if not self.started:
+            return
+        self.started = False
+        self.store.freeze()
+        self._compact_stop.set()
+        self._tail_stop.set()
+        self._compact_thread = None
+        self._tail_thread = None
+        if self.ingest_server is not None:
+            self.ingest_server.stop()
+            self.ingest_server = None
+        if self.forwarder is not None:
+            self.forwarder.abandon()
+            self.forwarder = None
         if self.http_server is not None:
             self.http_server.stop()
             self.http_server = None

@@ -1,0 +1,321 @@
+"""On-disk NDJSON spill spool for resilient publishers.
+
+A :class:`Spool` is the durable half of
+:class:`~repro.fleet.sink.ResilientClient`: every stamped record is
+appended (and flushed) to ``<pub>.spool.ndjson`` *before* it is
+offered to the socket, and a sidecar ``<pub>.meta.json`` tracks the
+aggregator's acknowledgement cursor.  The pair gives a publisher the
+same crash contract the aggregator's history log has — records
+survive the publisher's process, torn final lines are repaired on
+reopen, and the backlog drains (oldest first) whenever the transport
+comes back.
+
+The spool is sequence-number native: the publisher id and a
+monotonically increasing ``seq`` are already stamped into each line,
+so replaying a spool after a crash resumes the *same* publisher
+stream (``next_seq`` continues past everything on disk) and the
+aggregator's registry dedups any record that was delivered but not
+yet acknowledged when the publisher died.
+
+File format is exactly the wire format — one
+:func:`~repro.fleet.protocol.encode_record` line per record — so a
+spool file is also a valid input for any NDJSON tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.protocol import decode_line, record_stamp
+
+#: sidecar schema tag, bumped on incompatible meta-shape changes.
+SPOOL_META_SCHEMA = "ipm-repro/fleet-spool/v1"
+
+#: rewrite the spool file once this many acknowledged bytes accumulate.
+DEFAULT_COMPACT_BYTES = 1 << 20
+
+#: persist the ack cursor every this many acknowledgements (and on
+#: close) — a stale-low cursor after a crash only causes re-sends,
+#: which the aggregator dedups.
+META_PERSIST_EVERY = 256
+
+
+def spool_paths(root: str, pub: str) -> Tuple[str, str]:
+    """``(spool_path, meta_path)`` for one publisher id under root."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", pub) or "pub"
+    import zlib
+
+    stem = f"{safe}-{zlib.crc32(pub.encode('utf-8')) & 0xFFFFFFFF:08x}"
+    return (
+        os.path.join(root, f"{stem}.spool.ndjson"),
+        os.path.join(root, f"{stem}.meta.json"),
+    )
+
+
+class Spool:
+    """Durable, ack-truncated record backlog for one publisher."""
+
+    def __init__(
+        self,
+        root: str,
+        pub: str,
+        compact_bytes: int = DEFAULT_COMPACT_BYTES,
+    ) -> None:
+        self.root = os.fspath(root)
+        self.pub = pub
+        self.compact_bytes = compact_bytes
+        os.makedirs(self.root, exist_ok=True)
+        self.path, self.meta_path = spool_paths(self.root, pub)
+        self._lock = threading.RLock()
+        self._fh: Optional[Any] = None
+        self.disabled = False
+        #: records appended by this process.
+        self.appended = 0
+        #: torn/undecodable lines skipped while scanning.
+        self.torn_lines = 0
+        #: spool-file rewrites that dropped acknowledged records.
+        self.compactions = 0
+        #: highest seq present on disk; -1 when empty.
+        self.max_seq = -1
+        #: highest acknowledged seq; records <= this are droppable.
+        self.acked_seq = -1
+        #: (after_seq, offset) of the last sequential scan, so the
+        #: steady-state drain never re-reads the whole file.
+        self._scan_cache: Optional[Tuple[int, int]] = None
+        self._acks_since_persist = 0
+        self._load()
+
+    # -- startup ---------------------------------------------------------
+
+    def _load(self) -> None:
+        meta = self._read_meta()
+        if meta is not None:
+            acked = meta.get("acked_seq")
+            if isinstance(acked, int) and not isinstance(acked, bool):
+                self.acked_seq = acked
+        # scan the file once: learn the high-water mark and repair a
+        # torn tail (the journal/history idiom — a writer killed
+        # mid-append leaves a line without its newline).
+        try:
+            if os.path.exists(self.path):
+                with open(self.path, "rb") as fh:
+                    data = fh.read()
+                if data and not data.endswith(b"\n"):
+                    self.torn_lines += 1
+                    with open(self.path, "ab") as fh:
+                        fh.write(b"\n")
+                for line in data.split(b"\n"):
+                    if not line.strip():
+                        continue
+                    seq = self._line_seq(line)
+                    if seq is None:
+                        self.torn_lines += 1
+                    elif seq > self.max_seq:
+                        self.max_seq = seq
+        except OSError as exc:
+            self._disable(exc)
+
+    def _line_seq(self, line: bytes) -> Optional[int]:
+        record = decode_line(line)
+        if record is None:
+            return None
+        stamp = record_stamp(record)
+        if stamp is None or stamp[0] != self.pub:
+            return None
+        return stamp[1]
+
+    def _read_meta(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    # -- writing ---------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Where a resumed publisher must continue numbering."""
+        return max(self.max_seq, self.acked_seq) + 1
+
+    @property
+    def depth(self) -> int:
+        """Records written but not yet acknowledged."""
+        return max(0, self.max_seq - self.acked_seq)
+
+    def append(self, seq: int, line: bytes) -> bool:
+        """Persist one stamped wire line; False once the spool is dead."""
+        with self._lock:
+            if self.disabled:
+                return False
+            try:
+                if self._fh is None:
+                    self._fh = open(self.path, "ab")
+                self._fh.write(line)
+                self._fh.flush()
+            except OSError as exc:
+                self._disable(exc)
+                return False
+            self.appended += 1
+            if seq > self.max_seq:
+                self.max_seq = seq
+            return True
+
+    def _disable(self, exc: Exception) -> None:
+        self.disabled = True
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - nothing left to do
+                pass
+            self._fh = None
+        warnings.warn(
+            f"fleet spool {self.path} disabled: "
+            f"{type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    # -- acknowledgements -------------------------------------------------
+
+    def ack(self, seq: int) -> None:
+        """Advance the cursor; everything <= seq may be dropped."""
+        with self._lock:
+            if seq <= self.acked_seq:
+                return
+            self.acked_seq = seq
+            self._acks_since_persist += 1
+            if self._acks_since_persist >= META_PERSIST_EVERY:
+                self._persist_meta()
+            if self.acked_seq >= self.max_seq:
+                self._truncate_if_large()
+
+    def _persist_meta(self) -> None:
+        self._acks_since_persist = 0
+        payload = {
+            "schema": SPOOL_META_SCHEMA,
+            "pub": self.pub,
+            "acked_seq": self.acked_seq,
+            "next_seq": self.next_seq,
+        }
+        tmp = self.meta_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.meta_path)
+        except OSError:
+            pass  # a stale cursor only costs deduped re-sends
+
+    def _truncate_if_large(self) -> None:
+        """Drop a fully acknowledged file once it is worth the rewrite."""
+        try:
+            if os.path.getsize(self.path) < self.compact_bytes:
+                return
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            with open(self.path, "wb"):
+                pass
+            self._scan_cache = None
+            self.compactions += 1
+        except OSError:
+            pass
+
+    # -- reading ---------------------------------------------------------
+
+    def read_after(
+        self, after_seq: int, limit: int = 256
+    ) -> List[Tuple[int, bytes]]:
+        """Up to ``limit`` spooled lines with seq > ``after_seq``.
+
+        Returns ``(seq, raw_line)`` pairs in file (= seq) order, raw
+        lines newline-terminated and ready for the socket.  Sequential
+        calls with an advancing cursor resume from a cached file
+        offset, so the steady-state drain is O(new bytes); a rewind
+        (reconnect re-sending unacknowledged records) re-scans once.
+        """
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                except OSError:
+                    pass
+            try:
+                fh = open(self.path, "rb")
+            except OSError:
+                return []
+            with fh:
+                if (
+                    self._scan_cache is not None
+                    and self._scan_cache[0] == after_seq
+                ):
+                    fh.seek(self._scan_cache[1])
+                out: List[Tuple[int, bytes]] = []
+                offset = fh.tell()
+                for raw in fh:
+                    if not raw.endswith(b"\n"):
+                        break  # a line still being appended
+                    offset += len(raw)
+                    seq = self._line_seq(raw)
+                    if seq is None or seq <= after_seq:
+                        continue
+                    out.append((seq, raw))
+                    if len(out) >= limit:
+                        break
+                if out:
+                    self._scan_cache = (out[-1][0], offset)
+                else:
+                    self._scan_cache = (after_seq, offset)
+                return out
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._persist_meta()
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._fh = None
+
+
+def pending_spools(root: str) -> List[Dict[str, Any]]:
+    """Inventory of spools under ``root`` that still hold backlog.
+
+    Each entry: ``{"pub", "path", "depth"}``.  Used by ``fleet drain``
+    and the sweep runner's end-of-run sweep so records spooled by
+    already-closed publishers still reach the aggregator.
+    """
+    out: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return out
+    for name in names:
+        if not name.endswith(".meta.json"):
+            continue
+        try:
+            with open(os.path.join(root, name), "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        pub = meta.get("pub") if isinstance(meta, dict) else None
+        if not isinstance(pub, str) or not pub:
+            continue
+        spool = Spool(root, pub)
+        try:
+            if spool.depth > 0:
+                out.append(
+                    {"pub": pub, "path": spool.path, "depth": spool.depth}
+                )
+        finally:
+            spool.close()
+    return out

@@ -25,7 +25,7 @@ import threading
 import time as _time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.fleet.protocol import END_KINDS, START_KINDS
+from repro.fleet.protocol import END_KINDS, START_KINDS, record_stamp
 from repro.fleet.registry import DEFAULT_STALE_AFTER, FleetRegistry
 from repro.fleet.rollup import RollupSet, StatWindow
 from repro.telemetry.sinks import escape_label_value
@@ -44,6 +44,9 @@ FLEET_HELP = {
     "fleet_ingest_parse_errors_total": "Wire lines that failed to parse",
     "fleet_ingest_dropped_total": "Records refused (missing job id, unknown kind)",
     "fleet_rollup_names_dropped_total": "Metric names refused by the per-entity cap",
+    "fleet_publishers": "Resilient publisher streams seen (stamped records)",
+    "fleet_publisher_dup_records_total": "Replayed records deduped by the sequence audit",
+    "fleet_publisher_gap_records_total": "Records publishers numbered that never arrived",
     "fleet_ingest_lag_seconds": "Publisher-to-store latency measured from hts stamps",
     "fleet_history_segments": "On-disk history log segments retained",
     "fleet_history_bytes": "On-disk history log footprint",
@@ -98,12 +101,21 @@ class FleetStore:
         self.points = 0
         self.parse_errors = 0
         self.dropped = 0
+        #: replayed (pub, seq) records deduped by the sequence audit.
+        self.dup_records = 0
         self.lag = StatWindow()
         self.connections = 0
         #: durable history (attach_history); None = memory-resident.
         self.history: Optional["HistoryLog"] = None
         self.history_replayed = 0
         self._replaying = False
+        #: frozen stores refuse (and never acknowledge) everything —
+        #: the chaos harness's in-process stand-in for kill -9.
+        self.frozen = False
+        #: accepted-record tee toward a fleet head (attach_forward).
+        self._forward: Optional[Callable[[Dict[str, Any]], None]] = None
+        #: the owning FleetForwarder, for health/vitals summaries.
+        self.forwarder: Optional[Any] = None
 
     # -- ingest accounting (called by transports) -------------------------
 
@@ -118,29 +130,71 @@ class FleetStore:
     # -- ingest -----------------------------------------------------------
 
     def ingest(self, record: Dict[str, Any]) -> bool:
-        """Fold one parsed wire record in; False when refused.
+        """Fold one parsed wire record in; False when not folded."""
+        return self.ingest_status(record) == "accepted"
 
-        Refusal is bookkeeping, never an exception: unknown kinds and
-        job-scoped records without a job id bump ``dropped``.  With a
-        history log attached, every *accepted* record is teed to disk
-        before ingest returns (WAL semantics) — still under the store
-        lock, so the log order matches the fold order.
+    def ingest_status(self, record: Dict[str, Any]) -> str:
+        """Fold one parsed wire record; says what happened to it.
+
+        ``"accepted"``
+            folded into the store (and teed to history/forwarder);
+        ``"duplicate"``
+            a stamped replay the sequence audit already holds — not
+            folded again, but the publisher should be acknowledged so
+            it stops re-sending;
+        ``"refused"``
+            bookkeeping, never an exception: unknown kinds and
+            job-scoped records without a job id bump ``dropped`` (a
+            stamped refusal still consumes its seq, so it is not a
+            gap);
+        ``"frozen"``
+            the store was killed; nothing was recorded and the record
+            must NOT be acknowledged.
+
+        With a history log attached, every accepted record is teed to
+        disk before ingest returns (WAL semantics) — still under the
+        store lock, so the log order matches the fold order.  The
+        forwarder tee runs under the same lock for the same reason.
         """
         kind = record.get("kind")
         job = record.get("job")
-        if not isinstance(job, str) or not job:
-            with self._lock:
-                self.dropped += 1
-            return False
         with self._lock:
+            if self.frozen:
+                return "frozen"
+            stamp = record_stamp(record)
+            if stamp is not None:
+                fresh, _gap = self.registry.publisher_seen(*stamp)
+                if not fresh:
+                    self.dup_records += 1
+                    return "duplicate"
+            if not isinstance(job, str) or not job:
+                self.dropped += 1
+                return "refused"
             accepted = self._fold(kind, job, record)
-            if (
-                accepted
-                and self.history is not None
-                and not self._replaying
-            ):
-                self.history.append(record)
-            return accepted
+            if accepted and not self._replaying:
+                if self.history is not None:
+                    self.history.append(record)
+                if self._forward is not None:
+                    self._forward(record)
+            return "accepted" if accepted else "refused"
+
+    def freeze(self) -> None:
+        """Stop accepting (and acknowledging) records, permanently.
+
+        The chaos harness's in-process kill: everything folded so far
+        stays queryable, every ingest path sees ``"frozen"`` and the
+        publishers' unacknowledged records stay theirs to re-send.
+        """
+        with self._lock:
+            self.frozen = True
+
+    def attach_forward(self, forwarder: Any) -> None:
+        """Tee accepted records into a FleetForwarder (under the lock)."""
+        with self._lock:
+            if self._forward is not None:
+                raise RuntimeError("store already has a forwarder")
+            self._forward = forwarder.tee
+            self.forwarder = forwarder
 
     def _fold(self, kind: Any, job: str, record: Dict[str, Any]) -> bool:
         self.records += 1
@@ -335,6 +389,73 @@ class FleetStore:
 
     # -- queries ----------------------------------------------------------
 
+    def health_summary(self) -> Dict[str, Any]:
+        """What ``/healthz`` serves: healthy, or degraded and why.
+
+        The process answering at all is liveness; this is the honest
+        part — partial ingest (publisher sequence gaps), a dead
+        history log, a forwarder with a growing backlog, and frozen
+        stores all surface as ``degraded`` with the evidence attached,
+        instead of the permanent ``{"ok": true}`` the endpoint used to
+        return.
+        """
+        with self._lock:
+            reasons: List[str] = []
+            totals = self.registry.publisher_totals()
+            gaps = {
+                p.pub: p.gap_records
+                for p in self.registry.publishers()
+                if p.gap_records
+            }
+            if totals["gap_records"]:
+                reasons.append(
+                    f"{totals['gap_records']} records lost upstream "
+                    f"(publisher sequence gaps)"
+                )
+            if self.history is not None and self.history.disabled:
+                reasons.append("history log disabled after a disk error")
+            if self.frozen:
+                reasons.append("store is frozen (killed)")
+            forward: Optional[Dict[str, Any]] = None
+            if self.forwarder is not None:
+                forward = self.forwarder.summary()
+                if not forward["connected"] and forward["spool_depth"]:
+                    reasons.append(
+                        f"forwarder disconnected with "
+                        f"{forward['spool_depth']} records spooled"
+                    )
+                if forward["dropped_lines"]:
+                    reasons.append(
+                        f"forwarder dropped {forward['dropped_lines']} "
+                        f"records"
+                    )
+            out: Dict[str, Any] = {
+                "ok": not reasons,
+                "status": "healthy" if not reasons else "degraded",
+                "reasons": reasons,
+                "publishers": {
+                    "count": totals["publishers"],
+                    "duplicates": totals["duplicates"],
+                    "gap_records": totals["gap_records"],
+                    "gaps": gaps,
+                },
+                "frozen": self.frozen,
+            }
+            if forward is not None:
+                out["forward"] = forward
+            if self.history is not None:
+                out["history_disabled"] = self.history.disabled
+            return out
+
+    def publishers_summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "totals": self.registry.publisher_totals(),
+                "publishers": [
+                    p.summary() for p in self.registry.publishers()
+                ],
+            }
+
     def jobs_summary(self) -> Dict[str, Any]:
         with self._lock:
             now = self.clock()
@@ -412,6 +533,7 @@ class FleetStore:
                     "points": self.points,
                     "parse_errors": self.parse_errors,
                     "dropped": self.dropped,
+                    "dup_records": self.dup_records,
                     "connections": self.connections,
                     "lag": self.lag.as_dict(),
                 },
@@ -421,6 +543,11 @@ class FleetStore:
                     for name, window in self.fleet_rollups.stats().items()
                 },
             }
+            totals = self.registry.publisher_totals()
+            if totals["publishers"]:
+                out["publishers"] = totals
+            if self.forwarder is not None:
+                out["forward"] = self.forwarder.summary()
             if self.history is not None:
                 out["history"] = self.history_summary()
             return out
@@ -477,6 +604,22 @@ class FleetStore:
             lag = self.lag.as_dict()
             for agg in _AGGS:
                 metric("fleet_ingest_lag_seconds", {"agg": agg}, lag[agg])
+
+            totals = self.registry.publisher_totals()
+            if totals["publishers"]:
+                # publisher-audit families only exist once stamped
+                # records arrive — the unstamped exposition stays
+                # byte-identical (pinned by test).
+                family("fleet_publishers")
+                metric("fleet_publishers", {}, totals["publishers"])
+                for name, value in (
+                    ("fleet_publisher_dup_records_total",
+                     totals["duplicates"]),
+                    ("fleet_publisher_gap_records_total",
+                     totals["gap_records"]),
+                ):
+                    family(name, "counter")
+                    metric(name, {}, value)
 
             if self.history is not None:
                 # durable-history families only exist with persistence

@@ -101,7 +101,7 @@ def execute_spec_json(
     spec_json: str,
     want_xml: bool,
     liveness: Optional[LivenessLimits] = None,
-    fleet: Optional[Tuple[object, str]] = None,
+    fleet: Optional[Tuple[object, ...]] = None,
 ) -> _WorkerOut:
     """Run one spec from its JSON form (the worker-side entry point).
 
@@ -110,7 +110,9 @@ def execute_spec_json(
     report bytes are produced identically either way.  ``liveness``
     arms the simulator's watchdog (supervised runs only — it is
     runtime policy, not part of the spec's identity).  ``fleet`` is a
-    ``(target, job_id)`` pair: when the spec's telemetry is enabled, a
+    ``(target, job_id)`` pair — or ``(target, job_id, spool_dir)``
+    with a non-None ``spool_dir`` for durable (spooled, zero-loss)
+    publishing: when the spec's telemetry is enabled, a
     :class:`~repro.fleet.sink.FleetSink` streams its samples to the
     aggregator at ``target`` live.  Both are runtime policy — neither
     touches the spec's content hash or the report bytes (pinned by
@@ -127,8 +129,11 @@ def execute_spec_json(
     ):
         from repro.fleet.sink import FleetSink
 
-        target, job_id = fleet
-        extra_sinks = [FleetSink(target, job_id, source="sweep")]
+        target, job_id = fleet[0], fleet[1]
+        spool_dir = fleet[2] if len(fleet) > 2 else None
+        extra_sinks = [FleetSink(
+            target, job_id, source="sweep", spool_dir=spool_dir,
+        )]
     result = run_job(spec, liveness=liveness, extra_sinks=extra_sinks)
     report_pickle = b""
     xml_text: Optional[str] = None
@@ -199,6 +204,14 @@ class SweepRunner:
         too.  Observability only — it does not change which specs run,
         the cache keys, or any report byte.  ``fleet`` does *not* flip
         the runner into supervised mode.
+    ``fleet_spool``
+        a directory (needs ``fleet``): publishers become *durable* —
+        records spool to disk while the aggregator is unreachable and
+        replay on reconnect with sequence numbers the aggregator
+        dedups, so an aggregator crash mid-sweep loses nothing.  The
+        end of ``run()`` drains whatever is still spooled (see
+        :attr:`fleet_drain`), and ``python -m repro fleet drain`` can
+        deliver leftovers later.
     """
 
     def __init__(
@@ -216,6 +229,7 @@ class SweepRunner:
         journal: Optional[SweepJournal] = None,
         resume: bool = False,
         fleet: Optional[str] = None,
+        fleet_spool: Optional[str] = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; known: {list(MODES)}")
@@ -248,10 +262,19 @@ class SweepRunner:
             journal = SweepJournal.for_cache(cache)
         self.journal = journal
         self.resume = resume
+        if fleet_spool is not None and fleet is None:
+            raise ValueError("fleet_spool needs fleet (it spools the "
+                             "fleet stream)")
         #: fleet aggregator ingest address ("host:port") — lifecycle
         #: records stream there and workers attach FleetSinks; pure
         #: observability, results stay byte-identical (pinned by test).
         self.fleet = fleet
+        #: spool directory for durable fleet publishing (zero loss
+        #: across aggregator outages); None = fire-and-forget.
+        self.fleet_spool = fleet_spool
+        #: outcome of the end-of-run spool drain, for inspection:
+        #: {"spools", "delivered", "pending", "details"} or None.
+        self.fleet_drain: Optional[Dict[str, object]] = None
         self._fleet_client = None
         #: lazily-created persistent worker pool; reused across run()
         #: calls so repeated sweeps skip child start-up entirely.
@@ -312,16 +335,58 @@ class SweepRunner:
             return
         client = self._fleet_client
         if client is None:
-            from repro.fleet.sink import LineClient
+            if self.fleet_spool is not None:
+                from repro.fleet.sink import ResilientClient
 
-            client = self._fleet_client = LineClient(
-                self.fleet, label="sweep lifecycle"
-            )
+                client = self._fleet_client = ResilientClient(
+                    self.fleet,
+                    label="sweep lifecycle",
+                    pub="sweep:lifecycle",
+                    spool_dir=self.fleet_spool,
+                )
+            else:
+                from repro.fleet.sink import LineClient
+
+                client = self._fleet_client = LineClient(
+                    self.fleet, label="sweep lifecycle"
+                )
         client.send(record)
 
-    def _fleet_item(self, key: str) -> Optional[Tuple[str, str]]:
-        """The (target, job) pair a worker needs to attach a FleetSink."""
-        return (self.fleet, key) if self.fleet is not None else None
+    def _drain_fleet_spool(self) -> None:
+        """Deliver records worker sinks left spooled (end of ``run``).
+
+        A worker whose aggregator vanished mid-spec closes its durable
+        sink with the backlog still on disk; once the aggregator is
+        back, this hands every orphaned publisher stream to it exactly
+        once (sequence numbers dedup any overlap).  Best-effort: an
+        aggregator still down leaves the spools for ``fleet drain``.
+        """
+        if self.fleet is None or self.fleet_spool is None:
+            return
+        from repro.fleet.sink import drain_spool_dir
+        from repro.fleet.spool import pending_spools
+
+        # the live lifecycle client owns its spool file — flush and
+        # release it before the scan so the drain never opens a spool
+        # a second writer still holds.
+        if self._fleet_client is not None:
+            self._fleet_client.close()
+            self._fleet_client = None
+        if not pending_spools(self.fleet_spool):
+            self.fleet_drain = None
+            return
+        self.fleet_drain = drain_spool_dir(
+            self.fleet, self.fleet_spool, timeout=10.0
+        )
+
+    def _fleet_item(self, key: str) -> Optional[Tuple[str, ...]]:
+        """What a worker needs to attach a FleetSink (opaque to the
+        pool): ``(target, job)`` plus the spool dir when durable."""
+        if self.fleet is None:
+            return None
+        if self.fleet_spool is None:
+            return (self.fleet, key)
+        return (self.fleet, key, self.fleet_spool)
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -381,6 +446,7 @@ class SweepRunner:
         self._tearing_down = False
         try:
             mode_used = self._execute(unique, done)
+            self._drain_fleet_spool()
         except BaseException:
             # interrupt or fatal error mid-sweep: kill the warm workers
             # before unwinding so a Ctrl-C'd sweep leaves no children

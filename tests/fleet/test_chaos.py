@@ -1,0 +1,237 @@
+"""Chaos acceptance: seeded faults, zero accepted-record loss.
+
+Every test drives real sockets through :class:`ChaosProxy` executing a
+seed-frozen :class:`ChaosPlan`.  The *schedule* is deterministic;
+thread timing is not — so assertions pin invariants (nothing the
+pipeline accepted is lost, the head's sequence audit stays clean,
+rollups converge after recovery), never timings.
+"""
+
+import time
+
+from repro.fleet import (
+    ChaosPlan,
+    ChaosProxy,
+    FleetAggregator,
+    ResilientClient,
+)
+from repro.simt.random import RngStreams
+
+
+def wait_until(cond, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(interval)
+    return cond()
+
+
+def sample(job, seq_t, value=1.0):
+    return {
+        "kind": "sample", "job": job, "t": seq_t,
+        "points": [{"name": "m", "labels": {}, "value": value}],
+    }
+
+
+def pub_totals(store):
+    return store.publishers_summary()["totals"]
+
+
+class TestChaosPlan:
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        a = ChaosPlan(seed=7, refuse_first=2, refuse_every=5, cut_every=3)
+        b = ChaosPlan(seed=7, refuse_first=2, refuse_every=5, cut_every=3)
+        rng_a, rng_b = RngStreams(7), RngStreams(7)
+        for index in range(20):
+            assert a.refuses(index) == b.refuses(index)
+            assert a.cut_point(index, rng_a) == b.cut_point(index, rng_b)
+
+    def test_different_seeds_draw_different_cut_points(self):
+        plan = ChaosPlan(cut_every=1, cut_after_bytes=(32, 4096))
+        points = {
+            ChaosPlan(seed=s, cut_every=1, cut_after_bytes=(32, 4096))
+            .cut_point(0, RngStreams(s))
+            for s in range(8)
+        }
+        assert len(points) > 1
+        del plan
+
+    def test_refusal_windows(self):
+        plan = ChaosPlan(refuse_first=2, refuse_every=4)
+        refused = [i for i in range(12) if plan.refuses(i)]
+        assert refused == [0, 1, 3, 7, 11]
+
+    def test_delay_jitter_stays_in_band(self):
+        plan = ChaosPlan(seed=3, delay=0.01, delay_jitter=0.5)
+        rng = RngStreams(3)
+        for index in range(10):
+            d = plan.chunk_delay(index, rng)
+            assert 0.005 <= d <= 0.015
+
+
+class TestRefusalOutage:
+    def test_startup_refusals_lose_nothing(self, tmp_path):
+        """The aggregator's front door RSTs the first connections; the
+        spool holds everything until backoff wins.  (A refusal here is
+        accept-then-RST, which a publisher can only *observe* through
+        the missing acks — the durable pipeline is what turns that
+        into redelivery.)"""
+        plan = ChaosPlan(seed=11, refuse_first=3)
+        with FleetAggregator() as agg:
+            with ChaosProxy(agg.ingest_address, plan) as proxy:
+                client = ResilientClient(
+                    proxy.address_str,
+                    label="chaos",
+                    pub="refused",
+                    spool_dir=str(tmp_path),
+                    retry_base=0.01,
+                )
+                n = 40
+                for i in range(n):
+                    assert client.send(sample("outage", i * 0.05))
+                assert client.flush(15.0), client.stats()
+                client.close()
+                assert proxy.refused == 3
+            store = agg.store
+            assert wait_until(lambda: store.samples == n)
+            totals = pub_totals(store)
+            assert totals["received"] == n
+            assert totals["duplicates"] == 0
+            assert totals["gap_records"] == 0
+
+
+class TestTornCuts:
+    def test_mid_line_cuts_deliver_exactly_once(self, tmp_path):
+        """Every connection is cut mid-stream; the durable spool
+        re-offers the unacknowledged tail and the head's sequence
+        audit folds each record exactly once."""
+        # every connection gets cut, but the window leaves room for at
+        # least one complete record first — chaos, not a livelock.
+        plan = ChaosPlan(seed=23, cut_every=1, cut_after_bytes=(220, 1600))
+        with FleetAggregator() as agg:
+            with ChaosProxy(agg.ingest_address, plan) as proxy:
+                client = ResilientClient(
+                    proxy.address_str,
+                    label="chaos",
+                    pub="torn",
+                    spool_dir=str(tmp_path),
+                    retry_base=0.01,
+                )
+                n = 30
+                for i in range(n):
+                    assert client.send(sample("torn-job", i * 0.05))
+                assert client.flush(30.0), client.stats()
+                client.close()
+                assert proxy.cuts >= 1
+            store = agg.store
+            assert wait_until(lambda: store.samples == n)
+            totals = pub_totals(store)
+            # replays are allowed (and deduped); losses are not.
+            assert totals["received"] == n
+            assert totals["gap_records"] == 0
+            assert store.job_rollups("torn-job")["metrics"]["m"][
+                "stats"]["count"] == n
+
+    def test_non_durable_overflow_is_an_audited_gap(self):
+        """Queue-only clients may shed load under a long outage —
+        but the loss is *visible* at the head as a sequence gap."""
+        client = ResilientClient(
+            "127.0.0.1:1", label="chaos", queue_max=4,
+            retry_base=0.01, retry_attempts=2, retry_max_delay=0.05,
+        )
+        with FleetAggregator() as agg:
+            for i in range(10):
+                client.send(sample("shed", i * 0.05))
+            assert wait_until(lambda: client.dropped_lines >= 1)
+            client.target = agg.ingest_address
+            assert client.flush(15.0)
+            client.close()
+            shed = client.dropped_lines
+            store = agg.store
+            assert wait_until(lambda: store.samples == 10 - shed)
+            totals = pub_totals(store)
+            assert totals["gap_records"] == shed
+            health = store.health_summary()
+            assert health["status"] == "degraded"
+            assert any("sequence gaps" in r for r in health["reasons"])
+
+
+class TestPartitionHeals:
+    def test_pause_resume_loses_nothing(self, tmp_path):
+        with FleetAggregator() as agg:
+            with ChaosProxy(agg.ingest_address, ChaosPlan(seed=5)) as proxy:
+                client = ResilientClient(
+                    proxy.address_str,
+                    label="chaos",
+                    pub="partition",
+                    spool_dir=str(tmp_path),
+                    retry_base=0.01,
+                    retry_max_delay=0.2,
+                )
+                for i in range(10):
+                    client.send(sample("part-job", i * 0.05))
+                assert client.flush(15.0)
+                proxy.pause()  # the partition: pipes drop, port closes
+                for i in range(10, 25):
+                    assert client.send(sample("part-job", i * 0.05))
+                # accepted records persist on disk during the outage
+                assert wait_until(lambda: client.spool_depth > 0)
+                proxy.resume()
+                assert client.flush(30.0), client.stats()
+                stats = client.stats()
+                client.close()
+                assert stats["reconnects"] >= 1
+            store = agg.store
+            assert wait_until(lambda: store.samples == 25)
+            totals = pub_totals(store)
+            assert totals["received"] == 25
+            assert totals["gap_records"] == 0
+
+
+class TestAggregatorKill:
+    def test_kill_then_restart_on_same_data_dir_converges(self, tmp_path):
+        """An in-process kill -9 of a durable aggregator: the restarted
+        service replays its log, publishers reconnect through the
+        (retargeted) proxy, and every accepted record lands exactly
+        once."""
+        data_dir = str(tmp_path / "agg")
+        spool_dir = str(tmp_path / "spool")
+        first = FleetAggregator(data_dir=data_dir).start()
+        with ChaosProxy(first.ingest_address, ChaosPlan(seed=9)) as proxy:
+            client = ResilientClient(
+                proxy.address_str,
+                label="chaos",
+                pub="survivor",
+                spool_dir=spool_dir,
+                retry_base=0.01,
+                retry_max_delay=0.2,
+            )
+            for i in range(12):
+                client.send(sample("kill-job", i * 0.05))
+            assert client.flush(15.0)
+            first.kill()
+            # a frozen store reports itself degraded, not healthy
+            health = first.store.health_summary()
+            assert health["status"] == "degraded"
+            assert any("frozen" in r for r in health["reasons"])
+            # records accepted during the outage spool locally
+            for i in range(12, 30):
+                assert client.send(sample("kill-job", i * 0.05))
+            second = FleetAggregator(data_dir=data_dir).start()
+            try:
+                assert second.replayed > 0
+                proxy.retarget(second.ingest_address)
+                assert client.flush(30.0), client.stats()
+                client.close()
+                store = second.store
+                assert wait_until(lambda: store.samples == 30)
+                totals = pub_totals(store)
+                assert totals["received"] == 30
+                assert totals["duplicates"] == 0
+                assert totals["gap_records"] == 0
+                count = store.job_rollups("kill-job")["metrics"]["m"][
+                    "stats"]["count"]
+                assert count == 30
+            finally:
+                second.stop()

@@ -1,0 +1,193 @@
+"""Leaf→head federation: exact rollups, rack trees, head restarts."""
+
+import time
+
+from repro.fleet import ChaosPlan, ChaosProxy, FleetAggregator
+
+
+def wait_until(cond, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(interval)
+    return cond()
+
+
+def feed(store, job, n, scale=1.0, t0=0.0):
+    """One whole job stream: start, n samples, clean end.
+
+    Values are dyadic rationals (multiples of 0.125) on purpose: their
+    float sums are exact, so "head == direct ingest" can be asserted
+    byte-for-byte even when a window is flushed in two partial pieces
+    (float addition is only associative when nothing rounds).
+    """
+    store.ingest({"kind": "job_start", "job": job, "source": "test",
+                  "meta": {"app": "hpl"}})
+    for i in range(n):
+        store.ingest({
+            "kind": "sample", "job": job, "t": t0 + i * 0.02,
+            "points": [
+                {"name": "gpu_busy_fraction", "labels": {},
+                 "value": (i % 8) * 0.125 * scale},
+                {"name": "node_gpu_busy_fraction",
+                 "labels": {"node": "dirac01"}, "value": 0.5 * scale},
+            ],
+        })
+    store.ingest({"kind": "job_end", "job": job, "status": "ok",
+                  "source": "test"})
+
+
+def metric_count(store, job, name="gpu_busy_fraction"):
+    """Folded observation count for one job metric; None until known."""
+    payload = store.job_rollups(job)
+    if payload is None:
+        return None
+    return payload["metrics"].get(name, {}).get("stats", {}).get("count")
+
+
+def comparable(store, job):
+    """The job's converged state, stripped of wall-clock noise."""
+    payload = store.job_rollups(job)
+    return {
+        "state": payload["state"],
+        "status": payload["status"],
+        "metrics": payload["metrics"],
+    }
+
+
+class TestLeafToHead:
+    def test_head_rollups_equal_direct_ingest(self):
+        """A leaf forwarding at the store's native resolution makes
+        the head's job rollups identical to single-aggregator ingest —
+        the federation invariant everything else leans on."""
+        n = 40
+        with FleetAggregator() as head:
+            with FleetAggregator(forward=head.ingest_address,
+                                 forward_interval=0.05) as leaf:
+                feed(leaf.store, "fed-job", n)
+                # leaf.stop() runs the final forwarder flush
+            direct = FleetAggregator().store
+            feed(direct, "fed-job", n)
+            store = head.store
+            assert wait_until(
+                lambda: store.registry.job("fed-job") is not None
+                and store.registry.job("fed-job").state == "finished"
+                and metric_count(store, "fed-job") == n
+            )
+            assert comparable(store, "fed-job") == \
+                comparable(direct, "fed-job")
+            totals = store.publishers_summary()["totals"]
+            assert totals["duplicates"] == 0
+            assert totals["gap_records"] == 0
+
+    def test_windows_compress_the_upstream_stream(self):
+        """Federation ships aggregated windows, not raw samples."""
+        with FleetAggregator() as head:
+            with FleetAggregator(forward=head.ingest_address,
+                                 forward_interval=0.05) as leaf:
+                feed(leaf.store, "fat-job", 200)
+                assert wait_until(
+                    lambda: leaf.forwarder.samples_folded == 200
+                )
+                forwarder = leaf.forwarder
+                assert forwarder.summary()["lifecycle_forwarded"] == 2
+            assert wait_until(
+                lambda: metric_count(head.store, "fat-job") == 200
+            )
+            # every observation arrived, but as compacted windows: the
+            # upstream link carried far fewer records than samples.
+            assert 0 < forwarder.windows_forwarded < 200
+
+
+class TestRackTree:
+    def test_two_leaves_one_head_equals_one_aggregator(self):
+        with FleetAggregator() as head:
+            with FleetAggregator(forward=head.ingest_address,
+                                 forward_interval=0.05) as leaf_a:
+                with FleetAggregator(forward=head.ingest_address,
+                                     forward_interval=0.05) as leaf_b:
+                    feed(leaf_a.store, "rack-a-job", 30, scale=1.0)
+                    feed(leaf_b.store, "rack-b-job", 25, scale=2.0)
+            direct = FleetAggregator().store
+            feed(direct, "rack-a-job", 30, scale=1.0)
+            feed(direct, "rack-b-job", 25, scale=2.0)
+            store = head.store
+            assert wait_until(
+                lambda: store.registry.counts()["finished"] == 2
+            )
+            for job in ("rack-a-job", "rack-b-job"):
+                assert wait_until(
+                    lambda j=job: comparable(store, j) == comparable(
+                        direct, j)
+                ), f"{job} diverged: {comparable(store, job)}"
+            # the head's fleet-wide job accounting matches too
+            assert store.registry.counts()["finished"] == \
+                direct.registry.counts()["finished"]
+
+
+class TestHeadRestart:
+    def test_durable_head_restart_loses_no_accepted_window(self, tmp_path):
+        """Kill the head mid-federation; the durable leaf spools, the
+        restarted head replays its log, and the rollups converge to
+        every sample the leaf accepted — exactly once."""
+        head_dir = str(tmp_path / "head")
+        leaf_dir = str(tmp_path / "leaf")
+        head1 = FleetAggregator(data_dir=head_dir).start()
+        proxy = ChaosProxy(head1.ingest_address, ChaosPlan(seed=13)).start()
+        leaf = FleetAggregator(data_dir=leaf_dir,
+                               forward=proxy.address_str,
+                               forward_interval=0.05).start()
+        try:
+            feed(leaf.store, "outage-job", 20, t0=0.0)
+            assert wait_until(
+                lambda: (metric_count(head1.store, "outage-job") or 0) > 0
+            )
+            head1.kill()
+            # the leaf keeps accepting and spooling during the outage
+            feed(leaf.store, "outage-job-2", 20, t0=10.0)
+            head2 = FleetAggregator(data_dir=head_dir).start()
+            try:
+                assert head2.replayed > 0
+                proxy.retarget(head2.ingest_address)
+                store = head2.store
+
+                def counts():
+                    return {job: metric_count(store, job)
+                            for job in ("outage-job", "outage-job-2")}
+
+                assert wait_until(
+                    lambda: counts() == {"outage-job": 20,
+                                         "outage-job-2": 20},
+                    timeout=30.0,
+                ), f"converged to {counts()}"
+                totals = store.publishers_summary()["totals"]
+                assert totals["gap_records"] == 0
+            finally:
+                head2.stop()
+        finally:
+            leaf.stop()
+            proxy.stop()
+            if head1.started:
+                head1.stop()
+
+
+class TestForwarderHealth:
+    def test_unreachable_head_degrades_leaf_healthz(self, tmp_path):
+        """A leaf that cannot reach its head reports itself degraded —
+        with the spool depth as evidence — instead of staying green."""
+        leaf = FleetAggregator(data_dir=str(tmp_path / "leaf"),
+                               forward="127.0.0.1:1",
+                               forward_interval=0.05).start()
+        try:
+            feed(leaf.store, "stranded-job", 10)
+            assert wait_until(
+                lambda: leaf.forwarder.summary()["spool_depth"] > 0
+            )
+            health = leaf.store.health_summary()
+            assert health["status"] == "degraded"
+            assert any("forwarder disconnected" in r
+                       for r in health["reasons"])
+            assert health["forward"]["spool_depth"] > 0
+        finally:
+            leaf.stop()

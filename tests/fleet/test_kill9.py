@@ -1,0 +1,217 @@
+"""kill -9 a real aggregator subprocess mid-sweep; nothing is lost.
+
+The out-of-process acceptance for the whole resilience stack: an
+actual ``python -m repro fleet serve`` process is SIGKILLed while a
+durable sweep streams into it, then restarted on the same ingest port
+and ``--data-dir``.  Three things must hold afterwards:
+
+* the sweep's results are byte-identical to a fleet-less run (the
+  pipeline is pure observability, even through a crash);
+* the restarted aggregator replays its (possibly torn) log and — once
+  the spools drain — converges to every record a clean run would
+  hold, with a clean sequence audit;
+* the spool directory ends empty: nothing accepted was dropped, and
+  nothing is left behind either.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import repro
+from repro import IpmConfig, JobSpec, SweepRunner, TelemetryConfig
+from repro.__main__ import EXIT_OK, main
+from repro.fleet import FleetAggregator
+from repro.fleet.spool import pending_spools
+
+SPECS = [
+    JobSpec(
+        app="square", ntasks=2, seed=s,
+        ipm=IpmConfig(telemetry=TelemetryConfig(
+            enabled=True, sinks=("memory",),
+        )),
+    )
+    for s in (1, 2, 3, 4)
+]
+
+
+def wait_until(cond, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(interval)
+    return cond()
+
+
+def _pickles(report):
+    return [r.report_pickle for r in report.results]
+
+
+def free_port():
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def serve_subprocess(port, data_dir, announce):
+    """A real `fleet serve` process on a fixed ingest port."""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet", "serve",
+            "--ingest", f"127.0.0.1:{port}", "--http", "127.0.0.1:0",
+            "--announce", str(announce), "--data-dir", str(data_dir),
+            "--compact-interval", "0",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def read_announce(path):
+    """The announced endpoints, or None while the file is incomplete."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.loads(fh.read())
+    except (OSError, ValueError):
+        return None
+
+
+def query(http_addr, path):
+    """GET a query endpoint; None while the server is unreachable."""
+    try:
+        with urllib.request.urlopen(
+            f"http://{http_addr}{path}", timeout=5.0
+        ) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+class TestKillDashNine:
+    def test_sigkill_mid_sweep_then_restart_converges(self, tmp_path):
+        # the fleet-less baseline the streamed results must match
+        plain = SweepRunner(mode="serial").run(SPECS)
+
+        port = free_port()
+        ingest = f"127.0.0.1:{port}"
+        data_dir = tmp_path / "agg-data"
+        spool_dir = str(tmp_path / "spool")
+        first_announce = tmp_path / "first.json"
+        first = serve_subprocess(port, data_dir, first_announce)
+        second = None
+        runner = SweepRunner(mode="serial", fleet=ingest,
+                             fleet_spool=spool_dir)
+        try:
+            assert wait_until(
+                lambda: read_announce(first_announce) is not None
+            )
+            http1 = read_announce(first_announce)["http"]
+
+            box = {}
+            sweep = threading.Thread(
+                target=lambda: box.update(report=runner.run(SPECS)),
+                daemon=True,
+            )
+            sweep.start()
+            # SIGKILL as soon as the aggregator has demonstrably
+            # accepted part of the stream — mid-sweep, mid-stream, and
+            # (likely) mid-append in the history log.
+            assert wait_until(
+                lambda: bool((query(http1, "/jobs") or {}).get("jobs"))
+            )
+            os.kill(first.pid, signal.SIGKILL)
+            first.wait(10.0)
+
+            # the sweep sails through the outage: durable publishers
+            # spool, specs keep running, results stay pure.
+            sweep.join(120.0)
+            assert not sweep.is_alive()
+            report = box["report"]
+            assert all(r.status == "ok" for r in report.results)
+            assert _pickles(report) == _pickles(plain)
+            # the aggregator was down at end-of-run, so records are
+            # still on disk waiting for it to come back
+            assert pending_spools(spool_dir)
+
+            # restart on the same port and data dir; replay recovers
+            # everything the dead process had accepted
+            second_announce = tmp_path / "second.json"
+            second = serve_subprocess(port, data_dir, second_announce)
+            assert wait_until(
+                lambda: read_announce(second_announce) is not None
+            )
+            http2 = read_announce(second_announce)["http"]
+            assert wait_until(lambda: query(http2, "/history") is not None)
+            assert query(http2, "/history")["replayed"] > 0
+
+            # hand the spooled backlog to the restarted process
+            assert main(["fleet", "drain", ingest, spool_dir]) == EXIT_OK
+            assert pending_spools(spool_dir) == []
+
+            # a clean, never-killed run defines what "converged" means
+            with FleetAggregator() as clean:
+                with SweepRunner(
+                    mode="serial", fleet=clean.ingest_address,
+                    fleet_spool=str(tmp_path / "clean-spool"),
+                ) as clean_runner:
+                    clean_runner.run(SPECS)
+                store = clean.store
+                assert wait_until(
+                    lambda: store.registry.counts()["finished"]
+                    == len(SPECS)
+                )
+                expected = {
+                    spec.content_hash(): store.job_rollups(
+                        spec.content_hash()
+                    )["metrics"]["gpu_busy_fraction"]["stats"]["count"]
+                    for spec in SPECS
+                }
+
+            def recovered():
+                jobs = query(http2, "/jobs")
+                if not jobs or jobs["counts"]["finished"] != len(SPECS):
+                    return None
+                counts = {}
+                for spec in SPECS:
+                    rollups = query(
+                        http2, f"/jobs/{spec.content_hash()}/rollups"
+                    )
+                    if not rollups:
+                        return None
+                    counts[spec.content_hash()] = rollups["metrics"][
+                        "gpu_busy_fraction"]["stats"]["count"]
+                return counts
+
+            assert wait_until(
+                lambda: recovered() == expected
+            ), f"recovered {recovered()}, expected {expected}"
+
+            # the audit is clean: replays were deduped, nothing gapped
+            publishers = query(http2, "/publishers")
+            assert publishers["totals"]["gap_records"] == 0
+        finally:
+            runner.close()
+            for proc in (first, second):
+                if proc is not None and proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+                    try:
+                        proc.wait(15.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(5.0)

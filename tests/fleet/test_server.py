@@ -45,7 +45,19 @@ class TestRoutes:
 
     def test_healthz(self, served):
         _, url = served
-        assert get_json(url + "/healthz") == (200, {"ok": True})
+        status, payload = get_json(url + "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["status"] == "healthy"
+        assert payload["reasons"] == []
+        assert payload["frozen"] is False
+
+    def test_publishers_route(self, served):
+        _, url = served
+        status, payload = get_json(url + "/publishers")
+        assert status == 200
+        assert payload["totals"]["publishers"] == 0
+        assert payload["publishers"] == []
 
     def test_root_and_fleet_serve_the_summary(self, served):
         _, url = served

@@ -43,12 +43,14 @@ class TestLineClient:
 
     def test_unreachable_target_warns_once_then_counts_drops(self):
         client = LineClient("127.0.0.1:1")  # nothing listens on port 1
-        with pytest.warns(RuntimeWarning, match="disabled"):
+        with pytest.warns(RuntimeWarning, match="degraded"):
             assert not client.send({"kind": "job_start", "job": "j"})
-        # no second warning, just accounting
+        # no second warning for the same failure kind, just accounting
         assert not client.send({"kind": "job_start", "job": "j"})
         assert client.disabled
         assert client.dropped == 2 and client.sent == 0
+        assert client.dropped_lines == 2
+        assert client.drops_by_kind == {"ConnectionRefusedError": 2}
 
     def test_bad_target_type_disables_not_raises(self):
         client = LineClient(42)
@@ -90,12 +92,15 @@ class TestFleetSinkEndToEnd:
             assert store.lag.count > 0  # hts stamps measured ingest lag
 
     def test_sink_survives_a_dead_aggregator(self):
-        sink = FleetSink("127.0.0.1:1", job="doomed")
-        with pytest.warns(RuntimeWarning):
-            sink.open({})
+        # publishing is asynchronous now: open() buffers and returns,
+        # the drain thread warns and retries in the background, and
+        # close() accounts whatever could never be delivered.
+        sink = FleetSink("127.0.0.1:1", job="doomed", flush_timeout=0.5)
+        sink.open({})
         sink.emit(0.0, [point("m", 1.0)])
         sink.close()  # must not raise
         assert sink.client.dropped > 0
+        assert "unflushed" in sink.client.drops_by_kind
 
     def test_empty_job_id_is_rejected(self):
         with pytest.raises(ValueError):

@@ -158,7 +158,7 @@ class TestRunnerFleetStreaming:
         assert not runner.supervised
 
     def test_unreachable_aggregator_does_not_fail_the_sweep(self):
-        with pytest.warns(RuntimeWarning, match="disabled"):
+        with pytest.warns(RuntimeWarning, match="degraded"):
             with SweepRunner(mode="serial", fleet="127.0.0.1:1") as runner:
                 report = runner.run(SPECS)
         assert all(r.status == "ok" for r in report.results)
