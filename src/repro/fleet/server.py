@@ -16,7 +16,8 @@ A thin threaded front-end on :class:`~repro.fleet.store.FleetStore`:
 * ``GET /healthz`` — liveness *and honesty* probe: answering at all
   is liveness, and the payload reports ``degraded`` (with publisher
   gap counts, forwarder spool depth and reconnect state) whenever
-  ingest is known to be partial.
+  ingest is known to be partial — served as HTTP 503 so status-code
+  probes agree with the body.
 
 Everything JSON except ``/metrics``; unknown paths and unknown ids
 are JSON 404s.  Handlers only ever call locked store queries, so a
@@ -88,7 +89,10 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 OPENMETRICS_CONTENT_TYPE,
             )
         elif parts == ["healthz"]:
-            self._json(200, store.health_summary())
+            # degraded/frozen answers 503 so probes keyed on the
+            # status code (k8s, curl -f) see it without parsing JSON.
+            health = store.health_summary()
+            self._json(200 if health.get("ok") else 503, health)
         elif parts == ["publishers"]:
             self._json(200, store.publishers_summary())
         elif parts == ["history"]:

@@ -225,9 +225,12 @@ class FleetAggregator:
             self.ingest_server = None
         if self.forwarder is not None:
             # after ingest stopped, before http: the final flush ships
-            # the buffered tail upstream, then drains the client.
+            # the buffered tail upstream, then drains the client.  The
+            # store must be detached too or a later start() cannot
+            # attach a fresh forwarder.
             self.forwarder.stop()
             self.forwarder = None
+            self.store.detach_forward()
         if self.http_server is not None:
             self.http_server.stop()
             self.http_server = None
@@ -259,6 +262,7 @@ class FleetAggregator:
         if self.forwarder is not None:
             self.forwarder.abandon()
             self.forwarder = None
+            self.store.detach_forward()
         if self.http_server is not None:
             self.http_server.stop()
             self.http_server = None

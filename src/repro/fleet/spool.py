@@ -119,6 +119,12 @@ class Spool:
                         self.max_seq = seq
         except OSError as exc:
             self._disable(exc)
+            return
+        if meta is None:
+            # write the sidecar up front: a publisher hard-killed
+            # before its first cursor persist must still leave a spool
+            # that pending_spools() can discover and drain.
+            self._persist_meta()
 
     def _line_seq(self, line: bytes) -> Optional[int]:
         record = decode_line(line)
@@ -196,7 +202,7 @@ class Spool:
             if self.acked_seq >= self.max_seq:
                 self._truncate_if_large()
 
-    def _persist_meta(self) -> None:
+    def _persist_meta(self) -> bool:
         self._acks_since_persist = 0
         payload = {
             "schema": SPOOL_META_SCHEMA,
@@ -210,12 +216,19 @@ class Spool:
                 json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, self.meta_path)
         except OSError:
-            pass  # a stale cursor only costs deduped re-sends
+            return False  # a stale cursor only costs deduped re-sends
+        return True
 
     def _truncate_if_large(self) -> None:
         """Drop a fully acknowledged file once it is worth the rewrite."""
         try:
             if os.path.getsize(self.path) < self.compact_bytes:
+                return
+            # the on-disk cursor must be durable before the records it
+            # covers disappear: an empty file plus a stale-low
+            # acked_seq would regress next_seq after a crash and
+            # re-issue sequence numbers the aggregator already saw.
+            if not self._persist_meta():
                 return
             if self._fh is not None:
                 self._fh.close()
@@ -287,18 +300,38 @@ class Spool:
                 self._fh = None
 
 
+def _orphan_pub(path: str) -> Optional[str]:
+    """Recover a spool's publisher id from its first decodable line."""
+    try:
+        with open(path, "rb") as fh:
+            for raw in fh:
+                record = decode_line(raw)
+                if record is None:
+                    continue
+                stamp = record_stamp(record)
+                if stamp is not None:
+                    return stamp[0]
+    except OSError:
+        return None
+    return None
+
+
 def pending_spools(root: str) -> List[Dict[str, Any]]:
     """Inventory of spools under ``root`` that still hold backlog.
 
     Each entry: ``{"pub", "path", "depth"}``.  Used by ``fleet drain``
     and the sweep runner's end-of-run sweep so records spooled by
-    already-closed publishers still reach the aggregator.
+    already-closed publishers still reach the aggregator.  Spool files
+    with no (or an unreadable) meta sidecar — a publisher hard-killed
+    before its cursor ever persisted — are recovered via the publisher
+    id stamped into their records, so a crash can never hide backlog.
     """
     out: List[Dict[str, Any]] = []
     try:
         names = sorted(os.listdir(root))
     except OSError:
         return out
+    pubs: Dict[str, str] = {}  # file stem -> publisher id
     for name in names:
         if not name.endswith(".meta.json"):
             continue
@@ -308,8 +341,22 @@ def pending_spools(root: str) -> List[Dict[str, Any]]:
         except (OSError, ValueError):
             continue
         pub = meta.get("pub") if isinstance(meta, dict) else None
-        if not isinstance(pub, str) or not pub:
+        if isinstance(pub, str) and pub:
+            pubs[name[: -len(".meta.json")]] = pub
+    for name in names:
+        if not name.endswith(".spool.ndjson"):
             continue
+        stem = name[: -len(".spool.ndjson")]
+        if stem in pubs:
+            continue
+        path = os.path.join(root, name)
+        pub = _orphan_pub(path)
+        # only trust a recovered id that maps back onto this file —
+        # anything else is a corrupt or foreign line.
+        if pub is not None and spool_paths(root, pub)[0] == path:
+            pubs[stem] = pub
+    for stem in sorted(pubs):
+        pub = pubs[stem]
         spool = Spool(root, pub)
         try:
             if spool.depth > 0:

@@ -196,6 +196,17 @@ class FleetStore:
             self._forward = forwarder.tee
             self.forwarder = forwarder
 
+    def detach_forward(self) -> None:
+        """Stop teeing accepted records upstream (idempotent).
+
+        Called when the owning forwarder shuts down so a stopped
+        aggregator can be started again — attach_forward refuses a
+        second forwarder while one is still wired in.
+        """
+        with self._lock:
+            self._forward = None
+            self.forwarder = None
+
     def _fold(self, kind: Any, job: str, record: Dict[str, Any]) -> bool:
         self.records += 1
         hts = record.get("hts")

@@ -52,6 +52,17 @@ class TestRoutes:
         assert payload["reasons"] == []
         assert payload["frozen"] is False
 
+    def test_degraded_healthz_is_503(self, served):
+        # status-code probes (k8s, curl -f) must see the degradation
+        store, url = served
+        store.freeze()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url + "/healthz")
+        assert err.value.code == 503
+        payload = json.loads(err.value.read())
+        assert payload["ok"] is False
+        assert payload["status"] == "degraded"
+
     def test_publishers_route(self, served):
         _, url = served
         status, payload = get_json(url + "/publishers")

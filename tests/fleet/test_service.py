@@ -123,6 +123,22 @@ class TestAggregatorLifecycle:
         # stop() closed the tailed job stream
         assert agg.store.registry.job("live").state == "finished"
 
+    def test_restart_with_forwarding_reattaches_cleanly(self):
+        # stop() must detach the forwarder from the store, or the
+        # second start() refuses with "store already has a forwarder"
+        head = FleetAggregator().start()
+        try:
+            leaf = FleetAggregator(forward=head.ingest_address,
+                                   forward_interval=0.05)
+            leaf.start()
+            leaf.stop()
+            assert leaf.store.forwarder is None
+            leaf.start()
+            assert leaf.store.forwarder is leaf.forwarder
+            leaf.stop()
+        finally:
+            head.stop()
+
     def test_stop_is_idempotent_and_endpoints_require_start(self):
         agg = FleetAggregator()
         with pytest.raises(RuntimeError):

@@ -104,6 +104,22 @@ class TestCompaction:
         assert [s for s, _ in spool.read_after(spool.acked_seq)] == [20]
         spool.close()
 
+    def test_truncation_persists_the_cursor(self, tmp_path):
+        # kill -9 right after a truncation: the on-disk cursor must
+        # already cover the dropped records, or next_seq would regress
+        # and re-issue sequence numbers the aggregator dedups silently
+        spool = Spool(str(tmp_path), "pub-a", compact_bytes=64)
+        for seq in range(20):
+            spool.append(seq, line(seq))
+        spool.ack(19)
+        assert os.path.getsize(spool.path) == 0
+        del spool  # no close()
+
+        resumed = Spool(str(tmp_path), "pub-a")
+        assert resumed.acked_seq == 19
+        assert resumed.next_seq == 20
+        resumed.close()
+
 
 class TestPendingSpools:
     def test_lists_only_spools_with_backlog(self, tmp_path):
@@ -119,6 +135,20 @@ class TestPendingSpools:
         entries = pending_spools(str(tmp_path))
         assert [e["pub"] for e in entries] == ["stuck"]
         assert entries[0]["depth"] == 3
+
+    def test_spool_without_meta_sidecar_is_discovered(self, tmp_path):
+        # a publisher hard-killed before its cursor ever persisted
+        # leaves a spool file with no sidecar; the backlog must still
+        # be discoverable (pub id recovered from the stamped records)
+        spool = Spool(str(tmp_path), "killed:job/0")
+        for seq in range(4):
+            spool.append(seq, line(seq, pub="killed:job/0"))
+        os.remove(spool.meta_path)
+        del spool  # no close()
+
+        entries = pending_spools(str(tmp_path))
+        assert [e["pub"] for e in entries] == ["killed:job/0"]
+        assert entries[0]["depth"] == 4
 
     def test_empty_or_missing_directory(self, tmp_path):
         assert pending_spools(str(tmp_path)) == []
